@@ -1,0 +1,141 @@
+// Parameter-sensitivity ablations for the TARDIS knobs (Table I):
+//
+//   (a) initial cardinality 2^b — the word-level trade-off the paper fixes
+//       at 64: small b shortens signatures but limits splitting; large b
+//       grows conversion cost and index size.
+//   (b) L-MaxSize — leaf granularity of Tardis-L: drives target-node
+//       candidate scope and therefore TargetNode-Access accuracy.
+//   (c) pth — the Multi-Partitions Access partition budget: accuracy/latency
+//       dial (paper §V-B).
+//
+// Workload: RandomWalk at the 400M-equivalent size, k = 50.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "core/ground_truth.h"
+#include "core/metrics.h"
+#include "workload/query_gen.h"
+
+namespace tardis {
+namespace bench {
+namespace {
+
+struct Eval {
+  double build_seconds = 0;
+  uint64_t index_bytes = 0;
+  double recall_target = 0, recall_multi = 0;
+  double ms_multi = 0;
+  double avg_leaf = 0;
+};
+
+Eval Evaluate(const BlockStore& store, const TardisConfig& config,
+              const std::vector<TimeSeries>& queries,
+              const std::vector<std::vector<Neighbor>>& truth, uint32_t k) {
+  auto cluster = std::make_shared<Cluster>(kNumWorkers);
+  Eval eval;
+  TardisIndex::BuildTimings timings;
+  BENCH_ASSIGN_OR_DIE(
+      TardisIndex index,
+      TardisIndex::Build(cluster, store, FreshPartitionDir("abl"), config,
+                         &timings));
+  eval.build_seconds = timings.TotalSeconds();
+  BENCH_ASSIGN_OR_DIE(TardisIndex::SizeInfo sizes, index.ComputeSizeInfo());
+  eval.index_bytes = sizes.global_bytes + sizes.local_tree_bytes + sizes.bloom_bytes;
+
+  uint64_t leaves = 0, leaf_records = 0;
+  for (PartitionId pid = 0; pid < index.num_partitions(); ++pid) {
+    BENCH_ASSIGN_OR_DIE(LocalIndex local, index.LoadLocalIndex(pid));
+    const SigTree::Stats stats = local.tree().ComputeStats();
+    leaves += stats.leaf_nodes;
+    leaf_records += static_cast<uint64_t>(stats.avg_leaf_count *
+                                          static_cast<double>(stats.leaf_nodes));
+  }
+  eval.avg_leaf = leaves > 0 ? static_cast<double>(leaf_records) / leaves : 0;
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    BENCH_ASSIGN_OR_DIE(
+        auto rt,
+        index.KnnApproximate(queries[i], k, KnnStrategy::kTargetNode, nullptr));
+    eval.recall_target += Recall(rt, truth[i]);
+    Stopwatch sw;
+    BENCH_ASSIGN_OR_DIE(
+        auto rm, index.KnnApproximate(queries[i], k,
+                                      KnnStrategy::kMultiPartitions, nullptr));
+    eval.ms_multi += sw.ElapsedMillis();
+    eval.recall_multi += Recall(rm, truth[i]);
+  }
+  const double nq = static_cast<double>(queries.size());
+  eval.recall_target = eval.recall_target * 100 / nq;
+  eval.recall_multi = eval.recall_multi * 100 / nq;
+  eval.ms_multi /= nq;
+  return eval;
+}
+
+void PrintRow(const char* label, const Eval& eval) {
+  std::printf("%-14s %9.3f %12llu %9.1f %8.1f%% %8.1f%% %9.3f\n", label,
+              eval.build_seconds,
+              static_cast<unsigned long long>(eval.index_bytes), eval.avg_leaf,
+              eval.recall_target, eval.recall_multi, eval.ms_multi);
+}
+
+void Run() {
+  PrintHeader("Ablation", "TARDIS parameter sensitivity (RandomWalk, k=50)");
+  const BlockStore store = GetStore(DatasetKind::kRandomWalk, 40000);
+  const Dataset dataset = LoadAll(store);
+  const auto queries = MakeKnnQueries(dataset, kKnnQueries, 0.05, 919);
+  const uint32_t k = kDefaultK;
+  auto cluster = std::make_shared<Cluster>(kNumWorkers);
+  const std::string gt_path =
+      DataDir() + "/gt_Rw_40000_k" + std::to_string(k) + "a.bin";
+  BENCH_ASSIGN_OR_DIE(auto truth,
+                      CachedExactKnn(*cluster, store, queries, k, gt_path));
+
+  std::printf("%-14s %9s %12s %9s %9s %9s %9s\n", "setting", "build-s",
+              "index-bytes", "avg-leaf", "rec(TN)", "rec(MP)", "ms(MP)");
+
+  std::printf("-- (a) initial cardinality 2^b (paper: 64) --\n");
+  for (uint8_t bits : {4, 6, 8}) {
+    TardisConfig config = DefaultTardisConfig();
+    config.initial_bits = bits;
+    char label[24];
+    std::snprintf(label, sizeof(label), "card=%u", 1u << bits);
+    PrintRow(label, Evaluate(store, config, queries, truth, k));
+  }
+
+  std::printf("-- (b) L-MaxSize (paper: 1000 at 110k/partition) --\n");
+  for (uint64_t lmax : {25u, 100u, 400u}) {
+    TardisConfig config = DefaultTardisConfig();
+    config.l_max_size = lmax;
+    char label[24];
+    std::snprintf(label, sizeof(label), "lmax=%llu",
+                  static_cast<unsigned long long>(lmax));
+    PrintRow(label, Evaluate(store, config, queries, truth, k));
+  }
+
+  std::printf("-- (c) pth, the Multi-Partitions budget (paper: 40) --\n");
+  for (uint32_t pth : {2u, 5u, 10u, 20u}) {
+    TardisConfig config = DefaultTardisConfig();
+    config.pth = pth;
+    char label[24];
+    std::snprintf(label, sizeof(label), "pth=%u", pth);
+    PrintRow(label, Evaluate(store, config, queries, truth, k));
+  }
+
+  std::printf(
+      "\nReadings: (a) the sigTree rarely descends past level 2-3, so the\n"
+      "initial cardinality barely matters — the paper's 'small initial\n"
+      "cardinality' benefit (§III-B): TARDIS is content with 16-64 while the\n"
+      "character-level baseline must reserve 512. (b) L-MaxSize sets leaf\n"
+      "granularity and index size; TargetNode recall is insensitive because\n"
+      "an internal node serves as the target when leaves drop below k.\n"
+      "(c) Multi-Partitions recall and latency both grow with pth — the\n"
+      "accuracy/latency dial.\n\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tardis
+
+int main() { tardis::bench::Run(); }

@@ -1,0 +1,164 @@
+// Ablation microbenchmarks (google-benchmark) for the design choices
+// DESIGN.md §5 calls out:
+//
+//   1. iSAX-T DropRight vs character-level iSAX re-conversion — the paper's
+//      claim that cardinality reduction becomes a constant-time string
+//      operation (§III-A).
+//   2. sigTree descent vs DPiSAX partition-table matching — the per-record
+//      routing cost that dominates the shuffle (§II-C vs §IV-B).
+//   3. Signature encoding at the two initial cardinalities (64 vs 512).
+//   4. FFD packing vs naive first-fit (unsorted) — partition count.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/dpisax.h"
+#include "baseline/ibt.h"
+#include "common/rng.h"
+#include "core/packing.h"
+#include "sigtree/sigtree.h"
+#include "ts/isax.h"
+#include "ts/isaxt.h"
+#include "ts/paa.h"
+
+namespace tardis {
+namespace {
+
+std::vector<std::vector<double>> MakePaas(size_t n, uint32_t w, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> paas(n, std::vector<double>(w));
+  for (auto& paa : paas) {
+    for (auto& v : paa) v = rng.NextGaussian();
+  }
+  return paas;
+}
+
+// --- 1. Cardinality reduction: DropRight vs re-conversion ----------------
+
+void BM_ISaxT_DropRight(benchmark::State& state) {
+  const auto codec = *ISaxTCodec::Make(8, 9);
+  const auto paas = MakePaas(1024, 8, 1);
+  std::vector<std::string> sigs;
+  for (const auto& paa : paas) sigs.push_back(codec.Encode(paa));
+  const uint8_t target_bits = static_cast<uint8_t>(state.range(0));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ISaxTCodec::DropRight(sigs[i++ & 1023], target_bits, 8));
+  }
+}
+BENCHMARK(BM_ISaxT_DropRight)->Arg(1)->Arg(4)->Arg(6);
+
+void BM_ISax_Reconvert(benchmark::State& state) {
+  // The baseline's equivalent: rebuild the per-character symbols at the
+  // lower cardinality (bit shifts over every character + key rebuild, which
+  // is what a map-table probe at a different cardinality vector costs).
+  const auto paas = MakePaas(1024, 8, 1);
+  std::vector<ISaxSignature> sigs;
+  for (const auto& paa : paas) sigs.push_back(ISaxFromPaa(paa, 9));
+  const uint8_t target_bits = static_cast<uint8_t>(state.range(0));
+  size_t i = 0;
+  for (auto _ : state) {
+    ISaxSignature sig = sigs[i++ & 1023];
+    sig.char_bits.assign(sig.word_length(), target_bits);
+    benchmark::DoNotOptimize(sig.Key());
+  }
+}
+BENCHMARK(BM_ISax_Reconvert)->Arg(1)->Arg(4)->Arg(6);
+
+// --- 2. Routing: sigTree descent vs partition-table matching -------------
+
+void BM_SigTree_RouteDescend(benchmark::State& state) {
+  const auto codec = *ISaxTCodec::Make(8, 6);
+  SigTree tree(codec);
+  Rng rng(2);
+  const auto paas = MakePaas(20000, 8, 2);
+  for (uint32_t i = 0; i < paas.size(); ++i) {
+    tree.InsertEntry(codec.Encode(paas[i]), i, 200);
+  }
+  const auto probes = MakePaas(1024, 8, 3);
+  std::vector<std::string> sigs;
+  for (const auto& paa : probes) sigs.push_back(codec.Encode(paa));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.RouteDescend(sigs[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_SigTree_RouteDescend);
+
+void BM_PartitionTable_Lookup(benchmark::State& state) {
+  IBTree tree(8, 9, IBTree::SplitPolicy::kStatistics, 200);
+  const auto paas = MakePaas(20000, 8, 2);
+  for (uint32_t i = 0; i < paas.size(); ++i) {
+    tree.Insert(ISaxFromPaa(paas[i], 9), i);
+  }
+  const PartitionTable table = PartitionTable::FromTree(tree, 1.0);
+  const auto probes = MakePaas(1024, 8, 3);
+  std::vector<ISaxSignature> sigs;
+  for (const auto& paa : probes) sigs.push_back(ISaxFromPaa(paa, 9));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Lookup(sigs[i++ & 1023]));
+  }
+  state.counters["groups"] = static_cast<double>(table.num_groups());
+}
+BENCHMARK(BM_PartitionTable_Lookup);
+
+// --- 3. Initial-cardinality conversion cost -------------------------------
+
+void BM_EncodeSignature(benchmark::State& state) {
+  const uint8_t bits = static_cast<uint8_t>(state.range(0));
+  const auto codec = *ISaxTCodec::Make(8, bits);
+  const auto paas = MakePaas(1024, 8, 4);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.Encode(paas[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_EncodeSignature)->Arg(6)->Arg(9);  // cardinality 64 vs 512
+
+// --- 4. FFD vs unsorted first-fit ------------------------------------------
+
+std::vector<uint32_t> FirstFitUnsorted(const std::vector<uint64_t>& sizes,
+                                       uint64_t capacity, uint32_t* num_bins) {
+  std::vector<uint32_t> assignment(sizes.size());
+  std::vector<uint64_t> remaining;
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    uint32_t bin = static_cast<uint32_t>(remaining.size());
+    for (uint32_t b = 0; b < remaining.size(); ++b) {
+      if (remaining[b] >= sizes[i]) {
+        bin = b;
+        break;
+      }
+    }
+    if (bin == remaining.size()) {
+      remaining.push_back(sizes[i] >= capacity ? 0 : capacity - sizes[i]);
+    } else {
+      remaining[bin] -= sizes[i];
+    }
+    assignment[i] = bin;
+  }
+  *num_bins = static_cast<uint32_t>(remaining.size());
+  return assignment;
+}
+
+void BM_Packing(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<uint64_t> sizes(1000);
+  for (auto& s : sizes) s = 1 + rng.NextBounded(1500);
+  const bool ffd = state.range(0) == 1;
+  uint32_t bins = 0;
+  for (auto _ : state) {
+    if (ffd) {
+      benchmark::DoNotOptimize(FirstFitDecreasing(sizes, 2000, &bins));
+    } else {
+      benchmark::DoNotOptimize(FirstFitUnsorted(sizes, 2000, &bins));
+    }
+  }
+  state.counters["bins"] = static_cast<double>(bins);
+}
+BENCHMARK(BM_Packing)->Arg(1)->Arg(0);  // 1 = FFD, 0 = unsorted first-fit
+
+}  // namespace
+}  // namespace tardis
+
+BENCHMARK_MAIN();

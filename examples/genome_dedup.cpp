@@ -1,0 +1,81 @@
+// Genome subsequence deduplication with exact-match queries.
+//
+//   $ ./genome_dedup
+//
+// DNA assemblies contain heavily repeated regions; converted to time series
+// (the paper's DNA dataset, after iSAX 2.0's nucleotide-walk conversion),
+// repeats become *identical* series. This example uses TARDIS exact-match
+// queries — and their partition-level Bloom filters — to answer "has this
+// subsequence been ingested before?" cheaply, the way an ingest pipeline
+// would deduplicate a stream.
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
+#include "common/stopwatch.h"
+#include "core/tardis_index.h"
+#include "ts/znorm.h"
+#include "workload/datasets.h"
+
+using namespace tardis;
+
+#define DIE_IF_ERROR(status_expr)                                   \
+  do {                                                              \
+    const Status _st = (status_expr);                               \
+    if (!_st.ok()) {                                                \
+      std::fprintf(stderr, "error: %s\n", _st.ToString().c_str()); \
+      return 1;                                                     \
+    }                                                               \
+  } while (0)
+
+int main() {
+  const std::string work_dir = "genome_dedup_data";
+  std::filesystem::remove_all(work_dir);
+
+  std::printf("Generating 25000 genome subsequence series...\n");
+  auto dataset = MakeDataset(DatasetKind::kDna, 25000, 192, /*seed=*/77);
+  DIE_IF_ERROR(dataset.status());
+  auto store = BlockStore::Create(work_dir + "/blocks", *dataset, 500);
+  DIE_IF_ERROR(store.status());
+
+  TardisConfig config;
+  config.g_max_size = 1000;
+  config.l_max_size = 100;
+  auto cluster = std::make_shared<Cluster>(4);
+  auto index = TardisIndex::Build(cluster, *store, work_dir + "/partitions",
+                                  config, nullptr);
+  DIE_IF_ERROR(index.status());
+
+  // A stream of incoming subsequences: half are re-ingested duplicates,
+  // half are novel (drawn from a different seed).
+  auto novel = MakeDataset(DatasetKind::kDna, 500, 192, /*seed=*/78);
+  DIE_IF_ERROR(novel.status());
+
+  uint32_t duplicates = 0, bloom_skips = 0;
+  Stopwatch sw;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    const TimeSeries& candidate =
+        (i % 2 == 0) ? (*dataset)[(i * 37) % dataset->size()]
+                     : (*novel)[i / 2];
+    ExactMatchStats stats;
+    auto hits = index->ExactMatch(candidate, /*use_bloom=*/true, &stats);
+    DIE_IF_ERROR(hits.status());
+    duplicates += !hits->empty();
+    bloom_skips += stats.bloom_negative;
+  }
+  const double total_ms = sw.ElapsedMillis();
+
+  std::printf("Checked 1000 candidate subsequences in %.1f ms (%.2f ms each):\n",
+              total_ms, total_ms / 1000.0);
+  std::printf("  duplicates found:           %u\n", duplicates);
+  std::printf("  skipped by Bloom filters:   %u (no partition read at all)\n",
+              bloom_skips);
+  std::printf(
+      "\nNote: some novel subsequences are genuine repeats of indexed repeat\n"
+      "regions (that is the point of the DNA workload), so 'duplicates' can\n"
+      "exceed the 500 re-ingested ones.\n");
+
+  std::filesystem::remove_all(work_dir);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Image feature search: TARDIS vs the DPiSAX baseline on SIFT-style
+// vectors (the paper's Texmex workload), reproducing the headline accuracy
+// claim interactively: word-level cardinality plus a wider candidate scope
+// lifts kNN recall by an order of magnitude at comparable cost.
+//
+//   $ ./image_feature_search
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
+#include "baseline/dpisax.h"
+#include "common/stopwatch.h"
+#include "core/ground_truth.h"
+#include "core/metrics.h"
+#include "core/tardis_index.h"
+#include "workload/datasets.h"
+#include "workload/query_gen.h"
+
+using namespace tardis;
+
+#define DIE_IF_ERROR(status_expr)                                   \
+  do {                                                              \
+    const Status _st = (status_expr);                               \
+    if (!_st.ok()) {                                                \
+      std::fprintf(stderr, "error: %s\n", _st.ToString().c_str()); \
+      return 1;                                                     \
+    }                                                               \
+  } while (0)
+
+int main() {
+  const std::string work_dir = "image_feature_data";
+  std::filesystem::remove_all(work_dir);
+
+  std::printf("Generating 40000 SIFT-like feature vectors...\n");
+  auto dataset = MakeDataset(DatasetKind::kTexmex, 40000, 128, /*seed=*/555);
+  DIE_IF_ERROR(dataset.status());
+  auto store = BlockStore::Create(work_dir + "/blocks", *dataset, 500);
+  DIE_IF_ERROR(store.status());
+  auto cluster = std::make_shared<Cluster>(4);
+
+  // Build both systems with the paper's Table II settings (scaled).
+  TardisConfig tcfg;
+  tcfg.g_max_size = 500;
+  tcfg.l_max_size = 100;
+  tcfg.pth = 10;
+  auto tardis = TardisIndex::Build(cluster, *store, work_dir + "/parts_t",
+                                   tcfg, nullptr);
+  DIE_IF_ERROR(tardis.status());
+
+  DPiSaxConfig bcfg;
+  bcfg.g_max_size = 500;
+  bcfg.l_max_size = 100;
+  auto baseline = DPiSaxIndex::Build(cluster, *store, work_dir + "/parts_b",
+                                     bcfg, nullptr);
+  DIE_IF_ERROR(baseline.status());
+
+  // "Find images similar to this one": k=50 over 10 query vectors.
+  const uint32_t k = 50;
+  const auto queries = MakeKnnQueries(*dataset, 10, 0.05, /*seed=*/556);
+  auto truth = ExactKnnScan(*cluster, *store, queries, k);
+  DIE_IF_ERROR(truth.status());
+
+  struct Row {
+    const char* name;
+    double recall = 0, err = 0, ms = 0;
+  };
+  Row rows[2] = {{"DPiSAX (baseline)"}, {"TARDIS multi-part"}};
+  for (size_t i = 0; i < queries.size(); ++i) {
+    {
+      Stopwatch sw;
+      auto r = baseline->KnnApproximate(queries[i], k, nullptr);
+      DIE_IF_ERROR(r.status());
+      rows[0].ms += sw.ElapsedMillis();
+      rows[0].recall += Recall(*r, (*truth)[i]);
+      rows[0].err += ErrorRatio(*r, (*truth)[i]);
+    }
+    {
+      Stopwatch sw;
+      auto r = tardis->KnnApproximate(queries[i], k,
+                                      KnnStrategy::kMultiPartitions, nullptr);
+      DIE_IF_ERROR(r.status());
+      rows[1].ms += sw.ElapsedMillis();
+      rows[1].recall += Recall(*r, (*truth)[i]);
+      rows[1].err += ErrorRatio(*r, (*truth)[i]);
+    }
+  }
+  std::printf("\n%-18s %8s %8s %10s\n", "system", "recall", "err", "ms/query");
+  for (const Row& row : rows) {
+    std::printf("%-18s %7.1f%% %8.3f %10.2f\n", row.name,
+                row.recall * 100 / queries.size(), row.err / queries.size(),
+                row.ms / queries.size());
+  }
+  std::printf(
+      "\nThe recall gap is the paper's headline result: character-level\n"
+      "cardinality scatters similar vectors across leaves, while TARDIS's\n"
+      "word-level signatures keep them together and Multi-Partitions Access\n"
+      "widens the scope to the sibling partitions.\n");
+
+  std::filesystem::remove_all(work_dir);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Sensor-fleet similarity search — the paper's motivating scenario (§I: a
+// Boeing 787 produces ~0.5 TB of sensor time series per flight, and
+// similarity search underlies all downstream mining).
+//
+//   $ ./sensor_similarity
+//
+// Indexes a fleet of NOAA-style (seasonal sensor) series, then answers an
+// operational question: "this sensor trace looks anomalous — find the most
+// similar historical traces so an engineer can compare outcomes." Shows how
+// accuracy improves across the three kNN strategies against the exact
+// answer, and what each strategy costs.
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
+#include "common/stopwatch.h"
+#include "core/ground_truth.h"
+#include "core/metrics.h"
+#include "core/tardis_index.h"
+#include "workload/datasets.h"
+#include "workload/query_gen.h"
+
+using namespace tardis;
+
+#define DIE_IF_ERROR(status_expr)                                   \
+  do {                                                              \
+    const Status _st = (status_expr);                               \
+    if (!_st.ok()) {                                                \
+      std::fprintf(stderr, "error: %s\n", _st.ToString().c_str()); \
+      return 1;                                                     \
+    }                                                               \
+  } while (0)
+
+int main() {
+  const std::string work_dir = "sensor_similarity_data";
+  std::filesystem::remove_all(work_dir);
+
+  // A fleet of 30k seasonal sensor traces (64 readings each).
+  std::printf("Generating 30000 sensor traces...\n");
+  auto dataset = MakeDataset(DatasetKind::kNoaa, 30000, 64, /*seed=*/2024);
+  DIE_IF_ERROR(dataset.status());
+  auto store = BlockStore::Create(work_dir + "/blocks", *dataset, 500);
+  DIE_IF_ERROR(store.status());
+
+  TardisConfig config;
+  config.g_max_size = 1000;
+  config.l_max_size = 100;
+  config.pth = 10;
+  auto cluster = std::make_shared<Cluster>(4);
+  auto index = TardisIndex::Build(cluster, *store, work_dir + "/partitions",
+                                  config, nullptr);
+  DIE_IF_ERROR(index.status());
+  std::printf("Indexed %llu traces into %u partitions.\n\n",
+              static_cast<unsigned long long>(store->num_records()),
+              index->num_partitions());
+
+  // The "anomalous" trace: a fleet member with drift noise added.
+  const auto queries = MakeKnnQueries(*dataset, 5, /*noise=*/0.2, /*seed=*/99);
+  const uint32_t k = 20;
+
+  // Exact answer for comparison (feasible at this scale).
+  auto truth = ExactKnnScan(*cluster, *store, queries, k);
+  DIE_IF_ERROR(truth.status());
+
+  std::printf("%-18s %8s %8s %10s\n", "strategy", "recall", "err", "ms/query");
+  for (KnnStrategy strategy :
+       {KnnStrategy::kTargetNode, KnnStrategy::kOnePartition,
+        KnnStrategy::kMultiPartitions}) {
+    double recall = 0, err = 0, ms = 0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      Stopwatch sw;
+      auto result = index->KnnApproximate(queries[i], k, strategy, nullptr);
+      DIE_IF_ERROR(result.status());
+      ms += sw.ElapsedMillis();
+      recall += Recall(*result, (*truth)[i]);
+      err += ErrorRatio(*result, (*truth)[i]);
+    }
+    std::printf("%-18s %7.1f%% %8.3f %10.2f\n", KnnStrategyName(strategy),
+                recall * 100 / queries.size(), err / queries.size(),
+                ms / queries.size());
+  }
+  std::printf(
+      "\nInterpretation: widening the candidate scope (one partition, then\n"
+      "sibling partitions) buys accuracy for a modest latency increase —\n"
+      "the trade-off the engineer picks per use case.\n");
+
+  std::filesystem::remove_all(work_dir);
+  return 0;
+}

@@ -1,0 +1,281 @@
+#include "baseline/ibt.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/serde.h"
+
+namespace tardis {
+
+IBTree::IBTree(uint32_t word_length, uint8_t max_bits, SplitPolicy policy,
+               uint64_t split_threshold)
+    : w_(word_length),
+      max_bits_(max_bits),
+      policy_(policy),
+      split_threshold_(split_threshold),
+      root_(std::make_unique<Node>()) {
+  assert(w_ >= 1 && max_bits_ >= 1);
+  root_->sig.max_bits = max_bits_;
+  root_->sig.full_symbols.assign(w_, 0);
+  root_->sig.char_bits.assign(w_, 0);
+}
+
+size_t IBTree::ChildIndex(const Node& node, const ISaxSignature& full_sig) {
+  assert(node.split_char >= 0 && node.children.size() == 2);
+  const size_t c = static_cast<size_t>(node.split_char);
+  const uint8_t child_bits = node.children[0]->sig.char_bits[c];
+  const uint32_t bit =
+      (full_sig.full_symbols[c] >> (full_sig.max_bits - child_bits)) & 1u;
+  return bit;
+}
+
+IBTree::Node* IBTree::GetOrCreateFirstLayer(const ISaxSignature& full_sig) {
+  // Linear probe over occupied 1-bit cells. The root fan-out is <= 2^w; for
+  // the baseline's honest cost model this per-character comparison is
+  // exactly the overhead §II-C describes.
+  for (auto& child : root_->children) {
+    if (full_sig.MatchesPrefix(child->sig)) return child.get();
+  }
+  auto node = std::make_unique<Node>();
+  node->sig.max_bits = max_bits_;
+  node->sig.full_symbols.resize(w_);
+  node->sig.char_bits.assign(w_, 1);
+  for (uint32_t i = 0; i < w_; ++i) {
+    const uint16_t top_bit =
+        static_cast<uint16_t>((full_sig.full_symbols[i] >> (max_bits_ - 1)) & 1u);
+    node->sig.full_symbols[i] = static_cast<uint16_t>(top_bit << (max_bits_ - 1));
+  }
+  node->parent = root_.get();
+  node->depth = 1;
+  Node* raw = node.get();
+  root_->children.push_back(std::move(node));
+  return raw;
+}
+
+IBTree::Node* IBTree::DescendToLeaf(const ISaxSignature& full_sig) const {
+  Node* node = nullptr;
+  for (auto& child : root_->children) {
+    if (full_sig.MatchesPrefix(child->sig)) {
+      node = child.get();
+      break;
+    }
+  }
+  if (node == nullptr) return root_.get();
+  while (!node->is_leaf()) {
+    node = node->children[ChildIndex(*node, full_sig)].get();
+  }
+  return node;
+}
+
+void IBTree::Insert(const ISaxSignature& full_sig, uint32_t record_index) {
+  Node* node = GetOrCreateFirstLayer(full_sig);
+  while (!node->is_leaf()) {
+    node = node->children[ChildIndex(*node, full_sig)].get();
+  }
+  node->entries.emplace_back(full_sig, record_index);
+  for (Node* p = node; p != nullptr; p = p->parent) ++p->count;
+  if (node->entries.size() > split_threshold_) SplitLeaf(node);
+}
+
+IBTree IBTree::BulkLoad(uint32_t word_length, uint8_t max_bits,
+                        SplitPolicy policy, uint64_t split_threshold,
+                        std::vector<std::pair<ISaxSignature, uint32_t>> entries) {
+  IBTree tree(word_length, max_bits, policy, split_threshold);
+  // Phase 1: bucket everything into the (at most 2^w) first-layer cells.
+  for (auto& [sig, idx] : entries) {
+    Node* cell = tree.GetOrCreateFirstLayer(sig);
+    ++cell->count;
+    ++tree.root_->count;
+    cell->entries.emplace_back(std::move(sig), idx);
+  }
+  // Phase 2: split each over-full cell once against its complete contents.
+  for (auto& cell : tree.root_->children) {
+    if (cell->entries.size() > split_threshold) tree.SplitLeaf(cell.get());
+  }
+  return tree;
+}
+
+int IBTree::ChooseSplitChar(const Node& leaf) const {
+  auto promotable = [&](size_t c) {
+    return leaf.sig.char_bits[c] < max_bits_;
+  };
+  if (policy_ == SplitPolicy::kRoundRobin) {
+    // Cycle by depth, skipping exhausted characters [10].
+    for (uint32_t probe = 0; probe < w_; ++probe) {
+      const size_t c = (leaf.depth - 1 + probe) % w_;
+      if (promotable(c)) return static_cast<int>(c);
+    }
+    return -1;
+  }
+  // Statistics-based policy [11]: promote the character whose next bit
+  // divides the leaf's entries most evenly.
+  int best = -1;
+  uint64_t best_imbalance = ~0ULL;
+  for (size_t c = 0; c < w_; ++c) {
+    if (!promotable(c)) continue;
+    const uint8_t child_bits = static_cast<uint8_t>(leaf.sig.char_bits[c] + 1);
+    uint64_t ones = 0;
+    for (const auto& [sig, idx] : leaf.entries) {
+      ones += (sig.full_symbols[c] >> (max_bits_ - child_bits)) & 1u;
+    }
+    const uint64_t n = leaf.entries.size();
+    const uint64_t imbalance = ones * 2 > n ? ones * 2 - n : n - ones * 2;
+    if (imbalance < best_imbalance) {
+      best_imbalance = imbalance;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+void IBTree::SplitLeaf(Node* leaf) {
+  const int c = ChooseSplitChar(*leaf);
+  if (c < 0) return;  // every character is at max cardinality: cannot split
+  leaf->split_char = c;
+  const uint8_t child_bits = static_cast<uint8_t>(leaf->sig.char_bits[c] + 1);
+  for (uint32_t bit = 0; bit < 2; ++bit) {
+    auto child = std::make_unique<Node>();
+    child->sig = ISaxPromote(leaf->sig, static_cast<size_t>(c));
+    child->sig.full_symbols[c] = static_cast<uint16_t>(
+        child->sig.full_symbols[c] |
+        (bit << (max_bits_ - child_bits)));
+    child->parent = leaf;
+    child->depth = leaf->depth + 1;
+    leaf->children.push_back(std::move(child));
+  }
+  auto entries = std::move(leaf->entries);
+  leaf->entries.clear();
+  for (auto& [sig, idx] : entries) {
+    const size_t which = ChildIndex(*leaf, sig);
+    Node* child = leaf->children[which].get();
+    ++child->count;
+    child->entries.emplace_back(std::move(sig), idx);
+  }
+  for (auto& child : leaf->children) {
+    if (child->entries.size() > split_threshold_) SplitLeaf(child.get());
+  }
+}
+
+namespace {
+void AssignRangesRec(IBTree::Node& node, std::vector<uint32_t>* order) {
+  node.range_start = static_cast<uint32_t>(order->size());
+  if (node.is_leaf()) {
+    node.range_len = static_cast<uint32_t>(node.entries.size());
+    for (auto& [sig, idx] : node.entries) order->push_back(idx);
+    node.entries.clear();
+    node.entries.shrink_to_fit();
+    return;
+  }
+  for (auto& child : node.children) AssignRangesRec(*child, order);
+  node.range_len = static_cast<uint32_t>(order->size()) - node.range_start;
+}
+
+void VisitConst(const IBTree::Node& node,
+                const std::function<void(const IBTree::Node&)>& fn) {
+  fn(node);
+  for (const auto& child : node.children) VisitConst(*child, fn);
+}
+}  // namespace
+
+void IBTree::AssignClusteredRanges(std::vector<uint32_t>* order) {
+  AssignRangesRec(*root_, order);
+}
+
+void IBTree::ForEachNode(const std::function<void(const Node&)>& fn) const {
+  VisitConst(*root_, fn);
+}
+
+IBTree::Stats IBTree::ComputeStats() const {
+  Stats stats;
+  uint64_t depth_sum = 0, count_sum = 0;
+  ForEachNode([&](const Node& node) {
+    if (&node == root_.get()) return;
+    if (node.is_leaf()) {
+      ++stats.leaf_nodes;
+      depth_sum += node.depth;
+      count_sum += node.count;
+      stats.max_depth = std::max<uint64_t>(stats.max_depth, node.depth);
+    } else {
+      ++stats.internal_nodes;
+    }
+  });
+  if (stats.leaf_nodes > 0) {
+    stats.avg_leaf_depth = static_cast<double>(depth_sum) / stats.leaf_nodes;
+    stats.avg_leaf_count = static_cast<double>(count_sum) / stats.leaf_nodes;
+  }
+  return stats;
+}
+
+namespace {
+void EncodeNode(const IBTree::Node& node, uint32_t w, std::string* out) {
+  PutFixed<int32_t>(out, node.split_char);
+  PutFixed<uint64_t>(out, node.count);
+  PutFixed<uint32_t>(out, node.range_start);
+  PutFixed<uint32_t>(out, node.range_len);
+  for (uint32_t i = 0; i < w; ++i) {
+    PutFixed<uint8_t>(out, node.sig.char_bits[i]);
+    PutFixed<uint16_t>(out, node.sig.full_symbols[i]);
+  }
+  PutFixed<uint32_t>(out, static_cast<uint32_t>(node.children.size()));
+  for (const auto& child : node.children) EncodeNode(*child, w, out);
+}
+
+Status DecodeNode(SliceReader* reader, IBTree::Node* node, uint32_t w,
+                  uint8_t max_bits, uint32_t depth) {
+  int32_t split_char = -1;
+  uint32_t num_children = 0;
+  if (!reader->GetFixed(&split_char) || !reader->GetFixed(&node->count) ||
+      !reader->GetFixed(&node->range_start) ||
+      !reader->GetFixed(&node->range_len)) {
+    return Status::Corruption("ibt: truncated node");
+  }
+  node->split_char = split_char;
+  node->depth = depth;
+  node->sig.max_bits = max_bits;
+  node->sig.char_bits.resize(w);
+  node->sig.full_symbols.resize(w);
+  for (uint32_t i = 0; i < w; ++i) {
+    if (!reader->GetFixed(&node->sig.char_bits[i]) ||
+        !reader->GetFixed(&node->sig.full_symbols[i])) {
+      return Status::Corruption("ibt: truncated signature");
+    }
+  }
+  if (!reader->GetFixed(&num_children) || num_children > (1u << 24)) {
+    return Status::Corruption("ibt: bad child count");
+  }
+  for (uint32_t i = 0; i < num_children; ++i) {
+    auto child = std::make_unique<IBTree::Node>();
+    child->parent = node;
+    TARDIS_RETURN_NOT_OK(DecodeNode(reader, child.get(), w, max_bits, depth + 1));
+    node->children.push_back(std::move(child));
+  }
+  return Status::OK();
+}
+}  // namespace
+
+void IBTree::EncodeTo(std::string* out) const {
+  PutFixed<uint32_t>(out, w_);
+  PutFixed<uint8_t>(out, max_bits_);
+  PutFixed<uint8_t>(out, policy_ == SplitPolicy::kRoundRobin ? 0 : 1);
+  PutFixed<uint64_t>(out, split_threshold_);
+  EncodeNode(*root_, w_, out);
+}
+
+Result<IBTree> IBTree::Decode(std::string_view in) {
+  SliceReader reader(in);
+  uint32_t w = 0;
+  uint8_t max_bits = 0, policy = 0;
+  uint64_t threshold = 0;
+  if (!reader.GetFixed(&w) || !reader.GetFixed(&max_bits) ||
+      !reader.GetFixed(&policy) || !reader.GetFixed(&threshold) || w == 0 ||
+      max_bits == 0) {
+    return Status::Corruption("ibt: truncated header");
+  }
+  IBTree tree(w, max_bits,
+              policy == 0 ? SplitPolicy::kRoundRobin : SplitPolicy::kStatistics,
+              threshold);
+  TARDIS_RETURN_NOT_OK(DecodeNode(&reader, tree.root_.get(), w, max_bits, 0));
+  return tree;
+}
+
+}  // namespace tardis

@@ -1,0 +1,116 @@
+// iBT: the iSAX Binary Tree index (paper §II-C; iSAX [10], iSAX 2.0 [11]).
+//
+// The baseline index structure TARDIS is compared against. The first layer
+// holds up to 2^w one-bit cells; below that, every split promotes the
+// cardinality of exactly ONE character (character-level variable
+// cardinality), producing a binary fan-out — hence the deep, internal-node-
+// heavy trees whose limitations §II-C catalogues. Both split policies from
+// the literature are implemented: round-robin [10] and the statistics-based
+// policy of iSAX 2.0 [11].
+
+#ifndef TARDIS_BASELINE_IBT_H_
+#define TARDIS_BASELINE_IBT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "ts/isax.h"
+#include "ts/time_series.h"
+
+namespace tardis {
+
+class IBTree {
+ public:
+  enum class SplitPolicy {
+    kRoundRobin,  // cycle through characters [10]
+    kStatistics,  // pick the character that splits most evenly [11]
+  };
+
+  struct Node {
+    // The node's signature with per-character cardinalities. For the root
+    // this is empty (char_bits all zero).
+    ISaxSignature sig;
+    uint64_t count = 0;
+    Node* parent = nullptr;
+    // Root: one child per occupied 1-bit cell. Internal: exactly two
+    // children produced by promoting `split_char`.
+    std::vector<std::unique_ptr<Node>> children;
+    int split_char = -1;
+    // Leaf entries while building: (full-cardinality signature, record idx).
+    std::vector<std::pair<ISaxSignature, uint32_t>> entries;
+    // Clustered slice after AssignClusteredRanges.
+    uint32_t range_start = 0;
+    uint32_t range_len = 0;
+    // Depth in the tree (root = 0; first layer = 1).
+    uint32_t depth = 0;
+
+    bool is_leaf() const { return children.empty(); }
+  };
+
+  struct Stats {
+    uint64_t internal_nodes = 0;
+    uint64_t leaf_nodes = 0;
+    uint64_t max_depth = 0;
+    double avg_leaf_depth = 0.0;
+    double avg_leaf_count = 0.0;
+  };
+
+  IBTree(uint32_t word_length, uint8_t max_bits, SplitPolicy policy,
+         uint64_t split_threshold);
+
+  uint32_t word_length() const { return w_; }
+  uint8_t max_bits() const { return max_bits_; }
+  uint64_t split_threshold() const { return split_threshold_; }
+  Node* root() { return root_.get(); }
+  const Node* root() const { return root_.get(); }
+
+  // Inserts a record with its full-cardinality iSAX signature; splits leaves
+  // that exceed the threshold (and whose characters can still be promoted).
+  void Insert(const ISaxSignature& full_sig, uint32_t record_index);
+
+  // Bulk loading (iSAX 2.0 [11]'s mechanism): buckets all entries into the
+  // first layer, then splits each cell once against the full data instead of
+  // re-splitting incrementally. Produces the same leaf granularity as
+  // repeated Insert with far fewer redistribution passes.
+  static IBTree BulkLoad(uint32_t word_length, uint8_t max_bits,
+                         SplitPolicy policy, uint64_t split_threshold,
+                         std::vector<std::pair<ISaxSignature, uint32_t>> entries);
+
+  // Descends to the unique leaf whose region covers `full_sig`. Returns the
+  // root if the matching first-layer cell does not exist.
+  Node* DescendToLeaf(const ISaxSignature& full_sig) const;
+
+  // Flattens leaf entries into a clustered DFS order (mirrors
+  // SigTree::AssignClusteredRanges, including internal-node union slices).
+  void AssignClusteredRanges(std::vector<uint32_t>* order);
+
+  void ForEachNode(const std::function<void(const Node&)>& fn) const;
+  Stats ComputeStats() const;
+
+  // Serialized structure round-trip (signatures, counts, ranges).
+  void EncodeTo(std::string* out) const;
+  static Result<IBTree> Decode(std::string_view in);
+
+ private:
+  Node* GetOrCreateFirstLayer(const ISaxSignature& full_sig);
+  void SplitLeaf(Node* leaf);
+  int ChooseSplitChar(const Node& leaf) const;
+  // Index (0 or 1) of the child of `node` covering `full_sig`.
+  static size_t ChildIndex(const Node& node, const ISaxSignature& full_sig);
+
+  uint32_t w_;
+  uint8_t max_bits_;
+  SplitPolicy policy_;
+  uint64_t split_threshold_;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_BASELINE_IBT_H_

@@ -1,0 +1,38 @@
+// Cluster: the simulated distributed execution substrate.
+//
+// The paper's prototype runs on Apache Spark; here a Cluster is a fixed pool
+// of worker threads plus the small set of dataflow primitives TARDIS needs:
+// block-parallel map, reduce-by-key, a custom-partitioner shuffle that
+// materialises partition files, and mapPartitions. "Broadcast" of an
+// immutable index is sharing a const reference — the serialized size is
+// still tracked so index-size experiments stay meaningful.
+
+#ifndef TARDIS_CLUSTER_CLUSTER_H_
+#define TARDIS_CLUSTER_CLUSTER_H_
+
+#include <cstddef>
+#include <memory>
+#include <thread>
+
+#include "common/thread_pool.h"
+
+namespace tardis {
+
+class Cluster {
+ public:
+  // num_workers = 0 selects the hardware concurrency.
+  explicit Cluster(size_t num_workers = 0)
+      : pool_(std::make_unique<ThreadPool>(
+            num_workers > 0 ? num_workers
+                            : std::max<size_t>(1, std::thread::hardware_concurrency()))) {}
+
+  size_t num_workers() const { return pool_->num_threads(); }
+  ThreadPool& pool() { return *pool_; }
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_CLUSTER_CLUSTER_H_

@@ -1,0 +1,106 @@
+#include "cluster/map_reduce.h"
+
+#include <array>
+
+namespace tardis {
+
+Result<std::vector<uint64_t>> ShuffleToPartitions(
+    Cluster& cluster, const BlockStore& input, uint32_t num_partitions,
+    const std::function<PartitionId(const Record&)>& partitioner,
+    const PartitionStore& output, ShuffleMetrics* metrics) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("shuffle needs at least one partition");
+  }
+
+  // Per-partition encode buffers with striped locks: workers append encoded
+  // records under the stripe lock for the record's target partition.
+  std::vector<std::string> buffers(num_partitions);
+  std::vector<uint64_t> counts(num_partitions, 0);
+  constexpr size_t kStripes = 64;
+  std::array<std::mutex, kStripes> stripes;
+
+  std::mutex err_mu;
+  Status first_error;
+
+  std::vector<uint32_t> all_blocks(input.num_blocks());
+  for (uint32_t i = 0; i < input.num_blocks(); ++i) all_blocks[i] = i;
+
+  cluster.pool().ParallelFor(all_blocks.size(), [&](size_t i) {
+    {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (!first_error.ok()) return;
+    }
+    auto records = input.ReadBlock(all_blocks[i]);
+    if (!records.ok()) {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (first_error.ok()) first_error = records.status();
+      return;
+    }
+    // Group this block's records locally first so each stripe lock is taken
+    // once per (block, partition) rather than once per record.
+    std::unordered_map<PartitionId, std::string> local;
+    for (const auto& rec : *records) {
+      const PartitionId pid = partitioner(rec);
+      if (pid >= num_partitions) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (first_error.ok()) {
+          first_error = Status::Internal("partitioner returned out-of-range pid");
+        }
+        return;
+      }
+      EncodeRecord(rec, &local[pid]);
+    }
+    for (auto& [pid, bytes] : local) {
+      std::lock_guard<std::mutex> lock(stripes[pid % kStripes]);
+      buffers[pid] += bytes;
+      counts[pid] += bytes.size() / RecordEncodedSize(input.series_length());
+    }
+  });
+  if (!first_error.ok()) return first_error;
+
+  // Write partition files in parallel.
+  cluster.pool().ParallelFor(num_partitions, [&](size_t pid) {
+    {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (!first_error.ok()) return;
+    }
+    Status st = output.WritePartitionRaw(static_cast<PartitionId>(pid),
+                                         buffers[pid]);
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (first_error.ok()) first_error = st;
+    }
+  });
+  if (!first_error.ok()) return first_error;
+  if (metrics != nullptr) {
+    const size_t rec_size = RecordEncodedSize(input.series_length());
+    metrics->blocks_read = input.num_blocks();
+    metrics->bytes_read = input.TotalBytes();
+    metrics->partitions_written = num_partitions;
+    for (uint64_t count : counts) {
+      metrics->records += count;
+      metrics->bytes_written += count * rec_size;
+    }
+  }
+  return counts;
+}
+
+Status MapPartitions(Cluster& cluster, uint32_t num_partitions,
+                     const std::function<Status(PartitionId)>& fn) {
+  std::mutex err_mu;
+  Status first_error;
+  cluster.pool().ParallelFor(num_partitions, [&](size_t pid) {
+    {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (!first_error.ok()) return;
+    }
+    Status st = fn(static_cast<PartitionId>(pid));
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (first_error.ok()) first_error = st;
+    }
+  });
+  return first_error;
+}
+
+}  // namespace tardis

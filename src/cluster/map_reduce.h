@@ -1,0 +1,102 @@
+// Dataflow primitives over the Cluster: block-parallel map, count
+// aggregation, and the custom-partitioner shuffle. These correspond to the
+// Spark jobs in the paper's pipeline (Fig. 8): map / reduceByKey over blocks,
+// `partitionBy` with the broadcast Tardis-G as the partitioner, and
+// mapPartitions for local-index construction.
+
+#ifndef TARDIS_CLUSTER_MAP_REDUCE_H_
+#define TARDIS_CLUSTER_MAP_REDUCE_H_
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/status.h"
+#include "storage/block_store.h"
+#include "storage/partition_store.h"
+
+namespace tardis {
+
+// Frequency map keyed by signature string — the (isaxt(b), freq) pairs of
+// the paper's data-preprocessing step.
+using FreqMap = std::unordered_map<std::string, uint64_t>;
+
+// Applies `fn` to each listed block in parallel; fn receives the block index
+// and its decoded records. Results are returned in `blocks` order. The first
+// error aborts the job.
+template <typename T>
+Result<std::vector<T>> MapBlocks(
+    Cluster& cluster, const BlockStore& input,
+    const std::vector<uint32_t>& blocks,
+    const std::function<Result<T>(uint32_t, const std::vector<Record>&)>& fn) {
+  std::vector<T> results(blocks.size());
+  std::mutex err_mu;
+  Status first_error;
+  cluster.pool().ParallelFor(blocks.size(), [&](size_t i) {
+    {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (!first_error.ok()) return;
+    }
+    auto records = input.ReadBlock(blocks[i]);
+    if (!records.ok()) {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (first_error.ok()) first_error = records.status();
+      return;
+    }
+    auto result = fn(blocks[i], *records);
+    if (!result.ok()) {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (first_error.ok()) first_error = result.status();
+      return;
+    }
+    results[i] = std::move(result).value();
+  });
+  if (!first_error.ok()) return first_error;
+  return results;
+}
+
+// Merges per-block frequency maps into one (the reduce side of the
+// (isaxt, freq) aggregation).
+inline FreqMap MergeFreqMaps(std::vector<FreqMap> maps) {
+  FreqMap out;
+  for (auto& m : maps) {
+    if (out.empty()) {
+      out = std::move(m);
+      continue;
+    }
+    for (auto& [key, count] : m) out[key] += count;
+  }
+  return out;
+}
+
+// Dataflow accounting for one shuffle job: what a Spark UI would report.
+struct ShuffleMetrics {
+  uint64_t records = 0;        // records routed
+  uint64_t bytes_read = 0;     // block bytes read from the input store
+  uint64_t bytes_written = 0;  // partition bytes written to the output store
+  uint32_t blocks_read = 0;
+  uint32_t partitions_written = 0;
+};
+
+// Shuffles every record of `input` to the partition chosen by `partitioner`
+// and writes the partition files into `output`. Returns per-partition record
+// counts. The partitioner must be thread-safe (in the paper it is the
+// broadcast, immutable Tardis-G). Partition ids must be < num_partitions.
+// `metrics` may be null.
+Result<std::vector<uint64_t>> ShuffleToPartitions(
+    Cluster& cluster, const BlockStore& input, uint32_t num_partitions,
+    const std::function<PartitionId(const Record&)>& partitioner,
+    const PartitionStore& output, ShuffleMetrics* metrics = nullptr);
+
+// Runs `fn(pid)` for every partition id in [0, num_partitions) in parallel —
+// the mapPartitions stage. The first error aborts the job.
+Status MapPartitions(Cluster& cluster, uint32_t num_partitions,
+                     const std::function<Status(PartitionId)>& fn);
+
+}  // namespace tardis
+
+#endif  // TARDIS_CLUSTER_MAP_REDUCE_H_

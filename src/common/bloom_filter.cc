@@ -1,0 +1,104 @@
+#include "common/bloom_filter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace tardis {
+
+namespace {
+// 64-bit FNV-1a as the base hash; decorrelated halves come from xor-folding
+// with splitmix-style finalizers.
+uint64_t Fnv1a(std::string_view key, uint64_t seed) {
+  uint64_t h = 1469598103934665603ULL ^ seed;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t Finalize(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+BloomFilter::BloomFilter(size_t expected_items, double false_positive_rate) {
+  assert(false_positive_rate > 0.0 && false_positive_rate < 1.0);
+  expected_items = std::max<size_t>(expected_items, 1);
+  const double ln2 = 0.6931471805599453;
+  const double m =
+      -static_cast<double>(expected_items) * std::log(false_positive_rate) /
+      (ln2 * ln2);
+  num_bits_ = std::max<size_t>(64, static_cast<size_t>(std::ceil(m)));
+  num_bits_ = (num_bits_ + 63) / 64 * 64;
+  const double k = ln2 * static_cast<double>(num_bits_) / expected_items;
+  num_hashes_ = std::max<uint32_t>(1, static_cast<uint32_t>(std::round(k)));
+  num_hashes_ = std::min<uint32_t>(num_hashes_, 30);
+  bits_.assign(num_bits_ / 64, 0);
+}
+
+BloomFilter::BloomFilter(size_t num_bits, uint32_t num_hashes)
+    : num_bits_((std::max<size_t>(num_bits, 64) + 63) / 64 * 64),
+      num_hashes_(std::max<uint32_t>(num_hashes, 1)) {
+  bits_.assign(num_bits_ / 64, 0);
+}
+
+void BloomFilter::HashKey(std::string_view key, uint64_t* h1, uint64_t* h2) {
+  *h1 = Finalize(Fnv1a(key, 0x9e3779b97f4a7c15ULL));
+  *h2 = Finalize(Fnv1a(key, 0xc2b2ae3d27d4eb4fULL)) | 1;  // odd => full cycle
+}
+
+void BloomFilter::Add(std::string_view key) {
+  uint64_t h1, h2;
+  HashKey(key, &h1, &h2);
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    const uint64_t bit = (h1 + i * h2) % num_bits_;
+    bits_[bit >> 6] |= (1ULL << (bit & 63));
+  }
+  ++inserted_;
+}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  uint64_t h1, h2;
+  HashKey(key, &h1, &h2);
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    const uint64_t bit = (h1 + i * h2) % num_bits_;
+    if ((bits_[bit >> 6] & (1ULL << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+void BloomFilter::EncodeTo(std::string* out) const {
+  uint64_t header[2] = {static_cast<uint64_t>(num_bits_),
+                        (static_cast<uint64_t>(num_hashes_) << 32) |
+                            static_cast<uint32_t>(inserted_)};
+  out->append(reinterpret_cast<const char*>(header), sizeof(header));
+  out->append(reinterpret_cast<const char*>(bits_.data()),
+              bits_.size() * sizeof(uint64_t));
+}
+
+Result<BloomFilter> BloomFilter::Decode(std::string_view in) {
+  if (in.size() < 16) return Status::Corruption("bloom filter: short header");
+  uint64_t header[2];
+  std::memcpy(header, in.data(), sizeof(header));
+  const size_t num_bits = header[0];
+  const uint32_t num_hashes = static_cast<uint32_t>(header[1] >> 32);
+  const uint32_t inserted = static_cast<uint32_t>(header[1] & 0xffffffffu);
+  if (num_bits % 64 != 0 || num_bits == 0 || num_hashes == 0) {
+    return Status::Corruption("bloom filter: bad geometry");
+  }
+  const size_t payload = num_bits / 64 * sizeof(uint64_t);
+  if (in.size() != 16 + payload) {
+    return Status::Corruption("bloom filter: size mismatch");
+  }
+  BloomFilter bf(num_bits, num_hashes);
+  std::memcpy(bf.bits_.data(), in.data() + 16, payload);
+  bf.inserted_ = inserted;
+  return bf;
+}
+
+}  // namespace tardis

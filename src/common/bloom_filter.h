@@ -1,0 +1,57 @@
+// Partition-level Bloom filter (paper §IV-C).
+//
+// TARDIS attaches one Bloom filter per partition, keyed on iSAX-T signatures,
+// so exact-match queries for absent series can skip the (expensive) partition
+// load entirely. False positives cost a wasted partition read; false
+// negatives cannot occur.
+
+#ifndef TARDIS_COMMON_BLOOM_FILTER_H_
+#define TARDIS_COMMON_BLOOM_FILTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tardis {
+
+class BloomFilter {
+ public:
+  // Sizes the filter for `expected_items` at the target false-positive rate.
+  // Uses the standard optimal m/n and k formulas.
+  BloomFilter(size_t expected_items, double false_positive_rate);
+
+  // Constructs an empty filter with explicit geometry (used by Decode).
+  BloomFilter(size_t num_bits, uint32_t num_hashes);
+
+  void Add(std::string_view key);
+  // True if the key *may* be present; false means definitely absent.
+  bool MayContain(std::string_view key) const;
+
+  size_t num_bits() const { return num_bits_; }
+  uint32_t num_hashes() const { return num_hashes_; }
+  size_t inserted() const { return inserted_; }
+  // Serialized/in-memory footprint in bytes.
+  size_t SizeBytes() const { return bits_.size() * sizeof(uint64_t) + 16; }
+
+  // Binary round-trip (little-endian geometry header + bit array).
+  void EncodeTo(std::string* out) const;
+  static Result<BloomFilter> Decode(std::string_view in);
+
+ private:
+  // 128-bit MurmurHash3-style finalizer split into two 64-bit values used
+  // for double hashing: h_i = h1 + i * h2.
+  static void HashKey(std::string_view key, uint64_t* h1, uint64_t* h2);
+
+  size_t num_bits_;
+  uint32_t num_hashes_;
+  size_t inserted_ = 0;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_COMMON_BLOOM_FILTER_H_

@@ -1,0 +1,99 @@
+#include "common/gaussian.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace tardis {
+
+double InverseNormalCdf(double p) {
+  assert(p > 0.0 && p < 1.0);
+  // Coefficients for Peter Acklam's rational approximation.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  static const double kPLow = 0.02425;
+  static const double kPHigh = 1.0 - kPLow;
+
+  double x;
+  if (p < kPLow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= kPHigh) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+
+  // One step of Halley's method against the true CDF sharpens the result to
+  // near machine precision.
+  const double e = 0.5 * std::erfc(-x / std::sqrt(2.0)) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+std::vector<double> SaxBreakpoints(uint32_t cardinality) {
+  assert(cardinality >= 2);
+  std::vector<double> bps;
+  bps.reserve(cardinality - 1);
+  for (uint32_t i = 1; i < cardinality; ++i) {
+    bps.push_back(InverseNormalCdf(static_cast<double>(i) / cardinality));
+  }
+  return bps;
+}
+
+const std::vector<std::vector<double>>& BreakpointTable::Tables() {
+  static const std::vector<std::vector<double>>* tables = [] {
+    auto* t = new std::vector<std::vector<double>>();
+    t->reserve(kMaxCardinalityBits + 1);
+    t->push_back({});  // bits = 0 unused
+    for (uint32_t bits = 1; bits <= kMaxCardinalityBits; ++bits) {
+      t->push_back(SaxBreakpoints(1u << bits));
+    }
+    return t;
+  }();
+  return *tables;
+}
+
+const std::vector<double>& BreakpointTable::ForBits(uint32_t bits) {
+  assert(bits >= 1 && bits <= kMaxCardinalityBits);
+  return Tables()[bits];
+}
+
+uint32_t BreakpointTable::Symbol(double value, uint32_t bits) {
+  const auto& bps = ForBits(bits);
+  // Number of breakpoints <= value. upper_bound yields the first breakpoint
+  // strictly greater than value, matching the stripe convention
+  // [bp[i-1], bp[i]).
+  return static_cast<uint32_t>(
+      std::upper_bound(bps.begin(), bps.end(), value) - bps.begin());
+}
+
+double BreakpointTable::Lower(uint32_t sym, uint32_t bits) {
+  if (sym == 0) return -std::numeric_limits<double>::infinity();
+  return ForBits(bits)[sym - 1];
+}
+
+double BreakpointTable::Upper(uint32_t sym, uint32_t bits) {
+  const auto& bps = ForBits(bits);
+  if (sym >= bps.size()) return std::numeric_limits<double>::infinity();
+  return bps[sym];
+}
+
+}  // namespace tardis

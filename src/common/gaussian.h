@@ -1,0 +1,54 @@
+// Standard-normal quantile function and SAX breakpoint tables.
+//
+// SAX discretises the z-normalised value space into `cardinality` stripes of
+// equal probability under N(0, 1). The stripe boundaries ("breakpoints") are
+// therefore the standard-normal quantiles at i/cardinality. Because the
+// quantile grids for power-of-two cardinalities nest (the grid for 2^b'
+// is a subset of the grid for 2^b when b' < b), the b'-bit SAX symbol of a
+// value is exactly the b'-bit prefix of its b-bit symbol — the property both
+// iSAX promotion and the iSAX-T DropRight operation rely on.
+
+#ifndef TARDIS_COMMON_GAUSSIAN_H_
+#define TARDIS_COMMON_GAUSSIAN_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tardis {
+
+// Inverse CDF of the standard normal distribution (Acklam's rational
+// approximation, |relative error| < 1.15e-9). `p` must be in (0, 1).
+double InverseNormalCdf(double p);
+
+// Breakpoints for a SAX alphabet of the given cardinality: a sorted vector of
+// (cardinality - 1) standard-normal quantiles. Cardinality must be >= 2.
+// Symbol i (0 = lowest stripe) covers [bp[i-1], bp[i]) with bp[-1] = -inf and
+// bp[cardinality-1] = +inf.
+std::vector<double> SaxBreakpoints(uint32_t cardinality);
+
+// Cached access to breakpoint tables for power-of-two cardinalities
+// 2^1 .. 2^kMaxCardinalityBits. Thread-safe after first use of each table
+// (tables are built eagerly at static-init time).
+class BreakpointTable {
+ public:
+  static constexpr uint32_t kMaxCardinalityBits = 16;
+
+  // Returns the breakpoints for cardinality 2^bits. bits in [1, 16].
+  static const std::vector<double>& ForBits(uint32_t bits);
+
+  // SAX symbol (0 .. 2^bits - 1, bottom stripe = 0) of `value` at cardinality
+  // 2^bits: the number of breakpoints <= value, via binary search.
+  static uint32_t Symbol(double value, uint32_t bits);
+
+  // Lower/upper boundary of symbol `sym` at cardinality 2^bits.
+  // Lower(0) = -infinity, Upper(2^bits - 1) = +infinity.
+  static double Lower(uint32_t sym, uint32_t bits);
+  static double Upper(uint32_t sym, uint32_t bits);
+
+ private:
+  static const std::vector<std::vector<double>>& Tables();
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_COMMON_GAUSSIAN_H_

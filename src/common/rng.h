@@ -1,0 +1,80 @@
+// Deterministic, fast pseudo-random number generation (splitmix64 +
+// xoshiro256**). Every workload generator and sampling step in the repository
+// is seeded explicitly so runs are reproducible bit-for-bit.
+
+#ifndef TARDIS_COMMON_RNG_H_
+#define TARDIS_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace tardis {
+
+// splitmix64: used to expand a single 64-bit seed into xoshiro state.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** by Blackman & Vigna: high-quality, 2^256-1 period generator.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5851f42d4c957f2dULL) {
+    uint64_t sm = seed;
+    for (auto& s : state_) s = SplitMix64(sm);
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return (NextU64() >> 11) * 0x1.0p-53; }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    // Lemire's multiply-shift rejection method (bias negligible for our use,
+    // bounds << 2^64, so the simple multiply-shift is fine).
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(NextU64()) * bound) >> 64);
+  }
+
+  // Standard normal via Box-Muller (cached second value).
+  double NextGaussian() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1, u2;
+    do {
+      u1 = NextDouble();
+    } while (u1 <= 1e-300);
+    u2 = NextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 6.283185307179586476925286766559 * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+  bool has_cached_ = false;
+  double cached_ = 0.0;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_COMMON_RNG_H_

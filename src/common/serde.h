@@ -1,0 +1,69 @@
+// Minimal little-endian binary encoding helpers for the on-disk formats
+// (block files, partition files, serialized indices).
+
+#ifndef TARDIS_COMMON_SERDE_H_
+#define TARDIS_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace tardis {
+
+// Appends fixed-width little-endian integers / floats to `dst`.
+template <typename T>
+inline void PutFixed(std::string* dst, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  dst->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+inline void PutLengthPrefixed(std::string* dst, std::string_view s) {
+  PutFixed<uint32_t>(dst, static_cast<uint32_t>(s.size()));
+  dst->append(s.data(), s.size());
+}
+
+// A forward-only reader over a byte buffer. All Get* methods return false
+// once the buffer is exhausted or malformed; callers convert that into a
+// Status::Corruption.
+class SliceReader {
+ public:
+  explicit SliceReader(std::string_view data) : data_(data) {}
+
+  template <typename T>
+  bool GetFixed(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (data_.size() < sizeof(T)) return false;
+    std::memcpy(out, data_.data(), sizeof(T));
+    data_.remove_prefix(sizeof(T));
+    return true;
+  }
+
+  bool GetLengthPrefixed(std::string* out) {
+    uint32_t len;
+    if (!GetFixed(&len)) return false;
+    if (data_.size() < len) return false;
+    out->assign(data_.data(), len);
+    data_.remove_prefix(len);
+    return true;
+  }
+
+  bool GetBytes(void* out, size_t n) {
+    if (data_.size() < n) return false;
+    std::memcpy(out, data_.data(), n);
+    data_.remove_prefix(n);
+    return true;
+  }
+
+  bool empty() const { return data_.empty(); }
+  size_t remaining() const { return data_.size(); }
+
+ private:
+  std::string_view data_;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_COMMON_SERDE_H_

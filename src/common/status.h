@@ -1,0 +1,161 @@
+// Status and Result<T>: Arrow/RocksDB-style error propagation.
+//
+// All fallible operations in the TARDIS library return a Status (or a
+// Result<T> when they also produce a value). Exceptions never cross public
+// API boundaries.
+
+#ifndef TARDIS_COMMON_STATUS_H_
+#define TARDIS_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tardis {
+
+// Broad error categories, modelled after arrow::StatusCode.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kIOError,
+  kOutOfRange,
+  kCorruption,
+  kNotImplemented,
+  kInternal,
+};
+
+// A Status carries an error code and a human-readable message. The OK status
+// carries neither and is cheap to copy.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+
+  // Formats as "OK" or "<Code>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + msg_;
+  }
+
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kAlreadyExists: return "AlreadyExists";
+      case StatusCode::kIOError: return "IOError";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kCorruption: return "Corruption";
+      case StatusCode::kNotImplemented: return "NotImplemented";
+      case StatusCode::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+// Result<T> holds either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error Status keeps call sites
+  // terse: `return value;` or `return Status::NotFound(...)`.
+  Result(T value) : var_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : var_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(var_).ok() && "Result must not hold an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) return kOkStatus;
+    return std::get<Status>(var_);
+  }
+
+  // Accessors require ok(); checked with assert in debug builds.
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(var_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+// Propagates a non-OK Status from an expression returning Status.
+#define TARDIS_RETURN_NOT_OK(expr)                  \
+  do {                                              \
+    ::tardis::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+// Evaluates an expression returning Result<T>; on error propagates the
+// Status, otherwise moves the value into `lhs`.
+#define TARDIS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define TARDIS_ASSIGN_OR_RETURN(lhs, expr) \
+  TARDIS_ASSIGN_OR_RETURN_IMPL(TARDIS_CONCAT_(_res_, __LINE__), lhs, expr)
+
+#define TARDIS_CONCAT_INNER_(a, b) a##b
+#define TARDIS_CONCAT_(a, b) TARDIS_CONCAT_INNER_(a, b)
+
+}  // namespace tardis
+
+#endif  // TARDIS_COMMON_STATUS_H_

@@ -1,0 +1,78 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tardis {
+
+void TaskGroup::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  pool_->Enqueue({std::move(task), this});
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void TaskGroup::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  // ~4 chunks per thread balances load without excessive queue traffic.
+  const size_t target_chunks = std::max<size_t>(1, pool_->num_threads() * 4);
+  const size_t chunk = std::max<size_t>(1, (n + target_chunks - 1) / target_chunks);
+  for (size_t start = 0; start < n; start += chunk) {
+    const size_t end = std::min(n, start + chunk);
+    Submit([&fn, start, end] {
+      for (size_t i = start; i < end; ++i) fn(i);
+    });
+  }
+  Wait();
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  assert(num_threads >= 1);
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  task_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Enqueue(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+  }
+  task_cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task.fn();
+    {
+      std::lock_guard<std::mutex> lock(task.group->mu_);
+      if (--task.group->pending_ == 0) task.group->done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace tardis

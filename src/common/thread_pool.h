@@ -1,0 +1,94 @@
+// Fixed-size worker pool. The cluster layer maps "Spark executors" onto
+// these workers; one pool is shared per Cluster instance.
+//
+// Waiting is per-TaskGroup: independent callers (e.g. concurrent queries
+// fanning out over partitions) each wait only for their own tasks, so the
+// pool can be shared safely. ThreadPool::Submit/Wait remain as conveniences
+// backed by a default group.
+
+#ifndef TARDIS_COMMON_THREAD_POOL_H_
+#define TARDIS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tardis {
+
+class ThreadPool;
+
+// A set of tasks whose completion can be awaited independently of any other
+// tasks on the same pool. Thread-safe; must outlive its submitted tasks
+// (Wait() before destruction, which the destructor also enforces).
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  // Enqueues a task on the pool, tracked by this group.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every task submitted through this group has finished.
+  void Wait();
+
+  // Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  // Work is chunked so per-task overhead stays negligible for large n.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  friend class ThreadPool;
+
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  size_t pending_ = 0;  // queued + running tasks of this group
+};
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  // Convenience single-caller API backed by the default group.
+  void Submit(std::function<void()> task) { default_group_.Submit(std::move(task)); }
+  void Wait() { default_group_.Wait(); }
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+    TaskGroup group(this);
+    group.ParallelFor(n, fn);
+  }
+
+ private:
+  friend class TaskGroup;
+
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group;
+  };
+
+  void Enqueue(Task task);
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<Task> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;  // signals workers: work available / stop
+  bool stop_ = false;
+  TaskGroup default_group_{this};
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_COMMON_THREAD_POOL_H_

@@ -1,0 +1,86 @@
+// Incremental ingest (extension beyond the paper; DESIGN.md §5).
+//
+// The paper's pipeline is batch-oriented; real deployments also need to
+// absorb new series between full rebuilds. Append() routes each new record
+// through the existing Tardis-G (so the partitioning scheme is unchanged),
+// rebuilds the local index / Bloom filter / region summary of every touched
+// partition, and refreshes the persisted metadata. Partitions can drift
+// above G-MaxSize under sustained appends; a periodic full rebuild
+// rebalances them (the same trade-off LSM-style systems make).
+
+#include <unordered_map>
+
+#include "core/tardis_index.h"
+#include "ts/paa.h"
+
+namespace tardis {
+
+Result<std::vector<RecordId>> TardisIndex::Append(const Dataset& batch) {
+  if (!config_.clustered) {
+    return Status::NotImplemented(
+        "append requires a clustered index (un-clustered indexes reference "
+        "an immutable base block store)");
+  }
+  if (batch.empty()) return std::vector<RecordId>{};
+  for (const auto& ts : batch) {
+    if (ts.size() != series_length_) {
+      return Status::InvalidArgument("appended series length mismatch");
+    }
+  }
+  uint64_t next_rid = 0;
+  for (uint64_t count : partition_counts_) next_rid += count;
+
+  // Route every new record through the existing global index.
+  const uint32_t w = config_.word_length;
+  std::vector<double> paa(w);
+  std::unordered_map<PartitionId, std::vector<Record>> incoming;
+  std::vector<RecordId> assigned;
+  assigned.reserve(batch.size());
+  for (const auto& ts : batch) {
+    PaaInto(ts, w, paa.data());
+    const std::string sig = codec().Encode(paa);
+    const PartitionId pid = global_->LookupPartition(sig);
+    if (pid == kInvalidPartition || pid >= num_partitions()) {
+      return Status::Internal("append routed to invalid partition");
+    }
+    global_->NoteInserted(sig);
+    Record rec;
+    rec.rid = next_rid++;
+    rec.values = ts;
+    assigned.push_back(rec.rid);
+    incoming[pid].push_back(std::move(rec));
+  }
+
+  // Rebuild each touched partition: combined records -> fresh Tardis-L,
+  // Bloom filter and region summary, all rewritten atomically per partition.
+  for (auto& [pid, new_records] : incoming) {
+    TARDIS_ASSIGN_OR_RETURN(std::vector<Record> records, LoadPartition(pid));
+    records.insert(records.end(),
+                   std::make_move_iterator(new_records.begin()),
+                   std::make_move_iterator(new_records.end()));
+    std::vector<Record> clustered;
+    TARDIS_ASSIGN_OR_RETURN(
+        LocalIndex local,
+        LocalIndex::Build(std::move(records), codec(), config_, &clustered));
+    TARDIS_RETURN_NOT_OK(partitions_->WritePartition(pid, clustered));
+    std::string tree_bytes;
+    local.EncodeTreeTo(&tree_bytes);
+    TARDIS_RETURN_NOT_OK(partitions_->WriteSidecar(pid, "ltree", tree_bytes));
+    std::string region_bytes;
+    local.region().EncodeTo(&region_bytes);
+    TARDIS_RETURN_NOT_OK(partitions_->WriteSidecar(pid, "region", region_bytes));
+    regions_[pid] = local.region();
+    if (config_.build_bloom) {
+      auto bloom = local.TakeBloom();
+      std::string bloom_bytes;
+      bloom->EncodeTo(&bloom_bytes);
+      TARDIS_RETURN_NOT_OK(partitions_->WriteSidecar(pid, "bloom", bloom_bytes));
+      blooms_[pid] = std::move(bloom);
+    }
+    partition_counts_[pid] = clustered.size();
+  }
+  TARDIS_RETURN_NOT_OK(SaveMeta());
+  return assigned;
+}
+
+}  // namespace tardis

@@ -1,0 +1,223 @@
+#include "core/global_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "cluster/map_reduce.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/packing.h"
+#include "ts/paa.h"
+
+namespace tardis {
+
+Result<GlobalIndex> GlobalIndex::Build(Cluster& cluster,
+                                       const BlockStore& input,
+                                       const TardisConfig& config,
+                                       BuildBreakdown* breakdown) {
+  TARDIS_RETURN_NOT_OK(config.Validate());
+  if (input.series_length() % config.word_length != 0) {
+    return Status::InvalidArgument(
+        "series length must be a multiple of the word length");
+  }
+  TARDIS_ASSIGN_OR_RETURN(
+      ISaxTCodec codec, ISaxTCodec::Make(config.word_length, config.initial_bits));
+
+  Stopwatch sw;
+
+  // --- Data Preprocessing: block-level sampling + (isaxt(b), freq) job ---
+  Rng rng(config.seed);
+  const std::vector<uint32_t> blocks =
+      input.SampleBlocks(config.sampling_percent, &rng);
+  const uint32_t w = config.word_length;
+  TARDIS_ASSIGN_OR_RETURN(
+      std::vector<FreqMap> per_block,
+      (MapBlocks<FreqMap>(
+          cluster, input, blocks,
+          [&](uint32_t, const std::vector<Record>& records) -> Result<FreqMap> {
+            FreqMap freq;
+            std::vector<double> paa(w);
+            for (const auto& rec : records) {
+              PaaInto(rec.values, w, paa.data());
+              ++freq[codec.Encode(paa)];
+            }
+            return freq;
+          })));
+  FreqMap merged = MergeFreqMaps(std::move(per_block));
+  uint64_t sampled_total = 0;
+  for (const auto& [sig, count] : merged) sampled_total += count;
+  if (sampled_total == 0) return Status::InvalidArgument("empty sample");
+  // Rescale sampled frequencies to full-dataset estimates so the packing
+  // capacity (G-MaxSize, in records) applies directly.
+  const double scale =
+      static_cast<double>(input.num_records()) / static_cast<double>(sampled_total);
+  if (breakdown) breakdown->sample_seconds = sw.ElapsedSeconds();
+  sw.Restart();
+
+  // --- Node Statistics: layer-by-layer aggregation of signature prefixes.
+  // Entries whose layer-i prefix node stays within G-MaxSize are "filtered
+  // out" (their node is final); only entries under oversized nodes continue
+  // to layer i+1 (paper §IV-B "Node Statistic").
+  const uint32_t cpl = codec.chars_per_level();
+  const uint8_t max_bits = config.initial_bits;
+  struct StatEntry {
+    const std::string* sig;
+    uint64_t est;
+  };
+  std::vector<StatEntry> active;
+  active.reserve(merged.size());
+  for (const auto& [sig, count] : merged) {
+    const uint64_t est = std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::llround(count * scale)));
+    active.push_back({&sig, est});
+  }
+  // layer_nodes[i]: (isaxt(i), freq(i)) pairs, i in [1, max_bits].
+  std::vector<std::vector<std::pair<std::string, uint64_t>>> layer_nodes(
+      max_bits + 1);
+  for (uint8_t layer = 1; layer <= max_bits && !active.empty(); ++layer) {
+    const size_t prefix_len = static_cast<size_t>(layer) * cpl;
+    std::unordered_map<std::string, uint64_t> agg;
+    for (const auto& entry : active) {
+      agg[entry.sig->substr(0, prefix_len)] += entry.est;
+    }
+    auto& nodes = layer_nodes[layer];
+    nodes.assign(agg.begin(), agg.end());
+    std::sort(nodes.begin(), nodes.end());  // deterministic insertion order
+    if (layer == max_bits) break;
+    // Judge step: stop if no node needs further splitting.
+    std::unordered_map<std::string, bool> oversized;
+    bool any = false;
+    for (const auto& [sig, freq] : nodes) {
+      const bool over = freq > config.g_max_size;
+      oversized[sig] = over;
+      any |= over;
+    }
+    if (!any) break;
+    std::vector<StatEntry> next;
+    next.reserve(active.size());
+    for (const auto& entry : active) {
+      if (oversized[entry.sig->substr(0, prefix_len)]) next.push_back(entry);
+    }
+    active = std::move(next);
+  }
+  if (breakdown) breakdown->statistics_seconds = sw.ElapsedSeconds();
+  sw.Restart();
+
+  // --- Skeleton Building: tree insertion layer by layer on the master ---
+  SigTree tree(codec);
+  for (uint8_t layer = 1; layer <= max_bits; ++layer) {
+    for (const auto& [sig, freq] : layer_nodes[layer]) {
+      TARDIS_ASSIGN_OR_RETURN(SigTree::Node * node,
+                              tree.InsertStatNode(sig, freq));
+      (void)node;
+    }
+  }
+  tree.root()->count = input.num_records();
+  // Decode every node's SAX word now: the broadcast index is queried from
+  // many threads concurrently, so the lazy fill must never race.
+  tree.EnsureWords();
+  if (breakdown) breakdown->skeleton_seconds = sw.ElapsedSeconds();
+  sw.Restart();
+
+  // --- Partition Assignment: FFD-pack sibling leaves under each parent ---
+  GlobalIndex index(codec, std::move(tree));
+  uint32_t next_pid = 0;
+  std::vector<double> est_records;
+  index.tree_.ForEachNodeMutable([&](SigTree::Node& node) {
+    if (node.is_leaf()) return;
+    std::vector<SigTree::Node*> leaves;
+    std::vector<uint64_t> sizes;
+    for (auto& [chunk, child] : node.children) {
+      if (child->is_leaf()) {
+        leaves.push_back(child.get());
+        sizes.push_back(child->count);
+      }
+    }
+    if (leaves.empty()) return;
+    uint32_t bins = 0;
+    const std::vector<uint32_t> assignment =
+        FirstFitDecreasing(sizes, config.g_max_size, &bins);
+    for (size_t i = 0; i < leaves.size(); ++i) {
+      const PartitionId pid = next_pid + assignment[i];
+      leaves[i]->pids.assign(1, pid);
+      if (est_records.size() <= pid) est_records.resize(pid + 1, 0.0);
+      est_records[pid] += static_cast<double>(sizes[i]);
+    }
+    next_pid += bins;
+  });
+  if (next_pid == 0) {
+    // Degenerate: the tree is a single root leaf (tiny dataset). Give it one
+    // partition covering everything.
+    index.tree_.root()->pids.assign(1, 0);
+    next_pid = 1;
+    est_records.assign(1, static_cast<double>(input.num_records()));
+  }
+  // Synchronize descendant pid lists into ancestors (post-order union).
+  std::function<void(SigTree::Node&)> propagate = [&](SigTree::Node& node) {
+    if (node.is_leaf()) return;
+    std::vector<PartitionId> merged_pids = node.pids;
+    for (auto& [chunk, child] : node.children) {
+      propagate(*child);
+      merged_pids.insert(merged_pids.end(), child->pids.begin(),
+                         child->pids.end());
+    }
+    std::sort(merged_pids.begin(), merged_pids.end());
+    merged_pids.erase(std::unique(merged_pids.begin(), merged_pids.end()),
+                      merged_pids.end());
+    node.pids = std::move(merged_pids);
+  };
+  propagate(*index.tree_.root());
+  index.num_partitions_ = next_pid;
+  index.estimated_partition_records_ = std::move(est_records);
+  if (breakdown) breakdown->packing_seconds = sw.ElapsedSeconds();
+  return index;
+}
+
+Result<GlobalIndex> GlobalIndex::FromSerialized(const ISaxTCodec& codec,
+                                                std::string_view tree_bytes) {
+  TARDIS_ASSIGN_OR_RETURN(SigTree tree, SigTree::Decode(tree_bytes, codec));
+  tree.EnsureWords();  // see Build(): concurrent queries must never lazy-fill
+  GlobalIndex index(codec, std::move(tree));
+  // The root pid list is the sorted union of every partition id.
+  const auto& root_pids = index.tree_.root()->pids;
+  index.num_partitions_ =
+      root_pids.empty() ? 0 : root_pids.back() + 1;
+  // Recover the per-partition record estimates from the leaf counts.
+  index.estimated_partition_records_.assign(index.num_partitions_, 0.0);
+  index.tree_.ForEachNode([&](const SigTree::Node& node) {
+    if (!node.is_leaf() || node.parent == nullptr || node.pids.empty()) return;
+    index.estimated_partition_records_[node.pids[0]] +=
+        static_cast<double>(node.count);
+  });
+  if (index.num_partitions_ == 0) {
+    return Status::Corruption("serialized global index has no partitions");
+  }
+  return index;
+}
+
+PartitionId GlobalIndex::LookupPartition(std::string_view full_sig) const {
+  const SigTree::Node* node = tree_.RouteDescend(full_sig);
+  if (node->pids.empty()) return kInvalidPartition;
+  return node->pids[0];
+}
+
+std::vector<PartitionId> GlobalIndex::SiblingPartitions(
+    std::string_view full_sig) const {
+  const SigTree::Node* node = tree_.RouteDescend(full_sig);
+  if (node->parent != nullptr) node = node->parent;
+  return node->pids;
+}
+
+void GlobalIndex::NoteInserted(std::string_view full_sig) {
+  SigTree::Node* node = tree_.RouteDescend(full_sig);
+  for (SigTree::Node* p = node; p != nullptr; p = p->parent) ++p->count;
+}
+
+size_t GlobalIndex::SerializedSize() const {
+  std::string bytes;
+  tree_.EncodeTo(&bytes);
+  return bytes.size();
+}
+
+}  // namespace tardis

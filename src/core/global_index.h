@@ -1,0 +1,91 @@
+// Tardis-G: the centralized global index (paper §IV-B).
+//
+// A lightweight sigTree built from block-sampled signature statistics. Its
+// leaves carry partition ids; internal nodes carry the merged pid list of
+// their subtree. During the shuffle it is broadcast to all workers and acts
+// as the partitioner; at query time it is the entry point that maps a query
+// signature to its home partition and to the sibling-partition list used by
+// Multi-Partitions Access.
+
+#ifndef TARDIS_CORE_GLOBAL_INDEX_H_
+#define TARDIS_CORE_GLOBAL_INDEX_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/status.h"
+#include "core/tardis_config.h"
+#include "sigtree/sigtree.h"
+#include "storage/block_store.h"
+#include "ts/isaxt.h"
+
+namespace tardis {
+
+class GlobalIndex {
+ public:
+  // Wall-clock breakdown of the construction phases (paper Fig. 11).
+  struct BuildBreakdown {
+    double sample_seconds = 0.0;      // block sampling + (isaxt, freq) job
+    double statistics_seconds = 0.0;  // layer-by-layer node statistics
+    double skeleton_seconds = 0.0;    // tree insertion on the master
+    double packing_seconds = 0.0;     // FFD partition assignment
+    double TotalSeconds() const {
+      return sample_seconds + statistics_seconds + skeleton_seconds +
+             packing_seconds;
+    }
+  };
+
+  // Builds Tardis-G over `input` per `config`. `breakdown` may be null.
+  static Result<GlobalIndex> Build(Cluster& cluster, const BlockStore& input,
+                                   const TardisConfig& config,
+                                   BuildBreakdown* breakdown);
+
+  // Reconstructs a global index from a serialized sigTree (see
+  // SigTree::EncodeTo); used when re-opening a persisted TardisIndex.
+  static Result<GlobalIndex> FromSerialized(const ISaxTCodec& codec,
+                                            std::string_view tree_bytes);
+
+  const ISaxTCodec& codec() const { return codec_; }
+  const SigTree& tree() const { return tree_; }
+  uint32_t num_partitions() const { return num_partitions_; }
+
+  // Maps a full-cardinality iSAX-T signature to its partition. Signatures
+  // unseen during sampling are routed to the nearest leaf region, so every
+  // series gets a deterministic home partition (needed for exact-match
+  // completeness).
+  PartitionId LookupPartition(std::string_view full_sig) const;
+
+  // The pid list of the *parent* of the leaf covering `full_sig` — the
+  // sibling partitions Multi-Partitions Access extends its scope with
+  // (Alg. 1 fetchFromParent). Always contains LookupPartition(full_sig).
+  std::vector<PartitionId> SiblingPartitions(std::string_view full_sig) const;
+
+  // Serialized footprint in bytes — the broadcast cost and Fig. 13(a) metric.
+  size_t SerializedSize() const;
+
+  // Records that a series with this signature was inserted (incremental
+  // ingest): increments the counts along its routing path so tree statistics
+  // stay truthful.
+  void NoteInserted(std::string_view full_sig);
+
+  // Estimated record count per partition (from the sampled statistics,
+  // rescaled). Used by the sampling-quality experiment (Fig. 17 MSE).
+  const std::vector<double>& estimated_partition_records() const {
+    return estimated_partition_records_;
+  }
+
+ private:
+  GlobalIndex(ISaxTCodec codec, SigTree tree)
+      : codec_(codec), tree_(std::move(tree)) {}
+
+  ISaxTCodec codec_;
+  SigTree tree_;
+  uint32_t num_partitions_ = 0;
+  std::vector<double> estimated_partition_records_;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_CORE_GLOBAL_INDEX_H_

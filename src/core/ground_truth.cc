@@ -1,0 +1,170 @@
+#include "core/ground_truth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+#include "cluster/map_reduce.h"
+#include "common/serde.h"
+#include "ts/distance.h"
+
+namespace tardis {
+
+namespace {
+// Per-query bounded collector (mirrors the TopK in knn.cc; kept local to
+// avoid exposing an implementation detail in a public header).
+struct MiniTopK {
+  uint32_t k;
+  std::vector<Neighbor> heap;
+
+  double Threshold() const {
+    return heap.size() < k ? std::numeric_limits<double>::infinity()
+                           : heap.front().distance;
+  }
+  void Offer(double distance, RecordId rid) {
+    if (heap.size() < k) {
+      heap.push_back({distance, rid});
+      std::push_heap(heap.begin(), heap.end());
+    } else if (distance < heap.front().distance) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = {distance, rid};
+      std::push_heap(heap.begin(), heap.end());
+    }
+  }
+};
+}  // namespace
+
+Result<std::vector<std::vector<Neighbor>>> ExactKnnScan(
+    Cluster& cluster, const BlockStore& input,
+    const std::vector<TimeSeries>& queries, uint32_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  for (const auto& q : queries) {
+    if (q.size() != input.series_length()) {
+      return Status::InvalidArgument("query length differs from dataset");
+    }
+  }
+  std::vector<uint32_t> blocks(input.num_blocks());
+  for (uint32_t i = 0; i < blocks.size(); ++i) blocks[i] = i;
+
+  using BlockTops = std::vector<std::vector<Neighbor>>;
+  TARDIS_ASSIGN_OR_RETURN(
+      std::vector<BlockTops> per_block,
+      (MapBlocks<BlockTops>(
+          cluster, input, blocks,
+          [&](uint32_t, const std::vector<Record>& records) -> Result<BlockTops> {
+            BlockTops tops(queries.size());
+            for (size_t q = 0; q < queries.size(); ++q) {
+              MiniTopK topk{k, {}};
+              for (const auto& rec : records) {
+                const double bound = topk.Threshold();
+                const double bound_sq =
+                    std::isinf(bound) ? bound : bound * bound;
+                const double d_sq = SquaredEuclideanEarlyAbandon(
+                    queries[q], rec.values, bound_sq);
+                if (!std::isinf(d_sq)) topk.Offer(std::sqrt(d_sq), rec.rid);
+              }
+              std::sort_heap(topk.heap.begin(), topk.heap.end());
+              tops[q] = std::move(topk.heap);
+            }
+            return tops;
+          })));
+
+  std::vector<std::vector<Neighbor>> merged(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    MiniTopK topk{k, {}};
+    for (const auto& tops : per_block) {
+      for (const Neighbor& nb : tops[q]) topk.Offer(nb.distance, nb.rid);
+    }
+    std::sort_heap(topk.heap.begin(), topk.heap.end());
+    merged[q] = std::move(topk.heap);
+  }
+  return merged;
+}
+
+Result<std::vector<PrunedGroundTruth>> PrunedGroundTruthScan(
+    const TardisIndex& index, const std::vector<TimeSeries>& queries,
+    uint32_t k, double threshold) {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (threshold <= 0.0) {
+    return Status::InvalidArgument("threshold must be positive");
+  }
+  std::vector<PrunedGroundTruth> results;
+  results.reserve(queries.size());
+  for (const auto& query : queries) {
+    KnnStats stats;
+    TARDIS_ASSIGN_OR_RETURN(std::vector<Neighbor> in_range,
+                            index.RangeSearch(query, threshold, &stats));
+    PrunedGroundTruth gt;
+    gt.candidates = stats.candidates;
+    gt.partitions_loaded = stats.partitions_loaded;
+    gt.valid = in_range.size() >= k;
+    if (in_range.size() > k) in_range.resize(k);
+    gt.neighbors = std::move(in_range);
+    results.push_back(std::move(gt));
+  }
+  return results;
+}
+
+namespace {
+constexpr uint64_t kCacheMagic = 0x5441524449534754ULL;  // "TARDISGT"
+}  // namespace
+
+Result<std::vector<std::vector<Neighbor>>> CachedExactKnn(
+    Cluster& cluster, const BlockStore& input,
+    const std::vector<TimeSeries>& queries, uint32_t k,
+    const std::string& cache_path) {
+  {
+    std::ifstream in(cache_path, std::ios::binary | std::ios::ate);
+    if (in) {
+      std::string bytes(static_cast<size_t>(in.tellg()), '\0');
+      in.seekg(0);
+      in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+      SliceReader reader(bytes);
+      uint64_t magic = 0, num_queries = 0, records = 0;
+      uint32_t cached_k = 0;
+      if (reader.GetFixed(&magic) && magic == kCacheMagic &&
+          reader.GetFixed(&num_queries) && reader.GetFixed(&records) &&
+          reader.GetFixed(&cached_k) && num_queries == queries.size() &&
+          records == input.num_records() && cached_k == k) {
+        std::vector<std::vector<Neighbor>> result(queries.size());
+        bool ok = true;
+        for (auto& list : result) {
+          uint32_t len = 0;
+          if (!reader.GetFixed(&len) || len > k) {
+            ok = false;
+            break;
+          }
+          list.resize(len);
+          for (auto& nb : list) {
+            if (!reader.GetFixed(&nb.distance) || !reader.GetFixed(&nb.rid)) {
+              ok = false;
+              break;
+            }
+          }
+          if (!ok) break;
+        }
+        if (ok) return result;
+      }
+    }
+  }
+  TARDIS_ASSIGN_OR_RETURN(std::vector<std::vector<Neighbor>> result,
+                          ExactKnnScan(cluster, input, queries, k));
+  std::string bytes;
+  PutFixed<uint64_t>(&bytes, kCacheMagic);
+  PutFixed<uint64_t>(&bytes, queries.size());
+  PutFixed<uint64_t>(&bytes, input.num_records());
+  PutFixed<uint32_t>(&bytes, k);
+  for (const auto& list : result) {
+    PutFixed<uint32_t>(&bytes, static_cast<uint32_t>(list.size()));
+    for (const Neighbor& nb : list) {
+      PutFixed<double>(&bytes, nb.distance);
+      PutFixed<uint64_t>(&bytes, nb.rid);
+    }
+  }
+  std::ofstream out(cache_path, std::ios::binary | std::ios::trunc);
+  if (out) out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return result;
+}
+
+}  // namespace tardis

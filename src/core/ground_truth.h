@@ -1,0 +1,56 @@
+// Exact kNN ground truth for evaluating approximate results (paper §VI-C2).
+//
+// At the paper's billion scale a full scan is prohibitive and the authors
+// bootstrap the ground truth through TARDIS's lower bounds; at this
+// repository's scale an exact parallel scan is feasible, so the ground truth
+// here is exact by construction. Results can be cached on disk because they
+// only depend on (dataset, queries, k).
+
+#ifndef TARDIS_CORE_GROUND_TRUTH_H_
+#define TARDIS_CORE_GROUND_TRUTH_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/status.h"
+#include "core/tardis_index.h"
+#include "storage/block_store.h"
+
+namespace tardis {
+
+// Exact kNN of every query by a block-parallel full scan (early-abandoning
+// per-block top-k heaps merged per query). Queries must be in the indexed
+// (z-normalised) space.
+Result<std::vector<std::vector<Neighbor>>> ExactKnnScan(
+    Cluster& cluster, const BlockStore& input,
+    const std::vector<TimeSeries>& queries, uint32_t k);
+
+// Disk cache wrapper: loads `cache_path` if present (validating query count
+// and k), otherwise runs ExactKnnScan and stores the result.
+Result<std::vector<std::vector<Neighbor>>> CachedExactKnn(
+    Cluster& cluster, const BlockStore& input,
+    const std::vector<TimeSeries>& queries, uint32_t k,
+    const std::string& cache_path);
+
+// The paper's ground-truth bootstrap (§VI-C2): prune the search space with
+// the index's lower bounds at a fixed distance `threshold` (the paper uses
+// 7.5) and rank the surviving candidates. The result for a query is *valid*
+// exact ground truth iff at least k candidates survive — every pruned record
+// is provably farther than the threshold, hence farther than the k-th
+// surviving distance. Queries with fewer survivors must fall back to the
+// full scan.
+struct PrunedGroundTruth {
+  std::vector<Neighbor> neighbors;  // up to k, sorted by distance
+  bool valid = false;               // >= k candidates survived the pruning
+  uint64_t candidates = 0;          // raw series actually ranked
+  uint32_t partitions_loaded = 0;
+};
+
+Result<std::vector<PrunedGroundTruth>> PrunedGroundTruthScan(
+    const TardisIndex& index, const std::vector<TimeSeries>& queries,
+    uint32_t k, double threshold);
+
+}  // namespace tardis
+
+#endif  // TARDIS_CORE_GROUND_TRUTH_H_

@@ -1,0 +1,80 @@
+#include "core/index_stats.h"
+
+#include <algorithm>
+
+namespace tardis {
+
+Result<IndexReport> ComputeIndexReport(const TardisIndex& index) {
+  IndexReport report;
+  report.num_partitions = index.num_partitions();
+  report.global_tree = index.global().tree().ComputeStats();
+  report.global_bytes = index.global().SerializedSize();
+
+  uint64_t leaf_depth_sum = 0;
+  uint64_t leaf_count_sum = 0;
+  report.min_partition_records = ~0ULL;
+  for (PartitionId pid = 0; pid < index.num_partitions(); ++pid) {
+    TARDIS_ASSIGN_OR_RETURN(LocalIndex local, index.LoadLocalIndex(pid));
+    const SigTree::Stats stats = local.tree().ComputeStats();
+    report.local_internal_nodes += stats.internal_nodes;
+    report.local_leaf_nodes += stats.leaf_nodes;
+    report.local_max_depth = std::max(report.local_max_depth, stats.max_depth);
+    leaf_depth_sum += static_cast<uint64_t>(stats.avg_leaf_depth *
+                                            static_cast<double>(stats.leaf_nodes));
+    leaf_count_sum += static_cast<uint64_t>(stats.avg_leaf_count *
+                                            static_cast<double>(stats.leaf_nodes));
+    report.local_tree_bytes += local.TreeBytes();
+
+    const uint64_t records = index.partition_counts()[pid];
+    report.num_records += records;
+    report.min_partition_records = std::min(report.min_partition_records, records);
+    report.max_partition_records = std::max(report.max_partition_records, records);
+  }
+  if (report.local_leaf_nodes > 0) {
+    report.local_avg_leaf_depth =
+        static_cast<double>(leaf_depth_sum) / report.local_leaf_nodes;
+    report.local_avg_leaf_count =
+        static_cast<double>(leaf_count_sum) / report.local_leaf_nodes;
+  }
+  if (report.num_partitions > 0) {
+    report.avg_partition_fill =
+        static_cast<double>(report.num_records) /
+        (static_cast<double>(report.num_partitions) *
+         static_cast<double>(index.config().g_max_size));
+  }
+  TARDIS_ASSIGN_OR_RETURN(TardisIndex::SizeInfo sizes, index.ComputeSizeInfo());
+  report.bloom_bytes = sizes.bloom_bytes;
+  if (report.min_partition_records == ~0ULL) report.min_partition_records = 0;
+  return report;
+}
+
+void PrintIndexReport(const IndexReport& report, std::FILE* out) {
+  std::fprintf(out, "TARDIS index report\n");
+  std::fprintf(out, "  records:            %llu\n",
+               static_cast<unsigned long long>(report.num_records));
+  std::fprintf(out, "  partitions:         %u (fill %.0f%%, min %llu, max %llu)\n",
+               report.num_partitions, report.avg_partition_fill * 100,
+               static_cast<unsigned long long>(report.min_partition_records),
+               static_cast<unsigned long long>(report.max_partition_records));
+  std::fprintf(out,
+               "  Tardis-G:           %llu internal / %llu leaf nodes, "
+               "depth<=%llu, %llu bytes\n",
+               static_cast<unsigned long long>(report.global_tree.internal_nodes),
+               static_cast<unsigned long long>(report.global_tree.leaf_nodes),
+               static_cast<unsigned long long>(report.global_tree.max_depth),
+               static_cast<unsigned long long>(report.global_bytes));
+  std::fprintf(out,
+               "  Tardis-L (total):   %llu internal / %llu leaf nodes, "
+               "depth<=%llu\n",
+               static_cast<unsigned long long>(report.local_internal_nodes),
+               static_cast<unsigned long long>(report.local_leaf_nodes),
+               static_cast<unsigned long long>(report.local_max_depth));
+  std::fprintf(out, "  avg leaf:           depth %.2f, %.1f records\n",
+               report.local_avg_leaf_depth, report.local_avg_leaf_count);
+  std::fprintf(out, "  local tree bytes:   %llu\n",
+               static_cast<unsigned long long>(report.local_tree_bytes));
+  std::fprintf(out, "  bloom bytes:        %llu\n",
+               static_cast<unsigned long long>(report.bloom_bytes));
+}
+
+}  // namespace tardis

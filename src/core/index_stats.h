@@ -1,0 +1,47 @@
+// Index introspection: aggregate structural statistics over a built
+// TardisIndex — the numbers the paper quotes in its §VI prose (average leaf
+// size, internal/leaf node counts, partition fill) plus size accounting.
+
+#ifndef TARDIS_CORE_INDEX_STATS_H_
+#define TARDIS_CORE_INDEX_STATS_H_
+
+#include <cstdio>
+
+#include "core/tardis_index.h"
+#include "sigtree/sigtree.h"
+
+namespace tardis {
+
+struct IndexReport {
+  uint32_t num_partitions = 0;
+  uint64_t num_records = 0;
+
+  // Tardis-G structure.
+  SigTree::Stats global_tree;
+  uint64_t global_bytes = 0;
+
+  // Tardis-L structure, aggregated over all partitions.
+  uint64_t local_internal_nodes = 0;
+  uint64_t local_leaf_nodes = 0;
+  uint64_t local_max_depth = 0;
+  double local_avg_leaf_depth = 0.0;   // weighted by leaves
+  double local_avg_leaf_count = 0.0;   // records per leaf
+  uint64_t local_tree_bytes = 0;
+  uint64_t bloom_bytes = 0;
+
+  // Partition balance.
+  uint64_t min_partition_records = 0;
+  uint64_t max_partition_records = 0;
+  double avg_partition_fill = 0.0;  // vs G-MaxSize
+};
+
+// Loads every partition's local tree to aggregate the report (an offline
+// inspection pass, not a query-path operation).
+Result<IndexReport> ComputeIndexReport(const TardisIndex& index);
+
+// Pretty-prints the report.
+void PrintIndexReport(const IndexReport& report, std::FILE* out);
+
+}  // namespace tardis
+
+#endif  // TARDIS_CORE_INDEX_STATS_H_

@@ -1,0 +1,230 @@
+// kNN-approximate query processing (paper §V-B, Algorithm 1).
+//
+// Target Node Access descends Tardis-L to the deepest node on the query's
+// path holding >= k entries and ranks that node's clustered slice.
+// One Partition Access additionally prunes the whole home partition with the
+// k-th distance as threshold (lower-bound pruning). Multi-Partitions Access
+// extends the scope to the sibling partitions listed in the Tardis-G parent
+// node, scanning them in parallel with the same threshold.
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <mutex>
+
+#include "common/rng.h"
+#include "core/tardis_index.h"
+#include "ts/distance.h"
+#include "ts/sax.h"
+
+namespace tardis {
+
+namespace {
+
+// Bounded top-k collector: max-heap of the current best k neighbours.
+class TopK {
+ public:
+  explicit TopK(uint32_t k) : k_(k) {}
+
+  double Threshold() const {
+    return heap_.size() < k_ ? std::numeric_limits<double>::infinity()
+                             : heap_.front().distance;
+  }
+
+  void Offer(double distance, RecordId rid) {
+    if (heap_.size() < k_) {
+      heap_.push_back({distance, rid});
+      std::push_heap(heap_.begin(), heap_.end());
+    } else if (distance < heap_.front().distance) {
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.back() = {distance, rid};
+      std::push_heap(heap_.begin(), heap_.end());
+    }
+  }
+
+  // Sorted ascending by distance.
+  std::vector<Neighbor> Take() {
+    std::sort_heap(heap_.begin(), heap_.end());
+    return std::move(heap_);
+  }
+
+ private:
+  uint32_t k_;
+  std::vector<Neighbor> heap_;
+};
+
+// Deepest node on the signature's descent path holding >= k entries; the
+// root if even the whole partition is smaller than k.
+const SigTree::Node* FindTargetNode(const SigTree& tree, std::string_view sig,
+                                    uint32_t k) {
+  const uint32_t cpl = tree.codec().chars_per_level();
+  const SigTree::Node* node = tree.root();
+  const SigTree::Node* target = node;
+  while (!node->children.empty()) {
+    const size_t off = static_cast<size_t>(node->level) * cpl;
+    if (off + cpl > sig.size()) break;
+    auto it = node->children.find(sig.substr(off, cpl));
+    if (it == node->children.end()) break;
+    node = it->second.get();
+    if (node->count >= k) target = node;
+  }
+  return target;
+}
+
+// Ranks the records in [start, start+len) by true distance into `topk`,
+// early-abandoning against the current k-th best.
+void RankRange(const std::vector<Record>& records, uint32_t start,
+               uint32_t len, const TimeSeries& query, TopK* topk,
+               uint64_t* candidates) {
+  const uint32_t end = std::min<uint32_t>(start + len,
+                                          static_cast<uint32_t>(records.size()));
+  for (uint32_t i = start; i < end; ++i) {
+    const double bound = topk->Threshold();
+    const double bound_sq = std::isinf(bound)
+                                ? std::numeric_limits<double>::infinity()
+                                : bound * bound;
+    const double d_sq =
+        SquaredEuclideanEarlyAbandon(query, records[i].values, bound_sq);
+    ++*candidates;
+    if (!std::isinf(d_sq)) topk->Offer(std::sqrt(d_sq), records[i].rid);
+  }
+}
+
+// Threshold-pruned scan of a whole local tree: subtrees whose region lower
+// bound exceeds `threshold` are skipped; surviving leaf slices are ranked.
+void PrunedScan(const SigTree& tree, const std::vector<Record>& records,
+                const std::vector<double>& query_paa, const TimeSeries& query,
+                double threshold, TopK* topk, uint64_t* candidates) {
+  const size_t n = query.size();
+  std::function<void(const SigTree::Node&)> visit =
+      [&](const SigTree::Node& node) {
+        if (node.level > 0) {
+          const double lb = MindistPaaToSax(query_paa, node.word, n);
+          if (lb > threshold) return;
+        }
+        if (node.is_leaf()) {
+          RankRange(records, node.range_start, node.range_len, query, topk,
+                    candidates);
+          return;
+        }
+        for (const auto& [chunk, child] : node.children) visit(*child);
+      };
+  visit(*tree.root());
+}
+
+}  // namespace
+
+Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
+    const TimeSeries& query, uint32_t k, KnnStrategy strategy,
+    KnnStats* stats) const {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  TimeSeries normalized;
+  std::vector<double> paa;
+  std::string sig;
+  TARDIS_RETURN_NOT_OK(PrepareQuery(query, &normalized, &paa, &sig));
+
+  // (2) Tardis-G identifies the home partition; (3) load it.
+  const PartitionId home = global_->LookupPartition(sig);
+  if (home == kInvalidPartition) return Status::Internal("no home partition");
+  TARDIS_ASSIGN_OR_RETURN(LocalIndex home_local, LoadLocalIndex(home));
+  TARDIS_ASSIGN_OR_RETURN(std::vector<Record> home_records,
+                          LoadPartition(home));
+  if (stats) stats->partitions_loaded = 1;
+
+  // (4) Target Node Access: rank the target node's clustered slice.
+  const SigTree::Node* target = FindTargetNode(home_local.tree(), sig, k);
+  if (stats) stats->target_node_level = target->level;
+  uint64_t candidates = 0;
+  TopK topk(k);
+  RankRange(home_records, target->range_start, target->range_len, normalized,
+            &topk, &candidates);
+
+  if (strategy == KnnStrategy::kTargetNode) {
+    if (stats) stats->candidates = candidates;
+    return topk.Take();
+  }
+
+  // Optimized strategies: the k-th distance from the target node becomes the
+  // pruning threshold for a wider scan.
+  const double threshold = topk.Threshold();
+
+  if (strategy == KnnStrategy::kOnePartition) {
+    TopK wide(k);
+    home_local.tree().EnsureWords();
+    PrunedScan(home_local.tree(), home_records, paa, normalized, threshold,
+               &wide, &candidates);
+    if (stats) stats->candidates = candidates;
+    return wide.Take();
+  }
+
+  // Multi-Partitions Access (Alg. 1): extend to the sibling partitions from
+  // the Tardis-G parent node, capped at pth (random selection keeps the home
+  // partition, which lines 10-14 of Alg. 1 assume is loaded).
+  std::vector<PartitionId> pids = global_->SiblingPartitions(sig);
+  if (pids.size() > config_.pth) {
+    std::vector<PartitionId> others;
+    others.reserve(pids.size());
+    for (PartitionId pid : pids) {
+      if (pid != home) others.push_back(pid);
+    }
+    uint64_t hash = 1469598103934665603ULL;
+    for (char c : sig) hash = (hash ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+    Rng rng(config_.seed ^ hash);
+    // Partial Fisher-Yates over the non-home pids.
+    const size_t want = config_.pth - 1;
+    for (size_t i = 0; i < want && i < others.size(); ++i) {
+      const size_t j = i + rng.NextBounded(others.size() - i);
+      std::swap(others[i], others[j]);
+    }
+    others.resize(std::min(others.size(), want));
+    pids.assign(1, home);
+    pids.insert(pids.end(), others.begin(), others.end());
+  }
+
+  // Scan all selected partitions in parallel; each produces a local top-k.
+  std::mutex mu;
+  TopK merged(k);
+  uint64_t total_candidates = candidates;
+  uint32_t loaded = 1;
+  Status first_error;
+  cluster_->pool().ParallelFor(pids.size(), [&](size_t i) {
+    const PartitionId pid = pids[i];
+    TopK part_topk(k);
+    uint64_t part_candidates = 0;
+    if (pid == home) {
+      home_local.tree().EnsureWords();
+      PrunedScan(home_local.tree(), home_records, paa, normalized, threshold,
+                 &part_topk, &part_candidates);
+    } else {
+      auto local = LoadLocalIndex(pid);
+      if (!local.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (first_error.ok()) first_error = local.status();
+        return;
+      }
+      auto records = LoadPartition(pid);
+      if (!records.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (first_error.ok()) first_error = records.status();
+        return;
+      }
+      local->tree().EnsureWords();
+      PrunedScan(local->tree(), *records, paa, normalized, threshold,
+                 &part_topk, &part_candidates);
+    }
+    auto part = part_topk.Take();
+    std::lock_guard<std::mutex> lock(mu);
+    for (const Neighbor& nb : part) merged.Offer(nb.distance, nb.rid);
+    total_candidates += part_candidates;
+    if (pid != home) ++loaded;
+  });
+  TARDIS_RETURN_NOT_OK(first_error);
+  if (stats) {
+    stats->candidates = total_candidates;
+    stats->partitions_loaded = loaded;
+  }
+  return merged.Take();
+}
+
+}  // namespace tardis

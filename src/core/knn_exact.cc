@@ -1,0 +1,135 @@
+// Exact kNN queries — an extension beyond the paper's query set
+// (DESIGN.md §5), built from the same lower-bound machinery.
+//
+// Each partition carries a region summary (per-segment symbol ranges over
+// its *actual* records, computed during Tardis-L construction), whose
+// Mindist lower-bounds the distance to every record stored there. Visiting
+// partitions in increasing lower-bound order and stopping when the bound
+// exceeds the current k-th distance yields the provably exact kNN while
+// typically loading only a few partitions. Inside a partition the Tardis-L
+// tree prunes subtrees against the evolving k-th distance.
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <numeric>
+
+#include "core/tardis_index.h"
+#include "ts/distance.h"
+#include "ts/sax.h"
+
+namespace tardis {
+
+namespace {
+
+// Max-heap top-k (duplicated from knn.cc's internal helper on purpose: both
+// are implementation details of their translation units).
+class ExactTopK {
+ public:
+  explicit ExactTopK(uint32_t k) : k_(k) {}
+
+  double Threshold() const {
+    return heap_.size() < k_ ? std::numeric_limits<double>::infinity()
+                             : heap_.front().distance;
+  }
+
+  void Offer(double distance, RecordId rid) {
+    if (heap_.size() < k_) {
+      heap_.push_back({distance, rid});
+      std::push_heap(heap_.begin(), heap_.end());
+    } else if (distance < heap_.front().distance) {
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.back() = {distance, rid};
+      std::push_heap(heap_.begin(), heap_.end());
+    }
+  }
+
+  std::vector<Neighbor> Take() {
+    std::sort_heap(heap_.begin(), heap_.end());
+    return std::move(heap_);
+  }
+
+ private:
+  uint32_t k_;
+  std::vector<Neighbor> heap_;
+};
+
+// Scans a local tree with a *dynamic* threshold: node pruning and ranking
+// both track the evolving k-th distance, which preserves exactness (a node
+// whose lower bound exceeds the current k-th best cannot contain a better
+// neighbour).
+void ExactScan(const SigTree& tree, const std::vector<Record>& records,
+               const std::vector<double>& query_paa, const TimeSeries& query,
+               ExactTopK* topk, uint64_t* candidates) {
+  const size_t n = query.size();
+  std::function<void(const SigTree::Node&)> visit =
+      [&](const SigTree::Node& node) {
+        if (node.level > 0 &&
+            MindistPaaToSax(query_paa, node.word, n) > topk->Threshold()) {
+          return;
+        }
+        if (node.is_leaf()) {
+          const uint32_t end =
+              std::min<uint32_t>(node.range_start + node.range_len,
+                                 static_cast<uint32_t>(records.size()));
+          for (uint32_t i = node.range_start; i < end; ++i) {
+            const double bound = topk->Threshold();
+            const double bound_sq =
+                std::isinf(bound) ? bound : bound * bound;
+            const double d_sq = SquaredEuclideanEarlyAbandon(
+                query, records[i].values, bound_sq);
+            ++*candidates;
+            if (!std::isinf(d_sq)) topk->Offer(std::sqrt(d_sq), records[i].rid);
+          }
+          return;
+        }
+        for (const auto& [chunk, child] : node.children) visit(*child);
+      };
+  visit(*tree.root());
+}
+
+}  // namespace
+
+Result<std::vector<Neighbor>> TardisIndex::KnnExact(const TimeSeries& query,
+                                                    uint32_t k,
+                                                    KnnStats* stats) const {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (regions_.size() != num_partitions()) {
+    return Status::Internal("region summaries unavailable");
+  }
+  TimeSeries normalized;
+  std::vector<double> paa;
+  std::string sig;
+  TARDIS_RETURN_NOT_OK(PrepareQuery(query, &normalized, &paa, &sig));
+
+  // Order partitions by their region lower bound.
+  std::vector<double> bounds(num_partitions());
+  for (uint32_t pid = 0; pid < num_partitions(); ++pid) {
+    bounds[pid] = regions_[pid].Mindist(paa, normalized.size());
+  }
+  std::vector<uint32_t> order(num_partitions());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](uint32_t a, uint32_t b) { return bounds[a] < bounds[b]; });
+
+  ExactTopK topk(k);
+  uint64_t candidates = 0;
+  uint32_t loaded = 0;
+  for (uint32_t pid : order) {
+    if (bounds[pid] > topk.Threshold()) break;  // no partition can improve
+    TARDIS_ASSIGN_OR_RETURN(LocalIndex local, LoadLocalIndex(pid));
+    TARDIS_ASSIGN_OR_RETURN(std::vector<Record> records, LoadPartition(pid));
+    local.tree().EnsureWords();
+    ExactScan(local.tree(), records, paa, normalized, &topk, &candidates);
+    ++loaded;
+  }
+  if (stats) {
+    stats->partitions_loaded = loaded;
+    stats->candidates = candidates;
+    stats->target_node_level = 0;
+  }
+  return topk.Take();
+}
+
+}  // namespace tardis

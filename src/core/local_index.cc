@@ -1,0 +1,55 @@
+#include "core/local_index.h"
+
+#include "common/serde.h"
+#include "ts/paa.h"
+
+namespace tardis {
+
+Result<LocalIndex> LocalIndex::Build(std::vector<Record> records,
+                                     const ISaxTCodec& codec,
+                                     const TardisConfig& config,
+                                     std::vector<Record>* clustered) {
+  SigTree tree(codec);
+  LocalIndex index(std::move(tree));
+  if (config.build_bloom) {
+    index.bloom_ = std::make_unique<BloomFilter>(
+        std::max<size_t>(records.size(), 16), config.bloom_fpr);
+  }
+  std::vector<double> paa(codec.word_length());
+  for (uint32_t i = 0; i < records.size(); ++i) {
+    if (records[i].values.size() % codec.word_length() != 0) {
+      return Status::InvalidArgument("record length not a word multiple");
+    }
+    PaaInto(records[i].values, codec.word_length(), paa.data());
+    const SaxWord word = SaxFromPaa(paa, codec.max_bits());
+    const std::string sig = codec.EncodeWord(word);
+    index.tree_->InsertEntry(sig, i, config.l_max_size);
+    if (index.bloom_) index.bloom_->Add(sig);
+    index.region_.Extend(word);
+  }
+  std::vector<uint32_t> order;
+  order.reserve(records.size());
+  index.tree_->AssignClusteredRanges(&order);
+  clustered->clear();
+  clustered->reserve(records.size());
+  for (uint32_t idx : order) clustered->push_back(std::move(records[idx]));
+  return index;
+}
+
+void LocalIndex::EncodeTreeTo(std::string* out) const {
+  tree_->EncodeTo(out);
+}
+
+Result<LocalIndex> LocalIndex::DecodeTree(std::string_view in,
+                                          const ISaxTCodec& codec) {
+  TARDIS_ASSIGN_OR_RETURN(SigTree tree, SigTree::Decode(in, codec));
+  return LocalIndex(std::move(tree));
+}
+
+size_t LocalIndex::TreeBytes() const {
+  std::string bytes;
+  tree_->EncodeTo(&bytes);
+  return bytes.size();
+}
+
+}  // namespace tardis

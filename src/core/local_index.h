@@ -1,0 +1,71 @@
+// Tardis-L: the distributed local index (paper §IV-C).
+//
+// One sigTree per partition, built inside a mapPartitions task. TARDIS is a
+// *clustered* index: after the tree is built, the partition file is
+// rewritten in leaf (DFS) order so every tree node covers a contiguous slice
+// of the file. The partition's Bloom filter over iSAX-T signatures is
+// generated synchronously during insertion.
+
+#ifndef TARDIS_CORE_LOCAL_INDEX_H_
+#define TARDIS_CORE_LOCAL_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bloom_filter.h"
+#include "common/status.h"
+#include "core/region_summary.h"
+#include "core/tardis_config.h"
+#include "sigtree/sigtree.h"
+#include "storage/record.h"
+#include "ts/isaxt.h"
+
+namespace tardis {
+
+class LocalIndex {
+ public:
+  // Builds the local index over a partition's records. On return,
+  // `clustered` holds the same records reordered into the clustered layout
+  // matching the tree's [range_start, range_len) slices. When
+  // `bloom` config is enabled the signature Bloom filter is built during the
+  // same insertion pass (paper: "synchronously generated").
+  static Result<LocalIndex> Build(std::vector<Record> records,
+                                  const ISaxTCodec& codec,
+                                  const TardisConfig& config,
+                                  std::vector<Record>* clustered);
+
+  const SigTree& tree() const { return *tree_; }
+  const BloomFilter* bloom() const { return bloom_ ? bloom_.get() : nullptr; }
+  // Symbol-range summary over the partition's actual records (used by the
+  // exact-kNN partition pruning). Empty when decoded from a tree sidecar.
+  const RegionSummary& region() const { return region_; }
+
+  // Serialized tree skeleton; stored as the partition's "ltree" sidecar and
+  // read back at query time. The Bloom filter is serialized separately (it
+  // stays resident in memory on the query path, §V-A).
+  void EncodeTreeTo(std::string* out) const;
+  static Result<LocalIndex> DecodeTree(std::string_view in,
+                                       const ISaxTCodec& codec);
+
+  // Transfers ownership of the Bloom filter out of this index (used by the
+  // framework to keep filters memory-resident after construction).
+  std::unique_ptr<BloomFilter> TakeBloom() { return std::move(bloom_); }
+
+  // In-memory/serialized footprint of the tree skeleton alone (Fig. 13(b)
+  // excludes the indexed data).
+  size_t TreeBytes() const;
+  size_t BloomBytes() const { return bloom_ ? bloom_->SizeBytes() : 0; }
+
+ private:
+  explicit LocalIndex(SigTree tree)
+      : tree_(std::make_unique<SigTree>(std::move(tree))) {}
+
+  std::unique_ptr<SigTree> tree_;
+  std::unique_ptr<BloomFilter> bloom_;
+  RegionSummary region_;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_CORE_LOCAL_INDEX_H_

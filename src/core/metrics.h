@@ -1,0 +1,58 @@
+// Search-quality metrics for kNN-approximate evaluation: recall (paper
+// Eq. 5) and error ratio (paper Eq. 6).
+
+#ifndef TARDIS_CORE_METRICS_H_
+#define TARDIS_CORE_METRICS_H_
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "core/tardis_index.h"
+
+namespace tardis {
+
+// recall = |G(q) ∩ R(q)| / |G(q)|, matched by record id.
+inline double Recall(const std::vector<Neighbor>& result,
+                     const std::vector<Neighbor>& ground_truth) {
+  if (ground_truth.empty()) return 1.0;
+  std::unordered_set<RecordId> truth;
+  truth.reserve(ground_truth.size());
+  for (const Neighbor& nb : ground_truth) truth.insert(nb.rid);
+  size_t hits = 0;
+  for (const Neighbor& nb : result) hits += truth.count(nb.rid);
+  return static_cast<double>(hits) / static_cast<double>(ground_truth.size());
+}
+
+// error ratio = (1/k) * sum_j ED(q, r_j) / ED(q, g_j), with both lists
+// sorted ascending. >= 1.0; 1.0 is ideal. Pairs where the true j-th
+// neighbour is at distance zero contribute 1.0 when the result matches it
+// and are skipped otherwise (0-distance duplicates make the ratio
+// undefined); a result shorter than the ground truth contributes the missing
+// pairs as if found at infinite distance, which we cap by simply averaging
+// over the pairs that exist — standard practice in [23], [24].
+inline double ErrorRatio(const std::vector<Neighbor>& result,
+                         const std::vector<Neighbor>& ground_truth) {
+  const size_t pairs = std::min(result.size(), ground_truth.size());
+  if (pairs == 0) return 1.0;
+  double acc = 0.0;
+  size_t counted = 0;
+  for (size_t j = 0; j < pairs; ++j) {
+    const double g = ground_truth[j].distance;
+    const double r = result[j].distance;
+    if (g <= 1e-12) {
+      if (r <= 1e-12) {
+        acc += 1.0;
+        ++counted;
+      }
+      continue;
+    }
+    acc += r / g;
+    ++counted;
+  }
+  return counted > 0 ? acc / static_cast<double>(counted) : 1.0;
+}
+
+}  // namespace tardis
+
+#endif  // TARDIS_CORE_METRICS_H_

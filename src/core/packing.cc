@@ -1,0 +1,39 @@
+#include "core/packing.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tardis {
+
+std::vector<uint32_t> FirstFitDecreasing(const std::vector<uint64_t>& sizes,
+                                         uint64_t capacity,
+                                         uint32_t* num_bins) {
+  std::vector<size_t> order(sizes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return sizes[a] > sizes[b]; });
+
+  std::vector<uint32_t> assignment(sizes.size(), 0);
+  std::vector<uint64_t> remaining;  // free space per open bin
+  for (size_t item : order) {
+    const uint64_t size = sizes[item];
+    uint32_t bin = static_cast<uint32_t>(remaining.size());
+    for (uint32_t b = 0; b < remaining.size(); ++b) {
+      if (remaining[b] >= size) {
+        bin = b;
+        break;
+      }
+    }
+    if (bin == remaining.size()) {
+      // New bin; an oversized item consumes it entirely.
+      remaining.push_back(size >= capacity ? 0 : capacity - size);
+    } else {
+      remaining[bin] -= size;
+    }
+    assignment[item] = bin;
+  }
+  *num_bins = static_cast<uint32_t>(remaining.size());
+  return assignment;
+}
+
+}  // namespace tardis

@@ -1,0 +1,24 @@
+// First-Fit Decreasing bin packing for Leaf Partitions Packing
+// (paper Definition 5, §IV-B). FFD is the paper's choice: O(n log n),
+// worst-case ratio 3/2.
+
+#ifndef TARDIS_CORE_PACKING_H_
+#define TARDIS_CORE_PACKING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tardis {
+
+// Packs items of the given sizes into bins of `capacity`, first-fit over
+// items sorted by decreasing size. Returns the bin index of each item (in
+// the original item order) and sets `*num_bins`. An item larger than the
+// capacity gets a bin of its own (an over-full leaf at the maximum
+// cardinality cannot be split further).
+std::vector<uint32_t> FirstFitDecreasing(const std::vector<uint64_t>& sizes,
+                                         uint64_t capacity,
+                                         uint32_t* num_bins);
+
+}  // namespace tardis
+
+#endif  // TARDIS_CORE_PACKING_H_

@@ -1,0 +1,90 @@
+// Exact range queries (extension beyond the paper; DESIGN.md §5).
+//
+// Finds every record within Euclidean distance `radius` of the query using
+// the same two-level lower-bound pruning as exact kNN: partitions whose
+// region-summary bound exceeds the radius are never loaded; within a
+// partition, Tardis-L subtrees are pruned the same way; surviving candidates
+// are verified against the raw values.
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "core/tardis_index.h"
+#include "ts/distance.h"
+#include "ts/sax.h"
+
+namespace tardis {
+
+namespace {
+
+void RangeScan(const SigTree& tree, const std::vector<Record>& records,
+               const std::vector<double>& query_paa, const TimeSeries& query,
+               double radius, std::vector<Neighbor>* out,
+               uint64_t* candidates) {
+  const size_t n = query.size();
+  // The abandon bound is slightly inflated so the authoritative comparison
+  // below (sqrt(d^2) <= radius, matching the ED <= radius contract exactly)
+  // never loses a boundary record to squaring round-off.
+  const double radius_sq = radius * radius * (1.0 + 1e-12) + 1e-12;
+  std::function<void(const SigTree::Node&)> visit =
+      [&](const SigTree::Node& node) {
+        if (node.level > 0 &&
+            MindistPaaToSax(query_paa, node.word, n) > radius) {
+          return;
+        }
+        if (node.is_leaf()) {
+          const uint32_t end =
+              std::min<uint32_t>(node.range_start + node.range_len,
+                                 static_cast<uint32_t>(records.size()));
+          for (uint32_t i = node.range_start; i < end; ++i) {
+            ++*candidates;
+            const double d_sq = SquaredEuclideanEarlyAbandon(
+                query, records[i].values, radius_sq);
+            if (std::isinf(d_sq)) continue;
+            const double d = std::sqrt(d_sq);
+            if (d <= radius) out->push_back({d, records[i].rid});
+          }
+          return;
+        }
+        for (const auto& [chunk, child] : node.children) visit(*child);
+      };
+  visit(*tree.root());
+}
+
+}  // namespace
+
+Result<std::vector<Neighbor>> TardisIndex::RangeSearch(const TimeSeries& query,
+                                                       double radius,
+                                                       KnnStats* stats) const {
+  if (radius < 0.0) return Status::InvalidArgument("radius must be >= 0");
+  if (regions_.size() != num_partitions()) {
+    return Status::Internal("region summaries unavailable");
+  }
+  TimeSeries normalized;
+  std::vector<double> paa;
+  std::string sig;
+  TARDIS_RETURN_NOT_OK(PrepareQuery(query, &normalized, &paa, &sig));
+
+  std::vector<Neighbor> results;
+  uint64_t candidates = 0;
+  uint32_t loaded = 0;
+  for (PartitionId pid = 0; pid < num_partitions(); ++pid) {
+    if (regions_[pid].Mindist(paa, normalized.size()) > radius) continue;
+    TARDIS_ASSIGN_OR_RETURN(LocalIndex local, LoadLocalIndex(pid));
+    TARDIS_ASSIGN_OR_RETURN(std::vector<Record> records, LoadPartition(pid));
+    local.tree().EnsureWords();
+    RangeScan(local.tree(), records, paa, normalized, radius, &results,
+              &candidates);
+    ++loaded;
+  }
+  std::sort(results.begin(), results.end());
+  if (stats) {
+    stats->partitions_loaded = loaded;
+    stats->candidates = candidates;
+    stats->target_node_level = 0;
+  }
+  return results;
+}
+
+}  // namespace tardis

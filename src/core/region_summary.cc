@@ -1,0 +1,74 @@
+#include "core/region_summary.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/gaussian.h"
+#include "common/serde.h"
+
+namespace tardis {
+
+void RegionSummary::Extend(const SaxWord& word) {
+  if (count == 0) {
+    bits = word.bits;
+    min_sym = word.symbols;
+    max_sym = word.symbols;
+    count = 1;
+    return;
+  }
+  assert(word.bits == bits && word.symbols.size() == min_sym.size());
+  for (size_t i = 0; i < word.symbols.size(); ++i) {
+    if (word.symbols[i] < min_sym[i]) min_sym[i] = word.symbols[i];
+    if (word.symbols[i] > max_sym[i]) max_sym[i] = word.symbols[i];
+  }
+  ++count;
+}
+
+double RegionSummary::Mindist(const std::vector<double>& paa, size_t n) const {
+  if (empty()) return std::numeric_limits<double>::infinity();
+  assert(paa.size() == min_sym.size());
+  const size_t w = paa.size();
+  double acc = 0.0;
+  for (size_t i = 0; i < w; ++i) {
+    const double lo = BreakpointTable::Lower(min_sym[i], bits);
+    const double hi = BreakpointTable::Upper(max_sym[i], bits);
+    double d = 0.0;
+    if (paa[i] < lo) {
+      d = lo - paa[i];
+    } else if (paa[i] > hi) {
+      d = paa[i] - hi;
+    }
+    acc += d * d;
+  }
+  return std::sqrt(static_cast<double>(n) / w * acc);
+}
+
+void RegionSummary::EncodeTo(std::string* out) const {
+  PutFixed<uint64_t>(out, count);
+  PutFixed<uint8_t>(out, bits);
+  PutFixed<uint32_t>(out, static_cast<uint32_t>(min_sym.size()));
+  for (uint16_t s : min_sym) PutFixed<uint16_t>(out, s);
+  for (uint16_t s : max_sym) PutFixed<uint16_t>(out, s);
+}
+
+Result<RegionSummary> RegionSummary::Decode(std::string_view in) {
+  SliceReader reader(in);
+  RegionSummary summary;
+  uint32_t w = 0;
+  if (!reader.GetFixed(&summary.count) || !reader.GetFixed(&summary.bits) ||
+      !reader.GetFixed(&w) || w > (1u << 20)) {
+    return Status::Corruption("region summary: truncated header");
+  }
+  summary.min_sym.resize(w);
+  summary.max_sym.resize(w);
+  for (auto& s : summary.min_sym) {
+    if (!reader.GetFixed(&s)) return Status::Corruption("region summary: min");
+  }
+  for (auto& s : summary.max_sym) {
+    if (!reader.GetFixed(&s)) return Status::Corruption("region summary: max");
+  }
+  return summary;
+}
+
+}  // namespace tardis

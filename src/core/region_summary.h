@@ -1,0 +1,56 @@
+// Per-partition region summaries: for every PAA segment, the [min, max]
+// SAX-symbol range (at the initial cardinality) over all records actually
+// stored in the partition.
+//
+// Tardis-G leaf regions alone cannot lower-bound a partition's contents:
+// signatures unseen during sampling are routed to the *nearest* leaf, so a
+// partition may hold records outside its leaves' nominal regions. The
+// summary is computed from the shuffled records themselves during Tardis-L
+// construction, so the bound
+//     RegionMindist(query, summary) <= ED(query, r)   for every r stored
+// always holds — which is what makes the exact kNN extension
+// (TardisIndex::KnnExact) correct.
+//
+// This is an extension beyond the paper (which supports exact *match* and
+// approximate kNN); see DESIGN.md §5.
+
+#ifndef TARDIS_CORE_REGION_SUMMARY_H_
+#define TARDIS_CORE_REGION_SUMMARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "ts/sax.h"
+
+namespace tardis {
+
+struct RegionSummary {
+  // Per-segment symbol bounds at cardinality 2^bits. Empty summaries
+  // (count == 0) represent empty partitions and prune everything.
+  std::vector<uint16_t> min_sym;
+  std::vector<uint16_t> max_sym;
+  uint8_t bits = 0;
+  uint64_t count = 0;
+
+  bool empty() const { return count == 0; }
+
+  // Extends the bounds to cover `word` (same bits / word length).
+  void Extend(const SaxWord& word);
+
+  // Lower bound on ED(query, r) for every record r covered by this summary.
+  // `paa` is the query's PAA vector; `n` the raw series length. Returns
+  // +infinity for empty summaries.
+  double Mindist(const std::vector<double>& paa, size_t n) const;
+
+  void EncodeTo(std::string* out) const;
+  static Result<RegionSummary> Decode(std::string_view in);
+
+  bool operator==(const RegionSummary&) const = default;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_CORE_REGION_SUMMARY_H_

@@ -1,0 +1,90 @@
+// TARDIS configuration knobs (paper Table I / Table II).
+
+#ifndef TARDIS_CORE_TARDIS_CONFIG_H_
+#define TARDIS_CORE_TARDIS_CONFIG_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace tardis {
+
+struct TardisConfig {
+  // Word length w: number of PAA segments. Must be a positive multiple of 4
+  // (iSAX-T transposition works on hex nibbles). Paper default: 8.
+  uint32_t word_length = 8;
+
+  // Initial cardinality bits b (cardinality = 2^b). Paper default for
+  // TARDIS: 64 => 6 bits. (The DPiSAX baseline needs 512 => 9 bits.)
+  uint8_t initial_bits = 6;
+
+  // G-MaxSize: split threshold for Tardis-G leaf nodes and the partition
+  // packing capacity, in records. The paper sets this to the number of
+  // series filling one HDFS block (~110k for RandomWalk); we scale it with
+  // the dataset (see bench/bench_common.h).
+  uint64_t g_max_size = 10000;
+
+  // L-MaxSize: split threshold for Tardis-L leaf nodes. Paper default: 1000.
+  uint64_t l_max_size = 1000;
+
+  // Block-level sampling percentage for Tardis-G statistics. Paper: 10%.
+  double sampling_percent = 10.0;
+
+  // pth: maximum number of partitions loaded by Multi-Partitions Access.
+  // Paper default: 40.
+  uint32_t pth = 40;
+
+  // Records per block in the simulated HDFS block store.
+  uint32_t block_capacity = 5000;
+
+  // Worker threads in the simulated cluster (0 = hardware concurrency).
+  uint32_t num_workers = 0;
+
+  // Deterministic seed for sampling and any randomized choices.
+  uint64_t seed = 42;
+
+  // Bloom filter settings (partition-level exact-match index, §IV-C).
+  bool build_bloom = true;
+  double bloom_fpr = 0.01;
+
+  // Clustered (default): partitions store the actual series in Tardis-L
+  // leaf order, so a query reads one sequential file. Un-clustered (the
+  // variant §VI-A also implements): partitions store only rid lists and the
+  // raw series stay in the original blocks — construction skips the
+  // clustered rewrite but every query pays random block I/O for the refine
+  // phase (§II-D). Un-clustered indexes do not support Append().
+  bool clustered = true;
+
+  // Fig. 12 knob: when true, intermediate (isaxt, ts, rid) tuples stay
+  // cached in memory between local-index and Bloom construction; when false
+  // the Bloom pass re-reads partitions from disk and re-converts, modelling
+  // the spill the paper measures for > 400M series.
+  bool persist_intermediate = true;
+
+  Status Validate() const {
+    if (word_length == 0 || word_length % 4 != 0) {
+      return Status::InvalidArgument("word_length must be a positive multiple of 4");
+    }
+    if (initial_bits < 1 || initial_bits > 16) {
+      return Status::InvalidArgument("initial_bits must be in [1, 16]");
+    }
+    if (g_max_size == 0 || l_max_size == 0) {
+      return Status::InvalidArgument("split thresholds must be positive");
+    }
+    if (sampling_percent <= 0.0 || sampling_percent > 100.0) {
+      return Status::InvalidArgument("sampling_percent must be in (0, 100]");
+    }
+    if (pth == 0) return Status::InvalidArgument("pth must be >= 1");
+    if (block_capacity == 0) {
+      return Status::InvalidArgument("block_capacity must be positive");
+    }
+    if (bloom_fpr <= 0.0 || bloom_fpr >= 1.0) {
+      return Status::InvalidArgument("bloom_fpr must be in (0, 1)");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_CORE_TARDIS_CONFIG_H_

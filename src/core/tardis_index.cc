@@ -1,0 +1,412 @@
+#include "core/tardis_index.h"
+
+#include <fstream>
+#include <mutex>
+
+#include "cluster/map_reduce.h"
+#include "common/stopwatch.h"
+#include "ts/paa.h"
+#include "ts/znorm.h"
+
+namespace tardis {
+
+namespace {
+constexpr char kTreeSidecar[] = "ltree";
+constexpr char kBloomSidecar[] = "bloom";
+constexpr char kRegionSidecar[] = "region";
+constexpr char kRidsSidecar[] = "rids";
+constexpr char kMetaFile[] = "tardis_meta.bin";
+constexpr uint64_t kMetaMagic = 0x5441524449534958ULL;  // "TARDISIX"
+
+void EncodeConfig(const TardisConfig& config, std::string* out) {
+  PutFixed<uint32_t>(out, config.word_length);
+  PutFixed<uint8_t>(out, config.initial_bits);
+  PutFixed<uint64_t>(out, config.g_max_size);
+  PutFixed<uint64_t>(out, config.l_max_size);
+  PutFixed<double>(out, config.sampling_percent);
+  PutFixed<uint32_t>(out, config.pth);
+  PutFixed<uint32_t>(out, config.block_capacity);
+  PutFixed<uint32_t>(out, config.num_workers);
+  PutFixed<uint64_t>(out, config.seed);
+  PutFixed<uint8_t>(out, config.build_bloom ? 1 : 0);
+  PutFixed<double>(out, config.bloom_fpr);
+  PutFixed<uint8_t>(out, config.persist_intermediate ? 1 : 0);
+}
+
+bool DecodeConfig(SliceReader* reader, TardisConfig* config) {
+  uint8_t bloom = 0, persist = 0;
+  const bool ok =
+      reader->GetFixed(&config->word_length) &&
+      reader->GetFixed(&config->initial_bits) &&
+      reader->GetFixed(&config->g_max_size) &&
+      reader->GetFixed(&config->l_max_size) &&
+      reader->GetFixed(&config->sampling_percent) &&
+      reader->GetFixed(&config->pth) && reader->GetFixed(&config->block_capacity) &&
+      reader->GetFixed(&config->num_workers) && reader->GetFixed(&config->seed) &&
+      reader->GetFixed(&bloom) && reader->GetFixed(&config->bloom_fpr) &&
+      reader->GetFixed(&persist);
+  config->build_bloom = bloom != 0;
+  config->persist_intermediate = persist != 0;
+  return ok;
+}
+}  // namespace
+
+const char* KnnStrategyName(KnnStrategy strategy) {
+  switch (strategy) {
+    case KnnStrategy::kTargetNode: return "TargetNode";
+    case KnnStrategy::kOnePartition: return "OnePartition";
+    case KnnStrategy::kMultiPartitions: return "MultiPartitions";
+  }
+  return "Unknown";
+}
+
+Result<TardisIndex> TardisIndex::Build(std::shared_ptr<Cluster> cluster,
+                                       const BlockStore& input,
+                                       const std::string& partition_dir,
+                                       const TardisConfig& config,
+                                       BuildTimings* timings) {
+  TARDIS_RETURN_NOT_OK(config.Validate());
+  if (cluster == nullptr) return Status::InvalidArgument("null cluster");
+
+  // --- Tardis-G over the sampled statistics ---
+  GlobalIndex::BuildBreakdown breakdown;
+  TARDIS_ASSIGN_OR_RETURN(GlobalIndex global,
+                          GlobalIndex::Build(*cluster, input, config, &breakdown));
+  if (timings) timings->global = breakdown;
+
+  TARDIS_ASSIGN_OR_RETURN(
+      PartitionStore pstore,
+      PartitionStore::Open(partition_dir, input.series_length()));
+
+  TardisIndex index(cluster, config, std::move(global), std::move(pstore),
+                    input.series_length());
+  index.input_ = std::make_unique<BlockStore>(input);
+  const ISaxTCodec& codec = index.codec();
+  const GlobalIndex& gidx = *index.global_;
+
+  // --- Data Shuffle: the broadcast Tardis-G is the partitioner (Fig. 8).
+  // Each record is converted to its iSAX-T signature and routed by tree
+  // descent; thread-local PAA buffers keep the partitioner reentrant.
+  Stopwatch sw;
+  const uint32_t w = config.word_length;
+  auto partitioner = [&codec, &gidx, w](const Record& rec) -> PartitionId {
+    thread_local std::vector<double> paa;
+    paa.resize(w);
+    PaaInto(rec.values, w, paa.data());
+    return gidx.LookupPartition(codec.Encode(paa));
+  };
+  TARDIS_ASSIGN_OR_RETURN(
+      index.partition_counts_,
+      ShuffleToPartitions(*cluster, input, index.num_partitions(), partitioner,
+                          *index.partitions_,
+                          timings != nullptr ? &timings->shuffle : nullptr));
+  if (timings) timings->shuffle_seconds = sw.ElapsedSeconds();
+  sw.Restart();
+
+  // --- Local Structure Construction (mapPartitions): build Tardis-L,
+  // rewrite the partition clustered, persist the tree skeleton. The Bloom
+  // filter is built in the same pass when intermediate data stays cached.
+  const bool bloom_inline = config.build_bloom && config.persist_intermediate;
+  index.blooms_.resize(index.num_partitions());
+  index.regions_.resize(index.num_partitions());
+  std::mutex bloom_mu;
+  TardisConfig local_cfg = config;
+  local_cfg.build_bloom = bloom_inline;
+  TARDIS_RETURN_NOT_OK(MapPartitions(
+      *cluster, index.num_partitions(), [&](PartitionId pid) -> Status {
+        TARDIS_ASSIGN_OR_RETURN(std::vector<Record> records,
+                                index.partitions_->ReadPartition(pid));
+        std::vector<Record> clustered;
+        TARDIS_ASSIGN_OR_RETURN(
+            LocalIndex local,
+            LocalIndex::Build(std::move(records), codec, local_cfg, &clustered));
+        if (config.clustered) {
+          TARDIS_RETURN_NOT_OK(index.partitions_->WritePartition(pid, clustered));
+        } else {
+          // Un-clustered: keep only the rid list (in tree order); the raw
+          // series stay in the base blocks and the shuffle's temporary
+          // record file is dropped.
+          std::string rid_bytes;
+          rid_bytes.reserve(clustered.size() * sizeof(uint64_t));
+          for (const Record& rec : clustered) {
+            PutFixed<uint64_t>(&rid_bytes, rec.rid);
+          }
+          TARDIS_RETURN_NOT_OK(
+              index.partitions_->WriteSidecar(pid, kRidsSidecar, rid_bytes));
+          TARDIS_RETURN_NOT_OK(index.partitions_->RemovePartition(pid));
+        }
+        std::string tree_bytes;
+        local.EncodeTreeTo(&tree_bytes);
+        TARDIS_RETURN_NOT_OK(
+            index.partitions_->WriteSidecar(pid, kTreeSidecar, tree_bytes));
+        std::string region_bytes;
+        local.region().EncodeTo(&region_bytes);
+        TARDIS_RETURN_NOT_OK(
+            index.partitions_->WriteSidecar(pid, kRegionSidecar, region_bytes));
+        {
+          std::lock_guard<std::mutex> lock(bloom_mu);
+          index.regions_[pid] = local.region();
+        }
+        if (bloom_inline) {
+          auto bloom = local.TakeBloom();
+          std::string bloom_bytes;
+          bloom->EncodeTo(&bloom_bytes);
+          TARDIS_RETURN_NOT_OK(
+              index.partitions_->WriteSidecar(pid, kBloomSidecar, bloom_bytes));
+          std::lock_guard<std::mutex> lock(bloom_mu);
+          index.blooms_[pid] = std::move(bloom);
+        }
+        return Status::OK();
+      }));
+  if (timings) timings->local_build_seconds = sw.ElapsedSeconds();
+  sw.Restart();
+
+  // --- Spill path (Fig. 12): intermediate tuples were not cached, so the
+  // Bloom pass re-reads every partition from disk and re-converts.
+  if (config.build_bloom && !config.persist_intermediate) {
+    TARDIS_RETURN_NOT_OK(MapPartitions(
+        *cluster, index.num_partitions(), [&](PartitionId pid) -> Status {
+          TARDIS_ASSIGN_OR_RETURN(std::vector<Record> records,
+                                  index.LoadPartition(pid));
+          auto bloom = std::make_unique<BloomFilter>(
+              std::max<size_t>(records.size(), 16), config.bloom_fpr);
+          std::vector<double> paa(w);
+          for (const auto& rec : records) {
+            PaaInto(rec.values, w, paa.data());
+            bloom->Add(codec.Encode(paa));
+          }
+          std::string bloom_bytes;
+          bloom->EncodeTo(&bloom_bytes);
+          TARDIS_RETURN_NOT_OK(
+              index.partitions_->WriteSidecar(pid, kBloomSidecar, bloom_bytes));
+          std::lock_guard<std::mutex> lock(bloom_mu);
+          index.blooms_[pid] = std::move(bloom);
+          return Status::OK();
+        }));
+    if (timings) timings->bloom_extra_seconds = sw.ElapsedSeconds();
+  }
+  TARDIS_RETURN_NOT_OK(index.SaveMeta());
+  return index;
+}
+
+Status TardisIndex::SaveMeta() const {
+  std::string bytes;
+  PutFixed<uint64_t>(&bytes, kMetaMagic);
+  PutFixed<uint32_t>(&bytes, series_length_);
+  EncodeConfig(config_, &bytes);
+  PutFixed<uint8_t>(&bytes, config_.clustered ? 1 : 0);
+  PutLengthPrefixed(&bytes, input_ != nullptr ? input_->dir() : "");
+  std::string tree_bytes;
+  global_->tree().EncodeTo(&tree_bytes);
+  PutLengthPrefixed(&bytes, tree_bytes);
+  PutFixed<uint32_t>(&bytes, static_cast<uint32_t>(partition_counts_.size()));
+  for (uint64_t count : partition_counts_) PutFixed<uint64_t>(&bytes, count);
+  std::ofstream out(partitions_->dir() + "/" + kMetaFile,
+                    std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot write index metadata");
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Status::IOError("short write of index metadata");
+  return Status::OK();
+}
+
+Result<TardisIndex> TardisIndex::Open(std::shared_ptr<Cluster> cluster,
+                                      const std::string& partition_dir) {
+  if (cluster == nullptr) return Status::InvalidArgument("null cluster");
+  std::ifstream in(partition_dir + "/" + kMetaFile,
+                   std::ios::binary | std::ios::ate);
+  if (!in) return Status::NotFound("no index metadata in " + partition_dir);
+  std::string bytes(static_cast<size_t>(in.tellg()), '\0');
+  in.seekg(0);
+  in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!in) return Status::IOError("short read of index metadata");
+
+  SliceReader reader(bytes);
+  uint64_t magic = 0;
+  uint32_t series_length = 0;
+  TardisConfig config;
+  uint8_t clustered = 1;
+  std::string input_dir, tree_bytes;
+  uint32_t num_counts = 0;
+  if (!reader.GetFixed(&magic) || magic != kMetaMagic ||
+      !reader.GetFixed(&series_length) || !DecodeConfig(&reader, &config) ||
+      !reader.GetFixed(&clustered) || !reader.GetLengthPrefixed(&input_dir) ||
+      !reader.GetLengthPrefixed(&tree_bytes) || !reader.GetFixed(&num_counts)) {
+    return Status::Corruption("bad index metadata");
+  }
+  config.clustered = clustered != 0;
+  TARDIS_RETURN_NOT_OK(config.Validate());
+  TARDIS_ASSIGN_OR_RETURN(
+      ISaxTCodec codec, ISaxTCodec::Make(config.word_length, config.initial_bits));
+  TARDIS_ASSIGN_OR_RETURN(GlobalIndex global,
+                          GlobalIndex::FromSerialized(codec, tree_bytes));
+  if (num_counts != global.num_partitions()) {
+    return Status::Corruption("index metadata partition count mismatch");
+  }
+  TARDIS_ASSIGN_OR_RETURN(PartitionStore pstore,
+                          PartitionStore::Open(partition_dir, series_length));
+  TardisIndex index(cluster, config, std::move(global), std::move(pstore),
+                    series_length);
+  if (!input_dir.empty()) {
+    auto input = BlockStore::Open(input_dir);
+    if (input.ok()) {
+      index.input_ = std::make_unique<BlockStore>(std::move(input).value());
+    } else if (!config.clustered) {
+      // Un-clustered indexes cannot answer queries without the base data.
+      return input.status();
+    }
+  } else if (!config.clustered) {
+    return Status::Corruption("un-clustered index metadata lacks base data dir");
+  }
+  index.partition_counts_.resize(num_counts);
+  for (auto& count : index.partition_counts_) {
+    if (!reader.GetFixed(&count)) {
+      return Status::Corruption("truncated partition counts");
+    }
+  }
+
+  // Restore the memory-resident sidecars (Bloom filters, region summaries).
+  index.blooms_.resize(index.num_partitions());
+  index.regions_.resize(index.num_partitions());
+  std::mutex mu;
+  TARDIS_RETURN_NOT_OK(MapPartitions(
+      *cluster, index.num_partitions(), [&](PartitionId pid) -> Status {
+        TARDIS_ASSIGN_OR_RETURN(
+            std::string region_bytes,
+            index.partitions_->ReadSidecar(pid, kRegionSidecar));
+        TARDIS_ASSIGN_OR_RETURN(RegionSummary region,
+                                RegionSummary::Decode(region_bytes));
+        std::unique_ptr<BloomFilter> bloom;
+        if (config.build_bloom) {
+          TARDIS_ASSIGN_OR_RETURN(
+              std::string bloom_bytes,
+              index.partitions_->ReadSidecar(pid, kBloomSidecar));
+          TARDIS_ASSIGN_OR_RETURN(BloomFilter decoded,
+                                  BloomFilter::Decode(bloom_bytes));
+          bloom = std::make_unique<BloomFilter>(std::move(decoded));
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        index.regions_[pid] = std::move(region);
+        index.blooms_[pid] = std::move(bloom);
+        return Status::OK();
+      }));
+  return index;
+}
+
+Result<TardisIndex::SizeInfo> TardisIndex::ComputeSizeInfo() const {
+  SizeInfo info;
+  info.global_bytes = global_->SerializedSize();
+  for (uint32_t pid = 0; pid < num_partitions(); ++pid) {
+    TARDIS_ASSIGN_OR_RETURN(uint64_t tree_bytes,
+                            partitions_->SidecarBytes(pid, kTreeSidecar));
+    info.local_tree_bytes += tree_bytes;
+    if (blooms_.size() > pid && blooms_[pid] != nullptr) {
+      info.bloom_bytes += blooms_[pid]->SizeBytes();
+    }
+  }
+  return info;
+}
+
+Status TardisIndex::PrepareQuery(const TimeSeries& query,
+                                 TimeSeries* normalized,
+                                 std::vector<double>* paa,
+                                 std::string* sig) const {
+  if (query.size() != series_length_) {
+    return Status::InvalidArgument("query length differs from indexed series");
+  }
+  // Queries are expected in the same (z-normalised) space as the indexed
+  // data; normalisation is an ingest-time step in the paper (§VI-A) and
+  // re-normalising here would not be bit-idempotent for exact matching.
+  *normalized = query;
+  paa->resize(config_.word_length);
+  PaaInto(*normalized, config_.word_length, paa->data());
+  *sig = codec().Encode(*paa);
+  return Status::OK();
+}
+
+Result<std::vector<Record>> TardisIndex::LoadPartition(PartitionId pid) const {
+  if (config_.clustered) return partitions_->ReadPartition(pid);
+  // Un-clustered: reconstruct the partition's records by fetching each rid
+  // from the base blocks — the refine phase's "expensive random I/O
+  // operations" (§II-D). Blocks are cached within one load so a partition
+  // never reads the same block twice, but distinct partitions repeat reads.
+  if (input_ == nullptr) return Status::Internal("base block store unavailable");
+  TARDIS_ASSIGN_OR_RETURN(std::string rid_bytes,
+                          partitions_->ReadSidecar(pid, kRidsSidecar));
+  if (rid_bytes.size() % sizeof(uint64_t) != 0) {
+    return Status::Corruption("rid sidecar misaligned");
+  }
+  SliceReader reader(rid_bytes);
+  std::vector<Record> records(rid_bytes.size() / sizeof(uint64_t));
+  std::unordered_map<uint32_t, std::vector<Record>> block_cache;
+  for (auto& rec : records) {
+    uint64_t rid = 0;
+    if (!reader.GetFixed(&rid)) return Status::Corruption("rid sidecar");
+    const uint32_t block = static_cast<uint32_t>(rid / input_->block_capacity());
+    auto it = block_cache.find(block);
+    if (it == block_cache.end()) {
+      TARDIS_ASSIGN_OR_RETURN(std::vector<Record> loaded,
+                              input_->ReadBlock(block));
+      it = block_cache.emplace(block, std::move(loaded)).first;
+    }
+    const uint64_t offset = rid % input_->block_capacity();
+    if (offset >= it->second.size() || it->second[offset].rid != rid) {
+      return Status::Corruption("rid not found in its block");
+    }
+    rec = it->second[offset];
+  }
+  return records;
+}
+
+Result<LocalIndex> TardisIndex::LoadLocalIndex(PartitionId pid) const {
+  TARDIS_ASSIGN_OR_RETURN(std::string bytes,
+                          partitions_->ReadSidecar(pid, kTreeSidecar));
+  return LocalIndex::DecodeTree(bytes, codec());
+}
+
+Result<std::vector<RecordId>> TardisIndex::ExactMatch(
+    const TimeSeries& query, bool use_bloom, ExactMatchStats* stats) const {
+  TimeSeries normalized;
+  std::vector<double> paa;
+  std::string sig;
+  TARDIS_RETURN_NOT_OK(PrepareQuery(query, &normalized, &paa, &sig));
+
+  // (2) traverse Tardis-G to identify the partition.
+  const PartitionId pid = global_->LookupPartition(sig);
+  if (pid == kInvalidPartition) {
+    if (stats) stats->descent_failed = true;
+    return std::vector<RecordId>{};
+  }
+
+  // (3) Bloom filter test: a negative verdict proves absence without the
+  // high-latency partition load.
+  if (use_bloom && pid < blooms_.size() && blooms_[pid] != nullptr &&
+      !blooms_[pid]->MayContain(sig)) {
+    if (stats) stats->bloom_negative = true;
+    return std::vector<RecordId>{};
+  }
+
+  // (4) load the partition, traverse Tardis-L to the leaf, verify raw data.
+  TARDIS_ASSIGN_OR_RETURN(LocalIndex local, LoadLocalIndex(pid));
+  if (stats) stats->partitions_loaded = 1;
+  // Descend stops either at a leaf whose signature prefix covers the query
+  // (candidates live in its clustered slice) or at an internal node with no
+  // matching child — which proves the series is absent (§V-A: "the failure
+  // of traversal in either Tardis-G or Tardis-L means a non-existent
+  // result").
+  const SigTree::Node* leaf = local.tree().Descend(sig);
+  if (!leaf->is_leaf()) {
+    if (stats) stats->descent_failed = true;
+    return std::vector<RecordId>{};
+  }
+  // Verify the leaf's slice against the raw query values.
+  TARDIS_ASSIGN_OR_RETURN(std::vector<Record> records, LoadPartition(pid));
+  std::vector<RecordId> result;
+  const uint32_t end = leaf->range_start + leaf->range_len;
+  for (uint32_t i = leaf->range_start; i < end && i < records.size(); ++i) {
+    if (stats) ++stats->candidates;
+    if (records[i].values == normalized) result.push_back(records[i].rid);
+  }
+  return result;
+}
+
+}  // namespace tardis

@@ -1,0 +1,190 @@
+// TardisIndex: the complete TARDIS indexing framework (paper §IV, Fig. 6).
+//
+// Owns the build pipeline — Tardis-G construction, the partitioner shuffle,
+// per-partition Tardis-L + Bloom construction — and exposes the paper's
+// query algorithms (§V): exact match (with/without the Bloom filter) and the
+// three kNN-approximate strategies.
+
+#ifndef TARDIS_CORE_TARDIS_INDEX_H_
+#define TARDIS_CORE_TARDIS_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/map_reduce.h"
+#include "common/bloom_filter.h"
+#include "core/global_index.h"
+#include "core/local_index.h"
+#include "core/tardis_config.h"
+#include "storage/block_store.h"
+#include "storage/partition_store.h"
+
+namespace tardis {
+
+// One approximate nearest neighbour: (distance, record id).
+struct Neighbor {
+  double distance = 0.0;
+  RecordId rid = 0;
+
+  bool operator<(const Neighbor& other) const {
+    return distance < other.distance ||
+           (distance == other.distance && rid < other.rid);
+  }
+  bool operator==(const Neighbor&) const = default;
+};
+
+// kNN-approximate query strategies (paper §V-B).
+enum class KnnStrategy {
+  kTargetNode,       // deepest node with >= k entries, single node scan
+  kOnePartition,     // + threshold-pruned scan of the whole home partition
+  kMultiPartitions,  // + pruned scan of sibling partitions (Alg. 1)
+};
+
+const char* KnnStrategyName(KnnStrategy strategy);
+
+struct ExactMatchStats {
+  bool bloom_negative = false;   // filter said "absent": no partition load
+  bool descent_failed = false;   // Tardis-L traversal failed
+  uint32_t candidates = 0;       // raw series compared
+  uint32_t partitions_loaded = 0;
+};
+
+struct KnnStats {
+  uint32_t partitions_loaded = 0;
+  uint32_t target_node_level = 0;
+  uint64_t candidates = 0;  // raw series ranked by true distance
+};
+
+class TardisIndex {
+ public:
+  // Wall-clock breakdown of index construction (Figs. 10-12).
+  struct BuildTimings {
+    GlobalIndex::BuildBreakdown global;
+    double shuffle_seconds = 0.0;      // read + convert + shuffle to partitions
+    double local_build_seconds = 0.0;  // mapPartitions: Tardis-L + clustering
+    double bloom_extra_seconds = 0.0;  // spill pass when nothing is cached
+    ShuffleMetrics shuffle;            // dataflow accounting of the shuffle
+    double TotalSeconds() const {
+      return global.TotalSeconds() + shuffle_seconds + local_build_seconds +
+             bloom_extra_seconds;
+    }
+  };
+
+  // Index size accounting (Fig. 13); excludes the clustered data itself.
+  struct SizeInfo {
+    uint64_t global_bytes = 0;
+    uint64_t local_tree_bytes = 0;
+    uint64_t bloom_bytes = 0;
+  };
+
+  // Builds the full index over `input`, materialising partitions under
+  // `partition_dir`. `timings` may be null. The index metadata (config,
+  // Tardis-G, partition counts) is persisted alongside the partitions so the
+  // index can later be re-opened without rebuilding.
+  static Result<TardisIndex> Build(std::shared_ptr<Cluster> cluster,
+                                   const BlockStore& input,
+                                   const std::string& partition_dir,
+                                   const TardisConfig& config,
+                                   BuildTimings* timings);
+
+  // Re-opens an index previously built into `partition_dir`: restores the
+  // configuration, Tardis-G, partition counts, and the memory-resident
+  // Bloom filters and region summaries from their sidecars.
+  static Result<TardisIndex> Open(std::shared_ptr<Cluster> cluster,
+                                  const std::string& partition_dir);
+
+  const TardisConfig& config() const { return config_; }
+  const GlobalIndex& global() const { return *global_; }
+  const ISaxTCodec& codec() const { return global_->codec(); }
+  uint32_t num_partitions() const { return global_->num_partitions(); }
+  uint32_t series_length() const { return series_length_; }
+  const std::vector<uint64_t>& partition_counts() const {
+    return partition_counts_;
+  }
+
+  Result<SizeInfo> ComputeSizeInfo() const;
+
+  // --- Exact Match (paper §V-A) ---
+  // Returns the record ids whose series equals `query` exactly. The query is
+  // z-normalised internally. `use_bloom` selects between the Bloom-filtered
+  // algorithm and the Non-Bloom variant. `stats` may be null.
+  Result<std::vector<RecordId>> ExactMatch(const TimeSeries& query,
+                                           bool use_bloom,
+                                           ExactMatchStats* stats) const;
+
+  // --- kNN Approximate (paper §V-B, Alg. 1) ---
+  // Returns up to k neighbours sorted by true Euclidean distance. `stats`
+  // may be null.
+  Result<std::vector<Neighbor>> KnnApproximate(const TimeSeries& query,
+                                               uint32_t k,
+                                               KnnStrategy strategy,
+                                               KnnStats* stats) const;
+
+  // --- Exact range search (extension beyond the paper; DESIGN.md §5) ---
+  // Returns every record with ED(query, record) <= radius, sorted by
+  // distance. Partitions and Tardis-L subtrees whose lower bound exceeds the
+  // radius are pruned; results are verified on raw values, so the answer is
+  // exact. `stats` may be null.
+  Result<std::vector<Neighbor>> RangeSearch(const TimeSeries& query,
+                                            double radius,
+                                            KnnStats* stats) const;
+
+  // --- Exact kNN (extension beyond the paper; DESIGN.md §5) ---
+  // Visits partitions in increasing region-summary lower-bound order and
+  // stops once the bound exceeds the k-th best distance, so the result is
+  // provably the true kNN while typically touching a small fraction of the
+  // partitions. `stats` may be null.
+  Result<std::vector<Neighbor>> KnnExact(const TimeSeries& query, uint32_t k,
+                                         KnnStats* stats) const;
+
+  // --- Incremental ingest (extension beyond the paper; DESIGN.md §5) ---
+  // Routes each new series through the existing Tardis-G, rebuilds the local
+  // index / Bloom filter / region summary of every touched partition, and
+  // persists refreshed metadata. Returns the record ids assigned to the
+  // batch (continuing the existing rid sequence). Not safe to call
+  // concurrently with queries on the same instance.
+  Result<std::vector<RecordId>> Append(const Dataset& batch);
+
+  // Loads a partition's records and its Tardis-L (per-query disk reads, as
+  // in the paper's query path). Exposed for tests and tooling.
+  Result<std::vector<Record>> LoadPartition(PartitionId pid) const;
+  Result<LocalIndex> LoadLocalIndex(PartitionId pid) const;
+
+ private:
+  TardisIndex(std::shared_ptr<Cluster> cluster, TardisConfig config,
+              GlobalIndex global, PartitionStore partitions,
+              uint32_t series_length)
+      : cluster_(std::move(cluster)),
+        config_(config),
+        global_(std::make_unique<GlobalIndex>(std::move(global))),
+        partitions_(std::make_unique<PartitionStore>(std::move(partitions))),
+        series_length_(series_length) {}
+
+  // Prepares (z-normalises) the query and computes PAA + full signature.
+  Status PrepareQuery(const TimeSeries& query, TimeSeries* normalized,
+                      std::vector<double>* paa, std::string* sig) const;
+
+  // Persists config/global-tree/counts metadata next to the partitions.
+  Status SaveMeta() const;
+
+  std::shared_ptr<Cluster> cluster_;
+  TardisConfig config_;
+  std::unique_ptr<GlobalIndex> global_;
+  std::unique_ptr<PartitionStore> partitions_;
+  // The base-data blocks; queried directly by un-clustered indexes (refine
+  // phase random I/O).
+  std::unique_ptr<BlockStore> input_;
+  uint32_t series_length_ = 0;
+  std::vector<uint64_t> partition_counts_;
+  // Memory-resident per-partition Bloom filters (paper: "due to the small
+  // size, it resides in memory"). Null slots when build_bloom is off.
+  std::vector<std::unique_ptr<BloomFilter>> blooms_;
+  // Memory-resident per-partition region summaries (exact-kNN pruning).
+  std::vector<RegionSummary> regions_;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_CORE_TARDIS_INDEX_H_

@@ -1,0 +1,288 @@
+#include "sigtree/sigtree.h"
+
+#include <cassert>
+#include <limits>
+
+#include "common/serde.h"
+
+namespace tardis {
+
+SigTree::SigTree(ISaxTCodec codec) : codec_(codec), root_(std::make_unique<Node>()) {}
+
+SigTree::Node* SigTree::Descend(std::string_view full_sig) const {
+  Node* node = root_.get();
+  const uint32_t cpl = codec_.chars_per_level();
+  while (!node->children.empty()) {
+    const size_t off = static_cast<size_t>(node->level) * cpl;
+    if (off + cpl > full_sig.size()) break;
+    auto it = node->children.find(full_sig.substr(off, cpl));
+    if (it == node->children.end()) break;
+    node = it->second.get();
+  }
+  return node;
+}
+
+SigTree::Node* SigTree::RouteDescend(std::string_view full_sig) const {
+  Node* node = root_.get();
+  const uint32_t cpl = codec_.chars_per_level();
+  // The record's word is only needed on a mismatch (a signature unseen
+  // during sampling), so it is decoded lazily — the hot path is pure prefix
+  // descent.
+  SaxWord word;
+  while (!node->children.empty()) {
+    const size_t off = static_cast<size_t>(node->level) * cpl;
+    if (off + cpl <= full_sig.size()) {
+      auto it = node->children.find(full_sig.substr(off, cpl));
+      if (it != node->children.end()) {
+        node = it->second.get();
+        continue;
+      }
+    }
+    // No exact child: route to the child whose stripe region is nearest.
+    // MindistSaxToSax handles the cardinality mismatch between the record's
+    // full-resolution word and the child's level. Ties break toward the
+    // lexicographically smaller signature for determinism.
+    if (word.symbols.empty()) {
+      auto word_res = codec_.Decode(full_sig);
+      assert(word_res.ok());
+      word = std::move(word_res).value();
+    }
+    Node* best = nullptr;
+    double best_gap = std::numeric_limits<double>::infinity();
+    for (const auto& [chunk, child] : node->children) {
+      const double gap =
+          MindistSaxToSax(word, EnsureWord(child.get()), word.symbols.size());
+      if (gap < best_gap) {
+        best_gap = gap;
+        best = child.get();
+      }
+    }
+    assert(best != nullptr);
+    node = best;
+  }
+  return node;
+}
+
+SigTree::Node* SigTree::MakeChild(Node* parent, std::string_view chunk) {
+  auto child = std::make_unique<Node>();
+  child->sig = parent->sig;
+  child->sig.append(chunk);
+  child->level = static_cast<uint8_t>(parent->level + 1);
+  child->parent = parent;
+  // child->word stays empty: the decoded SAX word is only needed by the
+  // region-distance paths (routing mismatches, kNN pruning) and is filled
+  // lazily by EnsureWord/EnsureWords. Exact-match descent never pays for it.
+  Node* raw = child.get();
+  parent->children.emplace(std::string(chunk), std::move(child));
+  return raw;
+}
+
+const SaxWord& SigTree::EnsureWord(Node* node) const {
+  if (node->word.symbols.empty() && node->level > 0) {
+    auto decoded = codec_.Decode(node->sig);
+    assert(decoded.ok());
+    node->word = std::move(decoded).value();
+  }
+  return node->word;
+}
+
+void SigTree::EnsureWords() const {
+  const_cast<SigTree*>(this)->ForEachNodeMutable(
+      [this](Node& node) { EnsureWord(&node); });
+}
+
+SigTree::Node* SigTree::GetOrCreateChild(Node* parent, std::string_view chunk) {
+  assert(chunk.size() == codec_.chars_per_level());
+  auto it = parent->children.find(chunk);
+  if (it != parent->children.end()) return it->second.get();
+  return MakeChild(parent, chunk);
+}
+
+void SigTree::InsertEntry(std::string_view full_sig, uint32_t record_index,
+                          uint64_t split_threshold) {
+  assert(full_sig.size() == codec_.sig_length());
+  const uint32_t cpl = codec_.chars_per_level();
+  Node* node = Descend(full_sig);
+  // If we stopped at an internal node without a matching child, grow a new
+  // leaf under it for this signature's next chunk.
+  while (!node->children.empty()) {
+    const size_t off = static_cast<size_t>(node->level) * cpl;
+    node = GetOrCreateChild(node, full_sig.substr(off, cpl));
+  }
+  node->entries.emplace_back(std::string(full_sig), record_index);
+  for (Node* p = node; p != nullptr; p = p->parent) ++p->count;
+  if (node->entries.size() > split_threshold && node->level < codec_.max_bits()) {
+    SplitLeaf(node, split_threshold);
+  }
+}
+
+void SigTree::SplitLeaf(Node* leaf, uint64_t split_threshold) {
+  const uint32_t cpl = codec_.chars_per_level();
+  const size_t off = static_cast<size_t>(leaf->level) * cpl;
+  auto entries = std::move(leaf->entries);
+  leaf->entries.clear();
+  for (auto& [sig, idx] : entries) {
+    Node* child = GetOrCreateChild(leaf, std::string_view(sig).substr(off, cpl));
+    child->count++;
+    child->entries.emplace_back(std::move(sig), idx);
+  }
+  // A child can inherit every entry (all share the next chunk); keep
+  // splitting until the threshold holds or cardinality is exhausted.
+  for (auto& [chunk, child] : leaf->children) {
+    if (child->entries.size() > split_threshold &&
+        child->level < codec_.max_bits()) {
+      SplitLeaf(child.get(), split_threshold);
+    }
+  }
+}
+
+Result<SigTree::Node*> SigTree::InsertStatNode(std::string_view sig,
+                                               uint64_t freq) {
+  const uint32_t cpl = codec_.chars_per_level();
+  if (sig.empty() || sig.size() % cpl != 0) {
+    return Status::InvalidArgument("stat node signature length mismatch");
+  }
+  Node* parent = Descend(sig.substr(0, sig.size() - cpl));
+  if (parent->sig.size() != sig.size() - cpl) {
+    return Status::InvalidArgument(
+        "stat node parent missing; layers must be inserted in ascending order");
+  }
+  Node* node = GetOrCreateChild(parent, sig.substr(sig.size() - cpl));
+  node->count = freq;
+  return node;
+}
+
+namespace {
+// Preorder DFS: leaves receive consecutive slices, so every subtree covers a
+// contiguous range — internal nodes get the union slice of their leaves.
+// This is what lets a kNN "target node" at any level be fetched as one
+// contiguous read from the clustered partition file.
+void AssignRangesRec(SigTree::Node& node, std::vector<uint32_t>* order) {
+  node.range_start = static_cast<uint32_t>(order->size());
+  if (node.is_leaf()) {
+    node.range_len = static_cast<uint32_t>(node.entries.size());
+    for (auto& [sig, idx] : node.entries) order->push_back(idx);
+    node.entries.clear();
+    node.entries.shrink_to_fit();
+    return;
+  }
+  for (auto& [chunk, child] : node.children) AssignRangesRec(*child, order);
+  node.range_len = static_cast<uint32_t>(order->size()) - node.range_start;
+}
+}  // namespace
+
+void SigTree::AssignClusteredRanges(std::vector<uint32_t>* order) {
+  AssignRangesRec(*root_, order);
+}
+
+namespace {
+void VisitConst(const SigTree::Node& node,
+                const std::function<void(const SigTree::Node&)>& fn) {
+  fn(node);
+  for (const auto& [chunk, child] : node.children) VisitConst(*child, fn);
+}
+
+void VisitMutable(SigTree::Node& node,
+                  const std::function<void(SigTree::Node&)>& fn) {
+  fn(node);
+  for (auto& [chunk, child] : node.children) VisitMutable(*child, fn);
+}
+}  // namespace
+
+void SigTree::ForEachNode(const std::function<void(const Node&)>& fn) const {
+  VisitConst(*root_, fn);
+}
+
+void SigTree::ForEachNodeMutable(const std::function<void(Node&)>& fn) {
+  VisitMutable(*root_, fn);
+}
+
+SigTree::Stats SigTree::ComputeStats() const {
+  Stats stats;
+  uint64_t depth_sum = 0, count_sum = 0;
+  ForEachNode([&](const Node& node) {
+    if (&node == root_.get()) return;
+    if (node.is_leaf()) {
+      ++stats.leaf_nodes;
+      depth_sum += node.level;
+      count_sum += node.count;
+      stats.max_depth = std::max<uint64_t>(stats.max_depth, node.level);
+    } else {
+      ++stats.internal_nodes;
+    }
+  });
+  if (stats.leaf_nodes > 0) {
+    stats.avg_leaf_depth = static_cast<double>(depth_sum) / stats.leaf_nodes;
+    stats.avg_leaf_count = static_cast<double>(count_sum) / stats.leaf_nodes;
+  }
+  return stats;
+}
+
+namespace {
+void EncodeNode(const SigTree::Node& node, uint32_t cpl, std::string* out) {
+  if (node.level > 0) {
+    // Only the last chunk is stored; the full signature is reconstructed
+    // from the path during decode.
+    out->append(node.sig.data() + node.sig.size() - cpl, cpl);
+  }
+  PutFixed<uint64_t>(out, node.count);
+  PutFixed<uint32_t>(out, static_cast<uint32_t>(node.pids.size()));
+  for (PartitionId pid : node.pids) PutFixed<uint32_t>(out, pid);
+  PutFixed<uint32_t>(out, node.range_start);
+  PutFixed<uint32_t>(out, node.range_len);
+  PutFixed<uint32_t>(out, static_cast<uint32_t>(node.children.size()));
+  for (const auto& [chunk, child] : node.children) EncodeNode(*child, cpl, out);
+}
+
+Status DecodeNode(SliceReader* reader, SigTree* tree, SigTree::Node* node,
+                  uint32_t cpl) {
+  uint32_t num_pids = 0;
+  if (!reader->GetFixed(&node->count) || !reader->GetFixed(&num_pids)) {
+    return Status::Corruption("sigtree: truncated node header");
+  }
+  if (num_pids > 1u << 24) return Status::Corruption("sigtree: pid count");
+  node->pids.resize(num_pids);
+  for (auto& pid : node->pids) {
+    if (!reader->GetFixed(&pid)) return Status::Corruption("sigtree: pids");
+  }
+  uint32_t num_children = 0;
+  if (!reader->GetFixed(&node->range_start) ||
+      !reader->GetFixed(&node->range_len) ||
+      !reader->GetFixed(&num_children)) {
+    return Status::Corruption("sigtree: truncated node body");
+  }
+  if (num_children > 1u << 24) return Status::Corruption("sigtree: child count");
+  std::string chunk(cpl, '\0');
+  for (uint32_t i = 0; i < num_children; ++i) {
+    if (!reader->GetBytes(chunk.data(), cpl)) {
+      return Status::Corruption("sigtree: truncated chunk");
+    }
+    SigTree::Node* child = tree->GetOrCreateChild(node, chunk);
+    TARDIS_RETURN_NOT_OK(DecodeNode(reader, tree, child, cpl));
+  }
+  return Status::OK();
+}
+}  // namespace
+
+void SigTree::EncodeTo(std::string* out) const {
+  PutFixed<uint32_t>(out, codec_.word_length());
+  PutFixed<uint32_t>(out, codec_.max_bits());
+  EncodeNode(*root_, codec_.chars_per_level(), out);
+}
+
+Result<SigTree> SigTree::Decode(std::string_view in, const ISaxTCodec& codec) {
+  SliceReader reader(in);
+  uint32_t word_length = 0, max_bits = 0;
+  if (!reader.GetFixed(&word_length) || !reader.GetFixed(&max_bits)) {
+    return Status::Corruption("sigtree: truncated header");
+  }
+  if (word_length != codec.word_length() || max_bits != codec.max_bits()) {
+    return Status::InvalidArgument("sigtree: codec configuration mismatch");
+  }
+  SigTree tree(codec);
+  TARDIS_RETURN_NOT_OK(
+      DecodeNode(&reader, &tree, tree.root(), codec.chars_per_level()));
+  return tree;
+}
+
+}  // namespace tardis

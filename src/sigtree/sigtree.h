@@ -1,0 +1,140 @@
+// sigTree: the iSAX-T K-ary index tree (paper §III-B, Fig. 5).
+//
+// A sigTree node at layer l covers the region of all series whose iSAX-T
+// signature starts with the node's l*(w/4)-character prefix — i.e. the
+// word-level cardinality at layer l is 2^l. A node has at most 2^w children
+// (one extra cardinality bit over all w segments), which keeps the tree far
+// shallower than the binary iBT. Nodes are doubly linked (children + parent)
+// so all siblings are reachable from the parent (used by the
+// Multi-Partitions-Access kNN strategy).
+//
+// One node type serves both TARDIS indices:
+//   * Tardis-G leaves carry partition ids; internal nodes carry the merged
+//     pid list of their subtree (paper §IV-B "Partition Assignment").
+//   * Tardis-L leaves carry (signature, record-index) entries while
+//     building, which are then flattened into a clustered [start, len) range
+//     over the partition file.
+
+#ifndef TARDIS_SIGTREE_SIGTREE_H_
+#define TARDIS_SIGTREE_SIGTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "ts/isaxt.h"
+#include "ts/sax.h"
+#include "ts/time_series.h"
+
+namespace tardis {
+
+class SigTree {
+ public:
+  struct Node {
+    // Full signature prefix from the root; length = level * (w/4).
+    std::string sig;
+    // Decoded per-segment symbols at this node's cardinality. Filled lazily
+    // (EnsureWord/EnsureWords); empty at the root and until a region-distance
+    // path first needs it.
+    SaxWord word;
+    uint8_t level = 0;
+    uint64_t count = 0;
+    Node* parent = nullptr;
+    // Children keyed by their next (w/4)-character signature chunk.
+    std::map<std::string, std::unique_ptr<Node>, std::less<>> children;
+
+    // --- Tardis-G payload ---
+    // Leaf: exactly one pid. Internal/root: sorted union of subtree pids
+    // (the paper's "id list" synchronized up to ancestors).
+    std::vector<PartitionId> pids;
+
+    // --- Tardis-L payload ---
+    // While building: leaf entries as (full signature, record index).
+    std::vector<std::pair<std::string, uint32_t>> entries;
+    // After clustering: the leaf's contiguous slice of the partition file.
+    uint32_t range_start = 0;
+    uint32_t range_len = 0;
+
+    bool is_leaf() const { return children.empty(); }
+  };
+
+  // Structure statistics (compactness comparisons, Fig. 13 and §VI text).
+  struct Stats {
+    uint64_t internal_nodes = 0;
+    uint64_t leaf_nodes = 0;
+    uint64_t max_depth = 0;
+    double avg_leaf_depth = 0.0;
+    double avg_leaf_count = 0.0;
+  };
+
+  explicit SigTree(ISaxTCodec codec);
+
+  const ISaxTCodec& codec() const { return codec_; }
+  Node* root() { return root_.get(); }
+  const Node* root() const { return root_.get(); }
+
+  // Deepest node whose signature is a prefix of `full_sig` (possibly the
+  // root). Pure prefix descent — never creates nodes.
+  Node* Descend(std::string_view full_sig) const;
+
+  // Like Descend, but when an internal node lacks a matching child, routes
+  // to the child whose region is nearest (by SAX-region gap) to the word
+  // encoded in `full_sig`. Used to assign unseen signatures to a partition
+  // during the shuffle. Returns null only on an empty tree (root is a leaf).
+  Node* RouteDescend(std::string_view full_sig) const;
+
+  // Creates (or returns) the child of `parent` for the given chunk
+  // (chars_per_level characters).
+  Node* GetOrCreateChild(Node* parent, std::string_view chunk);
+
+  // --- Tardis-L construction ---
+  // Inserts a record entry, splitting leaves that exceed `split_threshold`
+  // entries by promoting them one cardinality level (<= 2^w-way split).
+  // Leaves at the maximum level never split. `full_sig` must be a
+  // full-cardinality signature from this tree's codec.
+  void InsertEntry(std::string_view full_sig, uint32_t record_index,
+                   uint64_t split_threshold);
+
+  // --- Tardis-G skeleton building ---
+  // Inserts a statistics node (isaxt(level), freq) whose parent at
+  // level-1 must already exist (stats are applied layer by layer).
+  Result<Node*> InsertStatNode(std::string_view sig, uint64_t freq);
+
+  // Flattens leaf entries into the clustered order: assigns each leaf a
+  // [range_start, range_len) slice and appends its record indices to `order`
+  // (DFS order). Clears the per-leaf entry vectors.
+  void AssignClusteredRanges(std::vector<uint32_t>* order);
+
+  // Lazily decodes (and caches) the node's SAX word. Logically const: the
+  // word is a pure function of the node's signature.
+  const SaxWord& EnsureWord(Node* node) const;
+  // Fills the words of every node (called once before kNN pruning scans).
+  void EnsureWords() const;
+
+  // Visits every node preorder.
+  void ForEachNode(const std::function<void(const Node&)>& fn) const;
+  void ForEachNodeMutable(const std::function<void(Node&)>& fn);
+
+  Stats ComputeStats() const;
+
+  // Serialized size / round-trip of the structure (signatures, counts, pids,
+  // clustered ranges — entry vectors are not serialized).
+  void EncodeTo(std::string* out) const;
+  static Result<SigTree> Decode(std::string_view in, const ISaxTCodec& codec);
+
+ private:
+  void SplitLeaf(Node* leaf, uint64_t split_threshold);
+  Node* MakeChild(Node* parent, std::string_view chunk);
+
+  ISaxTCodec codec_;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_SIGTREE_SIGTREE_H_

@@ -1,0 +1,154 @@
+#include "storage/block_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace fs = std::filesystem;
+
+namespace tardis {
+
+namespace {
+constexpr uint64_t kMetaMagic = 0x5441524449534253ULL;  // "TARDISBS"
+
+Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open for write: " + tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) return Status::IOError("short write: " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) return Status::IOError("rename failed: " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::string bytes(static_cast<size_t>(size), '\0');
+  in.read(bytes.data(), size);
+  if (!in) return Status::IOError("short read: " + path);
+  return bytes;
+}
+}  // namespace
+
+std::string BlockStore::BlockPath(uint32_t index) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "block_%06u.bin", index);
+  return dir_ + "/" + name;
+}
+
+Result<BlockStore> BlockStore::Create(const std::string& dir,
+                                      const Dataset& dataset,
+                                      uint32_t block_capacity) {
+  if (dataset.empty()) return Status::InvalidArgument("empty dataset");
+  if (block_capacity == 0) return Status::InvalidArgument("block capacity must be > 0");
+  const uint32_t series_length = static_cast<uint32_t>(dataset[0].size());
+  if (series_length == 0) return Status::InvalidArgument("zero-length series");
+  for (const auto& ts : dataset) {
+    if (ts.size() != series_length) {
+      return Status::InvalidArgument("dataset series lengths differ");
+    }
+  }
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::IOError("mkdir failed: " + dir + ": " + ec.message());
+  if (fs::exists(dir + "/meta.bin")) {
+    return Status::AlreadyExists("block store already exists in " + dir);
+  }
+
+  BlockStore store;
+  store.dir_ = dir;
+  store.series_length_ = series_length;
+  store.block_capacity_ = block_capacity;
+  store.num_records_ = dataset.size();
+  store.num_blocks_ = static_cast<uint32_t>(
+      (dataset.size() + block_capacity - 1) / block_capacity);
+
+  Record rec;
+  for (uint32_t b = 0; b < store.num_blocks_; ++b) {
+    const uint64_t begin = static_cast<uint64_t>(b) * block_capacity;
+    const uint64_t end = std::min<uint64_t>(begin + block_capacity, dataset.size());
+    std::string bytes;
+    bytes.reserve((end - begin) * RecordEncodedSize(series_length));
+    for (uint64_t r = begin; r < end; ++r) {
+      rec.rid = r;
+      rec.values = dataset[r];
+      EncodeRecord(rec, &bytes);
+    }
+    TARDIS_RETURN_NOT_OK(WriteFileAtomic(store.BlockPath(b), bytes));
+  }
+
+  std::string meta;
+  PutFixed<uint64_t>(&meta, kMetaMagic);
+  PutFixed<uint64_t>(&meta, store.num_records_);
+  PutFixed<uint32_t>(&meta, store.num_blocks_);
+  PutFixed<uint32_t>(&meta, store.series_length_);
+  PutFixed<uint32_t>(&meta, store.block_capacity_);
+  TARDIS_RETURN_NOT_OK(WriteFileAtomic(dir + "/meta.bin", meta));
+  return store;
+}
+
+Result<BlockStore> BlockStore::Open(const std::string& dir) {
+  TARDIS_ASSIGN_OR_RETURN(std::string meta, ReadFile(dir + "/meta.bin"));
+  SliceReader reader(meta);
+  uint64_t magic = 0;
+  BlockStore store;
+  store.dir_ = dir;
+  if (!reader.GetFixed(&magic) || magic != kMetaMagic ||
+      !reader.GetFixed(&store.num_records_) ||
+      !reader.GetFixed(&store.num_blocks_) ||
+      !reader.GetFixed(&store.series_length_) ||
+      !reader.GetFixed(&store.block_capacity_)) {
+    return Status::Corruption("bad block store meta in " + dir);
+  }
+  return store;
+}
+
+Result<std::vector<Record>> BlockStore::ReadBlock(uint32_t index) const {
+  if (index >= num_blocks_) {
+    return Status::OutOfRange("block index out of range");
+  }
+  TARDIS_ASSIGN_OR_RETURN(std::string bytes, ReadFile(BlockPath(index)));
+  const size_t rec_size = RecordEncodedSize(series_length_);
+  if (bytes.size() % rec_size != 0) {
+    return Status::Corruption("block file size not a record multiple");
+  }
+  std::vector<Record> records(bytes.size() / rec_size);
+  SliceReader reader(bytes);
+  for (auto& rec : records) {
+    if (!DecodeRecord(&reader, series_length_, &rec)) {
+      return Status::Corruption("truncated record in block");
+    }
+  }
+  return records;
+}
+
+std::vector<uint32_t> BlockStore::SampleBlocks(double percent, Rng* rng) const {
+  std::vector<uint32_t> all(num_blocks_);
+  for (uint32_t i = 0; i < num_blocks_; ++i) all[i] = i;
+  if (percent >= 100.0) return all;
+  const uint32_t want = std::max<uint32_t>(
+      1, static_cast<uint32_t>(percent / 100.0 * num_blocks_ + 0.5));
+  // Partial Fisher-Yates: the first `want` entries become the sample.
+  for (uint32_t i = 0; i < want; ++i) {
+    const uint32_t j =
+        i + static_cast<uint32_t>(rng->NextBounded(num_blocks_ - i));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(want);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+uint64_t BlockStore::TotalBytes() const {
+  return num_records_ * RecordEncodedSize(series_length_);
+}
+
+}  // namespace tardis

@@ -1,0 +1,127 @@
+#include "storage/partition_store.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace fs = std::filesystem;
+
+namespace tardis {
+
+namespace {
+Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open for write: " + tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) return Status::IOError("short write: " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) return Status::IOError("rename failed: " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::string bytes(static_cast<size_t>(size), '\0');
+  in.read(bytes.data(), size);
+  if (!in) return Status::IOError("short read: " + path);
+  return bytes;
+}
+
+Result<uint64_t> FileBytes(const std::string& path) {
+  std::error_code ec;
+  const uint64_t size = fs::file_size(path, ec);
+  if (ec) return Status::IOError("stat failed: " + path + ": " + ec.message());
+  return size;
+}
+}  // namespace
+
+Result<PartitionStore> PartitionStore::Open(const std::string& dir,
+                                            uint32_t series_length) {
+  if (series_length == 0) {
+    return Status::InvalidArgument("series length must be > 0");
+  }
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::IOError("mkdir failed: " + dir + ": " + ec.message());
+  return PartitionStore(dir, series_length);
+}
+
+std::string PartitionStore::PartitionPath(PartitionId pid) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "part_%06u.bin", pid);
+  return dir_ + "/" + name;
+}
+
+std::string PartitionStore::SidecarPath(PartitionId pid,
+                                        const std::string& name) const {
+  char prefix[32];
+  std::snprintf(prefix, sizeof(prefix), "part_%06u.", pid);
+  return dir_ + "/" + prefix + name;
+}
+
+Status PartitionStore::WritePartition(PartitionId pid,
+                                      const std::vector<Record>& records) const {
+  std::string bytes;
+  bytes.reserve(records.size() * RecordEncodedSize(series_length_));
+  for (const auto& rec : records) EncodeRecord(rec, &bytes);
+  return WritePartitionRaw(pid, bytes);
+}
+
+Status PartitionStore::WritePartitionRaw(PartitionId pid,
+                                         const std::string& bytes) const {
+  if (bytes.size() % RecordEncodedSize(series_length_) != 0) {
+    return Status::InvalidArgument("raw partition buffer is not record-aligned");
+  }
+  return WriteFileAtomic(PartitionPath(pid), bytes);
+}
+
+Result<std::vector<Record>> PartitionStore::ReadPartition(PartitionId pid) const {
+  TARDIS_ASSIGN_OR_RETURN(std::string bytes, ReadFile(PartitionPath(pid)));
+  const size_t rec_size = RecordEncodedSize(series_length_);
+  if (bytes.size() % rec_size != 0) {
+    return Status::Corruption("partition file size not a record multiple");
+  }
+  std::vector<Record> records(bytes.size() / rec_size);
+  SliceReader reader(bytes);
+  for (auto& rec : records) {
+    if (!DecodeRecord(&reader, series_length_, &rec)) {
+      return Status::Corruption("truncated record in partition");
+    }
+  }
+  return records;
+}
+
+Result<uint64_t> PartitionStore::PartitionBytes(PartitionId pid) const {
+  return FileBytes(PartitionPath(pid));
+}
+
+Status PartitionStore::RemovePartition(PartitionId pid) const {
+  std::error_code ec;
+  fs::remove(PartitionPath(pid), ec);
+  if (ec) return Status::IOError("remove failed: " + PartitionPath(pid));
+  return Status::OK();
+}
+
+Status PartitionStore::WriteSidecar(PartitionId pid, const std::string& name,
+                                    const std::string& bytes) const {
+  return WriteFileAtomic(SidecarPath(pid, name), bytes);
+}
+
+Result<std::string> PartitionStore::ReadSidecar(PartitionId pid,
+                                                const std::string& name) const {
+  return ReadFile(SidecarPath(pid, name));
+}
+
+Result<uint64_t> PartitionStore::SidecarBytes(PartitionId pid,
+                                              const std::string& name) const {
+  return FileBytes(SidecarPath(pid, name));
+}
+
+}  // namespace tardis

@@ -1,0 +1,49 @@
+// On-disk record format shared by block files (raw dataset) and partition
+// files (shuffled, clustered data).
+//
+// A record is (rid, ts) — paper Table I. Records of one file all share the
+// same series length, so the layout is fixed-width:
+//   [rid : u64 LE][values : series_length * f32 LE]
+
+#ifndef TARDIS_STORAGE_RECORD_H_
+#define TARDIS_STORAGE_RECORD_H_
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/serde.h"
+#include "common/status.h"
+#include "ts/time_series.h"
+
+namespace tardis {
+
+struct Record {
+  RecordId rid = 0;
+  TimeSeries values;
+
+  bool operator==(const Record&) const = default;
+};
+
+inline size_t RecordEncodedSize(uint32_t series_length) {
+  return sizeof(uint64_t) + static_cast<size_t>(series_length) * sizeof(float);
+}
+
+inline void EncodeRecord(const Record& rec, std::string* out) {
+  PutFixed<uint64_t>(out, rec.rid);
+  out->append(reinterpret_cast<const char*>(rec.values.data()),
+              rec.values.size() * sizeof(float));
+}
+
+// Decodes one record of `series_length` values; returns false on truncation.
+inline bool DecodeRecord(SliceReader* reader, uint32_t series_length,
+                         Record* rec) {
+  if (!reader->GetFixed(&rec->rid)) return false;
+  rec->values.resize(series_length);
+  return reader->GetBytes(rec->values.data(),
+                          static_cast<size_t>(series_length) * sizeof(float));
+}
+
+}  // namespace tardis
+
+#endif  // TARDIS_STORAGE_RECORD_H_

@@ -1,0 +1,56 @@
+// Euclidean distance (paper Definition 2) with an early-abandoning variant
+// used in the refine phase of query processing.
+
+#ifndef TARDIS_TS_DISTANCE_H_
+#define TARDIS_TS_DISTANCE_H_
+
+#include <cmath>
+#include <limits>
+
+#include "ts/time_series.h"
+
+namespace tardis {
+
+// Squared Euclidean distance between two equal-length series.
+inline double SquaredEuclidean(const TimeSeries& a, const TimeSeries& b) {
+  double acc = 0.0;
+  const size_t n = a.size();
+  for (size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+// Squared Euclidean distance that abandons (returning +infinity) as soon as
+// the running sum exceeds `bound_sq`. Used when ranking candidates against a
+// current k-th best distance.
+inline double SquaredEuclideanEarlyAbandon(const TimeSeries& a,
+                                           const TimeSeries& b,
+                                           double bound_sq) {
+  double acc = 0.0;
+  const size_t n = a.size();
+  size_t i = 0;
+  // Check the bound every 16 terms: cheap enough to keep the inner loop tight
+  // while abandoning early on hopeless candidates.
+  while (i + 16 <= n) {
+    for (size_t j = 0; j < 16; ++j, ++i) {
+      const double d = static_cast<double>(a[i]) - b[i];
+      acc += d * d;
+    }
+    if (acc > bound_sq) return std::numeric_limits<double>::infinity();
+  }
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc > bound_sq ? std::numeric_limits<double>::infinity() : acc;
+}
+
+inline double EuclideanDistance(const TimeSeries& a, const TimeSeries& b) {
+  return std::sqrt(SquaredEuclidean(a, b));
+}
+
+}  // namespace tardis
+
+#endif  // TARDIS_TS_DISTANCE_H_

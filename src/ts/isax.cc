@@ -1,0 +1,75 @@
+#include "ts/isax.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/gaussian.h"
+
+namespace tardis {
+
+bool ISaxSignature::MatchesPrefix(const ISaxSignature& prefix) const {
+  assert(word_length() == prefix.word_length());
+  for (size_t i = 0; i < word_length(); ++i) {
+    assert(prefix.char_bits[i] <= max_bits);
+    const uint16_t mine =
+        static_cast<uint16_t>(full_symbols[i] >> (max_bits - prefix.char_bits[i]));
+    if (mine != prefix.Symbol(i)) return false;
+  }
+  return true;
+}
+
+std::string ISaxSignature::Key() const {
+  std::string key;
+  key.reserve(word_length() * 3);
+  for (size_t i = 0; i < word_length(); ++i) {
+    key.push_back(static_cast<char>(char_bits[i]));
+    const uint16_t sym = Symbol(i);
+    key.push_back(static_cast<char>(sym & 0xff));
+    key.push_back(static_cast<char>(sym >> 8));
+  }
+  return key;
+}
+
+ISaxSignature ISaxFromPaa(const std::vector<double>& paa, uint8_t max_bits) {
+  assert(max_bits >= 1 && max_bits <= BreakpointTable::kMaxCardinalityBits);
+  ISaxSignature sig;
+  sig.max_bits = max_bits;
+  sig.full_symbols.resize(paa.size());
+  sig.char_bits.assign(paa.size(), max_bits);
+  for (size_t i = 0; i < paa.size(); ++i) {
+    sig.full_symbols[i] =
+        static_cast<uint16_t>(BreakpointTable::Symbol(paa[i], max_bits));
+  }
+  return sig;
+}
+
+ISaxSignature ISaxPromote(const ISaxSignature& sig, size_t idx) {
+  assert(idx < sig.word_length());
+  assert(sig.char_bits[idx] < sig.max_bits);
+  ISaxSignature out = sig;
+  out.char_bits[idx] = static_cast<uint8_t>(out.char_bits[idx] + 1);
+  return out;
+}
+
+double MindistPaaToISax(const std::vector<double>& paa,
+                        const ISaxSignature& sig, size_t n) {
+  assert(paa.size() == sig.word_length());
+  const size_t w = paa.size();
+  double acc = 0.0;
+  for (size_t i = 0; i < w; ++i) {
+    const uint8_t bits = sig.char_bits[i];
+    const uint16_t sym = sig.Symbol(i);
+    const double lo = BreakpointTable::Lower(sym, bits);
+    const double hi = BreakpointTable::Upper(sym, bits);
+    double d = 0.0;
+    if (paa[i] < lo) {
+      d = lo - paa[i];
+    } else if (paa[i] > hi) {
+      d = paa[i] - hi;
+    }
+    acc += d * d;
+  }
+  return std::sqrt(static_cast<double>(n) / w * acc);
+}
+
+}  // namespace tardis

@@ -1,0 +1,64 @@
+// Character-level variable-cardinality iSAX signatures (paper §II-B/C).
+//
+// This is the representation the iBT / DPiSAX *baseline* is built on: each
+// character (segment) carries its own cardinality, decided dynamically by
+// node splits. TARDIS itself replaces this with the word-level iSAX-T scheme
+// (ts/isaxt.h); we implement both so the paper's comparisons can be
+// reproduced faithfully, including the baseline's conversion and matching
+// overheads.
+
+#ifndef TARDIS_TS_ISAX_H_
+#define TARDIS_TS_ISAX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ts/sax.h"
+#include "ts/time_series.h"
+
+namespace tardis {
+
+// An iSAX signature with per-character cardinality. `full_symbols` always
+// holds the symbols at the *maximum* cardinality 2^max_bits (the baseline's
+// "large initial cardinality", 512 by default); `char_bits[i]` gives the
+// number of bits character i currently exposes. The exposed symbol of
+// character i is full_symbols[i] >> (max_bits - char_bits[i]).
+struct ISaxSignature {
+  std::vector<uint16_t> full_symbols;
+  std::vector<uint8_t> char_bits;
+  uint8_t max_bits = 0;
+
+  size_t word_length() const { return full_symbols.size(); }
+
+  // Exposed symbol of character i at its current cardinality.
+  uint16_t Symbol(size_t i) const {
+    return static_cast<uint16_t>(full_symbols[i] >> (max_bits - char_bits[i]));
+  }
+
+  // True if this signature, restricted to `prefix`'s per-character
+  // cardinalities, equals `prefix`. This is the "covers" test used when a
+  // record is matched against an iBT node or a DPiSAX partition-table entry.
+  bool MatchesPrefix(const ISaxSignature& prefix) const;
+
+  // Compact key encoding (char_bits + exposed symbols) usable as a hash key.
+  std::string Key() const;
+
+  bool operator==(const ISaxSignature&) const = default;
+};
+
+// Builds the full-cardinality iSAX signature of a PAA vector.
+ISaxSignature ISaxFromPaa(const std::vector<double>& paa, uint8_t max_bits);
+
+// Returns a copy with character `idx` exposing one more bit. Requires
+// char_bits[idx] < max_bits.
+ISaxSignature ISaxPromote(const ISaxSignature& sig, size_t idx);
+
+// Lower bound on ED(Q, X) from Q's PAA vector and X's iSAX signature,
+// honouring each character's own cardinality. `n` is the series length.
+double MindistPaaToISax(const std::vector<double>& paa,
+                        const ISaxSignature& sig, size_t n);
+
+}  // namespace tardis
+
+#endif  // TARDIS_TS_ISAX_H_

@@ -1,0 +1,95 @@
+#include "ts/isaxt.h"
+
+#include <cassert>
+
+#include "common/gaussian.h"
+#include "ts/paa.h"
+#include "ts/znorm.h"
+
+namespace tardis {
+
+Result<ISaxTCodec> ISaxTCodec::Make(uint32_t word_length, uint8_t max_bits) {
+  if (word_length == 0 || word_length % 4 != 0) {
+    return Status::InvalidArgument(
+        "iSAX-T requires word length to be a positive multiple of 4");
+  }
+  if (max_bits < 1 || max_bits > BreakpointTable::kMaxCardinalityBits) {
+    return Status::InvalidArgument("iSAX-T cardinality bits must be in [1, 16]");
+  }
+  return ISaxTCodec(word_length, max_bits);
+}
+
+std::string ISaxTCodec::Encode(const std::vector<double>& paa) const {
+  assert(paa.size() == w_);
+  return EncodeWord(SaxFromPaa(paa, max_bits_));
+}
+
+std::string ISaxTCodec::EncodeWord(const SaxWord& word) const {
+  assert(word.symbols.size() == w_);
+  const uint8_t bits = word.bits;
+  std::string sig;
+  sig.resize(static_cast<size_t>(bits) * (w_ / 4));
+  size_t pos = 0;
+  // Row j of the transposed matrix collects bit (bits-1-j) of every symbol,
+  // i.e. row 0 holds the MSBs. Within a row, segment 0 is the MSB of the
+  // first hex character (matching paper Fig. 4).
+  for (uint32_t j = 0; j < bits; ++j) {
+    const uint32_t shift = bits - 1 - j;
+    for (uint32_t g = 0; g < w_; g += 4) {
+      uint32_t nibble = 0;
+      for (uint32_t s = 0; s < 4; ++s) {
+        nibble = (nibble << 1) | ((word.symbols[g + s] >> shift) & 1u);
+      }
+      sig[pos++] = HexDigit(nibble);
+    }
+  }
+  return sig;
+}
+
+Result<std::string> ISaxTCodec::EncodeSeries(const TimeSeries& ts) const {
+  TARDIS_ASSIGN_OR_RETURN(std::vector<double> paa, Paa(ts, w_));
+  return Encode(paa);
+}
+
+std::string_view ISaxTCodec::DropRight(std::string_view sig, uint8_t low_bits,
+                                       uint32_t word_length) {
+  const uint32_t cpl = word_length / 4;
+  assert(sig.size() % cpl == 0);
+  const size_t keep = static_cast<size_t>(low_bits) * cpl;
+  assert(keep <= sig.size());
+  return sig.substr(0, keep);
+}
+
+Result<SaxWord> ISaxTCodec::Decode(std::string_view sig) const {
+  const uint32_t cpl = chars_per_level();
+  if (sig.empty() || sig.size() % cpl != 0) {
+    return Status::InvalidArgument("iSAX-T signature length mismatch");
+  }
+  const uint8_t bits = static_cast<uint8_t>(sig.size() / cpl);
+  if (bits > max_bits_) {
+    return Status::InvalidArgument("iSAX-T signature exceeds max cardinality");
+  }
+  SaxWord word;
+  word.bits = bits;
+  word.symbols.assign(w_, 0);
+  size_t pos = 0;
+  for (uint32_t j = 0; j < bits; ++j) {
+    for (uint32_t g = 0; g < w_; g += 4) {
+      const int nibble = HexValue(sig[pos++]);
+      if (nibble < 0) return Status::Corruption("iSAX-T signature: non-hex char");
+      for (uint32_t s = 0; s < 4; ++s) {
+        const uint32_t bit = (static_cast<uint32_t>(nibble) >> (3 - s)) & 1u;
+        word.symbols[g + s] = static_cast<uint16_t>((word.symbols[g + s] << 1) | bit);
+      }
+    }
+  }
+  return word;
+}
+
+Result<double> ISaxTCodec::Mindist(const std::vector<double>& paa,
+                                   std::string_view sig, size_t n) const {
+  TARDIS_ASSIGN_OR_RETURN(SaxWord word, Decode(sig));
+  return MindistPaaToSax(paa, word, n);
+}
+
+}  // namespace tardis

@@ -1,0 +1,103 @@
+// iSAX-Transposition (iSAX-T) signatures — paper §III-A, Fig. 4.
+//
+// iSAX-T uses *word-level* cardinality: every segment of a word shares the
+// same number of bits, decided by the index-tree layer the series sits in.
+// The b-bit signature is laid out as a w x b bit matrix (row i = segment i's
+// symbol, MSB first), *transposed* to b rows of w bits, and each w-bit row is
+// rendered as w/4 hexadecimal characters. The result is a plain string whose
+// prefix of length l*w/4 is exactly the 2^l-cardinality signature — so the
+// ubiquitous "reduce cardinality" operation becomes a constant-time string
+// DropRight (paper Eq. 2), and descending a sigTree is plain prefix matching.
+//
+// Example (paper Fig. 4): SAX(T,4,16) = {1100, 1101, 0110, 0001}
+//   bit row 0 (MSBs):   1,1,0,0 -> "C"
+//   bit row 1:          1,1,1,0 -> "E"
+//   bit row 2:          0,0,1,0 -> "2"
+//   bit row 3 (LSBs):   1,1,0,1 -> ... full signature "CE25";
+//   DropRight to cardinality 4 keeps "CE".
+//
+// Requires word_length % 4 == 0 (the paper uses w = 8 throughout).
+
+#ifndef TARDIS_TS_ISAXT_H_
+#define TARDIS_TS_ISAXT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "ts/sax.h"
+#include "ts/time_series.h"
+
+namespace tardis {
+
+// Converter between PAA vectors / SAX words and iSAX-T signature strings for
+// a fixed (word_length, max_bits) configuration. Stateless apart from the
+// validated configuration; cheap to copy.
+class ISaxTCodec {
+ public:
+  // word_length must be a positive multiple of 4; bits in [1, 16].
+  static Result<ISaxTCodec> Make(uint32_t word_length, uint8_t max_bits);
+
+  uint32_t word_length() const { return w_; }
+  uint8_t max_bits() const { return max_bits_; }
+  // Number of hex characters contributed by each cardinality bit-level.
+  uint32_t chars_per_level() const { return w_ / 4; }
+  // Full signature length in characters: max_bits * w / 4.
+  uint32_t sig_length() const { return max_bits_ * (w_ / 4); }
+
+  // Full-cardinality signature of a PAA vector (paa.size() == word_length).
+  std::string Encode(const std::vector<double>& paa) const;
+
+  // Signature of an existing SAX word (word.bits levels).
+  std::string EncodeWord(const SaxWord& word) const;
+
+  // Convenience: z-normalised series -> PAA -> signature. `ts.size()` must
+  // be a multiple of word_length.
+  Result<std::string> EncodeSeries(const TimeSeries& ts) const;
+
+  // Reduces a signature to cardinality 2^low_bits by dropping
+  // (bits - low_bits) * w/4 rightmost characters (paper Eq. 2).
+  // sig.size() must be a multiple of chars_per_level().
+  static std::string_view DropRight(std::string_view sig, uint8_t low_bits,
+                                    uint32_t word_length);
+
+  // Cardinality bits encoded by a signature of this configuration.
+  uint8_t BitsOf(std::string_view sig) const {
+    return static_cast<uint8_t>(sig.size() / chars_per_level());
+  }
+
+  // Inverse transposition: recovers the per-segment SAX word from a
+  // signature (at the signature's own cardinality).
+  Result<SaxWord> Decode(std::string_view sig) const;
+
+  // Lower bound on ED(Q, X) between a query PAA vector and the region
+  // covered by signature `sig`. `n` is the raw series length.
+  Result<double> Mindist(const std::vector<double>& paa, std::string_view sig,
+                         size_t n) const;
+
+ private:
+  ISaxTCodec(uint32_t w, uint8_t max_bits) : w_(w), max_bits_(max_bits) {}
+
+  uint32_t w_;
+  uint8_t max_bits_;
+};
+
+// Hex character for a nibble (0-15), uppercase.
+inline char HexDigit(uint32_t nibble) {
+  return nibble < 10 ? static_cast<char>('0' + nibble)
+                     : static_cast<char>('A' + nibble - 10);
+}
+
+// Value of a hex character; returns -1 for non-hex input.
+inline int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+}  // namespace tardis
+
+#endif  // TARDIS_TS_ISAXT_H_

@@ -1,0 +1,30 @@
+#include "ts/paa.h"
+
+namespace tardis {
+
+Result<std::vector<double>> Paa(const TimeSeries& ts, uint32_t word_length) {
+  if (word_length == 0) {
+    return Status::InvalidArgument("PAA word length must be >= 1");
+  }
+  if (ts.empty() || ts.size() % word_length != 0) {
+    return Status::InvalidArgument(
+        "PAA requires series length to be a positive multiple of word length");
+  }
+  std::vector<double> out(word_length);
+  PaaInto(ts, word_length, out.data());
+  return out;
+}
+
+void PaaInto(const TimeSeries& ts, uint32_t word_length, double* out) {
+  const size_t seg = ts.size() / word_length;
+  const double inv = 1.0 / static_cast<double>(seg);
+  const float* p = ts.data();
+  for (uint32_t s = 0; s < word_length; ++s) {
+    double acc = 0.0;
+    for (size_t j = 0; j < seg; ++j) acc += p[j];
+    out[s] = acc * inv;
+    p += seg;
+  }
+}
+
+}  // namespace tardis

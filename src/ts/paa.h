@@ -1,0 +1,25 @@
+// Piecewise Aggregate Approximation (paper §II-B).
+//
+// PAA(T, w) divides T into w equal-length segments and represents each by
+// its mean, reducing an n-point series to a w-dimensional vector ("word").
+
+#ifndef TARDIS_TS_PAA_H_
+#define TARDIS_TS_PAA_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ts/time_series.h"
+
+namespace tardis {
+
+// Computes PAA with `word_length` segments. Requires word_length >= 1 and
+// ts.size() % word_length == 0 (the paper's datasets all satisfy this).
+Result<std::vector<double>> Paa(const TimeSeries& ts, uint32_t word_length);
+
+// Unchecked fast path used on hot loops after parameters were validated once.
+void PaaInto(const TimeSeries& ts, uint32_t word_length, double* out);
+
+}  // namespace tardis
+
+#endif  // TARDIS_TS_PAA_H_

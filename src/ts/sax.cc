@@ -1,0 +1,90 @@
+#include "ts/sax.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tardis {
+
+SaxWord SaxFromPaa(const std::vector<double>& paa, uint8_t bits) {
+  assert(bits >= 1 && bits <= BreakpointTable::kMaxCardinalityBits);
+  SaxWord word;
+  word.bits = bits;
+  word.symbols.resize(paa.size());
+  for (size_t i = 0; i < paa.size(); ++i) {
+    word.symbols[i] = static_cast<uint16_t>(BreakpointTable::Symbol(paa[i], bits));
+  }
+  return word;
+}
+
+SaxWord SaxReduce(const SaxWord& word, uint8_t new_bits) {
+  assert(new_bits >= 1 && new_bits <= word.bits);
+  SaxWord out;
+  out.bits = new_bits;
+  out.symbols.resize(word.symbols.size());
+  const uint32_t shift = word.bits - new_bits;
+  for (size_t i = 0; i < word.symbols.size(); ++i) {
+    out.symbols[i] = static_cast<uint16_t>(word.symbols[i] >> shift);
+  }
+  return out;
+}
+
+namespace {
+// Distance from point q to the stripe [lower(sym), upper(sym)): zero when q
+// lies inside the stripe, else the gap to the nearer boundary.
+inline double PointToStripe(double q, uint32_t sym, uint8_t bits) {
+  const double lo = BreakpointTable::Lower(sym, bits);
+  if (q < lo) return lo - q;
+  const double hi = BreakpointTable::Upper(sym, bits);
+  if (q > hi) return q - hi;
+  return 0.0;
+}
+
+// Minimal gap between two stripes at (possibly different) cardinalities:
+// zero when the stripes overlap.
+inline double StripeToStripe(uint32_t sa, uint8_t ba, uint32_t sb, uint8_t bb) {
+  const double lo_a = BreakpointTable::Lower(sa, ba);
+  const double hi_a = BreakpointTable::Upper(sa, ba);
+  const double lo_b = BreakpointTable::Lower(sb, bb);
+  const double hi_b = BreakpointTable::Upper(sb, bb);
+  if (lo_a > hi_b) return lo_a - hi_b;
+  if (lo_b > hi_a) return lo_b - hi_a;
+  return 0.0;
+}
+}  // namespace
+
+double MindistPaaToSax(const std::vector<double>& paa, const SaxWord& word,
+                       size_t n) {
+  assert(paa.size() == word.symbols.size());
+  const size_t w = paa.size();
+  double acc = 0.0;
+  for (size_t i = 0; i < w; ++i) {
+    const double d = PointToStripe(paa[i], word.symbols[i], word.bits);
+    acc += d * d;
+  }
+  return std::sqrt(static_cast<double>(n) / w * acc);
+}
+
+double MindistSaxToSax(const SaxWord& a, const SaxWord& b, size_t n) {
+  assert(a.symbols.size() == b.symbols.size());
+  const size_t w = a.symbols.size();
+  double acc = 0.0;
+  for (size_t i = 0; i < w; ++i) {
+    // Compare at the common (lower) cardinality; reducing the finer symbol
+    // preserves the lower-bound property.
+    uint32_t sa = a.symbols[i], sb = b.symbols[i];
+    uint8_t ba = a.bits, bb = b.bits;
+    if (ba > bb) {
+      sa >>= (ba - bb);
+      ba = bb;
+    } else if (bb > ba) {
+      sb >>= (bb - ba);
+      bb = ba;
+    }
+    const double d = StripeToStripe(sa, ba, sb, bb);
+    acc += d * d;
+  }
+  return std::sqrt(static_cast<double>(n) / w * acc);
+}
+
+}  // namespace tardis

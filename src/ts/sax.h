@@ -1,0 +1,52 @@
+// SAX: Symbolic Aggregate approXimation at a fixed word-level cardinality
+// (paper §II-B), plus the MINDIST lower-bound distances that make SAX words
+// index-friendly.
+//
+// A SAX word assigns each PAA segment the index of the N(0,1)-equiprobable
+// stripe containing it; stripe 0 is the bottom stripe and stripes are
+// labelled bottom-to-top (the paper's Fig. 1 convention, where "11" covers
+// [0.67, inf)). Because power-of-two breakpoint grids nest, the b'-bit symbol
+// is the b'-bit prefix of the b-bit symbol for any b' < b.
+
+#ifndef TARDIS_TS_SAX_H_
+#define TARDIS_TS_SAX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/gaussian.h"
+#include "common/status.h"
+#include "ts/time_series.h"
+
+namespace tardis {
+
+// A SAX word: `symbols[i]` is segment i's stripe index at cardinality
+// 2^bits, uniform across the word (word-level cardinality).
+struct SaxWord {
+  std::vector<uint16_t> symbols;
+  uint8_t bits = 0;
+
+  bool operator==(const SaxWord&) const = default;
+};
+
+// Discretises a PAA vector at cardinality 2^bits (bits in [1, 16]).
+SaxWord SaxFromPaa(const std::vector<double>& paa, uint8_t bits);
+
+// Reduces a SAX word to a lower cardinality by taking bit prefixes.
+// new_bits must be <= word.bits.
+SaxWord SaxReduce(const SaxWord& word, uint8_t new_bits);
+
+// Lower bound on ED(Q, X) computed from Q's PAA vector and X's SAX word
+// (the tighter of the two bounds; used when the query's raw values are
+// available — paper §V-B "PAA is used to obtain a tighter bound").
+// `n` is the original series length.
+double MindistPaaToSax(const std::vector<double>& paa, const SaxWord& word,
+                       size_t n);
+
+// Lower bound on ED(X, Y) from both SAX words. The words may have different
+// cardinalities; each segment pair is compared at the lower of the two.
+double MindistSaxToSax(const SaxWord& a, const SaxWord& b, size_t n);
+
+}  // namespace tardis
+
+#endif  // TARDIS_TS_SAX_H_

@@ -1,0 +1,31 @@
+// Core time-series value types (paper Definition 1).
+//
+// A time series is an ordered sequence of real values at a fixed sampling
+// granularity; timestamps are implicit. Values are stored as float (matching
+// the paper's datasets: SIFT vectors, temperatures, random walks) while all
+// distance arithmetic is done in double.
+
+#ifndef TARDIS_TS_TIME_SERIES_H_
+#define TARDIS_TS_TIME_SERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tardis {
+
+using TimeSeries = std::vector<float>;
+
+// A collection of same-length time series.
+using Dataset = std::vector<TimeSeries>;
+
+// Record id assigned at ingest time; unique within a dataset.
+using RecordId = uint64_t;
+
+// Partition id assigned by the global index.
+using PartitionId = uint32_t;
+
+inline constexpr PartitionId kInvalidPartition = 0xffffffffu;
+
+}  // namespace tardis
+
+#endif  // TARDIS_TS_TIME_SERIES_H_

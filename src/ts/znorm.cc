@@ -1,0 +1,30 @@
+#include "ts/znorm.h"
+
+#include <cmath>
+
+namespace tardis {
+
+void ZNormalize(TimeSeries* ts) {
+  if (ts->empty()) return;
+  double sum = 0.0, sq = 0.0;
+  for (float v : *ts) {
+    sum += v;
+    sq += static_cast<double>(v) * v;
+  }
+  const double n = static_cast<double>(ts->size());
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  const double std = var > 0.0 ? std::sqrt(var) : 0.0;
+  if (std < 1e-8) {
+    for (float& v : *ts) v = 0.0f;
+    return;
+  }
+  const double inv = 1.0 / std;
+  for (float& v : *ts) v = static_cast<float>((v - mean) * inv);
+}
+
+void ZNormalize(Dataset* dataset) {
+  for (auto& ts : *dataset) ZNormalize(&ts);
+}
+
+}  // namespace tardis

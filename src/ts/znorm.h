@@ -1,0 +1,21 @@
+// Z-normalisation. Every dataset in the paper's evaluation is z-normalised
+// before indexing (§VI-A), which is also what makes the N(0,1) SAX
+// breakpoints appropriate.
+
+#ifndef TARDIS_TS_ZNORM_H_
+#define TARDIS_TS_ZNORM_H_
+
+#include "ts/time_series.h"
+
+namespace tardis {
+
+// In-place z-normalisation: (x - mean) / stddev. A (near-)constant series
+// (stddev < 1e-8) is mapped to all zeros rather than dividing by zero.
+void ZNormalize(TimeSeries* ts);
+
+// Z-normalises every series in the dataset.
+void ZNormalize(Dataset* dataset);
+
+}  // namespace tardis
+
+#endif  // TARDIS_TS_ZNORM_H_

@@ -1,0 +1,56 @@
+// Synthetic stand-ins for the paper's four evaluation datasets (§VI-A).
+//
+// The real datasets (1B-series RandomWalk, Texmex SIFT corpus, UCSC DNA
+// assemblies, NOAA station temperatures) are not available here; each
+// generator reproduces the property the evaluation actually exercises — the
+// *skewness* of the iSAX-T signature distribution (paper Fig. 9) and the
+// series lengths:
+//   RandomWalk  n=256  flattest signature distribution (benchmark standard)
+//   Texmex-like n=128  SIFT-style sparse non-negative features, moderate skew
+//   DNA-like    n=192  cumulative walks over motif-repeating genome strings
+//   NOAA-like   n=64   seasonal temperature windows, strongly skewed
+//
+// All generators are deterministic in (seed, index): series i depends only
+// on the seed and i, which also makes generation embarrassingly parallel.
+
+#ifndef TARDIS_WORKLOAD_DATASETS_H_
+#define TARDIS_WORKLOAD_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "ts/time_series.h"
+
+namespace tardis {
+
+enum class DatasetKind {
+  kRandomWalk,
+  kTexmex,
+  kDna,
+  kNoaa,
+};
+
+// Short name used in bench output rows ("Rw", "Tx", "Dn", "Na" — the paper's
+// figure labels).
+const char* DatasetShortName(DatasetKind kind);
+const char* DatasetFullName(DatasetKind kind);
+
+// Paper series length for each dataset.
+uint32_t DatasetSeriesLength(DatasetKind kind);
+
+// Generates `count` series of `length` points. Generation runs on
+// `num_threads` threads (0 = hardware concurrency). The result is
+// z-normalised when `znormalize` is set (the paper z-normalises every
+// dataset before indexing).
+Result<Dataset> MakeDataset(DatasetKind kind, uint64_t count, uint32_t length,
+                            uint64_t seed, bool znormalize = true,
+                            uint32_t num_threads = 0);
+
+// Generates one raw series (before normalisation) — exposed for tests.
+TimeSeries MakeOneSeries(DatasetKind kind, uint32_t length, uint64_t seed,
+                         uint64_t index);
+
+}  // namespace tardis
+
+#endif  // TARDIS_WORKLOAD_DATASETS_H_

@@ -1,0 +1,59 @@
+#include "workload/query_gen.h"
+
+#include <cassert>
+
+#include "common/rng.h"
+#include "ts/znorm.h"
+
+namespace tardis {
+
+ExactMatchWorkload MakeExactMatchWorkload(const Dataset& dataset,
+                                          uint32_t count,
+                                          double present_fraction,
+                                          uint64_t seed) {
+  assert(!dataset.empty());
+  ExactMatchWorkload workload;
+  workload.queries.reserve(count);
+  workload.expected_present.reserve(count);
+  workload.source_rid.reserve(count);
+  Rng rng(seed);
+  const uint32_t num_present =
+      static_cast<uint32_t>(count * present_fraction + 0.5);
+  for (uint32_t i = 0; i < count; ++i) {
+    const RecordId rid = rng.NextBounded(dataset.size());
+    TimeSeries query = dataset[rid];
+    const bool present = i < num_present;
+    if (!present) {
+      // Perturb one point enough that the series cannot be a verbatim
+      // member; re-normalisation keeps it in the indexed space.
+      const size_t pos = rng.NextBounded(query.size());
+      query[pos] += static_cast<float>(3.0 + rng.NextDouble());
+      ZNormalize(&query);
+    }
+    workload.queries.push_back(std::move(query));
+    workload.expected_present.push_back(present);
+    workload.source_rid.push_back(rid);
+  }
+  return workload;
+}
+
+std::vector<TimeSeries> MakeKnnQueries(const Dataset& dataset, uint32_t count,
+                                       double noise, uint64_t seed) {
+  assert(!dataset.empty());
+  std::vector<TimeSeries> queries;
+  queries.reserve(count);
+  Rng rng(seed);
+  for (uint32_t i = 0; i < count; ++i) {
+    TimeSeries query = dataset[rng.NextBounded(dataset.size())];
+    if (noise > 0.0) {
+      for (float& v : query) {
+        v += static_cast<float>(rng.NextGaussian() * noise);
+      }
+      ZNormalize(&query);
+    }
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+}  // namespace tardis

@@ -1,0 +1,41 @@
+// Query workload generation (paper §VI-C).
+//
+// Exact-match experiments use 100 queries, half sampled from the dataset and
+// half guaranteed absent; kNN experiments use queries drawn from the data
+// distribution but not present verbatim.
+
+#ifndef TARDIS_WORKLOAD_QUERY_GEN_H_
+#define TARDIS_WORKLOAD_QUERY_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ts/time_series.h"
+
+namespace tardis {
+
+struct ExactMatchWorkload {
+  std::vector<TimeSeries> queries;
+  // expected_present[i]: the i-th query is a verbatim member of the dataset.
+  std::vector<bool> expected_present;
+  // For present queries, the rid of the sampled series (for verification).
+  std::vector<RecordId> source_rid;
+};
+
+// Builds `count` exact-match queries over the (already normalised) dataset:
+// `present_fraction` sampled verbatim, the rest perturbed so they are
+// guaranteed absent.
+ExactMatchWorkload MakeExactMatchWorkload(const Dataset& dataset,
+                                          uint32_t count,
+                                          double present_fraction,
+                                          uint64_t seed);
+
+// Builds kNN queries: dataset members perturbed with relative Gaussian noise
+// of magnitude `noise` (in units of the series' own std, which is 1 after
+// z-normalisation), then re-normalised. noise = 0 returns verbatim members.
+std::vector<TimeSeries> MakeKnnQueries(const Dataset& dataset, uint32_t count,
+                                       double noise, uint64_t seed);
+
+}  // namespace tardis
+
+#endif  // TARDIS_WORKLOAD_QUERY_GEN_H_

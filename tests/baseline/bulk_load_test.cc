@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "baseline/ibt.h"
+#include "common/rng.h"
+#include "test_util.h"
+#include "ts/paa.h"
+
+namespace tardis {
+namespace {
+
+std::vector<std::pair<ISaxSignature, uint32_t>> RandomEntries(uint32_t n,
+                                                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<ISaxSignature, uint32_t>> entries;
+  entries.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::vector<double> paa(8);
+    for (auto& v : paa) v = rng.NextGaussian();
+    entries.emplace_back(ISaxFromPaa(paa, 9), i);
+  }
+  return entries;
+}
+
+TEST(BulkLoadTest, HoldsAllEntries) {
+  auto entries = RandomEntries(3000, 1);
+  IBTree tree = IBTree::BulkLoad(8, 9, IBTree::SplitPolicy::kStatistics, 40,
+                                 entries);
+  EXPECT_EQ(tree.root()->count, 3000u);
+  uint64_t total = 0;
+  tree.ForEachNode([&](const IBTree::Node& node) {
+    if (node.is_leaf()) total += node.entries.size();
+  });
+  EXPECT_EQ(total, 3000u);
+}
+
+TEST(BulkLoadTest, SameLeafGranularityAsIncrementalInsert) {
+  auto entries = RandomEntries(2000, 2);
+  IBTree bulk = IBTree::BulkLoad(8, 9, IBTree::SplitPolicy::kStatistics, 30,
+                                 entries);
+  IBTree incr(8, 9, IBTree::SplitPolicy::kStatistics, 30);
+  for (const auto& [sig, idx] : entries) incr.Insert(sig, idx);
+
+  // Every entry must land in a leaf respecting the threshold in both trees
+  // (except max-cardinality leaves).
+  for (const IBTree* tree : {&bulk, &incr}) {
+    tree->ForEachNode([&](const IBTree::Node& node) {
+      if (!node.is_leaf() || node.parent == nullptr) return;
+      bool all_max = true;
+      for (uint8_t bits : node.sig.char_bits) all_max &= (bits == 9);
+      if (!all_max) {
+        EXPECT_LE(node.entries.size(), 30u);
+      }
+    });
+  }
+  // Descent must find each entry's signature region in the bulk tree.
+  for (const auto& [sig, idx] : entries) {
+    const IBTree::Node* leaf = bulk.DescendToLeaf(sig);
+    ASSERT_NE(leaf, bulk.root());
+    EXPECT_TRUE(sig.MatchesPrefix(leaf->sig));
+  }
+}
+
+TEST(BulkLoadTest, CountsConsistent) {
+  auto entries = RandomEntries(1500, 3);
+  IBTree tree = IBTree::BulkLoad(8, 9, IBTree::SplitPolicy::kRoundRobin, 25,
+                                 entries);
+  tree.ForEachNode([](const IBTree::Node& node) {
+    if (node.is_leaf()) {
+      EXPECT_EQ(node.count, node.entries.size());
+      return;
+    }
+    uint64_t sum = 0;
+    for (const auto& child : node.children) sum += child->count;
+    EXPECT_EQ(node.count, sum);
+  });
+}
+
+TEST(BulkLoadTest, EmptyInput) {
+  IBTree tree = IBTree::BulkLoad(8, 9, IBTree::SplitPolicy::kStatistics, 10, {});
+  EXPECT_EQ(tree.root()->count, 0u);
+  EXPECT_TRUE(tree.root()->children.empty());
+}
+
+TEST(BulkLoadTest, SmallInputStaysInFirstLayer) {
+  auto entries = RandomEntries(50, 4);
+  IBTree tree = IBTree::BulkLoad(8, 9, IBTree::SplitPolicy::kStatistics, 100,
+                                 entries);
+  tree.ForEachNode([&](const IBTree::Node& node) {
+    if (&node == tree.root()) return;
+    EXPECT_EQ(node.depth, 1u);  // no cell exceeds the threshold
+  });
+}
+
+}  // namespace
+}  // namespace tardis

@@ -1,0 +1,199 @@
+#include "baseline/ibt.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_util.h"
+#include "ts/paa.h"
+#include "ts/znorm.h"
+
+namespace tardis {
+namespace {
+
+ISaxSignature RandomSig(uint32_t w, uint8_t bits, Rng* rng) {
+  std::vector<double> paa(w);
+  for (auto& v : paa) v = rng->NextGaussian();
+  return ISaxFromPaa(paa, bits);
+}
+
+TEST(IBTreeTest, FirstLayerCellsAreOneBit) {
+  IBTree tree(4, 6, IBTree::SplitPolicy::kStatistics, 100);
+  Rng rng(1);
+  for (uint32_t i = 0; i < 50; ++i) tree.Insert(RandomSig(4, 6, &rng), i);
+  for (const auto& child : tree.root()->children) {
+    for (uint8_t bits : child->sig.char_bits) EXPECT_EQ(bits, 1);
+    EXPECT_EQ(child->depth, 1u);
+  }
+  EXPECT_LE(tree.root()->children.size(), 16u);  // 2^4
+}
+
+TEST(IBTreeTest, BinarySplitsHaveExactlyTwoChildren) {
+  IBTree tree(8, 9, IBTree::SplitPolicy::kStatistics, 20);
+  Rng rng(2);
+  for (uint32_t i = 0; i < 2000; ++i) tree.Insert(RandomSig(8, 9, &rng), i);
+  tree.ForEachNode([&](const IBTree::Node& node) {
+    if (&node == tree.root() || node.is_leaf()) return;
+    EXPECT_EQ(node.children.size(), 2u);
+    EXPECT_GE(node.split_char, 0);
+  });
+}
+
+TEST(IBTreeTest, CountsConsistent) {
+  IBTree tree(8, 9, IBTree::SplitPolicy::kStatistics, 30);
+  Rng rng(3);
+  for (uint32_t i = 0; i < 3000; ++i) tree.Insert(RandomSig(8, 9, &rng), i);
+  EXPECT_EQ(tree.root()->count, 3000u);
+  tree.ForEachNode([](const IBTree::Node& node) {
+    if (node.is_leaf()) return;
+    uint64_t sum = 0;
+    for (const auto& child : node.children) sum += child->count;
+    EXPECT_EQ(node.count, sum);
+  });
+}
+
+TEST(IBTreeTest, DescendReachesInsertedEntries) {
+  IBTree tree(8, 9, IBTree::SplitPolicy::kStatistics, 25);
+  Rng rng(4);
+  std::vector<ISaxSignature> sigs;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    sigs.push_back(RandomSig(8, 9, &rng));
+    tree.Insert(sigs.back(), i);
+  }
+  for (const auto& sig : sigs) {
+    const IBTree::Node* leaf = tree.DescendToLeaf(sig);
+    ASSERT_NE(leaf, tree.root());
+    EXPECT_TRUE(leaf->is_leaf());
+    EXPECT_TRUE(sig.MatchesPrefix(leaf->sig));
+  }
+}
+
+TEST(IBTreeTest, RoundRobinPolicyAlsoSplits) {
+  IBTree tree(8, 9, IBTree::SplitPolicy::kRoundRobin, 20);
+  Rng rng(5);
+  for (uint32_t i = 0; i < 10000; ++i) tree.Insert(RandomSig(8, 9, &rng), i);
+  const auto stats = tree.ComputeStats();
+  EXPECT_GT(stats.internal_nodes, 0u);
+  EXPECT_GT(stats.leaf_nodes, 1u);
+}
+
+// Counts splits where one child received (almost) nothing — the "excessive
+// and unnecessary subdivision" of the round-robin policy that the
+// statistics-based policy of iSAX 2.0 [11] was designed to avoid.
+uint64_t CountLopsidedSplits(const IBTree& tree) {
+  uint64_t lopsided = 0;
+  tree.ForEachNode([&](const IBTree::Node& node) {
+    if (node.is_leaf() || node.split_char < 0) return;
+    const uint64_t a = node.children[0]->count;
+    const uint64_t b = node.children[1]->count;
+    if (a == 0 || b == 0) ++lopsided;
+  });
+  return lopsided;
+}
+
+TEST(IBTreeTest, StatisticsPolicyAvoidsEmptySplits) {
+  Rng rng_a(6);
+  IBTree stat_tree(8, 9, IBTree::SplitPolicy::kStatistics, 20);
+  IBTree rr_tree(8, 9, IBTree::SplitPolicy::kRoundRobin, 20);
+  for (uint32_t i = 0; i < 4000; ++i) {
+    // Skew: values concentrated in a narrow band force repeated splits.
+    std::vector<double> paa(8);
+    for (auto& v : paa) v = rng_a.NextGaussian() * 0.15 + 0.3;
+    const ISaxSignature sig = ISaxFromPaa(paa, 9);
+    stat_tree.Insert(sig, i);
+    rr_tree.Insert(sig, i);
+  }
+  EXPECT_LE(CountLopsidedSplits(stat_tree), CountLopsidedSplits(rr_tree));
+  // The statistics policy always finds a balanced split here, so it should
+  // produce essentially none.
+  EXPECT_LT(CountLopsidedSplits(stat_tree), 4000u / 20);
+}
+
+TEST(IBTreeTest, MaxCardinalityLeafAbsorbsOverflow) {
+  IBTree tree(4, 2, IBTree::SplitPolicy::kStatistics, 5);
+  std::vector<double> paa = {0.1, 0.1, 0.1, 0.1};
+  const ISaxSignature sig = ISaxFromPaa(paa, 2);
+  for (uint32_t i = 0; i < 50; ++i) tree.Insert(sig, i);
+  const IBTree::Node* leaf = tree.DescendToLeaf(sig);
+  ASSERT_TRUE(leaf->is_leaf());
+  EXPECT_EQ(leaf->count, 50u);
+}
+
+TEST(IBTreeTest, ClusteredRangesCoverAllOnce) {
+  IBTree tree(8, 9, IBTree::SplitPolicy::kStatistics, 40);
+  Rng rng(7);
+  const uint32_t n = 2000;
+  for (uint32_t i = 0; i < n; ++i) tree.Insert(RandomSig(8, 9, &rng), i);
+  std::vector<uint32_t> order;
+  tree.AssignClusteredRanges(&order);
+  ASSERT_EQ(order.size(), n);
+  std::set<uint32_t> unique(order.begin(), order.end());
+  EXPECT_EQ(unique.size(), n);
+  tree.ForEachNode([n](const IBTree::Node& node) {
+    EXPECT_LE(node.range_start + node.range_len, n);
+    if (!node.is_leaf()) {
+      uint64_t sum = 0;
+      for (const auto& child : node.children) sum += child->range_len;
+      EXPECT_EQ(sum, node.range_len);
+    }
+  });
+}
+
+TEST(IBTreeTest, EncodeDecodeRoundTrip) {
+  IBTree tree(8, 9, IBTree::SplitPolicy::kStatistics, 30);
+  Rng rng(8);
+  for (uint32_t i = 0; i < 1000; ++i) tree.Insert(RandomSig(8, 9, &rng), i);
+  std::vector<uint32_t> order;
+  tree.AssignClusteredRanges(&order);
+  std::string bytes;
+  tree.EncodeTo(&bytes);
+  ASSERT_OK_AND_ASSIGN(IBTree decoded, IBTree::Decode(bytes));
+  EXPECT_EQ(decoded.word_length(), 8u);
+  EXPECT_EQ(decoded.max_bits(), 9);
+  EXPECT_EQ(decoded.root()->count, 1000u);
+  const auto a = tree.ComputeStats();
+  const auto b = decoded.ComputeStats();
+  EXPECT_EQ(a.leaf_nodes, b.leaf_nodes);
+  EXPECT_EQ(a.internal_nodes, b.internal_nodes);
+  EXPECT_EQ(a.max_depth, b.max_depth);
+  // Descent must land on equivalent leaves (same ranges).
+  Rng probe(9);
+  for (int i = 0; i < 200; ++i) {
+    const ISaxSignature sig = RandomSig(8, 9, &probe);
+    const IBTree::Node* la = tree.DescendToLeaf(sig);
+    const IBTree::Node* lb = decoded.DescendToLeaf(sig);
+    if (la == tree.root()) {
+      EXPECT_EQ(lb, decoded.root());
+    } else {
+      EXPECT_EQ(la->range_start, lb->range_start);
+      EXPECT_EQ(la->range_len, lb->range_len);
+    }
+  }
+}
+
+TEST(IBTreeTest, DecodeRejectsCorruptInput) {
+  EXPECT_FALSE(IBTree::Decode("").ok());
+  EXPECT_FALSE(IBTree::Decode("garbage").ok());
+}
+
+// The structural comparison that motivates TARDIS (paper §II-C vs §III-B):
+// at the same split threshold, iBT's binary fan-out produces deeper leaves
+// and more internal nodes than sigTree's 2^w fan-out.
+TEST(IBTreeTest, DeeperThanSigTreeAtSameThreshold) {
+  Rng rng(10);
+  IBTree ibt(8, 9, IBTree::SplitPolicy::kStatistics, 20);
+  for (uint32_t i = 0; i < 40000; ++i) {
+    std::vector<double> paa(8);
+    for (auto& v : paa) v = rng.NextGaussian();
+    ibt.Insert(ISaxFromPaa(paa, 9), i);
+  }
+  const auto stats = ibt.ComputeStats();
+  // ~156 entries per 1-bit cell at threshold 20 forces ~3 binary split
+  // levels below the first layer; a sigTree needs a single 2^w-way level.
+  EXPECT_GT(stats.avg_leaf_depth, 2.0);
+  EXPECT_GT(stats.internal_nodes, 200u);
+}
+
+}  // namespace
+}  // namespace tardis

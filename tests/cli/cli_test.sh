@@ -1,0 +1,75 @@
+#!/bin/sh
+# End-to-end test of the tardis CLI: gen -> build -> stats -> exact -> knn,
+# covering every subcommand and the main error paths.
+set -e
+
+TARDIS="$1"
+if [ -z "$TARDIS" ] || [ ! -x "$TARDIS" ]; then
+  echo "usage: cli_test.sh <path-to-tardis-binary>" >&2
+  exit 2
+fi
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+# gen
+"$TARDIS" gen --kind na --count 3000 --out "$WORK/data" --seed 7 \
+  > "$WORK/gen.out" || fail "gen exited non-zero"
+grep -q "generated 3000 Noaa series" "$WORK/gen.out" || fail "gen output"
+
+# gen rejects bad kind
+if "$TARDIS" gen --kind zz --count 10 --out "$WORK/x" 2>/dev/null; then
+  fail "gen accepted bad kind"
+fi
+
+# build
+"$TARDIS" build --data "$WORK/data" --index "$WORK/idx" \
+  --gmax 500 --lmax 50 > "$WORK/build.out" || fail "build exited non-zero"
+grep -q "built index over 3000 records" "$WORK/build.out" || fail "build output"
+
+# stats
+"$TARDIS" stats --index "$WORK/idx" > "$WORK/stats.out" || fail "stats"
+grep -q "records:            3000" "$WORK/stats.out" || fail "stats records"
+grep -q "partitions:" "$WORK/stats.out" || fail "stats partitions"
+
+# exact: a present record must hit itself
+"$TARDIS" exact --index "$WORK/idx" --data "$WORK/data" --rid 42 \
+  > "$WORK/exact.out" || fail "exact"
+grep -q "rid 42" "$WORK/exact.out" || fail "exact did not find rid 42"
+
+# knn: every strategy returns rid 42 at distance 0 as the top hit
+for strategy in target one multi exact; do
+  "$TARDIS" knn --index "$WORK/idx" --data "$WORK/data" --rid 42 --k 3 \
+    --strategy "$strategy" > "$WORK/knn.out" || fail "knn $strategy"
+  head -2 "$WORK/knn.out" | grep -q "rid 42" || fail "knn $strategy top hit"
+done
+
+# knn rejects unknown strategy
+if "$TARDIS" knn --index "$WORK/idx" --data "$WORK/data" --rid 1 \
+  --strategy bogus 2>/dev/null; then
+  fail "knn accepted bogus strategy"
+fi
+
+# range: radius 0 around a member finds at least itself
+"$TARDIS" range --index "$WORK/idx" --data "$WORK/data" --rid 42 --radius 0 \
+  > "$WORK/range.out" || fail "range"
+grep -q "rid 42" "$WORK/range.out" || fail "range did not find rid 42"
+
+# append: grows the index; the new data becomes queryable via stats count
+"$TARDIS" append --index "$WORK/idx" --kind na --count 500 --seed 9 \
+  > "$WORK/append.out" || fail "append"
+grep -q "appended 500 records" "$WORK/append.out" || fail "append output"
+"$TARDIS" stats --index "$WORK/idx" > "$WORK/stats2.out" || fail "stats after append"
+grep -q "records:            3500" "$WORK/stats2.out" || fail "append not persisted"
+
+# unknown subcommand
+if "$TARDIS" frobnicate 2>/dev/null; then
+  fail "accepted unknown subcommand"
+fi
+
+echo "PASS"

@@ -1,0 +1,174 @@
+#include "cluster/map_reduce.h"
+
+#include <atomic>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace tardis {
+namespace {
+
+Dataset MakeData(size_t count, size_t length, uint64_t seed = 1) {
+  Rng rng(seed);
+  Dataset ds(count, TimeSeries(length));
+  for (auto& ts : ds) {
+    for (auto& v : ts) v = static_cast<float>(rng.NextGaussian());
+  }
+  return ds;
+}
+
+class MapReduceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto store = BlockStore::Create(dir_.Sub("bs"), MakeData(200, 8), 16);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    store_ = std::make_unique<BlockStore>(std::move(store).value());
+  }
+
+  ScopedTempDir dir_;
+  Cluster cluster_{4};
+  std::unique_ptr<BlockStore> store_;
+};
+
+TEST_F(MapReduceTest, MapBlocksVisitsEveryListedBlock) {
+  std::vector<uint32_t> blocks(store_->num_blocks());
+  std::iota(blocks.begin(), blocks.end(), 0);
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<uint64_t> sizes,
+      (MapBlocks<uint64_t>(cluster_, *store_, blocks,
+                           [](uint32_t, const std::vector<Record>& records)
+                               -> Result<uint64_t> {
+                             return static_cast<uint64_t>(records.size());
+                           })));
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0ull), 200ull);
+}
+
+TEST_F(MapReduceTest, MapBlocksSubset) {
+  std::vector<uint32_t> blocks = {0, 5, 12};
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<uint32_t> echoed,
+      (MapBlocks<uint32_t>(cluster_, *store_, blocks,
+                           [](uint32_t b, const std::vector<Record>&)
+                               -> Result<uint32_t> { return b; })));
+  EXPECT_EQ(echoed, blocks);
+}
+
+TEST_F(MapReduceTest, MapBlocksPropagatesError) {
+  std::vector<uint32_t> blocks = {0, 1, 2};
+  auto result = MapBlocks<int>(
+      cluster_, *store_, blocks,
+      [](uint32_t b, const std::vector<Record>&) -> Result<int> {
+        if (b == 1) return Status::Internal("boom");
+        return 0;
+      });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(MapReduceTest, MergeFreqMapsSumsCounts) {
+  std::vector<FreqMap> maps(3);
+  maps[0]["a"] = 1;
+  maps[0]["b"] = 2;
+  maps[1]["b"] = 3;
+  maps[2]["c"] = 4;
+  FreqMap merged = MergeFreqMaps(std::move(maps));
+  EXPECT_EQ(merged["a"], 1u);
+  EXPECT_EQ(merged["b"], 5u);
+  EXPECT_EQ(merged["c"], 4u);
+}
+
+TEST_F(MapReduceTest, ShuffleRoutesEveryRecord) {
+  ASSERT_OK_AND_ASSIGN(PartitionStore pstore,
+                       PartitionStore::Open(dir_.Sub("ps"), 8));
+  const uint32_t kParts = 7;
+  auto partitioner = [](const Record& rec) -> PartitionId {
+    return static_cast<PartitionId>(rec.rid % 7);
+  };
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<uint64_t> counts,
+      ShuffleToPartitions(cluster_, *store_, kParts, partitioner, pstore));
+  ASSERT_EQ(counts.size(), kParts);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0ull), 200ull);
+  // Every record must land in the partition its rid dictates.
+  uint64_t seen = 0;
+  for (uint32_t pid = 0; pid < kParts; ++pid) {
+    ASSERT_OK_AND_ASSIGN(std::vector<Record> records, pstore.ReadPartition(pid));
+    EXPECT_EQ(records.size(), counts[pid]);
+    for (const Record& rec : records) {
+      EXPECT_EQ(rec.rid % 7, pid);
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, 200u);
+}
+
+TEST_F(MapReduceTest, ShuffleWritesEmptyPartitions) {
+  ASSERT_OK_AND_ASSIGN(PartitionStore pstore,
+                       PartitionStore::Open(dir_.Sub("ps2"), 8));
+  auto partitioner = [](const Record&) -> PartitionId { return 0; };
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<uint64_t> counts,
+      ShuffleToPartitions(cluster_, *store_, 3, partitioner, pstore));
+  EXPECT_EQ(counts[0], 200u);
+  EXPECT_EQ(counts[1], 0u);
+  ASSERT_OK_AND_ASSIGN(std::vector<Record> empty, pstore.ReadPartition(2));
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST_F(MapReduceTest, ShuffleRejectsOutOfRangePid) {
+  ASSERT_OK_AND_ASSIGN(PartitionStore pstore,
+                       PartitionStore::Open(dir_.Sub("ps3"), 8));
+  auto partitioner = [](const Record&) -> PartitionId { return 99; };
+  EXPECT_FALSE(
+      ShuffleToPartitions(cluster_, *store_, 3, partitioner, pstore).ok());
+}
+
+TEST_F(MapReduceTest, ShuffleZeroPartitionsRejected) {
+  ASSERT_OK_AND_ASSIGN(PartitionStore pstore,
+                       PartitionStore::Open(dir_.Sub("ps4"), 8));
+  auto partitioner = [](const Record&) -> PartitionId { return 0; };
+  EXPECT_TRUE(ShuffleToPartitions(cluster_, *store_, 0, partitioner, pstore)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(MapReduceTest, ShuffleMetricsAccounting) {
+  ASSERT_OK_AND_ASSIGN(PartitionStore pstore,
+                       PartitionStore::Open(dir_.Sub("ps_m"), 8));
+  auto partitioner = [](const Record& rec) -> PartitionId {
+    return static_cast<PartitionId>(rec.rid % 5);
+  };
+  ShuffleMetrics metrics;
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<uint64_t> counts,
+      ShuffleToPartitions(cluster_, *store_, 5, partitioner, pstore, &metrics));
+  (void)counts;
+  EXPECT_EQ(metrics.records, 200u);
+  EXPECT_EQ(metrics.blocks_read, store_->num_blocks());
+  EXPECT_EQ(metrics.bytes_read, store_->TotalBytes());
+  // Every record is written exactly once, so bytes match the input.
+  EXPECT_EQ(metrics.bytes_written, store_->TotalBytes());
+  EXPECT_EQ(metrics.partitions_written, 5u);
+}
+
+TEST_F(MapReduceTest, MapPartitionsRunsAll) {
+  std::atomic<uint32_t> mask{0};
+  ASSERT_OK(MapPartitions(cluster_, 8, [&](PartitionId pid) {
+    mask.fetch_or(1u << pid);
+    return Status::OK();
+  }));
+  EXPECT_EQ(mask.load(), 0xffu);
+}
+
+TEST_F(MapReduceTest, MapPartitionsPropagatesError) {
+  Status st = MapPartitions(cluster_, 4, [](PartitionId pid) {
+    return pid == 2 ? Status::IOError("disk") : Status::OK();
+  });
+  EXPECT_TRUE(st.IsIOError());
+}
+
+}  // namespace
+}  // namespace tardis

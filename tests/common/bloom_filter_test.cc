@@ -1,0 +1,89 @@
+#include "common/bloom_filter.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace tardis {
+namespace {
+
+std::string Key(uint64_t i) { return "key_" + std::to_string(i); }
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter bf(1000, 0.01);
+  for (uint64_t i = 0; i < 1000; ++i) bf.Add(Key(i));
+  for (uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(bf.MayContain(Key(i))) << i;
+  }
+}
+
+TEST(BloomFilterTest, FalsePositiveRateNearTarget) {
+  BloomFilter bf(10000, 0.01);
+  for (uint64_t i = 0; i < 10000; ++i) bf.Add(Key(i));
+  uint64_t fp = 0;
+  const uint64_t probes = 20000;
+  for (uint64_t i = 0; i < probes; ++i) {
+    if (bf.MayContain(Key(1000000 + i))) ++fp;
+  }
+  const double rate = static_cast<double>(fp) / probes;
+  EXPECT_LT(rate, 0.03);  // target 1%, generous margin
+}
+
+TEST(BloomFilterTest, EmptyFilterRejectsEverything) {
+  BloomFilter bf(100, 0.01);
+  for (uint64_t i = 0; i < 100; ++i) EXPECT_FALSE(bf.MayContain(Key(i)));
+}
+
+TEST(BloomFilterTest, GeometryFormulas) {
+  BloomFilter bf(1000, 0.01);
+  // Optimal m/n for 1% is ~9.59 bits per item, k ~= 7.
+  EXPECT_GT(bf.num_bits(), 9000u);
+  EXPECT_LT(bf.num_bits(), 11000u);
+  EXPECT_GE(bf.num_hashes(), 5u);
+  EXPECT_LE(bf.num_hashes(), 9u);
+}
+
+TEST(BloomFilterTest, EncodeDecodeRoundTrip) {
+  BloomFilter bf(500, 0.02);
+  for (uint64_t i = 0; i < 500; ++i) bf.Add(Key(i * 3));
+  std::string bytes;
+  bf.EncodeTo(&bytes);
+  ASSERT_OK_AND_ASSIGN(BloomFilter decoded, BloomFilter::Decode(bytes));
+  EXPECT_EQ(decoded.num_bits(), bf.num_bits());
+  EXPECT_EQ(decoded.num_hashes(), bf.num_hashes());
+  EXPECT_EQ(decoded.inserted(), bf.inserted());
+  for (uint64_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(decoded.MayContain(Key(i * 3)), bf.MayContain(Key(i * 3)));
+    EXPECT_EQ(decoded.MayContain(Key(i * 3 + 1)), bf.MayContain(Key(i * 3 + 1)));
+  }
+}
+
+TEST(BloomFilterTest, DecodeRejectsCorruptInput) {
+  EXPECT_FALSE(BloomFilter::Decode("short").ok());
+  BloomFilter bf(100, 0.01);
+  std::string bytes;
+  bf.EncodeTo(&bytes);
+  bytes.pop_back();
+  EXPECT_FALSE(BloomFilter::Decode(bytes).ok());
+}
+
+TEST(BloomFilterTest, BinaryKeysSupported) {
+  BloomFilter bf(100, 0.01);
+  std::string key1("\x00\x01\x02", 3);
+  std::string key2("\x00\x01\x03", 3);
+  bf.Add(key1);
+  EXPECT_TRUE(bf.MayContain(key1));
+  EXPECT_FALSE(bf.MayContain(key2));
+}
+
+TEST(BloomFilterTest, SizeScalesWithExpectedItems) {
+  BloomFilter small(100, 0.01);
+  BloomFilter large(10000, 0.01);
+  EXPECT_GT(large.SizeBytes(), small.SizeBytes() * 50);
+}
+
+}  // namespace
+}  // namespace tardis

@@ -1,0 +1,107 @@
+#include "common/gaussian.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace tardis {
+namespace {
+
+TEST(InverseNormalCdfTest, KnownQuantiles) {
+  EXPECT_NEAR(InverseNormalCdf(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(InverseNormalCdf(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(InverseNormalCdf(0.025), -1.959963984540054, 1e-9);
+  EXPECT_NEAR(InverseNormalCdf(0.841344746068543), 1.0, 1e-9);
+  EXPECT_NEAR(InverseNormalCdf(0.00134989803163009), -3.0, 1e-8);
+}
+
+TEST(InverseNormalCdfTest, Symmetry) {
+  for (double p : {0.01, 0.1, 0.2, 0.3, 0.45}) {
+    EXPECT_NEAR(InverseNormalCdf(p), -InverseNormalCdf(1.0 - p), 1e-10)
+        << "p=" << p;
+  }
+}
+
+TEST(InverseNormalCdfTest, RoundTripsThroughCdf) {
+  for (double p = 0.001; p < 1.0; p += 0.0131) {
+    const double x = InverseNormalCdf(p);
+    const double cdf = 0.5 * std::erfc(-x / std::sqrt(2.0));
+    EXPECT_NEAR(cdf, p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(SaxBreakpointsTest, CardinalityFourMatchesLiterature) {
+  // The classic SAX breakpoints for alphabet size 4: {-0.67, 0, 0.67}.
+  const auto bps = SaxBreakpoints(4);
+  ASSERT_EQ(bps.size(), 3u);
+  EXPECT_NEAR(bps[0], -0.6744897501960817, 1e-9);
+  EXPECT_NEAR(bps[1], 0.0, 1e-12);
+  EXPECT_NEAR(bps[2], 0.6744897501960817, 1e-9);
+}
+
+TEST(SaxBreakpointsTest, SortedAndSymmetric) {
+  for (uint32_t card : {2u, 8u, 16u, 64u, 512u}) {
+    const auto bps = SaxBreakpoints(card);
+    ASSERT_EQ(bps.size(), card - 1);
+    for (size_t i = 1; i < bps.size(); ++i) EXPECT_LT(bps[i - 1], bps[i]);
+    for (size_t i = 0; i < bps.size(); ++i) {
+      EXPECT_NEAR(bps[i], -bps[bps.size() - 1 - i], 1e-9);
+    }
+  }
+}
+
+TEST(BreakpointTableTest, NestingProperty) {
+  // The 2^b' grid must be a subset of the 2^b grid for b' < b: this is what
+  // makes bit-prefix cardinality reduction (iSAX promotion / iSAX-T
+  // DropRight) valid.
+  const auto& coarse = BreakpointTable::ForBits(3);  // 7 breakpoints
+  const auto& fine = BreakpointTable::ForBits(6);    // 63 breakpoints
+  for (size_t i = 0; i < coarse.size(); ++i) {
+    EXPECT_NEAR(coarse[i], fine[(i + 1) * 8 - 1], 1e-9);
+  }
+}
+
+TEST(BreakpointTableTest, SymbolMatchesDefinition) {
+  // bits=2 (cardinality 4): stripes (-inf,-0.674), [-0.674,0), [0,0.674),
+  // [0.674,inf) => symbols 0..3 bottom-to-top (paper Fig. 1(c)).
+  EXPECT_EQ(BreakpointTable::Symbol(-2.0, 2), 0u);
+  EXPECT_EQ(BreakpointTable::Symbol(-0.3, 2), 1u);
+  EXPECT_EQ(BreakpointTable::Symbol(0.3, 2), 2u);
+  EXPECT_EQ(BreakpointTable::Symbol(2.0, 2), 3u);
+}
+
+TEST(BreakpointTableTest, SymbolPrefixProperty) {
+  // For every value, the b'-bit symbol is the bit-prefix of the b-bit one.
+  for (double v = -3.0; v <= 3.0; v += 0.0173) {
+    const uint32_t fine = BreakpointTable::Symbol(v, 8);
+    for (uint32_t bits = 1; bits < 8; ++bits) {
+      EXPECT_EQ(BreakpointTable::Symbol(v, bits), fine >> (8 - bits))
+          << "v=" << v << " bits=" << bits;
+    }
+  }
+}
+
+TEST(BreakpointTableTest, BoundsBracketSymbols) {
+  for (uint32_t bits : {1u, 3u, 6u, 9u}) {
+    const uint32_t card = 1u << bits;
+    for (uint32_t sym = 0; sym < card; ++sym) {
+      EXPECT_LT(BreakpointTable::Lower(sym, bits),
+                BreakpointTable::Upper(sym, bits));
+    }
+    EXPECT_TRUE(std::isinf(BreakpointTable::Lower(0, bits)));
+    EXPECT_TRUE(std::isinf(BreakpointTable::Upper(card - 1, bits)));
+  }
+}
+
+TEST(BreakpointTableTest, ValueInsideItsOwnStripe) {
+  for (double v = -4.0; v <= 4.0; v += 0.113) {
+    for (uint32_t bits : {2u, 5u, 9u}) {
+      const uint32_t sym = BreakpointTable::Symbol(v, bits);
+      EXPECT_GE(v, BreakpointTable::Lower(sym, bits));
+      EXPECT_LT(v, BreakpointTable::Upper(sym, bits));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tardis

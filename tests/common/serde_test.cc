@@ -1,0 +1,76 @@
+#include "common/serde.h"
+
+#include <gtest/gtest.h>
+
+namespace tardis {
+namespace {
+
+TEST(SerdeTest, FixedRoundTrip) {
+  std::string buf;
+  PutFixed<uint32_t>(&buf, 0xdeadbeefu);
+  PutFixed<uint64_t>(&buf, 0x0123456789abcdefULL);
+  PutFixed<double>(&buf, 3.25);
+  PutFixed<uint8_t>(&buf, 7);
+
+  SliceReader reader(buf);
+  uint32_t a = 0;
+  uint64_t b = 0;
+  double c = 0;
+  uint8_t d = 0;
+  EXPECT_TRUE(reader.GetFixed(&a));
+  EXPECT_TRUE(reader.GetFixed(&b));
+  EXPECT_TRUE(reader.GetFixed(&c));
+  EXPECT_TRUE(reader.GetFixed(&d));
+  EXPECT_EQ(a, 0xdeadbeefu);
+  EXPECT_EQ(b, 0x0123456789abcdefULL);
+  EXPECT_EQ(c, 3.25);
+  EXPECT_EQ(d, 7);
+  EXPECT_TRUE(reader.empty());
+}
+
+TEST(SerdeTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string("\x00\x01", 2));
+
+  SliceReader reader(buf);
+  std::string a, b, c;
+  EXPECT_TRUE(reader.GetLengthPrefixed(&a));
+  EXPECT_TRUE(reader.GetLengthPrefixed(&b));
+  EXPECT_TRUE(reader.GetLengthPrefixed(&c));
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c, std::string("\x00\x01", 2));
+}
+
+TEST(SerdeTest, TruncatedReadsFail) {
+  std::string buf;
+  PutFixed<uint32_t>(&buf, 1);
+  buf.pop_back();
+  SliceReader reader(buf);
+  uint32_t v = 0;
+  EXPECT_FALSE(reader.GetFixed(&v));
+}
+
+TEST(SerdeTest, TruncatedLengthPrefixFails) {
+  std::string buf;
+  PutFixed<uint32_t>(&buf, 100);  // claims 100 bytes follow
+  buf += "only a few";
+  SliceReader reader(buf);
+  std::string s;
+  EXPECT_FALSE(reader.GetLengthPrefixed(&s));
+}
+
+TEST(SerdeTest, RemainingTracksConsumption) {
+  std::string buf;
+  PutFixed<uint64_t>(&buf, 5);
+  SliceReader reader(buf);
+  EXPECT_EQ(reader.remaining(), 8u);
+  uint64_t v;
+  reader.GetFixed(&v);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+}  // namespace
+}  // namespace tardis

@@ -1,0 +1,108 @@
+// Edge cases of exact-match query processing: duplicates, stats reporting,
+// and Bloom-filter behaviour.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/tardis_index.h"
+#include "test_util.h"
+#include "workload/datasets.h"
+
+namespace tardis {
+namespace {
+
+class ExactMatchEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // DNA is dominated by verbatim duplicate series — the stress case for
+    // exact match returning *complete* result sets (Definition 3 requires
+    // every record at distance zero).
+    auto dataset = MakeDataset(DatasetKind::kDna, 3000, 192, /*seed=*/151);
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).value();
+    auto store = BlockStore::Create(dir_.Sub("bs"), dataset_, 150);
+    ASSERT_TRUE(store.ok());
+    store_ = std::make_unique<BlockStore>(std::move(store).value());
+    TardisConfig config;
+    config.g_max_size = 400;
+    config.l_max_size = 50;
+    cluster_ = std::make_shared<Cluster>(4);
+    auto index = TardisIndex::Build(cluster_, *store_, dir_.Sub("parts"),
+                                    config, nullptr);
+    ASSERT_TRUE(index.ok());
+    index_ = std::make_unique<TardisIndex>(std::move(index).value());
+  }
+
+  ScopedTempDir dir_;
+  std::shared_ptr<Cluster> cluster_;
+  Dataset dataset_;
+  std::unique_ptr<BlockStore> store_;
+  std::unique_ptr<TardisIndex> index_;
+};
+
+TEST_F(ExactMatchEdgeTest, ReturnsEveryDuplicate) {
+  // Serial reference: all rids holding each queried series.
+  for (size_t q = 0; q < dataset_.size(); q += 157) {
+    std::vector<RecordId> expected;
+    for (size_t i = 0; i < dataset_.size(); ++i) {
+      if (dataset_[i] == dataset_[q]) expected.push_back(i);
+    }
+    ASSERT_OK_AND_ASSIGN(auto rids, index_->ExactMatch(dataset_[q], true, nullptr));
+    std::sort(rids.begin(), rids.end());
+    EXPECT_EQ(rids, expected) << "query rid " << q;
+  }
+}
+
+TEST_F(ExactMatchEdgeTest, DuplicatesCanBeNumerous) {
+  // Sanity that the workload actually exercises multi-hit results.
+  size_t max_hits = 0;
+  for (size_t q = 0; q < dataset_.size(); q += 101) {
+    ASSERT_OK_AND_ASSIGN(auto rids, index_->ExactMatch(dataset_[q], true, nullptr));
+    max_hits = std::max(max_hits, rids.size());
+  }
+  EXPECT_GT(max_hits, 3u) << "DNA workload should contain heavy duplicates";
+}
+
+TEST_F(ExactMatchEdgeTest, StatsReflectBloomOutcomes) {
+  // Present query: partition loaded, bloom not negative.
+  ExactMatchStats present_stats;
+  ASSERT_OK_AND_ASSIGN(auto hits,
+                       index_->ExactMatch(dataset_[5], true, &present_stats));
+  EXPECT_FALSE(hits.empty());
+  EXPECT_FALSE(present_stats.bloom_negative);
+  EXPECT_EQ(present_stats.partitions_loaded, 1u);
+  EXPECT_GT(present_stats.candidates, 0u);
+
+  // A wildly different series: almost surely bloom-negative => no load.
+  TimeSeries absent(192);
+  for (size_t i = 0; i < absent.size(); ++i) {
+    absent[i] = static_cast<float>((i % 2 == 0) ? 3.0 : -3.0);
+  }
+  ExactMatchStats absent_stats;
+  ASSERT_OK_AND_ASSIGN(auto misses,
+                       index_->ExactMatch(absent, true, &absent_stats));
+  EXPECT_TRUE(misses.empty());
+  if (absent_stats.bloom_negative) {
+    EXPECT_EQ(absent_stats.partitions_loaded, 0u);
+    EXPECT_EQ(absent_stats.candidates, 0u);
+  }
+}
+
+TEST_F(ExactMatchEdgeTest, NoBloomLoadsPartitionForAbsent) {
+  TimeSeries absent(192);
+  for (size_t i = 0; i < absent.size(); ++i) {
+    absent[i] = static_cast<float>((i % 3 == 0) ? 2.5 : -1.25);
+  }
+  ExactMatchStats stats;
+  ASSERT_OK_AND_ASSIGN(auto misses,
+                       index_->ExactMatch(absent, /*use_bloom=*/false, &stats));
+  EXPECT_TRUE(misses.empty());
+  EXPECT_FALSE(stats.bloom_negative);
+  // Without the filter, absence is only proven by descent failure or a
+  // fruitless candidate scan — both after any partition read.
+  EXPECT_TRUE(stats.partitions_loaded == 1 || stats.descent_failed);
+}
+
+}  // namespace
+}  // namespace tardis

@@ -1,0 +1,174 @@
+#include "core/global_index.h"
+
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "ts/paa.h"
+#include "workload/datasets.h"
+
+namespace tardis {
+namespace {
+
+class GlobalIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = MakeDataset(DatasetKind::kRandomWalk, 5000, 64, /*seed=*/7);
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).value();
+    auto store = BlockStore::Create(dir_.Sub("bs"), dataset_, 250);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    store_ = std::make_unique<BlockStore>(std::move(store).value());
+    config_.word_length = 8;
+    config_.initial_bits = 5;
+    config_.g_max_size = 500;
+    config_.sampling_percent = 100.0;  // deterministic full statistics
+  }
+
+  std::string Sig(const TimeSeries& ts, const ISaxTCodec& codec) {
+    auto sig = codec.EncodeSeries(ts);
+    EXPECT_TRUE(sig.ok());
+    return *sig;
+  }
+
+  ScopedTempDir dir_;
+  Cluster cluster_{4};
+  Dataset dataset_;
+  std::unique_ptr<BlockStore> store_;
+  TardisConfig config_;
+};
+
+TEST_F(GlobalIndexTest, BuildProducesPartitions) {
+  GlobalIndex::BuildBreakdown breakdown;
+  ASSERT_OK_AND_ASSIGN(GlobalIndex index,
+                       GlobalIndex::Build(cluster_, *store_, config_, &breakdown));
+  EXPECT_GT(index.num_partitions(), 1u);
+  // With capacity 500 and 5000 records, at least 10 partitions are needed.
+  EXPECT_GE(index.num_partitions(), 10u);
+  EXPECT_GE(breakdown.TotalSeconds(), 0.0);
+}
+
+TEST_F(GlobalIndexTest, EveryRecordGetsAValidPartition) {
+  ASSERT_OK_AND_ASSIGN(GlobalIndex index,
+                       GlobalIndex::Build(cluster_, *store_, config_, nullptr));
+  for (const auto& ts : dataset_) {
+    const PartitionId pid = index.LookupPartition(Sig(ts, index.codec()));
+    ASSERT_NE(pid, kInvalidPartition);
+    ASSERT_LT(pid, index.num_partitions());
+  }
+}
+
+TEST_F(GlobalIndexTest, LookupDeterministic) {
+  ASSERT_OK_AND_ASSIGN(GlobalIndex index,
+                       GlobalIndex::Build(cluster_, *store_, config_, nullptr));
+  for (size_t i = 0; i < 100; ++i) {
+    const std::string sig = Sig(dataset_[i], index.codec());
+    EXPECT_EQ(index.LookupPartition(sig), index.LookupPartition(sig));
+  }
+}
+
+TEST_F(GlobalIndexTest, LeafPidsAreSingletons) {
+  ASSERT_OK_AND_ASSIGN(GlobalIndex index,
+                       GlobalIndex::Build(cluster_, *store_, config_, nullptr));
+  index.tree().ForEachNode([&](const SigTree::Node& node) {
+    if (node.parent == nullptr) return;
+    if (node.is_leaf()) {
+      ASSERT_EQ(node.pids.size(), 1u);
+      EXPECT_LT(node.pids[0], index.num_partitions());
+    } else {
+      EXPECT_GE(node.pids.size(), 1u);
+    }
+  });
+}
+
+TEST_F(GlobalIndexTest, InternalPidListsAreUnionsOfChildren) {
+  ASSERT_OK_AND_ASSIGN(GlobalIndex index,
+                       GlobalIndex::Build(cluster_, *store_, config_, nullptr));
+  index.tree().ForEachNode([](const SigTree::Node& node) {
+    if (node.is_leaf()) return;
+    std::set<PartitionId> expected;
+    for (const auto& [chunk, child] : node.children) {
+      expected.insert(child->pids.begin(), child->pids.end());
+    }
+    const std::set<PartitionId> actual(node.pids.begin(), node.pids.end());
+    EXPECT_EQ(actual, expected);
+  });
+}
+
+TEST_F(GlobalIndexTest, AllPidsReachableFromRoot) {
+  ASSERT_OK_AND_ASSIGN(GlobalIndex index,
+                       GlobalIndex::Build(cluster_, *store_, config_, nullptr));
+  const auto& root_pids = index.tree().root()->pids;
+  const std::set<PartitionId> pids(root_pids.begin(), root_pids.end());
+  EXPECT_EQ(pids.size(), index.num_partitions());
+  EXPECT_EQ(*pids.rbegin(), index.num_partitions() - 1);
+}
+
+TEST_F(GlobalIndexTest, SiblingPartitionsContainHomePartition) {
+  ASSERT_OK_AND_ASSIGN(GlobalIndex index,
+                       GlobalIndex::Build(cluster_, *store_, config_, nullptr));
+  for (size_t i = 0; i < 200; ++i) {
+    const std::string sig = Sig(dataset_[i], index.codec());
+    const PartitionId home = index.LookupPartition(sig);
+    const auto siblings = index.SiblingPartitions(sig);
+    EXPECT_NE(std::find(siblings.begin(), siblings.end(), home),
+              siblings.end());
+  }
+}
+
+TEST_F(GlobalIndexTest, EstimatedPartitionRecordsSumToDataset) {
+  ASSERT_OK_AND_ASSIGN(GlobalIndex index,
+                       GlobalIndex::Build(cluster_, *store_, config_, nullptr));
+  const auto& est = index.estimated_partition_records();
+  const double total = std::accumulate(est.begin(), est.end(), 0.0);
+  // 100% sampling: estimates must match the dataset exactly (up to rounding).
+  EXPECT_NEAR(total, 5000.0, 5.0);
+}
+
+TEST_F(GlobalIndexTest, GlobalLeavesRespectCapacityWhereSplittable) {
+  ASSERT_OK_AND_ASSIGN(GlobalIndex index,
+                       GlobalIndex::Build(cluster_, *store_, config_, nullptr));
+  index.tree().ForEachNode([&](const SigTree::Node& node) {
+    if (!node.is_leaf() || node.parent == nullptr) return;
+    // A leaf above G-MaxSize is only allowed at the max cardinality level.
+    if (node.count > config_.g_max_size) {
+      EXPECT_EQ(node.level, config_.initial_bits);
+    }
+  });
+}
+
+TEST_F(GlobalIndexTest, SamplingStillCoversAllRecords) {
+  config_.sampling_percent = 10.0;
+  ASSERT_OK_AND_ASSIGN(GlobalIndex index,
+                       GlobalIndex::Build(cluster_, *store_, config_, nullptr));
+  for (const auto& ts : dataset_) {
+    const PartitionId pid = index.LookupPartition(Sig(ts, index.codec()));
+    ASSERT_LT(pid, index.num_partitions());
+  }
+}
+
+TEST_F(GlobalIndexTest, SerializedSizeNonTrivial) {
+  ASSERT_OK_AND_ASSIGN(GlobalIndex index,
+                       GlobalIndex::Build(cluster_, *store_, config_, nullptr));
+  EXPECT_GT(index.SerializedSize(), 100u);
+}
+
+TEST_F(GlobalIndexTest, RejectsBadConfig) {
+  config_.word_length = 6;  // not a multiple of 4
+  EXPECT_FALSE(GlobalIndex::Build(cluster_, *store_, config_, nullptr).ok());
+  config_.word_length = 8;
+  config_.g_max_size = 0;
+  EXPECT_FALSE(GlobalIndex::Build(cluster_, *store_, config_, nullptr).ok());
+}
+
+TEST_F(GlobalIndexTest, RejectsIndivisibleSeriesLength) {
+  config_.word_length = 24;  // 64 % 24 != 0
+  EXPECT_TRUE(GlobalIndex::Build(cluster_, *store_, config_, nullptr)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace tardis

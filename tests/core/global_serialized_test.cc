@@ -1,0 +1,106 @@
+// Direct tests of GlobalIndex::FromSerialized and SigTree::EnsureWord —
+// the pieces index persistence and concurrent routing depend on.
+
+#include <gtest/gtest.h>
+
+#include "core/global_index.h"
+#include "test_util.h"
+#include "ts/paa.h"
+#include "workload/datasets.h"
+
+namespace tardis {
+namespace {
+
+class GlobalSerializedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = MakeDataset(DatasetKind::kRandomWalk, 3000, 64, /*seed=*/171);
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).value();
+    auto store = BlockStore::Create(dir_.Sub("bs"), dataset_, 150);
+    ASSERT_TRUE(store.ok());
+    store_ = std::make_unique<BlockStore>(std::move(store).value());
+    config_.g_max_size = 300;
+    config_.sampling_percent = 100.0;
+  }
+
+  ScopedTempDir dir_;
+  Cluster cluster_{4};
+  Dataset dataset_;
+  std::unique_ptr<BlockStore> store_;
+  TardisConfig config_;
+};
+
+TEST_F(GlobalSerializedTest, RoundTripPreservesRouting) {
+  ASSERT_OK_AND_ASSIGN(GlobalIndex original,
+                       GlobalIndex::Build(cluster_, *store_, config_, nullptr));
+  std::string bytes;
+  original.tree().EncodeTo(&bytes);
+  ASSERT_OK_AND_ASSIGN(GlobalIndex restored,
+                       GlobalIndex::FromSerialized(original.codec(), bytes));
+  EXPECT_EQ(restored.num_partitions(), original.num_partitions());
+  std::vector<double> paa(config_.word_length);
+  for (size_t i = 0; i < dataset_.size(); i += 7) {
+    PaaInto(dataset_[i], config_.word_length, paa.data());
+    const std::string sig = original.codec().Encode(paa);
+    EXPECT_EQ(restored.LookupPartition(sig), original.LookupPartition(sig));
+    EXPECT_EQ(restored.SiblingPartitions(sig), original.SiblingPartitions(sig));
+  }
+}
+
+TEST_F(GlobalSerializedTest, RoundTripRecoversEstimates) {
+  ASSERT_OK_AND_ASSIGN(GlobalIndex original,
+                       GlobalIndex::Build(cluster_, *store_, config_, nullptr));
+  std::string bytes;
+  original.tree().EncodeTo(&bytes);
+  ASSERT_OK_AND_ASSIGN(GlobalIndex restored,
+                       GlobalIndex::FromSerialized(original.codec(), bytes));
+  const auto& a = original.estimated_partition_records();
+  const auto& b = restored.estimated_partition_records();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t pid = 0; pid < a.size(); ++pid) {
+    EXPECT_NEAR(a[pid], b[pid], 1.0) << "pid " << pid;
+  }
+}
+
+TEST_F(GlobalSerializedTest, FromSerializedRejectsGarbage) {
+  auto codec = *ISaxTCodec::Make(8, 6);
+  EXPECT_FALSE(GlobalIndex::FromSerialized(codec, "junk").ok());
+  // A valid but partition-less tree must also be rejected.
+  SigTree empty(codec);
+  std::string bytes;
+  empty.EncodeTo(&bytes);
+  EXPECT_FALSE(GlobalIndex::FromSerialized(codec, bytes).ok());
+}
+
+TEST(EnsureWordTest, LazyFillMatchesDecode) {
+  auto codec = *ISaxTCodec::Make(8, 4);
+  SigTree tree(codec);
+  ASSERT_OK_AND_ASSIGN(SigTree::Node * node, tree.InsertStatNode("AB", 10));
+  EXPECT_TRUE(node->word.symbols.empty());  // lazy until needed
+  const SaxWord& word = tree.EnsureWord(node);
+  ASSERT_OK_AND_ASSIGN(SaxWord expected, codec.Decode("AB"));
+  EXPECT_EQ(word, expected);
+  // Idempotent.
+  EXPECT_EQ(tree.EnsureWord(node), expected);
+}
+
+TEST(EnsureWordTest, EnsureWordsFillsWholeTree) {
+  auto codec = *ISaxTCodec::Make(8, 4);
+  SigTree tree(codec);
+  Rng rng(172);
+  for (uint32_t i = 0; i < 300; ++i) {
+    std::vector<double> paa(8);
+    for (auto& v : paa) v = rng.NextGaussian();
+    tree.InsertEntry(codec.Encode(paa), i, 20);
+  }
+  tree.EnsureWords();
+  tree.ForEachNode([&](const SigTree::Node& node) {
+    if (node.level == 0) return;
+    EXPECT_EQ(node.word.symbols.size(), codec.word_length());
+    EXPECT_EQ(node.word.bits, node.level);
+  });
+}
+
+}  // namespace
+}  // namespace tardis

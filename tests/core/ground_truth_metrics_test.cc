@@ -1,0 +1,144 @@
+#include "core/ground_truth.h"
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "ts/distance.h"
+#include "workload/datasets.h"
+#include "workload/query_gen.h"
+
+namespace tardis {
+namespace {
+
+class GroundTruthTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = MakeDataset(DatasetKind::kRandomWalk, 2000, 32, /*seed=*/21);
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).value();
+    auto store = BlockStore::Create(dir_.Sub("bs"), dataset_, 100);
+    ASSERT_TRUE(store.ok());
+    store_ = std::make_unique<BlockStore>(std::move(store).value());
+  }
+
+  ScopedTempDir dir_;
+  Cluster cluster_{4};
+  Dataset dataset_;
+  std::unique_ptr<BlockStore> store_;
+};
+
+TEST_F(GroundTruthTest, MatchesSerialBruteForce) {
+  const auto queries = MakeKnnQueries(dataset_, 5, 0.1, /*seed=*/22);
+  const uint32_t k = 15;
+  ASSERT_OK_AND_ASSIGN(auto truth, ExactKnnScan(cluster_, *store_, queries, k));
+  for (size_t q = 0; q < queries.size(); ++q) {
+    // Serial reference.
+    std::vector<Neighbor> all;
+    for (size_t i = 0; i < dataset_.size(); ++i) {
+      all.push_back({EuclideanDistance(queries[q], dataset_[i]), i});
+    }
+    std::sort(all.begin(), all.end());
+    all.resize(k);
+    ASSERT_EQ(truth[q].size(), k);
+    for (uint32_t j = 0; j < k; ++j) {
+      EXPECT_NEAR(truth[q][j].distance, all[j].distance, 1e-9);
+      EXPECT_EQ(truth[q][j].rid, all[j].rid);
+    }
+  }
+}
+
+TEST_F(GroundTruthTest, SelfQueryFindsItselfFirst) {
+  const std::vector<TimeSeries> queries = {dataset_[123]};
+  ASSERT_OK_AND_ASSIGN(auto truth, ExactKnnScan(cluster_, *store_, queries, 5));
+  EXPECT_EQ(truth[0][0].rid, 123u);
+  EXPECT_NEAR(truth[0][0].distance, 0.0, 1e-9);
+}
+
+TEST_F(GroundTruthTest, KLargerThanDatasetClamps) {
+  const std::vector<TimeSeries> queries = {dataset_[0]};
+  ASSERT_OK_AND_ASSIGN(auto truth,
+                       ExactKnnScan(cluster_, *store_, queries, 5000));
+  EXPECT_EQ(truth[0].size(), dataset_.size());
+}
+
+TEST_F(GroundTruthTest, RejectsBadInput) {
+  EXPECT_FALSE(ExactKnnScan(cluster_, *store_, {dataset_[0]}, 0).ok());
+  EXPECT_FALSE(ExactKnnScan(cluster_, *store_, {TimeSeries(7)}, 5).ok());
+}
+
+TEST_F(GroundTruthTest, CacheRoundTrip) {
+  const auto queries = MakeKnnQueries(dataset_, 4, 0.1, /*seed=*/23);
+  const std::string cache = dir_.Sub("gt.bin");
+  ASSERT_OK_AND_ASSIGN(auto first,
+                       CachedExactKnn(cluster_, *store_, queries, 10, cache));
+  ASSERT_OK_AND_ASSIGN(auto second,
+                       CachedExactKnn(cluster_, *store_, queries, 10, cache));
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t q = 0; q < first.size(); ++q) {
+    ASSERT_EQ(first[q].size(), second[q].size());
+    for (size_t j = 0; j < first[q].size(); ++j) {
+      EXPECT_EQ(first[q][j].rid, second[q][j].rid);
+      EXPECT_EQ(first[q][j].distance, second[q][j].distance);
+    }
+  }
+}
+
+TEST_F(GroundTruthTest, CacheInvalidatedByDifferentK) {
+  const auto queries = MakeKnnQueries(dataset_, 2, 0.1, /*seed=*/24);
+  const std::string cache = dir_.Sub("gt2.bin");
+  ASSERT_OK_AND_ASSIGN(auto k10,
+                       CachedExactKnn(cluster_, *store_, queries, 10, cache));
+  ASSERT_OK_AND_ASSIGN(auto k20,
+                       CachedExactKnn(cluster_, *store_, queries, 20, cache));
+  EXPECT_EQ(k20[0].size(), 20u);
+}
+
+TEST(MetricsTest, RecallFullAndPartial) {
+  const std::vector<Neighbor> truth = {{1.0, 1}, {2.0, 2}, {3.0, 3}, {4.0, 4}};
+  EXPECT_DOUBLE_EQ(Recall(truth, truth), 1.0);
+  const std::vector<Neighbor> half = {{1.0, 1}, {2.0, 2}, {9.0, 9}, {9.5, 10}};
+  EXPECT_DOUBLE_EQ(Recall(half, truth), 0.5);
+  EXPECT_DOUBLE_EQ(Recall({}, truth), 0.0);
+}
+
+TEST(MetricsTest, RecallIgnoresOrder) {
+  const std::vector<Neighbor> truth = {{1.0, 1}, {2.0, 2}};
+  const std::vector<Neighbor> reversed = {{2.0, 2}, {1.0, 1}};
+  EXPECT_DOUBLE_EQ(Recall(reversed, truth), 1.0);
+}
+
+TEST(MetricsTest, RecallEmptyTruthIsPerfect) {
+  EXPECT_DOUBLE_EQ(Recall({{1.0, 1}}, {}), 1.0);
+}
+
+TEST(MetricsTest, ErrorRatioIdealIsOne) {
+  const std::vector<Neighbor> truth = {{1.0, 1}, {2.0, 2}, {3.0, 3}};
+  EXPECT_DOUBLE_EQ(ErrorRatio(truth, truth), 1.0);
+}
+
+TEST(MetricsTest, ErrorRatioPenalizesWorseNeighbors) {
+  const std::vector<Neighbor> truth = {{1.0, 1}, {2.0, 2}};
+  const std::vector<Neighbor> worse = {{2.0, 5}, {4.0, 6}};
+  EXPECT_DOUBLE_EQ(ErrorRatio(worse, truth), 2.0);
+  EXPECT_GE(ErrorRatio(worse, truth), 1.0);
+}
+
+TEST(MetricsTest, ErrorRatioHandlesZeroTruthDistance) {
+  const std::vector<Neighbor> truth = {{0.0, 1}, {2.0, 2}};
+  const std::vector<Neighbor> exact = {{0.0, 1}, {2.0, 2}};
+  EXPECT_DOUBLE_EQ(ErrorRatio(exact, truth), 1.0);
+  const std::vector<Neighbor> miss = {{1.0, 9}, {4.0, 2}};
+  // Zero-distance pair is skipped; remaining pair contributes 2.0.
+  EXPECT_DOUBLE_EQ(ErrorRatio(miss, truth), 2.0);
+}
+
+TEST(MetricsTest, ErrorRatioShortResult) {
+  const std::vector<Neighbor> truth = {{1.0, 1}, {2.0, 2}, {3.0, 3}};
+  const std::vector<Neighbor> partial = {{1.0, 1}};
+  EXPECT_DOUBLE_EQ(ErrorRatio(partial, truth), 1.0);
+  EXPECT_DOUBLE_EQ(ErrorRatio({}, truth), 1.0);
+}
+
+}  // namespace
+}  // namespace tardis

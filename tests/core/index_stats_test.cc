@@ -1,0 +1,70 @@
+#include "core/index_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workload/datasets.h"
+
+namespace tardis {
+namespace {
+
+class IndexStatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = MakeDataset(DatasetKind::kRandomWalk, 4000, 64, /*seed=*/61);
+    ASSERT_TRUE(dataset.ok());
+    auto store = BlockStore::Create(dir_.Sub("bs"), *dataset, 200);
+    ASSERT_TRUE(store.ok());
+    store_ = std::make_unique<BlockStore>(std::move(store).value());
+    config_.g_max_size = 500;
+    config_.l_max_size = 50;
+    cluster_ = std::make_shared<Cluster>(4);
+    auto index = TardisIndex::Build(cluster_, *store_, dir_.Sub("parts"),
+                                    config_, nullptr);
+    ASSERT_TRUE(index.ok());
+    index_ = std::make_unique<TardisIndex>(std::move(index).value());
+  }
+
+  ScopedTempDir dir_;
+  std::shared_ptr<Cluster> cluster_;
+  std::unique_ptr<BlockStore> store_;
+  TardisConfig config_;
+  std::unique_ptr<TardisIndex> index_;
+};
+
+TEST_F(IndexStatsTest, ReportAccountsForAllRecords) {
+  ASSERT_OK_AND_ASSIGN(IndexReport report, ComputeIndexReport(*index_));
+  EXPECT_EQ(report.num_records, 4000u);
+  EXPECT_EQ(report.num_partitions, index_->num_partitions());
+  EXPECT_GT(report.local_leaf_nodes, 0u);
+  EXPECT_GT(report.global_bytes, 0u);
+  EXPECT_GT(report.local_tree_bytes, 0u);
+  EXPECT_GT(report.bloom_bytes, 0u);
+}
+
+TEST_F(IndexStatsTest, PartitionBoundsConsistent) {
+  ASSERT_OK_AND_ASSIGN(IndexReport report, ComputeIndexReport(*index_));
+  EXPECT_LE(report.min_partition_records, report.max_partition_records);
+  EXPECT_GT(report.avg_partition_fill, 0.2);
+  EXPECT_LE(report.avg_partition_fill, 1.5);
+}
+
+TEST_F(IndexStatsTest, LeafAveragesBounded) {
+  ASSERT_OK_AND_ASSIGN(IndexReport report, ComputeIndexReport(*index_));
+  EXPECT_GT(report.local_avg_leaf_count, 0.0);
+  EXPECT_GE(report.local_avg_leaf_depth, 1.0);
+  EXPECT_LE(report.local_max_depth, config_.initial_bits);
+}
+
+TEST_F(IndexStatsTest, PrintDoesNotCrash) {
+  ASSERT_OK_AND_ASSIGN(IndexReport report, ComputeIndexReport(*index_));
+  // Print into a scratch file to exercise the formatting paths.
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  PrintIndexReport(report, f);
+  EXPECT_GT(std::ftell(f), 100);
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace tardis

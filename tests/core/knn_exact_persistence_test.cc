@@ -1,0 +1,161 @@
+// Tests for the two extensions beyond the paper: exact kNN queries and
+// index persistence (Build -> Open round trip).
+
+#include <algorithm>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/ground_truth.h"
+#include "core/tardis_index.h"
+#include "test_util.h"
+#include "workload/datasets.h"
+#include "workload/query_gen.h"
+
+namespace tardis {
+namespace {
+
+class KnnExactTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = MakeDataset(DatasetKind::kRandomWalk, 6000, 64, /*seed=*/51);
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).value();
+    auto store = BlockStore::Create(dir_.Sub("bs"), dataset_, 300);
+    ASSERT_TRUE(store.ok());
+    store_ = std::make_unique<BlockStore>(std::move(store).value());
+
+    config_.g_max_size = 600;
+    config_.l_max_size = 100;
+    config_.initial_bits = 6;
+    cluster_ = std::make_shared<Cluster>(4);
+    auto index = TardisIndex::Build(cluster_, *store_, dir_.Sub("parts"),
+                                    config_, nullptr);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    index_ = std::make_unique<TardisIndex>(std::move(index).value());
+  }
+
+  ScopedTempDir dir_;
+  std::shared_ptr<Cluster> cluster_;
+  Dataset dataset_;
+  std::unique_ptr<BlockStore> store_;
+  TardisConfig config_;
+  std::unique_ptr<TardisIndex> index_;
+};
+
+TEST_F(KnnExactTest, MatchesBruteForceDistances) {
+  const auto queries = MakeKnnQueries(dataset_, 15, 0.05, /*seed=*/52);
+  const uint32_t k = 25;
+  ASSERT_OK_AND_ASSIGN(auto truth, ExactKnnScan(*cluster_, *store_, queries, k));
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_OK_AND_ASSIGN(auto result, index_->KnnExact(queries[i], k, nullptr));
+    ASSERT_EQ(result.size(), truth[i].size());
+    for (size_t j = 0; j < result.size(); ++j) {
+      // Distances must match exactly (rids may differ only on exact ties).
+      EXPECT_NEAR(result[j].distance, truth[i][j].distance, 1e-9)
+          << "query " << i << " position " << j;
+    }
+  }
+}
+
+TEST_F(KnnExactTest, SelfQueryReturnsItself) {
+  ASSERT_OK_AND_ASSIGN(auto result, index_->KnnExact(dataset_[77], 1, nullptr));
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].rid, 77u);
+  EXPECT_NEAR(result[0].distance, 0.0, 1e-12);
+}
+
+TEST_F(KnnExactTest, PrunesMostPartitions) {
+  const auto queries = MakeKnnQueries(dataset_, 10, 0.05, /*seed=*/53);
+  uint64_t total_loaded = 0;
+  for (const auto& query : queries) {
+    KnnStats stats;
+    ASSERT_OK_AND_ASSIGN(auto result, index_->KnnExact(query, 10, &stats));
+    total_loaded += stats.partitions_loaded;
+    EXPECT_GE(stats.partitions_loaded, 1u);
+  }
+  // On average, the lower bounds must prune a meaningful share of the
+  // partitions (otherwise the method degenerates to a full scan).
+  EXPECT_LT(total_loaded, static_cast<uint64_t>(queries.size()) *
+                              index_->num_partitions());
+}
+
+TEST_F(KnnExactTest, ExactDominatesApproximate) {
+  const auto queries = MakeKnnQueries(dataset_, 10, 0.05, /*seed=*/54);
+  const uint32_t k = 20;
+  for (const auto& query : queries) {
+    ASSERT_OK_AND_ASSIGN(auto exact, index_->KnnExact(query, k, nullptr));
+    ASSERT_OK_AND_ASSIGN(
+        auto approx,
+        index_->KnnApproximate(query, k, KnnStrategy::kMultiPartitions,
+                               nullptr));
+    ASSERT_EQ(exact.size(), approx.size());
+    for (size_t j = 0; j < exact.size(); ++j) {
+      EXPECT_LE(exact[j].distance, approx[j].distance + 1e-9);
+    }
+  }
+}
+
+TEST_F(KnnExactTest, KLargerThanDatasetClamps) {
+  ASSERT_OK_AND_ASSIGN(auto result,
+                       index_->KnnExact(dataset_[0], 100000, nullptr));
+  EXPECT_EQ(result.size(), dataset_.size());
+}
+
+TEST_F(KnnExactTest, RejectsZeroK) {
+  EXPECT_FALSE(index_->KnnExact(dataset_[0], 0, nullptr).ok());
+}
+
+TEST_F(KnnExactTest, OpenRestoresFullFunctionality) {
+  ASSERT_OK_AND_ASSIGN(TardisIndex reopened,
+                       TardisIndex::Open(cluster_, dir_.Sub("parts")));
+  EXPECT_EQ(reopened.num_partitions(), index_->num_partitions());
+  EXPECT_EQ(reopened.partition_counts(), index_->partition_counts());
+  EXPECT_EQ(reopened.series_length(), index_->series_length());
+  EXPECT_EQ(reopened.config().initial_bits, config_.initial_bits);
+
+  const auto workload = MakeExactMatchWorkload(dataset_, 40, 0.5, /*seed=*/55);
+  for (size_t i = 0; i < workload.queries.size(); ++i) {
+    ASSERT_OK_AND_ASSIGN(auto a,
+                         index_->ExactMatch(workload.queries[i], true, nullptr));
+    ASSERT_OK_AND_ASSIGN(
+        auto b, reopened.ExactMatch(workload.queries[i], true, nullptr));
+    EXPECT_EQ(a, b);
+  }
+  const auto queries = MakeKnnQueries(dataset_, 5, 0.05, /*seed=*/56);
+  for (const auto& query : queries) {
+    ASSERT_OK_AND_ASSIGN(
+        auto a, index_->KnnApproximate(query, 10, KnnStrategy::kOnePartition,
+                                       nullptr));
+    ASSERT_OK_AND_ASSIGN(
+        auto b, reopened.KnnApproximate(query, 10, KnnStrategy::kOnePartition,
+                                        nullptr));
+    EXPECT_EQ(a, b);
+    ASSERT_OK_AND_ASSIGN(auto ea, index_->KnnExact(query, 10, nullptr));
+    ASSERT_OK_AND_ASSIGN(auto eb, reopened.KnnExact(query, 10, nullptr));
+    EXPECT_EQ(ea, eb);
+  }
+}
+
+TEST_F(KnnExactTest, OpenMissingDirectoryFails) {
+  EXPECT_EQ(TardisIndex::Open(cluster_, dir_.Sub("nope")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(KnnExactTest, OpenRejectsCorruptMetadata) {
+  // Truncate the metadata file.
+  const std::string meta = dir_.Sub("parts") + "/tardis_meta.bin";
+  {
+    std::ifstream in(meta, std::ios::binary | std::ios::ate);
+    ASSERT_TRUE(in.good());
+    std::string bytes(static_cast<size_t>(in.tellg()) / 2, '\0');
+    in.seekg(0);
+    in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    std::ofstream out(meta, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_FALSE(TardisIndex::Open(cluster_, dir_.Sub("parts")).ok());
+}
+
+}  // namespace
+}  // namespace tardis

@@ -1,0 +1,130 @@
+#include "core/local_index.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_util.h"
+#include "ts/znorm.h"
+#include "workload/datasets.h"
+
+namespace tardis {
+namespace {
+
+class LocalIndexTest : public ::testing::Test {
+ protected:
+  LocalIndexTest() : codec_(*ISaxTCodec::Make(8, 5)) {
+    config_.word_length = 8;
+    config_.initial_bits = 5;
+    config_.l_max_size = 50;
+    auto dataset = MakeDataset(DatasetKind::kRandomWalk, 1200, 64, /*seed=*/3);
+    EXPECT_TRUE(dataset.ok());
+    for (size_t i = 0; i < dataset->size(); ++i) {
+      records_.push_back({i, std::move((*dataset)[i])});
+    }
+  }
+
+  ISaxTCodec codec_;
+  TardisConfig config_;
+  std::vector<Record> records_;
+};
+
+TEST_F(LocalIndexTest, ClusteredOutputIsPermutationOfInput) {
+  std::vector<Record> clustered;
+  ASSERT_OK_AND_ASSIGN(LocalIndex index,
+                       LocalIndex::Build(records_, codec_, config_, &clustered));
+  ASSERT_EQ(clustered.size(), records_.size());
+  std::set<RecordId> rids;
+  for (const auto& rec : clustered) rids.insert(rec.rid);
+  EXPECT_EQ(rids.size(), records_.size());
+}
+
+TEST_F(LocalIndexTest, LeafSlicesHoldMatchingSignatures) {
+  std::vector<Record> clustered;
+  ASSERT_OK_AND_ASSIGN(LocalIndex index,
+                       LocalIndex::Build(records_, codec_, config_, &clustered));
+  // Every record in a leaf's slice must carry the leaf's signature prefix.
+  index.tree().ForEachNode([&](const SigTree::Node& node) {
+    if (!node.is_leaf()) return;
+    for (uint32_t i = node.range_start; i < node.range_start + node.range_len;
+         ++i) {
+      auto sig = codec_.EncodeSeries(clustered[i].values);
+      ASSERT_TRUE(sig.ok());
+      EXPECT_EQ(sig->substr(0, node.sig.size()), node.sig);
+    }
+  });
+}
+
+TEST_F(LocalIndexTest, TreeCountMatchesRecords) {
+  std::vector<Record> clustered;
+  ASSERT_OK_AND_ASSIGN(LocalIndex index,
+                       LocalIndex::Build(records_, codec_, config_, &clustered));
+  EXPECT_EQ(index.tree().root()->count, records_.size());
+}
+
+TEST_F(LocalIndexTest, BloomFilterBuiltSynchronously) {
+  std::vector<Record> clustered;
+  ASSERT_OK_AND_ASSIGN(LocalIndex index,
+                       LocalIndex::Build(records_, codec_, config_, &clustered));
+  ASSERT_NE(index.bloom(), nullptr);
+  EXPECT_EQ(index.bloom()->inserted(), records_.size());
+  // Every indexed signature must pass the filter.
+  for (const auto& rec : records_) {
+    auto sig = codec_.EncodeSeries(rec.values);
+    ASSERT_TRUE(sig.ok());
+    EXPECT_TRUE(index.bloom()->MayContain(*sig));
+  }
+}
+
+TEST_F(LocalIndexTest, BloomDisabledWhenConfigured) {
+  config_.build_bloom = false;
+  std::vector<Record> clustered;
+  ASSERT_OK_AND_ASSIGN(LocalIndex index,
+                       LocalIndex::Build(records_, codec_, config_, &clustered));
+  EXPECT_EQ(index.bloom(), nullptr);
+}
+
+TEST_F(LocalIndexTest, TreeSerializationRoundTrip) {
+  std::vector<Record> clustered;
+  ASSERT_OK_AND_ASSIGN(LocalIndex index,
+                       LocalIndex::Build(records_, codec_, config_, &clustered));
+  std::string bytes;
+  index.EncodeTreeTo(&bytes);
+  ASSERT_OK_AND_ASSIGN(LocalIndex decoded, LocalIndex::DecodeTree(bytes, codec_));
+  EXPECT_EQ(decoded.tree().root()->count, index.tree().root()->count);
+  EXPECT_EQ(decoded.tree().ComputeStats().leaf_nodes,
+            index.tree().ComputeStats().leaf_nodes);
+  EXPECT_EQ(decoded.TreeBytes(), index.TreeBytes());
+}
+
+TEST_F(LocalIndexTest, EmptyPartition) {
+  std::vector<Record> clustered;
+  ASSERT_OK_AND_ASSIGN(LocalIndex index,
+                       LocalIndex::Build({}, codec_, config_, &clustered));
+  EXPECT_TRUE(clustered.empty());
+  EXPECT_EQ(index.tree().root()->count, 0u);
+}
+
+TEST_F(LocalIndexTest, RejectsMismatchedSeriesLength) {
+  std::vector<Record> bad = {{0, TimeSeries(13, 0.0f)}};
+  std::vector<Record> clustered;
+  EXPECT_FALSE(LocalIndex::Build(bad, codec_, config_, &clustered).ok());
+}
+
+TEST_F(LocalIndexTest, SmallLeavesUnderThreshold) {
+  config_.l_max_size = 20;
+  std::vector<Record> clustered;
+  ASSERT_OK_AND_ASSIGN(LocalIndex index,
+                       LocalIndex::Build(records_, codec_, config_, &clustered));
+  index.tree().ForEachNode([&](const SigTree::Node& node) {
+    if (!node.is_leaf() || node.parent == nullptr) return;
+    if (node.count > config_.l_max_size) {
+      EXPECT_EQ(node.level, config_.initial_bits)
+          << "only max-cardinality leaves may exceed L-MaxSize";
+    }
+  });
+}
+
+}  // namespace
+}  // namespace tardis

@@ -1,0 +1,121 @@
+#include "core/packing.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tardis {
+namespace {
+
+// Validates an assignment: no bin over capacity (except single-item bins for
+// oversized items) and bins numbered 0..num_bins-1 contiguously.
+void ValidateAssignment(const std::vector<uint64_t>& sizes,
+                        const std::vector<uint32_t>& assignment,
+                        uint64_t capacity, uint32_t num_bins) {
+  ASSERT_EQ(assignment.size(), sizes.size());
+  std::vector<uint64_t> fill(num_bins, 0);
+  std::vector<uint32_t> items(num_bins, 0);
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    ASSERT_LT(assignment[i], num_bins);
+    fill[assignment[i]] += sizes[i];
+    items[assignment[i]] += 1;
+  }
+  for (uint32_t b = 0; b < num_bins; ++b) {
+    EXPECT_GT(items[b], 0u) << "empty bin " << b;
+    if (fill[b] > capacity) {
+      EXPECT_EQ(items[b], 1u) << "over-capacity bin must be a single oversized item";
+    }
+  }
+}
+
+TEST(PackingTest, EmptyInput) {
+  uint32_t bins = 99;
+  const auto assignment = FirstFitDecreasing({}, 10, &bins);
+  EXPECT_TRUE(assignment.empty());
+  EXPECT_EQ(bins, 0u);
+}
+
+TEST(PackingTest, SingleItem) {
+  uint32_t bins = 0;
+  const auto assignment = FirstFitDecreasing({5}, 10, &bins);
+  EXPECT_EQ(bins, 1u);
+  EXPECT_EQ(assignment[0], 0u);
+}
+
+TEST(PackingTest, AllFitInOneBin) {
+  uint32_t bins = 0;
+  const auto assignment = FirstFitDecreasing({3, 3, 3}, 10, &bins);
+  EXPECT_EQ(bins, 1u);
+  ValidateAssignment({3, 3, 3}, assignment, 10, bins);
+}
+
+TEST(PackingTest, PerfectPairs) {
+  // {6,4,6,4} with capacity 10 packs into exactly 2 bins under FFD.
+  uint32_t bins = 0;
+  const std::vector<uint64_t> sizes = {6, 4, 6, 4};
+  const auto assignment = FirstFitDecreasing(sizes, 10, &bins);
+  EXPECT_EQ(bins, 2u);
+  ValidateAssignment(sizes, assignment, 10, bins);
+}
+
+TEST(PackingTest, OversizedItemGetsOwnBin) {
+  uint32_t bins = 0;
+  const std::vector<uint64_t> sizes = {25, 3, 3};
+  const auto assignment = FirstFitDecreasing(sizes, 10, &bins);
+  EXPECT_EQ(bins, 2u);
+  ValidateAssignment(sizes, assignment, 10, bins);
+  // The oversized item is alone in its bin.
+  EXPECT_NE(assignment[0], assignment[1]);
+  EXPECT_EQ(assignment[1], assignment[2]);
+}
+
+TEST(PackingTest, ItemExactlyAtCapacity) {
+  uint32_t bins = 0;
+  const std::vector<uint64_t> sizes = {10, 1};
+  const auto assignment = FirstFitDecreasing(sizes, 10, &bins);
+  EXPECT_EQ(bins, 2u);  // the full bin cannot take the extra item
+}
+
+TEST(PackingTest, FfdWithinThreeHalvesOfOptimal) {
+  // FFD guarantee: bins <= 3/2 * OPT (+1). Check against the volume lower
+  // bound ceil(total/capacity) on random instances.
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<uint64_t> sizes(100);
+    uint64_t total = 0;
+    for (auto& s : sizes) {
+      s = 1 + rng.NextBounded(50);
+      total += s;
+    }
+    uint32_t bins = 0;
+    const auto assignment = FirstFitDecreasing(sizes, 50, &bins);
+    ValidateAssignment(sizes, assignment, 50, bins);
+    const uint64_t lower = (total + 49) / 50;
+    EXPECT_LE(bins, (3 * lower) / 2 + 1) << "trial " << trial;
+  }
+}
+
+TEST(PackingTest, DeterministicForEqualInput) {
+  Rng rng(78);
+  std::vector<uint64_t> sizes(200);
+  for (auto& s : sizes) s = 1 + rng.NextBounded(30);
+  uint32_t bins1 = 0, bins2 = 0;
+  EXPECT_EQ(FirstFitDecreasing(sizes, 64, &bins1),
+            FirstFitDecreasing(sizes, 64, &bins2));
+  EXPECT_EQ(bins1, bins2);
+}
+
+TEST(PackingTest, ZeroSizedItemsShareBins) {
+  uint32_t bins = 0;
+  const std::vector<uint64_t> sizes = {0, 0, 0, 5};
+  const auto assignment = FirstFitDecreasing(sizes, 5, &bins);
+  EXPECT_EQ(bins, 1u);
+  ValidateAssignment(sizes, assignment, 5, bins);
+}
+
+}  // namespace
+}  // namespace tardis

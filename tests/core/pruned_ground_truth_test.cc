@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "core/ground_truth.h"
+#include "core/tardis_index.h"
+#include "test_util.h"
+#include "workload/datasets.h"
+#include "workload/query_gen.h"
+
+namespace tardis {
+namespace {
+
+class PrunedGroundTruthTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = MakeDataset(DatasetKind::kRandomWalk, 4000, 64, /*seed=*/111);
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).value();
+    auto store = BlockStore::Create(dir_.Sub("bs"), dataset_, 200);
+    ASSERT_TRUE(store.ok());
+    store_ = std::make_unique<BlockStore>(std::move(store).value());
+    TardisConfig config;
+    config.g_max_size = 400;
+    config.l_max_size = 50;
+    cluster_ = std::make_shared<Cluster>(4);
+    auto index = TardisIndex::Build(cluster_, *store_, dir_.Sub("parts"),
+                                    config, nullptr);
+    ASSERT_TRUE(index.ok());
+    index_ = std::make_unique<TardisIndex>(std::move(index).value());
+  }
+
+  ScopedTempDir dir_;
+  std::shared_ptr<Cluster> cluster_;
+  Dataset dataset_;
+  std::unique_ptr<BlockStore> store_;
+  std::unique_ptr<TardisIndex> index_;
+};
+
+TEST_F(PrunedGroundTruthTest, ValidResultsMatchBruteForce) {
+  const auto queries = MakeKnnQueries(dataset_, 10, 0.05, /*seed=*/112);
+  const uint32_t k = 10;
+  // The paper uses threshold 7.5; our z-normalised 64-point series have
+  // pairwise distances of ~8-12, so 7.5 is a workable bound here too.
+  ASSERT_OK_AND_ASSIGN(auto pruned,
+                       PrunedGroundTruthScan(*index_, queries, k, 7.5));
+  ASSERT_OK_AND_ASSIGN(auto truth, ExactKnnScan(*cluster_, *store_, queries, k));
+  uint32_t valid = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (!pruned[i].valid) continue;
+    ++valid;
+    ASSERT_EQ(pruned[i].neighbors.size(), k);
+    for (uint32_t j = 0; j < k; ++j) {
+      EXPECT_NEAR(pruned[i].neighbors[j].distance, truth[i][j].distance, 1e-9)
+          << "query " << i << " rank " << j;
+    }
+  }
+  // With light query noise, most queries should be resolvable by pruning.
+  EXPECT_GT(valid, 5u);
+}
+
+TEST_F(PrunedGroundTruthTest, TinyThresholdInvalidates) {
+  const auto queries = MakeKnnQueries(dataset_, 5, 0.3, /*seed=*/113);
+  ASSERT_OK_AND_ASSIGN(auto pruned,
+                       PrunedGroundTruthScan(*index_, queries, 50, 0.001));
+  for (const auto& gt : pruned) {
+    EXPECT_FALSE(gt.valid);  // nobody is within 0.001 of a noisy query, 50x
+  }
+}
+
+TEST_F(PrunedGroundTruthTest, PruningTouchesFewerCandidatesThanScan) {
+  const auto queries = MakeKnnQueries(dataset_, 5, 0.05, /*seed=*/114);
+  ASSERT_OK_AND_ASSIGN(auto pruned,
+                       PrunedGroundTruthScan(*index_, queries, 10, 7.5));
+  for (const auto& gt : pruned) {
+    EXPECT_LT(gt.candidates, dataset_.size());
+  }
+}
+
+TEST_F(PrunedGroundTruthTest, RejectsBadArgs) {
+  EXPECT_FALSE(PrunedGroundTruthScan(*index_, {dataset_[0]}, 0, 7.5).ok());
+  EXPECT_FALSE(PrunedGroundTruthScan(*index_, {dataset_[0]}, 5, -1.0).ok());
+}
+
+}  // namespace
+}  // namespace tardis

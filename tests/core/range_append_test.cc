@@ -1,0 +1,158 @@
+// Tests for the range-search and incremental-append extensions.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/tardis_index.h"
+#include "test_util.h"
+#include "ts/distance.h"
+#include "workload/datasets.h"
+#include "workload/query_gen.h"
+
+namespace tardis {
+namespace {
+
+class RangeAppendTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = MakeDataset(DatasetKind::kRandomWalk, 5000, 64, /*seed=*/101);
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).value();
+    auto store = BlockStore::Create(dir_.Sub("bs"), dataset_, 250);
+    ASSERT_TRUE(store.ok());
+    store_ = std::make_unique<BlockStore>(std::move(store).value());
+    config_.g_max_size = 500;
+    config_.l_max_size = 100;
+    cluster_ = std::make_shared<Cluster>(4);
+    auto index = TardisIndex::Build(cluster_, *store_, dir_.Sub("parts"),
+                                    config_, nullptr);
+    ASSERT_TRUE(index.ok());
+    index_ = std::make_unique<TardisIndex>(std::move(index).value());
+  }
+
+  // Serial reference range search.
+  std::vector<Neighbor> BruteRange(const TimeSeries& query, double radius) {
+    std::vector<Neighbor> out;
+    for (size_t i = 0; i < dataset_.size(); ++i) {
+      const double d = EuclideanDistance(query, dataset_[i]);
+      if (d <= radius) out.push_back({d, i});
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  ScopedTempDir dir_;
+  std::shared_ptr<Cluster> cluster_;
+  Dataset dataset_;
+  std::unique_ptr<BlockStore> store_;
+  TardisConfig config_;
+  std::unique_ptr<TardisIndex> index_;
+};
+
+TEST_F(RangeAppendTest, RangeSearchMatchesBruteForce) {
+  const auto queries = MakeKnnQueries(dataset_, 8, 0.05, /*seed=*/102);
+  for (const auto& query : queries) {
+    // Pick a radius that yields a non-trivial result: the distance to the
+    // ~20th neighbour.
+    auto ref20 = BruteRange(query, 1e18);
+    const double radius = ref20[std::min<size_t>(20, ref20.size() - 1)].distance;
+    const auto expected = BruteRange(query, radius);
+    ASSERT_OK_AND_ASSIGN(auto result, index_->RangeSearch(query, radius, nullptr));
+    ASSERT_EQ(result.size(), expected.size());
+    std::set<RecordId> expected_rids, result_rids;
+    for (const auto& nb : expected) expected_rids.insert(nb.rid);
+    for (const auto& nb : result) result_rids.insert(nb.rid);
+    EXPECT_EQ(result_rids, expected_rids);
+    for (size_t j = 0; j < result.size(); ++j) {
+      EXPECT_NEAR(result[j].distance, expected[j].distance, 1e-9);
+    }
+  }
+}
+
+TEST_F(RangeAppendTest, RangeZeroReturnsExactMatchesOnly) {
+  ASSERT_OK_AND_ASSIGN(auto result, index_->RangeSearch(dataset_[10], 0.0, nullptr));
+  ASSERT_GE(result.size(), 1u);
+  for (const auto& nb : result) {
+    EXPECT_NEAR(nb.distance, 0.0, 1e-12);
+  }
+  EXPECT_TRUE(std::any_of(result.begin(), result.end(),
+                          [](const Neighbor& nb) { return nb.rid == 10; }));
+}
+
+TEST_F(RangeAppendTest, RangeSearchPrunesPartitions) {
+  KnnStats stats;
+  ASSERT_OK_AND_ASSIGN(auto result, index_->RangeSearch(dataset_[3], 2.0, &stats));
+  EXPECT_LT(stats.partitions_loaded, index_->num_partitions());
+}
+
+TEST_F(RangeAppendTest, RangeRejectsNegativeRadius) {
+  EXPECT_FALSE(index_->RangeSearch(dataset_[0], -1.0, nullptr).ok());
+}
+
+TEST_F(RangeAppendTest, AppendAssignsFreshRidsAndIsQueryable) {
+  auto extra = MakeDataset(DatasetKind::kRandomWalk, 300, 64, /*seed=*/103);
+  ASSERT_TRUE(extra.ok());
+  ASSERT_OK_AND_ASSIGN(std::vector<RecordId> rids, index_->Append(*extra));
+  ASSERT_EQ(rids.size(), 300u);
+  EXPECT_EQ(rids.front(), 5000u);
+  EXPECT_EQ(rids.back(), 5299u);
+
+  // Every appended series must be retrievable by exact match...
+  for (size_t i = 0; i < extra->size(); i += 17) {
+    ASSERT_OK_AND_ASSIGN(auto hits,
+                         index_->ExactMatch((*extra)[i], true, nullptr));
+    EXPECT_NE(std::find(hits.begin(), hits.end(), rids[i]), hits.end())
+        << "appended record " << i;
+  }
+  // ...and the original records must remain retrievable.
+  for (size_t i = 0; i < dataset_.size(); i += 501) {
+    ASSERT_OK_AND_ASSIGN(auto hits,
+                         index_->ExactMatch(dataset_[i], true, nullptr));
+    EXPECT_NE(std::find(hits.begin(), hits.end(), i), hits.end());
+  }
+  // Counts grew by exactly the batch size.
+  uint64_t total = 0;
+  for (uint64_t c : index_->partition_counts()) total += c;
+  EXPECT_EQ(total, 5300u);
+}
+
+TEST_F(RangeAppendTest, AppendedRecordsAppearInKnn) {
+  // Append a near-duplicate of an existing record; a 2-NN query for that
+  // record must now find both.
+  TimeSeries clone = dataset_[42];
+  clone[0] += 0.001f;
+  ASSERT_OK_AND_ASSIGN(std::vector<RecordId> rids, index_->Append({clone}));
+  ASSERT_OK_AND_ASSIGN(auto knn, index_->KnnExact(dataset_[42], 2, nullptr));
+  ASSERT_EQ(knn.size(), 2u);
+  EXPECT_EQ(knn[0].rid, 42u);
+  EXPECT_EQ(knn[1].rid, rids[0]);
+}
+
+TEST_F(RangeAppendTest, AppendSurvivesReopen) {
+  auto extra = MakeDataset(DatasetKind::kRandomWalk, 100, 64, /*seed=*/104);
+  ASSERT_TRUE(extra.ok());
+  ASSERT_OK_AND_ASSIGN(std::vector<RecordId> rids, index_->Append(*extra));
+  ASSERT_OK_AND_ASSIGN(TardisIndex reopened,
+                       TardisIndex::Open(cluster_, dir_.Sub("parts")));
+  ASSERT_OK_AND_ASSIGN(auto hits,
+                       reopened.ExactMatch((*extra)[0], true, nullptr));
+  EXPECT_NE(std::find(hits.begin(), hits.end(), rids[0]), hits.end());
+  uint64_t total = 0;
+  for (uint64_t c : reopened.partition_counts()) total += c;
+  EXPECT_EQ(total, 5100u);
+}
+
+TEST_F(RangeAppendTest, AppendRejectsWrongLength) {
+  Dataset bad = {TimeSeries(32, 0.0f)};
+  EXPECT_FALSE(index_->Append(bad).ok());
+}
+
+TEST_F(RangeAppendTest, EmptyAppendIsNoop) {
+  ASSERT_OK_AND_ASSIGN(std::vector<RecordId> rids, index_->Append({}));
+  EXPECT_TRUE(rids.empty());
+}
+
+}  // namespace
+}  // namespace tardis

@@ -1,0 +1,125 @@
+#include "core/region_summary.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_util.h"
+#include "ts/distance.h"
+#include "ts/paa.h"
+#include "ts/znorm.h"
+
+namespace tardis {
+namespace {
+
+SaxWord WordOf(const TimeSeries& ts, uint32_t w, uint8_t bits) {
+  std::vector<double> paa(w);
+  PaaInto(ts, w, paa.data());
+  return SaxFromPaa(paa, bits);
+}
+
+TEST(RegionSummaryTest, EmptySummaryPrunesEverything) {
+  RegionSummary summary;
+  EXPECT_TRUE(summary.empty());
+  std::vector<double> paa(8, 0.0);
+  EXPECT_TRUE(std::isinf(summary.Mindist(paa, 64)));
+}
+
+TEST(RegionSummaryTest, SingleWordBoundsAreTight) {
+  RegionSummary summary;
+  const std::vector<double> paa = {-1.0, 0.0, 0.5, 1.5};
+  summary.Extend(SaxFromPaa(paa, 4));
+  EXPECT_EQ(summary.count, 1u);
+  EXPECT_EQ(summary.min_sym, summary.max_sym);
+  // A query equal to the covered word has lower bound 0.
+  EXPECT_DOUBLE_EQ(summary.Mindist(paa, 16), 0.0);
+}
+
+TEST(RegionSummaryTest, ExtendGrowsMonotonically) {
+  Rng rng(1);
+  RegionSummary summary;
+  std::vector<double> paa(8);
+  for (int i = 0; i < 100; ++i) {
+    for (auto& v : paa) v = rng.NextGaussian();
+    const auto before_min = summary.min_sym;
+    const auto before_max = summary.max_sym;
+    summary.Extend(SaxFromPaa(paa, 6));
+    if (i == 0) continue;
+    for (size_t j = 0; j < 8; ++j) {
+      EXPECT_LE(summary.min_sym[j], before_min[j]);
+      EXPECT_GE(summary.max_sym[j], before_max[j]);
+    }
+  }
+  EXPECT_EQ(summary.count, 100u);
+}
+
+TEST(RegionSummaryTest, LowerBoundHoldsForAllCoveredRecords) {
+  // The correctness property exact kNN relies on: Mindist(query, summary)
+  // <= ED(query, r) for every record r the summary was extended with.
+  Rng rng(2);
+  const size_t n = 64;
+  const uint32_t w = 8;
+  std::vector<TimeSeries> records;
+  RegionSummary summary;
+  for (int i = 0; i < 200; ++i) {
+    TimeSeries ts(n);
+    for (auto& v : ts) v = static_cast<float>(rng.NextGaussian());
+    ZNormalize(&ts);
+    summary.Extend(WordOf(ts, w, 6));
+    records.push_back(std::move(ts));
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    TimeSeries q(n);
+    for (auto& v : q) v = static_cast<float>(rng.NextGaussian());
+    ZNormalize(&q);
+    std::vector<double> q_paa(w);
+    PaaInto(q, w, q_paa.data());
+    const double lb = summary.Mindist(q_paa, n);
+    for (const auto& r : records) {
+      EXPECT_LE(lb, EuclideanDistance(q, r) + 1e-9);
+    }
+  }
+}
+
+TEST(RegionSummaryTest, QueryInsideRegionHasZeroBound) {
+  RegionSummary summary;
+  summary.Extend(SaxFromPaa({-2.0, -2.0, -2.0, -2.0}, 4));
+  summary.Extend(SaxFromPaa({2.0, 2.0, 2.0, 2.0}, 4));
+  // The region now spans the whole value range per segment.
+  EXPECT_DOUBLE_EQ(summary.Mindist({0.0, 1.0, -1.0, 0.3}, 16), 0.0);
+}
+
+TEST(RegionSummaryTest, QueryOutsideRegionHasPositiveBound) {
+  RegionSummary summary;
+  summary.Extend(SaxFromPaa({-2.0, -2.0, -2.0, -2.0}, 6));
+  // Query far above the covered stripes.
+  EXPECT_GT(summary.Mindist({2.0, 2.0, 2.0, 2.0}, 16), 0.0);
+}
+
+TEST(RegionSummaryTest, EncodeDecodeRoundTrip) {
+  Rng rng(3);
+  RegionSummary summary;
+  std::vector<double> paa(8);
+  for (int i = 0; i < 37; ++i) {
+    for (auto& v : paa) v = rng.NextGaussian();
+    summary.Extend(SaxFromPaa(paa, 5));
+  }
+  std::string bytes;
+  summary.EncodeTo(&bytes);
+  ASSERT_OK_AND_ASSIGN(RegionSummary decoded, RegionSummary::Decode(bytes));
+  EXPECT_EQ(decoded, summary);
+}
+
+TEST(RegionSummaryTest, DecodeRejectsCorruptInput) {
+  EXPECT_FALSE(RegionSummary::Decode("").ok());
+  RegionSummary summary;
+  summary.Extend(SaxFromPaa({0.0, 0.0, 0.0, 0.0}, 4));
+  std::string bytes;
+  summary.EncodeTo(&bytes);
+  bytes.pop_back();
+  EXPECT_FALSE(RegionSummary::Decode(bytes).ok());
+}
+
+}  // namespace
+}  // namespace tardis

@@ -1,0 +1,255 @@
+// Integration tests: the full TARDIS pipeline — build, exact match, kNN.
+
+#include "core/tardis_index.h"
+
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/ground_truth.h"
+#include "core/metrics.h"
+#include "ts/distance.h"
+#include "test_util.h"
+#include "workload/datasets.h"
+#include "workload/query_gen.h"
+
+namespace tardis {
+namespace {
+
+class TardisIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = MakeDataset(DatasetKind::kRandomWalk, 8000, 64, /*seed=*/11);
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).value();
+    auto store = BlockStore::Create(dir_.Sub("bs"), dataset_, 400);
+    ASSERT_TRUE(store.ok());
+    store_ = std::make_unique<BlockStore>(std::move(store).value());
+
+    config_.word_length = 8;
+    config_.initial_bits = 5;
+    config_.g_max_size = 800;
+    config_.l_max_size = 100;
+    config_.sampling_percent = 20.0;
+    config_.pth = 8;
+
+    cluster_ = std::make_shared<Cluster>(4);
+    auto index = TardisIndex::Build(cluster_, *store_, dir_.Sub("parts"),
+                                    config_, &timings_);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    index_ = std::make_unique<TardisIndex>(std::move(index).value());
+  }
+
+  ScopedTempDir dir_;
+  std::shared_ptr<Cluster> cluster_;
+  Dataset dataset_;
+  std::unique_ptr<BlockStore> store_;
+  TardisConfig config_;
+  TardisIndex::BuildTimings timings_;
+  std::unique_ptr<TardisIndex> index_;
+};
+
+TEST_F(TardisIndexTest, PartitionCountsCoverDataset) {
+  const auto& counts = index_->partition_counts();
+  ASSERT_EQ(counts.size(), index_->num_partitions());
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0ull), 8000ull);
+}
+
+TEST_F(TardisIndexTest, EveryRecordRetrievableByExactMatch) {
+  // 100% recall for present queries across every partition (§VI-C1).
+  for (size_t i = 0; i < dataset_.size(); i += 97) {
+    ExactMatchStats stats;
+    ASSERT_OK_AND_ASSIGN(std::vector<RecordId> rids,
+                         index_->ExactMatch(dataset_[i], /*use_bloom=*/true,
+                                            &stats));
+    EXPECT_NE(std::find(rids.begin(), rids.end(), i), rids.end())
+        << "rid " << i << " not found";
+  }
+}
+
+TEST_F(TardisIndexTest, ExactMatchAbsentQueryReturnsEmpty) {
+  const auto workload = MakeExactMatchWorkload(dataset_, 60, 0.0, /*seed=*/5);
+  uint32_t bloom_skips = 0;
+  for (const auto& query : workload.queries) {
+    ExactMatchStats stats;
+    ASSERT_OK_AND_ASSIGN(std::vector<RecordId> rids,
+                         index_->ExactMatch(query, true, &stats));
+    EXPECT_TRUE(rids.empty());
+    bloom_skips += stats.bloom_negative;
+  }
+  // The Bloom filter must spare most absent queries the partition load.
+  EXPECT_GT(bloom_skips, 40u);
+}
+
+TEST_F(TardisIndexTest, ExactMatchNoBloomSameAnswers) {
+  const auto workload = MakeExactMatchWorkload(dataset_, 40, 0.5, /*seed=*/6);
+  for (size_t i = 0; i < workload.queries.size(); ++i) {
+    ASSERT_OK_AND_ASSIGN(std::vector<RecordId> with_bloom,
+                         index_->ExactMatch(workload.queries[i], true, nullptr));
+    ASSERT_OK_AND_ASSIGN(std::vector<RecordId> without,
+                         index_->ExactMatch(workload.queries[i], false, nullptr));
+    EXPECT_EQ(with_bloom, without);
+    if (workload.expected_present[i]) {
+      EXPECT_FALSE(with_bloom.empty());
+    } else {
+      EXPECT_TRUE(with_bloom.empty());
+    }
+  }
+}
+
+TEST_F(TardisIndexTest, ExactMatchRejectsWrongLength) {
+  TimeSeries bad(32, 0.0f);
+  EXPECT_TRUE(index_->ExactMatch(bad, true, nullptr).status().IsInvalidArgument());
+}
+
+TEST_F(TardisIndexTest, KnnReturnsKSortedNeighbors) {
+  const auto queries = MakeKnnQueries(dataset_, 10, 0.05, /*seed=*/7);
+  for (const auto& query : queries) {
+    for (KnnStrategy strategy :
+         {KnnStrategy::kTargetNode, KnnStrategy::kOnePartition,
+          KnnStrategy::kMultiPartitions}) {
+      KnnStats stats;
+      ASSERT_OK_AND_ASSIGN(std::vector<Neighbor> result,
+                           index_->KnnApproximate(query, 20, strategy, &stats));
+      ASSERT_EQ(result.size(), 20u);
+      EXPECT_TRUE(std::is_sorted(result.begin(), result.end()));
+      std::set<RecordId> unique;
+      for (const auto& nb : result) unique.insert(nb.rid);
+      EXPECT_EQ(unique.size(), result.size()) << "duplicate rids";
+    }
+  }
+}
+
+TEST_F(TardisIndexTest, KnnDistancesAreTrueDistances) {
+  const auto queries = MakeKnnQueries(dataset_, 5, 0.05, /*seed=*/8);
+  for (const auto& query : queries) {
+    ASSERT_OK_AND_ASSIGN(
+        std::vector<Neighbor> result,
+        index_->KnnApproximate(query, 10, KnnStrategy::kOnePartition, nullptr));
+    for (const auto& nb : result) {
+      const double expected = EuclideanDistance(query, dataset_[nb.rid]);
+      EXPECT_NEAR(nb.distance, expected, 1e-9);
+    }
+  }
+}
+
+TEST_F(TardisIndexTest, WiderStrategiesNeverHurtAccuracy) {
+  // Recall ordering (paper Fig. 15): TargetNode <= OnePartition <=
+  // MultiPartitions, measured against exact ground truth, on average.
+  const uint32_t k = 50;
+  const auto queries = MakeKnnQueries(dataset_, 15, 0.05, /*seed=*/9);
+  ASSERT_OK_AND_ASSIGN(auto truth,
+                       ExactKnnScan(*cluster_, *store_, queries, k));
+  double recall_target = 0, recall_one = 0, recall_multi = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_OK_AND_ASSIGN(auto r1, index_->KnnApproximate(
+                                      queries[i], k, KnnStrategy::kTargetNode,
+                                      nullptr));
+    ASSERT_OK_AND_ASSIGN(auto r2, index_->KnnApproximate(
+                                      queries[i], k, KnnStrategy::kOnePartition,
+                                      nullptr));
+    ASSERT_OK_AND_ASSIGN(
+        auto r3, index_->KnnApproximate(queries[i], k,
+                                        KnnStrategy::kMultiPartitions, nullptr));
+    recall_target += Recall(r1, truth[i]);
+    recall_one += Recall(r2, truth[i]);
+    recall_multi += Recall(r3, truth[i]);
+  }
+  EXPECT_LE(recall_target, recall_one + 1e-9);
+  EXPECT_LE(recall_one, recall_multi + 1e-9);
+  EXPECT_GT(recall_multi, 0.0);
+}
+
+TEST_F(TardisIndexTest, OnePartitionDominatesTargetNodePerQuery) {
+  // One Partition Access scans a superset of the target node with the same
+  // threshold, so its k-th distance can never be worse.
+  const auto queries = MakeKnnQueries(dataset_, 10, 0.05, /*seed=*/10);
+  for (const auto& query : queries) {
+    ASSERT_OK_AND_ASSIGN(
+        auto r1,
+        index_->KnnApproximate(query, 25, KnnStrategy::kTargetNode, nullptr));
+    ASSERT_OK_AND_ASSIGN(
+        auto r2,
+        index_->KnnApproximate(query, 25, KnnStrategy::kOnePartition, nullptr));
+    ASSERT_EQ(r1.size(), r2.size());
+    EXPECT_LE(r2.back().distance, r1.back().distance + 1e-9);
+  }
+}
+
+TEST_F(TardisIndexTest, MultiPartitionsRespectsPth) {
+  const auto queries = MakeKnnQueries(dataset_, 10, 0.05, /*seed=*/11);
+  for (const auto& query : queries) {
+    KnnStats stats;
+    ASSERT_OK_AND_ASSIGN(
+        auto result, index_->KnnApproximate(query, 10,
+                                            KnnStrategy::kMultiPartitions,
+                                            &stats));
+    EXPECT_LE(stats.partitions_loaded, config_.pth);
+    EXPECT_GE(stats.partitions_loaded, 1u);
+  }
+}
+
+TEST_F(TardisIndexTest, KnnLargerThanPartitionStillReturns) {
+  // k larger than any single node: target node walks up to the root.
+  const auto queries = MakeKnnQueries(dataset_, 3, 0.05, /*seed=*/12);
+  ASSERT_OK_AND_ASSIGN(
+      auto result,
+      index_->KnnApproximate(queries[0], 3000, KnnStrategy::kMultiPartitions,
+                             nullptr));
+  EXPECT_GT(result.size(), 500u);
+  EXPECT_TRUE(std::is_sorted(result.begin(), result.end()));
+}
+
+TEST_F(TardisIndexTest, KnnRejectsZeroK) {
+  EXPECT_FALSE(
+      index_->KnnApproximate(dataset_[0], 0, KnnStrategy::kTargetNode, nullptr)
+          .ok());
+}
+
+TEST_F(TardisIndexTest, BuildTimingsPopulated) {
+  EXPECT_GT(timings_.TotalSeconds(), 0.0);
+  EXPECT_GT(timings_.shuffle_seconds, 0.0);
+  EXPECT_GT(timings_.local_build_seconds, 0.0);
+  EXPECT_EQ(timings_.bloom_extra_seconds, 0.0);  // persisted by default
+}
+
+TEST_F(TardisIndexTest, SizeInfoAccounting) {
+  ASSERT_OK_AND_ASSIGN(TardisIndex::SizeInfo info, index_->ComputeSizeInfo());
+  EXPECT_GT(info.global_bytes, 0u);
+  EXPECT_GT(info.local_tree_bytes, 0u);
+  EXPECT_GT(info.bloom_bytes, 0u);
+}
+
+TEST_F(TardisIndexTest, SpillModeBuildsSameBloomAnswers) {
+  TardisConfig spill = config_;
+  spill.persist_intermediate = false;
+  TardisIndex::BuildTimings timings;
+  auto index2 = TardisIndex::Build(cluster_, *store_, dir_.Sub("parts2"), spill,
+                                   &timings);
+  ASSERT_TRUE(index2.ok()) << index2.status().ToString();
+  EXPECT_GT(timings.bloom_extra_seconds, 0.0);
+  const auto workload = MakeExactMatchWorkload(dataset_, 30, 0.5, /*seed=*/13);
+  for (size_t i = 0; i < workload.queries.size(); ++i) {
+    ASSERT_OK_AND_ASSIGN(auto a,
+                         index_->ExactMatch(workload.queries[i], true, nullptr));
+    ASSERT_OK_AND_ASSIGN(auto b,
+                         index2->ExactMatch(workload.queries[i], true, nullptr));
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST_F(TardisIndexTest, ClusteredLayoutMatchesLocalTrees) {
+  // For each partition: the on-disk record order must match the Tardis-L
+  // clustered ranges, and counts must agree.
+  for (PartitionId pid = 0; pid < index_->num_partitions(); ++pid) {
+    ASSERT_OK_AND_ASSIGN(LocalIndex local, index_->LoadLocalIndex(pid));
+    ASSERT_OK_AND_ASSIGN(std::vector<Record> records,
+                         index_->LoadPartition(pid));
+    EXPECT_EQ(local.tree().root()->count, records.size());
+    EXPECT_EQ(records.size(), index_->partition_counts()[pid]);
+  }
+}
+
+}  // namespace
+}  // namespace tardis

@@ -1,0 +1,127 @@
+// Tests for the un-clustered TARDIS variant (paper §VI-A: "we implement our
+// approach for both clustered and un-clustered indices at the local
+// structure"). Un-clustered partitions hold only rid lists; queries fetch
+// raw series from the base blocks.
+
+#include <algorithm>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/ground_truth.h"
+#include "core/tardis_index.h"
+#include "test_util.h"
+#include "workload/datasets.h"
+#include "workload/query_gen.h"
+
+namespace tardis {
+namespace {
+
+class UnclusteredTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = MakeDataset(DatasetKind::kRandomWalk, 4000, 64, /*seed=*/141);
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).value();
+    auto store = BlockStore::Create(dir_.Sub("bs"), dataset_, 200);
+    ASSERT_TRUE(store.ok());
+    store_ = std::make_unique<BlockStore>(std::move(store).value());
+    config_.g_max_size = 400;
+    config_.l_max_size = 50;
+    config_.clustered = false;
+    cluster_ = std::make_shared<Cluster>(4);
+    auto index = TardisIndex::Build(cluster_, *store_, dir_.Sub("parts"),
+                                    config_, nullptr);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    index_ = std::make_unique<TardisIndex>(std::move(index).value());
+  }
+
+  ScopedTempDir dir_;
+  std::shared_ptr<Cluster> cluster_;
+  Dataset dataset_;
+  std::unique_ptr<BlockStore> store_;
+  TardisConfig config_;
+  std::unique_ptr<TardisIndex> index_;
+};
+
+TEST_F(UnclusteredTest, NoPartitionRecordFilesOnDisk) {
+  // The whole point of un-clustered: the data is not duplicated.
+  for (PartitionId pid = 0; pid < index_->num_partitions(); ++pid) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "/part_%06u.bin", pid);
+    EXPECT_FALSE(std::filesystem::exists(dir_.Sub("parts") + name))
+        << "partition " << pid << " still has a record file";
+  }
+}
+
+TEST_F(UnclusteredTest, ExactMatchStillPerfect) {
+  const auto workload = MakeExactMatchWorkload(dataset_, 60, 0.5, /*seed=*/142);
+  for (size_t i = 0; i < workload.queries.size(); ++i) {
+    ASSERT_OK_AND_ASSIGN(auto rids,
+                         index_->ExactMatch(workload.queries[i], true, nullptr));
+    const bool found = std::find(rids.begin(), rids.end(),
+                                 workload.source_rid[i]) != rids.end();
+    EXPECT_EQ(found, static_cast<bool>(workload.expected_present[i]))
+        << "query " << i;
+  }
+}
+
+TEST_F(UnclusteredTest, QueriesMatchClusteredResults) {
+  // Same data, same config except clustering: every query type must return
+  // identical answers (clustering is a storage layout, not a semantic).
+  TardisConfig clustered_cfg = config_;
+  clustered_cfg.clustered = true;
+  auto clustered = TardisIndex::Build(cluster_, *store_, dir_.Sub("parts_c"),
+                                      clustered_cfg, nullptr);
+  ASSERT_TRUE(clustered.ok());
+  const auto queries = MakeKnnQueries(dataset_, 8, 0.05, /*seed=*/143);
+  for (const auto& query : queries) {
+    for (KnnStrategy strategy :
+         {KnnStrategy::kTargetNode, KnnStrategy::kOnePartition,
+          KnnStrategy::kMultiPartitions}) {
+      ASSERT_OK_AND_ASSIGN(auto a,
+                           index_->KnnApproximate(query, 12, strategy, nullptr));
+      ASSERT_OK_AND_ASSIGN(
+          auto b, clustered->KnnApproximate(query, 12, strategy, nullptr));
+      EXPECT_EQ(a, b) << KnnStrategyName(strategy);
+    }
+    ASSERT_OK_AND_ASSIGN(auto ea, index_->KnnExact(query, 12, nullptr));
+    ASSERT_OK_AND_ASSIGN(auto eb, clustered->KnnExact(query, 12, nullptr));
+    EXPECT_EQ(ea, eb);
+    ASSERT_OK_AND_ASSIGN(auto ra, index_->RangeSearch(query, 5.0, nullptr));
+    ASSERT_OK_AND_ASSIGN(auto rb, clustered->RangeSearch(query, 5.0, nullptr));
+    EXPECT_EQ(ra, rb);
+  }
+}
+
+TEST_F(UnclusteredTest, SurvivesReopen) {
+  ASSERT_OK_AND_ASSIGN(TardisIndex reopened,
+                       TardisIndex::Open(cluster_, dir_.Sub("parts")));
+  EXPECT_FALSE(reopened.config().clustered);
+  ASSERT_OK_AND_ASSIGN(auto hits,
+                       reopened.ExactMatch(dataset_[17], true, nullptr));
+  EXPECT_NE(std::find(hits.begin(), hits.end(), 17u), hits.end());
+}
+
+TEST_F(UnclusteredTest, AppendRejected) {
+  auto extra = MakeDataset(DatasetKind::kRandomWalk, 10, 64, /*seed=*/144);
+  ASSERT_TRUE(extra.ok());
+  EXPECT_EQ(index_->Append(*extra).status().code(),
+            StatusCode::kNotImplemented);
+}
+
+TEST_F(UnclusteredTest, PrunedGroundTruthStillExact) {
+  const auto queries = MakeKnnQueries(dataset_, 5, 0.05, /*seed=*/145);
+  ASSERT_OK_AND_ASSIGN(auto pruned,
+                       PrunedGroundTruthScan(*index_, queries, 5, 7.5));
+  ASSERT_OK_AND_ASSIGN(auto truth, ExactKnnScan(*cluster_, *store_, queries, 5));
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (!pruned[i].valid) continue;
+    for (size_t j = 0; j < pruned[i].neighbors.size(); ++j) {
+      EXPECT_NEAR(pruned[i].neighbors[j].distance, truth[i][j].distance, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tardis

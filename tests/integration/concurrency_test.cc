@@ -1,0 +1,177 @@
+// Concurrency: shared-pool task-group isolation and concurrent queries on a
+// shared index must behave exactly like their serial counterparts.
+
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "core/tardis_index.h"
+#include "test_util.h"
+#include "workload/datasets.h"
+#include "workload/query_gen.h"
+
+namespace tardis {
+namespace {
+
+TEST(TaskGroupTest, IndependentGroupsWaitOnlyForTheirOwnTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> slow_done{0};
+  TaskGroup slow(&pool);
+  // Long-running tasks in one group...
+  for (int i = 0; i < 4; ++i) {
+    slow.Submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      slow_done.fetch_add(1);
+    });
+  }
+  // ...must not block another group's Wait once its own tasks finish.
+  TaskGroup fast(&pool);
+  std::atomic<int> fast_done{0};
+  fast.Submit([&] { fast_done.fetch_add(1); });
+  fast.Wait();
+  EXPECT_EQ(fast_done.load(), 1);
+  // The slow group may or may not be done yet; if the old global-wait
+  // semantics had leaked back in, fast.Wait() would have taken >= 200 ms and
+  // slow_done would necessarily be 4 here.
+  slow.Wait();
+  EXPECT_EQ(slow_done.load(), 4);
+}
+
+TEST(TaskGroupTest, ConcurrentParallelForCallers) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  constexpr size_t kN = 20000;
+  std::vector<std::atomic<uint64_t>> sums(kCallers);
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &sums, c] {
+      TaskGroup group(&pool);
+      group.ParallelFor(kN, [&sums, c](size_t i) {
+        sums[c].fetch_add(i, std::memory_order_relaxed);
+      });
+    });
+  }
+  for (auto& t : callers) t.join();
+  const uint64_t expected = kN * (kN - 1) / 2;
+  for (int c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(sums[c].load(), expected) << "caller " << c;
+  }
+}
+
+TEST(TaskGroupTest, DestructorWaits) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  {
+    TaskGroup group(&pool);
+    for (int i = 0; i < 8; ++i) {
+      group.Submit([&done] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        done.fetch_add(1);
+      });
+    }
+  }  // ~TaskGroup must block until all 8 ran
+  EXPECT_EQ(done.load(), 8);
+}
+
+class ConcurrentQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = MakeDataset(DatasetKind::kRandomWalk, 5000, 64, /*seed=*/121);
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).value();
+    auto store = BlockStore::Create(dir_.Sub("bs"), dataset_, 250);
+    ASSERT_TRUE(store.ok());
+    TardisConfig config;
+    config.g_max_size = 500;
+    config.l_max_size = 100;
+    config.pth = 6;
+    cluster_ = std::make_shared<Cluster>(4);
+    auto index =
+        TardisIndex::Build(cluster_, *store, dir_.Sub("parts"), config, nullptr);
+    ASSERT_TRUE(index.ok());
+    index_ = std::make_unique<TardisIndex>(std::move(index).value());
+  }
+
+  ScopedTempDir dir_;
+  std::shared_ptr<Cluster> cluster_;
+  Dataset dataset_;
+  std::unique_ptr<TardisIndex> index_;
+};
+
+TEST_F(ConcurrentQueryTest, ParallelClientsMatchSerialResults) {
+  const auto queries = MakeKnnQueries(dataset_, 24, 0.05, /*seed=*/122);
+  // Serial reference.
+  std::vector<std::vector<Neighbor>> serial(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto r = index_->KnnApproximate(queries[i], 15,
+                                    KnnStrategy::kMultiPartitions, nullptr);
+    ASSERT_TRUE(r.ok());
+    serial[i] = std::move(r).value();
+  }
+  // 8 client threads hammer the same index concurrently.
+  std::vector<std::vector<Neighbor>> parallel(queries.size());
+  std::atomic<size_t> next{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 8; ++c) {
+    clients.emplace_back([&] {
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= queries.size()) return;
+        auto r = index_->KnnApproximate(queries[i], 15,
+                                        KnnStrategy::kMultiPartitions, nullptr);
+        if (!r.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        parallel[i] = std::move(r).value();
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  ASSERT_EQ(failures.load(), 0);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(parallel[i], serial[i]) << "query " << i;
+  }
+}
+
+TEST_F(ConcurrentQueryTest, MixedQueryTypesConcurrently) {
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 6; ++c) {
+    clients.emplace_back([&, c] {
+      for (int round = 0; round < 10; ++round) {
+        const size_t rid = (c * 911 + round * 131) % dataset_.size();
+        switch (c % 3) {
+          case 0: {
+            auto r = index_->ExactMatch(dataset_[rid], true, nullptr);
+            if (!r.ok() ||
+                std::find(r->begin(), r->end(), rid) == r->end()) {
+              failures.fetch_add(1);
+            }
+            break;
+          }
+          case 1: {
+            auto r = index_->KnnExact(dataset_[rid], 5, nullptr);
+            if (!r.ok() || r->empty() || (*r)[0].rid != rid) {
+              failures.fetch_add(1);
+            }
+            break;
+          }
+          default: {
+            auto r = index_->RangeSearch(dataset_[rid], 1.0, nullptr);
+            if (!r.ok() || r->empty()) failures.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace tardis

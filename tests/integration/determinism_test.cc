@@ -1,0 +1,126 @@
+// Determinism: index construction must be bit-stable across worker counts
+// and repeated runs — a requirement for reproducible experiments and for
+// the deterministic routing that exact-match completeness relies on.
+
+#include <gtest/gtest.h>
+
+#include "core/tardis_index.h"
+#include "test_util.h"
+#include "ts/paa.h"
+#include "workload/datasets.h"
+
+namespace tardis {
+namespace {
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = MakeDataset(DatasetKind::kTexmex, 3000, 128, /*seed=*/161);
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).value();
+    auto store = BlockStore::Create(dir_.Sub("bs"), dataset_, 150);
+    ASSERT_TRUE(store.ok());
+    store_ = std::make_unique<BlockStore>(std::move(store).value());
+    config_.g_max_size = 400;
+    config_.l_max_size = 50;
+  }
+
+  // Builds an index with the given worker count and returns the partition id
+  // of every record (the full partitioning function).
+  std::vector<PartitionId> BuildAndMap(uint32_t workers,
+                                       const std::string& tag) {
+    auto cluster = std::make_shared<Cluster>(workers);
+    auto index =
+        TardisIndex::Build(cluster, *store_, dir_.Sub(tag), config_, nullptr);
+    EXPECT_TRUE(index.ok()) << index.status().ToString();
+    std::vector<PartitionId> mapping(dataset_.size());
+    std::vector<double> paa(config_.word_length);
+    for (size_t i = 0; i < dataset_.size(); ++i) {
+      PaaInto(dataset_[i], config_.word_length, paa.data());
+      mapping[i] = index->global().LookupPartition(index->codec().Encode(paa));
+    }
+    return mapping;
+  }
+
+  ScopedTempDir dir_;
+  Dataset dataset_;
+  std::unique_ptr<BlockStore> store_;
+  TardisConfig config_;
+};
+
+TEST_F(DeterminismTest, PartitioningIndependentOfWorkerCount) {
+  const auto one = BuildAndMap(1, "w1");
+  const auto four = BuildAndMap(4, "w4");
+  const auto eight = BuildAndMap(8, "w8");
+  EXPECT_EQ(one, four);
+  EXPECT_EQ(one, eight);
+}
+
+TEST_F(DeterminismTest, RepeatedBuildsIdentical) {
+  const auto a = BuildAndMap(4, "r1");
+  const auto b = BuildAndMap(4, "r2");
+  EXPECT_EQ(a, b);
+  // And the serialized global trees are byte-identical.
+  auto cluster = std::make_shared<Cluster>(4);
+  auto ia = TardisIndex::Build(cluster, *store_, dir_.Sub("s1"), config_, nullptr);
+  auto ib = TardisIndex::Build(cluster, *store_, dir_.Sub("s2"), config_, nullptr);
+  ASSERT_TRUE(ia.ok() && ib.ok());
+  std::string ta, tb;
+  ia->global().tree().EncodeTo(&ta);
+  ib->global().tree().EncodeTo(&tb);
+  EXPECT_EQ(ta, tb);
+}
+
+TEST_F(DeterminismTest, SeedChangesSamplingButCoverageHolds) {
+  config_.sampling_percent = 5.0;
+  TardisConfig other = config_;
+  other.seed = config_.seed + 1;
+  auto cluster = std::make_shared<Cluster>(4);
+  auto ia = TardisIndex::Build(cluster, *store_, dir_.Sub("sd1"), config_, nullptr);
+  auto ib = TardisIndex::Build(cluster, *store_, dir_.Sub("sd2"), other, nullptr);
+  ASSERT_TRUE(ia.ok() && ib.ok());
+  // Different samples may yield different trees, but both must cover all
+  // records.
+  uint64_t total_a = 0, total_b = 0;
+  for (uint64_t c : ia->partition_counts()) total_a += c;
+  for (uint64_t c : ib->partition_counts()) total_b += c;
+  EXPECT_EQ(total_a, dataset_.size());
+  EXPECT_EQ(total_b, dataset_.size());
+}
+
+// End-to-end with non-default word lengths (the codec supports any multiple
+// of 4 dividing the series length).
+class WordLengthTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(WordLengthTest, FullPipelineWorks) {
+  const uint32_t w = GetParam();
+  ScopedTempDir dir;
+  auto dataset = MakeDataset(DatasetKind::kRandomWalk, 2000, 64, /*seed=*/162);
+  ASSERT_TRUE(dataset.ok());
+  auto store = BlockStore::Create(dir.Sub("bs"), *dataset, 100);
+  ASSERT_TRUE(store.ok());
+  TardisConfig config;
+  config.word_length = w;
+  config.initial_bits = 5;
+  config.g_max_size = 300;
+  config.l_max_size = 50;
+  auto cluster = std::make_shared<Cluster>(2);
+  auto index =
+      TardisIndex::Build(cluster, *store, dir.Sub("parts"), config, nullptr);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  for (size_t i = 0; i < dataset->size(); i += 173) {
+    ASSERT_OK_AND_ASSIGN(auto hits,
+                         index->ExactMatch((*dataset)[i], true, nullptr));
+    EXPECT_NE(std::find(hits.begin(), hits.end(), i), hits.end());
+  }
+  ASSERT_OK_AND_ASSIGN(
+      auto knn, index->KnnApproximate((*dataset)[9], 5,
+                                      KnnStrategy::kMultiPartitions, nullptr));
+  EXPECT_EQ(knn.size(), 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(WordLengths, WordLengthTest,
+                         ::testing::Values(4u, 8u, 16u, 32u));
+
+}  // namespace
+}  // namespace tardis

@@ -1,0 +1,151 @@
+// Failure injection: damaged on-disk state must surface as Status errors at
+// the right layer — never crashes, hangs, or silently wrong answers.
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/tardis_index.h"
+#include "test_util.h"
+#include "workload/datasets.h"
+
+namespace fs = std::filesystem;
+
+namespace tardis {
+namespace {
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = MakeDataset(DatasetKind::kRandomWalk, 2000, 64, /*seed=*/131);
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).value();
+    auto store = BlockStore::Create(dir_.Sub("bs"), dataset_, 200);
+    ASSERT_TRUE(store.ok());
+    store_ = std::make_unique<BlockStore>(std::move(store).value());
+    config_.g_max_size = 400;
+    config_.l_max_size = 100;
+    cluster_ = std::make_shared<Cluster>(2);
+  }
+
+  Result<TardisIndex> BuildIndex(const std::string& tag) {
+    return TardisIndex::Build(cluster_, *store_, dir_.Sub(tag), config_,
+                              nullptr);
+  }
+
+  static void Truncate(const std::string& path, double keep_fraction) {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    ASSERT_TRUE(in.good()) << path;
+    const auto size = static_cast<size_t>(in.tellg());
+    // +3 keeps the cut off any record boundary (record sizes are multiples
+    // of 4), so the damage is always detectable.
+    const size_t keep =
+        std::min(size - 1, static_cast<size_t>(size * keep_fraction) + 3);
+    std::string bytes(keep, '\0');
+    in.seekg(0);
+    in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    in.close();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  ScopedTempDir dir_;
+  std::shared_ptr<Cluster> cluster_;
+  Dataset dataset_;
+  std::unique_ptr<BlockStore> store_;
+  TardisConfig config_;
+};
+
+TEST_F(FailureInjectionTest, MissingBlockFileFailsBuild) {
+  fs::remove(dir_.Sub("bs") + "/block_000003.bin");
+  auto index = BuildIndex("parts_a");
+  ASSERT_FALSE(index.ok());
+  EXPECT_TRUE(index.status().IsIOError());
+}
+
+TEST_F(FailureInjectionTest, TruncatedBlockFileFailsBuild) {
+  // Cut a block mid-record: the decode must detect the misalignment.
+  {
+    std::ifstream in(dir_.Sub("bs") + "/block_000002.bin",
+                     std::ios::binary | std::ios::ate);
+    ASSERT_TRUE(in.good());
+  }
+  Truncate(dir_.Sub("bs") + "/block_000002.bin", 0.37);
+  auto index = BuildIndex("parts_b");
+  ASSERT_FALSE(index.ok());
+  EXPECT_EQ(index.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(FailureInjectionTest, MissingPartitionFileFailsQuery) {
+  auto index = BuildIndex("parts_c");
+  ASSERT_TRUE(index.ok());
+  // Remove one partition file; queries routed there must error, others work.
+  fs::remove(dir_.Sub("parts_c") + "/part_000000.bin");
+  bool saw_error = false, saw_success = false;
+  for (size_t i = 0; i < dataset_.size(); i += 53) {
+    auto hits = index->ExactMatch(dataset_[i], /*use_bloom=*/false, nullptr);
+    if (hits.ok()) {
+      saw_success = true;
+    } else {
+      EXPECT_TRUE(hits.status().IsIOError());
+      saw_error = true;
+    }
+  }
+  EXPECT_TRUE(saw_error);
+  EXPECT_TRUE(saw_success);
+}
+
+TEST_F(FailureInjectionTest, CorruptSidecarFailsQueryCleanly) {
+  auto index = BuildIndex("parts_d");
+  ASSERT_TRUE(index.ok());
+  // Corrupt every local-tree sidecar.
+  for (uint32_t pid = 0; pid < index->num_partitions(); ++pid) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "/part_%06u.ltree", pid);
+    Truncate(dir_.Sub("parts_d") + name, 0.4);
+  }
+  auto hits = index->ExactMatch(dataset_[0], /*use_bloom=*/false, nullptr);
+  ASSERT_FALSE(hits.ok());
+  EXPECT_EQ(hits.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(FailureInjectionTest, CorruptPartitionPayloadDetected) {
+  auto index = BuildIndex("parts_e");
+  ASSERT_TRUE(index.ok());
+  // Append garbage to one partition file: size is no longer record-aligned.
+  {
+    std::ofstream out(dir_.Sub("parts_e") + "/part_000000.bin",
+                      std::ios::binary | std::ios::app);
+    out << "garbage";
+  }
+  bool saw_corruption = false;
+  for (size_t i = 0; i < dataset_.size() && !saw_corruption; i += 29) {
+    auto hits = index->ExactMatch(dataset_[i], false, nullptr);
+    if (!hits.ok()) {
+      EXPECT_EQ(hits.status().code(), StatusCode::kCorruption);
+      saw_corruption = true;
+    }
+  }
+  EXPECT_TRUE(saw_corruption);
+}
+
+TEST_F(FailureInjectionTest, GlobalIndexNoteInsertedKeepsCountsConsistent) {
+  auto index = BuildIndex("parts_f");
+  ASSERT_TRUE(index.ok());
+  const uint64_t before = index->global().tree().root()->count;
+  auto extra = MakeDataset(DatasetKind::kRandomWalk, 50, 64, /*seed=*/132);
+  ASSERT_TRUE(extra.ok());
+  ASSERT_TRUE(index->Append(*extra).ok());
+  EXPECT_EQ(index->global().tree().root()->count, before + 50);
+  // Internal counts remain the sum of children.
+  index->global().tree().ForEachNode([](const SigTree::Node& node) {
+    if (node.is_leaf()) return;
+    uint64_t sum = 0;
+    for (const auto& [chunk, child] : node.children) sum += child->count;
+    EXPECT_EQ(node.count, sum);
+  });
+}
+
+}  // namespace
+}  // namespace tardis

@@ -1,0 +1,165 @@
+// Robustness fuzzing: corrupted serialized structures must fail with a
+// Status (never crash, hang, or silently succeed with garbage), and random
+// operation sequences must keep structural invariants.
+
+#include <gtest/gtest.h>
+
+#include "baseline/ibt.h"
+#include "common/bloom_filter.h"
+#include "common/rng.h"
+#include "core/region_summary.h"
+#include "sigtree/sigtree.h"
+#include "test_util.h"
+#include "ts/isaxt.h"
+
+namespace tardis {
+namespace {
+
+std::string RandomSigOf(const ISaxTCodec& codec, Rng* rng) {
+  std::vector<double> paa(codec.word_length());
+  for (auto& v : paa) v = rng->NextGaussian();
+  return codec.Encode(paa);
+}
+
+std::string BuildSigTreeBytes(const ISaxTCodec& codec, uint64_t seed) {
+  SigTree tree(codec);
+  Rng rng(seed);
+  for (uint32_t i = 0; i < 500; ++i) {
+    tree.InsertEntry(RandomSigOf(codec, &rng), i, 20);
+  }
+  std::vector<uint32_t> order;
+  tree.AssignClusteredRanges(&order);
+  std::string bytes;
+  tree.EncodeTo(&bytes);
+  return bytes;
+}
+
+TEST(FuzzTest, SigTreeDecodeSurvivesTruncation) {
+  auto codec = *ISaxTCodec::Make(8, 5);
+  const std::string bytes = BuildSigTreeBytes(codec, 1);
+  // Every possible truncation must either decode (full length) or return a
+  // non-OK status.
+  for (size_t len = 0; len < bytes.size(); len += 7) {
+    auto result = SigTree::Decode(std::string_view(bytes).substr(0, len), codec);
+    EXPECT_FALSE(result.ok()) << "truncation at " << len << " decoded";
+  }
+  EXPECT_TRUE(SigTree::Decode(bytes, codec).ok());
+}
+
+TEST(FuzzTest, SigTreeDecodeSurvivesBitFlips) {
+  auto codec = *ISaxTCodec::Make(8, 5);
+  const std::string bytes = BuildSigTreeBytes(codec, 2);
+  Rng rng(3);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string corrupt = bytes;
+    const size_t pos = rng.NextBounded(corrupt.size());
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ (1u << rng.NextBounded(8)));
+    // Must not crash; may or may not decode (a flipped count byte can still
+    // be structurally valid).
+    auto result = SigTree::Decode(corrupt, codec);
+    (void)result;
+  }
+  SUCCEED();
+}
+
+TEST(FuzzTest, IBTreeDecodeSurvivesTruncationAndFlips) {
+  IBTree tree(8, 9, IBTree::SplitPolicy::kStatistics, 20);
+  Rng rng(4);
+  for (uint32_t i = 0; i < 500; ++i) {
+    std::vector<double> paa(8);
+    for (auto& v : paa) v = rng.NextGaussian();
+    tree.Insert(ISaxFromPaa(paa, 9), i);
+  }
+  std::vector<uint32_t> order;
+  tree.AssignClusteredRanges(&order);
+  std::string bytes;
+  tree.EncodeTo(&bytes);
+  for (size_t len = 0; len < bytes.size(); len += 11) {
+    EXPECT_FALSE(IBTree::Decode(std::string_view(bytes).substr(0, len)).ok());
+  }
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string corrupt = bytes;
+    const size_t pos = rng.NextBounded(corrupt.size());
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0xff);
+    auto result = IBTree::Decode(corrupt);
+    (void)result;  // must not crash
+  }
+}
+
+TEST(FuzzTest, BloomDecodeSurvivesRandomBytes) {
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string junk(rng.NextBounded(200), '\0');
+    for (auto& c : junk) c = static_cast<char>(rng.NextU64());
+    auto result = BloomFilter::Decode(junk);
+    (void)result;
+  }
+  SUCCEED();
+}
+
+TEST(FuzzTest, RegionSummaryDecodeSurvivesRandomBytes) {
+  Rng rng(6);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string junk(rng.NextBounded(100), '\0');
+    for (auto& c : junk) c = static_cast<char>(rng.NextU64());
+    auto result = RegionSummary::Decode(junk);
+    (void)result;
+  }
+  SUCCEED();
+}
+
+TEST(FuzzTest, SigTreeRandomInsertionInvariants) {
+  // Random insertion order with random thresholds: the structural
+  // invariants must hold at every step boundary.
+  auto codec = *ISaxTCodec::Make(8, 4);
+  Rng rng(7);
+  for (int round = 0; round < 10; ++round) {
+    SigTree tree(codec);
+    const uint64_t threshold = 1 + rng.NextBounded(50);
+    const uint32_t n = 100 + static_cast<uint32_t>(rng.NextBounded(900));
+    for (uint32_t i = 0; i < n; ++i) {
+      tree.InsertEntry(RandomSigOf(codec, &rng), i, threshold);
+    }
+    EXPECT_EQ(tree.root()->count, n);
+    uint64_t total_entries = 0;
+    tree.ForEachNode([&](const SigTree::Node& node) {
+      if (!node.is_leaf()) {
+        EXPECT_TRUE(node.entries.empty());
+        uint64_t sum = 0;
+        for (const auto& [chunk, child] : node.children) sum += child->count;
+        EXPECT_EQ(sum, node.count);
+      } else {
+        EXPECT_EQ(node.entries.size(), node.count);
+        total_entries += node.entries.size();
+        // Non-max-level leaves respect the threshold.
+        if (node.level < codec.max_bits()) {
+          EXPECT_LE(node.entries.size(), threshold);
+        }
+      }
+    });
+    EXPECT_EQ(total_entries, n);
+  }
+}
+
+TEST(FuzzTest, IBTreeRandomInsertionInvariants) {
+  Rng rng(8);
+  for (int round = 0; round < 10; ++round) {
+    const uint64_t threshold = 1 + rng.NextBounded(40);
+    IBTree tree(8, 9, IBTree::SplitPolicy::kStatistics, threshold);
+    const uint32_t n = 100 + static_cast<uint32_t>(rng.NextBounded(900));
+    for (uint32_t i = 0; i < n; ++i) {
+      std::vector<double> paa(8);
+      for (auto& v : paa) v = rng.NextGaussian();
+      tree.Insert(ISaxFromPaa(paa, 9), i);
+    }
+    EXPECT_EQ(tree.root()->count, n);
+    uint64_t total = 0;
+    tree.ForEachNode([&](const IBTree::Node& node) {
+      if (node.is_leaf()) total += node.entries.size();
+    });
+    EXPECT_EQ(total, n);
+  }
+}
+
+}  // namespace
+}  // namespace tardis

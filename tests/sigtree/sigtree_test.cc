@@ -1,0 +1,287 @@
+#include "sigtree/sigtree.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ts/paa.h"
+#include "test_util.h"
+
+namespace tardis {
+namespace {
+
+ISaxTCodec MakeCodec(uint32_t w = 8, uint8_t bits = 4) {
+  auto codec = ISaxTCodec::Make(w, bits);
+  EXPECT_TRUE(codec.ok());
+  return *codec;
+}
+
+std::string RandomSig(const ISaxTCodec& codec, Rng* rng) {
+  std::vector<double> paa(codec.word_length());
+  for (auto& v : paa) v = rng->NextGaussian();
+  return codec.Encode(paa);
+}
+
+TEST(SigTreeTest, EmptyTreeRootIsLeaf) {
+  SigTree tree(MakeCodec());
+  EXPECT_TRUE(tree.root()->is_leaf());
+  EXPECT_EQ(tree.root()->level, 0);
+  EXPECT_EQ(tree.root()->count, 0u);
+}
+
+TEST(SigTreeTest, InsertWithoutSplitKeepsRootLeaf) {
+  const ISaxTCodec codec = MakeCodec();
+  SigTree tree(codec);
+  Rng rng(1);
+  for (uint32_t i = 0; i < 10; ++i) {
+    tree.InsertEntry(RandomSig(codec, &rng), i, 100);
+  }
+  EXPECT_TRUE(tree.root()->is_leaf());
+  EXPECT_EQ(tree.root()->count, 10u);
+  EXPECT_EQ(tree.root()->entries.size(), 10u);
+}
+
+TEST(SigTreeTest, SplitPromotesOneLevel) {
+  const ISaxTCodec codec = MakeCodec();
+  SigTree tree(codec);
+  Rng rng(2);
+  for (uint32_t i = 0; i < 200; ++i) {
+    tree.InsertEntry(RandomSig(codec, &rng), i, 50);
+  }
+  EXPECT_FALSE(tree.root()->is_leaf());
+  EXPECT_EQ(tree.root()->count, 200u);
+  // Child counts must sum to the root count.
+  uint64_t sum = 0;
+  for (const auto& [chunk, child] : tree.root()->children) {
+    EXPECT_EQ(child->level, 1);
+    EXPECT_EQ(child->parent, tree.root());
+    sum += child->count;
+  }
+  EXPECT_EQ(sum, 200u);
+}
+
+TEST(SigTreeTest, FanOutBounded) {
+  const ISaxTCodec codec = MakeCodec(8, 6);
+  SigTree tree(codec);
+  Rng rng(3);
+  for (uint32_t i = 0; i < 5000; ++i) {
+    tree.InsertEntry(RandomSig(codec, &rng), i, 20);
+  }
+  tree.ForEachNode([&](const SigTree::Node& node) {
+    EXPECT_LE(node.children.size(), 256u);  // 2^w
+  });
+}
+
+TEST(SigTreeTest, DescendFindsInsertedSignatureLeaf) {
+  const ISaxTCodec codec = MakeCodec();
+  SigTree tree(codec);
+  Rng rng(4);
+  std::vector<std::string> sigs;
+  for (uint32_t i = 0; i < 500; ++i) {
+    sigs.push_back(RandomSig(codec, &rng));
+    tree.InsertEntry(sigs.back(), i, 10);
+  }
+  for (const auto& sig : sigs) {
+    const SigTree::Node* node = tree.Descend(sig);
+    EXPECT_TRUE(node->is_leaf());
+    // The leaf's signature must be a prefix of the record's signature.
+    EXPECT_EQ(sig.substr(0, node->sig.size()), node->sig);
+  }
+}
+
+TEST(SigTreeTest, MaxLevelLeafNeverSplits) {
+  const ISaxTCodec codec = MakeCodec(8, 2);  // shallow: max 2 levels
+  SigTree tree(codec);
+  // Identical signatures cannot be separated: the leaf at max level must
+  // absorb all of them even beyond the threshold.
+  std::vector<double> paa(8, 0.5);
+  const std::string sig = codec.Encode(paa);
+  for (uint32_t i = 0; i < 100; ++i) tree.InsertEntry(sig, i, 5);
+  const SigTree::Node* node = tree.Descend(sig);
+  ASSERT_TRUE(node->is_leaf());
+  EXPECT_EQ(node->level, 2);
+  EXPECT_EQ(node->entries.size(), 100u);
+}
+
+TEST(SigTreeTest, CountsConsistentAfterSplits) {
+  const ISaxTCodec codec = MakeCodec(8, 5);
+  SigTree tree(codec);
+  Rng rng(5);
+  for (uint32_t i = 0; i < 3000; ++i) {
+    tree.InsertEntry(RandomSig(codec, &rng), i, 25);
+  }
+  // Invariant: every internal node's count equals the sum of its children's.
+  tree.ForEachNode([](const SigTree::Node& node) {
+    if (node.is_leaf()) return;
+    uint64_t sum = 0;
+    for (const auto& [chunk, child] : node.children) sum += child->count;
+    EXPECT_EQ(node.count, sum);
+  });
+  EXPECT_EQ(tree.root()->count, 3000u);
+}
+
+TEST(SigTreeTest, RouteDescendMatchesDescendWhenPathExists) {
+  const ISaxTCodec codec = MakeCodec();
+  SigTree tree(codec);
+  Rng rng(6);
+  std::vector<std::string> sigs;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    sigs.push_back(RandomSig(codec, &rng));
+    tree.InsertEntry(sigs.back(), i, 30);
+  }
+  for (const auto& sig : sigs) {
+    const SigTree::Node* a = tree.Descend(sig);
+    const SigTree::Node* b = tree.RouteDescend(sig);
+    if (a->is_leaf()) {
+      EXPECT_EQ(a, b);
+    }
+  }
+}
+
+TEST(SigTreeTest, RouteDescendAlwaysReachesALeaf) {
+  const ISaxTCodec codec = MakeCodec();
+  SigTree tree(codec);
+  Rng rng(7);
+  for (uint32_t i = 0; i < 500; ++i) {
+    tree.InsertEntry(RandomSig(codec, &rng), i, 20);
+  }
+  Rng probe_rng(99);  // different stream: many unseen signatures
+  for (int i = 0; i < 500; ++i) {
+    const SigTree::Node* node = tree.RouteDescend(RandomSig(codec, &probe_rng));
+    EXPECT_TRUE(node->is_leaf());
+  }
+}
+
+TEST(SigTreeTest, RouteDescendDeterministic) {
+  const ISaxTCodec codec = MakeCodec();
+  SigTree tree(codec);
+  Rng rng(8);
+  for (uint32_t i = 0; i < 300; ++i) {
+    tree.InsertEntry(RandomSig(codec, &rng), i, 20);
+  }
+  Rng probe_rng(123);
+  for (int i = 0; i < 100; ++i) {
+    const std::string sig = RandomSig(codec, &probe_rng);
+    EXPECT_EQ(tree.RouteDescend(sig), tree.RouteDescend(sig));
+  }
+}
+
+TEST(SigTreeTest, InsertStatNodeBuildsSkeleton) {
+  const ISaxTCodec codec = MakeCodec(8, 3);  // cpl = 2
+  SigTree tree(codec);
+  ASSERT_OK_AND_ASSIGN(SigTree::Node * l1, tree.InsertStatNode("AB", 100));
+  EXPECT_EQ(l1->level, 1);
+  EXPECT_EQ(l1->count, 100u);
+  ASSERT_OK_AND_ASSIGN(SigTree::Node * l2, tree.InsertStatNode("ABCD", 60));
+  EXPECT_EQ(l2->parent, l1);
+  EXPECT_EQ(l2->sig, "ABCD");
+  // Inserting a deeper node whose parent is missing must fail.
+  EXPECT_FALSE(tree.InsertStatNode("FF00", 5).ok());
+  // Bad length must fail.
+  EXPECT_FALSE(tree.InsertStatNode("ABC", 5).ok());
+}
+
+TEST(SigTreeTest, AssignClusteredRangesCoversAllEntriesOnce) {
+  const ISaxTCodec codec = MakeCodec(8, 5);
+  SigTree tree(codec);
+  Rng rng(9);
+  const uint32_t n = 2000;
+  for (uint32_t i = 0; i < n; ++i) {
+    tree.InsertEntry(RandomSig(codec, &rng), i, 40);
+  }
+  std::vector<uint32_t> order;
+  tree.AssignClusteredRanges(&order);
+  ASSERT_EQ(order.size(), n);
+  std::set<uint32_t> unique(order.begin(), order.end());
+  EXPECT_EQ(unique.size(), n);
+  // Every node's range must be contiguous and consistent with its children.
+  tree.ForEachNode([n](const SigTree::Node& node) {
+    EXPECT_LE(node.range_start + node.range_len, n);
+    if (node.is_leaf()) {
+      EXPECT_EQ(node.range_len, node.count);
+      return;
+    }
+    uint64_t child_total = 0;
+    for (const auto& [chunk, child] : node.children) {
+      EXPECT_GE(child->range_start, node.range_start);
+      EXPECT_LE(child->range_start + child->range_len,
+                node.range_start + node.range_len);
+      child_total += child->range_len;
+    }
+    EXPECT_EQ(child_total, node.range_len);
+  });
+}
+
+TEST(SigTreeTest, EncodeDecodeRoundTrip) {
+  const ISaxTCodec codec = MakeCodec(8, 4);
+  SigTree tree(codec);
+  Rng rng(10);
+  for (uint32_t i = 0; i < 1000; ++i) {
+    tree.InsertEntry(RandomSig(codec, &rng), i, 30);
+  }
+  std::vector<uint32_t> order;
+  tree.AssignClusteredRanges(&order);
+  tree.root()->pids = {1, 2, 3};
+
+  std::string bytes;
+  tree.EncodeTo(&bytes);
+  ASSERT_OK_AND_ASSIGN(SigTree decoded, SigTree::Decode(bytes, codec));
+
+  // Structure, counts, ranges and pids survive the round trip.
+  std::vector<std::tuple<std::string, uint64_t, uint32_t, uint32_t>> a, b;
+  tree.ForEachNode([&](const SigTree::Node& n) {
+    a.emplace_back(n.sig, n.count, n.range_start, n.range_len);
+  });
+  decoded.ForEachNode([&](const SigTree::Node& n) {
+    b.emplace_back(n.sig, n.count, n.range_start, n.range_len);
+  });
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(decoded.root()->pids, (std::vector<PartitionId>{1, 2, 3}));
+}
+
+TEST(SigTreeTest, DecodeRejectsCodecMismatch) {
+  const ISaxTCodec codec = MakeCodec(8, 4);
+  SigTree tree(codec);
+  std::string bytes;
+  tree.EncodeTo(&bytes);
+  EXPECT_FALSE(SigTree::Decode(bytes, MakeCodec(8, 6)).ok());
+  EXPECT_FALSE(SigTree::Decode(bytes, MakeCodec(12, 4)).ok());
+  EXPECT_FALSE(SigTree::Decode("junk", codec).ok());
+}
+
+TEST(SigTreeTest, StatsReflectStructure) {
+  const ISaxTCodec codec = MakeCodec(8, 5);
+  SigTree tree(codec);
+  Rng rng(11);
+  for (uint32_t i = 0; i < 4000; ++i) {
+    tree.InsertEntry(RandomSig(codec, &rng), i, 50);
+  }
+  const SigTree::Stats stats = tree.ComputeStats();
+  EXPECT_GT(stats.leaf_nodes, 0u);
+  EXPECT_GE(stats.max_depth, 1u);
+  EXPECT_LE(stats.max_depth, 5u);
+  EXPECT_GT(stats.avg_leaf_count, 0.0);
+  uint64_t total = 0;
+  tree.ForEachNode([&](const SigTree::Node& node) {
+    if (node.is_leaf() && &node != tree.root()) total += node.count;
+  });
+  EXPECT_EQ(total, 4000u);
+}
+
+// Compactness property (paper §III-B): with the same split threshold, the
+// sigTree's average leaf depth stays small (bounded by max_bits) because of
+// the up-to-2^w fan-out.
+TEST(SigTreeTest, ShallowUnderLargeFanOut) {
+  const ISaxTCodec codec = MakeCodec(8, 6);
+  SigTree tree(codec);
+  Rng rng(12);
+  for (uint32_t i = 0; i < 20000; ++i) {
+    tree.InsertEntry(RandomSig(codec, &rng), i, 100);
+  }
+  const SigTree::Stats stats = tree.ComputeStats();
+  EXPECT_LE(stats.avg_leaf_depth, 3.0);
+}
+
+}  // namespace
+}  // namespace tardis

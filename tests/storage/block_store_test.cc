@@ -1,0 +1,147 @@
+#include "storage/block_store.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace tardis {
+namespace {
+
+Dataset MakeData(size_t count, size_t length, uint64_t seed = 1) {
+  Rng rng(seed);
+  Dataset ds(count, TimeSeries(length));
+  for (auto& ts : ds) {
+    for (auto& v : ts) v = static_cast<float>(rng.NextGaussian());
+  }
+  return ds;
+}
+
+TEST(BlockStoreTest, CreateAndReadBack) {
+  ScopedTempDir dir;
+  const Dataset ds = MakeData(100, 16);
+  ASSERT_OK_AND_ASSIGN(BlockStore store,
+                       BlockStore::Create(dir.Sub("bs"), ds, 30));
+  EXPECT_EQ(store.num_records(), 100u);
+  EXPECT_EQ(store.num_blocks(), 4u);  // 30+30+30+10
+  EXPECT_EQ(store.series_length(), 16u);
+
+  uint64_t seen = 0;
+  for (uint32_t b = 0; b < store.num_blocks(); ++b) {
+    ASSERT_OK_AND_ASSIGN(std::vector<Record> records, store.ReadBlock(b));
+    for (const Record& rec : records) {
+      EXPECT_EQ(rec.values, ds[rec.rid]);
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, 100u);
+}
+
+TEST(BlockStoreTest, RidsAreSequential) {
+  ScopedTempDir dir;
+  const Dataset ds = MakeData(25, 8);
+  ASSERT_OK_AND_ASSIGN(BlockStore store,
+                       BlockStore::Create(dir.Sub("bs"), ds, 10));
+  std::set<RecordId> rids;
+  for (uint32_t b = 0; b < store.num_blocks(); ++b) {
+    ASSERT_OK_AND_ASSIGN(std::vector<Record> records, store.ReadBlock(b));
+    for (const Record& rec : records) rids.insert(rec.rid);
+  }
+  EXPECT_EQ(rids.size(), 25u);
+  EXPECT_EQ(*rids.begin(), 0u);
+  EXPECT_EQ(*rids.rbegin(), 24u);
+}
+
+TEST(BlockStoreTest, OpenExisting) {
+  ScopedTempDir dir;
+  const Dataset ds = MakeData(50, 8);
+  ASSERT_OK(BlockStore::Create(dir.Sub("bs"), ds, 20).status());
+  ASSERT_OK_AND_ASSIGN(BlockStore reopened, BlockStore::Open(dir.Sub("bs")));
+  EXPECT_EQ(reopened.num_records(), 50u);
+  EXPECT_EQ(reopened.num_blocks(), 3u);
+  ASSERT_OK_AND_ASSIGN(std::vector<Record> records, reopened.ReadBlock(2));
+  EXPECT_EQ(records.size(), 10u);
+}
+
+TEST(BlockStoreTest, CreateRejectsBadInput) {
+  ScopedTempDir dir;
+  EXPECT_TRUE(BlockStore::Create(dir.Sub("a"), {}, 10).status().IsInvalidArgument());
+  Dataset ragged = {{1, 2}, {1, 2, 3}};
+  EXPECT_TRUE(
+      BlockStore::Create(dir.Sub("b"), ragged, 10).status().IsInvalidArgument());
+  Dataset ok = {{1, 2}};
+  EXPECT_TRUE(BlockStore::Create(dir.Sub("c"), ok, 0).status().IsInvalidArgument());
+}
+
+TEST(BlockStoreTest, CreateRefusesOverwrite) {
+  ScopedTempDir dir;
+  const Dataset ds = MakeData(10, 4);
+  ASSERT_OK(BlockStore::Create(dir.Sub("bs"), ds, 5).status());
+  EXPECT_EQ(BlockStore::Create(dir.Sub("bs"), ds, 5).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(BlockStoreTest, OpenMissingFails) {
+  ScopedTempDir dir;
+  EXPECT_FALSE(BlockStore::Open(dir.Sub("nope")).ok());
+}
+
+TEST(BlockStoreTest, ReadBlockOutOfRange) {
+  ScopedTempDir dir;
+  const Dataset ds = MakeData(10, 4);
+  ASSERT_OK_AND_ASSIGN(BlockStore store,
+                       BlockStore::Create(dir.Sub("bs"), ds, 5));
+  EXPECT_EQ(store.ReadBlock(2).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BlockStoreTest, SampleBlocksRespectsPercent) {
+  ScopedTempDir dir;
+  const Dataset ds = MakeData(1000, 4);
+  ASSERT_OK_AND_ASSIGN(BlockStore store,
+                       BlockStore::Create(dir.Sub("bs"), ds, 10));
+  ASSERT_EQ(store.num_blocks(), 100u);
+  Rng rng(5);
+  const auto sample10 = store.SampleBlocks(10.0, &rng);
+  EXPECT_EQ(sample10.size(), 10u);
+  const auto sample100 = store.SampleBlocks(100.0, &rng);
+  EXPECT_EQ(sample100.size(), 100u);
+  const auto sample_min = store.SampleBlocks(0.01, &rng);
+  EXPECT_EQ(sample_min.size(), 1u);  // at least one block
+}
+
+TEST(BlockStoreTest, SampleBlocksDistinctAndSorted) {
+  ScopedTempDir dir;
+  const Dataset ds = MakeData(200, 4);
+  ASSERT_OK_AND_ASSIGN(BlockStore store,
+                       BlockStore::Create(dir.Sub("bs"), ds, 10));
+  Rng rng(6);
+  const auto sample = store.SampleBlocks(40.0, &rng);
+  EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+  std::set<uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), sample.size());
+  for (uint32_t b : sample) EXPECT_LT(b, store.num_blocks());
+}
+
+TEST(BlockStoreTest, SampleBlocksDeterministicPerSeed) {
+  ScopedTempDir dir;
+  const Dataset ds = MakeData(300, 4);
+  ASSERT_OK_AND_ASSIGN(BlockStore store,
+                       BlockStore::Create(dir.Sub("bs"), ds, 10));
+  Rng rng1(7), rng2(7), rng3(8);
+  EXPECT_EQ(store.SampleBlocks(20.0, &rng1), store.SampleBlocks(20.0, &rng2));
+  EXPECT_NE(store.SampleBlocks(20.0, &rng1), store.SampleBlocks(20.0, &rng3));
+}
+
+TEST(BlockStoreTest, TotalBytesMatchesRecordLayout) {
+  ScopedTempDir dir;
+  const Dataset ds = MakeData(10, 8);
+  ASSERT_OK_AND_ASSIGN(BlockStore store,
+                       BlockStore::Create(dir.Sub("bs"), ds, 4));
+  EXPECT_EQ(store.TotalBytes(), 10u * (8 + 8 * 4));
+}
+
+}  // namespace
+}  // namespace tardis

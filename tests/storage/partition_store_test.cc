@@ -1,0 +1,103 @@
+#include "storage/partition_store.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace tardis {
+namespace {
+
+std::vector<Record> MakeRecords(size_t count, uint32_t length,
+                                uint64_t rid_base = 0) {
+  std::vector<Record> records(count);
+  for (size_t i = 0; i < count; ++i) {
+    records[i].rid = rid_base + i;
+    records[i].values.assign(length, static_cast<float>(i) * 0.5f);
+  }
+  return records;
+}
+
+TEST(PartitionStoreTest, WriteReadRoundTrip) {
+  ScopedTempDir dir;
+  ASSERT_OK_AND_ASSIGN(PartitionStore store,
+                       PartitionStore::Open(dir.Sub("ps"), 8));
+  const auto records = MakeRecords(20, 8);
+  ASSERT_OK(store.WritePartition(3, records));
+  ASSERT_OK_AND_ASSIGN(std::vector<Record> loaded, store.ReadPartition(3));
+  EXPECT_EQ(loaded, records);
+}
+
+TEST(PartitionStoreTest, EmptyPartition) {
+  ScopedTempDir dir;
+  ASSERT_OK_AND_ASSIGN(PartitionStore store,
+                       PartitionStore::Open(dir.Sub("ps"), 4));
+  ASSERT_OK(store.WritePartition(0, {}));
+  ASSERT_OK_AND_ASSIGN(std::vector<Record> loaded, store.ReadPartition(0));
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST(PartitionStoreTest, OverwriteReplaces) {
+  ScopedTempDir dir;
+  ASSERT_OK_AND_ASSIGN(PartitionStore store,
+                       PartitionStore::Open(dir.Sub("ps"), 4));
+  ASSERT_OK(store.WritePartition(1, MakeRecords(10, 4)));
+  ASSERT_OK(store.WritePartition(1, MakeRecords(3, 4, 100)));
+  ASSERT_OK_AND_ASSIGN(std::vector<Record> loaded, store.ReadPartition(1));
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded[0].rid, 100u);
+}
+
+TEST(PartitionStoreTest, ReadMissingPartitionFails) {
+  ScopedTempDir dir;
+  ASSERT_OK_AND_ASSIGN(PartitionStore store,
+                       PartitionStore::Open(dir.Sub("ps"), 4));
+  EXPECT_TRUE(store.ReadPartition(42).status().IsIOError());
+}
+
+TEST(PartitionStoreTest, RawWriteValidatesAlignment) {
+  ScopedTempDir dir;
+  ASSERT_OK_AND_ASSIGN(PartitionStore store,
+                       PartitionStore::Open(dir.Sub("ps"), 4));
+  EXPECT_TRUE(store.WritePartitionRaw(0, "abc").IsInvalidArgument());
+}
+
+TEST(PartitionStoreTest, PartitionBytes) {
+  ScopedTempDir dir;
+  ASSERT_OK_AND_ASSIGN(PartitionStore store,
+                       PartitionStore::Open(dir.Sub("ps"), 8));
+  ASSERT_OK(store.WritePartition(5, MakeRecords(7, 8)));
+  ASSERT_OK_AND_ASSIGN(uint64_t bytes, store.PartitionBytes(5));
+  EXPECT_EQ(bytes, 7u * (8 + 8 * 4));
+}
+
+TEST(PartitionStoreTest, SidecarRoundTrip) {
+  ScopedTempDir dir;
+  ASSERT_OK_AND_ASSIGN(PartitionStore store,
+                       PartitionStore::Open(dir.Sub("ps"), 4));
+  const std::string payload("\x01\x02\x00\xff", 4);
+  ASSERT_OK(store.WriteSidecar(2, "ltree", payload));
+  ASSERT_OK_AND_ASSIGN(std::string loaded, store.ReadSidecar(2, "ltree"));
+  EXPECT_EQ(loaded, payload);
+  ASSERT_OK_AND_ASSIGN(uint64_t bytes, store.SidecarBytes(2, "ltree"));
+  EXPECT_EQ(bytes, 4u);
+}
+
+TEST(PartitionStoreTest, SidecarsAreIndependentPerName) {
+  ScopedTempDir dir;
+  ASSERT_OK_AND_ASSIGN(PartitionStore store,
+                       PartitionStore::Open(dir.Sub("ps"), 4));
+  ASSERT_OK(store.WriteSidecar(0, "a", "AAA"));
+  ASSERT_OK(store.WriteSidecar(0, "b", "BB"));
+  ASSERT_OK_AND_ASSIGN(std::string a, store.ReadSidecar(0, "a"));
+  ASSERT_OK_AND_ASSIGN(std::string b, store.ReadSidecar(0, "b"));
+  EXPECT_EQ(a, "AAA");
+  EXPECT_EQ(b, "BB");
+}
+
+TEST(PartitionStoreTest, OpenValidatesSeriesLength) {
+  ScopedTempDir dir;
+  EXPECT_TRUE(PartitionStore::Open(dir.Sub("ps"), 0).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace tardis

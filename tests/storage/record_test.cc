@@ -1,0 +1,74 @@
+#include "storage/record.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace tardis {
+namespace {
+
+TEST(RecordTest, EncodedSizeFormula) {
+  EXPECT_EQ(RecordEncodedSize(0), 8u);
+  EXPECT_EQ(RecordEncodedSize(64), 8u + 256u);
+  EXPECT_EQ(RecordEncodedSize(256), 8u + 1024u);
+}
+
+TEST(RecordTest, RoundTrip) {
+  Record rec;
+  rec.rid = 0xfeedfacecafebeefULL;
+  rec.values = {1.5f, -2.25f, 0.0f, 3.75f};
+  std::string buf;
+  EncodeRecord(rec, &buf);
+  EXPECT_EQ(buf.size(), RecordEncodedSize(4));
+
+  SliceReader reader(buf);
+  Record decoded;
+  ASSERT_TRUE(DecodeRecord(&reader, 4, &decoded));
+  EXPECT_EQ(decoded, rec);
+  EXPECT_TRUE(reader.empty());
+}
+
+TEST(RecordTest, MultipleRecordsSequential) {
+  std::string buf;
+  for (uint64_t i = 0; i < 10; ++i) {
+    Record rec{i, TimeSeries(8, static_cast<float>(i))};
+    EncodeRecord(rec, &buf);
+  }
+  SliceReader reader(buf);
+  for (uint64_t i = 0; i < 10; ++i) {
+    Record rec;
+    ASSERT_TRUE(DecodeRecord(&reader, 8, &rec));
+    EXPECT_EQ(rec.rid, i);
+    EXPECT_EQ(rec.values[0], static_cast<float>(i));
+  }
+  EXPECT_TRUE(reader.empty());
+}
+
+TEST(RecordTest, TruncatedDecodeFails) {
+  Record rec{7, TimeSeries(4, 1.0f)};
+  std::string buf;
+  EncodeRecord(rec, &buf);
+  buf.pop_back();
+  SliceReader reader(buf);
+  Record out;
+  EXPECT_FALSE(DecodeRecord(&reader, 4, &out));
+}
+
+TEST(RecordTest, SpecialFloatValuesSurvive) {
+  Record rec{1, {std::numeric_limits<float>::infinity(),
+                 -std::numeric_limits<float>::infinity(),
+                 std::numeric_limits<float>::denorm_min(), -0.0f}};
+  std::string buf;
+  EncodeRecord(rec, &buf);
+  SliceReader reader(buf);
+  Record out;
+  ASSERT_TRUE(DecodeRecord(&reader, 4, &out));
+  EXPECT_EQ(out.values[0], rec.values[0]);
+  EXPECT_EQ(out.values[1], rec.values[1]);
+  EXPECT_EQ(out.values[2], rec.values[2]);
+  EXPECT_EQ(std::signbit(out.values[3]), true);
+}
+
+}  // namespace
+}  // namespace tardis

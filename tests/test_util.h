@@ -1,0 +1,70 @@
+// Shared helpers for the test suite.
+
+#ifndef TARDIS_TESTS_TEST_UTIL_H_
+#define TARDIS_TESTS_TEST_UTIL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace tardis {
+
+// Creates a unique directory under the system temp dir and removes it (and
+// everything inside) on destruction.
+class ScopedTempDir {
+ public:
+  ScopedTempDir() {
+    static std::atomic<uint64_t> counter{0};
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    std::string name = "tardis_test_";
+    if (info != nullptr) {
+      name += info->test_suite_name();
+      name += "_";
+    }
+    name += std::to_string(::getpid());
+    name += "_";
+    name += std::to_string(counter.fetch_add(1));
+    path_ = (std::filesystem::temp_directory_path() / name).string();
+    std::filesystem::create_directories(path_);
+  }
+  ~ScopedTempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+
+  const std::string& path() const { return path_; }
+  std::string Sub(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+// gtest glue for Status / Result.
+#define ASSERT_OK(expr)                                            \
+  do {                                                             \
+    const ::tardis::Status _st = (expr);                           \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                       \
+  } while (0)
+
+#define EXPECT_OK(expr)                                            \
+  do {                                                             \
+    const ::tardis::Status _st = (expr);                           \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                       \
+  } while (0)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, expr)                            \
+  ASSERT_OK_AND_ASSIGN_IMPL(TARDIS_CONCAT_(_r_, __LINE__), lhs, expr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL(tmp, lhs, expr)                  \
+  auto tmp = (expr);                                               \
+  ASSERT_TRUE(tmp.ok()) << tmp.status().ToString();                \
+  lhs = std::move(tmp).value()
+
+}  // namespace tardis
+
+#endif  // TARDIS_TESTS_TEST_UTIL_H_

@@ -1,0 +1,111 @@
+#include "ts/isax.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ts/distance.h"
+#include "ts/paa.h"
+#include "ts/znorm.h"
+
+namespace tardis {
+namespace {
+
+TEST(ISaxTest, FullSignatureExposesAllBits) {
+  const std::vector<double> paa = {-1.5, -0.4, 0.3, 1.5};
+  const ISaxSignature sig = ISaxFromPaa(paa, 3);
+  EXPECT_EQ(sig.word_length(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(sig.char_bits[i], 3);
+    EXPECT_EQ(sig.Symbol(i), sig.full_symbols[i]);
+  }
+}
+
+TEST(ISaxTest, PromoteAddsOneBit) {
+  const std::vector<double> paa = {-1.5, -0.4, 0.3, 1.5};
+  ISaxSignature sig = ISaxFromPaa(paa, 4);
+  sig.char_bits.assign(4, 1);
+  const ISaxSignature promoted = ISaxPromote(sig, 2);
+  EXPECT_EQ(promoted.char_bits[2], 2);
+  EXPECT_EQ(promoted.char_bits[0], 1);
+  // The promoted symbol's top bit matches the unpromoted symbol.
+  EXPECT_EQ(promoted.Symbol(2) >> 1, sig.Symbol(2));
+}
+
+TEST(ISaxTest, MatchesPrefixCoversOwnReductions) {
+  Rng rng(41);
+  std::vector<double> paa(8);
+  for (auto& v : paa) v = rng.NextGaussian();
+  const ISaxSignature full = ISaxFromPaa(paa, 9);
+  // Any per-character reduction of the full signature covers it.
+  ISaxSignature prefix = full;
+  prefix.char_bits = {1, 3, 9, 2, 5, 1, 4, 9};
+  EXPECT_TRUE(full.MatchesPrefix(prefix));
+}
+
+TEST(ISaxTest, MatchesPrefixRejectsDifferentRegion) {
+  const std::vector<double> pa = {-2.0, -2.0, -2.0, -2.0};
+  const std::vector<double> pb = {2.0, 2.0, 2.0, 2.0};
+  const ISaxSignature a = ISaxFromPaa(pa, 4);
+  ISaxSignature b = ISaxFromPaa(pb, 4);
+  b.char_bits.assign(4, 1);
+  EXPECT_FALSE(a.MatchesPrefix(b));
+}
+
+TEST(ISaxTest, PaperExampleOneCharacterLevelPitfall) {
+  // Paper Example 1 (§II-C): with character-level cardinality (1,1,3,1) the
+  // iSAX distance between B=[0,0,010,1] and C=[0,0,010,1] is zero while the
+  // visually-closest A=[0,0,011,1] differs — the proximity inversion that
+  // motivates word-level cardinality.
+  ISaxSignature a, b, c;
+  for (auto* sig : {&a, &b, &c}) {
+    sig->max_bits = 3;
+    sig->char_bits = {1, 1, 3, 1};
+  }
+  // full_symbols at 3 bits (left-aligned regions).
+  a.full_symbols = {0b000, 0b000, 0b011, 0b100};
+  b.full_symbols = {0b000, 0b000, 0b010, 0b100};
+  c.full_symbols = {0b000, 0b000, 0b010, 0b100};
+  EXPECT_EQ(b.Key(), c.Key());   // B and C collide
+  EXPECT_NE(a.Key(), c.Key());   // A lands elsewhere
+}
+
+TEST(ISaxTest, KeyDistinguishesCardinalities) {
+  const std::vector<double> paa = {0.5, 0.5, 0.5, 0.5};
+  const ISaxSignature full = ISaxFromPaa(paa, 4);
+  ISaxSignature low = full;
+  low.char_bits.assign(4, 2);
+  EXPECT_NE(full.Key(), low.Key());
+}
+
+TEST(ISaxTest, MindistIsLowerBound) {
+  Rng rng(42);
+  const size_t n = 64;
+  const uint32_t w = 8;
+  for (int trial = 0; trial < 200; ++trial) {
+    TimeSeries q(n), x(n);
+    for (size_t i = 0; i < n; ++i) {
+      q[i] = static_cast<float>(rng.NextGaussian());
+      x[i] = static_cast<float>(rng.NextGaussian());
+    }
+    ZNormalize(&q);
+    ZNormalize(&x);
+    std::vector<double> q_paa(w), x_paa(w);
+    PaaInto(q, w, q_paa.data());
+    PaaInto(x, w, x_paa.data());
+    ISaxSignature sig = ISaxFromPaa(x_paa, 9);
+    // Mixed per-character cardinalities, as an iBT leaf would hold.
+    sig.char_bits = {1, 9, 3, 2, 5, 9, 1, 4};
+    const double lb = MindistPaaToISax(q_paa, sig, n);
+    EXPECT_LE(lb, EuclideanDistance(q, x) + 1e-9);
+  }
+}
+
+TEST(ISaxTest, MindistZeroForOwnSignature) {
+  const std::vector<double> paa = {-1.0, 0.2, 0.8, -0.3};
+  ISaxSignature sig = ISaxFromPaa(paa, 6);
+  sig.char_bits = {2, 4, 6, 1};
+  EXPECT_DOUBLE_EQ(MindistPaaToISax(paa, sig, 16), 0.0);
+}
+
+}  // namespace
+}  // namespace tardis

@@ -1,0 +1,184 @@
+#include "ts/isaxt.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ts/distance.h"
+#include "ts/paa.h"
+#include "ts/znorm.h"
+#include "test_util.h"
+
+namespace tardis {
+namespace {
+
+// Builds a SaxWord directly from symbols for white-box encoding checks.
+SaxWord Word(std::vector<uint16_t> symbols, uint8_t bits) {
+  SaxWord w;
+  w.symbols = std::move(symbols);
+  w.bits = bits;
+  return w;
+}
+
+TEST(ISaxTTest, PaperFigureFourExample) {
+  // Paper Fig. 4(a): SAX(T,4,16) = {1100, 1101, 0110, 0001} -> "CE25".
+  ASSERT_OK_AND_ASSIGN(ISaxTCodec codec, ISaxTCodec::Make(4, 4));
+  const SaxWord w = Word({0b1100, 0b1101, 0b0110, 0b0001}, 4);
+  EXPECT_EQ(codec.EncodeWord(w), "CE25");
+}
+
+TEST(ISaxTTest, PaperFigureFourDropRightLadder) {
+  // Fig. 4(b): successive cardinalities are string prefixes:
+  // SAX(T,4,2)="C", SAX(T,4,4)="CE", SAX(T,4,8)="CE2", SAX(T,4,16)="CE25".
+  ASSERT_OK_AND_ASSIGN(ISaxTCodec codec, ISaxTCodec::Make(4, 4));
+  const SaxWord full = Word({0b1100, 0b1101, 0b0110, 0b0001}, 4);
+  const std::string sig = codec.EncodeWord(full);
+  EXPECT_EQ(ISaxTCodec::DropRight(sig, 1, 4), "C");
+  EXPECT_EQ(ISaxTCodec::DropRight(sig, 2, 4), "CE");
+  EXPECT_EQ(ISaxTCodec::DropRight(sig, 3, 4), "CE2");
+  EXPECT_EQ(ISaxTCodec::DropRight(sig, 4, 4), "CE25");
+}
+
+TEST(ISaxTTest, DropRightEquationTwo) {
+  // Eq. 2: n = (log2(hc) - log2(lc)) * w/4 characters dropped.
+  ASSERT_OK_AND_ASSIGN(ISaxTCodec codec, ISaxTCodec::Make(8, 6));
+  const std::vector<double> paa = {-2, -1, -0.5, 0, 0.5, 1, 2, 3};
+  const std::string sig = codec.Encode(paa);
+  ASSERT_EQ(sig.size(), 12u);  // 6 bits * 8/4
+  for (uint8_t lc = 1; lc <= 6; ++lc) {
+    const auto dropped = ISaxTCodec::DropRight(sig, lc, 8);
+    EXPECT_EQ(sig.size() - dropped.size(), (6u - lc) * 2u);
+  }
+}
+
+TEST(ISaxTTest, MakeValidatesParameters) {
+  EXPECT_FALSE(ISaxTCodec::Make(0, 4).ok());
+  EXPECT_FALSE(ISaxTCodec::Make(6, 4).ok());   // not a multiple of 4
+  EXPECT_FALSE(ISaxTCodec::Make(8, 0).ok());
+  EXPECT_FALSE(ISaxTCodec::Make(8, 17).ok());
+  EXPECT_TRUE(ISaxTCodec::Make(8, 16).ok());
+  EXPECT_TRUE(ISaxTCodec::Make(256, 1).ok());
+}
+
+TEST(ISaxTTest, EncodeDecodeRoundTrip) {
+  ASSERT_OK_AND_ASSIGN(ISaxTCodec codec, ISaxTCodec::Make(8, 8));
+  Rng rng(31);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> paa(8);
+    for (auto& v : paa) v = rng.NextGaussian();
+    const SaxWord word = SaxFromPaa(paa, 8);
+    const std::string sig = codec.EncodeWord(word);
+    ASSERT_OK_AND_ASSIGN(SaxWord decoded, codec.Decode(sig));
+    EXPECT_EQ(decoded, word);
+  }
+}
+
+TEST(ISaxTTest, DecodeOfPrefixEqualsReducedWord) {
+  // The word-level cardinality property: decoding the DropRight prefix
+  // yields exactly the SAX word at the lower cardinality.
+  ASSERT_OK_AND_ASSIGN(ISaxTCodec codec, ISaxTCodec::Make(8, 8));
+  Rng rng(32);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> paa(8);
+    for (auto& v : paa) v = rng.NextGaussian();
+    const std::string sig = codec.Encode(paa);
+    for (uint8_t bits = 1; bits <= 8; ++bits) {
+      ASSERT_OK_AND_ASSIGN(SaxWord decoded,
+                           codec.Decode(ISaxTCodec::DropRight(sig, bits, 8)));
+      EXPECT_EQ(decoded, SaxFromPaa(paa, bits));
+    }
+  }
+}
+
+TEST(ISaxTTest, DecodeRejectsBadInput) {
+  ASSERT_OK_AND_ASSIGN(ISaxTCodec codec, ISaxTCodec::Make(8, 4));
+  EXPECT_FALSE(codec.Decode("").ok());
+  EXPECT_FALSE(codec.Decode("ABC").ok());          // not a level multiple
+  EXPECT_FALSE(codec.Decode("GZ").ok());           // non-hex
+  EXPECT_FALSE(codec.Decode("0011223344").ok());   // exceeds max bits
+}
+
+TEST(ISaxTTest, EncodeSeriesValidatesLength) {
+  ASSERT_OK_AND_ASSIGN(ISaxTCodec codec, ISaxTCodec::Make(8, 4));
+  TimeSeries bad(13);
+  EXPECT_FALSE(codec.EncodeSeries(bad).ok());
+  TimeSeries good(16, 0.5f);
+  EXPECT_TRUE(codec.EncodeSeries(good).ok());
+}
+
+TEST(ISaxTTest, MindistIsLowerBound) {
+  ASSERT_OK_AND_ASSIGN(ISaxTCodec codec, ISaxTCodec::Make(8, 6));
+  Rng rng(33);
+  const size_t n = 64;
+  for (int trial = 0; trial < 200; ++trial) {
+    TimeSeries q(n), x(n);
+    for (size_t i = 0; i < n; ++i) {
+      q[i] = static_cast<float>(rng.NextGaussian());
+      x[i] = static_cast<float>(rng.NextGaussian());
+    }
+    ZNormalize(&q);
+    ZNormalize(&x);
+    std::vector<double> q_paa(8);
+    PaaInto(q, 8, q_paa.data());
+    ASSERT_OK_AND_ASSIGN(std::string x_sig, codec.EncodeSeries(x));
+    for (uint8_t bits : {1, 3, 6}) {
+      ASSERT_OK_AND_ASSIGN(
+          double lb,
+          codec.Mindist(q_paa, ISaxTCodec::DropRight(x_sig, bits, 8), n));
+      EXPECT_LE(lb, EuclideanDistance(q, x) + 1e-9);
+    }
+  }
+}
+
+TEST(ISaxTTest, SignatureLengthAndLevels) {
+  ASSERT_OK_AND_ASSIGN(ISaxTCodec codec, ISaxTCodec::Make(12, 5));
+  EXPECT_EQ(codec.chars_per_level(), 3u);
+  EXPECT_EQ(codec.sig_length(), 15u);
+  std::vector<double> paa(12, 0.0);
+  const std::string sig = codec.Encode(paa);
+  EXPECT_EQ(sig.size(), 15u);
+  EXPECT_EQ(codec.BitsOf(sig), 5);
+  EXPECT_EQ(codec.BitsOf(ISaxTCodec::DropRight(sig, 2, 12)), 2);
+}
+
+TEST(ISaxTTest, HexHelpers) {
+  EXPECT_EQ(HexDigit(0), '0');
+  EXPECT_EQ(HexDigit(9), '9');
+  EXPECT_EQ(HexDigit(10), 'A');
+  EXPECT_EQ(HexDigit(15), 'F');
+  EXPECT_EQ(HexValue('0'), 0);
+  EXPECT_EQ(HexValue('F'), 15);
+  EXPECT_EQ(HexValue('f'), 15);
+  EXPECT_EQ(HexValue('g'), -1);
+}
+
+// Property sweep: for every (word_length, bits) configuration, similar
+// series share longer signature prefixes than dissimilar ones on average —
+// the proximity-preservation property word-level cardinality is built for.
+class ISaxTConfigTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, int>> {};
+
+TEST_P(ISaxTConfigTest, RoundTripAndPrefixNesting) {
+  const uint32_t w = std::get<0>(GetParam());
+  const uint8_t bits = static_cast<uint8_t>(std::get<1>(GetParam()));
+  ASSERT_OK_AND_ASSIGN(ISaxTCodec codec, ISaxTCodec::Make(w, bits));
+  Rng rng(w * 131 + bits);
+  std::vector<double> paa(w);
+  for (auto& v : paa) v = rng.NextGaussian();
+  const std::string sig = codec.Encode(paa);
+  EXPECT_EQ(sig.size(), codec.sig_length());
+  ASSERT_OK_AND_ASSIGN(SaxWord decoded, codec.Decode(sig));
+  EXPECT_EQ(decoded, SaxFromPaa(paa, bits));
+  for (uint8_t lc = 1; lc < bits; ++lc) {
+    ASSERT_OK_AND_ASSIGN(SaxWord low,
+                         codec.Decode(ISaxTCodec::DropRight(sig, lc, w)));
+    EXPECT_EQ(low, SaxFromPaa(paa, lc));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ISaxTConfigTest,
+    ::testing::Combine(::testing::Values(4u, 8u, 16u, 32u),
+                       ::testing::Values(1, 2, 4, 6, 9, 12)));
+
+}  // namespace
+}  // namespace tardis

@@ -1,0 +1,90 @@
+#include "ts/paa.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace tardis {
+namespace {
+
+TEST(PaaTest, SegmentMeans) {
+  TimeSeries ts = {1, 1, 3, 3, -2, -2, 0, 4};
+  ASSERT_OK_AND_ASSIGN(std::vector<double> paa, Paa(ts, 4));
+  ASSERT_EQ(paa.size(), 4u);
+  EXPECT_DOUBLE_EQ(paa[0], 1.0);
+  EXPECT_DOUBLE_EQ(paa[1], 3.0);
+  EXPECT_DOUBLE_EQ(paa[2], -2.0);
+  EXPECT_DOUBLE_EQ(paa[3], 2.0);
+}
+
+TEST(PaaTest, WordLengthEqualsSeriesLengthIsIdentity) {
+  TimeSeries ts = {0.5f, -1.5f, 2.0f};
+  ASSERT_OK_AND_ASSIGN(std::vector<double> paa, Paa(ts, 3));
+  EXPECT_DOUBLE_EQ(paa[0], 0.5);
+  EXPECT_DOUBLE_EQ(paa[1], -1.5);
+  EXPECT_DOUBLE_EQ(paa[2], 2.0);
+}
+
+TEST(PaaTest, WordLengthOneIsGlobalMean) {
+  TimeSeries ts = {2, 4, 6, 8};
+  ASSERT_OK_AND_ASSIGN(std::vector<double> paa, Paa(ts, 1));
+  EXPECT_DOUBLE_EQ(paa[0], 5.0);
+}
+
+TEST(PaaTest, RejectsNonDivisibleLength) {
+  TimeSeries ts = {1, 2, 3, 4, 5};
+  EXPECT_TRUE(Paa(ts, 4).status().IsInvalidArgument());
+}
+
+TEST(PaaTest, RejectsZeroWordLength) {
+  TimeSeries ts = {1, 2};
+  EXPECT_TRUE(Paa(ts, 0).status().IsInvalidArgument());
+}
+
+TEST(PaaTest, RejectsEmptySeries) {
+  TimeSeries ts;
+  EXPECT_TRUE(Paa(ts, 1).status().IsInvalidArgument());
+}
+
+TEST(PaaTest, PreservesGlobalMean) {
+  // Mean of PAA values equals the series mean for equal segments.
+  Rng rng(3);
+  TimeSeries ts(64);
+  double sum = 0.0;
+  for (auto& v : ts) {
+    v = static_cast<float>(rng.NextGaussian());
+    sum += v;
+  }
+  ASSERT_OK_AND_ASSIGN(std::vector<double> paa, Paa(ts, 8));
+  double paa_sum = 0.0;
+  for (double v : paa) paa_sum += v;
+  EXPECT_NEAR(paa_sum / 8.0, sum / 64.0, 1e-6);
+}
+
+class PaaWordLengthTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(PaaWordLengthTest, OutputSizeMatches) {
+  const uint32_t w = GetParam();
+  TimeSeries ts(256);
+  Rng rng(w);
+  for (auto& v : ts) v = static_cast<float>(rng.NextGaussian());
+  ASSERT_OK_AND_ASSIGN(std::vector<double> paa, Paa(ts, w));
+  EXPECT_EQ(paa.size(), w);
+  // Every PAA value must lie within [min, max] of the series.
+  float lo = ts[0], hi = ts[0];
+  for (float v : ts) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  for (double v : paa) {
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WordLengths, PaaWordLengthTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128, 256));
+
+}  // namespace
+}  // namespace tardis

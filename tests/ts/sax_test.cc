@@ -1,0 +1,136 @@
+#include "ts/sax.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ts/distance.h"
+#include "ts/paa.h"
+#include "ts/znorm.h"
+
+namespace tardis {
+namespace {
+
+TEST(SaxTest, PaperFigureOneExample) {
+  // Paper Fig. 1(b): PAA(T,4) = [-1.5, -0.4, 0.3, 1.5].
+  const std::vector<double> paa = {-1.5, -0.4, 0.3, 1.5};
+  // Fig. 1(c): SAX(T,4,4) with stripes labelled bottom-to-top 00,01,10,11:
+  // -1.5 -> 00, -0.4 -> 01, 0.3 -> 10, 1.5 -> 11.
+  const SaxWord w2 = SaxFromPaa(paa, 2);
+  EXPECT_EQ(w2.symbols, (std::vector<uint16_t>{0, 1, 2, 3}));
+  // Fig. 1(d): SAX(T,4,8): first bit of each symbol matches the 1-bit word.
+  const SaxWord w3 = SaxFromPaa(paa, 3);
+  const SaxWord w1 = SaxFromPaa(paa, 1);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(w3.symbols[i] >> 2, w1.symbols[i]);
+  }
+}
+
+TEST(SaxTest, ReduceIsBitPrefix) {
+  const std::vector<double> paa = {-2.1, -0.3, 0.05, 0.9, 1.7, -1.0, 0.4, 2.5};
+  const SaxWord fine = SaxFromPaa(paa, 9);
+  for (uint8_t bits = 1; bits <= 9; ++bits) {
+    const SaxWord direct = SaxFromPaa(paa, bits);
+    const SaxWord reduced = SaxReduce(fine, bits);
+    EXPECT_EQ(direct, reduced) << "bits=" << static_cast<int>(bits);
+  }
+}
+
+TEST(SaxTest, MindistZeroForOwnWord) {
+  const std::vector<double> paa = {-1.0, 0.0, 1.0, 0.5};
+  const SaxWord w = SaxFromPaa(paa, 4);
+  EXPECT_DOUBLE_EQ(MindistPaaToSax(paa, w, 16), 0.0);
+}
+
+TEST(SaxTest, LowerBoundPropertyPaaToSax) {
+  // For random pairs (Q, X): MindistPaaToSax(Q.paa, X.sax) <= ED(Q, X).
+  Rng rng(21);
+  const size_t n = 128;
+  const uint32_t w = 8;
+  for (int trial = 0; trial < 200; ++trial) {
+    TimeSeries q(n), x(n);
+    for (size_t i = 0; i < n; ++i) {
+      q[i] = static_cast<float>(rng.NextGaussian());
+      x[i] = static_cast<float>(rng.NextGaussian());
+    }
+    ZNormalize(&q);
+    ZNormalize(&x);
+    std::vector<double> q_paa(w), x_paa(w);
+    PaaInto(q, w, q_paa.data());
+    PaaInto(x, w, x_paa.data());
+    for (uint8_t bits : {1, 3, 6, 9}) {
+      const SaxWord x_sax = SaxFromPaa(x_paa, bits);
+      const double lb = MindistPaaToSax(q_paa, x_sax, n);
+      const double ed = EuclideanDistance(q, x);
+      EXPECT_LE(lb, ed + 1e-9)
+          << "trial=" << trial << " bits=" << static_cast<int>(bits);
+    }
+  }
+}
+
+TEST(SaxTest, LowerBoundTightensWithCardinality) {
+  Rng rng(22);
+  const size_t n = 64;
+  const uint32_t w = 8;
+  double sum_coarse = 0.0, sum_fine = 0.0;
+  for (int trial = 0; trial < 100; ++trial) {
+    TimeSeries q(n), x(n);
+    for (size_t i = 0; i < n; ++i) {
+      q[i] = static_cast<float>(rng.NextGaussian());
+      x[i] = static_cast<float>(rng.NextGaussian());
+    }
+    ZNormalize(&q);
+    ZNormalize(&x);
+    std::vector<double> q_paa(w), x_paa(w);
+    PaaInto(q, w, q_paa.data());
+    PaaInto(x, w, x_paa.data());
+    const double lb2 = MindistPaaToSax(q_paa, SaxFromPaa(x_paa, 2), n);
+    const double lb8 = MindistPaaToSax(q_paa, SaxFromPaa(x_paa, 8), n);
+    EXPECT_LE(lb2, lb8 + 1e-9);  // finer cardinality => tighter (>=) bound
+    sum_coarse += lb2;
+    sum_fine += lb8;
+  }
+  EXPECT_LT(sum_coarse, sum_fine);  // and strictly tighter on average
+}
+
+TEST(SaxTest, SaxToSaxLowerBound) {
+  Rng rng(23);
+  const size_t n = 64;
+  const uint32_t w = 8;
+  for (int trial = 0; trial < 200; ++trial) {
+    TimeSeries a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<float>(rng.NextGaussian());
+      b[i] = static_cast<float>(rng.NextGaussian());
+    }
+    ZNormalize(&a);
+    ZNormalize(&b);
+    std::vector<double> a_paa(w), b_paa(w);
+    PaaInto(a, w, a_paa.data());
+    PaaInto(b, w, b_paa.data());
+    const SaxWord wa = SaxFromPaa(a_paa, 5);
+    const SaxWord wb = SaxFromPaa(b_paa, 7);  // mixed cardinalities
+    const double lb = MindistSaxToSax(wa, wb, n);
+    EXPECT_LE(lb, EuclideanDistance(a, b) + 1e-9);
+  }
+}
+
+TEST(SaxTest, SaxToSaxZeroForOverlappingRegions) {
+  const std::vector<double> paa = {0.1, -0.1, 0.5, -0.5};
+  const SaxWord coarse = SaxFromPaa(paa, 1);
+  const SaxWord fine = SaxFromPaa(paa, 8);
+  // fine's stripes are nested inside coarse's: distance must be 0.
+  EXPECT_DOUBLE_EQ(MindistSaxToSax(coarse, fine, 16), 0.0);
+}
+
+TEST(SaxTest, SaxToSaxSymmetric) {
+  const std::vector<double> pa = {-1.2, 0.4, 2.0, -0.8};
+  const std::vector<double> pb = {1.5, -0.9, -2.0, 0.3};
+  const SaxWord a = SaxFromPaa(pa, 4);
+  const SaxWord b = SaxFromPaa(pb, 6);
+  EXPECT_DOUBLE_EQ(MindistSaxToSax(a, b, 32), MindistSaxToSax(b, a, 32));
+}
+
+}  // namespace
+}  // namespace tardis

@@ -1,0 +1,116 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ts/distance.h"
+#include "ts/znorm.h"
+
+namespace tardis {
+namespace {
+
+TEST(ZNormTest, ProducesZeroMeanUnitVariance) {
+  TimeSeries ts = {10, 20, 30, 40, 50};
+  ZNormalize(&ts);
+  double sum = 0, sq = 0;
+  for (float v : ts) {
+    sum += v;
+    sq += static_cast<double>(v) * v;
+  }
+  EXPECT_NEAR(sum / ts.size(), 0.0, 1e-6);
+  EXPECT_NEAR(sq / ts.size(), 1.0, 1e-5);
+}
+
+TEST(ZNormTest, ConstantSeriesBecomesZero) {
+  TimeSeries ts = {7, 7, 7, 7};
+  ZNormalize(&ts);
+  for (float v : ts) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(ZNormTest, EmptySeriesIsNoop) {
+  TimeSeries ts;
+  ZNormalize(&ts);
+  EXPECT_TRUE(ts.empty());
+}
+
+TEST(ZNormTest, ShapeInvariantToAffineTransform) {
+  Rng rng(5);
+  TimeSeries a(32);
+  for (auto& v : a) v = static_cast<float>(rng.NextGaussian());
+  TimeSeries b = a;
+  for (auto& v : b) v = v * 3.5f + 100.0f;
+  ZNormalize(&a);
+  ZNormalize(&b);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-4);
+}
+
+TEST(ZNormTest, DatasetOverloadNormalizesAll) {
+  Dataset ds = {{1, 2, 3, 4}, {10, 10, 10, 10}};
+  ZNormalize(&ds);
+  EXPECT_NEAR(ds[0][0] + ds[0][1] + ds[0][2] + ds[0][3], 0.0, 1e-6);
+  EXPECT_EQ(ds[1][0], 0.0f);
+}
+
+TEST(DistanceTest, KnownValues) {
+  TimeSeries a = {0, 0, 0};
+  TimeSeries b = {1, 2, 2};
+  EXPECT_DOUBLE_EQ(SquaredEuclidean(a, b), 9.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 3.0);
+}
+
+TEST(DistanceTest, IdenticalSeriesIsZero) {
+  TimeSeries a = {1.5f, -2.5f, 3.25f};
+  EXPECT_EQ(SquaredEuclidean(a, a), 0.0);
+}
+
+TEST(DistanceTest, Symmetry) {
+  Rng rng(9);
+  TimeSeries a(64), b(64);
+  for (size_t i = 0; i < 64; ++i) {
+    a[i] = static_cast<float>(rng.NextGaussian());
+    b[i] = static_cast<float>(rng.NextGaussian());
+  }
+  EXPECT_DOUBLE_EQ(SquaredEuclidean(a, b), SquaredEuclidean(b, a));
+}
+
+TEST(DistanceTest, TriangleInequality) {
+  Rng rng(10);
+  for (int trial = 0; trial < 50; ++trial) {
+    TimeSeries a(32), b(32), c(32);
+    for (size_t i = 0; i < 32; ++i) {
+      a[i] = static_cast<float>(rng.NextGaussian());
+      b[i] = static_cast<float>(rng.NextGaussian());
+      c[i] = static_cast<float>(rng.NextGaussian());
+    }
+    EXPECT_LE(EuclideanDistance(a, c),
+              EuclideanDistance(a, b) + EuclideanDistance(b, c) + 1e-9);
+  }
+}
+
+TEST(DistanceTest, EarlyAbandonMatchesExactBelowBound) {
+  Rng rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    TimeSeries a(100), b(100);
+    for (size_t i = 0; i < 100; ++i) {
+      a[i] = static_cast<float>(rng.NextGaussian());
+      b[i] = static_cast<float>(rng.NextGaussian());
+    }
+    const double exact = SquaredEuclidean(a, b);
+    const double loose = SquaredEuclideanEarlyAbandon(a, b, exact + 1.0);
+    EXPECT_DOUBLE_EQ(loose, exact);
+  }
+}
+
+TEST(DistanceTest, EarlyAbandonReturnsInfinityAboveBound) {
+  TimeSeries a(64, 0.0f), b(64, 10.0f);
+  const double d = SquaredEuclideanEarlyAbandon(a, b, 1.0);
+  EXPECT_TRUE(std::isinf(d));
+}
+
+TEST(DistanceTest, EarlyAbandonExactlyAtBoundKept) {
+  TimeSeries a = {0, 0}, b = {1, 0};
+  EXPECT_DOUBLE_EQ(SquaredEuclideanEarlyAbandon(a, b, 1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace tardis

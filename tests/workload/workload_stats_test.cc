@@ -1,0 +1,106 @@
+// Statistical sanity of the dataset generators: the distributional
+// properties each synthetic stand-in exists to provide (DESIGN.md §1).
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "ts/distance.h"
+#include "workload/datasets.h"
+
+namespace tardis {
+namespace {
+
+TEST(WorkloadStatsTest, RandomWalkStepsAreStandardNormal) {
+  ASSERT_OK_AND_ASSIGN(Dataset ds, MakeDataset(DatasetKind::kRandomWalk, 200,
+                                               256, 181, /*znormalize=*/false));
+  double sum = 0, sq = 0;
+  uint64_t n = 0;
+  for (const auto& ts : ds) {
+    for (size_t i = 1; i < ts.size(); ++i) {
+      const double step = static_cast<double>(ts[i]) - ts[i - 1];
+      sum += step;
+      sq += step * step;
+      ++n;
+    }
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(sq / n - mean * mean, 1.0, 0.05);
+}
+
+TEST(WorkloadStatsTest, TexmexRawValuesAreNonNegativeAndSparse) {
+  ASSERT_OK_AND_ASSIGN(Dataset ds, MakeDataset(DatasetKind::kTexmex, 200, 128,
+                                               182, /*znormalize=*/false));
+  uint64_t zeros = 0, total = 0;
+  for (const auto& ts : ds) {
+    for (float v : ts) {
+      EXPECT_GE(v, 0.0f);
+      zeros += (v == 0.0f);
+      ++total;
+    }
+  }
+  const double zero_fraction = static_cast<double>(zeros) / total;
+  EXPECT_GT(zero_fraction, 0.15);  // SIFT-like sparsity
+  EXPECT_LT(zero_fraction, 0.5);
+}
+
+TEST(WorkloadStatsTest, DnaContainsHeavyExactDuplicates) {
+  ASSERT_OK_AND_ASSIGN(Dataset ds, MakeDataset(DatasetKind::kDna, 2000, 192, 183));
+  std::map<std::vector<float>, uint32_t> counts;
+  for (const auto& ts : ds) ++counts[ts];
+  uint64_t duplicated = 0;
+  for (const auto& [series, count] : counts) {
+    if (count > 1) duplicated += count;
+  }
+  // The repeat-region mechanism must make a large share of series verbatim
+  // copies (what skews the real genome dataset).
+  const double fraction = static_cast<double>(duplicated) / ds.size();
+  EXPECT_GT(fraction, 0.35);
+  EXPECT_LT(fraction, 0.8);
+}
+
+TEST(WorkloadStatsTest, DnaStepsAreNucleotideSized) {
+  ASSERT_OK_AND_ASSIGN(Dataset ds, MakeDataset(DatasetKind::kDna, 50, 192, 184,
+                                               /*znormalize=*/false));
+  for (const auto& ts : ds) {
+    for (size_t i = 1; i < ts.size(); ++i) {
+      const double step = std::abs(static_cast<double>(ts[i]) - ts[i - 1]);
+      EXPECT_TRUE(step == 1.0 || step == 2.0) << "step " << step;
+    }
+  }
+}
+
+TEST(WorkloadStatsTest, NoaaWindowsClusterIntoFewShapes) {
+  // After z-normalisation the monthly phase grid dominates: pairwise
+  // distances between same-month windows must be far below cross-month ones.
+  ASSERT_OK_AND_ASSIGN(Dataset ds, MakeDataset(DatasetKind::kNoaa, 400, 64, 185));
+  // Nearest-neighbour distance of each series must typically be small
+  // relative to the series norm (sqrt(n) = 8 after z-normalisation).
+  double nn_sum = 0;
+  const size_t probes = 50;
+  for (size_t q = 0; q < probes; ++q) {
+    double best = 1e100;
+    for (size_t i = 0; i < ds.size(); ++i) {
+      if (i == q) continue;
+      best = std::min(best, EuclideanDistance(ds[q], ds[i]));
+    }
+    nn_sum += best;
+  }
+  EXPECT_LT(nn_sum / probes, 2.0);
+}
+
+TEST(WorkloadStatsTest, MakeOneSeriesIsPureFunctionOfSeedAndIndex) {
+  const TimeSeries a = MakeOneSeries(DatasetKind::kTexmex, 128, 186, 41);
+  const TimeSeries b = MakeOneSeries(DatasetKind::kTexmex, 128, 186, 41);
+  const TimeSeries c = MakeOneSeries(DatasetKind::kTexmex, 128, 186, 42);
+  const TimeSeries d = MakeOneSeries(DatasetKind::kTexmex, 128, 187, 41);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+}
+
+}  // namespace
+}  // namespace tardis

@@ -1,0 +1,147 @@
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "ts/isaxt.h"
+#include "workload/datasets.h"
+#include "workload/query_gen.h"
+
+namespace tardis {
+namespace {
+
+constexpr DatasetKind kAllKinds[] = {DatasetKind::kRandomWalk,
+                                     DatasetKind::kTexmex, DatasetKind::kDna,
+                                     DatasetKind::kNoaa};
+
+TEST(DatasetsTest, NamesAndLengths) {
+  EXPECT_STREQ(DatasetShortName(DatasetKind::kRandomWalk), "Rw");
+  EXPECT_STREQ(DatasetFullName(DatasetKind::kNoaa), "Noaa");
+  EXPECT_EQ(DatasetSeriesLength(DatasetKind::kRandomWalk), 256u);
+  EXPECT_EQ(DatasetSeriesLength(DatasetKind::kTexmex), 128u);
+  EXPECT_EQ(DatasetSeriesLength(DatasetKind::kDna), 192u);
+  EXPECT_EQ(DatasetSeriesLength(DatasetKind::kNoaa), 64u);
+}
+
+class DatasetKindTest : public ::testing::TestWithParam<DatasetKind> {};
+
+TEST_P(DatasetKindTest, GeneratesRequestedShape) {
+  ASSERT_OK_AND_ASSIGN(Dataset ds, MakeDataset(GetParam(), 500, 64, 42));
+  ASSERT_EQ(ds.size(), 500u);
+  for (const auto& ts : ds) ASSERT_EQ(ts.size(), 64u);
+}
+
+TEST_P(DatasetKindTest, DeterministicAcrossCallsAndThreadCounts) {
+  ASSERT_OK_AND_ASSIGN(Dataset a, MakeDataset(GetParam(), 200, 64, 7, true, 1));
+  ASSERT_OK_AND_ASSIGN(Dataset b, MakeDataset(GetParam(), 200, 64, 7, true, 8));
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(DatasetKindTest, DifferentSeedsDiffer) {
+  ASSERT_OK_AND_ASSIGN(Dataset a, MakeDataset(GetParam(), 50, 64, 1));
+  ASSERT_OK_AND_ASSIGN(Dataset b, MakeDataset(GetParam(), 50, 64, 2));
+  EXPECT_NE(a, b);
+}
+
+TEST_P(DatasetKindTest, ZNormalizedByDefault) {
+  ASSERT_OK_AND_ASSIGN(Dataset ds, MakeDataset(GetParam(), 100, 64, 3));
+  for (const auto& ts : ds) {
+    double sum = 0;
+    for (float v : ts) sum += v;
+    EXPECT_NEAR(sum / ts.size(), 0.0, 1e-4);
+  }
+}
+
+TEST_P(DatasetKindTest, SeriesVaryWithinDataset) {
+  ASSERT_OK_AND_ASSIGN(Dataset ds, MakeDataset(GetParam(), 100, 64, 4));
+  std::set<float> firsts;
+  for (const auto& ts : ds) firsts.insert(ts[0]);
+  EXPECT_GT(firsts.size(), 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, DatasetKindTest,
+                         ::testing::ValuesIn(kAllKinds));
+
+TEST(DatasetsTest, RejectsEmptyShape) {
+  EXPECT_FALSE(MakeDataset(DatasetKind::kRandomWalk, 0, 64, 1).ok());
+  EXPECT_FALSE(MakeDataset(DatasetKind::kRandomWalk, 10, 0, 1).ok());
+}
+
+// Fig. 9 property: signature-distribution skew ordering. RandomWalk must
+// produce the most distinct signatures; NOAA and DNA the fewest.
+TEST(DatasetsTest, SkewOrderingMatchesPaperFigureNine) {
+  auto codec = ISaxTCodec::Make(8, 4);
+  ASSERT_TRUE(codec.ok());
+  std::unordered_map<int, double> distinct_ratio;
+  const uint64_t n = 4000;
+  for (DatasetKind kind : kAllKinds) {
+    ASSERT_OK_AND_ASSIGN(Dataset ds, MakeDataset(kind, n, 64, 99));
+    std::set<std::string> sigs;
+    for (const auto& ts : ds) {
+      auto sig = codec->EncodeSeries(ts);
+      ASSERT_TRUE(sig.ok());
+      sigs.insert(*sig);
+    }
+    distinct_ratio[static_cast<int>(kind)] =
+        static_cast<double>(sigs.size()) / static_cast<double>(n);
+  }
+  const double rw = distinct_ratio[static_cast<int>(DatasetKind::kRandomWalk)];
+  const double tx = distinct_ratio[static_cast<int>(DatasetKind::kTexmex)];
+  const double dn = distinct_ratio[static_cast<int>(DatasetKind::kDna)];
+  const double na = distinct_ratio[static_cast<int>(DatasetKind::kNoaa)];
+  EXPECT_GT(rw, tx);
+  EXPECT_GT(tx, na);
+  EXPECT_GT(rw, dn);
+}
+
+TEST(QueryGenTest, ExactMatchWorkloadComposition) {
+  ASSERT_OK_AND_ASSIGN(Dataset ds,
+                       MakeDataset(DatasetKind::kRandomWalk, 500, 64, 5));
+  const auto workload = MakeExactMatchWorkload(ds, 100, 0.5, 6);
+  ASSERT_EQ(workload.queries.size(), 100u);
+  uint32_t present = 0;
+  for (size_t i = 0; i < 100; ++i) {
+    if (workload.expected_present[i]) {
+      ++present;
+      EXPECT_EQ(workload.queries[i], ds[workload.source_rid[i]]);
+    } else {
+      EXPECT_NE(workload.queries[i], ds[workload.source_rid[i]]);
+    }
+  }
+  EXPECT_EQ(present, 50u);
+}
+
+TEST(QueryGenTest, ExactMatchWorkloadDeterministic) {
+  ASSERT_OK_AND_ASSIGN(Dataset ds,
+                       MakeDataset(DatasetKind::kRandomWalk, 200, 64, 5));
+  const auto a = MakeExactMatchWorkload(ds, 20, 0.5, 9);
+  const auto b = MakeExactMatchWorkload(ds, 20, 0.5, 9);
+  EXPECT_EQ(a.queries, b.queries);
+}
+
+TEST(QueryGenTest, KnnQueriesPerturbedButNormalized) {
+  ASSERT_OK_AND_ASSIGN(Dataset ds,
+                       MakeDataset(DatasetKind::kRandomWalk, 300, 64, 5));
+  const auto queries = MakeKnnQueries(ds, 25, 0.1, 10);
+  ASSERT_EQ(queries.size(), 25u);
+  for (const auto& q : queries) {
+    ASSERT_EQ(q.size(), 64u);
+    double sum = 0;
+    for (float v : q) sum += v;
+    EXPECT_NEAR(sum / q.size(), 0.0, 1e-4);
+  }
+}
+
+TEST(QueryGenTest, ZeroNoiseReturnsMembers) {
+  ASSERT_OK_AND_ASSIGN(Dataset ds,
+                       MakeDataset(DatasetKind::kRandomWalk, 100, 64, 5));
+  const auto queries = MakeKnnQueries(ds, 10, 0.0, 11);
+  for (const auto& q : queries) {
+    EXPECT_NE(std::find(ds.begin(), ds.end(), q), ds.end());
+  }
+}
+
+}  // namespace
+}  // namespace tardis

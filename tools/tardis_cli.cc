@@ -1,0 +1,320 @@
+// tardis — command-line driver for the TARDIS indexing framework.
+//
+// Subcommands:
+//   gen    --kind rw|tx|dn|na --count N --out DIR [--length N] [--seed S]
+//   build  --data DIR --index DIR [--gmax N] [--lmax N] [--sample P]
+//          [--bits B] [--w W] [--workers N] [--no-bloom]
+//   stats  --index DIR
+//   exact  --index DIR --data DIR --rid N [--no-bloom]
+//   knn    --index DIR --data DIR --rid N [--k K]
+//          [--strategy target|one|multi|exact]
+//   range  --index DIR --data DIR --rid N --radius R
+//   append --index DIR --kind rw|tx|dn|na --count N [--seed S]
+//
+// Example session:
+//   tardis gen   --kind rw --count 50000 --out /tmp/rw
+//   tardis build --data /tmp/rw --index /tmp/rw_idx
+//   tardis stats --index /tmp/rw_idx
+//   tardis knn   --index /tmp/rw_idx --data /tmp/rw --rid 42 --k 10
+//                (add --strategy target|one|multi|exact to pick a strategy)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/stopwatch.h"
+#include "core/index_stats.h"
+#include "core/tardis_index.h"
+#include "workload/datasets.h"
+
+namespace tardis {
+namespace {
+
+// Minimal --flag value parser: every flag takes a value except boolean
+// flags, which are listed explicitly.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+        ok_ = false;
+        return;
+      }
+      key = key.substr(2);
+      if (key == "no-bloom") {
+        values_[key] = "1";
+        continue;
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s needs a value\n", key.c_str());
+        ok_ = false;
+        return;
+      }
+      values_[key] = argv[++i];
+    }
+  }
+
+  bool ok() const { return ok_; }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& def = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+  uint64_t GetU64(const std::string& key, uint64_t def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  double GetDouble(const std::string& key, double def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Result<DatasetKind> ParseKind(const std::string& kind) {
+  if (kind == "rw") return DatasetKind::kRandomWalk;
+  if (kind == "tx") return DatasetKind::kTexmex;
+  if (kind == "dn") return DatasetKind::kDna;
+  if (kind == "na") return DatasetKind::kNoaa;
+  return Status::InvalidArgument("unknown dataset kind: " + kind +
+                                 " (expected rw|tx|dn|na)");
+}
+
+int CmdGen(const Flags& flags) {
+  auto kind = ParseKind(flags.Get("kind", "rw"));
+  if (!kind.ok()) return Fail(kind.status());
+  const uint64_t count = flags.GetU64("count", 10000);
+  const uint32_t length = static_cast<uint32_t>(
+      flags.GetU64("length", DatasetSeriesLength(*kind)));
+  const std::string out = flags.Get("out");
+  if (out.empty()) return Fail(Status::InvalidArgument("--out is required"));
+
+  Stopwatch sw;
+  auto dataset = MakeDataset(*kind, count, length, flags.GetU64("seed", 2026));
+  if (!dataset.ok()) return Fail(dataset.status());
+  auto store = BlockStore::Create(out, *dataset,
+                                  static_cast<uint32_t>(flags.GetU64("block", 500)));
+  if (!store.ok()) return Fail(store.status());
+  std::printf("generated %llu %s series (length %u) into %s in %.2fs "
+              "(%u blocks)\n",
+              static_cast<unsigned long long>(count), DatasetFullName(*kind),
+              length, out.c_str(), sw.ElapsedSeconds(), store->num_blocks());
+  return 0;
+}
+
+int CmdBuild(const Flags& flags) {
+  const std::string data = flags.Get("data");
+  const std::string index_dir = flags.Get("index");
+  if (data.empty() || index_dir.empty()) {
+    return Fail(Status::InvalidArgument("--data and --index are required"));
+  }
+  auto store = BlockStore::Open(data);
+  if (!store.ok()) return Fail(store.status());
+
+  TardisConfig config;
+  config.word_length = static_cast<uint32_t>(flags.GetU64("w", 8));
+  config.initial_bits = static_cast<uint8_t>(flags.GetU64("bits", 6));
+  config.g_max_size = flags.GetU64("gmax", 2000);
+  config.l_max_size = flags.GetU64("lmax", 200);
+  config.sampling_percent = flags.GetDouble("sample", 10.0);
+  config.num_workers = static_cast<uint32_t>(flags.GetU64("workers", 0));
+  config.build_bloom = !flags.Has("no-bloom");
+
+  auto cluster = std::make_shared<Cluster>(config.num_workers);
+  TardisIndex::BuildTimings timings;
+  auto index = TardisIndex::Build(cluster, *store, index_dir, config, &timings);
+  if (!index.ok()) return Fail(index.status());
+  std::printf("built index over %llu records: %u partitions in %.2fs\n",
+              static_cast<unsigned long long>(store->num_records()),
+              index->num_partitions(), timings.TotalSeconds());
+  std::printf("  global %.3fs  shuffle %.3fs  local %.3fs  bloom-extra %.3fs\n",
+              timings.global.TotalSeconds(), timings.shuffle_seconds,
+              timings.local_build_seconds, timings.bloom_extra_seconds);
+  return 0;
+}
+
+int CmdStats(const Flags& flags) {
+  const std::string index_dir = flags.Get("index");
+  if (index_dir.empty()) return Fail(Status::InvalidArgument("--index is required"));
+  auto cluster = std::make_shared<Cluster>();
+  auto index = TardisIndex::Open(cluster, index_dir);
+  if (!index.ok()) return Fail(index.status());
+  auto report = ComputeIndexReport(*index);
+  if (!report.ok()) return Fail(report.status());
+  PrintIndexReport(*report, stdout);
+  return 0;
+}
+
+// Loads record `rid` from the dataset to use as a query.
+Result<TimeSeries> LoadQuery(const std::string& data, RecordId rid) {
+  TARDIS_ASSIGN_OR_RETURN(BlockStore store, BlockStore::Open(data));
+  if (rid >= store.num_records()) {
+    return Status::OutOfRange("rid beyond dataset");
+  }
+  const uint32_t block = static_cast<uint32_t>(rid / store.block_capacity());
+  TARDIS_ASSIGN_OR_RETURN(std::vector<Record> records, store.ReadBlock(block));
+  for (auto& rec : records) {
+    if (rec.rid == rid) return std::move(rec.values);
+  }
+  return Status::NotFound("record not in its block (corrupt store?)");
+}
+
+int CmdExact(const Flags& flags) {
+  const std::string index_dir = flags.Get("index");
+  const std::string data = flags.Get("data");
+  if (index_dir.empty() || data.empty()) {
+    return Fail(Status::InvalidArgument("--index and --data are required"));
+  }
+  auto query = LoadQuery(data, flags.GetU64("rid", 0));
+  if (!query.ok()) return Fail(query.status());
+  auto cluster = std::make_shared<Cluster>();
+  auto index = TardisIndex::Open(cluster, index_dir);
+  if (!index.ok()) return Fail(index.status());
+
+  Stopwatch sw;
+  ExactMatchStats stats;
+  auto rids = index->ExactMatch(*query, !flags.Has("no-bloom"), &stats);
+  if (!rids.ok()) return Fail(rids.status());
+  std::printf("exact match: %zu hit(s) in %.3fms (bloom negative: %s, "
+              "candidates: %u)\n",
+              rids->size(), sw.ElapsedMillis(),
+              stats.bloom_negative ? "yes" : "no", stats.candidates);
+  for (RecordId rid : *rids) {
+    std::printf("  rid %llu\n", static_cast<unsigned long long>(rid));
+  }
+  return 0;
+}
+
+int CmdKnn(const Flags& flags) {
+  const std::string index_dir = flags.Get("index");
+  const std::string data = flags.Get("data");
+  if (index_dir.empty() || data.empty()) {
+    return Fail(Status::InvalidArgument("--index and --data are required"));
+  }
+  auto query = LoadQuery(data, flags.GetU64("rid", 0));
+  if (!query.ok()) return Fail(query.status());
+  auto cluster = std::make_shared<Cluster>();
+  auto index = TardisIndex::Open(cluster, index_dir);
+  if (!index.ok()) return Fail(index.status());
+
+  const uint32_t k = static_cast<uint32_t>(flags.GetU64("k", 10));
+  const std::string strategy = flags.Get("strategy", "multi");
+  Stopwatch sw;
+  KnnStats stats;
+  Result<std::vector<Neighbor>> result =
+      Status::InvalidArgument("unknown strategy: " + strategy +
+                              " (expected target|one|multi|exact)");
+  if (strategy == "target") {
+    result = index->KnnApproximate(*query, k, KnnStrategy::kTargetNode, &stats);
+  } else if (strategy == "one") {
+    result = index->KnnApproximate(*query, k, KnnStrategy::kOnePartition, &stats);
+  } else if (strategy == "multi") {
+    result =
+        index->KnnApproximate(*query, k, KnnStrategy::kMultiPartitions, &stats);
+  } else if (strategy == "exact") {
+    result = index->KnnExact(*query, k, &stats);
+  }
+  if (!result.ok()) return Fail(result.status());
+  std::printf("%u-NN (%s) in %.3fms — %u partition(s) loaded, %llu candidates\n",
+              k, strategy.c_str(), sw.ElapsedMillis(), stats.partitions_loaded,
+              static_cast<unsigned long long>(stats.candidates));
+  for (const Neighbor& nb : *result) {
+    std::printf("  rid %-10llu dist %.6f\n",
+                static_cast<unsigned long long>(nb.rid), nb.distance);
+  }
+  return 0;
+}
+
+int CmdRange(const Flags& flags) {
+  const std::string index_dir = flags.Get("index");
+  const std::string data = flags.Get("data");
+  if (index_dir.empty() || data.empty()) {
+    return Fail(Status::InvalidArgument("--index and --data are required"));
+  }
+  auto query = LoadQuery(data, flags.GetU64("rid", 0));
+  if (!query.ok()) return Fail(query.status());
+  auto cluster = std::make_shared<Cluster>();
+  auto index = TardisIndex::Open(cluster, index_dir);
+  if (!index.ok()) return Fail(index.status());
+  const double radius = flags.GetDouble("radius", 1.0);
+
+  Stopwatch sw;
+  KnnStats stats;
+  auto result = index->RangeSearch(*query, radius, &stats);
+  if (!result.ok()) return Fail(result.status());
+  std::printf("range(r=%.3f): %zu record(s) in %.3fms — %u/%u partitions "
+              "loaded, %llu candidates\n",
+              radius, result->size(), sw.ElapsedMillis(),
+              stats.partitions_loaded, index->num_partitions(),
+              static_cast<unsigned long long>(stats.candidates));
+  for (const Neighbor& nb : *result) {
+    std::printf("  rid %-10llu dist %.6f\n",
+                static_cast<unsigned long long>(nb.rid), nb.distance);
+  }
+  return 0;
+}
+
+int CmdAppend(const Flags& flags) {
+  const std::string index_dir = flags.Get("index");
+  if (index_dir.empty()) return Fail(Status::InvalidArgument("--index is required"));
+  auto kind = ParseKind(flags.Get("kind", "rw"));
+  if (!kind.ok()) return Fail(kind.status());
+  auto cluster = std::make_shared<Cluster>();
+  auto index = TardisIndex::Open(cluster, index_dir);
+  if (!index.ok()) return Fail(index.status());
+
+  const uint64_t count = flags.GetU64("count", 1000);
+  auto batch = MakeDataset(*kind, count, index->series_length(),
+                           flags.GetU64("seed", 4096));
+  if (!batch.ok()) return Fail(batch.status());
+  Stopwatch sw;
+  auto rids = index->Append(*batch);
+  if (!rids.ok()) return Fail(rids.status());
+  std::printf("appended %zu records (rids %llu..%llu) in %.2fs\n",
+              rids->size(),
+              static_cast<unsigned long long>(rids->front()),
+              static_cast<unsigned long long>(rids->back()),
+              sw.ElapsedSeconds());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tardis <gen|build|stats|exact|knn|range|append> "
+               "[--flag value ...]\n"
+               "see the header of tools/tardis_cli.cc for details\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const Flags flags(argc, argv, 2);
+  if (!flags.ok()) return 2;
+  const std::string cmd = argv[1];
+  if (cmd == "gen") return CmdGen(flags);
+  if (cmd == "build") return CmdBuild(flags);
+  if (cmd == "stats") return CmdStats(flags);
+  if (cmd == "exact") return CmdExact(flags);
+  if (cmd == "knn") return CmdKnn(flags);
+  if (cmd == "range") return CmdRange(flags);
+  if (cmd == "append") return CmdAppend(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace tardis
+
+int main(int argc, char** argv) { return tardis::Main(argc, argv); }
