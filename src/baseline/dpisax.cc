@@ -274,6 +274,16 @@ Result<std::vector<Record>> DPiSaxIndex::LoadPartition(PartitionId pid) const {
   return partitions_->ReadPartition(pid);
 }
 
+Result<PartitionCache::Value> DPiSaxIndex::LoadPartitionShared(
+    PartitionId pid) const {
+  if (cache_ == nullptr) {
+    TARDIS_ASSIGN_OR_RETURN(std::vector<Record> records, LoadPartition(pid));
+    return std::make_shared<const std::vector<Record>>(std::move(records));
+  }
+  return cache_->GetOrLoad(pid,
+                           [this, pid] { return LoadPartition(pid); });
+}
+
 Result<IBTree> DPiSaxIndex::LoadLocalTree(PartitionId pid) const {
   TARDIS_ASSIGN_OR_RETURN(std::string bytes,
                           partitions_->ReadSidecar(pid, kTreeSidecar));
@@ -291,7 +301,9 @@ Result<std::vector<RecordId>> DPiSaxIndex::ExactMatch(
     return std::vector<RecordId>{};
   }
   TARDIS_ASSIGN_OR_RETURN(IBTree local, LoadLocalTree(pid));
-  TARDIS_ASSIGN_OR_RETURN(std::vector<Record> records, LoadPartition(pid));
+  TARDIS_ASSIGN_OR_RETURN(PartitionCache::Value loaded,
+                          LoadPartitionShared(pid));
+  const std::vector<Record>& records = *loaded;
   if (stats) stats->partitions_loaded = 1;
   const IBTree::Node* leaf = local.DescendToLeaf(sig);
   if (leaf == local.root()) {
@@ -317,7 +329,9 @@ Result<std::vector<Neighbor>> DPiSaxIndex::KnnApproximate(
   const PartitionId pid = table_.Lookup(sig);
   if (pid == kInvalidPartition) return Status::Internal("no partition");
   TARDIS_ASSIGN_OR_RETURN(IBTree local, LoadLocalTree(pid));
-  TARDIS_ASSIGN_OR_RETURN(std::vector<Record> records, LoadPartition(pid));
+  TARDIS_ASSIGN_OR_RETURN(PartitionCache::Value loaded,
+                          LoadPartitionShared(pid));
+  const std::vector<Record>& records = *loaded;
   if (stats) stats->partitions_loaded = 1;
 
   // Target node: the query's leaf, widened to the nearest ancestor holding

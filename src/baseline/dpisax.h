@@ -21,6 +21,7 @@
 #include "common/status.h"
 #include "core/tardis_index.h"  // Neighbor, ExactMatchStats, KnnStats
 #include "storage/block_store.h"
+#include "storage/partition_cache.h"
 #include "storage/partition_store.h"
 
 namespace tardis {
@@ -39,6 +40,9 @@ struct DPiSaxConfig {
   // DPiSAX behaviour: results are ranked purely in signature space.
   bool clustered = true;
   IBTree::SplitPolicy split_policy = IBTree::SplitPolicy::kStatistics;
+  // Query-side partition cache byte budget (0 disables). Kept identical to
+  // TardisConfig's default so warm-cache comparisons stay apples-to-apples.
+  uint64_t cache_budget_bytes = 64ull << 20;
 
   Status Validate() const {
     if (word_length == 0) return Status::InvalidArgument("word_length");
@@ -148,8 +152,17 @@ class DPiSaxIndex {
                                                uint32_t k,
                                                KnnStats* stats) const;
 
+  // LoadPartition always reads from disk; queries go through
+  // LoadPartitionShared, which consults the byte-budgeted cache when one is
+  // configured (the same warm-partition behaviour the TARDIS side gets).
   Result<std::vector<Record>> LoadPartition(PartitionId pid) const;
+  Result<PartitionCache::Value> LoadPartitionShared(PartitionId pid) const;
   Result<IBTree> LoadLocalTree(PartitionId pid) const;
+
+  const PartitionCache* partition_cache() const { return cache_.get(); }
+  PartitionCacheStats CacheStats() const {
+    return cache_ != nullptr ? cache_->Snapshot() : PartitionCacheStats{};
+  }
 
  private:
   DPiSaxIndex(std::shared_ptr<Cluster> cluster, DPiSaxConfig config,
@@ -159,7 +172,11 @@ class DPiSaxIndex {
         config_(config),
         table_(std::move(table)),
         partitions_(std::make_unique<PartitionStore>(std::move(partitions))),
-        series_length_(series_length) {}
+        series_length_(series_length) {
+    if (config_.cache_budget_bytes > 0) {
+      cache_ = std::make_unique<PartitionCache>(config_.cache_budget_bytes);
+    }
+  }
 
   Status PrepareQuery(const TimeSeries& query, std::vector<double>* paa,
                       ISaxSignature* sig) const;
@@ -168,6 +185,7 @@ class DPiSaxIndex {
   DPiSaxConfig config_;
   PartitionTable table_;
   std::unique_ptr<PartitionStore> partitions_;
+  std::unique_ptr<PartitionCache> cache_;
   uint32_t series_length_ = 0;
   std::vector<uint64_t> partition_counts_;
 };

@@ -1,86 +1,150 @@
 #include "cluster/map_reduce.h"
 
+#include <algorithm>
 #include <array>
+#include <atomic>
 
 namespace tardis {
+
+namespace {
+
+// Raises `peak` to at least `value` (relaxed CAS max).
+void UpdatePeak(std::atomic<uint64_t>& peak, uint64_t value) {
+  uint64_t cur = peak.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !peak.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
 
 Result<std::vector<uint64_t>> ShuffleToPartitions(
     Cluster& cluster, const BlockStore& input, uint32_t num_partitions,
     const std::function<PartitionId(const Record&)>& partitioner,
-    const PartitionStore& output, ShuffleMetrics* metrics) {
+    const PartitionStore& output, ShuffleMetrics* metrics,
+    uint64_t spill_threshold_bytes) {
   if (num_partitions == 0) {
     return Status::InvalidArgument("shuffle needs at least one partition");
   }
-
-  // Per-partition encode buffers with striped locks: workers append encoded
-  // records under the stripe lock for the record's target partition.
-  std::vector<std::string> buffers(num_partitions);
-  std::vector<uint64_t> counts(num_partitions, 0);
-  constexpr size_t kStripes = 64;
-  std::array<std::mutex, kStripes> stripes;
+  if (spill_threshold_bytes == 0) {
+    return Status::InvalidArgument("spill threshold must be positive");
+  }
 
   std::mutex err_mu;
   Status first_error;
+  std::atomic<bool> cancelled{false};
+  auto record_error = [&](const Status& st) {
+    std::lock_guard<std::mutex> lock(err_mu);
+    if (first_error.ok()) first_error = st;
+    cancelled.store(true, std::memory_order_relaxed);
+  };
 
-  std::vector<uint32_t> all_blocks(input.num_blocks());
-  for (uint32_t i = 0; i < input.num_blocks(); ++i) all_blocks[i] = i;
+  // Start every partition file empty: the streaming flushes below append, so
+  // a reused store directory must not leak records from a previous shuffle.
+  cluster.pool().ParallelFor(num_partitions, [&](size_t pid) {
+    if (cancelled.load(std::memory_order_relaxed)) return;
+    Status st =
+        output.WritePartitionRaw(static_cast<PartitionId>(pid), std::string());
+    if (!st.ok()) record_error(st);
+  });
+  if (!first_error.ok()) return first_error;
 
-  cluster.pool().ParallelFor(all_blocks.size(), [&](size_t i) {
-    {
-      std::lock_guard<std::mutex> lock(err_mu);
-      if (!first_error.ok()) return;
-    }
-    auto records = input.ReadBlock(all_blocks[i]);
-    if (!records.ok()) {
-      std::lock_guard<std::mutex> lock(err_mu);
-      if (first_error.ok()) first_error = records.status();
-      return;
-    }
-    // Group this block's records locally first so each stripe lock is taken
-    // once per (block, partition) rather than once per record.
-    std::unordered_map<PartitionId, std::string> local;
-    for (const auto& rec : *records) {
-      const PartitionId pid = partitioner(rec);
-      if (pid >= num_partitions) {
-        std::lock_guard<std::mutex> lock(err_mu);
-        if (first_error.ok()) {
-          first_error = Status::Internal("partitioner returned out-of-range pid");
+  const size_t rec_size = RecordEncodedSize(input.series_length());
+  const uint32_t num_blocks = input.num_blocks();
+
+  // Appends to one partition file must be serialized; striped locks keep the
+  // critical section to just the file write.
+  constexpr size_t kStripes = 64;
+  std::array<std::mutex, kStripes> stripes;
+
+  std::vector<uint64_t> counts(num_partitions, 0);
+  std::mutex counts_mu;
+
+  std::atomic<uint64_t> spill_flushes{0}, final_flushes{0};
+  std::atomic<uint64_t> buffered_now{0}, peak_buffered{0};
+
+  // One shard of blocks per worker. Each shard keeps its own partition
+  // buffers and spills them to disk whenever the shard's total buffered
+  // bytes cross the threshold, so shuffle memory never scales with the
+  // dataset — only with workers x threshold.
+  const size_t num_shards =
+      std::max<size_t>(1, std::min<size_t>(cluster.pool().num_threads(),
+                                           std::max<uint32_t>(num_blocks, 1)));
+  cluster.pool().ParallelFor(num_shards, [&](size_t shard) {
+    std::unordered_map<PartitionId, std::string> buffers;
+    std::vector<uint64_t> local_counts(num_partitions, 0);
+    uint64_t buffered = 0;
+
+    auto flush_all = [&](bool final_flush) -> Status {
+      for (auto& [pid, bytes] : buffers) {
+        if (bytes.empty()) continue;
+        {
+          std::lock_guard<std::mutex> lock(stripes[pid % kStripes]);
+          TARDIS_RETURN_NOT_OK(output.AppendPartitionRaw(pid, bytes));
         }
+        auto& counter = final_flush ? final_flushes : spill_flushes;
+        counter.fetch_add(1, std::memory_order_relaxed);
+        bytes.clear();
+      }
+      buffered_now.fetch_sub(buffered, std::memory_order_relaxed);
+      buffered = 0;
+      return Status::OK();
+    };
+
+    for (uint32_t b = static_cast<uint32_t>(shard); b < num_blocks;
+         b += static_cast<uint32_t>(num_shards)) {
+      if (cancelled.load(std::memory_order_relaxed)) return;
+      auto records = input.ReadBlock(b);
+      if (!records.ok()) {
+        record_error(records.status());
         return;
       }
-      EncodeRecord(rec, &local[pid]);
+      for (const auto& rec : *records) {
+        const PartitionId pid = partitioner(rec);
+        if (pid >= num_partitions) {
+          record_error(
+              Status::Internal("partitioner returned out-of-range pid"));
+          return;
+        }
+        EncodeRecord(rec, &buffers[pid]);
+        ++local_counts[pid];
+        buffered += rec_size;
+        UpdatePeak(peak_buffered,
+                   buffered_now.fetch_add(rec_size,
+                                          std::memory_order_relaxed) +
+                       rec_size);
+        if (buffered >= spill_threshold_bytes) {
+          Status st = flush_all(/*final_flush=*/false);
+          if (!st.ok()) {
+            record_error(st);
+            return;
+          }
+        }
+      }
     }
-    for (auto& [pid, bytes] : local) {
-      std::lock_guard<std::mutex> lock(stripes[pid % kStripes]);
-      buffers[pid] += bytes;
-      counts[pid] += bytes.size() / RecordEncodedSize(input.series_length());
+    Status st = flush_all(/*final_flush=*/true);
+    if (!st.ok()) {
+      record_error(st);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(counts_mu);
+    for (uint32_t pid = 0; pid < num_partitions; ++pid) {
+      counts[pid] += local_counts[pid];
     }
   });
   if (!first_error.ok()) return first_error;
 
-  // Write partition files in parallel.
-  cluster.pool().ParallelFor(num_partitions, [&](size_t pid) {
-    {
-      std::lock_guard<std::mutex> lock(err_mu);
-      if (!first_error.ok()) return;
-    }
-    Status st = output.WritePartitionRaw(static_cast<PartitionId>(pid),
-                                         buffers[pid]);
-    if (!st.ok()) {
-      std::lock_guard<std::mutex> lock(err_mu);
-      if (first_error.ok()) first_error = st;
-    }
-  });
-  if (!first_error.ok()) return first_error;
   if (metrics != nullptr) {
-    const size_t rec_size = RecordEncodedSize(input.series_length());
-    metrics->blocks_read = input.num_blocks();
+    metrics->blocks_read = num_blocks;
     metrics->bytes_read = input.TotalBytes();
     metrics->partitions_written = num_partitions;
     for (uint64_t count : counts) {
       metrics->records += count;
       metrics->bytes_written += count * rec_size;
     }
+    metrics->spill_flushes = spill_flushes.load(std::memory_order_relaxed);
+    metrics->final_flushes = final_flushes.load(std::memory_order_relaxed);
+    metrics->peak_buffer_bytes = peak_buffered.load(std::memory_order_relaxed);
   }
   return counts;
 }
@@ -89,15 +153,14 @@ Status MapPartitions(Cluster& cluster, uint32_t num_partitions,
                      const std::function<Status(PartitionId)>& fn) {
   std::mutex err_mu;
   Status first_error;
+  std::atomic<bool> cancelled{false};
   cluster.pool().ParallelFor(num_partitions, [&](size_t pid) {
-    {
-      std::lock_guard<std::mutex> lock(err_mu);
-      if (!first_error.ok()) return;
-    }
+    if (cancelled.load(std::memory_order_relaxed)) return;
     Status st = fn(static_cast<PartitionId>(pid));
     if (!st.ok()) {
       std::lock_guard<std::mutex> lock(err_mu);
       if (first_error.ok()) first_error = st;
+      cancelled.store(true, std::memory_order_relaxed);
     }
   });
   return first_error;

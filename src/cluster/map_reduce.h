@@ -36,21 +36,24 @@ Result<std::vector<T>> MapBlocks(
   std::vector<T> results(blocks.size());
   std::mutex err_mu;
   Status first_error;
+  // Cancellation is a lock-free flag so unaffected tasks pay one relaxed
+  // atomic load instead of a mutex round-trip; the error itself is still
+  // recorded under the mutex (first one wins).
+  std::atomic<bool> cancelled{false};
   cluster.pool().ParallelFor(blocks.size(), [&](size_t i) {
-    {
-      std::lock_guard<std::mutex> lock(err_mu);
-      if (!first_error.ok()) return;
-    }
+    if (cancelled.load(std::memory_order_relaxed)) return;
     auto records = input.ReadBlock(blocks[i]);
     if (!records.ok()) {
       std::lock_guard<std::mutex> lock(err_mu);
       if (first_error.ok()) first_error = records.status();
+      cancelled.store(true, std::memory_order_relaxed);
       return;
     }
     auto result = fn(blocks[i], *records);
     if (!result.ok()) {
       std::lock_guard<std::mutex> lock(err_mu);
       if (first_error.ok()) first_error = result.status();
+      cancelled.store(true, std::memory_order_relaxed);
       return;
     }
     results[i] = std::move(result).value();
@@ -62,13 +65,21 @@ Result<std::vector<T>> MapBlocks(
 // Merges per-block frequency maps into one (the reduce side of the
 // (isaxt, freq) aggregation).
 inline FreqMap MergeFreqMaps(std::vector<FreqMap> maps) {
-  FreqMap out;
-  for (auto& m : maps) {
-    if (out.empty()) {
-      out = std::move(m);
-      continue;
-    }
-    for (auto& [key, count] : m) out[key] += count;
+  if (maps.empty()) return FreqMap();
+  // Adopt the largest input (moved, not copied) and pre-size the result to
+  // the sum of all inputs — an upper bound on distinct keys — so the merge
+  // never rehashes on multi-million-signature datasets.
+  size_t largest = 0;
+  size_t total = 0;
+  for (size_t i = 0; i < maps.size(); ++i) {
+    total += maps[i].size();
+    if (maps[i].size() > maps[largest].size()) largest = i;
+  }
+  FreqMap out = std::move(maps[largest]);
+  out.reserve(total);
+  for (size_t i = 0; i < maps.size(); ++i) {
+    if (i == largest) continue;
+    for (auto& [key, count] : maps[i]) out[key] += count;
   }
   return out;
 }
@@ -80,17 +91,31 @@ struct ShuffleMetrics {
   uint64_t bytes_written = 0;  // partition bytes written to the output store
   uint32_t blocks_read = 0;
   uint32_t partitions_written = 0;
+  // Streaming-shuffle accounting: spill_flushes counts buffer-full flushes
+  // mid-shuffle, final_flushes counts the end-of-worker drains, and
+  // peak_buffer_bytes is the high-water mark of bytes resident in worker
+  // buffers — bounded by workers x spill threshold, not dataset size.
+  uint64_t spill_flushes = 0;
+  uint64_t final_flushes = 0;
+  uint64_t peak_buffer_bytes = 0;
 };
 
+// Default per-worker spill threshold for the streaming shuffle.
+inline constexpr uint64_t kDefaultShuffleSpillBytes = 8ull << 20;  // 8 MiB
+
 // Shuffles every record of `input` to the partition chosen by `partitioner`
-// and writes the partition files into `output`. Returns per-partition record
-// counts. The partitioner must be thread-safe (in the paper it is the
-// broadcast, immutable Tardis-G). Partition ids must be < num_partitions.
-// `metrics` may be null.
+// and appends it, via bounded per-worker buffers, to the partition files in
+// `output`. A worker whose buffered bytes cross `spill_threshold_bytes`
+// flushes all its buffers to disk, so peak shuffle memory is
+// O(workers x spill threshold) regardless of dataset size. Returns
+// per-partition record counts. The partitioner must be thread-safe (in the
+// paper it is the broadcast, immutable Tardis-G). Partition ids must be
+// < num_partitions. `metrics` may be null.
 Result<std::vector<uint64_t>> ShuffleToPartitions(
     Cluster& cluster, const BlockStore& input, uint32_t num_partitions,
     const std::function<PartitionId(const Record&)>& partitioner,
-    const PartitionStore& output, ShuffleMetrics* metrics = nullptr);
+    const PartitionStore& output, ShuffleMetrics* metrics = nullptr,
+    uint64_t spill_threshold_bytes = kDefaultShuffleSpillBytes);
 
 // Runs `fn(pid)` for every partition id in [0, num_partitions) in parallel —
 // the mapPartitions stage. The first error aborts the job.

@@ -78,6 +78,9 @@ Result<std::vector<RecordId>> TardisIndex::Append(const Dataset& batch) {
       blooms_[pid] = std::move(bloom);
     }
     partition_counts_[pid] = clustered.size();
+    // The partition file changed on disk; drop any cached snapshot so the
+    // next query reloads the rewritten records.
+    if (cache_ != nullptr) cache_->Invalidate(pid);
   }
   TARDIS_RETURN_NOT_OK(SaveMeta());
   return assigned;

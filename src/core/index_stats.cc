@@ -45,6 +45,8 @@ Result<IndexReport> ComputeIndexReport(const TardisIndex& index) {
   TARDIS_ASSIGN_OR_RETURN(TardisIndex::SizeInfo sizes, index.ComputeSizeInfo());
   report.bloom_bytes = sizes.bloom_bytes;
   if (report.min_partition_records == ~0ULL) report.min_partition_records = 0;
+  report.cache_budget_bytes = index.config().cache_budget_bytes;
+  report.cache = index.CacheStats();
   return report;
 }
 
@@ -75,6 +77,25 @@ void PrintIndexReport(const IndexReport& report, std::FILE* out) {
                static_cast<unsigned long long>(report.local_tree_bytes));
   std::fprintf(out, "  bloom bytes:        %llu\n",
                static_cast<unsigned long long>(report.bloom_bytes));
+  if (report.cache_budget_bytes == 0) {
+    std::fprintf(out, "  partition cache:    disabled\n");
+  } else {
+    std::fprintf(out,
+                 "  partition cache:    budget %llu bytes, resident %llu "
+                 "bytes in %llu partition(s)\n",
+                 static_cast<unsigned long long>(report.cache_budget_bytes),
+                 static_cast<unsigned long long>(report.cache.resident_bytes),
+                 static_cast<unsigned long long>(
+                     report.cache.resident_partitions));
+    std::fprintf(out,
+                 "    hits %llu  misses %llu  coalesced %llu  evictions %llu"
+                 "  loaded %llu bytes\n",
+                 static_cast<unsigned long long>(report.cache.hits),
+                 static_cast<unsigned long long>(report.cache.misses),
+                 static_cast<unsigned long long>(report.cache.coalesced),
+                 static_cast<unsigned long long>(report.cache.evictions),
+                 static_cast<unsigned long long>(report.cache.loaded_bytes));
+  }
 }
 
 }  // namespace tardis

@@ -33,6 +33,10 @@ struct IndexReport {
   uint64_t min_partition_records = 0;
   uint64_t max_partition_records = 0;
   double avg_partition_fill = 0.0;  // vs G-MaxSize
+
+  // Query-side partition cache (budget 0 = disabled).
+  uint64_t cache_budget_bytes = 0;
+  PartitionCacheStats cache;
 };
 
 // Loads every partition's local tree to aggregate the report (an offline

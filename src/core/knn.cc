@@ -128,8 +128,9 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
   const PartitionId home = global_->LookupPartition(sig);
   if (home == kInvalidPartition) return Status::Internal("no home partition");
   TARDIS_ASSIGN_OR_RETURN(LocalIndex home_local, LoadLocalIndex(home));
-  TARDIS_ASSIGN_OR_RETURN(std::vector<Record> home_records,
-                          LoadPartition(home));
+  TARDIS_ASSIGN_OR_RETURN(PartitionCache::Value home_loaded,
+                          LoadPartitionShared(home));
+  const std::vector<Record>& home_records = *home_loaded;
   if (stats) stats->partitions_loaded = 1;
 
   // (4) Target Node Access: rank the target node's clustered slice.
@@ -203,14 +204,14 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
         if (first_error.ok()) first_error = local.status();
         return;
       }
-      auto records = LoadPartition(pid);
+      auto records = LoadPartitionShared(pid);
       if (!records.ok()) {
         std::lock_guard<std::mutex> lock(mu);
         if (first_error.ok()) first_error = records.status();
         return;
       }
       local->tree().EnsureWords();
-      PrunedScan(local->tree(), *records, paa, normalized, threshold,
+      PrunedScan(local->tree(), **records, paa, normalized, threshold,
                  &part_topk, &part_candidates);
     }
     auto part = part_topk.Take();

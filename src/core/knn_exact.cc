@@ -119,9 +119,10 @@ Result<std::vector<Neighbor>> TardisIndex::KnnExact(const TimeSeries& query,
   for (uint32_t pid : order) {
     if (bounds[pid] > topk.Threshold()) break;  // no partition can improve
     TARDIS_ASSIGN_OR_RETURN(LocalIndex local, LoadLocalIndex(pid));
-    TARDIS_ASSIGN_OR_RETURN(std::vector<Record> records, LoadPartition(pid));
+    TARDIS_ASSIGN_OR_RETURN(PartitionCache::Value records,
+                            LoadPartitionShared(pid));
     local.tree().EnsureWords();
-    ExactScan(local.tree(), records, paa, normalized, &topk, &candidates);
+    ExactScan(local.tree(), *records, paa, normalized, &topk, &candidates);
     ++loaded;
   }
   if (stats) {

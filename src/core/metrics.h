@@ -1,5 +1,7 @@
 // Search-quality metrics for kNN-approximate evaluation: recall (paper
-// Eq. 5) and error ratio (paper Eq. 6).
+// Eq. 5) and error ratio (paper Eq. 6) — plus I/O-effectiveness metrics for
+// the partition cache that warm repeated-query benchmarks (Figs. 14-16
+// style) report alongside latency.
 
 #ifndef TARDIS_CORE_METRICS_H_
 #define TARDIS_CORE_METRICS_H_
@@ -9,6 +11,7 @@
 #include <vector>
 
 #include "core/tardis_index.h"
+#include "storage/partition_cache.h"
 
 namespace tardis {
 
@@ -51,6 +54,31 @@ inline double ErrorRatio(const std::vector<Neighbor>& result,
     ++counted;
   }
   return counted > 0 ? acc / static_cast<double>(counted) : 1.0;
+}
+
+// Fraction of partition loads served from memory (entry hits plus lookups
+// coalesced onto an in-flight load). 0 when no lookups happened.
+inline double CacheHitRate(const PartitionCacheStats& stats) {
+  const uint64_t lookups = stats.Lookups();
+  if (lookups == 0) return 0.0;
+  return static_cast<double>(stats.hits + stats.coalesced) /
+         static_cast<double>(lookups);
+}
+
+// Counter delta between two snapshots of the same cache — per-phase
+// accounting for benchmarks that alternate cold and warm query rounds.
+// Residency fields carry the later snapshot's values.
+inline PartitionCacheStats CacheStatsDelta(const PartitionCacheStats& before,
+                                           const PartitionCacheStats& after) {
+  PartitionCacheStats delta;
+  delta.hits = after.hits - before.hits;
+  delta.misses = after.misses - before.misses;
+  delta.coalesced = after.coalesced - before.coalesced;
+  delta.evictions = after.evictions - before.evictions;
+  delta.loaded_bytes = after.loaded_bytes - before.loaded_bytes;
+  delta.resident_bytes = after.resident_bytes;
+  delta.resident_partitions = after.resident_partitions;
+  return delta;
 }
 
 }  // namespace tardis

@@ -72,9 +72,10 @@ Result<std::vector<Neighbor>> TardisIndex::RangeSearch(const TimeSeries& query,
   for (PartitionId pid = 0; pid < num_partitions(); ++pid) {
     if (regions_[pid].Mindist(paa, normalized.size()) > radius) continue;
     TARDIS_ASSIGN_OR_RETURN(LocalIndex local, LoadLocalIndex(pid));
-    TARDIS_ASSIGN_OR_RETURN(std::vector<Record> records, LoadPartition(pid));
+    TARDIS_ASSIGN_OR_RETURN(PartitionCache::Value records,
+                            LoadPartitionShared(pid));
     local.tree().EnsureWords();
-    RangeScan(local.tree(), records, paa, normalized, radius, &results,
+    RangeScan(local.tree(), *records, paa, normalized, radius, &results,
               &candidates);
     ++loaded;
   }

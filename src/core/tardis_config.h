@@ -61,6 +61,16 @@ struct TardisConfig {
   // the spill the paper measures for > 400M series.
   bool persist_intermediate = true;
 
+  // Byte budget of the query-side partition cache (decoded records kept in
+  // memory across queries, LRU-evicted). 0 disables the cache entirely, so
+  // every query pays the paper's cold "load the partition" cost.
+  uint64_t cache_budget_bytes = 64ull << 20;
+
+  // Streaming-shuffle spill threshold: a shuffle worker flushes its
+  // partition buffers to disk once they hold this many bytes, bounding
+  // shuffle memory at workers x threshold instead of the dataset size.
+  uint64_t shuffle_spill_bytes = 8ull << 20;
+
   Status Validate() const {
     if (word_length == 0 || word_length % 4 != 0) {
       return Status::InvalidArgument("word_length must be a positive multiple of 4");
@@ -80,6 +90,9 @@ struct TardisConfig {
     }
     if (bloom_fpr <= 0.0 || bloom_fpr >= 1.0) {
       return Status::InvalidArgument("bloom_fpr must be in (0, 1)");
+    }
+    if (shuffle_spill_bytes == 0) {
+      return Status::InvalidArgument("shuffle_spill_bytes must be positive");
     }
     return Status::OK();
   }

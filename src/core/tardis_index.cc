@@ -31,6 +31,8 @@ void EncodeConfig(const TardisConfig& config, std::string* out) {
   PutFixed<uint8_t>(out, config.build_bloom ? 1 : 0);
   PutFixed<double>(out, config.bloom_fpr);
   PutFixed<uint8_t>(out, config.persist_intermediate ? 1 : 0);
+  PutFixed<uint64_t>(out, config.cache_budget_bytes);
+  PutFixed<uint64_t>(out, config.shuffle_spill_bytes);
 }
 
 bool DecodeConfig(SliceReader* reader, TardisConfig* config) {
@@ -44,7 +46,9 @@ bool DecodeConfig(SliceReader* reader, TardisConfig* config) {
       reader->GetFixed(&config->pth) && reader->GetFixed(&config->block_capacity) &&
       reader->GetFixed(&config->num_workers) && reader->GetFixed(&config->seed) &&
       reader->GetFixed(&bloom) && reader->GetFixed(&config->bloom_fpr) &&
-      reader->GetFixed(&persist);
+      reader->GetFixed(&persist) &&
+      reader->GetFixed(&config->cache_budget_bytes) &&
+      reader->GetFixed(&config->shuffle_spill_bytes);
   config->build_bloom = bloom != 0;
   config->persist_intermediate = persist != 0;
   return ok;
@@ -99,7 +103,8 @@ Result<TardisIndex> TardisIndex::Build(std::shared_ptr<Cluster> cluster,
       index.partition_counts_,
       ShuffleToPartitions(*cluster, input, index.num_partitions(), partitioner,
                           *index.partitions_,
-                          timings != nullptr ? &timings->shuffle : nullptr));
+                          timings != nullptr ? &timings->shuffle : nullptr,
+                          config.shuffle_spill_bytes));
   if (timings) timings->shuffle_seconds = sw.ElapsedSeconds();
   sw.Restart();
 
@@ -357,6 +362,21 @@ Result<std::vector<Record>> TardisIndex::LoadPartition(PartitionId pid) const {
   return records;
 }
 
+Result<PartitionCache::Value> TardisIndex::LoadPartitionShared(
+    PartitionId pid) const {
+  if (cache_ == nullptr) {
+    TARDIS_ASSIGN_OR_RETURN(std::vector<Record> records, LoadPartition(pid));
+    return std::make_shared<const std::vector<Record>>(std::move(records));
+  }
+  return cache_->GetOrLoad(pid,
+                           [this, pid] { return LoadPartition(pid); });
+}
+
+void TardisIndex::SetCacheBudget(uint64_t budget_bytes) {
+  cache_ = budget_bytes > 0 ? std::make_unique<PartitionCache>(budget_bytes)
+                            : nullptr;
+}
+
 Result<LocalIndex> TardisIndex::LoadLocalIndex(PartitionId pid) const {
   TARDIS_ASSIGN_OR_RETURN(std::string bytes,
                           partitions_->ReadSidecar(pid, kTreeSidecar));
@@ -399,7 +419,9 @@ Result<std::vector<RecordId>> TardisIndex::ExactMatch(
     return std::vector<RecordId>{};
   }
   // Verify the leaf's slice against the raw query values.
-  TARDIS_ASSIGN_OR_RETURN(std::vector<Record> records, LoadPartition(pid));
+  TARDIS_ASSIGN_OR_RETURN(PartitionCache::Value loaded,
+                          LoadPartitionShared(pid));
+  const std::vector<Record>& records = *loaded;
   std::vector<RecordId> result;
   const uint32_t end = leaf->range_start + leaf->range_len;
   for (uint32_t i = leaf->range_start; i < end && i < records.size(); ++i) {

@@ -19,6 +19,7 @@
 #include "core/local_index.h"
 #include "core/tardis_config.h"
 #include "storage/block_store.h"
+#include "storage/partition_cache.h"
 #include "storage/partition_store.h"
 
 namespace tardis {
@@ -148,9 +149,24 @@ class TardisIndex {
   Result<std::vector<RecordId>> Append(const Dataset& batch);
 
   // Loads a partition's records and its Tardis-L (per-query disk reads, as
-  // in the paper's query path). Exposed for tests and tooling.
+  // in the paper's query path). Exposed for tests and tooling. LoadPartition
+  // always goes to disk; the query algorithms go through
+  // LoadPartitionShared, which serves repeated loads from the byte-budgeted
+  // partition cache when one is configured.
   Result<std::vector<Record>> LoadPartition(PartitionId pid) const;
+  Result<PartitionCache::Value> LoadPartitionShared(PartitionId pid) const;
   Result<LocalIndex> LoadLocalIndex(PartitionId pid) const;
+
+  // The query-side partition cache; null when cache_budget_bytes is 0.
+  const PartitionCache* partition_cache() const { return cache_.get(); }
+  // Zeroed stats when the cache is disabled.
+  PartitionCacheStats CacheStats() const {
+    return cache_ != nullptr ? cache_->Snapshot() : PartitionCacheStats{};
+  }
+  // Replaces the cache with a fresh one of `budget_bytes` (0 disables it).
+  // Existing entries and counters are discarded. Not safe to call
+  // concurrently with queries.
+  void SetCacheBudget(uint64_t budget_bytes);
 
  private:
   TardisIndex(std::shared_ptr<Cluster> cluster, TardisConfig config,
@@ -160,7 +176,11 @@ class TardisIndex {
         config_(config),
         global_(std::make_unique<GlobalIndex>(std::move(global))),
         partitions_(std::make_unique<PartitionStore>(std::move(partitions))),
-        series_length_(series_length) {}
+        series_length_(series_length) {
+    if (config_.cache_budget_bytes > 0) {
+      cache_ = std::make_unique<PartitionCache>(config_.cache_budget_bytes);
+    }
+  }
 
   // Prepares (z-normalises) the query and computes PAA + full signature.
   Status PrepareQuery(const TimeSeries& query, TimeSeries* normalized,
@@ -173,6 +193,8 @@ class TardisIndex {
   TardisConfig config_;
   std::unique_ptr<GlobalIndex> global_;
   std::unique_ptr<PartitionStore> partitions_;
+  // Byte-budgeted LRU over decoded partitions (null when disabled).
+  std::unique_ptr<PartitionCache> cache_;
   // The base-data blocks; queried directly by un-clustered indexes (refine
   // phase random I/O).
   std::unique_ptr<BlockStore> input_;

@@ -1,0 +1,130 @@
+#include "storage/partition_cache.h"
+
+#include <algorithm>
+
+namespace tardis {
+
+PartitionCache::PartitionCache(uint64_t budget_bytes, size_t num_shards)
+    : budget_bytes_(budget_bytes) {
+  const size_t shards = std::max<size_t>(1, num_shards);
+  shard_budget_ = budget_bytes / shards;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+uint64_t PartitionCache::ChargedBytes(const std::vector<Record>& records) {
+  // Decoded footprint: per-record header (rid + vector bookkeeping) plus the
+  // float payload. An exact accounting of allocator overhead is not needed —
+  // the budget only has to scale with the data it protects against.
+  uint64_t bytes = sizeof(std::vector<Record>);
+  for (const Record& rec : records) {
+    bytes += sizeof(Record) + rec.values.size() * sizeof(float);
+  }
+  return bytes;
+}
+
+Result<PartitionCache::Value> PartitionCache::GetOrLoad(PartitionId pid,
+                                                        const Loader& loader) {
+  Shard& shard = ShardFor(pid);
+  std::unique_lock<std::mutex> lock(shard.mu);
+
+  auto hit = shard.entries.find(pid);
+  if (hit != shard.entries.end()) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, hit->second.lru_it);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return hit->second.value;
+  }
+
+  auto flight = shard.inflight.find(pid);
+  if (flight != shard.inflight.end()) {
+    // Another thread is already reading this partition: piggyback on it.
+    std::shared_ptr<InFlight> fl = flight->second;
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    fl->cv.wait(lock, [&fl] { return fl->done; });
+    if (!fl->error.ok()) return fl->error;
+    return fl->value;
+  }
+
+  auto fl = std::make_shared<InFlight>();
+  shard.inflight.emplace(pid, fl);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  lock.unlock();
+
+  Result<std::vector<Record>> loaded = loader();
+
+  lock.lock();
+  shard.inflight.erase(pid);
+  if (!loaded.ok()) {
+    fl->error = loaded.status();
+    fl->done = true;
+    fl->cv.notify_all();
+    return fl->error;
+  }
+  Value value =
+      std::make_shared<const std::vector<Record>>(std::move(*loaded));
+  const uint64_t bytes = ChargedBytes(*value);
+  loaded_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  fl->value = value;
+  fl->done = true;
+  fl->cv.notify_all();
+  InsertAndEvict(shard, pid, value, bytes);
+  return value;
+}
+
+void PartitionCache::InsertAndEvict(Shard& shard, PartitionId pid, Value value,
+                                    uint64_t bytes) {
+  shard.lru.push_front(pid);
+  Entry entry;
+  entry.value = std::move(value);
+  entry.bytes = bytes;
+  entry.lru_it = shard.lru.begin();
+  shard.entries[pid] = std::move(entry);
+  shard.bytes += bytes;
+  while (shard.bytes > shard_budget_ && !shard.lru.empty()) {
+    const PartitionId victim = shard.lru.back();
+    shard.lru.pop_back();
+    auto it = shard.entries.find(victim);
+    shard.bytes -= it->second.bytes;
+    shard.entries.erase(it);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void PartitionCache::Invalidate(PartitionId pid) {
+  Shard& shard = ShardFor(pid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(pid);
+  if (it == shard.entries.end()) return;
+  shard.bytes -= it->second.bytes;
+  shard.lru.erase(it->second.lru_it);
+  shard.entries.erase(it);
+}
+
+void PartitionCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    evictions_.fetch_add(shard->entries.size(), std::memory_order_relaxed);
+    shard->entries.clear();
+    shard->lru.clear();
+    shard->bytes = 0;
+  }
+}
+
+PartitionCacheStats PartitionCache::Snapshot() const {
+  PartitionCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.coalesced = coalesced_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.loaded_bytes = loaded_bytes_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.resident_bytes += shard->bytes;
+    stats.resident_partitions += shard->entries.size();
+  }
+  return stats;
+}
+
+}  // namespace tardis

@@ -1,0 +1,123 @@
+// PartitionCache: a sharded, thread-safe, byte-budgeted LRU cache of decoded
+// partitions — the query-side answer to the paper's dominant "load the
+// partition" cost (§V, Figs. 14-16). Repeated and concurrent queries for the
+// same partition are served from memory instead of re-reading the partition
+// file; concurrent misses for one partition coalesce into a single disk read
+// (single-flight loading).
+//
+// Values are immutable shared snapshots (`std::shared_ptr<const
+// std::vector<Record>>`), so an entry evicted while a query still ranks its
+// records stays alive until that query drops its reference. The budget is
+// split evenly across shards; each shard evicts least-recently-used entries
+// until it is back under its slice, which bounds resident bytes at roughly
+// `budget + one partition` at any instant.
+
+#ifndef TARDIS_STORAGE_PARTITION_CACHE_H_
+#define TARDIS_STORAGE_PARTITION_CACHE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/record.h"
+
+namespace tardis {
+
+// Monotonic cache counters plus a point-in-time residency snapshot.
+struct PartitionCacheStats {
+  uint64_t hits = 0;          // lookups served from a resident entry
+  uint64_t misses = 0;        // lookups that ran the loader (disk reads)
+  uint64_t coalesced = 0;     // lookups that waited on another thread's load
+  uint64_t evictions = 0;     // entries dropped to respect the byte budget
+  uint64_t loaded_bytes = 0;  // decoded bytes brought in by cache loads
+  uint64_t resident_bytes = 0;       // currently cached (approx decoded size)
+  uint64_t resident_partitions = 0;  // currently cached entry count
+
+  uint64_t Lookups() const { return hits + misses + coalesced; }
+};
+
+class PartitionCache {
+ public:
+  using Value = std::shared_ptr<const std::vector<Record>>;
+  using Loader = std::function<Result<std::vector<Record>>()>;
+
+  // `budget_bytes` caps the resident decoded bytes (see ChargedBytes); with a
+  // budget of 0 every load is evicted as soon as it is inserted, so the cache
+  // degenerates to pure single-flight deduplication.
+  explicit PartitionCache(uint64_t budget_bytes, size_t num_shards = 8);
+
+  PartitionCache(const PartitionCache&) = delete;
+  PartitionCache& operator=(const PartitionCache&) = delete;
+
+  // Returns the cached snapshot of `pid`, running `loader` on a miss. When
+  // several threads miss on the same pid concurrently, exactly one runs the
+  // loader; the rest block until it publishes (or propagate its error).
+  // A failed load caches nothing — the next lookup retries.
+  Result<Value> GetOrLoad(PartitionId pid, const Loader& loader);
+
+  // Drops `pid` from the cache (after a partition rewrite, e.g. Append).
+  // Only loads started after Invalidate returns are guaranteed fresh.
+  void Invalidate(PartitionId pid);
+
+  // Drops every resident entry (counted as evictions).
+  void Clear();
+
+  PartitionCacheStats Snapshot() const;
+
+  uint64_t budget_bytes() const { return budget_bytes_; }
+  size_t num_shards() const { return shards_.size(); }
+
+  // Approximate decoded in-memory footprint charged against the budget.
+  static uint64_t ChargedBytes(const std::vector<Record>& records);
+
+ private:
+  struct Entry {
+    Value value;
+    uint64_t bytes = 0;
+    std::list<PartitionId>::iterator lru_it;
+  };
+
+  // Single-flight rendezvous for one in-progress load.
+  struct InFlight {
+    std::condition_variable cv;
+    bool done = false;
+    Status error;
+    Value value;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<PartitionId, Entry> entries;
+    std::list<PartitionId> lru;  // front = most recently used
+    std::unordered_map<PartitionId, std::shared_ptr<InFlight>> inflight;
+    uint64_t bytes = 0;
+  };
+
+  Shard& ShardFor(PartitionId pid) { return *shards_[pid % shards_.size()]; }
+
+  // Inserts a freshly loaded value and evicts LRU entries until the shard is
+  // back under its budget slice. Caller holds `shard.mu`.
+  void InsertAndEvict(Shard& shard, PartitionId pid, Value value,
+                      uint64_t bytes);
+
+  uint64_t budget_bytes_;
+  uint64_t shard_budget_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> coalesced_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> loaded_bytes_{0};
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_STORAGE_PARTITION_CACHE_H_

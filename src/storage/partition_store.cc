@@ -82,6 +82,20 @@ Status PartitionStore::WritePartitionRaw(PartitionId pid,
   return WriteFileAtomic(PartitionPath(pid), bytes);
 }
 
+Status PartitionStore::AppendPartitionRaw(PartitionId pid,
+                                          const std::string& bytes) const {
+  if (bytes.size() % RecordEncodedSize(series_length_) != 0) {
+    return Status::InvalidArgument("raw partition append is not record-aligned");
+  }
+  if (bytes.empty()) return Status::OK();
+  const std::string path = PartitionPath(pid);
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) return Status::IOError("cannot open for append: " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Status::IOError("short append: " + path);
+  return Status::OK();
+}
+
 Result<std::vector<Record>> PartitionStore::ReadPartition(PartitionId pid) const {
   TARDIS_ASSIGN_OR_RETURN(std::string bytes, ReadFile(PartitionPath(pid)));
   const size_t rec_size = RecordEncodedSize(series_length_);

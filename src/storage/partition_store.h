@@ -33,6 +33,12 @@ class PartitionStore {
   // Writes a pre-encoded record buffer (avoids re-encoding after a shuffle).
   Status WritePartitionRaw(PartitionId pid, const std::string& bytes) const;
 
+  // Appends a pre-encoded record buffer to partition `pid`'s file, creating
+  // it if absent. This is the streaming-shuffle flush path: workers spill
+  // bounded buffers here instead of materialising whole partitions in RAM.
+  // Callers must serialize concurrent appends to the same partition.
+  Status AppendPartitionRaw(PartitionId pid, const std::string& bytes) const;
+
   // Reads all records of partition `pid` — one sequential file read.
   Result<std::vector<Record>> ReadPartition(PartitionId pid) const;
 

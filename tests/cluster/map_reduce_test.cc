@@ -154,6 +154,116 @@ TEST_F(MapReduceTest, ShuffleMetricsAccounting) {
   EXPECT_EQ(metrics.partitions_written, 5u);
 }
 
+TEST_F(MapReduceTest, MergeFreqMapsLargestInputNotFirst) {
+  // MergeFreqMaps seeds the result from its largest input; make sure the
+  // sums are unaffected when that input is not the first one.
+  std::vector<FreqMap> maps(3);
+  maps[0]["x"] = 1;
+  maps[1]["x"] = 2;
+  maps[1]["y"] = 3;
+  maps[1]["z"] = 4;
+  maps[2]["y"] = 5;
+  FreqMap merged = MergeFreqMaps(std::move(maps));
+  EXPECT_EQ(merged["x"], 3u);
+  EXPECT_EQ(merged["y"], 8u);
+  EXPECT_EQ(merged["z"], 4u);
+}
+
+TEST_F(MapReduceTest, ShuffleSpillsUnderSmallThreshold) {
+  ASSERT_OK_AND_ASSIGN(PartitionStore pstore,
+                       PartitionStore::Open(dir_.Sub("ps_spill"), 8));
+  const uint32_t kParts = 7;
+  auto partitioner = [](const Record& rec) -> PartitionId {
+    return static_cast<PartitionId>(rec.rid % 7);
+  };
+  // 200 records x 40 encoded bytes = 8000 bytes total; a 128-byte threshold
+  // forces every worker to spill many times.
+  const uint64_t kThreshold = 128;
+  ShuffleMetrics metrics;
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<uint64_t> counts,
+      ShuffleToPartitions(cluster_, *store_, kParts, partitioner, pstore,
+                          &metrics, kThreshold));
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0ull), 200ull);
+  EXPECT_GT(metrics.spill_flushes, 1u);
+  // final_flushes may be 0 here: a shard whose last record lands exactly on
+  // the threshold drains everything in its last spill.
+  EXPECT_EQ(metrics.bytes_written, store_->TotalBytes());
+
+  // The whole point: buffered bytes stay bounded by workers x threshold
+  // (plus one in-flight record per worker), not by the dataset size.
+  const uint64_t rec_size = RecordEncodedSize(store_->series_length());
+  const uint64_t bound = 4 * (kThreshold + rec_size);
+  EXPECT_LE(metrics.peak_buffer_bytes, bound);
+  EXPECT_LT(metrics.peak_buffer_bytes, metrics.bytes_written);
+
+  // Spilled appends must still produce exactly the right routing.
+  uint64_t seen = 0;
+  for (uint32_t pid = 0; pid < kParts; ++pid) {
+    ASSERT_OK_AND_ASSIGN(std::vector<Record> records,
+                         pstore.ReadPartition(pid));
+    EXPECT_EQ(records.size(), counts[pid]);
+    for (const Record& rec : records) {
+      EXPECT_EQ(rec.rid % 7, pid);
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, 200u);
+}
+
+TEST_F(MapReduceTest, ShuffleLargeThresholdNeverSpills) {
+  ASSERT_OK_AND_ASSIGN(PartitionStore pstore,
+                       PartitionStore::Open(dir_.Sub("ps_nospill"), 8));
+  auto partitioner = [](const Record& rec) -> PartitionId {
+    return static_cast<PartitionId>(rec.rid % 3);
+  };
+  ShuffleMetrics metrics;
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<uint64_t> counts,
+      ShuffleToPartitions(cluster_, *store_, 3, partitioner, pstore, &metrics,
+                          /*spill_threshold_bytes=*/1ull << 30));
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0ull), 200ull);
+  EXPECT_EQ(metrics.spill_flushes, 0u);
+  EXPECT_GE(metrics.final_flushes, 1u);
+  EXPECT_GT(metrics.peak_buffer_bytes, 0u);
+  EXPECT_LE(metrics.peak_buffer_bytes, metrics.bytes_written);
+}
+
+TEST_F(MapReduceTest, ShuffleReusedStoreDoesNotLeakOldRecords) {
+  // The streaming shuffle appends; a second shuffle into the same store must
+  // start from truncated files.
+  ASSERT_OK_AND_ASSIGN(PartitionStore pstore,
+                       PartitionStore::Open(dir_.Sub("ps_reuse"), 8));
+  auto partitioner = [](const Record& rec) -> PartitionId {
+    return static_cast<PartitionId>(rec.rid % 4);
+  };
+  ASSERT_OK(ShuffleToPartitions(cluster_, *store_, 4, partitioner, pstore,
+                                nullptr, /*spill_threshold_bytes=*/128)
+                .status());
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<uint64_t> counts,
+      ShuffleToPartitions(cluster_, *store_, 4, partitioner, pstore, nullptr,
+                          /*spill_threshold_bytes=*/128));
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0ull), 200ull);
+  uint64_t total = 0;
+  for (uint32_t pid = 0; pid < 4; ++pid) {
+    ASSERT_OK_AND_ASSIGN(std::vector<Record> records,
+                         pstore.ReadPartition(pid));
+    total += records.size();
+  }
+  EXPECT_EQ(total, 200u);
+}
+
+TEST_F(MapReduceTest, ShuffleZeroSpillThresholdRejected) {
+  ASSERT_OK_AND_ASSIGN(PartitionStore pstore,
+                       PartitionStore::Open(dir_.Sub("ps_z"), 8));
+  auto partitioner = [](const Record&) -> PartitionId { return 0; };
+  EXPECT_TRUE(ShuffleToPartitions(cluster_, *store_, 1, partitioner, pstore,
+                                  nullptr, /*spill_threshold_bytes=*/0)
+                  .status()
+                  .IsInvalidArgument());
+}
+
 TEST_F(MapReduceTest, MapPartitionsRunsAll) {
   std::atomic<uint32_t> mask{0};
   ASSERT_OK(MapPartitions(cluster_, 8, [&](PartitionId pid) {

@@ -1,0 +1,122 @@
+// kNN edge cases: k exceeding the candidate pool, tied distances, k = 0.
+// These exercise the internal top-k collector through the public query API.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/tardis_index.h"
+#include "test_util.h"
+#include "workload/datasets.h"
+
+namespace tardis {
+namespace {
+
+constexpr uint32_t kCount = 300;
+constexpr uint32_t kLength = 32;
+
+class KnnEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = MakeDataset(DatasetKind::kRandomWalk, kCount, kLength,
+                               /*seed=*/77);
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).value();
+    // Plant duplicates: rids 0..4 become verbatim copies of rid 10, so a
+    // query equal to dataset_[10] sees six candidates at distance zero.
+    for (size_t i = 0; i < 5; ++i) dataset_[i] = dataset_[10];
+
+    auto store = BlockStore::Create(dir_.Sub("bs"), dataset_, 50);
+    ASSERT_TRUE(store.ok());
+    store_ = std::make_unique<BlockStore>(std::move(store).value());
+
+    TardisConfig config;
+    config.word_length = 8;
+    config.initial_bits = 4;
+    config.g_max_size = 100;
+    config.l_max_size = 20;
+    config.sampling_percent = 30.0;
+    config.pth = 4;
+
+    cluster_ = std::make_shared<Cluster>(2);
+    auto index = TardisIndex::Build(cluster_, *store_, dir_.Sub("parts"),
+                                    config, nullptr);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    index_ = std::make_unique<TardisIndex>(std::move(index).value());
+  }
+
+  static void ExpectSortedUniqueNeighbors(const std::vector<Neighbor>& nn) {
+    for (size_t i = 1; i < nn.size(); ++i) {
+      EXPECT_LT(nn[i - 1], nn[i]) << "out of (distance, rid) order at " << i;
+    }
+  }
+
+  ScopedTempDir dir_;
+  std::shared_ptr<Cluster> cluster_;
+  Dataset dataset_;
+  std::unique_ptr<BlockStore> store_;
+  std::unique_ptr<TardisIndex> index_;
+};
+
+TEST_F(KnnEdgeTest, KLargerThanDatasetReturnsAllCandidatesSorted) {
+  for (KnnStrategy strategy :
+       {KnnStrategy::kTargetNode, KnnStrategy::kOnePartition,
+        KnnStrategy::kMultiPartitions}) {
+    KnnStats stats;
+    ASSERT_OK_AND_ASSIGN(
+        std::vector<Neighbor> nn,
+        index_->KnnApproximate(dataset_[20], /*k=*/10 * kCount, strategy,
+                               &stats));
+    EXPECT_FALSE(nn.empty()) << KnnStrategyName(strategy);
+    EXPECT_LE(nn.size(), kCount) << KnnStrategyName(strategy);
+    EXPECT_LE(nn.size(), stats.candidates) << KnnStrategyName(strategy);
+    ExpectSortedUniqueNeighbors(nn);
+  }
+}
+
+TEST_F(KnnEdgeTest, TiedDistancesReturnZeroDistanceDuplicates) {
+  // Six identical series, k = 3: whichever three of them survive the heap,
+  // every result must be at distance 0, a planted duplicate, and sorted by
+  // the (distance, rid) tie-break.
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Neighbor> nn,
+      index_->KnnApproximate(dataset_[10], /*k=*/3,
+                             KnnStrategy::kMultiPartitions, nullptr));
+  ASSERT_EQ(nn.size(), 3u);
+  const std::set<RecordId> dupes = {0, 1, 2, 3, 4, 10};
+  for (const Neighbor& n : nn) {
+    EXPECT_NEAR(n.distance, 0.0, 1e-6);
+    EXPECT_TRUE(dupes.count(n.rid)) << "rid " << n.rid;
+  }
+  ExpectSortedUniqueNeighbors(nn);
+}
+
+TEST_F(KnnEdgeTest, AllDuplicatesReturnedWhenKCoversThem) {
+  // k = 6 exactly covers the duplicate set: a zero-distance candidate always
+  // displaces a positive one and never another zero, so the result is
+  // deterministic regardless of scan order.
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Neighbor> nn,
+      index_->KnnApproximate(dataset_[10], /*k=*/6,
+                             KnnStrategy::kMultiPartitions, nullptr));
+  ASSERT_EQ(nn.size(), 6u);
+  const std::vector<RecordId> expected = {0, 1, 2, 3, 4, 10};
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(nn[i].distance, 0.0, 1e-6);
+    EXPECT_EQ(nn[i].rid, expected[i]);
+  }
+  ExpectSortedUniqueNeighbors(nn);
+}
+
+TEST_F(KnnEdgeTest, KZeroIsRejected) {
+  for (KnnStrategy strategy :
+       {KnnStrategy::kTargetNode, KnnStrategy::kOnePartition,
+        KnnStrategy::kMultiPartitions}) {
+    EXPECT_TRUE(index_->KnnApproximate(dataset_[0], 0, strategy, nullptr)
+                    .status()
+                    .IsInvalidArgument());
+  }
+}
+
+}  // namespace
+}  // namespace tardis

@@ -1,0 +1,185 @@
+#include "storage/partition_cache.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "test_util.h"
+
+namespace tardis {
+namespace {
+
+std::vector<Record> MakeRecords(uint64_t rid_base, size_t count,
+                                uint32_t length) {
+  std::vector<Record> records(count);
+  for (size_t i = 0; i < count; ++i) {
+    records[i].rid = rid_base + i;
+    records[i].values.assign(length, static_cast<float>(rid_base + i));
+  }
+  return records;
+}
+
+// A loader returning `count` records and counting its invocations.
+PartitionCache::Loader CountingLoader(std::atomic<uint32_t>* calls,
+                                      uint64_t rid_base, size_t count = 4) {
+  return [calls, rid_base, count]() -> Result<std::vector<Record>> {
+    calls->fetch_add(1);
+    return MakeRecords(rid_base, count, 8);
+  };
+}
+
+TEST(PartitionCacheTest, HitAfterMissReturnsSameObject) {
+  PartitionCache cache(/*budget_bytes=*/1 << 20);
+  std::atomic<uint32_t> calls{0};
+  ASSERT_OK_AND_ASSIGN(PartitionCache::Value first,
+                       cache.GetOrLoad(3, CountingLoader(&calls, 30)));
+  ASSERT_OK_AND_ASSIGN(PartitionCache::Value second,
+                       cache.GetOrLoad(3, CountingLoader(&calls, 30)));
+  EXPECT_EQ(calls.load(), 1u);
+  EXPECT_EQ(first.get(), second.get());
+  ASSERT_EQ(first->size(), 4u);
+  EXPECT_EQ((*first)[0].rid, 30u);
+
+  const PartitionCacheStats stats = cache.Snapshot();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.coalesced, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.resident_partitions, 1u);
+  EXPECT_EQ(stats.loaded_bytes, PartitionCache::ChargedBytes(*first));
+  EXPECT_EQ(stats.resident_bytes, stats.loaded_bytes);
+  EXPECT_EQ(stats.Lookups(), 2u);
+}
+
+TEST(PartitionCacheTest, BudgetEvictsLeastRecentlyUsed) {
+  // Budget fits exactly two partitions; a single shard makes LRU order
+  // deterministic.
+  const uint64_t one = PartitionCache::ChargedBytes(MakeRecords(0, 4, 8));
+  PartitionCache cache(2 * one, /*num_shards=*/1);
+  std::atomic<uint32_t> calls{0};
+
+  ASSERT_OK(cache.GetOrLoad(1, CountingLoader(&calls, 10)).status());
+  ASSERT_OK(cache.GetOrLoad(2, CountingLoader(&calls, 20)).status());
+  EXPECT_EQ(cache.Snapshot().resident_partitions, 2u);
+
+  // Touch 1 so that 2 becomes the LRU victim, then overflow with 3.
+  ASSERT_OK(cache.GetOrLoad(1, CountingLoader(&calls, 10)).status());
+  ASSERT_OK(cache.GetOrLoad(3, CountingLoader(&calls, 30)).status());
+
+  PartitionCacheStats stats = cache.Snapshot();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.resident_partitions, 2u);
+  EXPECT_LE(stats.resident_bytes, 2 * one);
+
+  // 1 and 3 are resident (no new load); 2 was evicted (reload).
+  ASSERT_OK(cache.GetOrLoad(1, CountingLoader(&calls, 10)).status());
+  ASSERT_OK(cache.GetOrLoad(3, CountingLoader(&calls, 30)).status());
+  EXPECT_EQ(calls.load(), 3u);
+  ASSERT_OK(cache.GetOrLoad(2, CountingLoader(&calls, 20)).status());
+  EXPECT_EQ(calls.load(), 4u);
+}
+
+TEST(PartitionCacheTest, ZeroBudgetStillDeduplicatesButCachesNothing) {
+  PartitionCache cache(/*budget_bytes=*/0, /*num_shards=*/1);
+  std::atomic<uint32_t> calls{0};
+  ASSERT_OK(cache.GetOrLoad(7, CountingLoader(&calls, 70)).status());
+  ASSERT_OK(cache.GetOrLoad(7, CountingLoader(&calls, 70)).status());
+  EXPECT_EQ(calls.load(), 2u);
+  const PartitionCacheStats stats = cache.Snapshot();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.resident_partitions, 0u);
+  EXPECT_EQ(stats.resident_bytes, 0u);
+}
+
+TEST(PartitionCacheTest, SingleFlightCoalescesConcurrentMisses) {
+  PartitionCache cache(/*budget_bytes=*/1 << 20);
+  std::atomic<uint32_t> calls{0};
+  auto slow_loader = [&calls]() -> Result<std::vector<Record>> {
+    calls.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return MakeRecords(50, 16, 8);
+  };
+
+  constexpr size_t kThreads = 8;
+  ThreadPool pool(kThreads);
+  std::mutex mu;
+  std::vector<PartitionCache::Value> values;
+  for (size_t i = 0; i < kThreads; ++i) {
+    pool.Submit([&] {
+      auto loaded = cache.GetOrLoad(5, slow_loader);
+      ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+      std::lock_guard<std::mutex> lock(mu);
+      values.push_back(*loaded);
+    });
+  }
+  pool.Wait();
+
+  // Exactly one disk read; everyone shares the same decoded vector.
+  EXPECT_EQ(calls.load(), 1u);
+  ASSERT_EQ(values.size(), kThreads);
+  for (const auto& value : values) {
+    EXPECT_EQ(value.get(), values[0].get());
+  }
+  const PartitionCacheStats stats = cache.Snapshot();
+  EXPECT_EQ(stats.misses, 1u);
+  // Late arrivals may land after publication (plain hits); everyone else
+  // piggybacked on the in-flight load.
+  EXPECT_EQ(stats.hits + stats.coalesced, kThreads - 1);
+}
+
+TEST(PartitionCacheTest, LoaderErrorsAreNotCached) {
+  PartitionCache cache(/*budget_bytes=*/1 << 20);
+  std::atomic<uint32_t> calls{0};
+  auto flaky = [&calls]() -> Result<std::vector<Record>> {
+    if (calls.fetch_add(1) == 0) return Status::IOError("transient");
+    return MakeRecords(90, 2, 8);
+  };
+  EXPECT_TRUE(cache.GetOrLoad(9, flaky).status().IsIOError());
+  ASSERT_OK_AND_ASSIGN(PartitionCache::Value value, cache.GetOrLoad(9, flaky));
+  EXPECT_EQ(value->size(), 2u);
+  EXPECT_EQ(calls.load(), 2u);
+  EXPECT_EQ(cache.Snapshot().misses, 2u);
+}
+
+TEST(PartitionCacheTest, InvalidateForcesReload) {
+  PartitionCache cache(/*budget_bytes=*/1 << 20);
+  std::atomic<uint32_t> calls{0};
+  ASSERT_OK(cache.GetOrLoad(4, CountingLoader(&calls, 40)).status());
+  cache.Invalidate(4);
+  EXPECT_EQ(cache.Snapshot().resident_partitions, 0u);
+  ASSERT_OK(cache.GetOrLoad(4, CountingLoader(&calls, 40)).status());
+  EXPECT_EQ(calls.load(), 2u);
+  // Invalidating an absent pid is a no-op.
+  cache.Invalidate(999);
+}
+
+TEST(PartitionCacheTest, ClearDropsAllShards) {
+  PartitionCache cache(/*budget_bytes=*/1 << 20);
+  std::atomic<uint32_t> calls{0};
+  for (PartitionId pid = 0; pid < 10; ++pid) {
+    ASSERT_OK(cache.GetOrLoad(pid, CountingLoader(&calls, pid)).status());
+  }
+  EXPECT_EQ(cache.Snapshot().resident_partitions, 10u);
+  cache.Clear();
+  const PartitionCacheStats stats = cache.Snapshot();
+  EXPECT_EQ(stats.resident_partitions, 0u);
+  EXPECT_EQ(stats.resident_bytes, 0u);
+  EXPECT_EQ(stats.evictions, 10u);
+}
+
+TEST(PartitionCacheTest, ChargedBytesScalesWithPayload) {
+  const uint64_t small = PartitionCache::ChargedBytes(MakeRecords(0, 2, 8));
+  const uint64_t large = PartitionCache::ChargedBytes(MakeRecords(0, 20, 8));
+  EXPECT_GT(large, small);
+  const uint64_t longer = PartitionCache::ChargedBytes(MakeRecords(0, 2, 256));
+  EXPECT_GT(longer, small);
+}
+
+}  // namespace
+}  // namespace tardis

@@ -94,6 +94,64 @@ TEST(PartitionStoreTest, SidecarsAreIndependentPerName) {
   EXPECT_EQ(b, "BB");
 }
 
+std::string EncodeAll(const std::vector<Record>& records) {
+  std::string bytes;
+  for (const Record& rec : records) EncodeRecord(rec, &bytes);
+  return bytes;
+}
+
+TEST(PartitionStoreTest, AppendRawConcatenatesBatches) {
+  ScopedTempDir dir;
+  ASSERT_OK_AND_ASSIGN(PartitionStore store,
+                       PartitionStore::Open(dir.Sub("ps"), 4));
+  const auto first = MakeRecords(5, 4);
+  const auto second = MakeRecords(3, 4, 100);
+  ASSERT_OK(store.AppendPartitionRaw(2, EncodeAll(first)));
+  ASSERT_OK(store.AppendPartitionRaw(2, EncodeAll(second)));
+  ASSERT_OK_AND_ASSIGN(std::vector<Record> loaded, store.ReadPartition(2));
+  ASSERT_EQ(loaded.size(), 8u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(loaded[i], first[i]);
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(loaded[5 + i], second[i]);
+}
+
+TEST(PartitionStoreTest, AppendRawCreatesMissingFile) {
+  ScopedTempDir dir;
+  ASSERT_OK_AND_ASSIGN(PartitionStore store,
+                       PartitionStore::Open(dir.Sub("ps"), 4));
+  const auto records = MakeRecords(2, 4);
+  ASSERT_OK(store.AppendPartitionRaw(6, EncodeAll(records)));
+  ASSERT_OK_AND_ASSIGN(std::vector<Record> loaded, store.ReadPartition(6));
+  EXPECT_EQ(loaded, records);
+}
+
+TEST(PartitionStoreTest, AppendRawAfterWriteExtends) {
+  ScopedTempDir dir;
+  ASSERT_OK_AND_ASSIGN(PartitionStore store,
+                       PartitionStore::Open(dir.Sub("ps"), 4));
+  ASSERT_OK(store.WritePartition(1, MakeRecords(4, 4)));
+  ASSERT_OK(store.AppendPartitionRaw(1, EncodeAll(MakeRecords(2, 4, 50))));
+  ASSERT_OK_AND_ASSIGN(std::vector<Record> loaded, store.ReadPartition(1));
+  ASSERT_EQ(loaded.size(), 6u);
+  EXPECT_EQ(loaded[4].rid, 50u);
+}
+
+TEST(PartitionStoreTest, AppendRawValidatesAlignment) {
+  ScopedTempDir dir;
+  ASSERT_OK_AND_ASSIGN(PartitionStore store,
+                       PartitionStore::Open(dir.Sub("ps"), 4));
+  EXPECT_TRUE(store.AppendPartitionRaw(0, "xyz").IsInvalidArgument());
+}
+
+TEST(PartitionStoreTest, AppendRawEmptyIsNoOp) {
+  ScopedTempDir dir;
+  ASSERT_OK_AND_ASSIGN(PartitionStore store,
+                       PartitionStore::Open(dir.Sub("ps"), 4));
+  ASSERT_OK(store.WritePartition(0, MakeRecords(3, 4)));
+  ASSERT_OK(store.AppendPartitionRaw(0, std::string()));
+  ASSERT_OK_AND_ASSIGN(uint64_t bytes, store.PartitionBytes(0));
+  EXPECT_EQ(bytes, 3u * (8 + 4 * 4));
+}
+
 TEST(PartitionStoreTest, OpenValidatesSeriesLength) {
   ScopedTempDir dir;
   EXPECT_TRUE(PartitionStore::Open(dir.Sub("ps"), 0).status().IsInvalidArgument());

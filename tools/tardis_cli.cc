@@ -4,12 +4,18 @@
 //   gen    --kind rw|tx|dn|na --count N --out DIR [--length N] [--seed S]
 //   build  --data DIR --index DIR [--gmax N] [--lmax N] [--sample P]
 //          [--bits B] [--w W] [--workers N] [--no-bloom]
+//          [--cache-mb MB] [--spill-mb MB]
 //   stats  --index DIR
-//   exact  --index DIR --data DIR --rid N [--no-bloom]
+//   exact  --index DIR --data DIR --rid N [--no-bloom] [--cache-mb MB]
 //   knn    --index DIR --data DIR --rid N [--k K]
-//          [--strategy target|one|multi|exact]
-//   range  --index DIR --data DIR --rid N --radius R
+//          [--strategy target|one|multi|exact] [--cache-mb MB]
+//   range  --index DIR --data DIR --rid N --radius R [--cache-mb MB]
 //   append --index DIR --kind rw|tx|dn|na --count N [--seed S]
+//
+// --cache-mb sets the partition-cache byte budget (0 disables caching): at
+// build time it is persisted as the index default, on query commands it
+// overrides the persisted budget for that invocation. --spill-mb sets the
+// streaming shuffle's per-worker spill threshold.
 //
 // Example session:
 //   tardis gen   --kind rw --count 50000 --out /tmp/rw
@@ -132,6 +138,10 @@ int CmdBuild(const Flags& flags) {
   config.sampling_percent = flags.GetDouble("sample", 10.0);
   config.num_workers = static_cast<uint32_t>(flags.GetU64("workers", 0));
   config.build_bloom = !flags.Has("no-bloom");
+  config.cache_budget_bytes =
+      flags.GetU64("cache-mb", config.cache_budget_bytes >> 20) << 20;
+  config.shuffle_spill_bytes =
+      flags.GetU64("spill-mb", config.shuffle_spill_bytes >> 20) << 20;
 
   auto cluster = std::make_shared<Cluster>(config.num_workers);
   TardisIndex::BuildTimings timings;
@@ -143,7 +153,20 @@ int CmdBuild(const Flags& flags) {
   std::printf("  global %.3fs  shuffle %.3fs  local %.3fs  bloom-extra %.3fs\n",
               timings.global.TotalSeconds(), timings.shuffle_seconds,
               timings.local_build_seconds, timings.bloom_extra_seconds);
+  std::printf("  shuffle spill: %llu spill / %llu final flushes, peak buffer "
+              "%llu bytes\n",
+              static_cast<unsigned long long>(timings.shuffle.spill_flushes),
+              static_cast<unsigned long long>(timings.shuffle.final_flushes),
+              static_cast<unsigned long long>(
+                  timings.shuffle.peak_buffer_bytes));
   return 0;
+}
+
+// Applies a per-invocation --cache-mb override to an opened index.
+void ApplyCacheOverride(const Flags& flags, TardisIndex* index) {
+  if (flags.Has("cache-mb")) {
+    index->SetCacheBudget(flags.GetU64("cache-mb", 0) << 20);
+  }
 }
 
 int CmdStats(const Flags& flags) {
@@ -183,6 +206,7 @@ int CmdExact(const Flags& flags) {
   auto cluster = std::make_shared<Cluster>();
   auto index = TardisIndex::Open(cluster, index_dir);
   if (!index.ok()) return Fail(index.status());
+  ApplyCacheOverride(flags, &*index);
 
   Stopwatch sw;
   ExactMatchStats stats;
@@ -209,6 +233,7 @@ int CmdKnn(const Flags& flags) {
   auto cluster = std::make_shared<Cluster>();
   auto index = TardisIndex::Open(cluster, index_dir);
   if (!index.ok()) return Fail(index.status());
+  ApplyCacheOverride(flags, &*index);
 
   const uint32_t k = static_cast<uint32_t>(flags.GetU64("k", 10));
   const std::string strategy = flags.Get("strategy", "multi");
@@ -249,6 +274,7 @@ int CmdRange(const Flags& flags) {
   auto cluster = std::make_shared<Cluster>();
   auto index = TardisIndex::Open(cluster, index_dir);
   if (!index.ok()) return Fail(index.status());
+  ApplyCacheOverride(flags, &*index);
   const double radius = flags.GetDouble("radius", 1.0);
 
   Stopwatch sw;
