@@ -6,114 +6,51 @@
 // k-th distance as threshold (lower-bound pruning). Multi-Partitions Access
 // extends the scope to the sibling partitions listed in the Tardis-G parent
 // node, scanning them in parallel with the same threshold.
+//
+// The traversal/ranking primitives live in core/query_scan.h, shared with
+// the partition-batched QueryEngine so both paths return identical results.
 
 #include <algorithm>
-#include <cmath>
-#include <functional>
-#include <limits>
 #include <mutex>
 
 #include "common/rng.h"
+#include "core/query_scan.h"
 #include "core/tardis_index.h"
-#include "ts/distance.h"
-#include "ts/sax.h"
+#include "core/topk.h"
+#include "ts/kernels.h"
 
 namespace tardis {
 
-namespace {
-
-// Bounded top-k collector: max-heap of the current best k neighbours.
-class TopK {
- public:
-  explicit TopK(uint32_t k) : k_(k) {}
-
-  double Threshold() const {
-    return heap_.size() < k_ ? std::numeric_limits<double>::infinity()
-                             : heap_.front().distance;
-  }
-
-  void Offer(double distance, RecordId rid) {
-    if (heap_.size() < k_) {
-      heap_.push_back({distance, rid});
-      std::push_heap(heap_.begin(), heap_.end());
-    } else if (distance < heap_.front().distance) {
-      std::pop_heap(heap_.begin(), heap_.end());
-      heap_.back() = {distance, rid};
-      std::push_heap(heap_.begin(), heap_.end());
+// Sibling partitions for the Multi-Partitions strategy, capped at pth
+// (random selection keeps the home partition, which lines 10-14 of Alg. 1
+// assume is loaded). Deterministic for a given (signature, seed) so the
+// batched engine selects exactly the partitions the single-query path does.
+std::vector<PartitionId> TardisIndex::SelectMultiPartitions(
+    std::string_view sig, PartitionId home) const {
+  std::vector<PartitionId> pids = global_->SiblingPartitions(sig);
+  if (pids.size() > config_.pth) {
+    std::vector<PartitionId> others;
+    others.reserve(pids.size());
+    for (PartitionId pid : pids) {
+      if (pid != home) others.push_back(pid);
     }
+    uint64_t hash = 1469598103934665603ULL;
+    for (char c : sig) {
+      hash = (hash ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+    }
+    Rng rng(config_.seed ^ hash);
+    // Partial Fisher-Yates over the non-home pids.
+    const size_t want = config_.pth - 1;
+    for (size_t i = 0; i < want && i < others.size(); ++i) {
+      const size_t j = i + rng.NextBounded(others.size() - i);
+      std::swap(others[i], others[j]);
+    }
+    others.resize(std::min(others.size(), want));
+    pids.assign(1, home);
+    pids.insert(pids.end(), others.begin(), others.end());
   }
-
-  // Sorted ascending by distance.
-  std::vector<Neighbor> Take() {
-    std::sort_heap(heap_.begin(), heap_.end());
-    return std::move(heap_);
-  }
-
- private:
-  uint32_t k_;
-  std::vector<Neighbor> heap_;
-};
-
-// Deepest node on the signature's descent path holding >= k entries; the
-// root if even the whole partition is smaller than k.
-const SigTree::Node* FindTargetNode(const SigTree& tree, std::string_view sig,
-                                    uint32_t k) {
-  const uint32_t cpl = tree.codec().chars_per_level();
-  const SigTree::Node* node = tree.root();
-  const SigTree::Node* target = node;
-  while (!node->children.empty()) {
-    const size_t off = static_cast<size_t>(node->level) * cpl;
-    if (off + cpl > sig.size()) break;
-    auto it = node->children.find(sig.substr(off, cpl));
-    if (it == node->children.end()) break;
-    node = it->second.get();
-    if (node->count >= k) target = node;
-  }
-  return target;
+  return pids;
 }
-
-// Ranks the records in [start, start+len) by true distance into `topk`,
-// early-abandoning against the current k-th best.
-void RankRange(const std::vector<Record>& records, uint32_t start,
-               uint32_t len, const TimeSeries& query, TopK* topk,
-               uint64_t* candidates) {
-  const uint32_t end = std::min<uint32_t>(start + len,
-                                          static_cast<uint32_t>(records.size()));
-  for (uint32_t i = start; i < end; ++i) {
-    const double bound = topk->Threshold();
-    const double bound_sq = std::isinf(bound)
-                                ? std::numeric_limits<double>::infinity()
-                                : bound * bound;
-    const double d_sq =
-        SquaredEuclideanEarlyAbandon(query, records[i].values, bound_sq);
-    ++*candidates;
-    if (!std::isinf(d_sq)) topk->Offer(std::sqrt(d_sq), records[i].rid);
-  }
-}
-
-// Threshold-pruned scan of a whole local tree: subtrees whose region lower
-// bound exceeds `threshold` are skipped; surviving leaf slices are ranked.
-void PrunedScan(const SigTree& tree, const std::vector<Record>& records,
-                const std::vector<double>& query_paa, const TimeSeries& query,
-                double threshold, TopK* topk, uint64_t* candidates) {
-  const size_t n = query.size();
-  std::function<void(const SigTree::Node&)> visit =
-      [&](const SigTree::Node& node) {
-        if (node.level > 0) {
-          const double lb = MindistPaaToSax(query_paa, node.word, n);
-          if (lb > threshold) return;
-        }
-        if (node.is_leaf()) {
-          RankRange(records, node.range_start, node.range_len, query, topk,
-                    candidates);
-          return;
-        }
-        for (const auto& [chunk, child] : node.children) visit(*child);
-      };
-  visit(*tree.root());
-}
-
-}  // namespace
 
 Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
     const TimeSeries& query, uint32_t k, KnnStrategy strategy,
@@ -134,12 +71,12 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
   if (stats) stats->partitions_loaded = 1;
 
   // (4) Target Node Access: rank the target node's clustered slice.
-  const SigTree::Node* target = FindTargetNode(home_local.tree(), sig, k);
+  const SigTree::Node* target = qscan::FindTargetNode(home_local.tree(), sig, k);
   if (stats) stats->target_node_level = target->level;
   uint64_t candidates = 0;
   TopK topk(k);
-  RankRange(home_records, target->range_start, target->range_len, normalized,
-            &topk, &candidates);
+  qscan::RankRange(home_records, target->range_start, target->range_len,
+                   normalized, &topk, &candidates);
 
   if (strategy == KnnStrategy::kTargetNode) {
     if (stats) stats->candidates = candidates;
@@ -149,39 +86,21 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
   // Optimized strategies: the k-th distance from the target node becomes the
   // pruning threshold for a wider scan.
   const double threshold = topk.Threshold();
+  const MindistTable mind(paa, static_cast<uint8_t>(codec().max_bits()),
+                          normalized.size());
 
   if (strategy == KnnStrategy::kOnePartition) {
     TopK wide(k);
     home_local.tree().EnsureWords();
-    PrunedScan(home_local.tree(), home_records, paa, normalized, threshold,
-               &wide, &candidates);
+    qscan::PrunedScan(home_local.tree(), home_records, mind, normalized,
+                      threshold, &wide, &candidates);
     if (stats) stats->candidates = candidates;
     return wide.Take();
   }
 
   // Multi-Partitions Access (Alg. 1): extend to the sibling partitions from
-  // the Tardis-G parent node, capped at pth (random selection keeps the home
-  // partition, which lines 10-14 of Alg. 1 assume is loaded).
-  std::vector<PartitionId> pids = global_->SiblingPartitions(sig);
-  if (pids.size() > config_.pth) {
-    std::vector<PartitionId> others;
-    others.reserve(pids.size());
-    for (PartitionId pid : pids) {
-      if (pid != home) others.push_back(pid);
-    }
-    uint64_t hash = 1469598103934665603ULL;
-    for (char c : sig) hash = (hash ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
-    Rng rng(config_.seed ^ hash);
-    // Partial Fisher-Yates over the non-home pids.
-    const size_t want = config_.pth - 1;
-    for (size_t i = 0; i < want && i < others.size(); ++i) {
-      const size_t j = i + rng.NextBounded(others.size() - i);
-      std::swap(others[i], others[j]);
-    }
-    others.resize(std::min(others.size(), want));
-    pids.assign(1, home);
-    pids.insert(pids.end(), others.begin(), others.end());
-  }
+  // the Tardis-G parent node.
+  const std::vector<PartitionId> pids = SelectMultiPartitions(sig, home);
 
   // Scan all selected partitions in parallel; each produces a local top-k.
   std::mutex mu;
@@ -195,8 +114,8 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
     uint64_t part_candidates = 0;
     if (pid == home) {
       home_local.tree().EnsureWords();
-      PrunedScan(home_local.tree(), home_records, paa, normalized, threshold,
-                 &part_topk, &part_candidates);
+      qscan::PrunedScan(home_local.tree(), home_records, mind, normalized,
+                        threshold, &part_topk, &part_candidates);
     } else {
       auto local = LoadLocalIndex(pid);
       if (!local.ok()) {
@@ -211,8 +130,8 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
         return;
       }
       local->tree().EnsureWords();
-      PrunedScan(local->tree(), **records, paa, normalized, threshold,
-                 &part_topk, &part_candidates);
+      qscan::PrunedScan(local->tree(), **records, mind, normalized, threshold,
+                        &part_topk, &part_candidates);
     }
     auto part = part_topk.Take();
     std::lock_guard<std::mutex> lock(mu);

@@ -7,89 +7,18 @@
 // partitions in increasing lower-bound order and stopping when the bound
 // exceeds the current k-th distance yields the provably exact kNN while
 // typically loading only a few partitions. Inside a partition the Tardis-L
-// tree prunes subtrees against the evolving k-th distance.
+// tree prunes subtrees against the evolving k-th distance (ExactScan in
+// core/query_scan.h, shared with the batched QueryEngine).
 
 #include <algorithm>
-#include <cmath>
-#include <functional>
-#include <limits>
 #include <numeric>
 
+#include "core/query_scan.h"
 #include "core/tardis_index.h"
-#include "ts/distance.h"
-#include "ts/sax.h"
+#include "core/topk.h"
+#include "ts/kernels.h"
 
 namespace tardis {
-
-namespace {
-
-// Max-heap top-k (duplicated from knn.cc's internal helper on purpose: both
-// are implementation details of their translation units).
-class ExactTopK {
- public:
-  explicit ExactTopK(uint32_t k) : k_(k) {}
-
-  double Threshold() const {
-    return heap_.size() < k_ ? std::numeric_limits<double>::infinity()
-                             : heap_.front().distance;
-  }
-
-  void Offer(double distance, RecordId rid) {
-    if (heap_.size() < k_) {
-      heap_.push_back({distance, rid});
-      std::push_heap(heap_.begin(), heap_.end());
-    } else if (distance < heap_.front().distance) {
-      std::pop_heap(heap_.begin(), heap_.end());
-      heap_.back() = {distance, rid};
-      std::push_heap(heap_.begin(), heap_.end());
-    }
-  }
-
-  std::vector<Neighbor> Take() {
-    std::sort_heap(heap_.begin(), heap_.end());
-    return std::move(heap_);
-  }
-
- private:
-  uint32_t k_;
-  std::vector<Neighbor> heap_;
-};
-
-// Scans a local tree with a *dynamic* threshold: node pruning and ranking
-// both track the evolving k-th distance, which preserves exactness (a node
-// whose lower bound exceeds the current k-th best cannot contain a better
-// neighbour).
-void ExactScan(const SigTree& tree, const std::vector<Record>& records,
-               const std::vector<double>& query_paa, const TimeSeries& query,
-               ExactTopK* topk, uint64_t* candidates) {
-  const size_t n = query.size();
-  std::function<void(const SigTree::Node&)> visit =
-      [&](const SigTree::Node& node) {
-        if (node.level > 0 &&
-            MindistPaaToSax(query_paa, node.word, n) > topk->Threshold()) {
-          return;
-        }
-        if (node.is_leaf()) {
-          const uint32_t end =
-              std::min<uint32_t>(node.range_start + node.range_len,
-                                 static_cast<uint32_t>(records.size()));
-          for (uint32_t i = node.range_start; i < end; ++i) {
-            const double bound = topk->Threshold();
-            const double bound_sq =
-                std::isinf(bound) ? bound : bound * bound;
-            const double d_sq = SquaredEuclideanEarlyAbandon(
-                query, records[i].values, bound_sq);
-            ++*candidates;
-            if (!std::isinf(d_sq)) topk->Offer(std::sqrt(d_sq), records[i].rid);
-          }
-          return;
-        }
-        for (const auto& [chunk, child] : node.children) visit(*child);
-      };
-  visit(*tree.root());
-}
-
-}  // namespace
 
 Result<std::vector<Neighbor>> TardisIndex::KnnExact(const TimeSeries& query,
                                                     uint32_t k,
@@ -113,7 +42,9 @@ Result<std::vector<Neighbor>> TardisIndex::KnnExact(const TimeSeries& query,
   std::sort(order.begin(), order.end(),
             [&](uint32_t a, uint32_t b) { return bounds[a] < bounds[b]; });
 
-  ExactTopK topk(k);
+  const MindistTable mind(paa, static_cast<uint8_t>(codec().max_bits()),
+                          normalized.size());
+  TopK topk(k);
   uint64_t candidates = 0;
   uint32_t loaded = 0;
   for (uint32_t pid : order) {
@@ -122,7 +53,8 @@ Result<std::vector<Neighbor>> TardisIndex::KnnExact(const TimeSeries& query,
     TARDIS_ASSIGN_OR_RETURN(PartitionCache::Value records,
                             LoadPartitionShared(pid));
     local.tree().EnsureWords();
-    ExactScan(local.tree(), *records, paa, normalized, &topk, &candidates);
+    qscan::ExactScan(local.tree(), *records, mind, normalized, &topk,
+                     &candidates);
     ++loaded;
   }
   if (stats) {

@@ -1,0 +1,396 @@
+#include "core/query_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "core/query_scan.h"
+#include "core/topk.h"
+#include "storage/partition_cache.h"
+#include "ts/kernels.h"
+
+namespace tardis {
+
+namespace {
+
+// Per-query state prepared before any partition is touched.
+struct Prepared {
+  TimeSeries normalized;
+  std::vector<double> paa;
+  std::string sig;
+  PartitionId home = kInvalidPartition;
+};
+
+// (query index, slot in that query's partition list) pairs assigned to one
+// partition: the unit of work of a partition task.
+using SlotTask = std::pair<size_t, size_t>;
+
+}  // namespace
+
+Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
+    const std::vector<TimeSeries>& queries, uint32_t k, KnnStrategy strategy,
+    QueryEngineStats* stats) const {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  Stopwatch sw;
+  const size_t nq = queries.size();
+  std::vector<std::vector<Neighbor>> results(nq);
+  QueryEngineStats acc;
+  acc.queries = nq;
+
+  // --- Phase A: prepare every query (znorm, PAA, signature, home pid) and
+  // precompute its Mindist table when the strategy prunes. ---
+  std::vector<Prepared> prep(nq);
+  std::vector<std::unique_ptr<MindistTable>> tables(nq);
+  const uint8_t table_bits = static_cast<uint8_t>(index_->codec().max_bits());
+  // kMultiPartitions bookkeeping: per-query threshold, deterministic
+  // partition list (shared with the single-query path), the home's position
+  // in it, and one partial result slot per listed partition.
+  std::vector<double> thresholds(nq, 0.0);
+  std::vector<std::vector<PartitionId>> multi_pids(nq);
+  std::vector<size_t> home_slot(nq, 0);
+  std::vector<std::vector<std::vector<Neighbor>>> partials(nq);
+
+  for (size_t q = 0; q < nq; ++q) {
+    TARDIS_RETURN_NOT_OK(index_->PrepareQuery(
+        queries[q], &prep[q].normalized, &prep[q].paa, &prep[q].sig));
+    prep[q].home = index_->global_->LookupPartition(prep[q].sig);
+    if (prep[q].home == kInvalidPartition) {
+      return Status::Internal("no home partition");
+    }
+    if (strategy != KnnStrategy::kTargetNode) {
+      tables[q] = std::make_unique<MindistTable>(prep[q].paa, table_bits,
+                                                 prep[q].normalized.size());
+    }
+    if (strategy == KnnStrategy::kMultiPartitions) {
+      multi_pids[q] =
+          index_->SelectMultiPartitions(prep[q].sig, prep[q].home);
+      partials[q].resize(multi_pids[q].size());
+      for (size_t s = 0; s < multi_pids[q].size(); ++s) {
+        if (multi_pids[q][s] == prep[q].home) home_slot[q] = s;
+      }
+      acc.logical_partition_loads += multi_pids[q].size();
+    } else {
+      acc.logical_partition_loads += 1;
+    }
+  }
+
+  std::map<PartitionId, std::vector<size_t>> by_home;
+  for (size_t q = 0; q < nq; ++q) by_home[prep[q].home].push_back(q);
+  std::vector<std::pair<PartitionId, const std::vector<size_t>*>> home_groups;
+  home_groups.reserve(by_home.size());
+  for (const auto& [pid, qs] : by_home) home_groups.emplace_back(pid, &qs);
+
+  PartitionCache* cache = index_->cache_.get();
+  std::vector<ScopedPin> pins;  // released when the batch returns
+  std::mutex mu;
+  Status first_error;
+  std::atomic<uint64_t> candidates{0};
+
+  // --- Phase B: one task per distinct home partition; every query homed
+  // there runs its target-node ranking (and, except for kMultiPartitions,
+  // finishes) against the single load. ---
+  index_->cluster_->pool().ParallelFor(home_groups.size(), [&](size_t gi) {
+    const PartitionId pid = home_groups[gi].first;
+    const std::vector<size_t>& qs = *home_groups[gi].second;
+    auto local = index_->LoadLocalIndex(pid);
+    if (!local.ok()) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (first_error.ok()) first_error = local.status();
+      return;
+    }
+    auto records = index_->LoadPartitionShared(pid);
+    if (!records.ok()) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (first_error.ok()) first_error = records.status();
+      return;
+    }
+    if (cache != nullptr) {
+      std::lock_guard<std::mutex> lock(mu);
+      pins.emplace_back(cache, pid);
+    }
+    if (strategy != KnnStrategy::kTargetNode) local->tree().EnsureWords();
+    uint64_t cand = 0;
+    for (size_t q : qs) {
+      const Prepared& p = prep[q];
+      const SigTree::Node* target =
+          qscan::FindTargetNode(local->tree(), p.sig, k);
+      TopK topk(k);
+      qscan::RankRange(**records, target->range_start, target->range_len,
+                       p.normalized, &topk, &cand);
+      if (strategy == KnnStrategy::kTargetNode) {
+        results[q] = topk.Take();
+        continue;
+      }
+      const double threshold = topk.Threshold();
+      if (strategy == KnnStrategy::kOnePartition) {
+        TopK wide(k);
+        qscan::PrunedScan(local->tree(), **records, *tables[q], p.normalized,
+                          threshold, &wide, &cand);
+        results[q] = wide.Take();
+        continue;
+      }
+      // kMultiPartitions: scan the home partition while it is hot; sibling
+      // partitions are handled by phase C.
+      thresholds[q] = threshold;
+      TopK part(k);
+      qscan::PrunedScan(local->tree(), **records, *tables[q], p.normalized,
+                        threshold, &part, &cand);
+      partials[q][home_slot[q]] = part.Take();
+    }
+    candidates.fetch_add(cand, std::memory_order_relaxed);
+  });
+  acc.partitions_loaded += home_groups.size();
+  TARDIS_RETURN_NOT_OK(first_error);
+
+  if (strategy == KnnStrategy::kMultiPartitions) {
+    // --- Phase C: one task per distinct sibling partition across the whole
+    // batch (a pid that is also some query's home is a cache hit: it was
+    // pinned in phase B). ---
+    std::map<PartitionId, std::vector<SlotTask>> by_pid;
+    for (size_t q = 0; q < nq; ++q) {
+      for (size_t s = 0; s < multi_pids[q].size(); ++s) {
+        if (s == home_slot[q]) continue;
+        by_pid[multi_pids[q][s]].push_back({q, s});
+      }
+    }
+    std::vector<std::pair<PartitionId, const std::vector<SlotTask>*>> groups;
+    groups.reserve(by_pid.size());
+    for (const auto& [pid, tasks] : by_pid) groups.emplace_back(pid, &tasks);
+
+    index_->cluster_->pool().ParallelFor(groups.size(), [&](size_t gi) {
+      const PartitionId pid = groups[gi].first;
+      const std::vector<SlotTask>& tasks = *groups[gi].second;
+      auto local = index_->LoadLocalIndex(pid);
+      if (!local.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (first_error.ok()) first_error = local.status();
+        return;
+      }
+      auto records = index_->LoadPartitionShared(pid);
+      if (!records.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (first_error.ok()) first_error = records.status();
+        return;
+      }
+      if (cache != nullptr) {
+        std::lock_guard<std::mutex> lock(mu);
+        pins.emplace_back(cache, pid);
+      }
+      local->tree().EnsureWords();
+      uint64_t cand = 0;
+      for (const auto& [q, slot] : tasks) {
+        TopK part(k);
+        qscan::PrunedScan(local->tree(), **records, *tables[q],
+                          prep[q].normalized, thresholds[q], &part, &cand);
+        partials[q][slot] = part.Take();
+      }
+      candidates.fetch_add(cand, std::memory_order_relaxed);
+    });
+    acc.partitions_loaded += groups.size();
+    TARDIS_RETURN_NOT_OK(first_error);
+
+    // Merge the per-partition top-k lists in the query's deterministic
+    // partition order.
+    for (size_t q = 0; q < nq; ++q) {
+      TopK merged(k);
+      for (const auto& part : partials[q]) {
+        for (const Neighbor& nb : part) merged.Offer(nb.distance, nb.rid);
+      }
+      results[q] = merged.Take();
+    }
+  }
+
+  if (stats) {
+    acc.candidates = candidates.load(std::memory_order_relaxed);
+    acc.wall_seconds = sw.ElapsedSeconds();
+    *stats = acc;
+  }
+  return results;
+}
+
+Result<std::vector<std::vector<RecordId>>> QueryEngine::ExactMatchBatch(
+    const std::vector<TimeSeries>& queries, bool use_bloom,
+    QueryEngineStats* stats) const {
+  Stopwatch sw;
+  const size_t nq = queries.size();
+  std::vector<std::vector<RecordId>> results(nq);
+  QueryEngineStats acc;
+  acc.queries = nq;
+
+  std::vector<Prepared> prep(nq);
+  std::map<PartitionId, std::vector<size_t>> by_pid;
+  for (size_t q = 0; q < nq; ++q) {
+    TARDIS_RETURN_NOT_OK(index_->PrepareQuery(
+        queries[q], &prep[q].normalized, &prep[q].paa, &prep[q].sig));
+    const PartitionId pid = index_->global_->LookupPartition(prep[q].sig);
+    if (pid == kInvalidPartition) continue;  // proven absent, empty result
+    if (use_bloom && pid < index_->blooms_.size() &&
+        index_->blooms_[pid] != nullptr &&
+        !index_->blooms_[pid]->MayContain(prep[q].sig)) {
+      ++acc.bloom_negatives;  // proven absent without a partition load
+      continue;
+    }
+    prep[q].home = pid;
+    by_pid[pid].push_back(q);
+    ++acc.logical_partition_loads;
+  }
+  std::vector<std::pair<PartitionId, const std::vector<size_t>*>> groups;
+  groups.reserve(by_pid.size());
+  for (const auto& [pid, qs] : by_pid) groups.emplace_back(pid, &qs);
+
+  PartitionCache* cache = index_->cache_.get();
+  std::vector<ScopedPin> pins;
+  std::mutex mu;
+  Status first_error;
+  std::atomic<uint64_t> candidates{0};
+
+  index_->cluster_->pool().ParallelFor(groups.size(), [&](size_t gi) {
+    const PartitionId pid = groups[gi].first;
+    const std::vector<size_t>& qs = *groups[gi].second;
+    auto local = index_->LoadLocalIndex(pid);
+    if (!local.ok()) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (first_error.ok()) first_error = local.status();
+      return;
+    }
+    // Records are loaded lazily: if every query in the group fails its
+    // Tardis-L descent (proven absent), the partition file is never read.
+    PartitionCache::Value records;
+    uint64_t cand = 0;
+    for (size_t q : qs) {
+      const SigTree::Node* leaf = local->tree().Descend(prep[q].sig);
+      if (!leaf->is_leaf()) continue;
+      if (records == nullptr) {
+        auto loaded = index_->LoadPartitionShared(pid);
+        if (!loaded.ok()) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (first_error.ok()) first_error = loaded.status();
+          return;
+        }
+        records = *loaded;
+        if (cache != nullptr) {
+          std::lock_guard<std::mutex> lock(mu);
+          pins.emplace_back(cache, pid);
+        }
+      }
+      const uint32_t end = leaf->range_start + leaf->range_len;
+      for (uint32_t i = leaf->range_start; i < end && i < records->size();
+           ++i) {
+        ++cand;
+        if ((*records)[i].values == prep[q].normalized) {
+          results[q].push_back((*records)[i].rid);
+        }
+      }
+    }
+    candidates.fetch_add(cand, std::memory_order_relaxed);
+  });
+  acc.partitions_loaded = groups.size();
+  TARDIS_RETURN_NOT_OK(first_error);
+
+  if (stats) {
+    acc.candidates = candidates.load(std::memory_order_relaxed);
+    acc.wall_seconds = sw.ElapsedSeconds();
+    *stats = acc;
+  }
+  return results;
+}
+
+Result<std::vector<std::vector<Neighbor>>> QueryEngine::RangeSearchBatch(
+    const std::vector<TimeSeries>& queries, double radius,
+    QueryEngineStats* stats) const {
+  if (radius < 0.0) return Status::InvalidArgument("radius must be >= 0");
+  if (index_->regions_.size() != index_->num_partitions()) {
+    return Status::Internal("region summaries unavailable");
+  }
+  Stopwatch sw;
+  const size_t nq = queries.size();
+  std::vector<std::vector<Neighbor>> results(nq);
+  QueryEngineStats acc;
+  acc.queries = nq;
+
+  std::vector<Prepared> prep(nq);
+  std::vector<std::unique_ptr<MindistTable>> tables(nq);
+  const uint8_t table_bits = static_cast<uint8_t>(index_->codec().max_bits());
+  // Per query: the (ascending) partitions surviving the region filter, with
+  // one partial result slot each.
+  std::vector<std::vector<std::vector<Neighbor>>> partials(nq);
+  std::map<PartitionId, std::vector<SlotTask>> by_pid;
+  for (size_t q = 0; q < nq; ++q) {
+    TARDIS_RETURN_NOT_OK(index_->PrepareQuery(
+        queries[q], &prep[q].normalized, &prep[q].paa, &prep[q].sig));
+    tables[q] = std::make_unique<MindistTable>(prep[q].paa, table_bits,
+                                               prep[q].normalized.size());
+    size_t slots = 0;
+    for (PartitionId pid = 0; pid < index_->num_partitions(); ++pid) {
+      if (index_->regions_[pid].Mindist(prep[q].paa,
+                                        prep[q].normalized.size()) > radius) {
+        continue;
+      }
+      by_pid[pid].push_back({q, slots++});
+    }
+    partials[q].resize(slots);
+    acc.logical_partition_loads += slots;
+  }
+  std::vector<std::pair<PartitionId, const std::vector<SlotTask>*>> groups;
+  groups.reserve(by_pid.size());
+  for (const auto& [pid, tasks] : by_pid) groups.emplace_back(pid, &tasks);
+
+  PartitionCache* cache = index_->cache_.get();
+  std::vector<ScopedPin> pins;
+  std::mutex mu;
+  Status first_error;
+  std::atomic<uint64_t> candidates{0};
+
+  index_->cluster_->pool().ParallelFor(groups.size(), [&](size_t gi) {
+    const PartitionId pid = groups[gi].first;
+    const std::vector<SlotTask>& tasks = *groups[gi].second;
+    auto local = index_->LoadLocalIndex(pid);
+    if (!local.ok()) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (first_error.ok()) first_error = local.status();
+      return;
+    }
+    auto records = index_->LoadPartitionShared(pid);
+    if (!records.ok()) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (first_error.ok()) first_error = records.status();
+      return;
+    }
+    if (cache != nullptr) {
+      std::lock_guard<std::mutex> lock(mu);
+      pins.emplace_back(cache, pid);
+    }
+    local->tree().EnsureWords();
+    uint64_t cand = 0;
+    for (const auto& [q, slot] : tasks) {
+      qscan::RangeScan(local->tree(), **records, *tables[q],
+                       prep[q].normalized, radius, &partials[q][slot], &cand);
+    }
+    candidates.fetch_add(cand, std::memory_order_relaxed);
+  });
+  acc.partitions_loaded = groups.size();
+  TARDIS_RETURN_NOT_OK(first_error);
+
+  for (size_t q = 0; q < nq; ++q) {
+    size_t total = 0;
+    for (const auto& part : partials[q]) total += part.size();
+    results[q].reserve(total);
+    for (auto& part : partials[q]) {
+      results[q].insert(results[q].end(), part.begin(), part.end());
+    }
+    std::sort(results[q].begin(), results[q].end());
+  }
+
+  if (stats) {
+    acc.candidates = candidates.load(std::memory_order_relaxed);
+    acc.wall_seconds = sw.ElapsedSeconds();
+    *stats = acc;
+  }
+  return results;
+}
+
+}  // namespace tardis

@@ -1,0 +1,77 @@
+// QueryEngine: partition-batched execution of the TARDIS query algorithms.
+//
+// The single-query entry points (TardisIndex::KnnApproximate / ExactMatch /
+// RangeSearch) pay one partition load per query per partition touched. A
+// query batch usually concentrates on far fewer distinct partitions than it
+// has queries (the paper's Fig. 15/16 workloads draw queries from the
+// indexed distribution), so the engine inverts the loop: it prepares every
+// query up front (z-normalisation, PAA, iSAX-T signature, home partition via
+// Tardis-G), groups queries by the partitions they must visit, and schedules
+// one task per *partition* on the cluster thread pool. Each partition is
+// loaded once — through the byte-budgeted PartitionCache when one is
+// configured, pinned for the duration of the batch — and scanned for all
+// queries assigned to it; per-query results are then merged.
+//
+// Results are identical to issuing the queries one at a time with the same
+// strategy: both paths share the traversal/ranking primitives in
+// core/query_scan.h and the engine merges per-partition partials in a
+// deterministic order. (The only divergence window is an exact tie at the
+// k-th distance, where the single-query path is itself merge-order
+// dependent.)
+
+#ifndef TARDIS_CORE_QUERY_ENGINE_H_
+#define TARDIS_CORE_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tardis_index.h"
+
+namespace tardis {
+
+// Batch-level accounting.
+struct QueryEngineStats {
+  uint64_t queries = 0;
+  // Partition loads the batch actually issued (one per distinct partition
+  // per scheduling phase; repeats within a batch are cache hits).
+  uint64_t partitions_loaded = 0;
+  // What the same queries would have loaded issued one at a time (the sum of
+  // the per-query stats' partitions_loaded). The difference is the work the
+  // batch saved.
+  uint64_t logical_partition_loads = 0;
+  uint64_t candidates = 0;        // raw series ranked / verified
+  uint64_t bloom_negatives = 0;   // exact match only
+  double wall_seconds = 0.0;
+};
+
+class QueryEngine {
+ public:
+  // The index must outlive the engine. The engine only reads the index and
+  // may be used from one thread at a time (it parallelises internally).
+  explicit QueryEngine(const TardisIndex& index) : index_(&index) {}
+
+  // Batched kNN-approximate (paper §V-B, Alg. 1): per query, up to k
+  // neighbours sorted by true distance — element i answers queries[i].
+  Result<std::vector<std::vector<Neighbor>>> KnnApproximateBatch(
+      const std::vector<TimeSeries>& queries, uint32_t k, KnnStrategy strategy,
+      QueryEngineStats* stats) const;
+
+  // Batched exact match (paper §V-A): per query, the record ids whose stored
+  // series equals the query exactly.
+  Result<std::vector<std::vector<RecordId>>> ExactMatchBatch(
+      const std::vector<TimeSeries>& queries, bool use_bloom,
+      QueryEngineStats* stats) const;
+
+  // Batched exact range search: per query, every record within `radius`,
+  // sorted by distance.
+  Result<std::vector<std::vector<Neighbor>>> RangeSearchBatch(
+      const std::vector<TimeSeries>& queries, double radius,
+      QueryEngineStats* stats) const;
+
+ private:
+  const TardisIndex* index_;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_CORE_QUERY_ENGINE_H_

@@ -1,0 +1,184 @@
+// Internal scan primitives shared by the single-query algorithms
+// (knn.cc, knn_exact.cc, range_search.cc) and the partition-batched
+// QueryEngine. Keeping both paths on the *same* traversal and ranking code
+// is what makes the batched results provably identical to issuing the
+// queries one by one.
+//
+// All scans use an explicit node stack (children pushed in reverse so pops
+// follow the recursive preorder they replaced) instead of std::function
+// recursion, and take the query's precomputed MindistTable so node lower
+// bounds are table lookups rather than breakpoint searches.
+//
+// Callers must run tree.EnsureWords() before any scan that prunes
+// (PrunedScan / ExactScan / RangeScan).
+
+#ifndef TARDIS_CORE_QUERY_SCAN_H_
+#define TARDIS_CORE_QUERY_SCAN_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+#include <vector>
+
+#include "core/topk.h"
+#include "sigtree/sigtree.h"
+#include "storage/record.h"
+#include "ts/kernels.h"
+#include "ts/time_series.h"
+
+namespace tardis {
+namespace qscan {
+
+// Deepest node on the signature's descent path holding >= k entries; the
+// root if even the whole partition is smaller than k. Allocation-free:
+// ChildMap lookups take the string_view chunk directly.
+inline const SigTree::Node* FindTargetNode(const SigTree& tree,
+                                           std::string_view sig, uint32_t k) {
+  const uint32_t cpl = tree.codec().chars_per_level();
+  const SigTree::Node* node = tree.root();
+  const SigTree::Node* target = node;
+  while (!node->children.empty()) {
+    const size_t off = static_cast<size_t>(node->level) * cpl;
+    if (off + cpl > sig.size()) break;
+    auto it = node->children.find(sig.substr(off, cpl));
+    if (it == node->children.end()) break;
+    node = it->second.get();
+    if (node->count >= k) target = node;
+  }
+  return target;
+}
+
+// Ranks the records in [start, start+len) by true distance into `topk`,
+// early-abandoning against the current k-th best.
+inline void RankRange(const std::vector<Record>& records, uint32_t start,
+                      uint32_t len, const TimeSeries& query, TopK* topk,
+                      uint64_t* candidates) {
+  const uint32_t end = std::min<uint32_t>(
+      start + len, static_cast<uint32_t>(records.size()));
+  for (uint32_t i = start; i < end; ++i) {
+    const double bound = topk->Threshold();
+    const double bound_sq = std::isinf(bound)
+                                ? std::numeric_limits<double>::infinity()
+                                : bound * bound;
+    const double d_sq =
+        SquaredEuclideanEarlyAbandon(query.data(), records[i].values.data(),
+                                     query.size(), bound_sq);
+    ++*candidates;
+    if (!std::isinf(d_sq)) topk->Offer(std::sqrt(d_sq), records[i].rid);
+  }
+}
+
+// Threshold-pruned scan of a whole local tree: subtrees whose region lower
+// bound exceeds the *static* `threshold` are skipped; surviving leaf slices
+// are ranked. Children of each expanded node are lower-bounded in one
+// batched table pass — with a static threshold the prune decisions cannot
+// depend on traversal timing, so this visits exactly the nodes the
+// per-visit recursion did, in the same order.
+inline void PrunedScan(const SigTree& tree, const std::vector<Record>& records,
+                       const MindistTable& mind, const TimeSeries& query,
+                       double threshold, TopK* topk, uint64_t* candidates) {
+  std::vector<const SigTree::Node*> stack;
+  std::vector<const SaxWord*> words;
+  std::vector<double> lbs;
+  stack.push_back(tree.root());
+  while (!stack.empty()) {
+    const SigTree::Node* node = stack.back();
+    stack.pop_back();
+    if (node->is_leaf()) {
+      RankRange(records, node->range_start, node->range_len, query, topk,
+                candidates);
+      continue;
+    }
+    const size_t nc = node->children.size();
+    words.clear();
+    for (const auto& [chunk, child] : node->children) {
+      words.push_back(&child->word);
+    }
+    lbs.resize(nc);
+    mind.MindistMany(words.data(), nc, lbs.data());
+    const auto first = node->children.begin();
+    for (size_t ci = nc; ci-- > 0;) {  // reversed: pops run in chunk order
+      if (lbs[ci] <= threshold) stack.push_back((first + ci)->second.get());
+    }
+  }
+}
+
+// Scans a local tree with a *dynamic* threshold: node pruning and ranking
+// both track the evolving k-th distance, which preserves exactness (a node
+// whose lower bound exceeds the current k-th best cannot contain a better
+// neighbour). Bounds are checked at pop time — exactly when the recursion
+// it replaced visited the node — so pruning stays as tight as before.
+inline void ExactScan(const SigTree& tree, const std::vector<Record>& records,
+                      const MindistTable& mind, const TimeSeries& query,
+                      TopK* topk, uint64_t* candidates) {
+  std::vector<const SigTree::Node*> stack;
+  stack.push_back(tree.root());
+  while (!stack.empty()) {
+    const SigTree::Node* node = stack.back();
+    stack.pop_back();
+    if (node->level > 0 && mind.Mindist(node->word) > topk->Threshold()) {
+      continue;
+    }
+    if (node->is_leaf()) {
+      RankRange(records, node->range_start, node->range_len, query, topk,
+                candidates);
+      continue;
+    }
+    const auto first = node->children.begin();
+    for (size_t ci = node->children.size(); ci-- > 0;) {
+      stack.push_back((first + ci)->second.get());
+    }
+  }
+}
+
+// Range scan: like PrunedScan (static threshold = radius) but collects every
+// record within `radius` instead of a top-k.
+inline void RangeScan(const SigTree& tree, const std::vector<Record>& records,
+                      const MindistTable& mind, const TimeSeries& query,
+                      double radius, std::vector<Neighbor>* out,
+                      uint64_t* candidates) {
+  // The abandon bound is slightly inflated so the authoritative comparison
+  // below (sqrt(d^2) <= radius, matching the ED <= radius contract exactly)
+  // never loses a boundary record to squaring round-off.
+  const double radius_sq = radius * radius * (1.0 + 1e-12) + 1e-12;
+  std::vector<const SigTree::Node*> stack;
+  std::vector<const SaxWord*> words;
+  std::vector<double> lbs;
+  stack.push_back(tree.root());
+  while (!stack.empty()) {
+    const SigTree::Node* node = stack.back();
+    stack.pop_back();
+    if (node->is_leaf()) {
+      const uint32_t end =
+          std::min<uint32_t>(node->range_start + node->range_len,
+                             static_cast<uint32_t>(records.size()));
+      for (uint32_t i = node->range_start; i < end; ++i) {
+        ++*candidates;
+        const double d_sq = SquaredEuclideanEarlyAbandon(
+            query.data(), records[i].values.data(), query.size(), radius_sq);
+        if (std::isinf(d_sq)) continue;
+        const double d = std::sqrt(d_sq);
+        if (d <= radius) out->push_back({d, records[i].rid});
+      }
+      continue;
+    }
+    const size_t nc = node->children.size();
+    words.clear();
+    for (const auto& [chunk, child] : node->children) {
+      words.push_back(&child->word);
+    }
+    lbs.resize(nc);
+    mind.MindistMany(words.data(), nc, lbs.data());
+    const auto first = node->children.begin();
+    for (size_t ci = nc; ci-- > 0;) {
+      if (lbs[ci] <= radius) stack.push_back((first + ci)->second.get());
+    }
+  }
+}
+
+}  // namespace qscan
+}  // namespace tardis
+
+#endif  // TARDIS_CORE_QUERY_SCAN_H_

@@ -3,56 +3,17 @@
 // Finds every record within Euclidean distance `radius` of the query using
 // the same two-level lower-bound pruning as exact kNN: partitions whose
 // region-summary bound exceeds the radius are never loaded; within a
-// partition, Tardis-L subtrees are pruned the same way; surviving candidates
-// are verified against the raw values.
+// partition, Tardis-L subtrees are pruned the same way (RangeScan in
+// core/query_scan.h, shared with the batched QueryEngine); surviving
+// candidates are verified against the raw values.
 
 #include <algorithm>
-#include <cmath>
-#include <functional>
 
+#include "core/query_scan.h"
 #include "core/tardis_index.h"
-#include "ts/distance.h"
-#include "ts/sax.h"
+#include "ts/kernels.h"
 
 namespace tardis {
-
-namespace {
-
-void RangeScan(const SigTree& tree, const std::vector<Record>& records,
-               const std::vector<double>& query_paa, const TimeSeries& query,
-               double radius, std::vector<Neighbor>* out,
-               uint64_t* candidates) {
-  const size_t n = query.size();
-  // The abandon bound is slightly inflated so the authoritative comparison
-  // below (sqrt(d^2) <= radius, matching the ED <= radius contract exactly)
-  // never loses a boundary record to squaring round-off.
-  const double radius_sq = radius * radius * (1.0 + 1e-12) + 1e-12;
-  std::function<void(const SigTree::Node&)> visit =
-      [&](const SigTree::Node& node) {
-        if (node.level > 0 &&
-            MindistPaaToSax(query_paa, node.word, n) > radius) {
-          return;
-        }
-        if (node.is_leaf()) {
-          const uint32_t end =
-              std::min<uint32_t>(node.range_start + node.range_len,
-                                 static_cast<uint32_t>(records.size()));
-          for (uint32_t i = node.range_start; i < end; ++i) {
-            ++*candidates;
-            const double d_sq = SquaredEuclideanEarlyAbandon(
-                query, records[i].values, radius_sq);
-            if (std::isinf(d_sq)) continue;
-            const double d = std::sqrt(d_sq);
-            if (d <= radius) out->push_back({d, records[i].rid});
-          }
-          return;
-        }
-        for (const auto& [chunk, child] : node.children) visit(*child);
-      };
-  visit(*tree.root());
-}
-
-}  // namespace
 
 Result<std::vector<Neighbor>> TardisIndex::RangeSearch(const TimeSeries& query,
                                                        double radius,
@@ -66,6 +27,8 @@ Result<std::vector<Neighbor>> TardisIndex::RangeSearch(const TimeSeries& query,
   std::string sig;
   TARDIS_RETURN_NOT_OK(PrepareQuery(query, &normalized, &paa, &sig));
 
+  const MindistTable mind(paa, static_cast<uint8_t>(codec().max_bits()),
+                          normalized.size());
   std::vector<Neighbor> results;
   uint64_t candidates = 0;
   uint32_t loaded = 0;
@@ -75,8 +38,8 @@ Result<std::vector<Neighbor>> TardisIndex::RangeSearch(const TimeSeries& query,
     TARDIS_ASSIGN_OR_RETURN(PartitionCache::Value records,
                             LoadPartitionShared(pid));
     local.tree().EnsureWords();
-    RangeScan(local.tree(), *records, paa, normalized, radius, &results,
-              &candidates);
+    qscan::RangeScan(local.tree(), *records, mind, normalized, radius,
+                     &results, &candidates);
     ++loaded;
   }
   std::sort(results.begin(), results.end());

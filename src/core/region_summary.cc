@@ -6,6 +6,7 @@
 
 #include "common/gaussian.h"
 #include "common/serde.h"
+#include "ts/kernels.h"
 
 namespace tardis {
 
@@ -15,12 +16,24 @@ void RegionSummary::Extend(const SaxWord& word) {
     min_sym = word.symbols;
     max_sym = word.symbols;
     count = 1;
+    lo.resize(min_sym.size());
+    hi.resize(max_sym.size());
+    for (size_t i = 0; i < min_sym.size(); ++i) {
+      lo[i] = BreakpointTable::Lower(min_sym[i], bits);
+      hi[i] = BreakpointTable::Upper(max_sym[i], bits);
+    }
     return;
   }
   assert(word.bits == bits && word.symbols.size() == min_sym.size());
   for (size_t i = 0; i < word.symbols.size(); ++i) {
-    if (word.symbols[i] < min_sym[i]) min_sym[i] = word.symbols[i];
-    if (word.symbols[i] > max_sym[i]) max_sym[i] = word.symbols[i];
+    if (word.symbols[i] < min_sym[i]) {
+      min_sym[i] = word.symbols[i];
+      lo[i] = BreakpointTable::Lower(min_sym[i], bits);
+    }
+    if (word.symbols[i] > max_sym[i]) {
+      max_sym[i] = word.symbols[i];
+      hi[i] = BreakpointTable::Upper(max_sym[i], bits);
+    }
   }
   ++count;
 }
@@ -28,20 +41,7 @@ void RegionSummary::Extend(const SaxWord& word) {
 double RegionSummary::Mindist(const std::vector<double>& paa, size_t n) const {
   if (empty()) return std::numeric_limits<double>::infinity();
   assert(paa.size() == min_sym.size());
-  const size_t w = paa.size();
-  double acc = 0.0;
-  for (size_t i = 0; i < w; ++i) {
-    const double lo = BreakpointTable::Lower(min_sym[i], bits);
-    const double hi = BreakpointTable::Upper(max_sym[i], bits);
-    double d = 0.0;
-    if (paa[i] < lo) {
-      d = lo - paa[i];
-    } else if (paa[i] > hi) {
-      d = paa[i] - hi;
-    }
-    acc += d * d;
-  }
-  return std::sqrt(static_cast<double>(n) / w * acc);
+  return MindistPaaToBox(paa.data(), lo.data(), hi.data(), paa.size(), n);
 }
 
 void RegionSummary::EncodeTo(std::string* out) const {
@@ -67,6 +67,21 @@ Result<RegionSummary> RegionSummary::Decode(std::string_view in) {
   }
   for (auto& s : summary.max_sym) {
     if (!reader.GetFixed(&s)) return Status::Corruption("region summary: max");
+  }
+  if (summary.count > 0) {
+    if (summary.bits < 1 || summary.bits > BreakpointTable::kMaxCardinalityBits) {
+      return Status::Corruption("region summary: bits out of range");
+    }
+    summary.lo.resize(w);
+    summary.hi.resize(w);
+    for (uint32_t i = 0; i < w; ++i) {
+      if (summary.min_sym[i] >= (1u << summary.bits) ||
+          summary.max_sym[i] >= (1u << summary.bits)) {
+        return Status::Corruption("region summary: symbol out of range");
+      }
+      summary.lo[i] = BreakpointTable::Lower(summary.min_sym[i], summary.bits);
+      summary.hi[i] = BreakpointTable::Upper(summary.max_sym[i], summary.bits);
+    }
   }
   return summary;
 }

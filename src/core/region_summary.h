@@ -34,6 +34,12 @@ struct RegionSummary {
   std::vector<uint16_t> max_sym;
   uint8_t bits = 0;
   uint64_t count = 0;
+  // Decoded stripe boundaries of the symbol bounds — lo[i] =
+  // Lower(min_sym[i]), hi[i] = Upper(max_sym[i]) — kept in sync by
+  // Extend/Decode so Mindist runs the branch-light interval kernel
+  // (ts/kernels.h MindistPaaToBox) without per-call breakpoint lookups.
+  std::vector<double> lo;
+  std::vector<double> hi;
 
   bool empty() const { return count == 0; }
 

@@ -169,6 +169,8 @@ class TardisIndex {
   void SetCacheBudget(uint64_t budget_bytes);
 
  private:
+  friend class QueryEngine;
+
   TardisIndex(std::shared_ptr<Cluster> cluster, TardisConfig config,
               GlobalIndex global, PartitionStore partitions,
               uint32_t series_length)
@@ -185,6 +187,12 @@ class TardisIndex {
   // Prepares (z-normalises) the query and computes PAA + full signature.
   Status PrepareQuery(const TimeSeries& query, TimeSeries* normalized,
                       std::vector<double>* paa, std::string* sig) const;
+
+  // Sibling partitions for the Multi-Partitions kNN strategy, capped at
+  // config_.pth with a deterministic (signature, seed) selection that always
+  // keeps `home` first. Shared by KnnApproximate and the batched engine.
+  std::vector<PartitionId> SelectMultiPartitions(std::string_view sig,
+                                                 PartitionId home) const;
 
   // Persists config/global-tree/counts metadata next to the partitions.
   Status SaveMeta() const;

@@ -1,0 +1,52 @@
+// Bounded top-k collector: a max-heap of the current best k neighbours,
+// shared by the approximate/exact kNN paths and the batched query engine
+// (previously duplicated as knn.cc's TopK and knn_exact.cc's ExactTopK).
+
+#ifndef TARDIS_CORE_TOPK_H_
+#define TARDIS_CORE_TOPK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "core/tardis_index.h"
+
+namespace tardis {
+
+class TopK {
+ public:
+  explicit TopK(uint32_t k) : k_(k) {}
+
+  // Current k-th best distance; +infinity while fewer than k collected.
+  double Threshold() const {
+    return heap_.size() < k_ ? std::numeric_limits<double>::infinity()
+                             : heap_.front().distance;
+  }
+
+  void Offer(double distance, RecordId rid) {
+    if (heap_.size() < k_) {
+      heap_.push_back({distance, rid});
+      std::push_heap(heap_.begin(), heap_.end());
+    } else if (distance < heap_.front().distance) {
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.back() = {distance, rid};
+      std::push_heap(heap_.begin(), heap_.end());
+    }
+  }
+
+  // Sorted ascending by distance. The collector is empty afterwards.
+  std::vector<Neighbor> Take() {
+    std::sort_heap(heap_.begin(), heap_.end());
+    return std::move(heap_);
+  }
+
+ private:
+  uint32_t k_;
+  std::vector<Neighbor> heap_;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_CORE_TOPK_H_

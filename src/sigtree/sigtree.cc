@@ -72,9 +72,7 @@ SigTree::Node* SigTree::MakeChild(Node* parent, std::string_view chunk) {
   // child->word stays empty: the decoded SAX word is only needed by the
   // region-distance paths (routing mismatches, kNN pruning) and is filled
   // lazily by EnsureWord/EnsureWords. Exact-match descent never pays for it.
-  Node* raw = child.get();
-  parent->children.emplace(std::string(chunk), std::move(child));
-  return raw;
+  return parent->children.emplace(std::string(chunk), std::move(child));
 }
 
 const SaxWord& SigTree::EnsureWord(Node* node) const {

@@ -18,12 +18,13 @@
 #ifndef TARDIS_SIGTREE_SIGTREE_H_
 #define TARDIS_SIGTREE_SIGTREE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -35,6 +36,56 @@ namespace tardis {
 
 class SigTree {
  public:
+  struct Node;
+
+  // Child table: a flat vector of (chunk, child) pairs kept sorted by chunk.
+  // Fan-out is bounded by 2^w and typically small, so a cache-friendly
+  // binary search over contiguous pairs beats red-black pointer chasing, and
+  // lookups take string_view keys directly — descent never allocates.
+  // Iteration order is ascending chunk order, matching the std::map it
+  // replaced (clustering DFS, serialization and the determinism tests all
+  // rely on that order).
+  class ChildMap {
+   public:
+    using value_type = std::pair<std::string, std::unique_ptr<Node>>;
+    using iterator = std::vector<value_type>::iterator;
+    using const_iterator = std::vector<value_type>::const_iterator;
+
+    bool empty() const { return entries_.empty(); }
+    size_t size() const { return entries_.size(); }
+    iterator begin() { return entries_.begin(); }
+    iterator end() { return entries_.end(); }
+    const_iterator begin() const { return entries_.begin(); }
+    const_iterator end() const { return entries_.end(); }
+
+    iterator find(std::string_view chunk) {
+      auto it = LowerBound(chunk);
+      return (it != entries_.end() && it->first == chunk) ? it
+                                                          : entries_.end();
+    }
+    const_iterator find(std::string_view chunk) const {
+      return const_cast<ChildMap*>(this)->find(chunk);
+    }
+
+    // Inserts at the sorted position; `chunk` must not already be present.
+    Node* emplace(std::string chunk, std::unique_ptr<Node> child) {
+      Node* raw = child.get();
+      entries_.emplace(LowerBound(chunk), std::move(chunk), std::move(child));
+      return raw;
+    }
+
+   private:
+    iterator LowerBound(std::string_view chunk) {
+      return std::lower_bound(
+          entries_.begin(), entries_.end(), chunk,
+          [](const value_type& e, std::string_view key) {
+            return std::string_view(e.first) < key;
+          });
+    }
+
+    std::vector<value_type> entries_;
+  };
+
   struct Node {
     // Full signature prefix from the root; length = level * (w/4).
     std::string sig;
@@ -46,7 +97,7 @@ class SigTree {
     uint64_t count = 0;
     Node* parent = nullptr;
     // Children keyed by their next (w/4)-character signature chunk.
-    std::map<std::string, std::unique_ptr<Node>, std::less<>> children;
+    ChildMap children;
 
     // --- Tardis-G payload ---
     // Leaf: exactly one pid. Internal/root: sorted union of subtree pids

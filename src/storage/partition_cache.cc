@@ -83,13 +83,37 @@ void PartitionCache::InsertAndEvict(Shard& shard, PartitionId pid, Value value,
   shard.entries[pid] = std::move(entry);
   shard.bytes += bytes;
   while (shard.bytes > shard_budget_ && !shard.lru.empty()) {
-    const PartitionId victim = shard.lru.back();
-    shard.lru.pop_back();
+    // Least-recently-used *unpinned* entry; if everything resident is
+    // pinned, the shard stays over budget until a pin drops.
+    auto victim_it = shard.lru.end();
+    for (auto rit = shard.lru.rbegin(); rit != shard.lru.rend(); ++rit) {
+      if (shard.pins.find(*rit) == shard.pins.end()) {
+        victim_it = std::prev(rit.base());
+        break;
+      }
+    }
+    if (victim_it == shard.lru.end()) break;
+    const PartitionId victim = *victim_it;
+    shard.lru.erase(victim_it);
     auto it = shard.entries.find(victim);
     shard.bytes -= it->second.bytes;
     shard.entries.erase(it);
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+void PartitionCache::Pin(PartitionId pid) {
+  Shard& shard = ShardFor(pid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.pins[pid];
+}
+
+void PartitionCache::Unpin(PartitionId pid) {
+  Shard& shard = ShardFor(pid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.pins.find(pid);
+  if (it == shard.pins.end()) return;
+  if (--it->second == 0) shard.pins.erase(it);
 }
 
 void PartitionCache::Invalidate(PartitionId pid) {
@@ -123,6 +147,7 @@ PartitionCacheStats PartitionCache::Snapshot() const {
     std::lock_guard<std::mutex> lock(shard->mu);
     stats.resident_bytes += shard->bytes;
     stats.resident_partitions += shard->entries.size();
+    stats.pinned_partitions += shard->pins.size();
   }
   return stats;
 }

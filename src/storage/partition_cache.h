@@ -39,6 +39,7 @@ struct PartitionCacheStats {
   uint64_t loaded_bytes = 0;  // decoded bytes brought in by cache loads
   uint64_t resident_bytes = 0;       // currently cached (approx decoded size)
   uint64_t resident_partitions = 0;  // currently cached entry count
+  uint64_t pinned_partitions = 0;    // pids with a positive pin count
 
   uint64_t Lookups() const { return hits + misses + coalesced; }
 };
@@ -61,6 +62,17 @@ class PartitionCache {
   // loader; the rest block until it publishes (or propagate its error).
   // A failed load caches nothing — the next lookup retries.
   Result<Value> GetOrLoad(PartitionId pid, const Loader& loader);
+
+  // Pins `pid`: while its pin count is positive the entry is exempt from
+  // budget eviction (resident bytes may transiently exceed the budget by the
+  // pinned working set). Invalidate and Clear still drop pinned entries —
+  // pins protect recency, not freshness. Pinning a pid that is not resident
+  // is allowed and takes effect when the entry is next inserted. Used by the
+  // batched QueryEngine to keep a batch's partitions resident across its
+  // scheduling phases.
+  void Pin(PartitionId pid);
+  // Decrements the pin count; a no-op when the pid is not pinned.
+  void Unpin(PartitionId pid);
 
   // Drops `pid` from the cache (after a partition rewrite, e.g. Append).
   // Only loads started after Invalidate returns are guaranteed fresh.
@@ -97,6 +109,9 @@ class PartitionCache {
     std::unordered_map<PartitionId, Entry> entries;
     std::list<PartitionId> lru;  // front = most recently used
     std::unordered_map<PartitionId, std::shared_ptr<InFlight>> inflight;
+    // Pin counts (present => positive). Kept separate from `entries` so a
+    // pid can be pinned before it becomes resident.
+    std::unordered_map<PartitionId, uint32_t> pins;
     uint64_t bytes = 0;
   };
 
@@ -116,6 +131,41 @@ class PartitionCache {
   std::atomic<uint64_t> coalesced_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> loaded_bytes_{0};
+};
+
+// RAII pin: pins on construction, unpins on destruction. A null cache makes
+// it a no-op, so callers need not special-case a disabled cache.
+class ScopedPin {
+ public:
+  ScopedPin() = default;
+  ScopedPin(PartitionCache* cache, PartitionId pid) : cache_(cache), pid_(pid) {
+    if (cache_ != nullptr) cache_->Pin(pid_);
+  }
+  ScopedPin(ScopedPin&& other) noexcept
+      : cache_(other.cache_), pid_(other.pid_) {
+    other.cache_ = nullptr;
+  }
+  ScopedPin& operator=(ScopedPin&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      cache_ = other.cache_;
+      pid_ = other.pid_;
+      other.cache_ = nullptr;
+    }
+    return *this;
+  }
+  ScopedPin(const ScopedPin&) = delete;
+  ScopedPin& operator=(const ScopedPin&) = delete;
+  ~ScopedPin() { Reset(); }
+
+ private:
+  void Reset() {
+    if (cache_ != nullptr) cache_->Unpin(pid_);
+    cache_ = nullptr;
+  }
+
+  PartitionCache* cache_ = nullptr;
+  PartitionId pid_ = 0;
 };
 
 }  // namespace tardis

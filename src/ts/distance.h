@@ -1,50 +1,32 @@
 // Euclidean distance (paper Definition 2) with an early-abandoning variant
 // used in the refine phase of query processing.
+//
+// These are thin wrappers over the runtime-dispatched kernels in
+// ts/kernels.h (scalar fallback, AVX2+FMA when the CPU supports it; see that
+// header for the dispatch and numeric contract).
 
 #ifndef TARDIS_TS_DISTANCE_H_
 #define TARDIS_TS_DISTANCE_H_
 
 #include <cmath>
-#include <limits>
 
+#include "ts/kernels.h"
 #include "ts/time_series.h"
 
 namespace tardis {
 
 // Squared Euclidean distance between two equal-length series.
 inline double SquaredEuclidean(const TimeSeries& a, const TimeSeries& b) {
-  double acc = 0.0;
-  const size_t n = a.size();
-  for (size_t i = 0; i < n; ++i) {
-    const double d = static_cast<double>(a[i]) - b[i];
-    acc += d * d;
-  }
-  return acc;
+  return SquaredEuclidean(a.data(), b.data(), a.size());
 }
 
 // Squared Euclidean distance that abandons (returning +infinity) as soon as
-// the running sum exceeds `bound_sq`. Used when ranking candidates against a
-// current k-th best distance.
+// a block-boundary check sees the running sum exceed `bound_sq`. Used when
+// ranking candidates against a current k-th best distance.
 inline double SquaredEuclideanEarlyAbandon(const TimeSeries& a,
                                            const TimeSeries& b,
                                            double bound_sq) {
-  double acc = 0.0;
-  const size_t n = a.size();
-  size_t i = 0;
-  // Check the bound every 16 terms: cheap enough to keep the inner loop tight
-  // while abandoning early on hopeless candidates.
-  while (i + 16 <= n) {
-    for (size_t j = 0; j < 16; ++j, ++i) {
-      const double d = static_cast<double>(a[i]) - b[i];
-      acc += d * d;
-    }
-    if (acc > bound_sq) return std::numeric_limits<double>::infinity();
-  }
-  for (; i < n; ++i) {
-    const double d = static_cast<double>(a[i]) - b[i];
-    acc += d * d;
-  }
-  return acc > bound_sq ? std::numeric_limits<double>::infinity() : acc;
+  return SquaredEuclideanEarlyAbandon(a.data(), b.data(), a.size(), bound_sq);
 }
 
 inline double EuclideanDistance(const TimeSeries& a, const TimeSeries& b) {

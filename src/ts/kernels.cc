@@ -1,0 +1,298 @@
+#include "ts/kernels.h"
+
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "common/gaussian.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define TARDIS_KERNELS_X86 1
+#include <immintrin.h>
+#else
+#define TARDIS_KERNELS_X86 0
+#endif
+
+namespace tardis {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar backend. Single in-order accumulator, matching the historical
+// header-inline implementation exactly (tests rely on EarlyAbandon ==
+// SquaredEuclidean bit-equality within a backend).
+// ---------------------------------------------------------------------------
+
+double SquaredEuclideanScalar(const float* __restrict a,
+                              const float* __restrict b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double SquaredEuclideanEarlyAbandonScalar(const float* __restrict a,
+                                          const float* __restrict b, size_t n,
+                                          double bound_sq) {
+  double acc = 0.0;
+  size_t i = 0;
+  // Check the bound every 16 terms: cheap enough to keep the inner loop tight
+  // while abandoning early on hopeless candidates.
+  while (i + 16 <= n) {
+    for (size_t j = 0; j < 16; ++j, ++i) {
+      const double d = static_cast<double>(a[i]) - b[i];
+      acc += d * d;
+    }
+    if (acc > bound_sq) return std::numeric_limits<double>::infinity();
+  }
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc > bound_sq ? std::numeric_limits<double>::infinity() : acc;
+}
+
+#if TARDIS_KERNELS_X86
+
+// ---------------------------------------------------------------------------
+// AVX2 + FMA backend. 8 floats per iteration, widened to two 4-lane double
+// accumulators. The early-abandon variant uses the *same* accumulation
+// structure and only peeks at the running sum at block boundaries, so its
+// non-abandoned result is bit-identical to the full kernel.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2,fma"))) inline double HSum(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d sum2 = _mm_add_pd(lo, hi);
+  const __m128d sum1 = _mm_add_sd(sum2, _mm_unpackhi_pd(sum2, sum2));
+  return _mm_cvtsd_f64(sum1);
+}
+
+__attribute__((target("avx2,fma"))) inline void Accumulate8(
+    const float* a, const float* b, size_t i, __m256d* acc0, __m256d* acc1) {
+  const __m256 va = _mm256_loadu_ps(a + i);
+  const __m256 vb = _mm256_loadu_ps(b + i);
+  const __m256d alo = _mm256_cvtps_pd(_mm256_castps256_ps128(va));
+  const __m256d blo = _mm256_cvtps_pd(_mm256_castps256_ps128(vb));
+  const __m256d dlo = _mm256_sub_pd(alo, blo);
+  *acc0 = _mm256_fmadd_pd(dlo, dlo, *acc0);
+  const __m256d ahi = _mm256_cvtps_pd(_mm256_extractf128_ps(va, 1));
+  const __m256d bhi = _mm256_cvtps_pd(_mm256_extractf128_ps(vb, 1));
+  const __m256d dhi = _mm256_sub_pd(ahi, bhi);
+  *acc1 = _mm256_fmadd_pd(dhi, dhi, *acc1);
+}
+
+__attribute__((target("avx2,fma"))) double SquaredEuclideanAvx2(
+    const float* a, const float* b, size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) Accumulate8(a, b, i, &acc0, &acc1);
+  double acc = HSum(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+__attribute__((target("avx2,fma"))) double SquaredEuclideanEarlyAbandonAvx2(
+    const float* a, const float* b, size_t n, double bound_sq) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  size_t i = 0;
+  // Bound check every 64 elements: the horizontal sum is only a peek — the
+  // vector accumulators keep running, preserving bit-equality with the full
+  // kernel when no abandon happens.
+  while (i + 8 <= n) {
+    const size_t vec_end = n & ~size_t{7};
+    const size_t block_end = i + 64 < vec_end ? i + 64 : vec_end;
+    for (; i < block_end; i += 8) Accumulate8(a, b, i, &acc0, &acc1);
+    if (HSum(_mm256_add_pd(acc0, acc1)) > bound_sq) {
+      return std::numeric_limits<double>::infinity();
+    }
+  }
+  double acc = HSum(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc > bound_sq ? std::numeric_limits<double>::infinity() : acc;
+}
+
+bool CpuSupportsAvx2Fma() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+#else   // !TARDIS_KERNELS_X86
+
+bool CpuSupportsAvx2Fma() { return false; }
+
+#endif  // TARDIS_KERNELS_X86
+
+// ---------------------------------------------------------------------------
+// Dispatch: resolved once at first use from the CPU and the TARDIS_KERNELS
+// environment variable; swappable afterwards through SetKernelBackend.
+// ---------------------------------------------------------------------------
+
+using EuclideanFn = double (*)(const float*, const float*, size_t);
+using AbandonFn = double (*)(const float*, const float*, size_t, double);
+
+struct KernelVtable {
+  KernelBackend backend;
+  EuclideanFn squared_euclidean;
+  AbandonFn squared_euclidean_ea;
+};
+
+constexpr KernelVtable kScalarVtable = {
+    KernelBackend::kScalar, &SquaredEuclideanScalar,
+    &SquaredEuclideanEarlyAbandonScalar};
+
+#if TARDIS_KERNELS_X86
+constexpr KernelVtable kAvx2Vtable = {KernelBackend::kAvx2,
+                                      &SquaredEuclideanAvx2,
+                                      &SquaredEuclideanEarlyAbandonAvx2};
+#endif
+
+const KernelVtable* VtableFor(KernelBackend backend) {
+#if TARDIS_KERNELS_X86
+  if (backend == KernelBackend::kAvx2 && CpuSupportsAvx2Fma()) {
+    return &kAvx2Vtable;
+  }
+#else
+  (void)backend;
+#endif
+  return &kScalarVtable;
+}
+
+const KernelVtable* ResolveStartupVtable() {
+  KernelBackend want =
+      CpuSupportsAvx2Fma() ? KernelBackend::kAvx2 : KernelBackend::kScalar;
+  if (const char* env = std::getenv("TARDIS_KERNELS")) {
+    if (std::strcmp(env, "scalar") == 0) want = KernelBackend::kScalar;
+    else if (std::strcmp(env, "avx2") == 0) want = KernelBackend::kAvx2;
+    // "auto" or anything else keeps the CPU-detected default.
+  }
+  return VtableFor(want);
+}
+
+std::atomic<const KernelVtable*>& ActiveVtable() {
+  static std::atomic<const KernelVtable*> active{ResolveStartupVtable()};
+  return active;
+}
+
+}  // namespace
+
+KernelBackend ActiveKernelBackend() {
+  return ActiveVtable().load(std::memory_order_acquire)->backend;
+}
+
+const char* KernelBackendName(KernelBackend backend) {
+  switch (backend) {
+    case KernelBackend::kScalar: return "scalar";
+    case KernelBackend::kAvx2: return "avx2";
+  }
+  return "unknown";
+}
+
+KernelBackend SetKernelBackend(KernelBackend backend) {
+  const KernelVtable* vtable = VtableFor(backend);
+  ActiveVtable().store(vtable, std::memory_order_release);
+  return vtable->backend;
+}
+
+double SquaredEuclidean(const float* a, const float* b, size_t n) {
+  return ActiveVtable().load(std::memory_order_acquire)
+      ->squared_euclidean(a, b, n);
+}
+
+double SquaredEuclideanEarlyAbandon(const float* a, const float* b, size_t n,
+                                    double bound_sq) {
+  return ActiveVtable().load(std::memory_order_acquire)
+      ->squared_euclidean_ea(a, b, n, bound_sq);
+}
+
+double MindistPaaToBox(const double* paa, const double* lo, const double* hi,
+                       size_t w, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < w; ++i) {
+    // Distance from the point to the interval, 0 inside. The max() form
+    // keeps the loop branch-light and treats NaN exactly like the branching
+    // form (every comparison is false, so the gap collapses to 0).
+    const double below = lo[i] - paa[i];
+    const double above = paa[i] - hi[i];
+    double d = below > 0.0 ? below : 0.0;
+    if (above > d) d = above;
+    acc += d * d;
+  }
+  return std::sqrt(static_cast<double>(n) / w * acc);
+}
+
+// ---------------------------------------------------------------------------
+// MindistTable
+// ---------------------------------------------------------------------------
+
+namespace {
+// Same function MindistPaaToSax applies per segment (ts/sax.cc): distance
+// from point q to the stripe [Lower(sym), Upper(sym)].
+inline double PointToStripeGap(double q, uint32_t sym, uint8_t bits) {
+  const double lo = BreakpointTable::Lower(sym, bits);
+  if (q < lo) return lo - q;
+  const double hi = BreakpointTable::Upper(sym, bits);
+  if (q > hi) return q - hi;
+  return 0.0;
+}
+}  // namespace
+
+MindistTable::MindistTable(const std::vector<double>& paa, uint8_t max_bits,
+                           size_t n)
+    : paa_(paa), n_(n), w_(paa.size()) {
+  scale_ = static_cast<double>(n) / static_cast<double>(w_);
+  table_bits_ = max_bits < kMaxTableBits ? max_bits : kMaxTableBits;
+  offset_.assign(static_cast<size_t>(table_bits_) + 1, 0);
+  size_t total = 0;
+  for (uint8_t bits = 1; bits <= table_bits_; ++bits) {
+    offset_[bits] = total;
+    total += w_ << bits;
+  }
+  sq_.resize(total);
+  for (uint8_t bits = 1; bits <= table_bits_; ++bits) {
+    const size_t card = size_t{1} << bits;
+    double* table = sq_.data() + offset_[bits];
+    for (size_t i = 0; i < w_; ++i) {
+      for (size_t sym = 0; sym < card; ++sym) {
+        const double g =
+            PointToStripeGap(paa_[i], static_cast<uint32_t>(sym), bits);
+        table[i * card + sym] = g * g;
+      }
+    }
+  }
+}
+
+double MindistTable::Mindist(const SaxWord& word) const {
+  assert(word.symbols.size() == w_);
+  if (word.bits < 1 || word.bits > table_bits_) {
+    // Cardinality beyond the table: identical math, just uncached.
+    return MindistPaaToSax(paa_, word, n_);
+  }
+  const size_t card = size_t{1} << word.bits;
+  const double* table = sq_.data() + offset_[word.bits];
+  double acc = 0.0;
+  for (size_t i = 0; i < w_; ++i) {
+    acc += table[i * card + word.symbols[i]];
+  }
+  return std::sqrt(scale_ * acc);
+}
+
+void MindistTable::MindistMany(const SaxWord* const* words, size_t count,
+                               double* out) const {
+  for (size_t j = 0; j < count; ++j) out[j] = Mindist(*words[j]);
+}
+
+}  // namespace tardis

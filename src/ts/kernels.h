@@ -1,0 +1,113 @@
+// Vectorized distance kernels — the inner loops every query path spends its
+// time in (paper §V, Figs. 14-16: query cost = partition load + distance
+// ranking; this file attacks the ranking half).
+//
+// Two layers:
+//   * Raw-pointer Euclidean kernels with runtime backend dispatch: an
+//     AVX2+FMA path is selected once at startup when the CPU supports it,
+//     with a portable scalar fallback. The choice can be overridden with the
+//     TARDIS_KERNELS environment variable ("scalar" | "avx2" | "auto") or,
+//     for tests and benchmarks, programmatically via SetKernelBackend.
+//   * MindistTable: a per-query precomputation that turns MindistPaaToSax
+//     (breakpoint lookups + branches per segment) into a table lookup, and
+//     lower-bounds one query PAA against many SAX words in one pass — the
+//     hot operation of every threshold-pruned tree walk.
+//
+// Numeric contract:
+//   * Within one backend, SquaredEuclideanEarlyAbandon returns a value
+//     bit-identical to SquaredEuclidean whenever it does not abandon.
+//     Because the running sum of squares is monotone, the abandon decision
+//     (finite vs +inf) depends only on the final sum, so scalar and SIMD
+//     backends agree on which candidates are abandoned (up to FP
+//     reassociation when the sum lands exactly on the bound).
+//   * MindistTable reproduces MindistPaaToSax bit-for-bit (same per-segment
+//     terms, same summation order); it is a cache, not an approximation.
+
+#ifndef TARDIS_TS_KERNELS_H_
+#define TARDIS_TS_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ts/sax.h"
+
+namespace tardis {
+
+enum class KernelBackend : uint8_t {
+  kScalar = 0,
+  kAvx2 = 1,  // AVX2 + FMA (x86-64); falls back to scalar when unsupported
+};
+
+// The backend all kernel calls currently dispatch to.
+KernelBackend ActiveKernelBackend();
+const char* KernelBackendName(KernelBackend backend);
+
+// Forces a backend (clamped to what the CPU supports) and returns the
+// backend actually installed. Intended for tests and benchmarks only: the
+// swap is not synchronized against concurrently running queries.
+KernelBackend SetKernelBackend(KernelBackend backend);
+
+// --- Euclidean kernels (dispatched) ---
+
+// Sum of squared differences over n elements (widened to double).
+double SquaredEuclidean(const float* a, const float* b, size_t n);
+
+// Like SquaredEuclidean but returns +inf as soon as a block-boundary check
+// sees the running sum exceed `bound_sq`. The final value, when finite, is
+// bit-identical to SquaredEuclidean under the same backend.
+double SquaredEuclideanEarlyAbandon(const float* a, const float* b, size_t n,
+                                    double bound_sq);
+
+// --- Interval lower bound (region summaries) ---
+
+// sqrt(n/w * sum_i gap(paa[i], [lo[i], hi[i]])^2) where gap is the distance
+// from the point to the interval (0 inside). The per-segment loop is written
+// branch-light so the compiler can vectorize it.
+double MindistPaaToBox(const double* paa, const double* lo, const double* hi,
+                       size_t w, size_t n);
+
+// --- Batched MindistPaaToSax ---
+
+// Per-query cache of squared point-to-stripe gaps, indexed by (cardinality
+// bits, segment, symbol). Building it costs w * (2^1 + ... + 2^min(max_bits,
+// kMaxTableBits)) breakpoint evaluations; afterwards each Mindist is w table
+// loads, a sum, and a sqrt. Words at cardinalities beyond the table fall
+// back to MindistPaaToSax (identical values either way).
+//
+// Immutable after construction, so one table can serve concurrent scans of
+// the same query (the batched engine shares it across partition tasks).
+class MindistTable {
+ public:
+  static constexpr uint8_t kMaxTableBits = 8;
+
+  MindistTable() = default;
+
+  // `paa` is the query's PAA vector, `max_bits` the deepest cardinality the
+  // index can ask for (codec max_bits), `n` the raw series length.
+  MindistTable(const std::vector<double>& paa, uint8_t max_bits, size_t n);
+
+  bool empty() const { return w_ == 0; }
+
+  // Lower bound on ED(query, X) from X's SAX word; bit-identical to
+  // MindistPaaToSax(paa, word, n).
+  double Mindist(const SaxWord& word) const;
+
+  // Batched form: out[i] = Mindist(*words[i]), one pass over the table.
+  void MindistMany(const SaxWord* const* words, size_t count,
+                   double* out) const;
+
+ private:
+  // sq_[offset_[bits] + i * (1 << bits) + sym] = gap(paa[i], stripe)^2.
+  std::vector<double> sq_;
+  std::vector<size_t> offset_;  // indexed by bits; one past table_bits_ unused
+  std::vector<double> paa_;     // retained for the > table_bits_ fallback
+  double scale_ = 0.0;          // n / w, matching MindistPaaToSax
+  size_t n_ = 0;
+  size_t w_ = 0;
+  uint8_t table_bits_ = 0;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_TS_KERNELS_H_

@@ -1,0 +1,226 @@
+// QueryEngine contract: batched execution returns exactly what the
+// single-query entry points return — for every strategy and kernel backend —
+// while issuing strictly fewer partition loads than the one-at-a-time path.
+
+#include "core/query_engine.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/tardis_index.h"
+#include "test_util.h"
+#include "ts/kernels.h"
+#include "workload/datasets.h"
+#include "workload/query_gen.h"
+
+namespace tardis {
+namespace {
+
+constexpr uint32_t kCount = 400;
+constexpr uint32_t kLength = 32;
+constexpr uint32_t kK = 7;
+
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_backend_ = ActiveKernelBackend();
+    auto dataset = MakeDataset(DatasetKind::kRandomWalk, kCount, kLength,
+                               /*seed=*/123);
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).value();
+
+    auto store = BlockStore::Create(dir_.Sub("bs"), dataset_, 50);
+    ASSERT_TRUE(store.ok());
+    store_ = std::make_unique<BlockStore>(std::move(store).value());
+
+    TardisConfig config;
+    config.word_length = 8;
+    config.initial_bits = 4;
+    config.g_max_size = 60;
+    config.l_max_size = 20;
+    config.sampling_percent = 30.0;
+    config.pth = 4;
+    config.cache_budget_bytes = 4 << 20;
+
+    cluster_ = std::make_shared<Cluster>(2);
+    auto index = TardisIndex::Build(cluster_, *store_, dir_.Sub("parts"),
+                                    config, nullptr);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    index_ = std::make_unique<TardisIndex>(std::move(index).value());
+
+    // Queries drawn from the indexed distribution, so many share home
+    // partitions — the case the batch path exists for.
+    queries_ = MakeKnnQueries(dataset_, /*count=*/40, /*noise=*/0.05,
+                              /*seed=*/5150);
+  }
+
+  void TearDown() override { SetKernelBackend(saved_backend_); }
+
+  // Every backend the machine can actually run.
+  std::vector<KernelBackend> Backends() const {
+    std::vector<KernelBackend> backends = {KernelBackend::kScalar};
+    if (SetKernelBackend(KernelBackend::kAvx2) == KernelBackend::kAvx2) {
+      backends.push_back(KernelBackend::kAvx2);
+    }
+    SetKernelBackend(saved_backend_);
+    return backends;
+  }
+
+  ScopedTempDir dir_;
+  std::shared_ptr<Cluster> cluster_;
+  Dataset dataset_;
+  std::unique_ptr<BlockStore> store_;
+  std::unique_ptr<TardisIndex> index_;
+  std::vector<TimeSeries> queries_;
+  KernelBackend saved_backend_ = KernelBackend::kScalar;
+};
+
+TEST_F(QueryEngineTest, KnnBatchMatchesSequentialAllStrategiesAllBackends) {
+  QueryEngine engine(*index_);
+  for (KernelBackend backend : Backends()) {
+    ASSERT_EQ(SetKernelBackend(backend), backend);
+    for (KnnStrategy strategy :
+         {KnnStrategy::kTargetNode, KnnStrategy::kOnePartition,
+          KnnStrategy::kMultiPartitions}) {
+      QueryEngineStats stats;
+      ASSERT_OK_AND_ASSIGN(
+          std::vector<std::vector<Neighbor>> batch,
+          engine.KnnApproximateBatch(queries_, kK, strategy, &stats));
+      ASSERT_EQ(batch.size(), queries_.size());
+      EXPECT_EQ(stats.queries, queries_.size());
+
+      uint64_t sequential_loads = 0;
+      for (size_t q = 0; q < queries_.size(); ++q) {
+        KnnStats kstats;
+        ASSERT_OK_AND_ASSIGN(
+            std::vector<Neighbor> expected,
+            index_->KnnApproximate(queries_[q], kK, strategy, &kstats));
+        sequential_loads += kstats.partitions_loaded;
+        // Bit-identical, not just close: both paths share the same traversal
+        // and ranking primitives.
+        EXPECT_EQ(batch[q], expected)
+            << KnnStrategyName(strategy) << "/" << KernelBackendName(backend)
+            << " query " << q;
+      }
+      // The engine's "what a sequential run would load" accounting must
+      // agree with an actual sequential run.
+      EXPECT_EQ(stats.logical_partition_loads, sequential_loads)
+          << KnnStrategyName(strategy);
+      EXPECT_LT(stats.partitions_loaded, stats.logical_partition_loads)
+          << KnnStrategyName(strategy);
+      EXPECT_GT(stats.candidates, 0u);
+    }
+  }
+}
+
+TEST_F(QueryEngineTest, ExactMatchBatchMatchesSequential) {
+  QueryEngine engine(*index_);
+  // Present queries (stored series verbatim) plus absent ones (perturbed).
+  std::vector<TimeSeries> queries;
+  for (size_t i = 0; i < 20; ++i) queries.push_back(dataset_[i * 7]);
+  for (size_t i = 0; i < 5; ++i) {
+    TimeSeries absent = dataset_[i];
+    absent[kLength / 2] += 1.5f;
+    queries.push_back(absent);
+  }
+
+  for (bool use_bloom : {false, true}) {
+    QueryEngineStats stats;
+    ASSERT_OK_AND_ASSIGN(
+        std::vector<std::vector<RecordId>> batch,
+        engine.ExactMatchBatch(queries, use_bloom, &stats));
+    ASSERT_EQ(batch.size(), queries.size());
+
+    size_t hits = 0;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      ASSERT_OK_AND_ASSIGN(
+          std::vector<RecordId> expected,
+          index_->ExactMatch(queries[q], use_bloom, nullptr));
+      EXPECT_EQ(batch[q], expected) << "bloom=" << use_bloom << " q=" << q;
+      hits += expected.empty() ? 0 : 1;
+    }
+    // Every stored-verbatim query must have found itself.
+    EXPECT_GE(hits, 20u);
+    EXPECT_LE(stats.partitions_loaded, stats.logical_partition_loads);
+    if (!use_bloom) {
+      EXPECT_EQ(stats.bloom_negatives, 0u);
+    }
+  }
+}
+
+TEST_F(QueryEngineTest, RangeSearchBatchMatchesSequential) {
+  QueryEngine engine(*index_);
+  const std::vector<TimeSeries> queries(queries_.begin(),
+                                        queries_.begin() + 10);
+  for (double radius : {0.0, 2.5, 6.0}) {
+    QueryEngineStats stats;
+    ASSERT_OK_AND_ASSIGN(std::vector<std::vector<Neighbor>> batch,
+                         engine.RangeSearchBatch(queries, radius, &stats));
+    ASSERT_EQ(batch.size(), queries.size());
+    for (size_t q = 0; q < queries.size(); ++q) {
+      ASSERT_OK_AND_ASSIGN(std::vector<Neighbor> expected,
+                           index_->RangeSearch(queries[q], radius, nullptr));
+      EXPECT_EQ(batch[q], expected) << "radius=" << radius << " q=" << q;
+    }
+    EXPECT_LE(stats.partitions_loaded, stats.logical_partition_loads);
+  }
+}
+
+TEST_F(QueryEngineTest, BatchReusesCachedPartitionsAcrossPhases) {
+  // A fresh cache plus one batch: the engine may only miss once per distinct
+  // partition; all repeats inside the batch must be cache hits.
+  index_->SetCacheBudget(4 << 20);
+  const PartitionCacheStats before = index_->CacheStats();
+  QueryEngine engine(*index_);
+  QueryEngineStats stats;
+  ASSERT_OK(engine
+                .KnnApproximateBatch(queries_, kK,
+                                     KnnStrategy::kMultiPartitions, &stats)
+                .status());
+  const PartitionCacheStats after = index_->CacheStats();
+  EXPECT_LE(after.misses - before.misses, index_->num_partitions());
+  EXPECT_LE(stats.partitions_loaded,
+            2 * static_cast<uint64_t>(index_->num_partitions()));
+  // Nothing stays pinned once the batch returns.
+  EXPECT_EQ(after.pinned_partitions, 0u);
+}
+
+TEST_F(QueryEngineTest, EmptyBatchIsANoOp) {
+  QueryEngine engine(*index_);
+  const std::vector<TimeSeries> none;
+  QueryEngineStats stats;
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<std::vector<Neighbor>> knn,
+      engine.KnnApproximateBatch(none, kK, KnnStrategy::kMultiPartitions,
+                                 &stats));
+  EXPECT_TRUE(knn.empty());
+  EXPECT_EQ(stats.queries, 0u);
+  EXPECT_EQ(stats.partitions_loaded, 0u);
+  ASSERT_OK_AND_ASSIGN(std::vector<std::vector<RecordId>> exact,
+                       engine.ExactMatchBatch(none, true, nullptr));
+  EXPECT_TRUE(exact.empty());
+  ASSERT_OK_AND_ASSIGN(std::vector<std::vector<Neighbor>> range,
+                       engine.RangeSearchBatch(none, 1.0, nullptr));
+  EXPECT_TRUE(range.empty());
+}
+
+TEST_F(QueryEngineTest, InvalidArgumentsAreRejected) {
+  QueryEngine engine(*index_);
+  EXPECT_TRUE(engine
+                  .KnnApproximateBatch(queries_, /*k=*/0,
+                                       KnnStrategy::kTargetNode, nullptr)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(engine.RangeSearchBatch(queries_, /*radius=*/-1.0, nullptr)
+                  .status()
+                  .IsInvalidArgument());
+  // A query of the wrong length fails preparation for the whole batch.
+  std::vector<TimeSeries> bad = {TimeSeries(kLength + 1, 0.0f)};
+  EXPECT_FALSE(engine.KnnApproximateBatch(bad, kK, KnnStrategy::kTargetNode,
+                                          nullptr)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace tardis

@@ -173,6 +173,98 @@ TEST(PartitionCacheTest, ClearDropsAllShards) {
   EXPECT_EQ(stats.evictions, 10u);
 }
 
+TEST(PartitionCacheTest, PinnedEntrySurvivesBudgetPressure) {
+  // Budget fits exactly two partitions; pinning 1 makes 2 the only legal
+  // victim even though 1 is the colder entry.
+  const uint64_t one = PartitionCache::ChargedBytes(MakeRecords(0, 4, 8));
+  PartitionCache cache(2 * one, /*num_shards=*/1);
+  std::atomic<uint32_t> calls{0};
+
+  ASSERT_OK(cache.GetOrLoad(1, CountingLoader(&calls, 10)).status());
+  cache.Pin(1);
+  ASSERT_OK(cache.GetOrLoad(2, CountingLoader(&calls, 20)).status());
+  EXPECT_EQ(cache.Snapshot().pinned_partitions, 1u);
+
+  // Overflow: 1 is LRU but pinned, so 2 is evicted instead.
+  ASSERT_OK(cache.GetOrLoad(3, CountingLoader(&calls, 30)).status());
+  ASSERT_OK(cache.GetOrLoad(1, CountingLoader(&calls, 10)).status());
+  EXPECT_EQ(calls.load(), 3u);  // 1 never reloaded
+  ASSERT_OK(cache.GetOrLoad(2, CountingLoader(&calls, 20)).status());
+  EXPECT_EQ(calls.load(), 4u);  // 2 was the victim
+
+  // After unpinning, 1 (the LRU of the resident {1, 2}) is evictable again.
+  cache.Unpin(1);
+  EXPECT_EQ(cache.Snapshot().pinned_partitions, 0u);
+  ASSERT_OK(cache.GetOrLoad(3, CountingLoader(&calls, 30)).status());
+  ASSERT_OK(cache.GetOrLoad(2, CountingLoader(&calls, 20)).status());
+  EXPECT_EQ(calls.load(), 5u);  // 3 missed, 2 was still resident
+  ASSERT_OK(cache.GetOrLoad(1, CountingLoader(&calls, 10)).status());
+  EXPECT_EQ(calls.load(), 6u);  // 1 really was evicted this time
+}
+
+TEST(PartitionCacheTest, PinIsRefCountedAndSurvivesWhenAllPinned) {
+  const uint64_t one = PartitionCache::ChargedBytes(MakeRecords(0, 4, 8));
+  PartitionCache cache(one, /*num_shards=*/1);  // budget fits a single entry
+  std::atomic<uint32_t> calls{0};
+
+  ASSERT_OK(cache.GetOrLoad(1, CountingLoader(&calls, 10)).status());
+  cache.Pin(1);
+  cache.Pin(1);
+  // Pinning ahead of the load is allowed (the pid is not resident yet), and
+  // protects the entry from the insert-time eviction pass.
+  cache.Pin(2);
+  ASSERT_OK(cache.GetOrLoad(2, CountingLoader(&calls, 20)).status());
+  ASSERT_OK(cache.GetOrLoad(1, CountingLoader(&calls, 10)).status());
+  ASSERT_OK(cache.GetOrLoad(2, CountingLoader(&calls, 20)).status());
+  EXPECT_EQ(calls.load(), 2u);
+  // No unpinned victim existed, so the budget transiently overshoots rather
+  // than evicting a pinned entry.
+  EXPECT_GE(cache.Snapshot().resident_bytes, 2 * one);
+  EXPECT_EQ(cache.Snapshot().pinned_partitions, 2u);
+
+  cache.Unpin(1);  // refcounted: still pinned once
+  EXPECT_EQ(cache.Snapshot().pinned_partitions, 2u);
+  cache.Unpin(1);
+  cache.Unpin(2);
+  EXPECT_EQ(cache.Snapshot().pinned_partitions, 0u);
+
+  // With every pin gone the next insert shrinks back under the budget.
+  ASSERT_OK(cache.GetOrLoad(3, CountingLoader(&calls, 30)).status());
+  EXPECT_EQ(cache.Snapshot().resident_partitions, 1u);
+}
+
+TEST(PartitionCacheTest, InvalidateAndClearDropPinnedEntries) {
+  // Pins protect against *budget* eviction only; explicit invalidation wins
+  // (the index uses it when a partition's bytes change on disk).
+  PartitionCache cache(/*budget_bytes=*/1 << 20, /*num_shards=*/1);
+  std::atomic<uint32_t> calls{0};
+  ASSERT_OK(cache.GetOrLoad(1, CountingLoader(&calls, 10)).status());
+  cache.Pin(1);
+  cache.Invalidate(1);
+  EXPECT_EQ(cache.Snapshot().resident_partitions, 0u);
+  ASSERT_OK(cache.GetOrLoad(1, CountingLoader(&calls, 10)).status());
+  EXPECT_EQ(calls.load(), 2u);
+  cache.Clear();
+  EXPECT_EQ(cache.Snapshot().resident_partitions, 0u);
+}
+
+TEST(PartitionCacheTest, ScopedPinUnpinsOnDestruction) {
+  PartitionCache cache(/*budget_bytes=*/1 << 20, /*num_shards=*/1);
+  std::atomic<uint32_t> calls{0};
+  ASSERT_OK(cache.GetOrLoad(1, CountingLoader(&calls, 10)).status());
+  {
+    ScopedPin pin(&cache, 1);
+    EXPECT_EQ(cache.Snapshot().pinned_partitions, 1u);
+    ScopedPin moved = std::move(pin);  // ownership transfers, no double unpin
+    EXPECT_EQ(cache.Snapshot().pinned_partitions, 1u);
+  }
+  EXPECT_EQ(cache.Snapshot().pinned_partitions, 0u);
+  // Null cache and pinning a non-resident pid are both fine.
+  ScopedPin noop(nullptr, 7);
+  ScopedPin absent(&cache, 99);
+  EXPECT_EQ(cache.Snapshot().pinned_partitions, 1u);
+}
+
 TEST(PartitionCacheTest, ChargedBytesScalesWithPayload) {
   const uint64_t small = PartitionCache::ChargedBytes(MakeRecords(0, 2, 8));
   const uint64_t large = PartitionCache::ChargedBytes(MakeRecords(0, 20, 8));

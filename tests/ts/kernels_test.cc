@@ -1,0 +1,315 @@
+// Distance-kernel contracts (ts/kernels.h): scalar and SIMD backends agree,
+// early abandon never changes a returned result (only replaces it with +inf
+// when the candidate is provably out), and MindistTable is a bit-exact cache
+// of MindistPaaToSax.
+
+#include "ts/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/gaussian.h"
+#include "ts/sax.h"
+
+namespace tardis {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Lengths straddling every code path: empty, sub-vector tails, exact vector
+// widths (8), abandon-check block boundaries (16 scalar / 64 AVX2), and odd
+// remainders around them.
+const size_t kLengths[] = {0,  1,  3,  7,  8,   15,  16,  17,
+                           31, 63, 64, 65, 100, 255, 256};
+
+std::vector<float> RandomSeries(std::mt19937* rng, size_t n) {
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  std::vector<float> v(n);
+  for (float& x : v) x = dist(*rng);
+  return v;
+}
+
+// Order-independent reference in extended precision.
+double ReferenceSquaredEuclidean(const std::vector<float>& a,
+                                 const std::vector<float>& b) {
+  long double acc = 0.0L;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const long double d =
+        static_cast<long double>(a[i]) - static_cast<long double>(b[i]);
+    acc += d * d;
+  }
+  return static_cast<double>(acc);
+}
+
+// Restores the startup backend when a test ends, so the global dispatch
+// never leaks across tests.
+class BackendGuard {
+ public:
+  BackendGuard() : saved_(ActiveKernelBackend()) {}
+  ~BackendGuard() { SetKernelBackend(saved_); }
+
+ private:
+  KernelBackend saved_;
+};
+
+bool HaveAvx2() {
+  BackendGuard guard;
+  return SetKernelBackend(KernelBackend::kAvx2) == KernelBackend::kAvx2;
+}
+
+TEST(KernelsTest, SetKernelBackendReportsInstalledBackend) {
+  BackendGuard guard;
+  EXPECT_EQ(SetKernelBackend(KernelBackend::kScalar), KernelBackend::kScalar);
+  EXPECT_EQ(ActiveKernelBackend(), KernelBackend::kScalar);
+  // Asking for AVX2 installs it only when the CPU supports it; either way
+  // the returned value names what actually runs.
+  const KernelBackend got = SetKernelBackend(KernelBackend::kAvx2);
+  EXPECT_EQ(ActiveKernelBackend(), got);
+  EXPECT_STREQ(KernelBackendName(KernelBackend::kScalar), "scalar");
+  EXPECT_STREQ(KernelBackendName(KernelBackend::kAvx2), "avx2");
+}
+
+TEST(KernelsTest, BackendsMatchReferenceAcrossLengths) {
+  BackendGuard guard;
+  std::mt19937 rng(4211);
+  for (size_t n : kLengths) {
+    const std::vector<float> a = RandomSeries(&rng, n);
+    const std::vector<float> b = RandomSeries(&rng, n);
+    const double ref = ReferenceSquaredEuclidean(a, b);
+
+    SetKernelBackend(KernelBackend::kScalar);
+    const double scalar = SquaredEuclidean(a.data(), b.data(), n);
+    EXPECT_NEAR(scalar, ref, 1e-9 * (1.0 + ref)) << "scalar n=" << n;
+
+    if (SetKernelBackend(KernelBackend::kAvx2) == KernelBackend::kAvx2) {
+      const double simd = SquaredEuclidean(a.data(), b.data(), n);
+      EXPECT_NEAR(simd, ref, 1e-9 * (1.0 + ref)) << "avx2 n=" << n;
+      // Different association order, so near-equality only.
+      EXPECT_NEAR(simd, scalar, 1e-9 * (1.0 + scalar)) << "n=" << n;
+    }
+  }
+}
+
+TEST(KernelsTest, EarlyAbandonBitIdenticalWhenNotAbandoning) {
+  BackendGuard guard;
+  std::mt19937 rng(977);
+  for (KernelBackend backend :
+       {KernelBackend::kScalar, KernelBackend::kAvx2}) {
+    if (SetKernelBackend(backend) != backend) continue;
+    for (size_t n : kLengths) {
+      const std::vector<float> a = RandomSeries(&rng, n);
+      const std::vector<float> b = RandomSeries(&rng, n);
+      const double full = SquaredEuclidean(a.data(), b.data(), n);
+      // Unreachable bound: the exact same accumulation must run to the end.
+      const double relaxed =
+          SquaredEuclideanEarlyAbandon(a.data(), b.data(), n, kInf);
+      EXPECT_EQ(relaxed, full) << KernelBackendName(backend) << " n=" << n;
+      // Inclusive bound: a running sum can only grow, so landing exactly on
+      // the bound must not abandon either.
+      const double exact =
+          SquaredEuclideanEarlyAbandon(a.data(), b.data(), n, full);
+      EXPECT_EQ(exact, full) << KernelBackendName(backend) << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelsTest, EarlyAbandonReturnsInfinityBeyondBound) {
+  BackendGuard guard;
+  std::mt19937 rng(31);
+  for (KernelBackend backend :
+       {KernelBackend::kScalar, KernelBackend::kAvx2}) {
+    if (SetKernelBackend(backend) != backend) continue;
+    for (size_t n : kLengths) {
+      if (n == 0) continue;
+      const std::vector<float> a = RandomSeries(&rng, n);
+      std::vector<float> b = a;
+      b[n / 2] += 3.0f;  // guarantees a strictly positive distance
+      const double full = SquaredEuclidean(a.data(), b.data(), n);
+      ASSERT_GT(full, 0.0);
+      EXPECT_EQ(SquaredEuclideanEarlyAbandon(a.data(), b.data(), n, full / 2),
+                kInf)
+          << KernelBackendName(backend) << " n=" << n;
+      EXPECT_EQ(SquaredEuclideanEarlyAbandon(a.data(), b.data(), n, 0.0), kInf)
+          << KernelBackendName(backend) << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelsTest, EarlyAbandonNeverChangesTopK) {
+  // The consumer-level contract: running a top-k scan with the heap
+  // threshold as the abandon bound returns exactly the top-k of the full
+  // distances — abandoned candidates are precisely those out of the running
+  // top-k, under either backend.
+  BackendGuard guard;
+  std::mt19937 rng(58);
+  constexpr size_t kN = 37;
+  constexpr size_t kCandidates = 200;
+  constexpr size_t kK = 5;
+  const std::vector<float> query = RandomSeries(&rng, kN);
+  std::vector<std::vector<float>> pool(kCandidates);
+  for (auto& c : pool) c = RandomSeries(&rng, kN);
+
+  for (KernelBackend backend :
+       {KernelBackend::kScalar, KernelBackend::kAvx2}) {
+    if (SetKernelBackend(backend) != backend) continue;
+
+    std::vector<double> full(kCandidates);
+    for (size_t i = 0; i < kCandidates; ++i) {
+      full[i] = SquaredEuclidean(query.data(), pool[i].data(), kN);
+    }
+    std::vector<double> sorted = full;
+    std::sort(sorted.begin(), sorted.end());
+
+    // Greedy scan with early abandon at the current k-th best.
+    std::vector<double> best;
+    for (size_t i = 0; i < kCandidates; ++i) {
+      const double bound = best.size() < kK ? kInf : best.back();
+      const double d =
+          SquaredEuclideanEarlyAbandon(query.data(), pool[i].data(), kN, bound);
+      if (d == kInf) {
+        EXPECT_GE(full[i], bound) << "abandoned a top-k candidate, i=" << i;
+        continue;
+      }
+      EXPECT_EQ(d, full[i]) << "non-abandoned value diverged, i=" << i;
+      best.insert(std::upper_bound(best.begin(), best.end(), d), d);
+      if (best.size() > kK) best.pop_back();
+    }
+    ASSERT_EQ(best.size(), kK) << KernelBackendName(backend);
+    for (size_t i = 0; i < kK; ++i) {
+      EXPECT_EQ(best[i], sorted[i]) << KernelBackendName(backend) << " " << i;
+    }
+  }
+}
+
+TEST(KernelsTest, NanPropagatesThroughBothKernels) {
+  BackendGuard guard;
+  for (KernelBackend backend :
+       {KernelBackend::kScalar, KernelBackend::kAvx2}) {
+    if (SetKernelBackend(backend) != backend) continue;
+    for (size_t n : {size_t{5}, size_t{40}, size_t{130}}) {
+      std::vector<float> a(n, 1.0f);
+      std::vector<float> b(n, 1.0f);
+      a[n / 3] = std::numeric_limits<float>::quiet_NaN();
+      EXPECT_TRUE(std::isnan(SquaredEuclidean(a.data(), b.data(), n)))
+          << KernelBackendName(backend) << " n=" << n;
+      // NaN poisons the running sum, every bound comparison is false, and
+      // the NaN comes out the other end — never a spurious abandon.
+      EXPECT_TRUE(std::isnan(
+          SquaredEuclideanEarlyAbandon(a.data(), b.data(), n, 10.0)))
+          << KernelBackendName(backend) << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelsTest, InfiniteInputYieldsInfiniteDistance) {
+  BackendGuard guard;
+  for (KernelBackend backend :
+       {KernelBackend::kScalar, KernelBackend::kAvx2}) {
+    if (SetKernelBackend(backend) != backend) continue;
+    for (size_t n : {size_t{5}, size_t{40}, size_t{130}}) {
+      std::vector<float> a(n, 0.0f);
+      std::vector<float> b(n, 0.0f);
+      a[0] = std::numeric_limits<float>::infinity();
+      EXPECT_EQ(SquaredEuclidean(a.data(), b.data(), n), kInf)
+          << KernelBackendName(backend) << " n=" << n;
+      EXPECT_EQ(SquaredEuclideanEarlyAbandon(a.data(), b.data(), n, 100.0),
+                kInf)
+          << KernelBackendName(backend) << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelsTest, MindistTableBitIdenticalToPaaToSax) {
+  std::mt19937 rng(112);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  constexpr size_t kW = 8;
+  constexpr size_t kN = 64;
+  constexpr uint8_t kDeepBits = 10;  // beyond kMaxTableBits: fallback path
+
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> paa(kW);
+    for (double& x : paa) x = dist(rng);
+    const MindistTable table(paa, kDeepBits, kN);
+
+    std::vector<double> cand(kW);
+    for (uint8_t bits = 1; bits <= kDeepBits; ++bits) {
+      for (double& x : cand) x = dist(rng);
+      const SaxWord word = SaxFromPaa(cand, bits);
+      const double expected = MindistPaaToSax(paa, word, kN);
+      // Same per-segment terms in the same order: exact equality, both for
+      // tabulated cardinalities and the > kMaxTableBits fallback.
+      EXPECT_EQ(table.Mindist(word), expected)
+          << "trial=" << trial << " bits=" << int(bits);
+    }
+  }
+}
+
+TEST(KernelsTest, MindistManyMatchesSingleCalls) {
+  std::mt19937 rng(201);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  constexpr size_t kW = 8;
+  constexpr size_t kN = 96;
+
+  std::vector<double> paa(kW);
+  for (double& x : paa) x = dist(rng);
+  const MindistTable table(paa, /*max_bits=*/8, kN);
+
+  std::vector<SaxWord> words(33);
+  std::vector<const SaxWord*> ptrs;
+  std::vector<double> cand(kW);
+  for (size_t j = 0; j < words.size(); ++j) {
+    for (double& x : cand) x = dist(rng);
+    words[j] = SaxFromPaa(cand, static_cast<uint8_t>(1 + j % 8));
+    ptrs.push_back(&words[j]);
+  }
+  std::vector<double> out(words.size());
+  table.MindistMany(ptrs.data(), ptrs.size(), out.data());
+  for (size_t j = 0; j < words.size(); ++j) {
+    EXPECT_EQ(out[j], table.Mindist(words[j])) << "j=" << j;
+  }
+}
+
+TEST(KernelsTest, MindistPaaToBoxMatchesBranchingReference) {
+  std::mt19937 rng(77);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  constexpr size_t kW = 8;
+  constexpr size_t kN = 64;
+
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> paa(kW), lo(kW), hi(kW);
+    for (size_t i = 0; i < kW; ++i) {
+      paa[i] = dist(rng);
+      const double x = dist(rng), y = dist(rng);
+      lo[i] = std::min(x, y);
+      hi[i] = std::max(x, y);
+    }
+    double acc = 0.0;
+    for (size_t i = 0; i < kW; ++i) {
+      double gap = 0.0;
+      if (paa[i] < lo[i]) {
+        gap = lo[i] - paa[i];
+      } else if (paa[i] > hi[i]) {
+        gap = paa[i] - hi[i];
+      }
+      acc += gap * gap;
+    }
+    const double expected = std::sqrt(static_cast<double>(kN) / kW * acc);
+    EXPECT_DOUBLE_EQ(
+        MindistPaaToBox(paa.data(), lo.data(), hi.data(), kW, kN), expected)
+        << "trial=" << trial;
+  }
+}
+
+TEST(KernelsTest, AvxBackendAvailabilityIsStable) {
+  // Two probes must agree: dispatch is a pure function of the CPU.
+  EXPECT_EQ(HaveAvx2(), HaveAvx2());
+}
+
+}  // namespace
+}  // namespace tardis

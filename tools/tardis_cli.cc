@@ -17,6 +17,14 @@
 // overrides the persisted budget for that invocation. --spill-mb sets the
 // streaming shuffle's per-worker spill threshold.
 //
+// The exact/knn/range commands also run batched through the partition-
+// grouped QueryEngine (one load per partition instead of one per query):
+//   --batch N        query rids [--rid, --rid + N)
+//   --query-file F   one query rid per line (overrides --batch)
+// Batch mode prints aggregate engine stats (loads issued vs the loads the
+// same queries would cost one at a time) instead of per-query detail; knn
+// batch mode supports the target|one|multi strategies.
+//
 // Example session:
 //   tardis gen   --kind rw --count 50000 --out /tmp/rw
 //   tardis build --data /tmp/rw --index /tmp/rw_idx
@@ -27,13 +35,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/stopwatch.h"
 #include "core/index_stats.h"
+#include "core/query_engine.h"
 #include "core/tardis_index.h"
+#include "ts/kernels.h"
 #include "workload/datasets.h"
 
 namespace tardis {
@@ -195,18 +207,117 @@ Result<TimeSeries> LoadQuery(const std::string& data, RecordId rid) {
   return Status::NotFound("record not in its block (corrupt store?)");
 }
 
+// Collects the query rids of a batched invocation: --query-file (one rid
+// per line) wins over --batch N (rids [--rid, --rid + N)). Returns an empty
+// vector when neither flag is present (single-query mode).
+Result<std::vector<RecordId>> BatchRids(const Flags& flags) {
+  std::vector<RecordId> rids;
+  const std::string file = flags.Get("query-file");
+  if (!file.empty()) {
+    std::ifstream in(file);
+    if (!in) return Status::NotFound("cannot open query file: " + file);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      rids.push_back(std::strtoull(line.c_str(), nullptr, 10));
+    }
+    if (rids.empty()) {
+      return Status::InvalidArgument("query file has no rids: " + file);
+    }
+    return rids;
+  }
+  const uint64_t n = flags.GetU64("batch", 0);
+  const uint64_t start = flags.GetU64("rid", 0);
+  rids.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) rids.push_back(start + i);
+  return rids;
+}
+
+// Loads the series for a batch of rids, reading each data block once.
+Result<std::vector<TimeSeries>> LoadQueries(const std::string& data,
+                                            const std::vector<RecordId>& rids) {
+  TARDIS_ASSIGN_OR_RETURN(BlockStore store, BlockStore::Open(data));
+  std::vector<TimeSeries> queries(rids.size());
+  std::map<uint32_t, std::vector<size_t>> by_block;
+  for (size_t i = 0; i < rids.size(); ++i) {
+    if (rids[i] >= store.num_records()) {
+      return Status::OutOfRange("rid beyond dataset");
+    }
+    by_block[static_cast<uint32_t>(rids[i] / store.block_capacity())]
+        .push_back(i);
+  }
+  for (const auto& [block, idxs] : by_block) {
+    TARDIS_ASSIGN_OR_RETURN(std::vector<Record> records,
+                            store.ReadBlock(block));
+    for (size_t i : idxs) {
+      bool found = false;
+      for (auto& rec : records) {
+        if (rec.rid == rids[i]) {
+          queries[i] = rec.values;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::NotFound("record not in its block (corrupt store?)");
+      }
+    }
+  }
+  return queries;
+}
+
+void PrintBatchStats(const QueryEngineStats& stats, double wall_ms) {
+  std::printf("  wall %.3fms (%.1f queries/s)\n", wall_ms,
+              wall_ms > 0 ? stats.queries * 1000.0 / wall_ms : 0.0);
+  const double saved =
+      stats.logical_partition_loads > 0
+          ? 100.0 * (1.0 - static_cast<double>(stats.partitions_loaded) /
+                               stats.logical_partition_loads)
+          : 0.0;
+  std::printf("  partition loads: %llu issued vs %llu one-at-a-time "
+              "(%.1f%% saved), %llu candidates\n",
+              static_cast<unsigned long long>(stats.partitions_loaded),
+              static_cast<unsigned long long>(stats.logical_partition_loads),
+              saved, static_cast<unsigned long long>(stats.candidates));
+}
+
 int CmdExact(const Flags& flags) {
   const std::string index_dir = flags.Get("index");
   const std::string data = flags.Get("data");
   if (index_dir.empty() || data.empty()) {
     return Fail(Status::InvalidArgument("--index and --data are required"));
   }
-  auto query = LoadQuery(data, flags.GetU64("rid", 0));
-  if (!query.ok()) return Fail(query.status());
   auto cluster = std::make_shared<Cluster>();
   auto index = TardisIndex::Open(cluster, index_dir);
   if (!index.ok()) return Fail(index.status());
   ApplyCacheOverride(flags, &*index);
+
+  auto batch_rids = BatchRids(flags);
+  if (!batch_rids.ok()) return Fail(batch_rids.status());
+  if (!batch_rids->empty()) {
+    auto queries = LoadQueries(data, *batch_rids);
+    if (!queries.ok()) return Fail(queries.status());
+    QueryEngine engine(*index);
+    Stopwatch sw;
+    QueryEngineStats qstats;
+    auto results =
+        engine.ExactMatchBatch(*queries, !flags.Has("no-bloom"), &qstats);
+    if (!results.ok()) return Fail(results.status());
+    size_t hits = 0, with_hits = 0;
+    for (const auto& r : *results) {
+      hits += r.size();
+      with_hits += r.empty() ? 0 : 1;
+    }
+    std::printf("batched exact match: %zu queries, %zu hit(s) across %zu "
+                "quer%s, %llu bloom negatives\n",
+                results->size(), hits, with_hits, with_hits == 1 ? "y" : "ies",
+                static_cast<unsigned long long>(qstats.bloom_negatives));
+    PrintBatchStats(qstats, sw.ElapsedMillis());
+    return 0;
+  }
+
+  auto query = LoadQuery(data, flags.GetU64("rid", 0));
+  if (!query.ok()) return Fail(query.status());
 
   Stopwatch sw;
   ExactMatchStats stats;
@@ -228,8 +339,6 @@ int CmdKnn(const Flags& flags) {
   if (index_dir.empty() || data.empty()) {
     return Fail(Status::InvalidArgument("--index and --data are required"));
   }
-  auto query = LoadQuery(data, flags.GetU64("rid", 0));
-  if (!query.ok()) return Fail(query.status());
   auto cluster = std::make_shared<Cluster>();
   auto index = TardisIndex::Open(cluster, index_dir);
   if (!index.ok()) return Fail(index.status());
@@ -237,6 +346,41 @@ int CmdKnn(const Flags& flags) {
 
   const uint32_t k = static_cast<uint32_t>(flags.GetU64("k", 10));
   const std::string strategy = flags.Get("strategy", "multi");
+
+  auto batch_rids = BatchRids(flags);
+  if (!batch_rids.ok()) return Fail(batch_rids.status());
+  if (!batch_rids->empty()) {
+    KnnStrategy strat;
+    if (strategy == "target") {
+      strat = KnnStrategy::kTargetNode;
+    } else if (strategy == "one") {
+      strat = KnnStrategy::kOnePartition;
+    } else if (strategy == "multi") {
+      strat = KnnStrategy::kMultiPartitions;
+    } else {
+      return Fail(Status::InvalidArgument(
+          "batch mode supports --strategy target|one|multi, got: " +
+          strategy));
+    }
+    auto queries = LoadQueries(data, *batch_rids);
+    if (!queries.ok()) return Fail(queries.status());
+    QueryEngine engine(*index);
+    Stopwatch sw;
+    QueryEngineStats qstats;
+    auto results = engine.KnnApproximateBatch(*queries, k, strat, &qstats);
+    if (!results.ok()) return Fail(results.status());
+    size_t neighbors = 0;
+    for (const auto& r : *results) neighbors += r.size();
+    std::printf("batched %u-NN (%s, kernels=%s): %zu queries, %zu "
+                "neighbour(s)\n",
+                k, strategy.c_str(), KernelBackendName(ActiveKernelBackend()),
+                results->size(), neighbors);
+    PrintBatchStats(qstats, sw.ElapsedMillis());
+    return 0;
+  }
+
+  auto query = LoadQuery(data, flags.GetU64("rid", 0));
+  if (!query.ok()) return Fail(query.status());
   Stopwatch sw;
   KnnStats stats;
   Result<std::vector<Neighbor>> result =
@@ -269,13 +413,32 @@ int CmdRange(const Flags& flags) {
   if (index_dir.empty() || data.empty()) {
     return Fail(Status::InvalidArgument("--index and --data are required"));
   }
-  auto query = LoadQuery(data, flags.GetU64("rid", 0));
-  if (!query.ok()) return Fail(query.status());
   auto cluster = std::make_shared<Cluster>();
   auto index = TardisIndex::Open(cluster, index_dir);
   if (!index.ok()) return Fail(index.status());
   ApplyCacheOverride(flags, &*index);
   const double radius = flags.GetDouble("radius", 1.0);
+
+  auto batch_rids = BatchRids(flags);
+  if (!batch_rids.ok()) return Fail(batch_rids.status());
+  if (!batch_rids->empty()) {
+    auto queries = LoadQueries(data, *batch_rids);
+    if (!queries.ok()) return Fail(queries.status());
+    QueryEngine engine(*index);
+    Stopwatch sw;
+    QueryEngineStats qstats;
+    auto results = engine.RangeSearchBatch(*queries, radius, &qstats);
+    if (!results.ok()) return Fail(results.status());
+    size_t matches = 0;
+    for (const auto& r : *results) matches += r.size();
+    std::printf("batched range(r=%.3f): %zu queries, %zu record(s)\n", radius,
+                results->size(), matches);
+    PrintBatchStats(qstats, sw.ElapsedMillis());
+    return 0;
+  }
+
+  auto query = LoadQuery(data, flags.GetU64("rid", 0));
+  if (!query.ok()) return Fail(query.status());
 
   Stopwatch sw;
   KnnStats stats;
