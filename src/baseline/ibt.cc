@@ -240,7 +240,11 @@ Status DecodeNode(SliceReader* reader, IBTree::Node* node, uint32_t w,
       return Status::Corruption("ibt: truncated signature");
     }
   }
-  if (!reader->GetFixed(&num_children) || num_children > (1u << 24)) {
+  // Every child costs at least a fixed node header plus w signature chars;
+  // bounding by the remaining bytes keeps a corrupt count from allocating
+  // far beyond the file's actual size.
+  if (!reader->GetFixed(&num_children) || num_children > (1u << 24) ||
+      num_children > reader->remaining() / (24 + 3ull * w)) {
     return Status::Corruption("ibt: bad child count");
   }
   for (uint32_t i = 0; i < num_children; ++i) {

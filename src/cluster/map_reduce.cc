@@ -22,7 +22,8 @@ Result<std::vector<uint64_t>> ShuffleToPartitions(
     Cluster& cluster, const BlockStore& input, uint32_t num_partitions,
     const std::function<PartitionId(const Record&)>& partitioner,
     const PartitionStore& output, ShuffleMetrics* metrics,
-    uint64_t spill_threshold_bytes) {
+    uint64_t spill_threshold_bytes, const RetryPolicy& retry,
+    JobMetrics* job) {
   if (num_partitions == 0) {
     return Status::InvalidArgument("shuffle needs at least one partition");
   }
@@ -39,15 +40,45 @@ Result<std::vector<uint64_t>> ShuffleToPartitions(
     cancelled.store(true, std::memory_order_relaxed);
   };
 
+  std::mutex job_mu;
+  JobMetrics job_acc;
+  auto merge_job = [&](const JobMetrics& m) {
+    std::lock_guard<std::mutex> lock(job_mu);
+    job_acc += m;
+  };
+  // Task counters are exported on every exit path, success or abort, so a
+  // failed shuffle still reports how many re-executions it burned.
+  auto export_job = [&]() {
+    if (job != nullptr) *job += job_acc;
+    if (metrics != nullptr) {
+      metrics->task_attempts += job_acc.attempts;
+      metrics->task_retries += job_acc.retries;
+      metrics->tasks_failed += job_acc.failed_tasks;
+    }
+  };
+
   // Start every partition file empty: the streaming flushes below append, so
   // a reused store directory must not leak records from a previous shuffle.
   cluster.pool().ParallelFor(num_partitions, [&](size_t pid) {
     if (cancelled.load(std::memory_order_relaxed)) return;
-    Status st =
-        output.WritePartitionRaw(static_cast<PartitionId>(pid), std::string());
+    JobMetrics task_metrics;
+    Status st = RunWithRetry(
+        retry,
+        [&]() -> Status {
+          TARDIS_RETURN_NOT_OK(MaybeInjectFault(
+              FaultSite::kTask, "shuffle clear partition " +
+                                    std::to_string(pid)));
+          return output.WritePartitionRaw(static_cast<PartitionId>(pid),
+                                          std::string());
+        },
+        &task_metrics);
+    merge_job(task_metrics);
     if (!st.ok()) record_error(st);
   });
-  if (!first_error.ok()) return first_error;
+  if (!first_error.ok()) {
+    export_job();
+    return first_error;
+  }
 
   const size_t rec_size = RecordEncodedSize(input.series_length());
   const uint32_t num_blocks = input.num_blocks();
@@ -71,6 +102,7 @@ Result<std::vector<uint64_t>> ShuffleToPartitions(
       std::max<size_t>(1, std::min<size_t>(cluster.pool().num_threads(),
                                            std::max<uint32_t>(num_blocks, 1)));
   cluster.pool().ParallelFor(num_shards, [&](size_t shard) {
+    JobMetrics shard_job;
     std::unordered_map<PartitionId, std::string> buffers;
     std::vector<uint64_t> local_counts(num_partitions, 0);
     uint64_t buffered = 0;
@@ -80,7 +112,12 @@ Result<std::vector<uint64_t>> ShuffleToPartitions(
         if (bytes.empty()) continue;
         {
           std::lock_guard<std::mutex> lock(stripes[pid % kStripes]);
-          TARDIS_RETURN_NOT_OK(output.AppendPartitionRaw(pid, bytes));
+          // The append fault hook fires before any bytes reach the file, so
+          // a retried flush never lands twice; a real torn append is caught
+          // by the frame checksum at read time instead.
+          TARDIS_RETURN_NOT_OK(RunWithRetry(
+              retry, [&]() { return output.AppendPartitionRaw(pid, bytes); },
+              &shard_job));
         }
         auto& counter = final_flush ? final_flushes : spill_flushes;
         counter.fetch_add(1, std::memory_order_relaxed);
@@ -91,48 +128,62 @@ Result<std::vector<uint64_t>> ShuffleToPartitions(
       return Status::OK();
     };
 
-    for (uint32_t b = static_cast<uint32_t>(shard); b < num_blocks;
-         b += static_cast<uint32_t>(num_shards)) {
-      if (cancelled.load(std::memory_order_relaxed)) return;
-      auto records = input.ReadBlock(b);
-      if (!records.ok()) {
-        record_error(records.status());
-        return;
-      }
-      for (const auto& rec : *records) {
-        const PartitionId pid = partitioner(rec);
-        if (pid >= num_partitions) {
-          record_error(
-              Status::Internal("partitioner returned out-of-range pid"));
-          return;
-        }
-        EncodeRecord(rec, &buffers[pid]);
-        ++local_counts[pid];
-        buffered += rec_size;
-        UpdatePeak(peak_buffered,
-                   buffered_now.fetch_add(rec_size,
-                                          std::memory_order_relaxed) +
-                       rec_size);
-        if (buffered >= spill_threshold_bytes) {
-          Status st = flush_all(/*final_flush=*/false);
-          if (!st.ok()) {
-            record_error(st);
-            return;
+    // The shard body runs in an inner scope so shard_job is merged exactly
+    // once, on every exit path.
+    Status shard_status = [&]() -> Status {
+      for (uint32_t b = static_cast<uint32_t>(shard); b < num_blocks;
+           b += static_cast<uint32_t>(num_shards)) {
+        if (cancelled.load(std::memory_order_relaxed)) return Status::OK();
+        // The per-block retry unit ends before any record is routed into
+        // the shard buffers, so re-execution cannot double-buffer records.
+        Result<std::vector<Record>> records =
+            RunWithRetryResult<std::vector<Record>>(
+                retry,
+                [&]() -> Result<std::vector<Record>> {
+                  TARDIS_RETURN_NOT_OK(MaybeInjectFault(
+                      FaultSite::kTask,
+                      "shuffle block " + std::to_string(b)));
+                  return input.ReadBlock(b);
+                },
+                &shard_job);
+        TARDIS_RETURN_NOT_OK(records.status());
+        for (const auto& rec : *records) {
+          const PartitionId pid = partitioner(rec);
+          if (pid >= num_partitions) {
+            return Status::Internal("partitioner returned out-of-range pid");
+          }
+          EncodeRecord(rec, &buffers[pid]);
+          ++local_counts[pid];
+          buffered += rec_size;
+          UpdatePeak(peak_buffered,
+                     buffered_now.fetch_add(rec_size,
+                                            std::memory_order_relaxed) +
+                         rec_size);
+          if (buffered >= spill_threshold_bytes) {
+            TARDIS_RETURN_NOT_OK(flush_all(/*final_flush=*/false));
           }
         }
       }
-    }
-    Status st = flush_all(/*final_flush=*/true);
-    if (!st.ok()) {
-      record_error(st);
-      return;
-    }
-    std::lock_guard<std::mutex> lock(counts_mu);
-    for (uint32_t pid = 0; pid < num_partitions; ++pid) {
-      counts[pid] += local_counts[pid];
-    }
+      TARDIS_RETURN_NOT_OK(flush_all(/*final_flush=*/true));
+      std::lock_guard<std::mutex> lock(counts_mu);
+      for (uint32_t pid = 0; pid < num_partitions; ++pid) {
+        counts[pid] += local_counts[pid];
+      }
+      return Status::OK();
+    }();
+    merge_job(shard_job);
+    if (!shard_status.ok()) record_error(shard_status);
   });
-  if (!first_error.ok()) return first_error;
+  if (!first_error.ok()) {
+    // An aborted shuffle deletes everything it already flushed so a retried
+    // build starts over from empty files instead of appending onto a
+    // partial run (which would double-count records).
+    cluster.pool().ParallelFor(num_partitions, [&](size_t pid) {
+      (void)output.RemovePartition(static_cast<PartitionId>(pid));
+    });
+    export_job();
+    return first_error;
+  }
 
   if (metrics != nullptr) {
     metrics->blocks_read = num_blocks;
@@ -146,23 +197,36 @@ Result<std::vector<uint64_t>> ShuffleToPartitions(
     metrics->final_flushes = final_flushes.load(std::memory_order_relaxed);
     metrics->peak_buffer_bytes = peak_buffered.load(std::memory_order_relaxed);
   }
+  export_job();
   return counts;
 }
 
 Status MapPartitions(Cluster& cluster, uint32_t num_partitions,
-                     const std::function<Status(PartitionId)>& fn) {
+                     const std::function<Status(PartitionId)>& fn,
+                     const RetryPolicy& retry, JobMetrics* job) {
   std::mutex err_mu;
   Status first_error;
+  JobMetrics job_acc;
   std::atomic<bool> cancelled{false};
   cluster.pool().ParallelFor(num_partitions, [&](size_t pid) {
     if (cancelled.load(std::memory_order_relaxed)) return;
-    Status st = fn(static_cast<PartitionId>(pid));
+    JobMetrics task_metrics;
+    Status st = RunWithRetry(
+        retry,
+        [&]() -> Status {
+          TARDIS_RETURN_NOT_OK(MaybeInjectFault(
+              FaultSite::kTask, "map partition " + std::to_string(pid)));
+          return fn(static_cast<PartitionId>(pid));
+        },
+        &task_metrics);
+    std::lock_guard<std::mutex> lock(err_mu);
+    job_acc += task_metrics;
     if (!st.ok()) {
-      std::lock_guard<std::mutex> lock(err_mu);
       if (first_error.ok()) first_error = st;
       cancelled.store(true, std::memory_order_relaxed);
     }
   });
+  if (job != nullptr) *job += job_acc;
   return first_error;
 }
 

@@ -3,6 +3,14 @@
 // Spark jobs in the paper's pipeline (Fig. 8): map / reduceByKey over blocks,
 // `partitionBy` with the broadcast Tardis-G as the partitioner, and
 // mapPartitions for local-index construction.
+//
+// Every primitive re-executes failed tasks under a RetryPolicy, mirroring
+// Spark's task re-execution: a task that fails with a transient status
+// (I/O error or corruption — including injected faults) is retried with
+// bounded backoff; a task whose attempts are exhausted aborts the job. Retry
+// units are arranged to be idempotent — a block map re-reads and recomputes,
+// a partition build atomically overwrites, and a spill flush is retried
+// before any bytes reach the file (see AppendPartitionRaw's fault hook).
 
 #ifndef TARDIS_CLUSTER_MAP_REDUCE_H_
 #define TARDIS_CLUSTER_MAP_REDUCE_H_
@@ -15,6 +23,8 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/fault_injection.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "storage/block_store.h"
 #include "storage/partition_store.h"
@@ -26,38 +36,50 @@ namespace tardis {
 using FreqMap = std::unordered_map<std::string, uint64_t>;
 
 // Applies `fn` to each listed block in parallel; fn receives the block index
-// and its decoded records. Results are returned in `blocks` order. The first
-// error aborts the job.
+// and its decoded records. Results are returned in `blocks` order. Each
+// block task (read + fn) is one retry unit under `retry`; `fn` must
+// therefore be safe to re-execute for the same block. The first
+// non-retryable (or retry-exhausted) error aborts the job. `job`, when
+// non-null, accumulates task/attempt/retry counts — including on failure.
 template <typename T>
 Result<std::vector<T>> MapBlocks(
     Cluster& cluster, const BlockStore& input,
     const std::vector<uint32_t>& blocks,
-    const std::function<Result<T>(uint32_t, const std::vector<Record>&)>& fn) {
+    const std::function<Result<T>(uint32_t, const std::vector<Record>&)>& fn,
+    const RetryPolicy& retry = RetryPolicy{}, JobMetrics* job = nullptr) {
   std::vector<T> results(blocks.size());
   std::mutex err_mu;
   Status first_error;
+  JobMetrics job_acc;
   // Cancellation is a lock-free flag so unaffected tasks pay one relaxed
   // atomic load instead of a mutex round-trip; the error itself is still
   // recorded under the mutex (first one wins).
   std::atomic<bool> cancelled{false};
   cluster.pool().ParallelFor(blocks.size(), [&](size_t i) {
     if (cancelled.load(std::memory_order_relaxed)) return;
-    auto records = input.ReadBlock(blocks[i]);
-    if (!records.ok()) {
+    JobMetrics task_metrics;
+    Result<T> result = RunWithRetryResult<T>(
+        retry,
+        [&]() -> Result<T> {
+          TARDIS_RETURN_NOT_OK(MaybeInjectFault(
+              FaultSite::kTask, "map block " + std::to_string(blocks[i])));
+          TARDIS_ASSIGN_OR_RETURN(std::vector<Record> records,
+                                  input.ReadBlock(blocks[i]));
+          return fn(blocks[i], records);
+        },
+        &task_metrics);
+    {
       std::lock_guard<std::mutex> lock(err_mu);
-      if (first_error.ok()) first_error = records.status();
-      cancelled.store(true, std::memory_order_relaxed);
-      return;
-    }
-    auto result = fn(blocks[i], *records);
-    if (!result.ok()) {
-      std::lock_guard<std::mutex> lock(err_mu);
-      if (first_error.ok()) first_error = result.status();
-      cancelled.store(true, std::memory_order_relaxed);
-      return;
+      job_acc += task_metrics;
+      if (!result.ok()) {
+        if (first_error.ok()) first_error = result.status();
+        cancelled.store(true, std::memory_order_relaxed);
+        return;
+      }
     }
     results[i] = std::move(result).value();
   });
+  if (job != nullptr) *job += job_acc;
   if (!first_error.ok()) return first_error;
   return results;
 }
@@ -98,6 +120,14 @@ struct ShuffleMetrics {
   uint64_t spill_flushes = 0;
   uint64_t final_flushes = 0;
   uint64_t peak_buffer_bytes = 0;
+  // Task re-execution accounting. A "task" here is one retry unit: a
+  // partition clear, a block read + route, or a spill flush. task_retries
+  // counts re-executions after transient failures; tasks_failed counts units
+  // whose attempts were exhausted (each aborts the shuffle). Populated even
+  // when the shuffle returns an error.
+  uint64_t task_attempts = 0;
+  uint64_t task_retries = 0;
+  uint64_t tasks_failed = 0;
 };
 
 // Default per-worker spill threshold for the streaming shuffle.
@@ -110,17 +140,28 @@ inline constexpr uint64_t kDefaultShuffleSpillBytes = 8ull << 20;  // 8 MiB
 // O(workers x spill threshold) regardless of dataset size. Returns
 // per-partition record counts. The partitioner must be thread-safe (in the
 // paper it is the broadcast, immutable Tardis-G). Partition ids must be
-// < num_partitions. `metrics` may be null.
+// < num_partitions. `metrics` and `job` may be null.
+//
+// Transient task failures (block reads, spill flushes) are retried under
+// `retry`. If the shuffle still aborts, every partition file in
+// [0, num_partitions) is deleted before the error is returned, so a caller
+// that rebuilds never appends onto a partially-flushed run.
 Result<std::vector<uint64_t>> ShuffleToPartitions(
     Cluster& cluster, const BlockStore& input, uint32_t num_partitions,
     const std::function<PartitionId(const Record&)>& partitioner,
     const PartitionStore& output, ShuffleMetrics* metrics = nullptr,
-    uint64_t spill_threshold_bytes = kDefaultShuffleSpillBytes);
+    uint64_t spill_threshold_bytes = kDefaultShuffleSpillBytes,
+    const RetryPolicy& retry = RetryPolicy{}, JobMetrics* job = nullptr);
 
 // Runs `fn(pid)` for every partition id in [0, num_partitions) in parallel —
-// the mapPartitions stage. The first error aborts the job.
+// the mapPartitions stage. Each fn(pid) call is one retry unit under
+// `retry`, so fn must be idempotent per partition (the index builders
+// qualify: they atomically overwrite their outputs). The first non-retryable
+// or retry-exhausted error aborts the job.
 Status MapPartitions(Cluster& cluster, uint32_t num_partitions,
-                     const std::function<Status(PartitionId)>& fn);
+                     const std::function<Status(PartitionId)>& fn,
+                     const RetryPolicy& retry = RetryPolicy{},
+                     JobMetrics* job = nullptr);
 
 }  // namespace tardis
 

@@ -1,0 +1,124 @@
+#include "common/crc32c.h"
+
+#include <array>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define TARDIS_CRC32C_X86 1
+#include <nmmintrin.h>
+#else
+#define TARDIS_CRC32C_X86 0
+#endif
+
+namespace tardis {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Software fallback: slicing-by-8 over compile-time generated tables
+// (polynomial 0x1EDC6F41, reflected 0x82F63B78).
+// ---------------------------------------------------------------------------
+
+constexpr uint32_t kPolyReflected = 0x82F63B78u;
+
+struct Crc32cTables {
+  uint32_t t[8][256];
+};
+
+constexpr Crc32cTables MakeTables() {
+  Crc32cTables tables{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPolyReflected : 0);
+    }
+    tables.t[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    for (int slice = 1; slice < 8; ++slice) {
+      tables.t[slice][i] = (tables.t[slice - 1][i] >> 8) ^
+                           tables.t[0][tables.t[slice - 1][i] & 0xff];
+    }
+  }
+  return tables;
+}
+
+constexpr Crc32cTables kTables = MakeTables();
+
+uint32_t ExtendSoftware(uint32_t crc, const uint8_t* p, size_t n) {
+  crc = ~crc;
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = (crc >> 8) ^ kTables.t[0][(crc ^ *p++) & 0xff];
+    --n;
+  }
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    word ^= crc;
+    crc = kTables.t[7][word & 0xff] ^ kTables.t[6][(word >> 8) & 0xff] ^
+          kTables.t[5][(word >> 16) & 0xff] ^ kTables.t[4][(word >> 24) & 0xff] ^
+          kTables.t[3][(word >> 32) & 0xff] ^ kTables.t[2][(word >> 40) & 0xff] ^
+          kTables.t[1][(word >> 48) & 0xff] ^ kTables.t[0][(word >> 56) & 0xff];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = (crc >> 8) ^ kTables.t[0][(crc ^ *p++) & 0xff];
+    --n;
+  }
+  return ~crc;
+}
+
+#if TARDIS_CRC32C_X86
+
+__attribute__((target("sse4.2"))) uint32_t ExtendHardware(uint32_t crc,
+                                                          const uint8_t* p,
+                                                          size_t n) {
+  crc = ~crc;
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --n;
+  }
+  uint64_t crc64 = crc;
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc64 = _mm_crc32_u64(crc64, word);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+  while (n > 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --n;
+  }
+  return ~crc;
+}
+
+bool DetectHardware() { return __builtin_cpu_supports("sse4.2"); }
+
+#else
+
+bool DetectHardware() { return false; }
+
+#endif  // TARDIS_CRC32C_X86
+
+const bool kHardware = DetectHardware();
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+#if TARDIS_CRC32C_X86
+  if (kHardware) return ExtendHardware(crc, p, n);
+#endif
+  return ExtendSoftware(crc, p, n);
+}
+
+uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+bool Crc32cHardwareActive() { return kHardware; }
+
+}  // namespace tardis

@@ -1,0 +1,35 @@
+// CRC32C (Castagnoli) — the checksum HDFS and most storage systems use for
+// block integrity. Storage layers frame their payloads with it so a flipped
+// bit or torn write surfaces as Status::Corruption instead of silently
+// decoded garbage (docs/RELIABILITY.md).
+//
+// The implementation dispatches at runtime: SSE4.2 hardware CRC when the CPU
+// has it, a slicing-by-8 table fallback otherwise. Both produce identical
+// values (the tests cross-check against the RFC 3720 vectors).
+
+#ifndef TARDIS_COMMON_CRC32C_H_
+#define TARDIS_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace tardis {
+
+// CRC32C of `data` (initial CRC 0). The result is already finalized — feed
+// it to Crc32cExtend to continue over more bytes.
+uint32_t Crc32c(const void* data, size_t n);
+inline uint32_t Crc32c(std::string_view data) {
+  return Crc32c(data.data(), data.size());
+}
+
+// Continues a CRC computed by Crc32c/Crc32cExtend over `n` more bytes, as if
+// the buffers had been concatenated.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+// True when the SSE4.2 hardware path is active (informational).
+bool Crc32cHardwareActive();
+
+}  // namespace tardis
+
+#endif  // TARDIS_COMMON_CRC32C_H_

@@ -1,0 +1,181 @@
+#include "common/fault_injection.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace tardis {
+
+namespace {
+
+constexpr const char* kSiteNames[kNumFaultSites] = {
+    "read_block", "partition_load", "sidecar_read", "partition_append", "task",
+};
+
+// SplitMix64 finalizer: a well-mixed 64-bit hash of (seed, site, draw).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+bool ParseSite(std::string_view name, FaultSite* site) {
+  for (size_t i = 0; i < kNumFaultSites; ++i) {
+    if (name == kSiteNames[i]) {
+      *site = static_cast<FaultSite>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* FaultSiteName(FaultSite site) {
+  const int i = static_cast<int>(site);
+  if (i < 0 || i >= static_cast<int>(kNumFaultSites)) return "unknown";
+  return kSiteNames[i];
+}
+
+FaultInjector::FaultInjector() {
+  for (auto& p : probability_) p.store(0.0, std::memory_order_relaxed);
+  const char* env = std::getenv("TARDIS_FAULTS");
+  if (env != nullptr && env[0] != '\0') {
+    Status st = Configure(env);
+    if (!st.ok()) {
+      std::fprintf(stderr, "TARDIS_FAULTS ignored: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector injector;
+  return injector;
+}
+
+Status FaultInjector::Configure(const std::string& spec) {
+  // Parse into a staging copy first so a malformed spec changes nothing.
+  double staged[kNumFaultSites] = {};
+  uint64_t staged_seed = seed();
+
+  std::string_view rest = spec;
+  // Optional ";seed=N" suffix (also accepted anywhere in the ';' list).
+  while (!rest.empty()) {
+    const size_t semi = rest.find(';');
+    std::string_view part = rest.substr(0, semi);
+    rest = semi == std::string_view::npos ? std::string_view()
+                                          : rest.substr(semi + 1);
+    if (part.empty()) continue;
+    if (part.rfind("seed=", 0) == 0) {
+      char* end = nullptr;
+      const std::string value(part.substr(5));
+      staged_seed = std::strtoull(value.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || value.empty()) {
+        return Status::InvalidArgument("fault spec: bad seed in '" +
+                                       std::string(part) + "'");
+      }
+      continue;
+    }
+    // A comma-separated list of site:probability entries.
+    while (!part.empty()) {
+      const size_t comma = part.find(',');
+      std::string_view entry = part.substr(0, comma);
+      part = comma == std::string_view::npos ? std::string_view()
+                                             : part.substr(comma + 1);
+      if (entry.empty()) continue;
+      const size_t colon = entry.find(':');
+      if (colon == std::string_view::npos) {
+        return Status::InvalidArgument("fault spec: expected site:prob, got '" +
+                                       std::string(entry) + "'");
+      }
+      FaultSite site;
+      if (!ParseSite(entry.substr(0, colon), &site)) {
+        return Status::InvalidArgument(
+            "fault spec: unknown site '" +
+            std::string(entry.substr(0, colon)) +
+            "' (expected read_block|partition_load|sidecar_read|"
+            "partition_append|task)");
+      }
+      char* end = nullptr;
+      const std::string value(entry.substr(colon + 1));
+      const double p = std::strtod(value.c_str(), &end);
+      if (end == nullptr || *end != '\0' || value.empty() || p < 0.0 ||
+          p > 1.0) {
+        return Status::InvalidArgument("fault spec: probability '" + value +
+                                       "' not in [0, 1]");
+      }
+      staged[static_cast<int>(site)] = p;
+    }
+  }
+
+  seed_.store(staged_seed, std::memory_order_relaxed);
+  bool any = false;
+  for (size_t i = 0; i < kNumFaultSites; ++i) {
+    probability_[i].store(staged[i], std::memory_order_relaxed);
+    any = any || staged[i] > 0.0;
+  }
+  enabled_.store(any, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void FaultInjector::SetProbability(FaultSite site, double p) {
+  probability_[static_cast<int>(site)].store(p, std::memory_order_relaxed);
+  if (p > 0.0) {
+    enabled_.store(true, std::memory_order_relaxed);
+    return;
+  }
+  bool any = false;
+  for (const auto& prob : probability_) {
+    any = any || prob.load(std::memory_order_relaxed) > 0.0;
+  }
+  enabled_.store(any, std::memory_order_relaxed);
+}
+
+void FaultInjector::SetSeed(uint64_t seed) {
+  seed_.store(seed, std::memory_order_relaxed);
+}
+
+void FaultInjector::DisableAll() {
+  for (auto& p : probability_) p.store(0.0, std::memory_order_relaxed);
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void FaultInjector::ResetCounters() {
+  for (auto& d : draws_) d.store(0, std::memory_order_relaxed);
+  for (auto& i : injected_) i.store(0, std::memory_order_relaxed);
+}
+
+double FaultInjector::probability(FaultSite site) const {
+  return probability_[static_cast<int>(site)].load(std::memory_order_relaxed);
+}
+
+Status FaultInjector::MaybeFail(FaultSite site, std::string_view detail) {
+  const int i = static_cast<int>(site);
+  const double p = probability_[i].load(std::memory_order_relaxed);
+  if (p <= 0.0) return Status::OK();
+  const uint64_t draw = draws_[i].fetch_add(1, std::memory_order_relaxed);
+  // Map the draw's hash into [0, 1) with 53 bits of precision.
+  const uint64_t h =
+      Mix64(seed() ^ Mix64(static_cast<uint64_t>(i) << 32 | 0x5CA1ABu) ^
+            Mix64(draw));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  if (u >= p) return Status::OK();
+  injected_[i].fetch_add(1, std::memory_order_relaxed);
+  return Status::IOError("injected fault at " + std::string(FaultSiteName(site)) +
+                         ": " + std::string(detail));
+}
+
+FaultInjector::SiteCounters FaultInjector::counters(FaultSite site) const {
+  const int i = static_cast<int>(site);
+  return {draws_[i].load(std::memory_order_relaxed),
+          injected_[i].load(std::memory_order_relaxed)};
+}
+
+bool IsInjectedFault(const Status& status) {
+  return !status.ok() &&
+         status.message().rfind("injected fault", 0) == 0;
+}
+
+}  // namespace tardis

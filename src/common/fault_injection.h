@@ -1,0 +1,100 @@
+// Deterministic, seedable fault injection — the test double for the machine
+// failures a real TARDIS deployment inherits from Spark/HDFS (lost tasks,
+// failed block reads, torn appends). Hook points in the storage layer and
+// the cluster task bodies call MaybeInjectFault; when a site's probability
+// is zero (the default) the hook is a single relaxed atomic load.
+//
+// Configuration
+//   Environment:   TARDIS_FAULTS=read_block:0.05,partition_load:0.02,task:0.05;seed=42
+//                  (parsed once, on first use of FaultInjector::Global()).
+//   Programmatic:  FaultInjector::Global().Configure("task:0.1;seed=7")
+//                  or SetProbability / SetSeed for individual knobs.
+//
+// Determinism: each site keeps a draw counter; draw n fails iff
+// hash(seed, site, n) maps below the site's probability. For a fixed seed
+// the failing draw indices are a fixed set — a single-threaded run replays
+// exactly, and a multi-threaded run injects the same number of faults at the
+// same draw indices (which operation owns a given draw depends on
+// scheduling). Injected failures carry StatusCode::kIOError and the string
+// "injected fault", and are transient: a retried operation draws again.
+
+#ifndef TARDIS_COMMON_FAULT_INJECTION_H_
+#define TARDIS_COMMON_FAULT_INJECTION_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace tardis {
+
+enum class FaultSite : int {
+  kReadBlock = 0,       // BlockStore::ReadBlock
+  kPartitionLoad,       // PartitionStore::ReadPartition
+  kSidecarRead,         // PartitionStore::ReadSidecar
+  kPartitionAppend,     // PartitionStore::AppendPartitionRaw (pre-write)
+  kTask,                // cluster task bodies (MapBlocks / shuffle / MapPartitions)
+};
+inline constexpr size_t kNumFaultSites = 5;
+
+const char* FaultSiteName(FaultSite site);
+
+class FaultInjector {
+ public:
+  struct SiteCounters {
+    uint64_t draws = 0;     // MaybeFail evaluations at this site
+    uint64_t injected = 0;  // draws that returned a failure
+  };
+
+  // The process-wide injector; initialised from $TARDIS_FAULTS on first use.
+  static FaultInjector& Global();
+
+  // Replaces the whole configuration from a spec string:
+  //   site:probability[,site:probability...][;seed=N]
+  // Unlisted sites are reset to probability 0; an empty spec disables
+  // everything. Probabilities must parse in [0, 1].
+  Status Configure(const std::string& spec);
+
+  void SetProbability(FaultSite site, double p);
+  void SetSeed(uint64_t seed);
+  // Zeroes every probability (counters are kept; see ResetCounters).
+  void DisableAll();
+  void ResetCounters();
+
+  double probability(FaultSite site) const;
+  uint64_t seed() const { return seed_.load(std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Draws at `site`: returns an injected IOError with probability p, OK
+  // otherwise. `detail` (e.g. the file path) is embedded in the message.
+  Status MaybeFail(FaultSite site, std::string_view detail);
+
+  SiteCounters counters(FaultSite site) const;
+
+ private:
+  FaultInjector();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> seed_{42};
+  std::array<std::atomic<double>, kNumFaultSites> probability_{};
+  std::array<std::atomic<uint64_t>, kNumFaultSites> draws_{};
+  std::array<std::atomic<uint64_t>, kNumFaultSites> injected_{};
+};
+
+// Hook used at injection points. No-op unless a fault rate is configured.
+inline Status MaybeInjectFault(FaultSite site, std::string_view detail) {
+  FaultInjector& injector = FaultInjector::Global();
+  if (!injector.enabled()) return Status::OK();
+  return injector.MaybeFail(site, detail);
+}
+
+// True when `status` is an injected fault (used by tests and logging; the
+// retry layer treats injected faults like any other transient I/O error).
+bool IsInjectedFault(const Status& status);
+
+}  // namespace tardis
+
+#endif  // TARDIS_COMMON_FAULT_INJECTION_H_

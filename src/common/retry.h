@@ -1,0 +1,137 @@
+// Bounded task retry — the library's analogue of Spark's task re-execution.
+//
+// A RetryPolicy caps the number of attempts and the (exponential, bounded)
+// backoff between them. RunWithRetry re-executes a callable while it fails
+// with a *transient* status (I/O errors — including injected faults — and
+// corruption, which in the fault model stands in for a torn read that a
+// replica re-read would heal). Permanent errors (InvalidArgument, Internal,
+// NotImplemented, ...) never retry. Callables passed to the retry helpers
+// must be idempotent: the dataflow layer arranges its retry units so every
+// re-executed body either has no side effects or overwrites atomically.
+
+#ifndef TARDIS_COMMON_RETRY_H_
+#define TARDIS_COMMON_RETRY_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "common/status.h"
+
+namespace tardis {
+
+struct RetryPolicy {
+  // Total executions allowed per task, including the first (1 = no retries).
+  uint32_t max_attempts = 3;
+  // Backoff before retry r (1-based) is min(backoff_init_us << (r-1),
+  // backoff_max_us) microseconds.
+  uint32_t backoff_init_us = 200;
+  uint32_t backoff_max_us = 20000;
+
+  bool enabled() const { return max_attempts > 1; }
+
+  Status Validate() const {
+    if (max_attempts == 0) {
+      return Status::InvalidArgument("retry max_attempts must be >= 1");
+    }
+    return Status::OK();
+  }
+};
+
+// Per-job task accounting, surfaced next to ShuffleMetrics: what a Spark UI
+// would show as tasks / attempts / retries / failures. Accumulates across
+// calls so one struct can aggregate a multi-stage pipeline.
+struct JobMetrics {
+  uint64_t tasks = 0;         // logical tasks launched
+  uint64_t attempts = 0;      // task executions, including retries
+  uint64_t retries = 0;       // attempts beyond each task's first
+  uint64_t failed_tasks = 0;  // tasks whose attempts were exhausted
+
+  JobMetrics& operator+=(const JobMetrics& other) {
+    tasks += other.tasks;
+    attempts += other.attempts;
+    retries += other.retries;
+    failed_tasks += other.failed_tasks;
+    return *this;
+  }
+};
+
+// A status worth retrying: plausibly transient in the fault model.
+inline bool IsRetryableStatus(const Status& status) {
+  return status.code() == StatusCode::kIOError ||
+         status.code() == StatusCode::kCorruption;
+}
+
+// A load failure a degraded-mode query may skip over (retryable errors plus
+// NotFound, e.g. a partition whose file a failed node took with it).
+inline bool IsDegradableLoadError(const Status& status) {
+  return IsRetryableStatus(status) || status.code() == StatusCode::kNotFound;
+}
+
+inline uint32_t BackoffDelayUs(const RetryPolicy& policy, uint32_t retry) {
+  if (retry == 0 || policy.backoff_init_us == 0) return 0;
+  const uint32_t shift = std::min(retry - 1, 20u);
+  const uint64_t delay = static_cast<uint64_t>(policy.backoff_init_us) << shift;
+  return static_cast<uint32_t>(
+      std::min<uint64_t>(delay, policy.backoff_max_us));
+}
+
+// Runs `fn` (returning Status) up to policy.max_attempts times, sleeping the
+// bounded backoff between attempts. Returns the first success or the last
+// failure. `metrics`, when non-null, is updated with the task/attempt/retry
+// counts (and failed_tasks on exhaustion); updates are plain field writes —
+// use one JobMetrics per thread or the atomic-counter overloads in callers
+// that share one across workers.
+template <typename Fn>
+Status RunWithRetry(const RetryPolicy& policy, Fn&& fn,
+                    JobMetrics* metrics = nullptr) {
+  const uint32_t max_attempts = std::max(1u, policy.max_attempts);
+  if (metrics != nullptr) ++metrics->tasks;
+  Status st;
+  for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      const uint32_t delay = BackoffDelayUs(policy, attempt);
+      if (delay > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(delay));
+      }
+      if (metrics != nullptr) ++metrics->retries;
+    }
+    if (metrics != nullptr) ++metrics->attempts;
+    st = fn();
+    if (st.ok() || !IsRetryableStatus(st)) return st;
+  }
+  if (metrics != nullptr) ++metrics->failed_tasks;
+  return st;
+}
+
+// Result<T> counterpart: retries transient failures, returns the first
+// successful value or the last failure.
+template <typename T, typename Fn>
+Result<T> RunWithRetryResult(const RetryPolicy& policy, Fn&& fn,
+                             JobMetrics* metrics = nullptr) {
+  const uint32_t max_attempts = std::max(1u, policy.max_attempts);
+  if (metrics != nullptr) ++metrics->tasks;
+  Status last;
+  for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      const uint32_t delay = BackoffDelayUs(policy, attempt);
+      if (delay > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(delay));
+      }
+      if (metrics != nullptr) ++metrics->retries;
+    }
+    if (metrics != nullptr) ++metrics->attempts;
+    Result<T> result = fn();
+    if (result.ok() || !IsRetryableStatus(result.status())) return result;
+    last = result.status();
+  }
+  if (metrics != nullptr) ++metrics->failed_tasks;
+  return last;
+}
+
+}  // namespace tardis
+
+#endif  // TARDIS_COMMON_RETRY_H_

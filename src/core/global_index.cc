@@ -43,7 +43,8 @@ Result<GlobalIndex> GlobalIndex::Build(Cluster& cluster,
               ++freq[codec.Encode(paa)];
             }
             return freq;
-          })));
+          },
+          config.retry, breakdown != nullptr ? &breakdown->job : nullptr)));
   FreqMap merged = MergeFreqMaps(std::move(per_block));
   uint64_t sampled_total = 0;
   for (const auto& [sig, count] : merged) sampled_total += count;

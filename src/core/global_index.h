@@ -31,6 +31,7 @@ class GlobalIndex {
     double statistics_seconds = 0.0;  // layer-by-layer node statistics
     double skeleton_seconds = 0.0;    // tree insertion on the master
     double packing_seconds = 0.0;     // FFD partition assignment
+    JobMetrics job;                   // sampling-job task/retry accounting
     double TotalSeconds() const {
       return sample_seconds + statistics_seconds + skeleton_seconds +
              packing_seconds;

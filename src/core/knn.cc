@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <mutex>
+#include <optional>
 
 #include "common/rng.h"
 #include "core/query_scan.h"
@@ -61,72 +62,116 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
   std::string sig;
   TARDIS_RETURN_NOT_OK(PrepareQuery(query, &normalized, &paa, &sig));
 
-  // (2) Tardis-G identifies the home partition; (3) load it.
+  // (2) Tardis-G identifies the home partition; (3) load it. A home that
+  // cannot be loaded after retries degrades the query instead of failing it:
+  // the scan continues over whatever partitions remain (for MultiPartitions,
+  // the siblings; otherwise nothing) and the stats report the lost coverage.
   const PartitionId home = global_->LookupPartition(sig);
   if (home == kInvalidPartition) return Status::Internal("no home partition");
-  TARDIS_ASSIGN_OR_RETURN(LocalIndex home_local, LoadLocalIndex(home));
-  TARDIS_ASSIGN_OR_RETURN(PartitionCache::Value home_loaded,
-                          LoadPartitionShared(home));
-  const std::vector<Record>& home_records = *home_loaded;
-  if (stats) stats->partitions_loaded = 1;
+  std::optional<LocalIndex> home_local;
+  PartitionCache::Value home_loaded;
+  uint32_t requested = 1, failed = 0, loaded = 0;
+  {
+    auto local = LoadLocalIndex(home);
+    if (local.ok()) {
+      auto records = LoadPartitionShared(home);
+      if (records.ok()) {
+        home_local = std::move(local).value();
+        home_loaded = std::move(records).value();
+        loaded = 1;
+      } else if (IsDegradableLoadError(records.status())) {
+        failed = 1;
+      } else {
+        return records.status();
+      }
+    } else if (IsDegradableLoadError(local.status())) {
+      failed = 1;
+    } else {
+      return local.status();
+    }
+  }
+
+  auto fill_stats = [&](uint64_t candidates) {
+    if (stats == nullptr) return;
+    stats->candidates = candidates;
+    stats->partitions_loaded = loaded;
+    stats->partitions_requested = requested;
+    stats->partitions_failed = failed;
+    stats->results_complete = failed == 0;
+  };
 
   // (4) Target Node Access: rank the target node's clustered slice.
-  const SigTree::Node* target = qscan::FindTargetNode(home_local.tree(), sig, k);
-  if (stats) stats->target_node_level = target->level;
   uint64_t candidates = 0;
   TopK topk(k);
-  qscan::RankRange(home_records, target->range_start, target->range_len,
-                   normalized, &topk, &candidates);
+  if (home_local.has_value()) {
+    const SigTree::Node* target =
+        qscan::FindTargetNode(home_local->tree(), sig, k);
+    if (stats) stats->target_node_level = target->level;
+    qscan::RankRange(*home_loaded, target->range_start, target->range_len,
+                     normalized, &topk, &candidates);
+  }
 
   if (strategy == KnnStrategy::kTargetNode) {
-    if (stats) stats->candidates = candidates;
+    fill_stats(candidates);
     return topk.Take();
   }
 
   // Optimized strategies: the k-th distance from the target node becomes the
-  // pruning threshold for a wider scan.
+  // pruning threshold for a wider scan (infinite when the home was skipped,
+  // so the remaining partitions are scanned unpruned).
   const double threshold = topk.Threshold();
   const MindistTable mind(paa, static_cast<uint8_t>(codec().max_bits()),
                           normalized.size());
 
   if (strategy == KnnStrategy::kOnePartition) {
     TopK wide(k);
-    home_local.tree().EnsureWords();
-    qscan::PrunedScan(home_local.tree(), home_records, mind, normalized,
-                      threshold, &wide, &candidates);
-    if (stats) stats->candidates = candidates;
+    if (home_local.has_value()) {
+      home_local->tree().EnsureWords();
+      qscan::PrunedScan(home_local->tree(), *home_loaded, mind, normalized,
+                        threshold, &wide, &candidates);
+    }
+    fill_stats(candidates);
     return wide.Take();
   }
 
   // Multi-Partitions Access (Alg. 1): extend to the sibling partitions from
   // the Tardis-G parent node.
   const std::vector<PartitionId> pids = SelectMultiPartitions(sig, home);
+  requested = static_cast<uint32_t>(pids.size());
 
   // Scan all selected partitions in parallel; each produces a local top-k.
+  // A sibling that cannot be loaded after retries is skipped (degraded
+  // coverage); non-transient errors still abort the query.
   std::mutex mu;
   TopK merged(k);
   uint64_t total_candidates = candidates;
-  uint32_t loaded = 1;
   Status first_error;
   cluster_->pool().ParallelFor(pids.size(), [&](size_t i) {
     const PartitionId pid = pids[i];
     TopK part_topk(k);
     uint64_t part_candidates = 0;
     if (pid == home) {
-      home_local.tree().EnsureWords();
-      qscan::PrunedScan(home_local.tree(), home_records, mind, normalized,
+      if (!home_local.has_value()) return;  // already counted as failed
+      home_local->tree().EnsureWords();
+      qscan::PrunedScan(home_local->tree(), *home_loaded, mind, normalized,
                         threshold, &part_topk, &part_candidates);
     } else {
+      auto handle_load_error = [&](const Status& st) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (IsDegradableLoadError(st)) {
+          ++failed;
+        } else if (first_error.ok()) {
+          first_error = st;
+        }
+      };
       auto local = LoadLocalIndex(pid);
       if (!local.ok()) {
-        std::lock_guard<std::mutex> lock(mu);
-        if (first_error.ok()) first_error = local.status();
+        handle_load_error(local.status());
         return;
       }
       auto records = LoadPartitionShared(pid);
       if (!records.ok()) {
-        std::lock_guard<std::mutex> lock(mu);
-        if (first_error.ok()) first_error = records.status();
+        handle_load_error(records.status());
         return;
       }
       local->tree().EnsureWords();
@@ -140,10 +185,7 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
     if (pid != home) ++loaded;
   });
   TARDIS_RETURN_NOT_OK(first_error);
-  if (stats) {
-    stats->candidates = total_candidates;
-    stats->partitions_loaded = loaded;
-  }
+  fill_stats(total_candidates);
   return merged.Take();
 }
 

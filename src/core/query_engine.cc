@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -48,8 +49,10 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
   const uint8_t table_bits = static_cast<uint8_t>(index_->codec().max_bits());
   // kMultiPartitions bookkeeping: per-query threshold, deterministic
   // partition list (shared with the single-query path), the home's position
-  // in it, and one partial result slot per listed partition.
-  std::vector<double> thresholds(nq, 0.0);
+  // in it, and one partial result slot per listed partition. Thresholds
+  // start at infinity so a query whose home partition failed to load scans
+  // its siblings unpruned — matching the single-query degraded path.
+  std::vector<double> thresholds(nq, std::numeric_limits<double>::infinity());
   std::vector<std::vector<PartitionId>> multi_pids(nq);
   std::vector<size_t> home_slot(nq, 0);
   std::vector<std::vector<std::vector<Neighbor>>> partials(nq);
@@ -89,6 +92,18 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
   std::mutex mu;
   Status first_error;
   std::atomic<uint64_t> candidates{0};
+  std::atomic<uint64_t> failed{0};
+  // A partition task whose load fails after retries is skipped: the queries
+  // assigned to it lose that partition's records (degraded coverage) but the
+  // batch keeps answering. Non-transient errors still abort.
+  auto handle_load_error = [&](const Status& st) {
+    if (IsDegradableLoadError(st)) {
+      failed.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    if (first_error.ok()) first_error = st;
+  };
 
   // --- Phase B: one task per distinct home partition; every query homed
   // there runs its target-node ranking (and, except for kMultiPartitions,
@@ -98,14 +113,12 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
     const std::vector<size_t>& qs = *home_groups[gi].second;
     auto local = index_->LoadLocalIndex(pid);
     if (!local.ok()) {
-      std::lock_guard<std::mutex> lock(mu);
-      if (first_error.ok()) first_error = local.status();
+      handle_load_error(local.status());
       return;
     }
     auto records = index_->LoadPartitionShared(pid);
     if (!records.ok()) {
-      std::lock_guard<std::mutex> lock(mu);
-      if (first_error.ok()) first_error = records.status();
+      handle_load_error(records.status());
       return;
     }
     if (cache != nullptr) {
@@ -143,7 +156,9 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
     }
     candidates.fetch_add(cand, std::memory_order_relaxed);
   });
-  acc.partitions_loaded += home_groups.size();
+  acc.partitions_requested += home_groups.size();
+  acc.partitions_loaded +=
+      home_groups.size() - failed.load(std::memory_order_relaxed);
   TARDIS_RETURN_NOT_OK(first_error);
 
   if (strategy == KnnStrategy::kMultiPartitions) {
@@ -161,19 +176,18 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
     groups.reserve(by_pid.size());
     for (const auto& [pid, tasks] : by_pid) groups.emplace_back(pid, &tasks);
 
+    const uint64_t failed_before = failed.load(std::memory_order_relaxed);
     index_->cluster_->pool().ParallelFor(groups.size(), [&](size_t gi) {
       const PartitionId pid = groups[gi].first;
       const std::vector<SlotTask>& tasks = *groups[gi].second;
       auto local = index_->LoadLocalIndex(pid);
       if (!local.ok()) {
-        std::lock_guard<std::mutex> lock(mu);
-        if (first_error.ok()) first_error = local.status();
+        handle_load_error(local.status());
         return;
       }
       auto records = index_->LoadPartitionShared(pid);
       if (!records.ok()) {
-        std::lock_guard<std::mutex> lock(mu);
-        if (first_error.ok()) first_error = records.status();
+        handle_load_error(records.status());
         return;
       }
       if (cache != nullptr) {
@@ -190,7 +204,10 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
       }
       candidates.fetch_add(cand, std::memory_order_relaxed);
     });
-    acc.partitions_loaded += groups.size();
+    acc.partitions_requested += groups.size();
+    acc.partitions_loaded +=
+        groups.size() -
+        (failed.load(std::memory_order_relaxed) - failed_before);
     TARDIS_RETURN_NOT_OK(first_error);
 
     // Merge the per-partition top-k lists in the query's deterministic
@@ -206,6 +223,8 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
 
   if (stats) {
     acc.candidates = candidates.load(std::memory_order_relaxed);
+    acc.partitions_failed = failed.load(std::memory_order_relaxed);
+    acc.results_complete = acc.partitions_failed == 0;
     acc.wall_seconds = sw.ElapsedSeconds();
     *stats = acc;
   }
@@ -288,7 +307,11 @@ Result<std::vector<std::vector<RecordId>>> QueryEngine::ExactMatchBatch(
     }
     candidates.fetch_add(cand, std::memory_order_relaxed);
   });
+  // Exact match keeps strict semantics: a partition that cannot be loaded is
+  // an error, not a silently incomplete answer (absence claims must be
+  // provable).
   acc.partitions_loaded = groups.size();
+  acc.partitions_requested = groups.size();
   TARDIS_RETURN_NOT_OK(first_error);
 
   if (stats) {
@@ -344,20 +367,30 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::RangeSearchBatch(
   std::mutex mu;
   Status first_error;
   std::atomic<uint64_t> candidates{0};
+  std::atomic<uint64_t> failed{0};
+  // Degraded mode: a partition that cannot be loaded after retries is
+  // skipped (its partial-result slots stay empty) and reported via the
+  // coverage stats; non-transient errors abort the batch.
+  auto handle_load_error = [&](const Status& st) {
+    if (IsDegradableLoadError(st)) {
+      failed.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    if (first_error.ok()) first_error = st;
+  };
 
   index_->cluster_->pool().ParallelFor(groups.size(), [&](size_t gi) {
     const PartitionId pid = groups[gi].first;
     const std::vector<SlotTask>& tasks = *groups[gi].second;
     auto local = index_->LoadLocalIndex(pid);
     if (!local.ok()) {
-      std::lock_guard<std::mutex> lock(mu);
-      if (first_error.ok()) first_error = local.status();
+      handle_load_error(local.status());
       return;
     }
     auto records = index_->LoadPartitionShared(pid);
     if (!records.ok()) {
-      std::lock_guard<std::mutex> lock(mu);
-      if (first_error.ok()) first_error = records.status();
+      handle_load_error(records.status());
       return;
     }
     if (cache != nullptr) {
@@ -372,7 +405,10 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::RangeSearchBatch(
     }
     candidates.fetch_add(cand, std::memory_order_relaxed);
   });
-  acc.partitions_loaded = groups.size();
+  acc.partitions_requested = groups.size();
+  acc.partitions_failed = failed.load(std::memory_order_relaxed);
+  acc.partitions_loaded = groups.size() - acc.partitions_failed;
+  acc.results_complete = acc.partitions_failed == 0;
   TARDIS_RETURN_NOT_OK(first_error);
 
   for (size_t q = 0; q < nq; ++q) {

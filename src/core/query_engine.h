@@ -42,6 +42,15 @@ struct QueryEngineStats {
   uint64_t candidates = 0;        // raw series ranked / verified
   uint64_t bloom_negatives = 0;   // exact match only
   double wall_seconds = 0.0;
+  // Degraded-mode coverage, at partition-task granularity: the batch
+  // scheduled `partitions_requested` distinct partition loads and
+  // `partitions_failed` of them could not be loaded after retries. kNN and
+  // range batches skip failed partitions and keep answering — every query
+  // touching one may be missing records, so results_complete goes false.
+  // Exact-match batches never degrade: a failed load aborts the batch.
+  uint64_t partitions_requested = 0;
+  uint64_t partitions_failed = 0;
+  bool results_complete = true;
 };
 
 class QueryEngine {

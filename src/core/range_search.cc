@@ -31,14 +31,31 @@ Result<std::vector<Neighbor>> TardisIndex::RangeSearch(const TimeSeries& query,
                           normalized.size());
   std::vector<Neighbor> results;
   uint64_t candidates = 0;
-  uint32_t loaded = 0;
+  uint32_t loaded = 0, requested = 0, failed = 0;
   for (PartitionId pid = 0; pid < num_partitions(); ++pid) {
     if (regions_[pid].Mindist(paa, normalized.size()) > radius) continue;
-    TARDIS_ASSIGN_OR_RETURN(LocalIndex local, LoadLocalIndex(pid));
-    TARDIS_ASSIGN_OR_RETURN(PartitionCache::Value records,
-                            LoadPartitionShared(pid));
-    local.tree().EnsureWords();
-    qscan::RangeScan(local.tree(), *records, mind, normalized, radius,
+    ++requested;
+    // A partition that cannot be loaded after retries is skipped: the query
+    // keeps answering from the remaining partitions and reports the lost
+    // coverage through the stats. Non-transient errors still abort.
+    auto local = LoadLocalIndex(pid);
+    if (!local.ok()) {
+      if (IsDegradableLoadError(local.status())) {
+        ++failed;
+        continue;
+      }
+      return local.status();
+    }
+    auto records = LoadPartitionShared(pid);
+    if (!records.ok()) {
+      if (IsDegradableLoadError(records.status())) {
+        ++failed;
+        continue;
+      }
+      return records.status();
+    }
+    local->tree().EnsureWords();
+    qscan::RangeScan(local->tree(), **records, mind, normalized, radius,
                      &results, &candidates);
     ++loaded;
   }
@@ -47,6 +64,9 @@ Result<std::vector<Neighbor>> TardisIndex::RangeSearch(const TimeSeries& query,
     stats->partitions_loaded = loaded;
     stats->candidates = candidates;
     stats->target_node_level = 0;
+    stats->partitions_requested = requested;
+    stats->partitions_failed = failed;
+    stats->results_complete = failed == 0;
   }
   return results;
 }

@@ -56,8 +56,11 @@ Result<RegionSummary> RegionSummary::Decode(std::string_view in) {
   SliceReader reader(in);
   RegionSummary summary;
   uint32_t w = 0;
+  // min_sym + max_sym cost 4 bytes per segment; bounding w by the remaining
+  // bytes keeps a corrupt header from allocating beyond the file size.
   if (!reader.GetFixed(&summary.count) || !reader.GetFixed(&summary.bits) ||
-      !reader.GetFixed(&w) || w > (1u << 20)) {
+      !reader.GetFixed(&w) || w > (1u << 20) ||
+      w > reader.remaining() / 4) {
     return Status::Corruption("region summary: truncated header");
   }
   summary.min_sym.resize(w);

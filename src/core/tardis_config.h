@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "common/retry.h"
 #include "common/status.h"
 
 namespace tardis {
@@ -71,6 +72,13 @@ struct TardisConfig {
   // shuffle memory at workers x threshold instead of the dataset size.
   uint64_t shuffle_spill_bytes = 8ull << 20;
 
+  // Task retry policy for cluster jobs (build shuffle, local-index
+  // construction) and for query-time partition loads — the analogue of
+  // Spark's task re-execution. Not persisted in the index meta: it is a
+  // runtime property of the process, not of the data (queries against an
+  // opened index can override it via TardisIndex::SetRetryPolicy).
+  RetryPolicy retry;
+
   Status Validate() const {
     if (word_length == 0 || word_length % 4 != 0) {
       return Status::InvalidArgument("word_length must be a positive multiple of 4");
@@ -94,6 +102,7 @@ struct TardisConfig {
     if (shuffle_spill_bytes == 0) {
       return Status::InvalidArgument("shuffle_spill_bytes must be positive");
     }
+    TARDIS_RETURN_NOT_OK(retry.Validate());
     return Status::OK();
   }
 };

@@ -99,12 +99,13 @@ Result<TardisIndex> TardisIndex::Build(std::shared_ptr<Cluster> cluster,
     PaaInto(rec.values, w, paa.data());
     return gidx.LookupPartition(codec.Encode(paa));
   };
+  JobMetrics job;
   TARDIS_ASSIGN_OR_RETURN(
       index.partition_counts_,
       ShuffleToPartitions(*cluster, input, index.num_partitions(), partitioner,
                           *index.partitions_,
                           timings != nullptr ? &timings->shuffle : nullptr,
-                          config.shuffle_spill_bytes));
+                          config.shuffle_spill_bytes, config.retry, &job));
   if (timings) timings->shuffle_seconds = sw.ElapsedSeconds();
   sw.Restart();
 
@@ -162,7 +163,8 @@ Result<TardisIndex> TardisIndex::Build(std::shared_ptr<Cluster> cluster,
           index.blooms_[pid] = std::move(bloom);
         }
         return Status::OK();
-      }));
+      },
+      config.retry, &job));
   if (timings) timings->local_build_seconds = sw.ElapsedSeconds();
   sw.Restart();
 
@@ -187,8 +189,13 @@ Result<TardisIndex> TardisIndex::Build(std::shared_ptr<Cluster> cluster,
           std::lock_guard<std::mutex> lock(bloom_mu);
           index.blooms_[pid] = std::move(bloom);
           return Status::OK();
-        }));
+        },
+        config.retry, &job));
     if (timings) timings->bloom_extra_seconds = sw.ElapsedSeconds();
+  }
+  if (timings) {
+    timings->job = job;
+    timings->job += breakdown.job;
   }
   TARDIS_RETURN_NOT_OK(index.SaveMeta());
   return index;
@@ -293,7 +300,8 @@ Result<TardisIndex> TardisIndex::Open(std::shared_ptr<Cluster> cluster,
         index.regions_[pid] = std::move(region);
         index.blooms_[pid] = std::move(bloom);
         return Status::OK();
-      }));
+      },
+      config.retry));
   return index;
 }
 
@@ -329,6 +337,14 @@ Status TardisIndex::PrepareQuery(const TimeSeries& query,
 }
 
 Result<std::vector<Record>> TardisIndex::LoadPartition(PartitionId pid) const {
+  // A whole load is one retry unit: un-clustered reconstruction touches many
+  // files, and restarting it from scratch keeps the unit idempotent.
+  return RunWithRetryResult<std::vector<Record>>(
+      config_.retry, [this, pid] { return LoadPartitionOnce(pid); });
+}
+
+Result<std::vector<Record>> TardisIndex::LoadPartitionOnce(
+    PartitionId pid) const {
   if (config_.clustered) return partitions_->ReadPartition(pid);
   // Un-clustered: reconstruct the partition's records by fetching each rid
   // from the base blocks — the refine phase's "expensive random I/O
@@ -378,9 +394,11 @@ void TardisIndex::SetCacheBudget(uint64_t budget_bytes) {
 }
 
 Result<LocalIndex> TardisIndex::LoadLocalIndex(PartitionId pid) const {
-  TARDIS_ASSIGN_OR_RETURN(std::string bytes,
-                          partitions_->ReadSidecar(pid, kTreeSidecar));
-  return LocalIndex::DecodeTree(bytes, codec());
+  return RunWithRetryResult<LocalIndex>(config_.retry, [&]() -> Result<LocalIndex> {
+    TARDIS_ASSIGN_OR_RETURN(std::string bytes,
+                            partitions_->ReadSidecar(pid, kTreeSidecar));
+    return LocalIndex::DecodeTree(bytes, codec());
+  });
 }
 
 Result<std::vector<RecordId>> TardisIndex::ExactMatch(

@@ -56,6 +56,14 @@ struct KnnStats {
   uint32_t partitions_loaded = 0;
   uint32_t target_node_level = 0;
   uint64_t candidates = 0;  // raw series ranked by true distance
+  // Degraded-mode coverage (kNN-approximate and range search only): the
+  // query keeps answering when a partition cannot be loaded after retries,
+  // skipping it. partitions_failed > 0 implies results_complete == false and
+  // means the answer may miss records from the skipped partitions. KnnExact
+  // and ExactMatch never degrade — they propagate load errors instead.
+  uint32_t partitions_requested = 0;
+  uint32_t partitions_failed = 0;
+  bool results_complete = true;
 };
 
 class TardisIndex {
@@ -67,6 +75,9 @@ class TardisIndex {
     double local_build_seconds = 0.0;  // mapPartitions: Tardis-L + clustering
     double bloom_extra_seconds = 0.0;  // spill pass when nothing is cached
     ShuffleMetrics shuffle;            // dataflow accounting of the shuffle
+    // Task/attempt/retry accounting across every cluster job of the build
+    // (sampling, shuffle, local construction, Bloom pass).
+    JobMetrics job;
     double TotalSeconds() const {
       return global.TotalSeconds() + shuffle_seconds + local_build_seconds +
              bloom_extra_seconds;
@@ -152,7 +163,8 @@ class TardisIndex {
   // in the paper's query path). Exposed for tests and tooling. LoadPartition
   // always goes to disk; the query algorithms go through
   // LoadPartitionShared, which serves repeated loads from the byte-budgeted
-  // partition cache when one is configured.
+  // partition cache when one is configured. Both loaders retry transient
+  // failures under the configured RetryPolicy before reporting an error.
   Result<std::vector<Record>> LoadPartition(PartitionId pid) const;
   Result<PartitionCache::Value> LoadPartitionShared(PartitionId pid) const;
   Result<LocalIndex> LoadLocalIndex(PartitionId pid) const;
@@ -167,6 +179,12 @@ class TardisIndex {
   // Existing entries and counters are discarded. Not safe to call
   // concurrently with queries.
   void SetCacheBudget(uint64_t budget_bytes);
+
+  // Overrides the retry policy used by query-time partition/sidecar loads
+  // (the build uses the policy from the config it was built with). Not safe
+  // to call concurrently with queries.
+  void SetRetryPolicy(const RetryPolicy& retry) { config_.retry = retry; }
+  const RetryPolicy& retry_policy() const { return config_.retry; }
 
  private:
   friend class QueryEngine;
@@ -193,6 +211,9 @@ class TardisIndex {
   // keeps `home` first. Shared by KnnApproximate and the batched engine.
   std::vector<PartitionId> SelectMultiPartitions(std::string_view sig,
                                                  PartitionId home) const;
+
+  // One un-retried partition load; LoadPartition wraps it in the policy.
+  Result<std::vector<Record>> LoadPartitionOnce(PartitionId pid) const;
 
   // Persists config/global-tree/counts metadata next to the partitions.
   Status SaveMeta() const;

@@ -238,7 +238,13 @@ Status DecodeNode(SliceReader* reader, SigTree* tree, SigTree::Node* node,
   if (!reader->GetFixed(&node->count) || !reader->GetFixed(&num_pids)) {
     return Status::Corruption("sigtree: truncated node header");
   }
-  if (num_pids > 1u << 24) return Status::Corruption("sigtree: pid count");
+  // Bound claimed counts by the bytes actually left in the buffer so a
+  // corrupt header cannot trigger a huge allocation before the element
+  // reads fail.
+  if (num_pids > 1u << 24 ||
+      num_pids > reader->remaining() / sizeof(uint32_t)) {
+    return Status::Corruption("sigtree: pid count");
+  }
   node->pids.resize(num_pids);
   for (auto& pid : node->pids) {
     if (!reader->GetFixed(&pid)) return Status::Corruption("sigtree: pids");
@@ -249,7 +255,11 @@ Status DecodeNode(SliceReader* reader, SigTree* tree, SigTree::Node* node,
       !reader->GetFixed(&num_children)) {
     return Status::Corruption("sigtree: truncated node body");
   }
-  if (num_children > 1u << 24) return Status::Corruption("sigtree: child count");
+  // Every child costs at least its chunk plus a fixed node header.
+  if (num_children > 1u << 24 ||
+      num_children > reader->remaining() / (cpl + 24)) {
+    return Status::Corruption("sigtree: child count");
+  }
   std::string chunk(cpl, '\0');
   for (uint32_t i = 0; i < num_children; ++i) {
     if (!reader->GetBytes(chunk.data(), cpl)) {

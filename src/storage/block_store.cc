@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/fault_injection.h"
+
 namespace fs = std::filesystem;
 
 namespace tardis {
@@ -115,6 +117,7 @@ Result<std::vector<Record>> BlockStore::ReadBlock(uint32_t index) const {
   if (index >= num_blocks_) {
     return Status::OutOfRange("block index out of range");
   }
+  TARDIS_RETURN_NOT_OK(MaybeInjectFault(FaultSite::kReadBlock, BlockPath(index)));
   TARDIS_ASSIGN_OR_RETURN(std::string bytes, ReadFile(BlockPath(index)));
   const size_t rec_size = RecordEncodedSize(series_length_);
   if (bytes.size() % rec_size != 0) {

@@ -4,11 +4,25 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/crc32c.h"
+#include "common/fault_injection.h"
+#include "common/serde.h"
+
 namespace fs = std::filesystem;
 
 namespace tardis {
 
 namespace {
+
+// Every partition record file and sidecar is a sequence of frames:
+//   [magic u32 | payload_len u32 | crc32c(payload) u32 | payload]
+// WritePartition*/WriteSidecar emit one frame; each streaming-shuffle flush
+// appends one more. Readers verify every frame's checksum and report
+// kCorruption with the file and byte offset on any mismatch, so a flipped
+// bit, torn append, or truncation never decodes into garbage records.
+constexpr uint32_t kFrameMagic = 0x314D4654u;  // "TFM1" little-endian
+constexpr size_t kFrameHeaderBytes = 12;
+
 Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
   const std::string tmp = path + ".tmp";
   {
@@ -40,6 +54,58 @@ Result<uint64_t> FileBytes(const std::string& path) {
   if (ec) return Status::IOError("stat failed: " + path + ": " + ec.message());
   return size;
 }
+
+void AppendFrame(std::string_view payload, std::string* out) {
+  PutFixed<uint32_t>(out, kFrameMagic);
+  PutFixed<uint32_t>(out, static_cast<uint32_t>(payload.size()));
+  PutFixed<uint32_t>(out, Crc32c(payload));
+  out->append(payload.data(), payload.size());
+}
+
+std::string FrameCorruption(const std::string& path, size_t offset,
+                            const char* what) {
+  char msg[64];
+  std::snprintf(msg, sizeof(msg), " (frame at offset %zu: %s)", offset, what);
+  return path + msg;
+}
+
+// Verifies every frame of `file_bytes` and returns the concatenated
+// payloads. `path` is only used in error messages.
+Result<std::string> UnframeFile(const std::string& path,
+                                std::string_view file_bytes) {
+  std::string payload;
+  size_t offset = 0;
+  while (offset < file_bytes.size()) {
+    if (file_bytes.size() - offset < kFrameHeaderBytes) {
+      return Status::Corruption(
+          "truncated frame header in " +
+          FrameCorruption(path, offset, "trailing bytes"));
+    }
+    SliceReader header(file_bytes.substr(offset, kFrameHeaderBytes));
+    uint32_t magic = 0, len = 0, crc = 0;
+    header.GetFixed(&magic);
+    header.GetFixed(&len);
+    header.GetFixed(&crc);
+    if (magic != kFrameMagic) {
+      return Status::Corruption("bad frame magic in " +
+                                FrameCorruption(path, offset, "magic"));
+    }
+    if (len > file_bytes.size() - offset - kFrameHeaderBytes) {
+      return Status::Corruption("frame length beyond file end in " +
+                                FrameCorruption(path, offset, "length"));
+    }
+    const std::string_view body =
+        file_bytes.substr(offset + kFrameHeaderBytes, len);
+    if (Crc32c(body) != crc) {
+      return Status::Corruption("checksum mismatch in " +
+                                FrameCorruption(path, offset, "crc32c"));
+    }
+    payload.append(body.data(), body.size());
+    offset += kFrameHeaderBytes + len;
+  }
+  return payload;
+}
+
 }  // namespace
 
 Result<PartitionStore> PartitionStore::Open(const std::string& dir,
@@ -79,7 +145,14 @@ Status PartitionStore::WritePartitionRaw(PartitionId pid,
   if (bytes.size() % RecordEncodedSize(series_length_) != 0) {
     return Status::InvalidArgument("raw partition buffer is not record-aligned");
   }
-  return WriteFileAtomic(PartitionPath(pid), bytes);
+  // An empty partition is an empty file (zero frames), so streaming appends
+  // can later start its frame sequence from scratch.
+  std::string framed;
+  if (!bytes.empty()) {
+    framed.reserve(kFrameHeaderBytes + bytes.size());
+    AppendFrame(bytes, &framed);
+  }
+  return WriteFileAtomic(PartitionPath(pid), framed);
 }
 
 Status PartitionStore::AppendPartitionRaw(PartitionId pid,
@@ -89,24 +162,35 @@ Status PartitionStore::AppendPartitionRaw(PartitionId pid,
   }
   if (bytes.empty()) return Status::OK();
   const std::string path = PartitionPath(pid);
+  TARDIS_RETURN_NOT_OK(
+      MaybeInjectFault(FaultSite::kPartitionAppend, path));
+  std::string framed;
+  framed.reserve(kFrameHeaderBytes + bytes.size());
+  AppendFrame(bytes, &framed);
   std::ofstream out(path, std::ios::binary | std::ios::app);
   if (!out) return Status::IOError("cannot open for append: " + path);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.write(framed.data(), static_cast<std::streamsize>(framed.size()));
   if (!out) return Status::IOError("short append: " + path);
   return Status::OK();
 }
 
 Result<std::vector<Record>> PartitionStore::ReadPartition(PartitionId pid) const {
-  TARDIS_ASSIGN_OR_RETURN(std::string bytes, ReadFile(PartitionPath(pid)));
+  const std::string path = PartitionPath(pid);
+  TARDIS_RETURN_NOT_OK(MaybeInjectFault(FaultSite::kPartitionLoad, path));
+  TARDIS_ASSIGN_OR_RETURN(std::string file_bytes, ReadFile(path));
+  TARDIS_ASSIGN_OR_RETURN(std::string bytes, UnframeFile(path, file_bytes));
   const size_t rec_size = RecordEncodedSize(series_length_);
   if (bytes.size() % rec_size != 0) {
-    return Status::Corruption("partition file size not a record multiple");
+    return Status::Corruption("partition payload size not a record multiple: " +
+                              path);
   }
+  // The count is derived from verified payload bytes, so this resize is
+  // bounded by what was actually read from disk.
   std::vector<Record> records(bytes.size() / rec_size);
   SliceReader reader(bytes);
   for (auto& rec : records) {
     if (!DecodeRecord(&reader, series_length_, &rec)) {
-      return Status::Corruption("truncated record in partition");
+      return Status::Corruption("truncated record in partition: " + path);
     }
   }
   return records;
@@ -125,12 +209,18 @@ Status PartitionStore::RemovePartition(PartitionId pid) const {
 
 Status PartitionStore::WriteSidecar(PartitionId pid, const std::string& name,
                                     const std::string& bytes) const {
-  return WriteFileAtomic(SidecarPath(pid, name), bytes);
+  std::string framed;
+  framed.reserve(kFrameHeaderBytes + bytes.size());
+  AppendFrame(bytes, &framed);
+  return WriteFileAtomic(SidecarPath(pid, name), framed);
 }
 
 Result<std::string> PartitionStore::ReadSidecar(PartitionId pid,
                                                 const std::string& name) const {
-  return ReadFile(SidecarPath(pid, name));
+  const std::string path = SidecarPath(pid, name);
+  TARDIS_RETURN_NOT_OK(MaybeInjectFault(FaultSite::kSidecarRead, path));
+  TARDIS_ASSIGN_OR_RETURN(std::string file_bytes, ReadFile(path));
+  return UnframeFile(path, file_bytes);
 }
 
 Result<uint64_t> PartitionStore::SidecarBytes(PartitionId pid,

@@ -5,6 +5,14 @@
 //
 // Each partition may carry named sidecar files; TARDIS stores the serialized
 // Tardis-L tree skeleton and the partition Bloom filter this way.
+//
+// On disk, record files and sidecars are CRC32C-framed (mirroring HDFS block
+// checksums): every write emits a [magic|length|crc32c] header ahead of its
+// payload, appends add one frame per flush, and the read paths verify every
+// frame — corruption surfaces as StatusCode::kCorruption naming the file and
+// frame offset, never as garbage records. Replacing writes go through a
+// temp-file + rename so a crashed writer cannot leave a half-written file
+// under the final name.
 
 #ifndef TARDIS_STORAGE_PARTITION_STORE_H_
 #define TARDIS_STORAGE_PARTITION_STORE_H_

@@ -1,0 +1,147 @@
+#include "common/fault_injection.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tardis {
+namespace {
+
+// All tests share the process-global injector, so every test restores the
+// disabled default state (the same discipline production tests must follow).
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Reset(); }
+  void TearDown() override { Reset(); }
+
+  static void Reset() {
+    FaultInjector& injector = FaultInjector::Global();
+    injector.DisableAll();
+    injector.ResetCounters();
+    injector.SetSeed(42);
+  }
+};
+
+TEST_F(FaultInjectionTest, DisabledByDefaultAndHookIsNoOp) {
+  FaultInjector& injector = FaultInjector::Global();
+  EXPECT_FALSE(injector.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(MaybeInjectFault(FaultSite::kReadBlock, "f").ok());
+  }
+  // A disabled site does not even count draws.
+  EXPECT_EQ(injector.counters(FaultSite::kReadBlock).draws, 0u);
+}
+
+TEST_F(FaultInjectionTest, ConfigureParsesSitesAndSeed) {
+  FaultInjector& injector = FaultInjector::Global();
+  ASSERT_TRUE(
+      injector.Configure("read_block:0.5,task:0.25;seed=7").ok());
+  EXPECT_TRUE(injector.enabled());
+  EXPECT_DOUBLE_EQ(injector.probability(FaultSite::kReadBlock), 0.5);
+  EXPECT_DOUBLE_EQ(injector.probability(FaultSite::kTask), 0.25);
+  EXPECT_DOUBLE_EQ(injector.probability(FaultSite::kPartitionLoad), 0.0);
+  EXPECT_EQ(injector.seed(), 7u);
+  // Reconfiguring resets unlisted sites to zero.
+  ASSERT_TRUE(injector.Configure("partition_load:0.1").ok());
+  EXPECT_DOUBLE_EQ(injector.probability(FaultSite::kReadBlock), 0.0);
+  EXPECT_DOUBLE_EQ(injector.probability(FaultSite::kPartitionLoad), 0.1);
+}
+
+TEST_F(FaultInjectionTest, EmptySpecDisablesEverything) {
+  FaultInjector& injector = FaultInjector::Global();
+  ASSERT_TRUE(injector.Configure("task:1").ok());
+  ASSERT_TRUE(injector.Configure("").ok());
+  EXPECT_FALSE(injector.enabled());
+}
+
+TEST_F(FaultInjectionTest, MalformedSpecChangesNothing) {
+  FaultInjector& injector = FaultInjector::Global();
+  ASSERT_TRUE(injector.Configure("task:0.5;seed=9").ok());
+  EXPECT_FALSE(injector.Configure("bogus_site:0.1").ok());
+  EXPECT_FALSE(injector.Configure("task:1.5").ok());
+  EXPECT_FALSE(injector.Configure("task").ok());
+  EXPECT_FALSE(injector.Configure("task:0.2;seed=abc").ok());
+  // The last good configuration is still in force.
+  EXPECT_DOUBLE_EQ(injector.probability(FaultSite::kTask), 0.5);
+  EXPECT_EQ(injector.seed(), 9u);
+}
+
+TEST_F(FaultInjectionTest, ProbabilityExtremes) {
+  FaultInjector& injector = FaultInjector::Global();
+  injector.SetProbability(FaultSite::kTask, 1.0);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(MaybeInjectFault(FaultSite::kTask, "always").ok());
+  }
+  injector.SetProbability(FaultSite::kTask, 0.0);
+  injector.SetProbability(FaultSite::kReadBlock, 1.0);  // keep enabled()
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(MaybeInjectFault(FaultSite::kTask, "never").ok());
+  }
+}
+
+TEST_F(FaultInjectionTest, DeterministicForFixedSeed) {
+  FaultInjector& injector = FaultInjector::Global();
+  injector.SetSeed(123);
+  injector.SetProbability(FaultSite::kTask, 0.3);
+
+  auto run = [&] {
+    injector.ResetCounters();
+    std::vector<bool> failed;
+    for (int i = 0; i < 200; ++i) {
+      failed.push_back(!injector.MaybeFail(FaultSite::kTask, "d").ok());
+    }
+    return failed;
+  };
+  const std::vector<bool> first = run();
+  const std::vector<bool> second = run();
+  EXPECT_EQ(first, second);
+
+  // A different seed produces a different fault pattern.
+  injector.SetSeed(124);
+  EXPECT_NE(run(), first);
+}
+
+TEST_F(FaultInjectionTest, CountersTrackDrawsAndInjections) {
+  FaultInjector& injector = FaultInjector::Global();
+  injector.SetSeed(5);
+  injector.SetProbability(FaultSite::kSidecarRead, 0.5);
+  uint64_t observed_failures = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (!injector.MaybeFail(FaultSite::kSidecarRead, "x").ok()) {
+      ++observed_failures;
+    }
+  }
+  const auto counters = injector.counters(FaultSite::kSidecarRead);
+  EXPECT_EQ(counters.draws, 100u);
+  EXPECT_EQ(counters.injected, observed_failures);
+  EXPECT_GT(observed_failures, 20u);  // p=0.5 over 100 draws
+  EXPECT_LT(observed_failures, 80u);
+  injector.ResetCounters();
+  EXPECT_EQ(injector.counters(FaultSite::kSidecarRead).draws, 0u);
+}
+
+TEST_F(FaultInjectionTest, InjectedFaultsAreRecognizableIOErrors) {
+  FaultInjector& injector = FaultInjector::Global();
+  injector.SetProbability(FaultSite::kPartitionLoad, 1.0);
+  const Status st =
+      MaybeInjectFault(FaultSite::kPartitionLoad, "/data/part_000003.bin");
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_TRUE(IsInjectedFault(st));
+  EXPECT_NE(st.message().find("partition_load"), std::string::npos);
+  EXPECT_NE(st.message().find("part_000003.bin"), std::string::npos);
+
+  EXPECT_FALSE(IsInjectedFault(Status::OK()));
+  EXPECT_FALSE(IsInjectedFault(Status::IOError("disk on fire")));
+}
+
+TEST_F(FaultInjectionTest, SiteNames) {
+  EXPECT_STREQ(FaultSiteName(FaultSite::kReadBlock), "read_block");
+  EXPECT_STREQ(FaultSiteName(FaultSite::kPartitionLoad), "partition_load");
+  EXPECT_STREQ(FaultSiteName(FaultSite::kSidecarRead), "sidecar_read");
+  EXPECT_STREQ(FaultSiteName(FaultSite::kPartitionAppend), "partition_append");
+  EXPECT_STREQ(FaultSiteName(FaultSite::kTask), "task");
+}
+
+}  // namespace
+}  // namespace tardis

@@ -1,0 +1,153 @@
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+namespace tardis {
+namespace {
+
+RetryPolicy FastPolicy(uint32_t max_attempts) {
+  RetryPolicy policy;
+  policy.max_attempts = max_attempts;
+  policy.backoff_init_us = 0;  // keep the tests instant
+  return policy;
+}
+
+TEST(RetryPolicyTest, Validate) {
+  EXPECT_TRUE(RetryPolicy{}.Validate().ok());
+  RetryPolicy off;
+  off.max_attempts = 1;
+  EXPECT_TRUE(off.Validate().ok());
+  EXPECT_FALSE(off.enabled());
+  RetryPolicy bad;
+  bad.max_attempts = 0;
+  EXPECT_TRUE(bad.Validate().IsInvalidArgument());
+}
+
+TEST(RetryPolicyTest, BackoffDoublesUpToCap) {
+  RetryPolicy policy;
+  policy.backoff_init_us = 200;
+  policy.backoff_max_us = 20000;
+  EXPECT_EQ(BackoffDelayUs(policy, 0), 0u);
+  EXPECT_EQ(BackoffDelayUs(policy, 1), 200u);
+  EXPECT_EQ(BackoffDelayUs(policy, 2), 400u);
+  EXPECT_EQ(BackoffDelayUs(policy, 3), 800u);
+  EXPECT_EQ(BackoffDelayUs(policy, 7), 12800u);
+  EXPECT_EQ(BackoffDelayUs(policy, 8), 20000u);   // capped
+  EXPECT_EQ(BackoffDelayUs(policy, 60), 20000u);  // shift-safe far past the cap
+  policy.backoff_init_us = 0;
+  EXPECT_EQ(BackoffDelayUs(policy, 5), 0u);
+}
+
+TEST(RunWithRetryTest, FirstAttemptSuccess) {
+  JobMetrics metrics;
+  int calls = 0;
+  EXPECT_TRUE(RunWithRetry(
+                  FastPolicy(3),
+                  [&] {
+                    ++calls;
+                    return Status::OK();
+                  },
+                  &metrics)
+                  .ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(metrics.tasks, 1u);
+  EXPECT_EQ(metrics.attempts, 1u);
+  EXPECT_EQ(metrics.retries, 0u);
+  EXPECT_EQ(metrics.failed_tasks, 0u);
+}
+
+TEST(RunWithRetryTest, TransientFailureHealsOnRetry) {
+  JobMetrics metrics;
+  int calls = 0;
+  const Status st = RunWithRetry(
+      FastPolicy(3),
+      [&] {
+        return ++calls < 3 ? Status::IOError("flaky") : Status::OK();
+      },
+      &metrics);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(metrics.attempts, 3u);
+  EXPECT_EQ(metrics.retries, 2u);
+  EXPECT_EQ(metrics.failed_tasks, 0u);
+}
+
+TEST(RunWithRetryTest, PermanentErrorNeverRetries) {
+  JobMetrics metrics;
+  int calls = 0;
+  const Status st = RunWithRetry(
+      FastPolicy(5),
+      [&] {
+        ++calls;
+        return Status::InvalidArgument("bad input");
+      },
+      &metrics);
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(metrics.attempts, 1u);
+  EXPECT_EQ(metrics.retries, 0u);
+  // Not counted as exhausted: the task was rejected, not retried to death.
+  EXPECT_EQ(metrics.failed_tasks, 0u);
+}
+
+TEST(RunWithRetryTest, ExhaustionReturnsLastErrorAndCountsFailure) {
+  JobMetrics metrics;
+  int calls = 0;
+  const Status st = RunWithRetry(
+      FastPolicy(4),
+      [&] {
+        ++calls;
+        return Status::Corruption("still broken");
+      },
+      &metrics);
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(metrics.attempts, 4u);
+  EXPECT_EQ(metrics.retries, 3u);
+  EXPECT_EQ(metrics.failed_tasks, 1u);
+}
+
+TEST(RunWithRetryTest, ResultVariantReturnsValue) {
+  JobMetrics metrics;
+  int calls = 0;
+  auto result = RunWithRetryResult<int>(
+      FastPolicy(3),
+      [&]() -> Result<int> {
+        if (++calls < 2) return Status::IOError("flaky");
+        return 41 + calls;
+      },
+      &metrics);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 43);
+  EXPECT_EQ(metrics.retries, 1u);
+}
+
+TEST(RunWithRetryTest, ResultVariantExhaustion) {
+  auto result = RunWithRetryResult<int>(
+      FastPolicy(2), [&]() -> Result<int> { return Status::IOError("down"); });
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIOError());
+}
+
+TEST(JobMetricsTest, Accumulates) {
+  JobMetrics a{2, 5, 3, 1};
+  JobMetrics b{1, 1, 0, 0};
+  a += b;
+  EXPECT_EQ(a.tasks, 3u);
+  EXPECT_EQ(a.attempts, 6u);
+  EXPECT_EQ(a.retries, 3u);
+  EXPECT_EQ(a.failed_tasks, 1u);
+}
+
+TEST(RetryClassificationTest, StatusClasses) {
+  EXPECT_TRUE(IsRetryableStatus(Status::IOError("x")));
+  EXPECT_TRUE(IsRetryableStatus(Status::Corruption("x")));
+  EXPECT_FALSE(IsRetryableStatus(Status::NotFound("x")));
+  EXPECT_FALSE(IsRetryableStatus(Status::InvalidArgument("x")));
+  EXPECT_TRUE(IsDegradableLoadError(Status::IOError("x")));
+  EXPECT_TRUE(IsDegradableLoadError(Status::NotFound("x")));
+  EXPECT_FALSE(IsDegradableLoadError(Status::InvalidArgument("x")));
+}
+
+}  // namespace
+}  // namespace tardis

@@ -1,0 +1,283 @@
+// Fault-tolerance integration tests: with faults injected at every storage
+// and task hook and retries enabled, builds and queries must produce results
+// bit-identical to a fault-free run; when a partition is *permanently* lost,
+// kNN-approximate and range search degrade gracefully (answer + coverage
+// stats) while exact match and exact kNN stay strict; an aborted shuffle
+// leaves no partial partition files behind.
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/map_reduce.h"
+#include "common/fault_injection.h"
+#include "core/query_engine.h"
+#include "core/tardis_index.h"
+#include "test_util.h"
+#include "workload/datasets.h"
+
+namespace fs = std::filesystem;
+
+namespace tardis {
+namespace {
+
+constexpr uint32_t kSeriesLength = 32;
+
+std::string PartitionFile(const std::string& dir, uint32_t pid) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "part_%06u.bin", pid);
+  return dir + "/" + name;
+}
+
+class FaultRetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ResetInjector();
+    auto dataset =
+        MakeDataset(DatasetKind::kRandomWalk, 1200, kSeriesLength, /*seed=*/909);
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).value();
+    auto store = BlockStore::Create(dir_.Sub("bs"), dataset_, 120);
+    ASSERT_TRUE(store.ok());
+    store_ = std::make_unique<BlockStore>(std::move(store).value());
+    config_.g_max_size = 250;
+    config_.l_max_size = 60;
+    cluster_ = std::make_shared<Cluster>(3);
+    for (size_t i = 0; i < dataset_.size(); i += 171) {
+      queries_.push_back(dataset_[i]);
+    }
+  }
+
+  void TearDown() override { ResetInjector(); }
+
+  static void ResetInjector() {
+    FaultInjector& injector = FaultInjector::Global();
+    injector.DisableAll();
+    injector.ResetCounters();
+    injector.SetSeed(42);
+  }
+
+  Result<TardisIndex> BuildIndex(const std::string& tag,
+                                 TardisIndex::BuildTimings* timings = nullptr) {
+    return TardisIndex::Build(cluster_, *store_, dir_.Sub(tag), config_,
+                              timings);
+  }
+
+  ScopedTempDir dir_;
+  std::shared_ptr<Cluster> cluster_;
+  Dataset dataset_;
+  std::unique_ptr<BlockStore> store_;
+  TardisConfig config_;
+  std::vector<TimeSeries> queries_;
+};
+
+// Everything a query run observes, for exact comparison between runs.
+struct QueryResults {
+  std::vector<std::vector<RecordId>> exact;
+  std::vector<std::vector<Neighbor>> knn_target, knn_one, knn_multi, knn_exact;
+  std::vector<std::vector<Neighbor>> range;
+  std::vector<std::vector<RecordId>> batch_exact;
+  std::vector<std::vector<Neighbor>> batch_knn, batch_range;
+
+  bool operator==(const QueryResults&) const = default;
+};
+
+QueryResults RunAllQueries(const TardisIndex& index,
+                           const std::vector<TimeSeries>& queries) {
+  QueryResults out;
+  for (const TimeSeries& q : queries) {
+    auto exact = index.ExactMatch(q, /*use_bloom=*/true, nullptr);
+    EXPECT_TRUE(exact.ok()) << exact.status().ToString();
+    auto sorted = exact.ok() ? std::move(exact).value()
+                             : std::vector<RecordId>();
+    std::sort(sorted.begin(), sorted.end());
+    out.exact.push_back(std::move(sorted));
+    for (auto [strategy, slot] :
+         {std::pair{KnnStrategy::kTargetNode, &out.knn_target},
+          std::pair{KnnStrategy::kOnePartition, &out.knn_one},
+          std::pair{KnnStrategy::kMultiPartitions, &out.knn_multi}}) {
+      auto knn = index.KnnApproximate(q, 5, strategy, nullptr);
+      EXPECT_TRUE(knn.ok()) << knn.status().ToString();
+      slot->push_back(knn.ok() ? std::move(knn).value()
+                               : std::vector<Neighbor>());
+    }
+    auto exact_knn = index.KnnExact(q, 5, nullptr);
+    EXPECT_TRUE(exact_knn.ok()) << exact_knn.status().ToString();
+    out.knn_exact.push_back(exact_knn.ok() ? std::move(exact_knn).value()
+                                           : std::vector<Neighbor>());
+    auto range = index.RangeSearch(q, 4.0, nullptr);
+    EXPECT_TRUE(range.ok()) << range.status().ToString();
+    out.range.push_back(range.ok() ? std::move(range).value()
+                                   : std::vector<Neighbor>());
+  }
+  QueryEngine engine(index);
+  auto batch_exact = engine.ExactMatchBatch(queries, /*use_bloom=*/true, nullptr);
+  EXPECT_TRUE(batch_exact.ok()) << batch_exact.status().ToString();
+  if (batch_exact.ok()) out.batch_exact = std::move(batch_exact).value();
+  for (auto& rids : out.batch_exact) std::sort(rids.begin(), rids.end());
+  auto batch_knn = engine.KnnApproximateBatch(
+      queries, 5, KnnStrategy::kMultiPartitions, nullptr);
+  EXPECT_TRUE(batch_knn.ok()) << batch_knn.status().ToString();
+  if (batch_knn.ok()) out.batch_knn = std::move(batch_knn).value();
+  auto batch_range = engine.RangeSearchBatch(queries, 4.0, nullptr);
+  EXPECT_TRUE(batch_range.ok()) << batch_range.status().ToString();
+  if (batch_range.ok()) out.batch_range = std::move(batch_range).value();
+  return out;
+}
+
+TEST_F(FaultRetryTest, ResultsIdenticalToFaultFreeRun) {
+  // Fault-free reference run.
+  auto clean = BuildIndex("clean");
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  const QueryResults expected = RunAllQueries(clean.value(), queries_);
+
+  // Same build and queries with faults injected at every hook. Retries are
+  // raised so the probability of any task exhausting its attempts (p^10) is
+  // negligible; everything a fault touches is re-executed, so the output
+  // must be bit-identical.
+  ASSERT_TRUE(FaultInjector::Global()
+                  .Configure("read_block:0.15,partition_load:0.15,"
+                             "sidecar_read:0.15,partition_append:0.15,"
+                             "task:0.15;seed=17")
+                  .ok());
+  config_.retry.max_attempts = 10;
+  config_.retry.backoff_init_us = 50;
+  TardisIndex::BuildTimings timings;
+  auto faulty = BuildIndex("faulty", &timings);
+  ASSERT_TRUE(faulty.ok()) << faulty.status().ToString();
+  EXPECT_EQ(faulty->partition_counts(), clean->partition_counts());
+
+  const QueryResults actual = RunAllQueries(faulty.value(), queries_);
+  FaultInjector::Global().DisableAll();
+
+  EXPECT_EQ(actual, expected);
+
+  // The run really did hit faults, and the retry accounting surfaced them.
+  uint64_t injected = 0;
+  for (size_t i = 0; i < kNumFaultSites; ++i) {
+    injected +=
+        FaultInjector::Global().counters(static_cast<FaultSite>(i)).injected;
+  }
+  EXPECT_GT(injected, 0u);
+  EXPECT_GT(timings.job.retries, 0u);
+  EXPECT_GT(timings.job.attempts, timings.job.tasks);
+  EXPECT_EQ(timings.job.failed_tasks, 0u);
+}
+
+TEST_F(FaultRetryTest, QueriesDegradeWhenEveryPartitionIsLost) {
+  auto built = BuildIndex("lost");
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  TardisIndex index = std::move(built).value();
+  RetryPolicy fast;
+  fast.max_attempts = 2;
+  fast.backoff_init_us = 0;
+  index.SetRetryPolicy(fast);
+
+  // A failed node takes every record file with it; sidecars survive.
+  for (uint32_t pid = 0; pid < index.num_partitions(); ++pid) {
+    fs::remove(PartitionFile(dir_.Sub("lost"), pid));
+  }
+
+  const TimeSeries& q = queries_.front();
+  for (KnnStrategy strategy :
+       {KnnStrategy::kTargetNode, KnnStrategy::kOnePartition,
+        KnnStrategy::kMultiPartitions}) {
+    KnnStats stats;
+    auto knn = index.KnnApproximate(q, 5, strategy, &stats);
+    ASSERT_TRUE(knn.ok()) << knn.status().ToString();
+    EXPECT_TRUE(knn->empty());
+    EXPECT_GE(stats.partitions_requested, 1u);
+    EXPECT_EQ(stats.partitions_failed, stats.partitions_requested);
+    EXPECT_FALSE(stats.results_complete);
+  }
+
+  KnnStats range_stats;
+  auto range = index.RangeSearch(q, 1e6, &range_stats);
+  ASSERT_TRUE(range.ok()) << range.status().ToString();
+  EXPECT_TRUE(range->empty());
+  EXPECT_GE(range_stats.partitions_failed, 1u);
+  EXPECT_FALSE(range_stats.results_complete);
+
+  // Exact algorithms must not silently report "absent": they fail instead.
+  EXPECT_FALSE(index.ExactMatch(q, /*use_bloom=*/false, nullptr).ok());
+  EXPECT_FALSE(index.KnnExact(q, 5, nullptr).ok());
+
+  // The batched engine degrades the same way.
+  QueryEngine engine(index);
+  QueryEngineStats batch_stats;
+  auto batch = engine.KnnApproximateBatch(queries_, 5,
+                                          KnnStrategy::kMultiPartitions,
+                                          &batch_stats);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_GE(batch_stats.partitions_failed, 1u);
+  EXPECT_FALSE(batch_stats.results_complete);
+  for (const auto& result : batch.value()) EXPECT_TRUE(result.empty());
+  EXPECT_FALSE(engine.ExactMatchBatch(queries_, false, nullptr).ok());
+}
+
+TEST_F(FaultRetryTest, SingleLostPartitionOnlyAffectsQueriesRoutedToIt) {
+  auto built = BuildIndex("one_lost");
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  TardisIndex index = std::move(built).value();
+  RetryPolicy fast;
+  fast.max_attempts = 2;
+  fast.backoff_init_us = 0;
+  index.SetRetryPolicy(fast);
+  ASSERT_GT(index.partition_counts()[0], 0u);
+  fs::remove(PartitionFile(dir_.Sub("one_lost"), 0));
+
+  bool saw_degraded = false, saw_complete = false;
+  for (size_t i = 0; i < dataset_.size(); i += 29) {
+    KnnStats stats;
+    auto knn =
+        index.KnnApproximate(dataset_[i], 5, KnnStrategy::kTargetNode, &stats);
+    ASSERT_TRUE(knn.ok()) << knn.status().ToString();
+    if (stats.results_complete) {
+      // Healthy home partition: the query's own record must rank first.
+      ASSERT_FALSE(knn->empty());
+      EXPECT_DOUBLE_EQ(knn->front().distance, 0.0);
+      saw_complete = true;
+    } else {
+      EXPECT_EQ(stats.partitions_failed, 1u);
+      saw_degraded = true;
+    }
+  }
+  EXPECT_TRUE(saw_degraded);
+  EXPECT_TRUE(saw_complete);
+}
+
+TEST_F(FaultRetryTest, AbortedShuffleLeavesNoPartitionFiles) {
+  ASSERT_OK_AND_ASSIGN(PartitionStore output,
+                       PartitionStore::Open(dir_.Sub("shuffle_out"),
+                                            kSeriesLength));
+  // Every spill flush fails, even after a retry: the shuffle must abort and
+  // delete whatever partial partition files it already created.
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("partition_append:1;seed=3").ok());
+  RetryPolicy fast;
+  fast.max_attempts = 2;
+  fast.backoff_init_us = 0;
+  ShuffleMetrics metrics;
+  JobMetrics job;
+  auto counts = ShuffleToPartitions(
+      *cluster_, *store_, 4,
+      [](const Record& rec) { return static_cast<PartitionId>(rec.rid % 4); },
+      output, &metrics, kDefaultShuffleSpillBytes, fast, &job);
+  FaultInjector::Global().DisableAll();
+
+  ASSERT_FALSE(counts.ok());
+  EXPECT_TRUE(IsInjectedFault(counts.status()));
+  for (uint32_t pid = 0; pid < 4; ++pid) {
+    EXPECT_FALSE(fs::exists(PartitionFile(dir_.Sub("shuffle_out"), pid)))
+        << "partition " << pid << " left behind after abort";
+  }
+  EXPECT_GE(metrics.tasks_failed, 1u);
+  EXPECT_GE(metrics.task_retries, 1u);
+  EXPECT_GE(job.failed_tasks, 1u);
+}
+
+}  // namespace
+}  // namespace tardis

@@ -67,7 +67,8 @@ TEST(PartitionStoreTest, PartitionBytes) {
                        PartitionStore::Open(dir.Sub("ps"), 8));
   ASSERT_OK(store.WritePartition(5, MakeRecords(7, 8)));
   ASSERT_OK_AND_ASSIGN(uint64_t bytes, store.PartitionBytes(5));
-  EXPECT_EQ(bytes, 7u * (8 + 8 * 4));
+  // One checksum frame: 12-byte [magic|len|crc32c] header + record payload.
+  EXPECT_EQ(bytes, 12u + 7u * (8 + 8 * 4));
 }
 
 TEST(PartitionStoreTest, SidecarRoundTrip) {
@@ -79,7 +80,7 @@ TEST(PartitionStoreTest, SidecarRoundTrip) {
   ASSERT_OK_AND_ASSIGN(std::string loaded, store.ReadSidecar(2, "ltree"));
   EXPECT_EQ(loaded, payload);
   ASSERT_OK_AND_ASSIGN(uint64_t bytes, store.SidecarBytes(2, "ltree"));
-  EXPECT_EQ(bytes, 4u);
+  EXPECT_EQ(bytes, 12u + 4u);  // frame header + payload
 }
 
 TEST(PartitionStoreTest, SidecarsAreIndependentPerName) {
@@ -149,7 +150,7 @@ TEST(PartitionStoreTest, AppendRawEmptyIsNoOp) {
   ASSERT_OK(store.WritePartition(0, MakeRecords(3, 4)));
   ASSERT_OK(store.AppendPartitionRaw(0, std::string()));
   ASSERT_OK_AND_ASSIGN(uint64_t bytes, store.PartitionBytes(0));
-  EXPECT_EQ(bytes, 3u * (8 + 4 * 4));
+  EXPECT_EQ(bytes, 12u + 3u * (8 + 4 * 4));  // unchanged: one frame
 }
 
 TEST(PartitionStoreTest, OpenValidatesSeriesLength) {

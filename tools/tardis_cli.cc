@@ -17,6 +17,15 @@
 // overrides the persisted budget for that invocation. --spill-mb sets the
 // streaming shuffle's per-worker spill threshold.
 //
+// --max-task-retries N (build and query commands) caps how many times a
+// failed cluster task or partition load is re-executed before giving up
+// (0 disables retries; the default is 2). Fault injection for testing is
+// configured via the TARDIS_FAULTS environment variable — see
+// docs/RELIABILITY.md. Queries that lose a partition after retries degrade:
+// kNN/range answer from the remaining partitions and report the reduced
+// coverage; exact match fails instead, since absence claims must be
+// provable.
+//
 // The exact/knn/range commands also run batched through the partition-
 // grouped QueryEngine (one load per partition instead of one per query):
 //   --batch N        query rids [--rid, --rid + N)
@@ -154,6 +163,8 @@ int CmdBuild(const Flags& flags) {
       flags.GetU64("cache-mb", config.cache_budget_bytes >> 20) << 20;
   config.shuffle_spill_bytes =
       flags.GetU64("spill-mb", config.shuffle_spill_bytes >> 20) << 20;
+  config.retry.max_attempts = static_cast<uint32_t>(
+      flags.GetU64("max-task-retries", config.retry.max_attempts - 1) + 1);
 
   auto cluster = std::make_shared<Cluster>(config.num_workers);
   TardisIndex::BuildTimings timings;
@@ -171,13 +182,28 @@ int CmdBuild(const Flags& flags) {
               static_cast<unsigned long long>(timings.shuffle.final_flushes),
               static_cast<unsigned long long>(
                   timings.shuffle.peak_buffer_bytes));
+  if (timings.job.retries > 0) {
+    std::printf("  task retries: %llu attempts over %llu tasks "
+                "(%llu retried, %llu exhausted)\n",
+                static_cast<unsigned long long>(timings.job.attempts),
+                static_cast<unsigned long long>(timings.job.tasks),
+                static_cast<unsigned long long>(timings.job.retries),
+                static_cast<unsigned long long>(timings.job.failed_tasks));
+  }
   return 0;
 }
 
-// Applies a per-invocation --cache-mb override to an opened index.
+// Applies per-invocation --cache-mb / --max-task-retries overrides to an
+// opened index.
 void ApplyCacheOverride(const Flags& flags, TardisIndex* index) {
   if (flags.Has("cache-mb")) {
     index->SetCacheBudget(flags.GetU64("cache-mb", 0) << 20);
+  }
+  if (flags.Has("max-task-retries")) {
+    RetryPolicy retry = index->retry_policy();
+    retry.max_attempts =
+        static_cast<uint32_t>(flags.GetU64("max-task-retries", 2) + 1);
+    index->SetRetryPolicy(retry);
   }
 }
 
@@ -279,6 +305,21 @@ void PrintBatchStats(const QueryEngineStats& stats, double wall_ms) {
               static_cast<unsigned long long>(stats.partitions_loaded),
               static_cast<unsigned long long>(stats.logical_partition_loads),
               saved, static_cast<unsigned long long>(stats.candidates));
+  if (!stats.results_complete) {
+    std::printf("  DEGRADED: %llu of %llu partition loads failed after "
+                "retries; results may be incomplete\n",
+                static_cast<unsigned long long>(stats.partitions_failed),
+                static_cast<unsigned long long>(stats.partitions_requested));
+  }
+}
+
+// Single-query counterpart: warns when kNN/range skipped failed partitions.
+void PrintQueryCoverage(const KnnStats& stats) {
+  if (!stats.results_complete) {
+    std::printf("  DEGRADED: %u of %u partition loads failed after retries; "
+                "results may be incomplete\n",
+                stats.partitions_failed, stats.partitions_requested);
+  }
 }
 
 int CmdExact(const Flags& flags) {
@@ -400,6 +441,7 @@ int CmdKnn(const Flags& flags) {
   std::printf("%u-NN (%s) in %.3fms — %u partition(s) loaded, %llu candidates\n",
               k, strategy.c_str(), sw.ElapsedMillis(), stats.partitions_loaded,
               static_cast<unsigned long long>(stats.candidates));
+  PrintQueryCoverage(stats);
   for (const Neighbor& nb : *result) {
     std::printf("  rid %-10llu dist %.6f\n",
                 static_cast<unsigned long long>(nb.rid), nb.distance);
@@ -449,6 +491,7 @@ int CmdRange(const Flags& flags) {
               radius, result->size(), sw.ElapsedMillis(),
               stats.partitions_loaded, index->num_partitions(),
               static_cast<unsigned long long>(stats.candidates));
+  PrintQueryCoverage(stats);
   for (const Neighbor& nb : *result) {
     std::printf("  rid %-10llu dist %.6f\n",
                 static_cast<unsigned long long>(nb.rid), nb.distance);
