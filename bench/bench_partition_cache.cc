@@ -9,9 +9,15 @@
 //     Expected shape: the peak buffered bytes stay near
 //     workers x threshold instead of scaling with the dataset, at the cost
 //     of more (smaller) appends.
+//
+// Scale knobs (for CI smoke runs): TARDIS_PC_SERIES caps the NOAA dataset
+// size for (a), TARDIS_PC_SHUFFLE sets the RandomWalk record count for (b).
+// Emits BENCH_partition_cache.json to the working directory.
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "cluster/map_reduce.h"
@@ -22,6 +28,28 @@
 namespace tardis {
 namespace bench {
 namespace {
+
+uint64_t EnvScale(const char* name, uint64_t def) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return def;
+  const uint64_t v = std::strtoull(env, nullptr, 10);
+  return v > 0 ? v : def;
+}
+
+struct QuerySideResult {
+  uint64_t series = 0;
+  double cold_ms = 0.0;
+  double warm_ms = 0.0;
+  PartitionCacheStats stats;
+  bool pass = false;
+};
+
+struct ShufflePoint {
+  std::string label;
+  uint64_t threshold = 0;
+  double seconds = 0.0;
+  ShuffleMetrics metrics;
+};
 
 double RunKnnPass(const TardisIndex& index,
                   const std::vector<TimeSeries>& queries, uint32_t k) {
@@ -36,11 +64,15 @@ double RunKnnPass(const TardisIndex& index,
   return sw.ElapsedMillis() / queries.size();
 }
 
-void RunQuerySide() {
-  std::printf("-- (a) repeated kNN, cache off vs on (NOAA, k=%u, %u queries "
-              "x 3 passes) --\n",
-              kDefaultK, kKnnQueries);
-  const BlockStore store = GetStore(DatasetKind::kNoaa, FullScaleCount(DatasetKind::kNoaa));
+QuerySideResult RunQuerySide() {
+  QuerySideResult out;
+  out.series = EnvScale("TARDIS_PC_SERIES",
+                        FullScaleCount(DatasetKind::kNoaa));
+  std::printf("-- (a) repeated kNN, cache off vs on (NOAA x %llu, k=%u, %u "
+              "queries x 3 passes) --\n",
+              static_cast<unsigned long long>(out.series), kDefaultK,
+              kKnnQueries);
+  const BlockStore store = GetStore(DatasetKind::kNoaa, out.series);
   const Dataset dataset = LoadAll(store);
   const std::vector<TimeSeries> queries =
       MakeKnnQueries(dataset, kKnnQueries, /*noise=*/0.05, /*seed=*/515);
@@ -81,15 +113,22 @@ void RunQuerySide() {
   std::printf("acceptance: warm hits > 0: %s; warm < cold: %s\n\n",
               stats.hits > 0 ? "PASS" : "FAIL",
               warm_ms < cold_ms ? "PASS" : "FAIL");
+  out.cold_ms = cold_ms;
+  out.warm_ms = warm_ms;
+  out.stats = stats;
+  out.pass = stats.hits > 0 && warm_ms < cold_ms;
+  return out;
 }
 
-void RunShufflePoint(const char* label, Cluster& cluster,
-                     const BlockStore& store, uint64_t threshold) {
+ShufflePoint RunShufflePoint(const char* label, Cluster& cluster,
+                             const BlockStore& store, uint64_t threshold) {
+  ShufflePoint point;
+  point.label = label;
+  point.threshold = threshold;
   BENCH_ASSIGN_OR_DIE(PartitionStore parts,
                       PartitionStore::Open(FreshPartitionDir("pspill"),
                                            store.series_length()));
   constexpr uint32_t kParts = 32;
-  ShuffleMetrics metrics;
   Stopwatch sw;
   BENCH_ASSIGN_OR_DIE(
       std::vector<uint64_t> counts,
@@ -98,40 +137,101 @@ void RunShufflePoint(const char* label, Cluster& cluster,
           [](const Record& rec) {
             return static_cast<PartitionId>(rec.rid % kParts);
           },
-          parts, &metrics, threshold));
-  const double secs = sw.ElapsedSeconds();
+          parts, &point.metrics, threshold));
+  point.seconds = sw.ElapsedSeconds();
   uint64_t total = 0;
   for (uint64_t c : counts) total += c;
   std::printf("%-22s %10.3f %12llu %12llu %8llu %8llu   (%llu records)\n",
-              label, secs,
-              static_cast<unsigned long long>(metrics.peak_buffer_bytes),
-              static_cast<unsigned long long>(metrics.bytes_written),
-              static_cast<unsigned long long>(metrics.spill_flushes),
-              static_cast<unsigned long long>(metrics.final_flushes),
+              label, point.seconds,
+              static_cast<unsigned long long>(point.metrics.peak_buffer_bytes),
+              static_cast<unsigned long long>(point.metrics.bytes_written),
+              static_cast<unsigned long long>(point.metrics.spill_flushes),
+              static_cast<unsigned long long>(point.metrics.final_flushes),
               static_cast<unsigned long long>(total));
+  return point;
 }
 
-void RunBuildSide() {
+std::vector<ShufflePoint> RunBuildSide(uint64_t shuffle_records) {
   std::printf("-- (b) shuffle peak buffered bytes vs spill threshold "
-              "(RandomWalk 20k) --\n");
-  const BlockStore store = GetStore(DatasetKind::kRandomWalk, 20000);
+              "(RandomWalk %llu) --\n",
+              static_cast<unsigned long long>(shuffle_records));
+  const BlockStore store = GetStore(DatasetKind::kRandomWalk, shuffle_records);
   Cluster cluster(kNumWorkers);
   std::printf("%-22s %10s %12s %12s %8s %8s\n", "threshold", "seconds",
               "peak_buf_B", "written_B", "spills", "finals");
-  RunShufflePoint("unbounded (1 GiB)", cluster, store, 1ull << 30);
-  RunShufflePoint("default (8 MiB)", cluster, store, kDefaultShuffleSpillBytes);
-  RunShufflePoint("256 KiB", cluster, store, 256ull << 10);
-  RunShufflePoint("32 KiB", cluster, store, 32ull << 10);
+  std::vector<ShufflePoint> points;
+  points.push_back(
+      RunShufflePoint("unbounded (1 GiB)", cluster, store, 1ull << 30));
+  points.push_back(RunShufflePoint("default (8 MiB)", cluster, store,
+                                   kDefaultShuffleSpillBytes));
+  points.push_back(RunShufflePoint("256 KiB", cluster, store, 256ull << 10));
+  points.push_back(RunShufflePoint("32 KiB", cluster, store, 32ull << 10));
   std::printf(
       "\nShape check: with an unbounded threshold the peak buffer equals the\n"
       "whole dataset; bounded thresholds cap it near workers x threshold\n"
       "while writing the same bytes (more, smaller appends).\n\n");
+  return points;
+}
+
+void WriteJson(const QuerySideResult& query_side,
+               const std::vector<ShufflePoint>& shuffle,
+               uint64_t shuffle_records) {
+  FILE* json = std::fopen("BENCH_partition_cache.json", "w");
+  if (json == nullptr) return;
+  std::fprintf(
+      json,
+      "{\n"
+      "  \"bench\": \"partition_cache\",\n"
+      "  \"series\": %llu,\n"
+      "  \"cold_ms_per_query\": %.6f,\n"
+      "  \"warm_ms_per_query\": %.6f,\n"
+      "  \"speedup_warm_vs_cold\": %.3f,\n"
+      "  \"cache_hits\": %llu,\n"
+      "  \"cache_misses\": %llu,\n"
+      "  \"cache_coalesced\": %llu,\n"
+      "  \"cache_evictions\": %llu,\n"
+      "  \"resident_bytes\": %llu,\n"
+      "  \"shuffle_records\": %llu,\n"
+      "  \"shuffle_points\": [",
+      static_cast<unsigned long long>(query_side.series), query_side.cold_ms,
+      query_side.warm_ms,
+      query_side.warm_ms > 0 ? query_side.cold_ms / query_side.warm_ms : 0.0,
+      static_cast<unsigned long long>(query_side.stats.hits),
+      static_cast<unsigned long long>(query_side.stats.misses),
+      static_cast<unsigned long long>(query_side.stats.coalesced),
+      static_cast<unsigned long long>(query_side.stats.evictions),
+      static_cast<unsigned long long>(query_side.stats.resident_bytes),
+      static_cast<unsigned long long>(shuffle_records));
+  for (size_t i = 0; i < shuffle.size(); ++i) {
+    const ShufflePoint& p = shuffle[i];
+    std::fprintf(
+        json,
+        "%s\n    {\"label\": \"%s\", \"threshold_bytes\": %llu, "
+        "\"seconds\": %.6f, \"peak_buffer_bytes\": %llu, "
+        "\"bytes_written\": %llu, \"spill_flushes\": %llu, "
+        "\"final_flushes\": %llu}",
+        i == 0 ? "" : ",", p.label.c_str(),
+        static_cast<unsigned long long>(p.threshold), p.seconds,
+        static_cast<unsigned long long>(p.metrics.peak_buffer_bytes),
+        static_cast<unsigned long long>(p.metrics.bytes_written),
+        static_cast<unsigned long long>(p.metrics.spill_flushes),
+        static_cast<unsigned long long>(p.metrics.final_flushes));
+  }
+  std::fprintf(json,
+               "\n  ],\n"
+               "  \"pass\": %s\n"
+               "}\n",
+               query_side.pass ? "true" : "false");
+  std::fclose(json);
+  std::printf("wrote BENCH_partition_cache.json\n");
 }
 
 void Run() {
   PrintHeader("Partition cache", "byte-budgeted cache + streaming shuffle");
-  RunQuerySide();
-  RunBuildSide();
+  const uint64_t shuffle_records = EnvScale("TARDIS_PC_SHUFFLE", 20000);
+  const QuerySideResult query_side = RunQuerySide();
+  const std::vector<ShufflePoint> shuffle = RunBuildSide(shuffle_records);
+  WriteJson(query_side, shuffle, shuffle_records);
 }
 
 }  // namespace

@@ -49,6 +49,7 @@ Result<std::vector<uint64_t>> ShuffleToPartitions(
   // Task counters are exported on every exit path, success or abort, so a
   // failed shuffle still reports how many re-executions it burned.
   auto export_job = [&]() {
+    PublishJobMetrics("shuffle", job_acc);
     if (job != nullptr) *job += job_acc;
     if (metrics != nullptr) {
       metrics->task_attempts += job_acc.attempts;
@@ -57,14 +58,19 @@ Result<std::vector<uint64_t>> ShuffleToPartitions(
     }
   };
 
+  const uint64_t job_start_us = TaskJobStartUs();
+
   // Start every partition file empty: the streaming flushes below append, so
   // a reused store directory must not leak records from a previous shuffle.
   cluster.pool().ParallelFor(num_partitions, [&](size_t pid) {
     if (cancelled.load(std::memory_order_relaxed)) return;
     JobMetrics task_metrics;
+    uint32_t attempt = 0;
     Status st = RunWithRetry(
         retry,
         [&]() -> Status {
+          telemetry::ScopedSpan task_span("task.shuffle_clear");
+          StampTaskSpan(task_span, pid, attempt++, job_start_us);
           TARDIS_RETURN_NOT_OK(MaybeInjectFault(
               FaultSite::kTask, "shuffle clear partition " +
                                     std::to_string(pid)));
@@ -115,8 +121,14 @@ Result<std::vector<uint64_t>> ShuffleToPartitions(
           // The append fault hook fires before any bytes reach the file, so
           // a retried flush never lands twice; a real torn append is caught
           // by the frame checksum at read time instead.
+          uint32_t attempt = 0;
           TARDIS_RETURN_NOT_OK(RunWithRetry(
-              retry, [&]() { return output.AppendPartitionRaw(pid, bytes); },
+              retry,
+              [&]() {
+                telemetry::ScopedSpan task_span("task.spill_flush");
+                StampTaskSpan(task_span, pid, attempt++, job_start_us);
+                return output.AppendPartitionRaw(pid, bytes);
+              },
               &shard_job));
         }
         auto& counter = final_flush ? final_flushes : spill_flushes;
@@ -136,10 +148,13 @@ Result<std::vector<uint64_t>> ShuffleToPartitions(
         if (cancelled.load(std::memory_order_relaxed)) return Status::OK();
         // The per-block retry unit ends before any record is routed into
         // the shard buffers, so re-execution cannot double-buffer records.
+        uint32_t attempt = 0;
         Result<std::vector<Record>> records =
             RunWithRetryResult<std::vector<Record>>(
                 retry,
                 [&]() -> Result<std::vector<Record>> {
+                  telemetry::ScopedSpan task_span("task.shuffle_block");
+                  StampTaskSpan(task_span, b, attempt++, job_start_us);
                   TARDIS_RETURN_NOT_OK(MaybeInjectFault(
                       FaultSite::kTask,
                       "shuffle block " + std::to_string(b)));
@@ -185,17 +200,28 @@ Result<std::vector<uint64_t>> ShuffleToPartitions(
     return first_error;
   }
 
+  uint64_t total_records = 0;
+  for (uint64_t count : counts) total_records += count;
   if (metrics != nullptr) {
     metrics->blocks_read = num_blocks;
     metrics->bytes_read = input.TotalBytes();
     metrics->partitions_written = num_partitions;
-    for (uint64_t count : counts) {
-      metrics->records += count;
-      metrics->bytes_written += count * rec_size;
-    }
+    metrics->records += total_records;
+    metrics->bytes_written += total_records * rec_size;
     metrics->spill_flushes = spill_flushes.load(std::memory_order_relaxed);
     metrics->final_flushes = final_flushes.load(std::memory_order_relaxed);
     metrics->peak_buffer_bytes = peak_buffered.load(std::memory_order_relaxed);
+  }
+  if (telemetry::Enabled()) {
+    auto& reg = telemetry::Registry::Global();
+    reg.GetCounter("tardis.shuffle.records").Add(total_records);
+    reg.GetCounter("tardis.shuffle.bytes_read").Add(input.TotalBytes());
+    reg.GetCounter("tardis.shuffle.bytes_written")
+        .Add(total_records * rec_size);
+    reg.GetCounter("tardis.shuffle.spill_flushes")
+        .Add(spill_flushes.load(std::memory_order_relaxed));
+    reg.GetCounter("tardis.shuffle.final_flushes")
+        .Add(final_flushes.load(std::memory_order_relaxed));
   }
   export_job();
   return counts;
@@ -208,12 +234,16 @@ Status MapPartitions(Cluster& cluster, uint32_t num_partitions,
   Status first_error;
   JobMetrics job_acc;
   std::atomic<bool> cancelled{false};
+  const uint64_t job_start_us = TaskJobStartUs();
   cluster.pool().ParallelFor(num_partitions, [&](size_t pid) {
     if (cancelled.load(std::memory_order_relaxed)) return;
     JobMetrics task_metrics;
+    uint32_t attempt = 0;
     Status st = RunWithRetry(
         retry,
         [&]() -> Status {
+          telemetry::ScopedSpan task_span("task.map_partition");
+          StampTaskSpan(task_span, pid, attempt++, job_start_us);
           TARDIS_RETURN_NOT_OK(MaybeInjectFault(
               FaultSite::kTask, "map partition " + std::to_string(pid)));
           return fn(static_cast<PartitionId>(pid));
@@ -226,6 +256,7 @@ Status MapPartitions(Cluster& cluster, uint32_t num_partitions,
       cancelled.store(true, std::memory_order_relaxed);
     }
   });
+  PublishJobMetrics("map_partitions", job_acc);
   if (job != nullptr) *job += job_acc;
   return first_error;
 }

@@ -26,6 +26,7 @@
 #include "common/fault_injection.h"
 #include "common/retry.h"
 #include "common/status.h"
+#include "common/telemetry.h"
 #include "storage/block_store.h"
 #include "storage/partition_store.h"
 
@@ -34,6 +35,40 @@ namespace tardis {
 // Frequency map keyed by signature string — the (isaxt(b), freq) pairs of
 // the paper's data-preprocessing step.
 using FreqMap = std::unordered_map<std::string, uint64_t>;
+
+// --- Task telemetry -------------------------------------------------------
+// Each task *attempt* gets one span carrying the Spark-UI task-timeline
+// fields: worker id (the span's tid), task index, attempt number, and queue
+// wait — time from job start to this attempt starting, which for attempt 0
+// is scheduling delay and for retries additionally includes backoff. The
+// span's own duration is the run time. Inert (one relaxed load) when
+// tracing is off.
+
+// Captures the job's start time for queue-wait attribution; zero when
+// tracing is disabled so callers never pay a clock read.
+inline uint64_t TaskJobStartUs() {
+  return telemetry::TraceEnabled() ? telemetry::NowMicros() : 0;
+}
+
+inline void StampTaskSpan(telemetry::ScopedSpan& span, uint64_t task_index,
+                          uint32_t attempt, uint64_t job_start_us) {
+  if (!span.active()) return;
+  span.AddAttr("task", task_index);
+  span.AddAttr("attempt", static_cast<uint64_t>(attempt));
+  span.AddAttr("queue_us", telemetry::NowMicros() - job_start_us);
+}
+
+// Accumulates one job's task/attempt/retry counters into the registry under
+// "tardis.job.<job>.*" — the registry-side view of JobMetrics.
+inline void PublishJobMetrics(const char* job_name, const JobMetrics& m) {
+  if (!telemetry::Enabled()) return;
+  auto& reg = telemetry::Registry::Global();
+  const std::string prefix = std::string("tardis.job.") + job_name;
+  reg.GetCounter(prefix + ".tasks").Add(m.tasks);
+  reg.GetCounter(prefix + ".attempts").Add(m.attempts);
+  reg.GetCounter(prefix + ".retries").Add(m.retries);
+  reg.GetCounter(prefix + ".failed_tasks").Add(m.failed_tasks);
+}
 
 // Applies `fn` to each listed block in parallel; fn receives the block index
 // and its decoded records. Results are returned in `blocks` order. Each
@@ -55,12 +90,16 @@ Result<std::vector<T>> MapBlocks(
   // atomic load instead of a mutex round-trip; the error itself is still
   // recorded under the mutex (first one wins).
   std::atomic<bool> cancelled{false};
+  const uint64_t job_start_us = TaskJobStartUs();
   cluster.pool().ParallelFor(blocks.size(), [&](size_t i) {
     if (cancelled.load(std::memory_order_relaxed)) return;
     JobMetrics task_metrics;
+    uint32_t attempt = 0;
     Result<T> result = RunWithRetryResult<T>(
         retry,
         [&]() -> Result<T> {
+          telemetry::ScopedSpan task_span("task.map_block");
+          StampTaskSpan(task_span, blocks[i], attempt++, job_start_us);
           TARDIS_RETURN_NOT_OK(MaybeInjectFault(
               FaultSite::kTask, "map block " + std::to_string(blocks[i])));
           TARDIS_ASSIGN_OR_RETURN(std::vector<Record> records,
@@ -79,6 +118,7 @@ Result<std::vector<T>> MapBlocks(
     }
     results[i] = std::move(result).value();
   });
+  PublishJobMetrics("map_blocks", job_acc);
   if (job != nullptr) *job += job_acc;
   if (!first_error.ok()) return first_error;
   return results;

@@ -1,0 +1,361 @@
+#include "common/telemetry.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace tardis {
+namespace telemetry {
+
+namespace {
+
+struct Switches {
+  std::atomic<bool> metrics{false};
+  std::atomic<bool> trace{false};
+};
+
+Switches& GlobalSwitches() {
+  // Env is parsed exactly once, when the first instrumentation site asks.
+  static Switches* s = [] {
+    auto* sw = new Switches();
+    const char* env = std::getenv("TARDIS_TRACE");
+    if (env != nullptr && env[0] != '\0' && std::string(env) != "0") {
+      sw->metrics.store(true, std::memory_order_relaxed);
+      sw->trace.store(true, std::memory_order_relaxed);
+    }
+    return sw;
+  }();
+  return *s;
+}
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+thread_local uint32_t t_depth = 0;
+
+void AppendHistogramJson(std::string* out, const Histogram& h) {
+  out->append("{\"count\": ");
+  out->append(std::to_string(h.Count()));
+  out->append(", \"sum\": ");
+  out->append(std::to_string(h.Sum()));
+  out->append(", \"buckets\": [");
+  bool first = true;
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    const uint64_t n = h.BucketCount(i);
+    if (n == 0) continue;
+    if (!first) out->append(", ");
+    first = false;
+    out->append("[");
+    out->append(std::to_string(Histogram::BucketLowerBound(i)));
+    out->append(", ");
+    out->append(std::to_string(n));
+    out->append("]");
+  }
+  out->append("]}");
+}
+
+void AppendSpanAttrsJson(std::string* out, const SpanRecord& rec) {
+  out->append("{");
+  for (size_t i = 0; i < rec.attrs.size(); ++i) {
+    if (i != 0) out->append(", ");
+    out->append("\"");
+    out->append(JsonEscape(rec.attrs[i].first));
+    out->append("\": ");
+    out->append(rec.attrs[i].second);
+  }
+  out->append("}");
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != body.size() || close_rc != 0) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+bool Enabled() {
+  return GlobalSwitches().metrics.load(std::memory_order_relaxed);
+}
+
+void SetEnabled(bool on) {
+  GlobalSwitches().metrics.store(on, std::memory_order_relaxed);
+}
+
+bool TraceEnabled() {
+  return GlobalSwitches().trace.load(std::memory_order_relaxed);
+}
+
+void SetTraceEnabled(bool on) {
+  GlobalSwitches().trace.store(on, std::memory_order_relaxed);
+  if (on) SetEnabled(true);
+}
+
+uint32_t ThreadIndex() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - TraceEpoch())
+          .count());
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      case '\r':
+        out.append("\\r");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out.append(buf);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SpanRecord / ScopedSpan.
+// ---------------------------------------------------------------------------
+
+std::string SpanRecord::Attr(std::string_view key) const {
+  for (const auto& [k, v] : attrs) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+ScopedSpan::ScopedSpan(std::string_view name) {
+  if (!TraceEnabled()) return;
+  active_ = true;
+  rec_.name.assign(name.data(), name.size());
+  rec_.tid = ThreadIndex();
+  rec_.depth = t_depth++;
+  rec_.start_us = NowMicros();
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  --t_depth;
+  rec_.dur_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+  Registry::Global().RecordSpan(std::move(rec_));
+}
+
+void ScopedSpan::AddAttr(std::string_view key, uint64_t value) {
+  if (!active_) return;
+  rec_.attrs.emplace_back(std::string(key), std::to_string(value));
+}
+
+void ScopedSpan::AddAttr(std::string_view key, std::string_view value) {
+  if (!active_) return;
+  rec_.attrs.emplace_back(std::string(key),
+                          "\"" + JsonEscape(value) + "\"");
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+Registry& Registry::Global() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_shared<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_shared<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_shared<Histogram>();
+  return *slot;
+}
+
+void Registry::RegisterCounter(const std::string& name,
+                               std::shared_ptr<Counter> c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] = std::move(c);
+}
+
+void Registry::RegisterGauge(const std::string& name,
+                             std::shared_ptr<Gauge> g) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = std::move(g);
+}
+
+void Registry::RecordSpan(SpanRecord rec) {
+  std::lock_guard<std::mutex> lock(span_mu_);
+  if (spans_.size() >= kMaxSpans) {
+    dropped_spans_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  spans_.push_back(std::move(rec));
+}
+
+std::vector<SpanRecord> Registry::SnapshotSpans() const {
+  std::lock_guard<std::mutex> lock(span_mu_);
+  return spans_;
+}
+
+void Registry::ClearSpans() {
+  std::lock_guard<std::mutex> lock(span_mu_);
+  spans_.clear();
+  dropped_spans_.store(0, std::memory_order_relaxed);
+}
+
+std::string Registry::DumpJson() const {
+  // Copy the metric pointers out so JSON rendering does not hold mu_ while
+  // reading atomics (metric objects outlive the registry entries).
+  std::map<std::string, std::shared_ptr<Counter>> counters;
+  std::map<std::string, std::shared_ptr<Gauge>> gauges;
+  std::map<std::string, std::shared_ptr<Histogram>> histograms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters = counters_;
+    gauges = gauges_;
+    histograms = histograms_;
+  }
+  std::string out;
+  out.append("{\n  \"counters\": {");
+  bool first = true;
+  for (const auto& [name, c] : counters) {
+    if (!first) out.append(",");
+    first = false;
+    out.append("\n    \"");
+    out.append(JsonEscape(name));
+    out.append("\": ");
+    out.append(std::to_string(c->Value()));
+  }
+  out.append(first ? "},\n" : "\n  },\n");
+
+  out.append("  \"gauges\": {");
+  first = true;
+  for (const auto& [name, g] : gauges) {
+    if (!first) out.append(",");
+    first = false;
+    out.append("\n    \"");
+    out.append(JsonEscape(name));
+    out.append("\": ");
+    out.append(std::to_string(g->Value()));
+  }
+  out.append(first ? "},\n" : "\n  },\n");
+
+  out.append("  \"histograms\": {");
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out.append(",");
+    first = false;
+    out.append("\n    \"");
+    out.append(JsonEscape(name));
+    out.append("\": ");
+    AppendHistogramJson(&out, *h);
+  }
+  out.append(first ? "},\n" : "\n  },\n");
+
+  const std::vector<SpanRecord> spans = SnapshotSpans();
+  out.append("  \"spans\": {\"dropped\": ");
+  out.append(std::to_string(dropped_spans()));
+  out.append(", \"events\": [");
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& rec = spans[i];
+    if (i != 0) out.append(",");
+    out.append("\n    {\"name\": \"");
+    out.append(JsonEscape(rec.name));
+    out.append("\", \"ts_us\": ");
+    out.append(std::to_string(rec.start_us));
+    out.append(", \"dur_us\": ");
+    out.append(std::to_string(rec.dur_us));
+    out.append(", \"tid\": ");
+    out.append(std::to_string(rec.tid));
+    out.append(", \"depth\": ");
+    out.append(std::to_string(rec.depth));
+    out.append(", \"args\": ");
+    AppendSpanAttrsJson(&out, rec);
+    out.append("}");
+  }
+  out.append(spans.empty() ? "]}\n" : "\n  ]}\n");
+  out.append("}\n");
+  return out;
+}
+
+Status Registry::DumpJsonToFile(const std::string& path) const {
+  return WriteStringToFile(path, DumpJson());
+}
+
+std::string Registry::DumpTraceJson() const {
+  const std::vector<SpanRecord> spans = SnapshotSpans();
+  std::string out;
+  out.append("{\"traceEvents\": [");
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& rec = spans[i];
+    if (i != 0) out.append(",");
+    out.append("\n  {\"name\": \"");
+    out.append(JsonEscape(rec.name));
+    out.append("\", \"ph\": \"X\", \"pid\": 0, \"tid\": ");
+    out.append(std::to_string(rec.tid));
+    out.append(", \"ts\": ");
+    out.append(std::to_string(rec.start_us));
+    out.append(", \"dur\": ");
+    out.append(std::to_string(rec.dur_us));
+    out.append(", \"args\": ");
+    AppendSpanAttrsJson(&out, rec);
+    out.append("}");
+  }
+  out.append(spans.empty() ? "]}\n" : "\n]}\n");
+  return out;
+}
+
+Status Registry::DumpTraceJsonToFile(const std::string& path) const {
+  return WriteStringToFile(path, DumpTraceJson());
+}
+
+}  // namespace telemetry
+}  // namespace tardis

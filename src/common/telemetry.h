@@ -1,0 +1,284 @@
+// Process-wide metrics registry and lightweight span tracing — the repo's
+// analogue of the Spark UI that the paper's evaluation (PAPER.md §VI) leans
+// on for its per-stage cost breakdowns.
+//
+// Three metric kinds live in a named registry:
+//   Counter   — monotonically increasing, sharded relaxed atomics so the hot
+//               path is one fetch_add on a core-private cache line.
+//   Gauge     — a settable signed value (resident bytes, pinned partitions).
+//   Histogram — fixed power-of-two buckets over a uint64 domain (we use
+//               microseconds); Observe is two relaxed fetch_adds.
+//
+// Spans record (name, start, duration, thread, depth, attrs) into a bounded
+// in-memory buffer. They are the task-timeline analogue: the cluster layer
+// opens one span per task attempt, queries open one per phase.
+//
+// Gating follows the fault_injection pattern: when telemetry is disabled
+// (the default), every instrumentation site costs a single relaxed atomic
+// load. Enable programmatically (telemetry::SetEnabled), via the CLI flags
+// --metrics-json / --trace-json, or via TARDIS_TRACE=1 in the environment
+// (parsed once, on first use). Counters wired into long-lived components
+// (e.g. PartitionCache hit/miss) are always live — they are part of those
+// components' contracts and cost the same as the atomics they replaced.
+
+#ifndef TARDIS_COMMON_TELEMETRY_H_
+#define TARDIS_COMMON_TELEMETRY_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tardis {
+namespace telemetry {
+
+// ---------------------------------------------------------------------------
+// Enable switches.
+// ---------------------------------------------------------------------------
+
+// True when histogram/span instrumentation should run. Initialised from
+// $TARDIS_TRACE on first use (any non-empty value other than "0" enables
+// both metrics and tracing).
+bool Enabled();
+void SetEnabled(bool on);
+
+// True when spans are being recorded (implies nothing about metrics; the
+// CLI enables both for --trace-json and metrics only for --metrics-json).
+bool TraceEnabled();
+void SetTraceEnabled(bool on);
+
+// Small dense id for the calling thread (0, 1, 2, ... in first-use order).
+// Used as the worker id in task spans.
+uint32_t ThreadIndex();
+
+// ---------------------------------------------------------------------------
+// Metrics.
+// ---------------------------------------------------------------------------
+
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t delta = 1) {
+    shards_[ThreadIndex() & (kShards - 1)].v.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  static constexpr size_t kShards = 8;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+// Power-of-two buckets: bucket 0 holds value 0, bucket i (i >= 1) holds
+// [2^(i-1), 2^i), and the last bucket absorbs everything above. With 32
+// buckets over microseconds the top finite bucket edge is ~2^30 us ≈ 18 min.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 32;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  static size_t BucketIndex(uint64_t value) {
+    if (value == 0) return 0;
+    size_t bits = 0;
+    while (value != 0) {
+      ++bits;
+      value >>= 1;
+    }
+    return bits < kNumBuckets ? bits : kNumBuckets - 1;
+  }
+  // Inclusive lower bound of bucket `i` (0, 1, 2, 4, 8, ...).
+  static uint64_t BucketLowerBound(size_t i) {
+    return i == 0 ? 0 : uint64_t{1} << (i - 1);
+  }
+
+  void Observe(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+  void ObserveSeconds(double seconds) {
+    if (seconds < 0) seconds = 0;
+    Observe(static_cast<uint64_t>(seconds * 1e6));
+  }
+
+  uint64_t Count() const {
+    uint64_t total = 0;
+    for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+    return total;
+  }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> sum_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Spans.
+// ---------------------------------------------------------------------------
+
+struct SpanRecord {
+  std::string name;
+  uint64_t start_us = 0;  // since the process trace epoch (steady clock)
+  uint64_t dur_us = 0;
+  uint32_t tid = 0;    // dense thread index (ThreadIndex())
+  uint32_t depth = 0;  // nesting depth within the recording thread
+  // Attribute values are pre-rendered JSON fragments: bare numbers for
+  // numeric attrs, quoted strings for text attrs.
+  std::vector<std::pair<std::string, std::string>> attrs;
+
+  // Convenience for tests: the raw value for `key`, or "" if absent.
+  std::string Attr(std::string_view key) const;
+};
+
+// RAII span: records name + wall duration into the global buffer on
+// destruction. A span constructed while tracing is disabled is inert (one
+// relaxed load, no allocation).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return active_; }
+  void AddAttr(std::string_view key, uint64_t value);
+  void AddAttr(std::string_view key, std::string_view value);
+
+ private:
+  bool active_ = false;
+  SpanRecord rec_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+class Registry {
+ public:
+  // The process-wide registry. Instrumentation sites cache the returned
+  // references in function-local statics; the global registry never deletes
+  // a metric, so those references stay valid for the process lifetime.
+  static Registry& Global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Get-or-create by name. The returned reference lives as long as the
+  // registry (metrics are never erased, only replaced — see Register*).
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  // Registers an externally owned metric under `name`, replacing any prior
+  // registration. Used by per-instance components (PartitionCache) so the
+  // registry always exports the live instance while each instance keeps
+  // isolated counts for its own Stats() snapshot.
+  void RegisterCounter(const std::string& name, std::shared_ptr<Counter> c);
+  void RegisterGauge(const std::string& name, std::shared_ptr<Gauge> g);
+
+  // Span sink (bounded; drops and counts overflow past kMaxSpans).
+  static constexpr size_t kMaxSpans = 1 << 16;
+  void RecordSpan(SpanRecord rec);
+  std::vector<SpanRecord> SnapshotSpans() const;
+  void ClearSpans();
+  uint64_t dropped_spans() const {
+    return dropped_spans_.load(std::memory_order_relaxed);
+  }
+
+  // One JSON document: {"counters": {...}, "gauges": {...},
+  // "histograms": {...}, "spans": {"dropped": N, "events": [...]}}.
+  // Keys are emitted in sorted order so output is stable.
+  std::string DumpJson() const;
+  Status DumpJsonToFile(const std::string& path) const;
+
+  // Chrome trace-event viewer format ({"traceEvents": [...]}) for the
+  // recorded spans; loadable in chrome://tracing / Perfetto.
+  std::string DumpTraceJson() const;
+  Status DumpTraceJsonToFile(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Counter>> counters_;
+  std::map<std::string, std::shared_ptr<Gauge>> gauges_;
+  std::map<std::string, std::shared_ptr<Histogram>> histograms_;
+
+  mutable std::mutex span_mu_;
+  std::vector<SpanRecord> spans_;
+  std::atomic<uint64_t> dropped_spans_{0};
+};
+
+// Microseconds since the process-wide trace epoch (first telemetry use).
+uint64_t NowMicros();
+
+// RAII latency sample: observes the elapsed microseconds into `hist` on
+// destruction. Inert (no clock read) when telemetry is disabled.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram& hist)
+      : hist_(Enabled() ? &hist : nullptr) {
+    if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedLatency() {
+    if (hist_ != nullptr) {
+      hist_->Observe(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start_)
+              .count()));
+    }
+  }
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+// Escapes `s` for embedding in a JSON string literal (no surrounding quotes).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace telemetry
+}  // namespace tardis
+
+#endif  // TARDIS_COMMON_TELEMETRY_H_

@@ -15,7 +15,9 @@
 #include <optional>
 
 #include "common/rng.h"
+#include "common/telemetry.h"
 #include "core/query_scan.h"
+#include "core/query_telemetry.h"
 #include "core/tardis_index.h"
 #include "core/topk.h"
 #include "ts/kernels.h"
@@ -57,10 +59,17 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
     const TimeSeries& query, uint32_t k, KnnStrategy strategy,
     KnnStats* stats) const {
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  telemetry::ScopedSpan span("query.knn");
+  if (span.active()) {
+    span.AddAttr("strategy", std::string_view(KnnStrategyName(strategy)));
+    span.AddAttr("k", static_cast<uint64_t>(k));
+  }
+  qtel::PhaseTimer timer("knn");
   TimeSeries normalized;
   std::vector<double> paa;
   std::string sig;
   TARDIS_RETURN_NOT_OK(PrepareQuery(query, &normalized, &paa, &sig));
+  timer.Lap("prepare");
 
   // (2) Tardis-G identifies the home partition; (3) load it. A home that
   // cannot be loaded after retries degrades the query instead of failing it:
@@ -90,10 +99,32 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
       return local.status();
     }
   }
+  timer.Lap("load");
+
+  // The target node's clustered slice; zero until the home index is loaded.
+  // A degraded home reports level 0 — the same value the batched engine
+  // emits — rather than whatever the caller left in the struct.
+  uint32_t target_level = 0;
+  uint32_t target_start = 0;
+  uint32_t target_len = 0;
 
   auto fill_stats = [&](uint64_t candidates) {
+    if (telemetry::Enabled()) {
+      static telemetry::Counter& queries =
+          telemetry::Registry::Global().GetCounter("tardis.query.knn.count");
+      static telemetry::Counter& cands =
+          telemetry::Registry::Global().GetCounter(
+              "tardis.query.knn.candidates");
+      static telemetry::Counter& degraded =
+          telemetry::Registry::Global().GetCounter(
+              "tardis.query.knn.degraded");
+      queries.Add(1);
+      cands.Add(candidates);
+      if (failed > 0) degraded.Add(1);
+    }
     if (stats == nullptr) return;
     stats->candidates = candidates;
+    stats->target_node_level = target_level;
     stats->partitions_loaded = loaded;
     stats->partitions_requested = requested;
     stats->partitions_failed = failed;
@@ -106,12 +137,15 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
   if (home_local.has_value()) {
     const SigTree::Node* target =
         qscan::FindTargetNode(home_local->tree(), sig, k);
-    if (stats) stats->target_node_level = target->level;
-    qscan::RankRange(*home_loaded, target->range_start, target->range_len,
-                     normalized, &topk, &candidates);
+    target_level = target->level;
+    target_start = target->range_start;
+    target_len = target->range_len;
+    qscan::RankRange(*home_loaded, target_start, target_len, normalized,
+                     &topk, &candidates);
   }
 
   if (strategy == KnnStrategy::kTargetNode) {
+    timer.Lap("scan");
     fill_stats(candidates);
     return topk.Take();
   }
@@ -127,9 +161,13 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
     TopK wide(k);
     if (home_local.has_value()) {
       home_local->tree().EnsureWords();
+      // The target slice was already counted by the seed pass above; the
+      // exclusion range keeps each record's candidate count at one.
       qscan::PrunedScan(home_local->tree(), *home_loaded, mind, normalized,
-                        threshold, &wide, &candidates);
+                        threshold, &wide, &candidates, target_start,
+                        target_len);
     }
+    timer.Lap("scan");
     fill_stats(candidates);
     return wide.Take();
   }
@@ -146,15 +184,21 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
   TopK merged(k);
   uint64_t total_candidates = candidates;
   Status first_error;
+  timer.Skip();  // sibling load + scan time is recorded inside the tasks
   cluster_->pool().ParallelFor(pids.size(), [&](size_t i) {
     const PartitionId pid = pids[i];
     TopK part_topk(k);
     uint64_t part_candidates = 0;
+    qtel::PhaseTimer part_timer("knn");
     if (pid == home) {
       if (!home_local.has_value()) return;  // already counted as failed
       home_local->tree().EnsureWords();
+      part_timer.Skip();
+      // The target slice was counted by the seed pass; see kOnePartition.
       qscan::PrunedScan(home_local->tree(), *home_loaded, mind, normalized,
-                        threshold, &part_topk, &part_candidates);
+                        threshold, &part_topk, &part_candidates, target_start,
+                        target_len);
+      part_timer.Lap("scan");
     } else {
       auto handle_load_error = [&](const Status& st) {
         std::lock_guard<std::mutex> lock(mu);
@@ -174,9 +218,11 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
         handle_load_error(records.status());
         return;
       }
+      part_timer.Lap("load");
       local->tree().EnsureWords();
       qscan::PrunedScan(local->tree(), **records, mind, normalized, threshold,
                         &part_topk, &part_candidates);
+      part_timer.Lap("scan");
     }
     auto part = part_topk.Take();
     std::lock_guard<std::mutex> lock(mu);
@@ -185,6 +231,7 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
     if (pid != home) ++loaded;
   });
   TARDIS_RETURN_NOT_OK(first_error);
+  timer.Lap("merge");
   fill_stats(total_candidates);
   return merged.Take();
 }

@@ -13,7 +13,9 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/telemetry.h"
 #include "core/query_scan.h"
+#include "core/query_telemetry.h"
 #include "core/tardis_index.h"
 #include "core/topk.h"
 #include "ts/kernels.h"
@@ -27,6 +29,9 @@ Result<std::vector<Neighbor>> TardisIndex::KnnExact(const TimeSeries& query,
   if (regions_.size() != num_partitions()) {
     return Status::Internal("region summaries unavailable");
   }
+  telemetry::ScopedSpan span("query.knn_exact");
+  if (span.active()) span.AddAttr("k", static_cast<uint64_t>(k));
+  qtel::PhaseTimer timer("knn_exact");
   TimeSeries normalized;
   std::vector<double> paa;
   std::string sig;
@@ -44,18 +49,30 @@ Result<std::vector<Neighbor>> TardisIndex::KnnExact(const TimeSeries& query,
 
   const MindistTable mind(paa, static_cast<uint8_t>(codec().max_bits()),
                           normalized.size());
+  timer.Lap("prepare");
   TopK topk(k);
   uint64_t candidates = 0;
   uint32_t loaded = 0;
   for (uint32_t pid : order) {
     if (bounds[pid] > topk.Threshold()) break;  // no partition can improve
+    timer.Skip();
     TARDIS_ASSIGN_OR_RETURN(LocalIndex local, LoadLocalIndex(pid));
     TARDIS_ASSIGN_OR_RETURN(PartitionCache::Value records,
                             LoadPartitionShared(pid));
+    timer.Lap("load");
     local.tree().EnsureWords();
     qscan::ExactScan(local.tree(), *records, mind, normalized, &topk,
                      &candidates);
+    timer.Lap("scan");
     ++loaded;
+  }
+  if (telemetry::Enabled()) {
+    telemetry::Registry::Global()
+        .GetCounter("tardis.query.knn_exact.count")
+        .Add(1);
+    telemetry::Registry::Global()
+        .GetCounter("tardis.query.knn_exact.candidates")
+        .Add(candidates);
   }
   if (stats) {
     stats->partitions_loaded = loaded;

@@ -9,7 +9,9 @@
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "common/telemetry.h"
 #include "core/query_scan.h"
+#include "core/query_telemetry.h"
 #include "core/topk.h"
 #include "storage/partition_cache.h"
 #include "ts/kernels.h"
@@ -30,6 +32,20 @@ struct Prepared {
 // partition: the unit of work of a partition task.
 using SlotTask = std::pair<size_t, size_t>;
 
+// The QueryEngineStats snapshot handed to the caller is also accumulated
+// into the process-wide registry under "tardis.query.<path>.*", making the
+// per-call struct a view over the same numbers the exporter dumps.
+void PublishBatchStats(const char* path, const QueryEngineStats& acc) {
+  if (!telemetry::Enabled()) return;
+  auto& reg = telemetry::Registry::Global();
+  const std::string prefix = std::string("tardis.query.") + path;
+  reg.GetCounter(prefix + ".queries").Add(acc.queries);
+  reg.GetCounter(prefix + ".candidates").Add(acc.candidates);
+  reg.GetCounter(prefix + ".partitions_loaded").Add(acc.partitions_loaded);
+  reg.GetCounter(prefix + ".partitions_failed").Add(acc.partitions_failed);
+  reg.GetHistogram(prefix + ".wall_us").ObserveSeconds(acc.wall_seconds);
+}
+
 }  // namespace
 
 Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
@@ -37,6 +53,13 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
     QueryEngineStats* stats) const {
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
   Stopwatch sw;
+  telemetry::ScopedSpan span("query.knn_batch");
+  if (span.active()) {
+    span.AddAttr("strategy", std::string_view(KnnStrategyName(strategy)));
+    span.AddAttr("k", static_cast<uint64_t>(k));
+    span.AddAttr("queries", static_cast<uint64_t>(queries.size()));
+  }
+  qtel::PhaseTimer timer("batch.knn");
   const size_t nq = queries.size();
   std::vector<std::vector<Neighbor>> results(nq);
   QueryEngineStats acc;
@@ -81,6 +104,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
     }
   }
 
+  timer.Lap("prepare");
   std::map<PartitionId, std::vector<size_t>> by_home;
   for (size_t q = 0; q < nq; ++q) by_home[prep[q].home].push_back(q);
   std::vector<std::pair<PartitionId, const std::vector<size_t>*>> home_groups;
@@ -111,6 +135,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
   index_->cluster_->pool().ParallelFor(home_groups.size(), [&](size_t gi) {
     const PartitionId pid = home_groups[gi].first;
     const std::vector<size_t>& qs = *home_groups[gi].second;
+    qtel::PhaseTimer task_timer("batch.knn");
     auto local = index_->LoadLocalIndex(pid);
     if (!local.ok()) {
       handle_load_error(local.status());
@@ -121,12 +146,14 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
       handle_load_error(records.status());
       return;
     }
+    task_timer.Lap("load");
     if (cache != nullptr) {
       std::lock_guard<std::mutex> lock(mu);
       pins.emplace_back(cache, pid);
     }
     if (strategy != KnnStrategy::kTargetNode) local->tree().EnsureWords();
     uint64_t cand = 0;
+    task_timer.Skip();
     for (size_t q : qs) {
       const Prepared& p = prep[q];
       const SigTree::Node* target =
@@ -141,8 +168,12 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
       const double threshold = topk.Threshold();
       if (strategy == KnnStrategy::kOnePartition) {
         TopK wide(k);
+        // The target slice was counted by the seed RankRange above; the
+        // exclusion range keeps each record's candidate count at one,
+        // mirroring the single-query path bit for bit.
         qscan::PrunedScan(local->tree(), **records, *tables[q], p.normalized,
-                          threshold, &wide, &cand);
+                          threshold, &wide, &cand, target->range_start,
+                          target->range_len);
         results[q] = wide.Take();
         continue;
       }
@@ -151,9 +182,11 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
       thresholds[q] = threshold;
       TopK part(k);
       qscan::PrunedScan(local->tree(), **records, *tables[q], p.normalized,
-                        threshold, &part, &cand);
+                        threshold, &part, &cand, target->range_start,
+                        target->range_len);
       partials[q][home_slot[q]] = part.Take();
     }
+    task_timer.Lap("scan");
     candidates.fetch_add(cand, std::memory_order_relaxed);
   });
   acc.partitions_requested += home_groups.size();
@@ -180,6 +213,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
     index_->cluster_->pool().ParallelFor(groups.size(), [&](size_t gi) {
       const PartitionId pid = groups[gi].first;
       const std::vector<SlotTask>& tasks = *groups[gi].second;
+      qtel::PhaseTimer task_timer("batch.knn");
       auto local = index_->LoadLocalIndex(pid);
       if (!local.ok()) {
         handle_load_error(local.status());
@@ -190,18 +224,21 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
         handle_load_error(records.status());
         return;
       }
+      task_timer.Lap("load");
       if (cache != nullptr) {
         std::lock_guard<std::mutex> lock(mu);
         pins.emplace_back(cache, pid);
       }
       local->tree().EnsureWords();
       uint64_t cand = 0;
+      task_timer.Skip();
       for (const auto& [q, slot] : tasks) {
         TopK part(k);
         qscan::PrunedScan(local->tree(), **records, *tables[q],
                           prep[q].normalized, thresholds[q], &part, &cand);
         partials[q][slot] = part.Take();
       }
+      task_timer.Lap("scan");
       candidates.fetch_add(cand, std::memory_order_relaxed);
     });
     acc.partitions_requested += groups.size();
@@ -212,6 +249,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
 
     // Merge the per-partition top-k lists in the query's deterministic
     // partition order.
+    timer.Skip();
     for (size_t q = 0; q < nq; ++q) {
       TopK merged(k);
       for (const auto& part : partials[q]) {
@@ -219,15 +257,15 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
       }
       results[q] = merged.Take();
     }
+    timer.Lap("merge");
   }
 
-  if (stats) {
-    acc.candidates = candidates.load(std::memory_order_relaxed);
-    acc.partitions_failed = failed.load(std::memory_order_relaxed);
-    acc.results_complete = acc.partitions_failed == 0;
-    acc.wall_seconds = sw.ElapsedSeconds();
-    *stats = acc;
-  }
+  acc.candidates = candidates.load(std::memory_order_relaxed);
+  acc.partitions_failed = failed.load(std::memory_order_relaxed);
+  acc.results_complete = acc.partitions_failed == 0;
+  acc.wall_seconds = sw.ElapsedSeconds();
+  PublishBatchStats("batch.knn", acc);
+  if (stats) *stats = acc;
   return results;
 }
 
@@ -235,6 +273,11 @@ Result<std::vector<std::vector<RecordId>>> QueryEngine::ExactMatchBatch(
     const std::vector<TimeSeries>& queries, bool use_bloom,
     QueryEngineStats* stats) const {
   Stopwatch sw;
+  telemetry::ScopedSpan span("query.exact_batch");
+  if (span.active()) {
+    span.AddAttr("queries", static_cast<uint64_t>(queries.size()));
+  }
+  qtel::PhaseTimer timer("batch.exact");
   const size_t nq = queries.size();
   std::vector<std::vector<RecordId>> results(nq);
   QueryEngineStats acc;
@@ -257,6 +300,7 @@ Result<std::vector<std::vector<RecordId>>> QueryEngine::ExactMatchBatch(
     by_pid[pid].push_back(q);
     ++acc.logical_partition_loads;
   }
+  timer.Lap("prepare");
   std::vector<std::pair<PartitionId, const std::vector<size_t>*>> groups;
   groups.reserve(by_pid.size());
   for (const auto& [pid, qs] : by_pid) groups.emplace_back(pid, &qs);
@@ -270,26 +314,32 @@ Result<std::vector<std::vector<RecordId>>> QueryEngine::ExactMatchBatch(
   index_->cluster_->pool().ParallelFor(groups.size(), [&](size_t gi) {
     const PartitionId pid = groups[gi].first;
     const std::vector<size_t>& qs = *groups[gi].second;
+    qtel::PhaseTimer task_timer("batch.exact");
     auto local = index_->LoadLocalIndex(pid);
     if (!local.ok()) {
       std::lock_guard<std::mutex> lock(mu);
       if (first_error.ok()) first_error = local.status();
       return;
     }
+    task_timer.Lap("load");
     // Records are loaded lazily: if every query in the group fails its
     // Tardis-L descent (proven absent), the partition file is never read.
     PartitionCache::Value records;
     uint64_t cand = 0;
+    task_timer.Skip();
     for (size_t q : qs) {
       const SigTree::Node* leaf = local->tree().Descend(prep[q].sig);
       if (!leaf->is_leaf()) continue;
       if (records == nullptr) {
+        qtel::PhaseTimer load_timer("batch.exact");
         auto loaded = index_->LoadPartitionShared(pid);
         if (!loaded.ok()) {
           std::lock_guard<std::mutex> lock(mu);
           if (first_error.ok()) first_error = loaded.status();
           return;
         }
+        load_timer.Lap("load");
+        task_timer.Skip();  // keep the lazy load out of the scan lap
         records = *loaded;
         if (cache != nullptr) {
           std::lock_guard<std::mutex> lock(mu);
@@ -305,6 +355,7 @@ Result<std::vector<std::vector<RecordId>>> QueryEngine::ExactMatchBatch(
         }
       }
     }
+    task_timer.Lap("scan");
     candidates.fetch_add(cand, std::memory_order_relaxed);
   });
   // Exact match keeps strict semantics: a partition that cannot be loaded is
@@ -314,11 +365,10 @@ Result<std::vector<std::vector<RecordId>>> QueryEngine::ExactMatchBatch(
   acc.partitions_requested = groups.size();
   TARDIS_RETURN_NOT_OK(first_error);
 
-  if (stats) {
-    acc.candidates = candidates.load(std::memory_order_relaxed);
-    acc.wall_seconds = sw.ElapsedSeconds();
-    *stats = acc;
-  }
+  acc.candidates = candidates.load(std::memory_order_relaxed);
+  acc.wall_seconds = sw.ElapsedSeconds();
+  PublishBatchStats("batch.exact", acc);
+  if (stats) *stats = acc;
   return results;
 }
 
@@ -330,6 +380,11 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::RangeSearchBatch(
     return Status::Internal("region summaries unavailable");
   }
   Stopwatch sw;
+  telemetry::ScopedSpan span("query.range_batch");
+  if (span.active()) {
+    span.AddAttr("queries", static_cast<uint64_t>(queries.size()));
+  }
+  qtel::PhaseTimer timer("batch.range");
   const size_t nq = queries.size();
   std::vector<std::vector<Neighbor>> results(nq);
   QueryEngineStats acc;
@@ -358,6 +413,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::RangeSearchBatch(
     partials[q].resize(slots);
     acc.logical_partition_loads += slots;
   }
+  timer.Lap("prepare");
   std::vector<std::pair<PartitionId, const std::vector<SlotTask>*>> groups;
   groups.reserve(by_pid.size());
   for (const auto& [pid, tasks] : by_pid) groups.emplace_back(pid, &tasks);
@@ -383,6 +439,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::RangeSearchBatch(
   index_->cluster_->pool().ParallelFor(groups.size(), [&](size_t gi) {
     const PartitionId pid = groups[gi].first;
     const std::vector<SlotTask>& tasks = *groups[gi].second;
+    qtel::PhaseTimer task_timer("batch.range");
     auto local = index_->LoadLocalIndex(pid);
     if (!local.ok()) {
       handle_load_error(local.status());
@@ -393,16 +450,19 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::RangeSearchBatch(
       handle_load_error(records.status());
       return;
     }
+    task_timer.Lap("load");
     if (cache != nullptr) {
       std::lock_guard<std::mutex> lock(mu);
       pins.emplace_back(cache, pid);
     }
     local->tree().EnsureWords();
     uint64_t cand = 0;
+    task_timer.Skip();
     for (const auto& [q, slot] : tasks) {
       qscan::RangeScan(local->tree(), **records, *tables[q],
                        prep[q].normalized, radius, &partials[q][slot], &cand);
     }
+    task_timer.Lap("scan");
     candidates.fetch_add(cand, std::memory_order_relaxed);
   });
   acc.partitions_requested = groups.size();
@@ -411,6 +471,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::RangeSearchBatch(
   acc.results_complete = acc.partitions_failed == 0;
   TARDIS_RETURN_NOT_OK(first_error);
 
+  timer.Skip();
   for (size_t q = 0; q < nq; ++q) {
     size_t total = 0;
     for (const auto& part : partials[q]) total += part.size();
@@ -420,12 +481,12 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::RangeSearchBatch(
     }
     std::sort(results[q].begin(), results[q].end());
   }
+  timer.Lap("merge");
 
-  if (stats) {
-    acc.candidates = candidates.load(std::memory_order_relaxed);
-    acc.wall_seconds = sw.ElapsedSeconds();
-    *stats = acc;
-  }
+  acc.candidates = candidates.load(std::memory_order_relaxed);
+  acc.wall_seconds = sw.ElapsedSeconds();
+  PublishBatchStats("batch.range", acc);
+  if (stats) *stats = acc;
   return results;
 }
 

@@ -76,19 +76,32 @@ inline void RankRange(const std::vector<Record>& records, uint32_t start,
 // batched table pass — with a static threshold the prune decisions cannot
 // depend on traversal timing, so this visits exactly the nodes the
 // per-visit recursion did, in the same order.
+//
+// `counted_start`/`counted_len` mark a record range the caller already fed
+// through RankRange (the target-node seed pass): leaves fully inside it are
+// still ranked — dropping them would change results — but are not counted
+// into `candidates` again, so each record contributes at most once to the
+// candidate total. The target node is an ancestor-or-self of every leaf on
+// its descent path, so a leaf either lies fully inside the range or is
+// disjoint from it; partial overlap cannot occur.
 inline void PrunedScan(const SigTree& tree, const std::vector<Record>& records,
                        const MindistTable& mind, const TimeSeries& query,
-                       double threshold, TopK* topk, uint64_t* candidates) {
+                       double threshold, TopK* topk, uint64_t* candidates,
+                       uint32_t counted_start = 0, uint32_t counted_len = 0) {
   std::vector<const SigTree::Node*> stack;
   std::vector<const SaxWord*> words;
   std::vector<double> lbs;
+  uint64_t already_counted = 0;
   stack.push_back(tree.root());
   while (!stack.empty()) {
     const SigTree::Node* node = stack.back();
     stack.pop_back();
     if (node->is_leaf()) {
+      const bool seeded =
+          counted_len > 0 && node->range_start >= counted_start &&
+          node->range_start + node->range_len <= counted_start + counted_len;
       RankRange(records, node->range_start, node->range_len, query, topk,
-                candidates);
+                seeded ? &already_counted : candidates);
       continue;
     }
     const size_t nc = node->children.size();

@@ -9,7 +9,9 @@
 
 #include <algorithm>
 
+#include "common/telemetry.h"
 #include "core/query_scan.h"
+#include "core/query_telemetry.h"
 #include "core/tardis_index.h"
 #include "ts/kernels.h"
 
@@ -22,6 +24,8 @@ Result<std::vector<Neighbor>> TardisIndex::RangeSearch(const TimeSeries& query,
   if (regions_.size() != num_partitions()) {
     return Status::Internal("region summaries unavailable");
   }
+  telemetry::ScopedSpan span("query.range");
+  qtel::PhaseTimer timer("range");
   TimeSeries normalized;
   std::vector<double> paa;
   std::string sig;
@@ -29,12 +33,14 @@ Result<std::vector<Neighbor>> TardisIndex::RangeSearch(const TimeSeries& query,
 
   const MindistTable mind(paa, static_cast<uint8_t>(codec().max_bits()),
                           normalized.size());
+  timer.Lap("prepare");
   std::vector<Neighbor> results;
   uint64_t candidates = 0;
   uint32_t loaded = 0, requested = 0, failed = 0;
   for (PartitionId pid = 0; pid < num_partitions(); ++pid) {
     if (regions_[pid].Mindist(paa, normalized.size()) > radius) continue;
     ++requested;
+    timer.Skip();
     // A partition that cannot be loaded after retries is skipped: the query
     // keeps answering from the remaining partitions and reports the lost
     // coverage through the stats. Non-transient errors still abort.
@@ -54,12 +60,22 @@ Result<std::vector<Neighbor>> TardisIndex::RangeSearch(const TimeSeries& query,
       }
       return records.status();
     }
+    timer.Lap("load");
     local->tree().EnsureWords();
     qscan::RangeScan(local->tree(), **records, mind, normalized, radius,
                      &results, &candidates);
+    timer.Lap("scan");
     ++loaded;
   }
+  timer.Skip();
   std::sort(results.begin(), results.end());
+  timer.Lap("merge");
+  if (telemetry::Enabled()) {
+    auto& reg = telemetry::Registry::Global();
+    reg.GetCounter("tardis.query.range.count").Add(1);
+    reg.GetCounter("tardis.query.range.candidates").Add(candidates);
+    if (failed > 0) reg.GetCounter("tardis.query.range.degraded").Add(1);
+  }
   if (stats) {
     stats->partitions_loaded = loaded;
     stats->candidates = candidates;

@@ -5,6 +5,7 @@
 
 #include "cluster/map_reduce.h"
 #include "common/stopwatch.h"
+#include "common/telemetry.h"
 #include "ts/paa.h"
 #include "ts/znorm.h"
 
@@ -71,6 +72,7 @@ Result<TardisIndex> TardisIndex::Build(std::shared_ptr<Cluster> cluster,
                                        BuildTimings* timings) {
   TARDIS_RETURN_NOT_OK(config.Validate());
   if (cluster == nullptr) return Status::InvalidArgument("null cluster");
+  telemetry::ScopedSpan build_span("build.index");
 
   // --- Tardis-G over the sampled statistics ---
   GlobalIndex::BuildBreakdown breakdown;
@@ -107,6 +109,11 @@ Result<TardisIndex> TardisIndex::Build(std::shared_ptr<Cluster> cluster,
                           timings != nullptr ? &timings->shuffle : nullptr,
                           config.shuffle_spill_bytes, config.retry, &job));
   if (timings) timings->shuffle_seconds = sw.ElapsedSeconds();
+  if (telemetry::Enabled()) {
+    telemetry::Registry::Global()
+        .GetHistogram("tardis.build.shuffle_us")
+        .ObserveSeconds(sw.ElapsedSeconds());
+  }
   sw.Restart();
 
   // --- Local Structure Construction (mapPartitions): build Tardis-L,
@@ -166,6 +173,11 @@ Result<TardisIndex> TardisIndex::Build(std::shared_ptr<Cluster> cluster,
       },
       config.retry, &job));
   if (timings) timings->local_build_seconds = sw.ElapsedSeconds();
+  if (telemetry::Enabled()) {
+    telemetry::Registry::Global()
+        .GetHistogram("tardis.build.local_us")
+        .ObserveSeconds(sw.ElapsedSeconds());
+  }
   sw.Restart();
 
   // --- Spill path (Fig. 12): intermediate tuples were not cached, so the
@@ -192,6 +204,11 @@ Result<TardisIndex> TardisIndex::Build(std::shared_ptr<Cluster> cluster,
         },
         config.retry, &job));
     if (timings) timings->bloom_extra_seconds = sw.ElapsedSeconds();
+    if (telemetry::Enabled()) {
+      telemetry::Registry::Global()
+          .GetHistogram("tardis.build.bloom_extra_us")
+          .ObserveSeconds(sw.ElapsedSeconds());
+    }
   }
   if (timings) {
     timings->job = job;
@@ -403,6 +420,12 @@ Result<LocalIndex> TardisIndex::LoadLocalIndex(PartitionId pid) const {
 
 Result<std::vector<RecordId>> TardisIndex::ExactMatch(
     const TimeSeries& query, bool use_bloom, ExactMatchStats* stats) const {
+  telemetry::ScopedSpan span("query.exact");
+  if (telemetry::Enabled()) {
+    static telemetry::Counter& queries =
+        telemetry::Registry::Global().GetCounter("tardis.query.exact.count");
+    queries.Add(1);
+  }
   TimeSeries normalized;
   std::vector<double> paa;
   std::string sig;

@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "common/fault_injection.h"
+#include "common/telemetry.h"
 
 namespace fs = std::filesystem;
 
@@ -117,8 +118,18 @@ Result<std::vector<Record>> BlockStore::ReadBlock(uint32_t index) const {
   if (index >= num_blocks_) {
     return Status::OutOfRange("block index out of range");
   }
+  static telemetry::Histogram& read_us =
+      telemetry::Registry::Global().GetHistogram(
+          "tardis.storage.read_block_us");
+  telemetry::ScopedLatency timer(read_us);
   TARDIS_RETURN_NOT_OK(MaybeInjectFault(FaultSite::kReadBlock, BlockPath(index)));
   TARDIS_ASSIGN_OR_RETURN(std::string bytes, ReadFile(BlockPath(index)));
+  if (telemetry::Enabled()) {
+    static telemetry::Counter& bytes_read =
+        telemetry::Registry::Global().GetCounter(
+            "tardis.storage.block_bytes_read");
+    bytes_read.Add(bytes.size());
+  }
   const size_t rec_size = RecordEncodedSize(series_length_);
   if (bytes.size() % rec_size != 0) {
     return Status::Corruption("block file size not a record multiple");

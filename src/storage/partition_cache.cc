@@ -5,13 +5,33 @@
 namespace tardis {
 
 PartitionCache::PartitionCache(uint64_t budget_bytes, size_t num_shards)
-    : budget_bytes_(budget_bytes) {
+    : budget_bytes_(budget_bytes),
+      hits_(std::make_shared<telemetry::Counter>()),
+      misses_(std::make_shared<telemetry::Counter>()),
+      coalesced_(std::make_shared<telemetry::Counter>()),
+      evictions_(std::make_shared<telemetry::Counter>()),
+      loaded_bytes_(std::make_shared<telemetry::Counter>()),
+      resident_bytes_(std::make_shared<telemetry::Gauge>()),
+      resident_partitions_(std::make_shared<telemetry::Gauge>()),
+      pinned_partitions_(std::make_shared<telemetry::Gauge>()) {
   const size_t shards = std::max<size_t>(1, num_shards);
-  shard_budget_ = budget_bytes / shards;
+  // Ceil-divide: a budget smaller than the shard count must not round every
+  // shard down to zero (which would insert-then-evict every single load).
+  shard_budget_ = (budget_bytes + shards - 1) / shards;
   shards_.reserve(shards);
   for (size_t i = 0; i < shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  auto& registry = telemetry::Registry::Global();
+  registry.RegisterCounter("tardis.cache.hits", hits_);
+  registry.RegisterCounter("tardis.cache.misses", misses_);
+  registry.RegisterCounter("tardis.cache.coalesced", coalesced_);
+  registry.RegisterCounter("tardis.cache.evictions", evictions_);
+  registry.RegisterCounter("tardis.cache.loaded_bytes", loaded_bytes_);
+  registry.RegisterGauge("tardis.cache.resident_bytes", resident_bytes_);
+  registry.RegisterGauge("tardis.cache.resident_partitions",
+                         resident_partitions_);
+  registry.RegisterGauge("tardis.cache.pinned_partitions", pinned_partitions_);
 }
 
 uint64_t PartitionCache::ChargedBytes(const std::vector<Record>& records) {
@@ -33,7 +53,7 @@ Result<PartitionCache::Value> PartitionCache::GetOrLoad(PartitionId pid,
   auto hit = shard.entries.find(pid);
   if (hit != shard.entries.end()) {
     shard.lru.splice(shard.lru.begin(), shard.lru, hit->second.lru_it);
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    hits_->Add(1);
     return hit->second.value;
   }
 
@@ -41,7 +61,7 @@ Result<PartitionCache::Value> PartitionCache::GetOrLoad(PartitionId pid,
   if (flight != shard.inflight.end()) {
     // Another thread is already reading this partition: piggyback on it.
     std::shared_ptr<InFlight> fl = flight->second;
-    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    coalesced_->Add(1);
     fl->cv.wait(lock, [&fl] { return fl->done; });
     if (!fl->error.ok()) return fl->error;
     return fl->value;
@@ -49,10 +69,15 @@ Result<PartitionCache::Value> PartitionCache::GetOrLoad(PartitionId pid,
 
   auto fl = std::make_shared<InFlight>();
   shard.inflight.emplace(pid, fl);
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_->Add(1);
   lock.unlock();
 
-  Result<std::vector<Record>> loaded = loader();
+  Result<std::vector<Record>> loaded = [&loader] {
+    static telemetry::Histogram& load_us =
+        telemetry::Registry::Global().GetHistogram("tardis.cache.load_us");
+    telemetry::ScopedLatency timer(load_us);
+    return loader();
+  }();
 
   lock.lock();
   shard.inflight.erase(pid);
@@ -65,7 +90,7 @@ Result<PartitionCache::Value> PartitionCache::GetOrLoad(PartitionId pid,
   Value value =
       std::make_shared<const std::vector<Record>>(std::move(*loaded));
   const uint64_t bytes = ChargedBytes(*value);
-  loaded_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  loaded_bytes_->Add(bytes);
   fl->value = value;
   fl->done = true;
   fl->cv.notify_all();
@@ -82,11 +107,17 @@ void PartitionCache::InsertAndEvict(Shard& shard, PartitionId pid, Value value,
   entry.lru_it = shard.lru.begin();
   shard.entries[pid] = std::move(entry);
   shard.bytes += bytes;
+  resident_bytes_->Add(static_cast<int64_t>(bytes));
+  resident_partitions_->Add(1);
   while (shard.bytes > shard_budget_ && !shard.lru.empty()) {
     // Least-recently-used *unpinned* entry; if everything resident is
-    // pinned, the shard stays over budget until a pin drops.
+    // pinned, the shard stays over budget until a pin drops. With any
+    // positive budget the just-inserted entry is also exempt, so one
+    // oversized partition is served rather than thrashed (a zero budget
+    // keeps the documented insert-then-evict degenerate semantics).
     auto victim_it = shard.lru.end();
     for (auto rit = shard.lru.rbegin(); rit != shard.lru.rend(); ++rit) {
+      if (shard_budget_ > 0 && *rit == pid) continue;
       if (shard.pins.find(*rit) == shard.pins.end()) {
         victim_it = std::prev(rit.base());
         break;
@@ -97,15 +128,17 @@ void PartitionCache::InsertAndEvict(Shard& shard, PartitionId pid, Value value,
     shard.lru.erase(victim_it);
     auto it = shard.entries.find(victim);
     shard.bytes -= it->second.bytes;
+    resident_bytes_->Add(-static_cast<int64_t>(it->second.bytes));
+    resident_partitions_->Add(-1);
     shard.entries.erase(it);
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_->Add(1);
   }
 }
 
 void PartitionCache::Pin(PartitionId pid) {
   Shard& shard = ShardFor(pid);
   std::lock_guard<std::mutex> lock(shard.mu);
-  ++shard.pins[pid];
+  if (++shard.pins[pid] == 1) pinned_partitions_->Add(1);
 }
 
 void PartitionCache::Unpin(PartitionId pid) {
@@ -113,7 +146,10 @@ void PartitionCache::Unpin(PartitionId pid) {
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.pins.find(pid);
   if (it == shard.pins.end()) return;
-  if (--it->second == 0) shard.pins.erase(it);
+  if (--it->second == 0) {
+    shard.pins.erase(it);
+    pinned_partitions_->Add(-1);
+  }
 }
 
 void PartitionCache::Invalidate(PartitionId pid) {
@@ -122,6 +158,8 @@ void PartitionCache::Invalidate(PartitionId pid) {
   auto it = shard.entries.find(pid);
   if (it == shard.entries.end()) return;
   shard.bytes -= it->second.bytes;
+  resident_bytes_->Add(-static_cast<int64_t>(it->second.bytes));
+  resident_partitions_->Add(-1);
   shard.lru.erase(it->second.lru_it);
   shard.entries.erase(it);
 }
@@ -129,20 +167,31 @@ void PartitionCache::Invalidate(PartitionId pid) {
 void PartitionCache::Clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    evictions_.fetch_add(shard->entries.size(), std::memory_order_relaxed);
-    shard->entries.clear();
-    shard->lru.clear();
-    shard->bytes = 0;
+    // Pinned entries are exempt, exactly as in budget eviction: they stay
+    // resident and charged, and are not counted as evictions.
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (shard->pins.find(*it) != shard->pins.end()) {
+        ++it;
+        continue;
+      }
+      auto entry = shard->entries.find(*it);
+      shard->bytes -= entry->second.bytes;
+      resident_bytes_->Add(-static_cast<int64_t>(entry->second.bytes));
+      resident_partitions_->Add(-1);
+      shard->entries.erase(entry);
+      it = shard->lru.erase(it);
+      evictions_->Add(1);
+    }
   }
 }
 
 PartitionCacheStats PartitionCache::Snapshot() const {
   PartitionCacheStats stats;
-  stats.hits = hits_.load(std::memory_order_relaxed);
-  stats.misses = misses_.load(std::memory_order_relaxed);
-  stats.coalesced = coalesced_.load(std::memory_order_relaxed);
-  stats.evictions = evictions_.load(std::memory_order_relaxed);
-  stats.loaded_bytes = loaded_bytes_.load(std::memory_order_relaxed);
+  stats.hits = hits_->Value();
+  stats.misses = misses_->Value();
+  stats.coalesced = coalesced_->Value();
+  stats.evictions = evictions_->Value();
+  stats.loaded_bytes = loaded_bytes_->Value();
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     stats.resident_bytes += shard->bytes;

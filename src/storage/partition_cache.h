@@ -8,9 +8,15 @@
 // Values are immutable shared snapshots (`std::shared_ptr<const
 // std::vector<Record>>`), so an entry evicted while a query still ranks its
 // records stays alive until that query drops its reference. The budget is
-// split evenly across shards; each shard evicts least-recently-used entries
-// until it is back under its slice, which bounds resident bytes at roughly
-// `budget + one partition` at any instant.
+// split across shards (ceil-divide, so a tiny budget never rounds a shard
+// down to zero); each shard evicts least-recently-used entries until it is
+// back under its slice — but always retains its most-recently-inserted
+// entry — which bounds resident bytes at roughly `budget + one partition
+// per shard` at any instant.
+//
+// Hit/miss/eviction counters are telemetry::Counter instances registered in
+// the global registry under "tardis.cache.*" (the registry exports the most
+// recently constructed cache; each instance's Snapshot() stays isolated).
 
 #ifndef TARDIS_STORAGE_PARTITION_CACHE_H_
 #define TARDIS_STORAGE_PARTITION_CACHE_H_
@@ -26,6 +32,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/telemetry.h"
 #include "storage/record.h"
 
 namespace tardis {
@@ -64,12 +71,12 @@ class PartitionCache {
   Result<Value> GetOrLoad(PartitionId pid, const Loader& loader);
 
   // Pins `pid`: while its pin count is positive the entry is exempt from
-  // budget eviction (resident bytes may transiently exceed the budget by the
-  // pinned working set). Invalidate and Clear still drop pinned entries —
-  // pins protect recency, not freshness. Pinning a pid that is not resident
-  // is allowed and takes effect when the entry is next inserted. Used by the
-  // batched QueryEngine to keep a batch's partitions resident across its
-  // scheduling phases.
+  // budget eviction and from Clear() (resident bytes may transiently exceed
+  // the budget by the pinned working set). Invalidate still drops pinned
+  // entries — it signals staleness, which pins do not protect against.
+  // Pinning a pid that is not resident is allowed and takes effect when the
+  // entry is next inserted. Used by the batched QueryEngine to keep a
+  // batch's partitions resident across its scheduling phases.
   void Pin(PartitionId pid);
   // Decrements the pin count; a no-op when the pid is not pinned.
   void Unpin(PartitionId pid);
@@ -78,7 +85,9 @@ class PartitionCache {
   // Only loads started after Invalidate returns are guaranteed fresh.
   void Invalidate(PartitionId pid);
 
-  // Drops every resident entry (counted as evictions).
+  // Drops every *unpinned* resident entry (counted as evictions). Pinned
+  // entries stay resident and charged, mirroring the exemption that budget
+  // eviction honors.
   void Clear();
 
   PartitionCacheStats Snapshot() const;
@@ -126,11 +135,17 @@ class PartitionCache {
   uint64_t shard_budget_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> coalesced_{0};
-  std::atomic<uint64_t> evictions_{0};
-  std::atomic<uint64_t> loaded_bytes_{0};
+  // Shared with the global telemetry registry ("tardis.cache.*"): the
+  // registry holds a second reference, so a replaced instance's counters
+  // stay valid for anything that cached them.
+  std::shared_ptr<telemetry::Counter> hits_;
+  std::shared_ptr<telemetry::Counter> misses_;
+  std::shared_ptr<telemetry::Counter> coalesced_;
+  std::shared_ptr<telemetry::Counter> evictions_;
+  std::shared_ptr<telemetry::Counter> loaded_bytes_;
+  std::shared_ptr<telemetry::Gauge> resident_bytes_;
+  std::shared_ptr<telemetry::Gauge> resident_partitions_;
+  std::shared_ptr<telemetry::Gauge> pinned_partitions_;
 };
 
 // RAII pin: pins on construction, unpins on destruction. A null cache makes

@@ -7,6 +7,7 @@
 #include "common/crc32c.h"
 #include "common/fault_injection.h"
 #include "common/serde.h"
+#include "common/telemetry.h"
 
 namespace fs = std::filesystem;
 
@@ -161,6 +162,15 @@ Status PartitionStore::AppendPartitionRaw(PartitionId pid,
     return Status::InvalidArgument("raw partition append is not record-aligned");
   }
   if (bytes.empty()) return Status::OK();
+  static telemetry::Histogram& append_us =
+      telemetry::Registry::Global().GetHistogram("tardis.storage.append_us");
+  telemetry::ScopedLatency timer(append_us);
+  if (telemetry::Enabled()) {
+    static telemetry::Counter& appended =
+        telemetry::Registry::Global().GetCounter(
+            "tardis.storage.partition_bytes_appended");
+    appended.Add(bytes.size());
+  }
   const std::string path = PartitionPath(pid);
   TARDIS_RETURN_NOT_OK(
       MaybeInjectFault(FaultSite::kPartitionAppend, path));
@@ -176,8 +186,18 @@ Status PartitionStore::AppendPartitionRaw(PartitionId pid,
 
 Result<std::vector<Record>> PartitionStore::ReadPartition(PartitionId pid) const {
   const std::string path = PartitionPath(pid);
+  static telemetry::Histogram& read_us =
+      telemetry::Registry::Global().GetHistogram(
+          "tardis.storage.read_partition_us");
+  telemetry::ScopedLatency timer(read_us);
   TARDIS_RETURN_NOT_OK(MaybeInjectFault(FaultSite::kPartitionLoad, path));
   TARDIS_ASSIGN_OR_RETURN(std::string file_bytes, ReadFile(path));
+  if (telemetry::Enabled()) {
+    static telemetry::Counter& bytes_read =
+        telemetry::Registry::Global().GetCounter(
+            "tardis.storage.partition_bytes_read");
+    bytes_read.Add(file_bytes.size());
+  }
   TARDIS_ASSIGN_OR_RETURN(std::string bytes, UnframeFile(path, file_bytes));
   const size_t rec_size = RecordEncodedSize(series_length_);
   if (bytes.size() % rec_size != 0) {
@@ -218,8 +238,18 @@ Status PartitionStore::WriteSidecar(PartitionId pid, const std::string& name,
 Result<std::string> PartitionStore::ReadSidecar(PartitionId pid,
                                                 const std::string& name) const {
   const std::string path = SidecarPath(pid, name);
+  static telemetry::Histogram& read_us =
+      telemetry::Registry::Global().GetHistogram(
+          "tardis.storage.read_sidecar_us");
+  telemetry::ScopedLatency timer(read_us);
   TARDIS_RETURN_NOT_OK(MaybeInjectFault(FaultSite::kSidecarRead, path));
   TARDIS_ASSIGN_OR_RETURN(std::string file_bytes, ReadFile(path));
+  if (telemetry::Enabled()) {
+    static telemetry::Counter& bytes_read =
+        telemetry::Registry::Global().GetCounter(
+            "tardis.storage.sidecar_bytes_read");
+    bytes_read.Add(file_bytes.size());
+  }
   return UnframeFile(path, file_bytes);
 }
 

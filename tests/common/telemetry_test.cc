@@ -1,0 +1,232 @@
+// Telemetry layer tests: counter correctness under parallel hammering,
+// histogram bucket-edge arithmetic, span nesting and attributes, the JSON
+// snapshot shape, and — closing the loop with the cluster layer — that a
+// fault-injected job records its retry attempts in task spans.
+
+#include "common/telemetry.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/map_reduce.h"
+#include "common/fault_injection.h"
+#include "common/thread_pool.h"
+
+namespace tardis {
+namespace {
+
+using telemetry::Histogram;
+using telemetry::Registry;
+using telemetry::ScopedSpan;
+using telemetry::SpanRecord;
+
+// Spans and the enable switches are process-global; each test that touches
+// them restores the disabled default so ordering never leaks between tests.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::SetTraceEnabled(false);
+    telemetry::SetEnabled(false);
+    Registry::Global().ClearSpans();
+  }
+  void TearDown() override {
+    telemetry::SetTraceEnabled(false);
+    telemetry::SetEnabled(false);
+    Registry::Global().ClearSpans();
+    FaultInjector::Global().DisableAll();
+    FaultInjector::Global().ResetCounters();
+  }
+};
+
+TEST_F(TelemetryTest, CounterSumsAllIncrementsUnderParallelFor) {
+  Registry registry;
+  telemetry::Counter& counter = registry.GetCounter("test.hammer");
+  ThreadPool pool(8);
+  constexpr size_t kIters = 200000;
+  pool.ParallelFor(kIters, [&](size_t i) { counter.Add(i % 3 + 1); });
+  uint64_t expected = 0;
+  for (size_t i = 0; i < kIters; ++i) expected += i % 3 + 1;
+  EXPECT_EQ(counter.Value(), expected);
+}
+
+TEST_F(TelemetryTest, GaugeAddAndSetAreSigned) {
+  Registry registry;
+  telemetry::Gauge& gauge = registry.GetGauge("test.gauge");
+  gauge.Add(10);
+  gauge.Add(-25);
+  EXPECT_EQ(gauge.Value(), -15);
+  gauge.Set(7);
+  EXPECT_EQ(gauge.Value(), 7);
+}
+
+TEST_F(TelemetryTest, HistogramBucketEdges) {
+  // Bucket 0 = {0}, bucket i = [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4u);
+  // Everything past the top finite bucket lands in the last bucket.
+  EXPECT_EQ(Histogram::BucketIndex(~uint64_t{0}), Histogram::kNumBuckets - 1);
+
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketLowerBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketLowerBound(5), 16u);
+  // Each value maps into the bucket whose range covers it.
+  for (uint64_t v : {1u, 2u, 3u, 5u, 100u, 4096u}) {
+    const size_t i = Histogram::BucketIndex(v);
+    EXPECT_GE(v, Histogram::BucketLowerBound(i)) << v;
+    if (i + 1 < Histogram::kNumBuckets) {
+      EXPECT_LT(v, Histogram::BucketLowerBound(i + 1)) << v;
+    }
+  }
+}
+
+TEST_F(TelemetryTest, HistogramObserveAccumulatesCountAndSum) {
+  Registry registry;
+  Histogram& hist = registry.GetHistogram("test.hist");
+  hist.Observe(0);
+  hist.Observe(1);
+  hist.Observe(3);
+  hist.Observe(3);
+  EXPECT_EQ(hist.Count(), 4u);
+  EXPECT_EQ(hist.Sum(), 7u);
+  EXPECT_EQ(hist.BucketCount(0), 1u);
+  EXPECT_EQ(hist.BucketCount(1), 1u);
+  EXPECT_EQ(hist.BucketCount(2), 2u);
+}
+
+TEST_F(TelemetryTest, SpansAreInertWhenTracingDisabled) {
+  {
+    ScopedSpan span("never.recorded");
+    EXPECT_FALSE(span.active());
+    span.AddAttr("k", uint64_t{1});
+  }
+  EXPECT_TRUE(Registry::Global().SnapshotSpans().empty());
+}
+
+TEST_F(TelemetryTest, SpanNestingRecordsDepthAndAttrs) {
+  telemetry::SetTraceEnabled(true);
+  {
+    ScopedSpan outer("outer");
+    outer.AddAttr("n", uint64_t{42});
+    outer.AddAttr("label", std::string_view("hello"));
+    {
+      ScopedSpan inner("inner");
+      { ScopedSpan innermost("innermost"); }
+    }
+  }
+  const std::vector<SpanRecord> spans = Registry::Global().SnapshotSpans();
+  ASSERT_EQ(spans.size(), 3u);  // recorded innermost-first (destruction order)
+  EXPECT_EQ(spans[0].name, "innermost");
+  EXPECT_EQ(spans[0].depth, 2u);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_EQ(spans[2].name, "outer");
+  EXPECT_EQ(spans[2].depth, 0u);
+  EXPECT_EQ(spans[2].Attr("n"), "42");
+  EXPECT_EQ(spans[2].Attr("label"), "\"hello\"");
+  EXPECT_EQ(spans[2].Attr("absent"), "");
+}
+
+TEST_F(TelemetryTest, DumpJsonGolden) {
+  // A local registry is fully isolated from the global one, so its snapshot
+  // is exactly reproducible (spans live only in the global registry).
+  Registry registry;
+  registry.GetCounter("a.count").Add(3);
+  registry.GetGauge("b.gauge").Set(-4);
+  Histogram& hist = registry.GetHistogram("c.hist");
+  hist.Observe(0);
+  hist.Observe(5);
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"a.count\": 3\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"b.gauge\": -4\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "    \"c.hist\": {\"count\": 2, \"sum\": 5, "
+      "\"buckets\": [[0, 1], [4, 1]]}\n"
+      "  },\n"
+      "  \"spans\": {\"dropped\": 0, \"events\": []}\n"
+      "}\n";
+  EXPECT_EQ(registry.DumpJson(), expected);
+}
+
+TEST_F(TelemetryTest, DumpTraceJsonEmitsChromeEvents) {
+  telemetry::SetTraceEnabled(true);
+  {
+    ScopedSpan span("traced.op");
+    span.AddAttr("k", uint64_t{7});
+  }
+  const std::string trace = Registry::Global().DumpTraceJson();
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\": \"traced.op\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"k\": 7"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, SpanBufferBoundsAndCountsDrops) {
+  telemetry::SetTraceEnabled(true);
+  Registry registry;
+  for (size_t i = 0; i < Registry::kMaxSpans + 5; ++i) {
+    registry.RecordSpan(SpanRecord{});
+  }
+  EXPECT_EQ(registry.SnapshotSpans().size(), Registry::kMaxSpans);
+  EXPECT_EQ(registry.dropped_spans(), 5u);
+}
+
+TEST_F(TelemetryTest, FaultInjectedJobRecordsRetryAttemptsInTaskSpans) {
+  telemetry::SetTraceEnabled(true);
+  FaultInjector& injector = FaultInjector::Global();
+  injector.SetSeed(7);
+  injector.SetProbability(FaultSite::kTask, 0.5);
+
+  Cluster cluster(4);
+  RetryPolicy retry;
+  retry.max_attempts = 50;  // enough to outlast a 0.5 fault rate
+  retry.backoff_init_us = 0;
+  JobMetrics job;
+  ASSERT_TRUE(
+      MapPartitions(cluster, 32, [](PartitionId) { return Status::OK(); },
+                    retry, &job)
+          .ok());
+  injector.DisableAll();
+  ASSERT_GT(job.retries, 0u) << "fault rate 0.5 over 32 tasks must retry";
+
+  // Every attempt shows up as one task span; the retried attempts carry
+  // attempt >= 1 and the same task index as their first attempt.
+  const std::vector<SpanRecord> spans = Registry::Global().SnapshotSpans();
+  uint64_t task_spans = 0, retry_spans = 0;
+  for (const SpanRecord& rec : spans) {
+    if (rec.name != "task.map_partition") continue;
+    ++task_spans;
+    ASSERT_NE(rec.Attr("attempt"), "");
+    ASSERT_NE(rec.Attr("task"), "");
+    ASSERT_NE(rec.Attr("queue_us"), "");
+    if (rec.Attr("attempt") != "0") ++retry_spans;
+  }
+  EXPECT_EQ(task_spans, job.attempts);
+  EXPECT_EQ(retry_spans, job.retries);
+}
+
+TEST_F(TelemetryTest, JobMetricsPublishIntoRegistry) {
+  telemetry::SetEnabled(true);
+  telemetry::Counter& tasks =
+      Registry::Global().GetCounter("tardis.job.map_partitions.tasks");
+  const uint64_t before = tasks.Value();
+  Cluster cluster(2);
+  ASSERT_TRUE(
+      MapPartitions(cluster, 16, [](PartitionId) { return Status::OK(); })
+          .ok());
+  EXPECT_EQ(tasks.Value(), before + 16);
+}
+
+}  // namespace
+}  // namespace tardis

@@ -233,9 +233,9 @@ TEST(PartitionCacheTest, PinIsRefCountedAndSurvivesWhenAllPinned) {
   EXPECT_EQ(cache.Snapshot().resident_partitions, 1u);
 }
 
-TEST(PartitionCacheTest, InvalidateAndClearDropPinnedEntries) {
-  // Pins protect against *budget* eviction only; explicit invalidation wins
-  // (the index uses it when a partition's bytes change on disk).
+TEST(PartitionCacheTest, InvalidateDropsPinnedEntries) {
+  // Pins protect residency, not freshness: explicit invalidation wins (the
+  // index uses it when a partition's bytes change on disk).
   PartitionCache cache(/*budget_bytes=*/1 << 20, /*num_shards=*/1);
   std::atomic<uint32_t> calls{0};
   ASSERT_OK(cache.GetOrLoad(1, CountingLoader(&calls, 10)).status());
@@ -244,8 +244,77 @@ TEST(PartitionCacheTest, InvalidateAndClearDropPinnedEntries) {
   EXPECT_EQ(cache.Snapshot().resident_partitions, 0u);
   ASSERT_OK(cache.GetOrLoad(1, CountingLoader(&calls, 10)).status());
   EXPECT_EQ(calls.load(), 2u);
+}
+
+TEST(PartitionCacheTest, ClearKeepsPinnedEntriesResidentAndCharged) {
+  // Clear honors the same pin exemption as budget eviction: a pinned entry
+  // stays resident, stays charged, and is not counted as an eviction.
+  PartitionCache cache(/*budget_bytes=*/1 << 20, /*num_shards=*/1);
+  std::atomic<uint32_t> calls{0};
+  ASSERT_OK_AND_ASSIGN(PartitionCache::Value pinned,
+                       cache.GetOrLoad(1, CountingLoader(&calls, 10)));
+  ASSERT_OK(cache.GetOrLoad(2, CountingLoader(&calls, 20)).status());
+  cache.Pin(1);
+
   cache.Clear();
-  EXPECT_EQ(cache.Snapshot().resident_partitions, 0u);
+  PartitionCacheStats stats = cache.Snapshot();
+  EXPECT_EQ(stats.resident_partitions, 1u);
+  EXPECT_EQ(stats.resident_bytes, PartitionCache::ChargedBytes(*pinned));
+  EXPECT_EQ(stats.evictions, 1u);  // only the unpinned entry
+
+  // The pinned entry is still served from memory.
+  ASSERT_OK(cache.GetOrLoad(1, CountingLoader(&calls, 10)).status());
+  EXPECT_EQ(calls.load(), 2u);
+
+  // Once unpinned it clears like anything else.
+  cache.Unpin(1);
+  cache.Clear();
+  stats = cache.Snapshot();
+  EXPECT_EQ(stats.resident_partitions, 0u);
+  EXPECT_EQ(stats.resident_bytes, 0u);
+  EXPECT_EQ(stats.evictions, 2u);
+}
+
+TEST(PartitionCacheTest, TinyBudgetStillRetainsMostRecentEntryPerShard) {
+  // A positive budget below the shard count used to floor-divide to
+  // zero-budget shards that evicted every insert immediately. Each shard's
+  // budget is now ceil-divided and the most-recent entry is always retained.
+  PartitionCache cache(/*budget_bytes=*/1, /*num_shards=*/8);
+  std::atomic<uint32_t> calls{0};
+  ASSERT_OK(cache.GetOrLoad(0, CountingLoader(&calls, 0)).status());
+  ASSERT_OK(cache.GetOrLoad(0, CountingLoader(&calls, 0)).status());
+  EXPECT_EQ(calls.load(), 1u);  // second lookup is a hit
+  PartitionCacheStats stats = cache.Snapshot();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.resident_partitions, 1u);
+
+  // A second pid in the same shard (8 % 8 == 0) displaces the first; the
+  // shard keeps exactly its most recent entry.
+  ASSERT_OK(cache.GetOrLoad(8, CountingLoader(&calls, 80)).status());
+  stats = cache.Snapshot();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.resident_partitions, 1u);
+  ASSERT_OK(cache.GetOrLoad(8, CountingLoader(&calls, 80)).status());
+  EXPECT_EQ(calls.load(), 2u);
+}
+
+TEST(PartitionCacheTest, OversizedEntryIsServedNotThrashed) {
+  // One entry larger than the whole (positive) budget stays resident until
+  // something displaces it, instead of being insert-then-evicted.
+  const uint64_t one = PartitionCache::ChargedBytes(MakeRecords(0, 4, 8));
+  PartitionCache cache(one / 2, /*num_shards=*/1);
+  std::atomic<uint32_t> calls{0};
+  ASSERT_OK(cache.GetOrLoad(1, CountingLoader(&calls, 10)).status());
+  ASSERT_OK(cache.GetOrLoad(1, CountingLoader(&calls, 10)).status());
+  EXPECT_EQ(calls.load(), 1u);
+  EXPECT_EQ(cache.Snapshot().evictions, 0u);
+
+  // A newer entry takes over as the retained one.
+  ASSERT_OK(cache.GetOrLoad(2, CountingLoader(&calls, 20)).status());
+  const PartitionCacheStats stats = cache.Snapshot();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.resident_partitions, 1u);
 }
 
 TEST(PartitionCacheTest, ScopedPinUnpinsOnDestruction) {

@@ -17,6 +17,15 @@
 // overrides the persisted budget for that invocation. --spill-mb sets the
 // streaming shuffle's per-worker spill threshold.
 //
+// Every subcommand also accepts the observability flags:
+//   --metrics-json PATH   enable telemetry and write a JSON snapshot of all
+//                         counters, gauges, histograms, and spans on exit
+//   --trace-json PATH     additionally record spans and write a Chrome
+//                         trace-event file (load via chrome://tracing)
+// Setting the TARDIS_TRACE environment variable to a non-empty value other
+// than "0" enables both without flags (the snapshot then goes to stderr
+// only if a path was given). See docs/TUNING.md.
+//
 // --max-task-retries N (build and query commands) caps how many times a
 // failed cluster task or partition load is re-executed before giving up
 // (0 disables retries; the default is 2). Fault injection for testing is
@@ -51,6 +60,7 @@
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "common/telemetry.h"
 #include "core/index_stats.h"
 #include "core/query_engine.h"
 #include "core/tardis_index.h"
@@ -531,11 +541,7 @@ int Usage() {
   return 2;
 }
 
-int Main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  const Flags flags(argc, argv, 2);
-  if (!flags.ok()) return 2;
-  const std::string cmd = argv[1];
+int Dispatch(const std::string& cmd, const Flags& flags) {
   if (cmd == "gen") return CmdGen(flags);
   if (cmd == "build") return CmdBuild(flags);
   if (cmd == "stats") return CmdStats(flags);
@@ -544,6 +550,34 @@ int Main(int argc, char** argv) {
   if (cmd == "range") return CmdRange(flags);
   if (cmd == "append") return CmdAppend(flags);
   return Usage();
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const Flags flags(argc, argv, 2);
+  if (!flags.ok()) return 2;
+  const std::string metrics_path = flags.Get("metrics-json");
+  const std::string trace_path = flags.Get("trace-json");
+  if (!metrics_path.empty()) telemetry::SetEnabled(true);
+  if (!trace_path.empty()) telemetry::SetTraceEnabled(true);
+
+  const int rc = Dispatch(argv[1], flags);
+
+  // Dump on every exit path — a failed run's partial metrics are exactly
+  // what you want when diagnosing it.
+  if (!metrics_path.empty()) {
+    Status st = telemetry::Registry::Global().DumpJsonToFile(metrics_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "warning: %s\n", st.ToString().c_str());
+    }
+  }
+  if (!trace_path.empty()) {
+    Status st = telemetry::Registry::Global().DumpTraceJsonToFile(trace_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "warning: %s\n", st.ToString().c_str());
+    }
+  }
+  return rc;
 }
 
 }  // namespace
