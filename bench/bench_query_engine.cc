@@ -15,8 +15,11 @@
 // and batched paths.
 //
 // Scale knobs (for CI smoke runs): TARDIS_QE_SERIES (default 100000),
-// TARDIS_QE_QUERIES (default 1000). Emits BENCH_query_engine.json to the
-// working directory.
+// TARDIS_QE_QUERIES (default 1000). TARDIS_LAYOUT=aos routes partition
+// loads through the legacy AoS decode (two-pass, per-record copies) instead
+// of the single-pass columnar arena — the emitted JSON carries the layout so
+// CI can compare both. Emits BENCH_query_engine.json to the working
+// directory.
 
 #include <cstdio>
 #include <cstdlib>
@@ -104,12 +107,16 @@ void PrintArm(const char* label, const ArmResult& arm, double base_seconds,
 void Run() {
   const uint64_t count = EnvScale("TARDIS_QE_SERIES", 100000);
   const uint64_t nq = EnvScale("TARDIS_QE_QUERIES", 1000);
+  const char* layout_env = std::getenv("TARDIS_LAYOUT");
+  const char* layout =
+      (layout_env != nullptr && std::string(layout_env) == "aos") ? "aos"
+                                                                  : "arena";
   PrintHeader("Query engine", "partition-batched execution + SIMD kernels");
   std::printf("workload: RandomWalk x %llu, %llu kNN queries, k=%u, "
-              "Multi-Partitions, cache %llu MiB\n\n",
+              "Multi-Partitions, cache %llu MiB, layout=%s\n\n",
               static_cast<unsigned long long>(count),
               static_cast<unsigned long long>(nq), kK,
-              static_cast<unsigned long long>(kCacheBudget >> 20));
+              static_cast<unsigned long long>(kCacheBudget >> 20), layout);
 
   const BlockStore store = GetStore(DatasetKind::kRandomWalk, count);
   const Dataset dataset = LoadAll(store);
@@ -125,7 +132,9 @@ void Run() {
       TardisIndex::Build(cluster, store, FreshPartitionDir("qengine"), config,
                          nullptr));
 
-  const KernelBackend simd = SetKernelBackend(KernelBackend::kAvx2);
+  // Widest tier the machine runs (the request clamps: avx512 -> avx2 ->
+  // scalar).
+  const KernelBackend simd = SetKernelBackend(KernelBackend::kAvx512);
   const bool has_simd = simd != KernelBackend::kScalar;
 
   // Every arm starts from a cold cache of the same budget.
@@ -192,6 +201,7 @@ void Run() {
         "  \"queries\": %llu,\n"
         "  \"k\": %u,\n"
         "  \"strategy\": \"multi\",\n"
+        "  \"layout\": \"%s\",\n"
         "  \"simd_backend\": \"%s\",\n"
         "  \"seq_scalar_seconds\": %.6f,\n"
         "  \"batch_scalar_seconds\": %.6f,\n"
@@ -205,7 +215,8 @@ void Run() {
         "  \"pass\": %s\n"
         "}\n",
         static_cast<unsigned long long>(count),
-        static_cast<unsigned long long>(nq), kK, KernelBackendName(simd),
+        static_cast<unsigned long long>(nq), kK, layout,
+        KernelBackendName(simd),
         seq_scalar.seconds, batch_scalar.seconds, seq_simd.seconds,
         batch_simd.seconds, speedup,
         static_cast<unsigned long long>(seq_simd.partition_loads),

@@ -1,0 +1,260 @@
+// Scan-layout benchmark: AoS record vectors vs. columnar partition arenas.
+//
+// The pre-arena scan path walked a std::vector<Record> — each record holding
+// its own heap-allocated TimeSeries — and refreshed the early-abandon bound
+// before every candidate. The arena path ranks the same candidates out of one
+// contiguous 64-byte-aligned SoA values plane with qscan::RankRange: batch
+// kernels, software prefetch of the next row, and an L2-sized tile whose
+// survivors merge through TopK::OfferTile.
+//
+// Both arms rank identical synthetic data at series lengths 64/256/1024 and
+// must produce bit-identical top-k results (rids AND distances) with equal
+// candidate counts — that parity is the pass criterion. Reported throughput
+// is logical: bytes = records x length x 4 per pass (early abandon means not
+// every byte is touched, identically for both arms).
+//
+// Scale knobs: TARDIS_SL_RECORDS (records per length; default sizes each
+// values plane to ~32 MiB), TARDIS_SL_QUERIES (default 20). Emits
+// BENCH_scan_layout.json to the working directory.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "core/query_scan.h"
+#include "core/topk.h"
+#include "storage/partition_arena.h"
+#include "storage/record.h"
+#include "ts/kernels.h"
+
+namespace tardis {
+namespace bench {
+namespace {
+
+constexpr uint32_t kK = 50;
+constexpr int kTimedPasses = 3;
+constexpr uint64_t kPlaneBudgetBytes = 32ull << 20;
+
+uint64_t EnvScale(const char* name, uint64_t def) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return def;
+  const uint64_t v = std::strtoull(env, nullptr, 10);
+  return v > 0 ? v : def;
+}
+
+// Deterministic value stream (matches the parity tests' generator).
+float Mix(uint64_t* state) {
+  *state = *state * 6364136223846793005ull + 1442695040888963407ull;
+  const uint32_t bits = static_cast<uint32_t>(*state >> 33);
+  return static_cast<float>(bits) / 4.0e9f - 0.5f;
+}
+
+std::vector<Record> MakeRecords(uint32_t count, uint32_t length,
+                                uint64_t seed) {
+  std::vector<Record> records(count);
+  uint64_t state = seed;
+  for (uint32_t i = 0; i < count; ++i) {
+    records[i].rid = 1000 + i;
+    records[i].values.resize(length);
+    for (uint32_t j = 0; j < length; ++j) {
+      records[i].values[j] = Mix(&state);
+    }
+  }
+  return records;
+}
+
+std::vector<TimeSeries> MakeQueries(uint32_t nq, uint32_t length,
+                                    uint64_t seed) {
+  std::vector<TimeSeries> queries(nq);
+  uint64_t state = seed;
+  for (TimeSeries& query : queries) {
+    query.resize(length);
+    for (float& v : query) v = Mix(&state);
+  }
+  return queries;
+}
+
+// The legacy layout's ranking loop: bound refreshed before every record.
+std::vector<Neighbor> RankAos(const std::vector<Record>& records,
+                              const TimeSeries& query, uint64_t* candidates) {
+  TopK topk(kK);
+  for (const Record& rec : records) {
+    const double bound = topk.Threshold();
+    const double bound_sq = std::isinf(bound) ? bound : bound * bound;
+    const double d_sq = SquaredEuclideanEarlyAbandon(
+        query.data(), rec.values.data(), query.size(), bound_sq);
+    ++*candidates;
+    if (!std::isinf(d_sq)) topk.Offer(std::sqrt(d_sq), rec.rid);
+  }
+  return topk.Take();
+}
+
+std::vector<Neighbor> RankArena(const PartitionArena& arena,
+                                const TimeSeries& query,
+                                uint64_t* candidates) {
+  TopK topk(kK);
+  qscan::RankRange(arena, 0, arena.num_records(), query, &topk, candidates);
+  return topk.Take();
+}
+
+bool SameNeighbors(const std::vector<Neighbor>& a,
+                   const std::vector<Neighbor>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].rid != b[i].rid || a[i].distance != b[i].distance) return false;
+  }
+  return true;
+}
+
+struct LayoutResult {
+  uint32_t length = 0;
+  uint64_t records = 0;
+  double aos_seconds = 0.0;
+  double arena_seconds = 0.0;
+  double aos_gbps = 0.0;
+  double arena_gbps = 0.0;
+  double aos_cands_per_s = 0.0;
+  double arena_cands_per_s = 0.0;
+  double speedup = 0.0;
+  bool match = true;
+};
+
+LayoutResult RunLength(uint32_t length, uint64_t records_override,
+                       uint32_t nq) {
+  LayoutResult res;
+  res.length = length;
+  res.records = records_override > 0
+                    ? records_override
+                    : kPlaneBudgetBytes / (length * sizeof(float));
+  const uint32_t count = static_cast<uint32_t>(res.records);
+
+  const std::vector<Record> records = MakeRecords(count, length, 42 + length);
+  const PartitionArena arena = PartitionArena::FromRecords(records, length);
+  const std::vector<TimeSeries> queries = MakeQueries(nq, length, 7 + length);
+
+  // Correctness pass first: every query must agree bit-for-bit across arms.
+  for (const TimeSeries& query : queries) {
+    uint64_t aos_cands = 0;
+    uint64_t arena_cands = 0;
+    const std::vector<Neighbor> aos = RankAos(records, query, &aos_cands);
+    const std::vector<Neighbor> soa = RankArena(arena, query, &arena_cands);
+    if (!SameNeighbors(aos, soa) || aos_cands != arena_cands) {
+      res.match = false;
+    }
+  }
+
+  // Warmup, then timed passes (candidates are counted but results discarded).
+  uint64_t sink = 0;
+  for (const TimeSeries& query : queries) RankAos(records, query, &sink);
+  for (const TimeSeries& query : queries) RankArena(arena, query, &sink);
+
+  uint64_t aos_candidates = 0;
+  Stopwatch aos_sw;
+  for (int pass = 0; pass < kTimedPasses; ++pass) {
+    for (const TimeSeries& query : queries) {
+      RankAos(records, query, &aos_candidates);
+    }
+  }
+  res.aos_seconds = aos_sw.ElapsedSeconds();
+
+  uint64_t arena_candidates = 0;
+  Stopwatch arena_sw;
+  for (int pass = 0; pass < kTimedPasses; ++pass) {
+    for (const TimeSeries& query : queries) {
+      RankArena(arena, query, &arena_candidates);
+    }
+  }
+  res.arena_seconds = arena_sw.ElapsedSeconds();
+
+  const double logical_bytes = static_cast<double>(res.records) * length *
+                               sizeof(float) * nq * kTimedPasses;
+  res.aos_gbps = logical_bytes / res.aos_seconds / 1e9;
+  res.arena_gbps = logical_bytes / res.arena_seconds / 1e9;
+  res.aos_cands_per_s = aos_candidates / res.aos_seconds;
+  res.arena_cands_per_s = arena_candidates / res.arena_seconds;
+  res.speedup = res.arena_seconds > 0 ? res.aos_seconds / res.arena_seconds
+                                      : 0.0;
+  return res;
+}
+
+void Run() {
+  const uint64_t records_override = EnvScale("TARDIS_SL_RECORDS", 0);
+  const uint32_t nq =
+      static_cast<uint32_t>(EnvScale("TARDIS_SL_QUERIES", 20));
+  const KernelBackend backend = SetKernelBackend(KernelBackend::kAvx512);
+
+  PrintHeader("Scan layout", "AoS record vectors vs columnar SoA arenas");
+  std::printf("workload: top-%u ranking, %u queries x %d passes per length, "
+              "kernels=%s\n\n",
+              kK, nq, kTimedPasses, KernelBackendName(backend));
+  std::printf("%7s %9s %10s %10s %9s %9s %9s %6s\n", "length", "records",
+              "aos GB/s", "soa GB/s", "aos Mc/s", "soa Mc/s", "speedup",
+              "match");
+
+  std::vector<LayoutResult> results;
+  for (uint32_t length : {64u, 256u, 1024u}) {
+    const LayoutResult res = RunLength(length, records_override, nq);
+    std::printf("%7u %9llu %10.2f %10.2f %9.2f %9.2f %8.2fx %6s\n",
+                res.length, static_cast<unsigned long long>(res.records),
+                res.aos_gbps, res.arena_gbps, res.aos_cands_per_s / 1e6,
+                res.arena_cands_per_s / 1e6, res.speedup,
+                res.match ? "PASS" : "FAIL");
+    results.push_back(res);
+  }
+
+  bool pass = true;
+  for (const LayoutResult& res : results) pass = pass && res.match;
+  std::printf("\nacceptance: arena top-k bit-identical to AoS loop at every "
+              "length: %s\n",
+              pass ? "PASS" : "FAIL");
+
+  FILE* json = std::fopen("BENCH_scan_layout.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"scan_layout\",\n"
+                 "  \"queries\": %u,\n"
+                 "  \"timed_passes\": %d,\n"
+                 "  \"k\": %u,\n"
+                 "  \"kernel_backend\": \"%s\",\n"
+                 "  \"lengths\": [\n",
+                 nq, kTimedPasses, kK, KernelBackendName(backend));
+    for (size_t i = 0; i < results.size(); ++i) {
+      const LayoutResult& res = results[i];
+      std::fprintf(json,
+                   "    {\n"
+                   "      \"series_length\": %u,\n"
+                   "      \"records\": %llu,\n"
+                   "      \"aos_seconds\": %.6f,\n"
+                   "      \"arena_seconds\": %.6f,\n"
+                   "      \"aos_gb_per_s\": %.3f,\n"
+                   "      \"arena_gb_per_s\": %.3f,\n"
+                   "      \"aos_candidates_per_s\": %.0f,\n"
+                   "      \"arena_candidates_per_s\": %.0f,\n"
+                   "      \"speedup_arena_vs_aos\": %.3f,\n"
+                   "      \"results_match\": %s\n"
+                   "    }%s\n",
+                   res.length, static_cast<unsigned long long>(res.records),
+                   res.aos_seconds, res.arena_seconds, res.aos_gbps,
+                   res.arena_gbps, res.aos_cands_per_s, res.arena_cands_per_s,
+                   res.speedup, res.match ? "true" : "false",
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(json,
+                 "  ],\n"
+                 "  \"pass\": %s\n"
+                 "}\n",
+                 pass ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_scan_layout.json\n");
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tardis
+
+int main() { tardis::bench::Run(); }

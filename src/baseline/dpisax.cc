@@ -277,11 +277,12 @@ Result<std::vector<Record>> DPiSaxIndex::LoadPartition(PartitionId pid) const {
 Result<PartitionCache::Value> DPiSaxIndex::LoadPartitionShared(
     PartitionId pid) const {
   if (cache_ == nullptr) {
-    TARDIS_ASSIGN_OR_RETURN(std::vector<Record> records, LoadPartition(pid));
-    return std::make_shared<const std::vector<Record>>(std::move(records));
+    TARDIS_ASSIGN_OR_RETURN(PartitionArena arena,
+                            partitions_->ReadPartitionArena(pid));
+    return std::make_shared<const PartitionArena>(std::move(arena));
   }
-  return cache_->GetOrLoad(pid,
-                           [this, pid] { return LoadPartition(pid); });
+  return cache_->GetOrLoad(
+      pid, [this, pid] { return partitions_->ReadPartitionArena(pid); });
 }
 
 Result<IBTree> DPiSaxIndex::LoadLocalTree(PartitionId pid) const {
@@ -303,7 +304,7 @@ Result<std::vector<RecordId>> DPiSaxIndex::ExactMatch(
   TARDIS_ASSIGN_OR_RETURN(IBTree local, LoadLocalTree(pid));
   TARDIS_ASSIGN_OR_RETURN(PartitionCache::Value loaded,
                           LoadPartitionShared(pid));
-  const std::vector<Record>& records = *loaded;
+  const PartitionArena& arena = *loaded;
   if (stats) stats->partitions_loaded = 1;
   const IBTree::Node* leaf = local.DescendToLeaf(sig);
   if (leaf == local.root()) {
@@ -313,9 +314,12 @@ Result<std::vector<RecordId>> DPiSaxIndex::ExactMatch(
   }
   std::vector<RecordId> result;
   const uint32_t end = leaf->range_start + leaf->range_len;
-  for (uint32_t i = leaf->range_start; i < end && i < records.size(); ++i) {
+  for (uint32_t i = leaf->range_start; i < end && i < arena.num_records();
+       ++i) {
     if (stats) ++stats->candidates;
-    if (records[i].values == query) result.push_back(records[i].rid);
+    if (std::equal(query.begin(), query.end(), arena.values(i))) {
+      result.push_back(arena.rid(i));
+    }
   }
   return result;
 }
@@ -331,7 +335,7 @@ Result<std::vector<Neighbor>> DPiSaxIndex::KnnApproximate(
   TARDIS_ASSIGN_OR_RETURN(IBTree local, LoadLocalTree(pid));
   TARDIS_ASSIGN_OR_RETURN(PartitionCache::Value loaded,
                           LoadPartitionShared(pid));
-  const std::vector<Record>& records = *loaded;
+  const PartitionArena& arena = *loaded;
   if (stats) stats->partitions_loaded = 1;
 
   // Target node: the query's leaf, widened to the nearest ancestor holding
@@ -343,15 +347,16 @@ Result<std::vector<Neighbor>> DPiSaxIndex::KnnApproximate(
     stats->candidates = node->range_len;
   }
 
-  const uint32_t end =
-      std::min<uint32_t>(node->range_start + node->range_len,
-                         static_cast<uint32_t>(records.size()));
+  const uint32_t end = std::min<uint32_t>(node->range_start + node->range_len,
+                                          arena.num_records());
   std::vector<Neighbor> candidates;
   candidates.reserve(end - node->range_start);
   if (config_.clustered) {
     for (uint32_t i = node->range_start; i < end; ++i) {
       candidates.push_back(
-          {EuclideanDistance(query, records[i].values), records[i].rid});
+          {std::sqrt(SquaredEuclidean(query.data(), arena.values(i),
+                                      query.size())),
+           arena.rid(i)});
     }
   } else {
     // Un-clustered DPiSAX: no refine phase — rank purely in signature space
@@ -359,10 +364,11 @@ Result<std::vector<Neighbor>> DPiSaxIndex::KnnApproximate(
     // signature), reproducing the §II-D accuracy degradation.
     std::vector<double> rec_paa(config_.word_length);
     for (uint32_t i = node->range_start; i < end; ++i) {
-      PaaInto(records[i].values, config_.word_length, rec_paa.data());
+      PaaInto(arena.values(i), arena.series_length(), config_.word_length,
+              rec_paa.data());
       const ISaxSignature rec_sig = ISaxFromPaa(rec_paa, config_.max_bits);
       candidates.push_back(
-          {MindistPaaToISax(paa, rec_sig, query.size()), records[i].rid});
+          {MindistPaaToISax(paa, rec_sig, query.size()), arena.rid(i)});
     }
   }
   const size_t take = std::min<size_t>(k, candidates.size());

@@ -152,9 +152,11 @@ class DPiSaxIndex {
                                                uint32_t k,
                                                KnnStats* stats) const;
 
-  // LoadPartition always reads from disk; queries go through
-  // LoadPartitionShared, which consults the byte-budgeted cache when one is
-  // configured (the same warm-partition behaviour the TARDIS side gets).
+  // LoadPartition always reads from disk (legacy AoS form, kept for
+  // tooling); queries go through LoadPartitionShared, which decodes the
+  // partition into a columnar arena and consults the byte-budgeted cache
+  // when one is configured (the same warm-partition behaviour the TARDIS
+  // side gets).
   Result<std::vector<Record>> LoadPartition(PartitionId pid) const;
   Result<PartitionCache::Value> LoadPartitionShared(PartitionId pid) const;
   Result<IBTree> LoadLocalTree(PartitionId pid) const;

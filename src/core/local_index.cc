@@ -36,6 +36,36 @@ Result<LocalIndex> LocalIndex::Build(std::vector<Record> records,
   return index;
 }
 
+Result<LocalIndex> LocalIndex::Build(const PartitionArena& arena,
+                                     const ISaxTCodec& codec,
+                                     const TardisConfig& config,
+                                     std::vector<uint32_t>* order) {
+  SigTree tree(codec);
+  LocalIndex index(std::move(tree));
+  if (config.build_bloom) {
+    index.bloom_ = std::make_unique<BloomFilter>(
+        std::max<size_t>(arena.num_records(), 16), config.bloom_fpr);
+  }
+  if (arena.num_records() > 0 &&
+      arena.series_length() % codec.word_length() != 0) {
+    return Status::InvalidArgument("record length not a word multiple");
+  }
+  std::vector<double> paa(codec.word_length());
+  for (uint32_t i = 0; i < arena.num_records(); ++i) {
+    PaaInto(arena.values(i), arena.series_length(), codec.word_length(),
+            paa.data());
+    const SaxWord word = SaxFromPaa(paa, codec.max_bits());
+    const std::string sig = codec.EncodeWord(word);
+    index.tree_->InsertEntry(sig, i, config.l_max_size);
+    if (index.bloom_) index.bloom_->Add(sig);
+    index.region_.Extend(word);
+  }
+  order->clear();
+  order->reserve(arena.num_records());
+  index.tree_->AssignClusteredRanges(order);
+  return index;
+}
+
 void LocalIndex::EncodeTreeTo(std::string* out) const {
   tree_->EncodeTo(out);
 }

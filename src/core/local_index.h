@@ -18,6 +18,7 @@
 #include "core/region_summary.h"
 #include "core/tardis_config.h"
 #include "sigtree/sigtree.h"
+#include "storage/partition_arena.h"
 #include "storage/record.h"
 #include "ts/isaxt.h"
 
@@ -34,6 +35,15 @@ class LocalIndex {
                                   const ISaxTCodec& codec,
                                   const TardisConfig& config,
                                   std::vector<Record>* clustered);
+
+  // Columnar form: builds over an arena view without materialising Record
+  // objects. On return `order` holds the clustered permutation — row i of
+  // the clustered layout is arena row order[i] — so callers can emit the
+  // clustered partition bytes (or a rid sidecar) straight from the arena.
+  static Result<LocalIndex> Build(const PartitionArena& arena,
+                                  const ISaxTCodec& codec,
+                                  const TardisConfig& config,
+                                  std::vector<uint32_t>* order);
 
   const SigTree& tree() const { return *tree_; }
   const BloomFilter* bloom() const { return bloom_ ? bloom_.get() : nullptr; }

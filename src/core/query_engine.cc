@@ -347,11 +347,13 @@ Result<std::vector<std::vector<RecordId>>> QueryEngine::ExactMatchBatch(
         }
       }
       const uint32_t end = leaf->range_start + leaf->range_len;
-      for (uint32_t i = leaf->range_start; i < end && i < records->size();
-           ++i) {
+      for (uint32_t i = leaf->range_start;
+           i < end && i < records->num_records(); ++i) {
         ++cand;
-        if ((*records)[i].values == prep[q].normalized) {
-          results[q].push_back((*records)[i].rid);
+        // Element-wise float equality, matching the sequential ExactMatch.
+        if (std::equal(prep[q].normalized.begin(), prep[q].normalized.end(),
+                       records->values(i))) {
+          results[q].push_back(records->rid(i));
         }
       }
     }

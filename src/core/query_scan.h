@@ -24,7 +24,7 @@
 
 #include "core/topk.h"
 #include "sigtree/sigtree.h"
-#include "storage/record.h"
+#include "storage/partition_arena.h"
 #include "ts/kernels.h"
 #include "ts/time_series.h"
 
@@ -51,22 +51,32 @@ inline const SigTree::Node* FindTargetNode(const SigTree& tree,
 }
 
 // Ranks the records in [start, start+len) by true distance into `topk`,
-// early-abandoning against the current k-th best.
-inline void RankRange(const std::vector<Record>& records, uint32_t start,
+// early-abandoning against the current k-th best. Cache-blocked: the batch
+// kernel ranks one L2-sized tile of contiguous arena rows (prefetching the
+// next row as it goes) against the threshold frozen at tile start, then the
+// tile merges into the heap. The frozen bound is only ever *looser* than the
+// per-candidate one, and loosening an early-abandon bound cannot change what
+// the heap accepts (see topk.h), so results and candidate counts are
+// bit-identical to the per-candidate loop this replaced.
+inline void RankRange(const PartitionArena& arena, uint32_t start,
                       uint32_t len, const TimeSeries& query, TopK* topk,
                       uint64_t* candidates) {
-  const uint32_t end = std::min<uint32_t>(
-      start + len, static_cast<uint32_t>(records.size()));
-  for (uint32_t i = start; i < end; ++i) {
+  const uint32_t end =
+      std::min<uint32_t>(start + len, arena.num_records());
+  if (start >= end) return;
+  double d_sq[kRankTileMaxRecords];
+  const uint32_t tile =
+      static_cast<uint32_t>(RankTileRecords(query.size()));
+  for (uint32_t t = start; t < end; t += tile) {
+    const uint32_t count = std::min<uint32_t>(tile, end - t);
     const double bound = topk->Threshold();
     const double bound_sq = std::isinf(bound)
                                 ? std::numeric_limits<double>::infinity()
                                 : bound * bound;
-    const double d_sq =
-        SquaredEuclideanEarlyAbandon(query.data(), records[i].values.data(),
-                                     query.size(), bound_sq);
-    ++*candidates;
-    if (!std::isinf(d_sq)) topk->Offer(std::sqrt(d_sq), records[i].rid);
+    EuclideanBatch(query.data(), arena.values(t), arena.stride(), count,
+                   query.size(), bound_sq, d_sq);
+    *candidates += count;
+    topk->OfferTile(d_sq, arena.rids() + t, count);
   }
 }
 
@@ -84,7 +94,7 @@ inline void RankRange(const std::vector<Record>& records, uint32_t start,
 // candidate total. The target node is an ancestor-or-self of every leaf on
 // its descent path, so a leaf either lies fully inside the range or is
 // disjoint from it; partial overlap cannot occur.
-inline void PrunedScan(const SigTree& tree, const std::vector<Record>& records,
+inline void PrunedScan(const SigTree& tree, const PartitionArena& arena,
                        const MindistTable& mind, const TimeSeries& query,
                        double threshold, TopK* topk, uint64_t* candidates,
                        uint32_t counted_start = 0, uint32_t counted_len = 0) {
@@ -100,7 +110,7 @@ inline void PrunedScan(const SigTree& tree, const std::vector<Record>& records,
       const bool seeded =
           counted_len > 0 && node->range_start >= counted_start &&
           node->range_start + node->range_len <= counted_start + counted_len;
-      RankRange(records, node->range_start, node->range_len, query, topk,
+      RankRange(arena, node->range_start, node->range_len, query, topk,
                 seeded ? &already_counted : candidates);
       continue;
     }
@@ -123,7 +133,7 @@ inline void PrunedScan(const SigTree& tree, const std::vector<Record>& records,
 // whose lower bound exceeds the current k-th best cannot contain a better
 // neighbour). Bounds are checked at pop time — exactly when the recursion
 // it replaced visited the node — so pruning stays as tight as before.
-inline void ExactScan(const SigTree& tree, const std::vector<Record>& records,
+inline void ExactScan(const SigTree& tree, const PartitionArena& arena,
                       const MindistTable& mind, const TimeSeries& query,
                       TopK* topk, uint64_t* candidates) {
   std::vector<const SigTree::Node*> stack;
@@ -135,7 +145,7 @@ inline void ExactScan(const SigTree& tree, const std::vector<Record>& records,
       continue;
     }
     if (node->is_leaf()) {
-      RankRange(records, node->range_start, node->range_len, query, topk,
+      RankRange(arena, node->range_start, node->range_len, query, topk,
                 candidates);
       continue;
     }
@@ -148,14 +158,17 @@ inline void ExactScan(const SigTree& tree, const std::vector<Record>& records,
 
 // Range scan: like PrunedScan (static threshold = radius) but collects every
 // record within `radius` instead of a top-k.
-inline void RangeScan(const SigTree& tree, const std::vector<Record>& records,
+inline void RangeScan(const SigTree& tree, const PartitionArena& arena,
                       const MindistTable& mind, const TimeSeries& query,
                       double radius, std::vector<Neighbor>* out,
                       uint64_t* candidates) {
   // The abandon bound is slightly inflated so the authoritative comparison
   // below (sqrt(d^2) <= radius, matching the ED <= radius contract exactly)
-  // never loses a boundary record to squaring round-off.
+  // never loses a boundary record to squaring round-off. The bound is static,
+  // so tiling the leaf scan is trivially result-identical.
   const double radius_sq = radius * radius * (1.0 + 1e-12) + 1e-12;
+  double d_sq[kRankTileMaxRecords];
+  const uint32_t tile = static_cast<uint32_t>(RankTileRecords(query.size()));
   std::vector<const SigTree::Node*> stack;
   std::vector<const SaxWord*> words;
   std::vector<double> lbs;
@@ -164,16 +177,18 @@ inline void RangeScan(const SigTree& tree, const std::vector<Record>& records,
     const SigTree::Node* node = stack.back();
     stack.pop_back();
     if (node->is_leaf()) {
-      const uint32_t end =
-          std::min<uint32_t>(node->range_start + node->range_len,
-                             static_cast<uint32_t>(records.size()));
-      for (uint32_t i = node->range_start; i < end; ++i) {
-        ++*candidates;
-        const double d_sq = SquaredEuclideanEarlyAbandon(
-            query.data(), records[i].values.data(), query.size(), radius_sq);
-        if (std::isinf(d_sq)) continue;
-        const double d = std::sqrt(d_sq);
-        if (d <= radius) out->push_back({d, records[i].rid});
+      const uint32_t end = std::min<uint32_t>(
+          node->range_start + node->range_len, arena.num_records());
+      for (uint32_t t = node->range_start; t < end; t += tile) {
+        const uint32_t count = std::min<uint32_t>(tile, end - t);
+        EuclideanBatch(query.data(), arena.values(t), arena.stride(), count,
+                       query.size(), radius_sq, d_sq);
+        *candidates += count;
+        for (uint32_t j = 0; j < count; ++j) {
+          if (std::isinf(d_sq[j])) continue;
+          const double d = std::sqrt(d_sq[j]);
+          if (d <= radius) out->push_back({d, arena.rid(t + j)});
+        }
       }
       continue;
     }

@@ -1,5 +1,8 @@
 #include "core/tardis_index.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <mutex>
 
@@ -127,22 +130,34 @@ Result<TardisIndex> TardisIndex::Build(std::shared_ptr<Cluster> cluster,
   local_cfg.build_bloom = bloom_inline;
   TARDIS_RETURN_NOT_OK(MapPartitions(
       *cluster, index.num_partitions(), [&](PartitionId pid) -> Status {
-        TARDIS_ASSIGN_OR_RETURN(std::vector<Record> records,
-                                index.partitions_->ReadPartition(pid));
-        std::vector<Record> clustered;
+        TARDIS_ASSIGN_OR_RETURN(PartitionArena arena,
+                                index.partitions_->ReadPartitionArena(pid));
+        std::vector<uint32_t> order;
         TARDIS_ASSIGN_OR_RETURN(
             LocalIndex local,
-            LocalIndex::Build(std::move(records), codec, local_cfg, &clustered));
+            LocalIndex::Build(arena, codec, local_cfg, &order));
         if (config.clustered) {
-          TARDIS_RETURN_NOT_OK(index.partitions_->WritePartition(pid, clustered));
+          // Emit the clustered bytes straight from the arena in tree order —
+          // byte-identical to encoding a reordered Record vector.
+          std::string bytes;
+          const size_t value_bytes =
+              static_cast<size_t>(arena.series_length()) * sizeof(float);
+          bytes.reserve(order.size() *
+                        RecordEncodedSize(arena.series_length()));
+          for (uint32_t idx : order) {
+            PutFixed<uint64_t>(&bytes, arena.rid(idx));
+            bytes.append(reinterpret_cast<const char*>(arena.values(idx)),
+                         value_bytes);
+          }
+          TARDIS_RETURN_NOT_OK(index.partitions_->WritePartitionRaw(pid, bytes));
         } else {
           // Un-clustered: keep only the rid list (in tree order); the raw
           // series stay in the base blocks and the shuffle's temporary
           // record file is dropped.
           std::string rid_bytes;
-          rid_bytes.reserve(clustered.size() * sizeof(uint64_t));
-          for (const Record& rec : clustered) {
-            PutFixed<uint64_t>(&rid_bytes, rec.rid);
+          rid_bytes.reserve(order.size() * sizeof(uint64_t));
+          for (uint32_t idx : order) {
+            PutFixed<uint64_t>(&rid_bytes, arena.rid(idx));
           }
           TARDIS_RETURN_NOT_OK(
               index.partitions_->WriteSidecar(pid, kRidsSidecar, rid_bytes));
@@ -395,14 +410,44 @@ Result<std::vector<Record>> TardisIndex::LoadPartitionOnce(
   return records;
 }
 
+Result<PartitionArena> TardisIndex::LoadPartitionArena(PartitionId pid) const {
+  return RunWithRetryResult<PartitionArena>(
+      config_.retry, [this, pid] { return LoadPartitionArenaOnce(pid); });
+}
+
+namespace {
+// TARDIS_LAYOUT=aos keeps the legacy two-pass decode (records, then a copy
+// into the arena) alive as a measurable baseline while the columnar layout
+// lands; anything else — including unset — takes the single-pass decode.
+// Results are bit-identical either way; only the load cost differs.
+bool UseAosDecode() {
+  static const bool aos = [] {
+    const char* env = std::getenv("TARDIS_LAYOUT");
+    return env != nullptr && std::strcmp(env, "aos") == 0;
+  }();
+  return aos;
+}
+}  // namespace
+
+Result<PartitionArena> TardisIndex::LoadPartitionArenaOnce(
+    PartitionId pid) const {
+  if (config_.clustered && !UseAosDecode()) {
+    return partitions_->ReadPartitionArena(pid);
+  }
+  // Un-clustered reconstruction (and the transitional AoS decode) goes
+  // through the record loader and converts once at the end.
+  TARDIS_ASSIGN_OR_RETURN(std::vector<Record> records, LoadPartitionOnce(pid));
+  return PartitionArena::FromRecords(records, series_length_);
+}
+
 Result<PartitionCache::Value> TardisIndex::LoadPartitionShared(
     PartitionId pid) const {
   if (cache_ == nullptr) {
-    TARDIS_ASSIGN_OR_RETURN(std::vector<Record> records, LoadPartition(pid));
-    return std::make_shared<const std::vector<Record>>(std::move(records));
+    TARDIS_ASSIGN_OR_RETURN(PartitionArena arena, LoadPartitionArena(pid));
+    return std::make_shared<const PartitionArena>(std::move(arena));
   }
   return cache_->GetOrLoad(pid,
-                           [this, pid] { return LoadPartition(pid); });
+                           [this, pid] { return LoadPartitionArena(pid); });
 }
 
 void TardisIndex::SetCacheBudget(uint64_t budget_bytes) {
@@ -462,12 +507,17 @@ Result<std::vector<RecordId>> TardisIndex::ExactMatch(
   // Verify the leaf's slice against the raw query values.
   TARDIS_ASSIGN_OR_RETURN(PartitionCache::Value loaded,
                           LoadPartitionShared(pid));
-  const std::vector<Record>& records = *loaded;
+  const PartitionArena& arena = *loaded;
   std::vector<RecordId> result;
   const uint32_t end = leaf->range_start + leaf->range_len;
-  for (uint32_t i = leaf->range_start; i < end && i < records.size(); ++i) {
+  for (uint32_t i = leaf->range_start; i < end && i < arena.num_records();
+       ++i) {
     if (stats) ++stats->candidates;
-    if (records[i].values == normalized) result.push_back(records[i].rid);
+    // Element-wise float equality, matching the vector<float> == the AoS
+    // layout used (so -0.0/NaN semantics are unchanged).
+    if (std::equal(normalized.begin(), normalized.end(), arena.values(i))) {
+      result.push_back(arena.rid(i));
+    }
   }
   return result;
 }

@@ -159,13 +159,16 @@ class TardisIndex {
   // concurrently with queries on the same instance.
   Result<std::vector<RecordId>> Append(const Dataset& batch);
 
-  // Loads a partition's records and its Tardis-L (per-query disk reads, as
-  // in the paper's query path). Exposed for tests and tooling. LoadPartition
-  // always goes to disk; the query algorithms go through
-  // LoadPartitionShared, which serves repeated loads from the byte-budgeted
-  // partition cache when one is configured. Both loaders retry transient
-  // failures under the configured RetryPolicy before reporting an error.
+  // Loads a partition and its Tardis-L (per-query disk reads, as in the
+  // paper's query path). Exposed for tests and tooling. LoadPartition
+  // (legacy AoS records, kept for Append/tooling) and LoadPartitionArena
+  // (columnar, single decode pass from the frame payload) always go to
+  // disk; the query algorithms go through LoadPartitionShared, which serves
+  // repeated arena loads from the byte-budgeted partition cache when one is
+  // configured. All loaders retry transient failures under the configured
+  // RetryPolicy before reporting an error.
   Result<std::vector<Record>> LoadPartition(PartitionId pid) const;
+  Result<PartitionArena> LoadPartitionArena(PartitionId pid) const;
   Result<PartitionCache::Value> LoadPartitionShared(PartitionId pid) const;
   Result<LocalIndex> LoadLocalIndex(PartitionId pid) const;
 
@@ -214,6 +217,9 @@ class TardisIndex {
 
   // One un-retried partition load; LoadPartition wraps it in the policy.
   Result<std::vector<Record>> LoadPartitionOnce(PartitionId pid) const;
+
+  // One un-retried arena load; LoadPartitionArena wraps it in the policy.
+  Result<PartitionArena> LoadPartitionArenaOnce(PartitionId pid) const;
 
   // Persists config/global-tree/counts metadata next to the partitions.
   Status SaveMeta() const;

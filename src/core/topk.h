@@ -1,11 +1,21 @@
 // Bounded top-k collector: a max-heap of the current best k neighbours,
 // shared by the approximate/exact kNN paths and the batched query engine
 // (previously duplicated as knn.cc's TopK and knn_exact.cc's ExactTopK).
+//
+// Scans feed it cache-blocked: candidates are ranked in L2-sized tiles (the
+// batch kernel fills a tile of squared distances with the threshold frozen
+// at tile start, then OfferTile merges the survivors). Freezing the bound
+// for one tile only *loosens* early abandoning — the threshold is
+// non-increasing, and a candidate that survives the looser bound but lies
+// beyond the true k-th best is a strict-`<` no-op in Offer — so tiled
+// results and candidate counts are bit-identical to the per-candidate loop.
 
 #ifndef TARDIS_CORE_TOPK_H_
 #define TARDIS_CORE_TOPK_H_
 
 #include <algorithm>
+#include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <utility>
@@ -14,6 +24,18 @@
 #include "core/tardis_index.h"
 
 namespace tardis {
+
+// Upper bound on records per ranking tile (sizes the per-scan d_sq buffer).
+inline constexpr size_t kRankTileMaxRecords = 1024;
+
+// Records per tile so one tile of candidate floats fits in ~half of a
+// 256 KiB L2, clamped to [16, kRankTileMaxRecords].
+inline size_t RankTileRecords(size_t series_length) {
+  const size_t bytes = 128 * 1024;
+  const size_t rows = bytes / (std::max<size_t>(series_length, 1) *
+                               sizeof(float));
+  return std::clamp<size_t>(rows, 16, kRankTileMaxRecords);
+}
 
 class TopK {
  public:
@@ -33,6 +55,14 @@ class TopK {
       std::pop_heap(heap_.begin(), heap_.end());
       heap_.back() = {distance, rid};
       std::push_heap(heap_.begin(), heap_.end());
+    }
+  }
+
+  // Merges one tile of batch-kernel output: d_sq[i] is a squared distance,
+  // or +inf for candidates the kernel abandoned against the tile's bound.
+  void OfferTile(const double* d_sq, const RecordId* rids, size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      if (!std::isinf(d_sq[i])) Offer(std::sqrt(d_sq[i]), rids[i]);
     }
   }
 

@@ -1,0 +1,107 @@
+#include "storage/partition_arena.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "common/serde.h"
+
+namespace tardis {
+
+namespace {
+
+// Plane bytes padded so the rid array that follows stays 8-byte aligned.
+size_t PlaneBytes(uint32_t num_records, uint32_t series_length) {
+  const size_t raw = static_cast<size_t>(num_records) *
+                     static_cast<size_t>(series_length) * sizeof(float);
+  return (raw + alignof(RecordId) - 1) & ~(alignof(RecordId) - 1);
+}
+
+}  // namespace
+
+PartitionArena::~PartitionArena() { std::free(arena_); }
+
+PartitionArena::PartitionArena(PartitionArena&& other) noexcept
+    : values_(std::exchange(other.values_, nullptr)),
+      rids_(std::exchange(other.rids_, nullptr)),
+      arena_(std::exchange(other.arena_, nullptr)),
+      allocated_bytes_(std::exchange(other.allocated_bytes_, 0)),
+      num_records_(std::exchange(other.num_records_, 0)),
+      series_length_(std::exchange(other.series_length_, 0)) {}
+
+PartitionArena& PartitionArena::operator=(PartitionArena&& other) noexcept {
+  if (this != &other) {
+    std::free(arena_);
+    values_ = std::exchange(other.values_, nullptr);
+    rids_ = std::exchange(other.rids_, nullptr);
+    arena_ = std::exchange(other.arena_, nullptr);
+    allocated_bytes_ = std::exchange(other.allocated_bytes_, 0);
+    num_records_ = std::exchange(other.num_records_, 0);
+    series_length_ = std::exchange(other.series_length_, 0);
+  }
+  return *this;
+}
+
+PartitionArena PartitionArena::Allocate(uint32_t num_records,
+                                        uint32_t series_length) {
+  PartitionArena arena;
+  arena.num_records_ = num_records;
+  arena.series_length_ = series_length;
+  if (num_records == 0) return arena;
+
+  const size_t plane = PlaneBytes(num_records, series_length);
+  const size_t rids = static_cast<size_t>(num_records) * sizeof(RecordId);
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  const size_t total =
+      (plane + rids + kAlignment - 1) & ~(kAlignment - 1);
+  arena.arena_ = std::aligned_alloc(kAlignment, total);
+  arena.allocated_bytes_ = total;
+  arena.values_ = static_cast<float*>(arena.arena_);
+  arena.rids_ =
+      reinterpret_cast<RecordId*>(static_cast<char*>(arena.arena_) + plane);
+  return arena;
+}
+
+Result<PartitionArena> PartitionArena::FromPayload(std::string_view payload,
+                                                   uint32_t series_length,
+                                                   const std::string& path) {
+  const size_t rec_size = RecordEncodedSize(series_length);
+  if (payload.size() % rec_size != 0) {
+    return Status::Corruption("partition payload size not a record multiple: " +
+                              path);
+  }
+  const uint32_t count = static_cast<uint32_t>(payload.size() / rec_size);
+  PartitionArena arena = Allocate(count, series_length);
+  const size_t value_bytes = static_cast<size_t>(series_length) * sizeof(float);
+  SliceReader reader(payload);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!reader.GetFixed(&arena.rids_[i]) ||
+        !reader.GetBytes(arena.mutable_values(i), value_bytes)) {
+      return Status::Corruption("truncated record in partition: " + path);
+    }
+  }
+  return arena;
+}
+
+PartitionArena PartitionArena::FromRecords(const std::vector<Record>& records,
+                                           uint32_t series_length) {
+  PartitionArena arena =
+      Allocate(static_cast<uint32_t>(records.size()), series_length);
+  const size_t value_bytes = static_cast<size_t>(series_length) * sizeof(float);
+  for (uint32_t i = 0; i < arena.num_records_; ++i) {
+    arena.rids_[i] = records[i].rid;
+    std::memcpy(arena.mutable_values(i), records[i].values.data(), value_bytes);
+  }
+  return arena;
+}
+
+std::vector<Record> PartitionArena::ToRecords() const {
+  std::vector<Record> records(num_records_);
+  for (uint32_t i = 0; i < num_records_; ++i) {
+    records[i].rid = rids_[i];
+    records[i].values.assign(values(i), values(i) + series_length_);
+  }
+  return records;
+}
+
+}  // namespace tardis

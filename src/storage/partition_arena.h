@@ -1,0 +1,107 @@
+// PartitionArena: a decoded partition as one contiguous allocation.
+//
+// The legacy decode produced std::vector<Record>, where every record owns a
+// heap-allocated TimeSeries — a pointer chase per candidate before the
+// distance kernels can stream floats. The arena instead lays the partition
+// out structure-of-arrays:
+//
+//   [ values plane : num_records x series_length f32, base 64-byte aligned ]
+//   [ rid array    : num_records u64, 8-byte aligned                      ]
+//
+// both carved from a single aligned allocation. Row i of the values plane
+// starts at values_plane() + i * stride() (stride == series_length), so a
+// scan walks memory strictly forward and the batch kernels can prefetch row
+// i+1 while ranking row i. The rid array lives after the plane (padded to an
+// 8-byte boundary) rather than interleaved: rids are only touched for the
+// few candidates that survive ranking, and keeping them out of the float
+// stream keeps cache lines pure during the distance loop.
+//
+// Decoding is single-pass from the CRC-verified frame payload (the PR 3
+// framing is untouched): FromPayload reads each [rid u64 LE][f32 x len]
+// record straight into the arena, bit-identical to DecodeRecord, with the
+// same corruption guards as PartitionStore::ReadPartition.
+
+#ifndef TARDIS_STORAGE_PARTITION_ARENA_H_
+#define TARDIS_STORAGE_PARTITION_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/record.h"
+#include "ts/time_series.h"
+
+namespace tardis {
+
+class PartitionArena {
+ public:
+  // Values plane base alignment; also the prefetch granularity.
+  static constexpr size_t kAlignment = 64;
+
+  PartitionArena() = default;
+  ~PartitionArena();
+
+  PartitionArena(PartitionArena&& other) noexcept;
+  PartitionArena& operator=(PartitionArena&& other) noexcept;
+  PartitionArena(const PartitionArena&) = delete;
+  PartitionArena& operator=(const PartitionArena&) = delete;
+
+  // An empty arena sized for `num_records` records of `series_length`
+  // values, ready to be filled via mutable_values()/set_rid().
+  static PartitionArena Allocate(uint32_t num_records, uint32_t series_length);
+
+  // Single-pass decode from a verified partition frame payload. Bit-identical
+  // to a DecodeRecord loop; `path` is only used in error messages, mirroring
+  // ReadPartition's corruption reporting.
+  static Result<PartitionArena> FromPayload(std::string_view payload,
+                                            uint32_t series_length,
+                                            const std::string& path);
+
+  // Converts a legacy AoS partition. All records must have
+  // `series_length` values.
+  static PartitionArena FromRecords(const std::vector<Record>& records,
+                                    uint32_t series_length);
+
+  uint32_t num_records() const { return num_records_; }
+  uint32_t series_length() const { return series_length_; }
+  // Distance in floats between consecutive rows of the values plane.
+  size_t stride() const { return series_length_; }
+
+  const float* values_plane() const { return values_; }
+  const float* values(uint32_t i) const {
+    return values_ + static_cast<size_t>(i) * series_length_;
+  }
+  const RecordId* rids() const { return rids_; }
+  RecordId rid(uint32_t i) const { return rids_[i]; }
+
+  float* mutable_values(uint32_t i) {
+    return values_ + static_cast<size_t>(i) * series_length_;
+  }
+  void set_rid(uint32_t i, RecordId rid) { rids_[i] = rid; }
+
+  // Bytes of the single backing allocation (values plane + pad + rids).
+  uint64_t AllocatedBytes() const { return allocated_bytes_; }
+  // Exact in-memory footprint: object header plus the backing allocation.
+  // This is what the PartitionCache charges against its byte budget.
+  uint64_t FootprintBytes() const {
+    return sizeof(PartitionArena) + allocated_bytes_;
+  }
+
+  // Materializes the legacy AoS form (tooling / compatibility paths).
+  std::vector<Record> ToRecords() const;
+
+ private:
+  float* values_ = nullptr;    // into arena_
+  RecordId* rids_ = nullptr;   // into arena_
+  void* arena_ = nullptr;      // single aligned allocation
+  uint64_t allocated_bytes_ = 0;
+  uint32_t num_records_ = 0;
+  uint32_t series_length_ = 0;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_STORAGE_PARTITION_ARENA_H_

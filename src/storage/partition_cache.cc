@@ -34,15 +34,11 @@ PartitionCache::PartitionCache(uint64_t budget_bytes, size_t num_shards)
   registry.RegisterGauge("tardis.cache.pinned_partitions", pinned_partitions_);
 }
 
-uint64_t PartitionCache::ChargedBytes(const std::vector<Record>& records) {
-  // Decoded footprint: per-record header (rid + vector bookkeeping) plus the
-  // float payload. An exact accounting of allocator overhead is not needed —
-  // the budget only has to scale with the data it protects against.
-  uint64_t bytes = sizeof(std::vector<Record>);
-  for (const Record& rec : records) {
-    bytes += sizeof(Record) + rec.values.size() * sizeof(float);
-  }
-  return bytes;
+uint64_t PartitionCache::ChargedBytes(const PartitionArena& arena) {
+  // Exact: the arena is one aligned allocation plus the object header, so
+  // charged bytes equal allocated bytes — no per-record heap blocks to
+  // estimate (the AoS layout's undercounting bug).
+  return arena.FootprintBytes();
 }
 
 Result<PartitionCache::Value> PartitionCache::GetOrLoad(PartitionId pid,
@@ -72,7 +68,7 @@ Result<PartitionCache::Value> PartitionCache::GetOrLoad(PartitionId pid,
   misses_->Add(1);
   lock.unlock();
 
-  Result<std::vector<Record>> loaded = [&loader] {
+  Result<PartitionArena> loaded = [&loader] {
     static telemetry::Histogram& load_us =
         telemetry::Registry::Global().GetHistogram("tardis.cache.load_us");
     telemetry::ScopedLatency timer(load_us);
@@ -87,8 +83,7 @@ Result<PartitionCache::Value> PartitionCache::GetOrLoad(PartitionId pid,
     fl->cv.notify_all();
     return fl->error;
   }
-  Value value =
-      std::make_shared<const std::vector<Record>>(std::move(*loaded));
+  Value value = std::make_shared<const PartitionArena>(std::move(*loaded));
   const uint64_t bytes = ChargedBytes(*value);
   loaded_bytes_->Add(bytes);
   fl->value = value;

@@ -6,7 +6,7 @@
 // (single-flight loading).
 //
 // Values are immutable shared snapshots (`std::shared_ptr<const
-// std::vector<Record>>`), so an entry evicted while a query still ranks its
+// PartitionArena>`), so an entry evicted while a query still ranks its
 // records stays alive until that query drops its reference. The budget is
 // split across shards (ceil-divide, so a tiny budget never rounds a shard
 // down to zero); each shard evicts least-recently-used entries until it is
@@ -33,6 +33,7 @@
 
 #include "common/status.h"
 #include "common/telemetry.h"
+#include "storage/partition_arena.h"
 #include "storage/record.h"
 
 namespace tardis {
@@ -53,8 +54,8 @@ struct PartitionCacheStats {
 
 class PartitionCache {
  public:
-  using Value = std::shared_ptr<const std::vector<Record>>;
-  using Loader = std::function<Result<std::vector<Record>>()>;
+  using Value = std::shared_ptr<const PartitionArena>;
+  using Loader = std::function<Result<PartitionArena>()>;
 
   // `budget_bytes` caps the resident decoded bytes (see ChargedBytes); with a
   // budget of 0 every load is evicted as soon as it is inserted, so the cache
@@ -95,8 +96,10 @@ class PartitionCache {
   uint64_t budget_bytes() const { return budget_bytes_; }
   size_t num_shards() const { return shards_.size(); }
 
-  // Approximate decoded in-memory footprint charged against the budget.
-  static uint64_t ChargedBytes(const std::vector<Record>& records);
+  // Exact decoded in-memory footprint charged against the budget: the arena
+  // object plus its single backing allocation. (The AoS predecessor estimated
+  // this from vector payloads and undercounted per-record heap overhead.)
+  static uint64_t ChargedBytes(const PartitionArena& arena);
 
  private:
   struct Entry {

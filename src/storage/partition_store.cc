@@ -216,6 +216,25 @@ Result<std::vector<Record>> PartitionStore::ReadPartition(PartitionId pid) const
   return records;
 }
 
+Result<PartitionArena> PartitionStore::ReadPartitionArena(
+    PartitionId pid) const {
+  const std::string path = PartitionPath(pid);
+  static telemetry::Histogram& read_us =
+      telemetry::Registry::Global().GetHistogram(
+          "tardis.storage.read_partition_us");
+  telemetry::ScopedLatency timer(read_us);
+  TARDIS_RETURN_NOT_OK(MaybeInjectFault(FaultSite::kPartitionLoad, path));
+  TARDIS_ASSIGN_OR_RETURN(std::string file_bytes, ReadFile(path));
+  if (telemetry::Enabled()) {
+    static telemetry::Counter& bytes_read =
+        telemetry::Registry::Global().GetCounter(
+            "tardis.storage.partition_bytes_read");
+    bytes_read.Add(file_bytes.size());
+  }
+  TARDIS_ASSIGN_OR_RETURN(std::string bytes, UnframeFile(path, file_bytes));
+  return PartitionArena::FromPayload(bytes, series_length_, path);
+}
+
 Result<uint64_t> PartitionStore::PartitionBytes(PartitionId pid) const {
   return FileBytes(PartitionPath(pid));
 }

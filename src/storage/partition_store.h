@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/partition_arena.h"
 #include "storage/record.h"
 
 namespace tardis {
@@ -49,6 +50,12 @@ class PartitionStore {
 
   // Reads all records of partition `pid` — one sequential file read.
   Result<std::vector<Record>> ReadPartition(PartitionId pid) const;
+
+  // Reads partition `pid` straight into a columnar arena: one sequential
+  // file read, one decode pass from the verified frame payload. This is the
+  // query-path loader; ReadPartition remains for build/append/tooling paths
+  // that want AoS records.
+  Result<PartitionArena> ReadPartitionArena(PartitionId pid) const;
 
   // Deletes partition `pid`'s record file (used by un-clustered indexes,
   // which keep only sidecars). Missing files are not an error.

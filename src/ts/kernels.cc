@@ -60,8 +60,8 @@ double SquaredEuclideanEarlyAbandonScalar(const float* __restrict a,
 #if TARDIS_KERNELS_X86
 
 // ---------------------------------------------------------------------------
-// AVX2 + FMA backend. 8 floats per iteration, widened to two 4-lane double
-// accumulators. The early-abandon variant uses the *same* accumulation
+// AVX2 + FMA backend. 16 floats per iteration across four 4-lane double
+// accumulator chains. The early-abandon variant uses the *same* accumulation
 // structure and only peeks at the running sum at block boundaries, so its
 // non-abandoned result is bit-identical to the full kernel.
 // ---------------------------------------------------------------------------
@@ -88,13 +88,27 @@ __attribute__((target("avx2,fma"))) inline void Accumulate8(
   *acc1 = _mm256_fmadd_pd(dhi, dhi, *acc1);
 }
 
+// Four accumulator chains (two Accumulate8 calls per 16 floats): the FMA
+// latency of one chain no longer serialises the loop, roughly doubling
+// throughput on latency-bound cores. The early-abandon variant below runs
+// the identical accumulation sequence, preserving EA == full bit-equality.
 __attribute__((target("avx2,fma"))) double SquaredEuclideanAvx2(
     const float* a, const float* b, size_t n) {
   __m256d acc0 = _mm256_setzero_pd();
   __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
   size_t i = 0;
-  for (; i + 8 <= n; i += 8) Accumulate8(a, b, i, &acc0, &acc1);
-  double acc = HSum(_mm256_add_pd(acc0, acc1));
+  for (; i + 16 <= n; i += 16) {
+    Accumulate8(a, b, i, &acc0, &acc1);
+    Accumulate8(a, b, i + 8, &acc2, &acc3);
+  }
+  if (i + 8 <= n) {
+    Accumulate8(a, b, i, &acc0, &acc1);
+    i += 8;
+  }
+  double acc = HSum(_mm256_add_pd(_mm256_add_pd(acc0, acc1),
+                                  _mm256_add_pd(acc2, acc3)));
   for (; i < n; ++i) {
     const double d = static_cast<double>(a[i]) - b[i];
     acc += d * d;
@@ -106,19 +120,32 @@ __attribute__((target("avx2,fma"))) double SquaredEuclideanEarlyAbandonAvx2(
     const float* a, const float* b, size_t n, double bound_sq) {
   __m256d acc0 = _mm256_setzero_pd();
   __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
   size_t i = 0;
   // Bound check every 64 elements: the horizontal sum is only a peek — the
-  // vector accumulators keep running, preserving bit-equality with the full
-  // kernel when no abandon happens.
+  // vector accumulators keep running, and the 16-then-8 accumulation order
+  // below matches the full kernel exactly (64 is a multiple of 16, so block
+  // boundaries never change which chains a lane lands in), preserving
+  // bit-equality with the full kernel when no abandon happens.
   while (i + 8 <= n) {
     const size_t vec_end = n & ~size_t{7};
     const size_t block_end = i + 64 < vec_end ? i + 64 : vec_end;
-    for (; i < block_end; i += 8) Accumulate8(a, b, i, &acc0, &acc1);
-    if (HSum(_mm256_add_pd(acc0, acc1)) > bound_sq) {
+    for (; i + 16 <= block_end; i += 16) {
+      Accumulate8(a, b, i, &acc0, &acc1);
+      Accumulate8(a, b, i + 8, &acc2, &acc3);
+    }
+    if (i + 8 <= block_end) {
+      Accumulate8(a, b, i, &acc0, &acc1);
+      i += 8;
+    }
+    if (HSum(_mm256_add_pd(_mm256_add_pd(acc0, acc1),
+                           _mm256_add_pd(acc2, acc3))) > bound_sq) {
       return std::numeric_limits<double>::infinity();
     }
   }
-  double acc = HSum(_mm256_add_pd(acc0, acc1));
+  double acc = HSum(_mm256_add_pd(_mm256_add_pd(acc0, acc1),
+                                  _mm256_add_pd(acc2, acc3)));
   for (; i < n; ++i) {
     const double d = static_cast<double>(a[i]) - b[i];
     acc += d * d;
@@ -126,15 +153,147 @@ __attribute__((target("avx2,fma"))) double SquaredEuclideanEarlyAbandonAvx2(
   return acc > bound_sq ? std::numeric_limits<double>::infinity() : acc;
 }
 
+// ---------------------------------------------------------------------------
+// GCC's avx512fintrin.h flows _mm512_undefined_pd() through the masked
+// convert/reduce builtins, tripping -Wmaybe-uninitialized at -O3 inside the
+// system header; the values are never actually consumed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+// AVX-512F backend. 32 floats per iteration across four 8-lane double
+// accumulator chains (pure AVX512F: loads come in as 256-bit halves and
+// widen through _mm512_cvtps_pd). Same structure as the AVX2 tier: the
+// early-abandon variant shares the accumulation and only peeks at block
+// boundaries, so its non-abandoned result is bit-identical to the full
+// kernel under this backend.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx512f"))) inline void Accumulate16(
+    const float* a, const float* b, size_t i, __m512d* acc0, __m512d* acc1) {
+  const __m512d alo = _mm512_cvtps_pd(_mm256_loadu_ps(a + i));
+  const __m512d blo = _mm512_cvtps_pd(_mm256_loadu_ps(b + i));
+  const __m512d dlo = _mm512_sub_pd(alo, blo);
+  *acc0 = _mm512_fmadd_pd(dlo, dlo, *acc0);
+  const __m512d ahi = _mm512_cvtps_pd(_mm256_loadu_ps(a + i + 8));
+  const __m512d bhi = _mm512_cvtps_pd(_mm256_loadu_ps(b + i + 8));
+  const __m512d dhi = _mm512_sub_pd(ahi, bhi);
+  *acc1 = _mm512_fmadd_pd(dhi, dhi, *acc1);
+}
+
+// Four accumulator chains (two Accumulate16 calls per 32 floats), mirroring
+// the AVX2 tier: breaks the FMA latency chain on latency-bound cores while
+// keeping the early-abandon variant's accumulation order identical.
+__attribute__((target("avx512f"))) double SquaredEuclideanAvx512(
+    const float* a, const float* b, size_t n) {
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  __m512d acc2 = _mm512_setzero_pd();
+  __m512d acc3 = _mm512_setzero_pd();
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    Accumulate16(a, b, i, &acc0, &acc1);
+    Accumulate16(a, b, i + 16, &acc2, &acc3);
+  }
+  if (i + 16 <= n) {
+    Accumulate16(a, b, i, &acc0, &acc1);
+    i += 16;
+  }
+  double acc = _mm512_reduce_add_pd(_mm512_add_pd(
+      _mm512_add_pd(acc0, acc1), _mm512_add_pd(acc2, acc3)));
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+__attribute__((target("avx512f"))) double SquaredEuclideanEarlyAbandonAvx512(
+    const float* a, const float* b, size_t n, double bound_sq) {
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  __m512d acc2 = _mm512_setzero_pd();
+  __m512d acc3 = _mm512_setzero_pd();
+  size_t i = 0;
+  // Same cadence as the AVX2 tier: peek at the running sum every 64
+  // elements; the vector accumulators keep running, and the 32-then-16
+  // accumulation order matches the full kernel exactly (64 is a multiple of
+  // 32, so block boundaries never change which chains a lane lands in), so a
+  // non-abandoned result stays bit-identical to the full kernel.
+  while (i + 16 <= n) {
+    const size_t vec_end = n & ~size_t{15};
+    const size_t block_end = i + 64 < vec_end ? i + 64 : vec_end;
+    for (; i + 32 <= block_end; i += 32) {
+      Accumulate16(a, b, i, &acc0, &acc1);
+      Accumulate16(a, b, i + 16, &acc2, &acc3);
+    }
+    if (i + 16 <= block_end) {
+      Accumulate16(a, b, i, &acc0, &acc1);
+      i += 16;
+    }
+    if (_mm512_reduce_add_pd(_mm512_add_pd(
+            _mm512_add_pd(acc0, acc1), _mm512_add_pd(acc2, acc3))) >
+        bound_sq) {
+      return std::numeric_limits<double>::infinity();
+    }
+  }
+  double acc = _mm512_reduce_add_pd(_mm512_add_pd(
+      _mm512_add_pd(acc0, acc1), _mm512_add_pd(acc2, acc3)));
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc > bound_sq ? std::numeric_limits<double>::infinity() : acc;
+}
+
+#pragma GCC diagnostic pop
+
 bool CpuSupportsAvx2Fma() {
   return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
 }
 
+bool CpuSupportsAvx512() { return __builtin_cpu_supports("avx512f"); }
+
 #else   // !TARDIS_KERNELS_X86
 
 bool CpuSupportsAvx2Fma() { return false; }
+bool CpuSupportsAvx512() { return false; }
 
 #endif  // TARDIS_KERNELS_X86
+
+// ---------------------------------------------------------------------------
+// Batched ranking. One template instantiated per backend around that
+// backend's own early-abandon kernel, so per-pair bit-identity is inherited
+// by construction. The only addition is a software prefetch of the head of
+// the next row: with rows `stride` floats apart the stream is sequential,
+// but an early abandon skips the tail of the current row and would
+// otherwise land the next iteration on cold lines.
+// ---------------------------------------------------------------------------
+
+inline void PrefetchRow(const float* row, size_t n) {
+  // First four cache lines; the hardware prefetcher follows the rest of a
+  // long row once the stream is established.
+  const size_t bytes = n * sizeof(float);
+  const size_t lines = bytes < 256 ? (bytes + 63) / 64 : 4;
+  const char* p = reinterpret_cast<const char*>(row);
+  for (size_t i = 0; i < lines; ++i) {
+#if TARDIS_KERNELS_X86
+    _mm_prefetch(p + i * 64, _MM_HINT_T0);
+#else
+    __builtin_prefetch(p + i * 64, 0, 3);
+#endif
+  }
+}
+
+template <double (*kAbandon)(const float*, const float*, size_t, double)>
+void EuclideanBatchImpl(const float* query, const float* base, size_t stride,
+                        size_t count, size_t n, double bound_sq, double* out) {
+  for (size_t i = 0; i < count; ++i) {
+    const float* row = base + i * stride;
+    if (i + 1 < count) PrefetchRow(row + stride, n);
+    out[i] = kAbandon(query, row, n, bound_sq);
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Dispatch: resolved once at first use from the CPU and the TARDIS_KERNELS
@@ -143,26 +302,38 @@ bool CpuSupportsAvx2Fma() { return false; }
 
 using EuclideanFn = double (*)(const float*, const float*, size_t);
 using AbandonFn = double (*)(const float*, const float*, size_t, double);
+using BatchFn = void (*)(const float*, const float*, size_t, size_t, size_t,
+                         double, double*);
 
 struct KernelVtable {
   KernelBackend backend;
   EuclideanFn squared_euclidean;
   AbandonFn squared_euclidean_ea;
+  BatchFn euclidean_batch;
 };
 
 constexpr KernelVtable kScalarVtable = {
     KernelBackend::kScalar, &SquaredEuclideanScalar,
-    &SquaredEuclideanEarlyAbandonScalar};
+    &SquaredEuclideanEarlyAbandonScalar,
+    &EuclideanBatchImpl<&SquaredEuclideanEarlyAbandonScalar>};
 
 #if TARDIS_KERNELS_X86
-constexpr KernelVtable kAvx2Vtable = {KernelBackend::kAvx2,
-                                      &SquaredEuclideanAvx2,
-                                      &SquaredEuclideanEarlyAbandonAvx2};
+constexpr KernelVtable kAvx2Vtable = {
+    KernelBackend::kAvx2, &SquaredEuclideanAvx2,
+    &SquaredEuclideanEarlyAbandonAvx2,
+    &EuclideanBatchImpl<&SquaredEuclideanEarlyAbandonAvx2>};
+constexpr KernelVtable kAvx512Vtable = {
+    KernelBackend::kAvx512, &SquaredEuclideanAvx512,
+    &SquaredEuclideanEarlyAbandonAvx512,
+    &EuclideanBatchImpl<&SquaredEuclideanEarlyAbandonAvx512>};
 #endif
 
 const KernelVtable* VtableFor(KernelBackend backend) {
 #if TARDIS_KERNELS_X86
-  if (backend == KernelBackend::kAvx2 && CpuSupportsAvx2Fma()) {
+  if (backend == KernelBackend::kAvx512 && CpuSupportsAvx512()) {
+    return &kAvx512Vtable;
+  }
+  if (backend != KernelBackend::kScalar && CpuSupportsAvx2Fma()) {
     return &kAvx2Vtable;
   }
 #else
@@ -172,11 +343,13 @@ const KernelVtable* VtableFor(KernelBackend backend) {
 }
 
 const KernelVtable* ResolveStartupVtable() {
-  KernelBackend want =
-      CpuSupportsAvx2Fma() ? KernelBackend::kAvx2 : KernelBackend::kScalar;
+  KernelBackend want = KernelBackend::kScalar;
+  if (CpuSupportsAvx512()) want = KernelBackend::kAvx512;
+  else if (CpuSupportsAvx2Fma()) want = KernelBackend::kAvx2;
   if (const char* env = std::getenv("TARDIS_KERNELS")) {
     if (std::strcmp(env, "scalar") == 0) want = KernelBackend::kScalar;
     else if (std::strcmp(env, "avx2") == 0) want = KernelBackend::kAvx2;
+    else if (std::strcmp(env, "avx512") == 0) want = KernelBackend::kAvx512;
     // "auto" or anything else keeps the CPU-detected default.
   }
   return VtableFor(want);
@@ -197,6 +370,7 @@ const char* KernelBackendName(KernelBackend backend) {
   switch (backend) {
     case KernelBackend::kScalar: return "scalar";
     case KernelBackend::kAvx2: return "avx2";
+    case KernelBackend::kAvx512: return "avx512";
   }
   return "unknown";
 }
@@ -216,6 +390,13 @@ double SquaredEuclideanEarlyAbandon(const float* a, const float* b, size_t n,
                                     double bound_sq) {
   return ActiveVtable().load(std::memory_order_acquire)
       ->squared_euclidean_ea(a, b, n, bound_sq);
+}
+
+void EuclideanBatch(const float* query, const float* base, size_t stride,
+                    size_t count, size_t n, double bound_sq, double* out) {
+  ActiveVtable()
+      .load(std::memory_order_acquire)
+      ->euclidean_batch(query, base, stride, count, n, bound_sq, out);
 }
 
 double MindistPaaToBox(const double* paa, const double* lo, const double* hi,
@@ -296,3 +477,4 @@ void MindistTable::MindistMany(const SaxWord* const* words, size_t count,
 }
 
 }  // namespace tardis
+

@@ -3,11 +3,12 @@
 // ranking; this file attacks the ranking half).
 //
 // Two layers:
-//   * Raw-pointer Euclidean kernels with runtime backend dispatch: an
-//     AVX2+FMA path is selected once at startup when the CPU supports it,
-//     with a portable scalar fallback. The choice can be overridden with the
-//     TARDIS_KERNELS environment variable ("scalar" | "avx2" | "auto") or,
-//     for tests and benchmarks, programmatically via SetKernelBackend.
+//   * Raw-pointer Euclidean kernels with runtime backend dispatch: the
+//     widest supported tier (AVX-512F, else AVX2+FMA, else portable scalar)
+//     is selected once at startup. The choice can be overridden with the
+//     TARDIS_KERNELS environment variable ("scalar" | "avx2" | "avx512" |
+//     "auto") or, for tests and benchmarks, via SetKernelBackend; asking for
+//     a tier the CPU lacks clamps down to the widest one it has.
 //   * MindistTable: a per-query precomputation that turns MindistPaaToSax
 //     (breakpoint lookups + branches per segment) into a table lookup, and
 //     lower-bounds one query PAA against many SAX words in one pass — the
@@ -36,7 +37,8 @@ namespace tardis {
 
 enum class KernelBackend : uint8_t {
   kScalar = 0,
-  kAvx2 = 1,  // AVX2 + FMA (x86-64); falls back to scalar when unsupported
+  kAvx2 = 1,    // AVX2 + FMA (x86-64); falls back to scalar when unsupported
+  kAvx512 = 2,  // AVX-512F (x86-64); falls back to AVX2, then scalar
 };
 
 // The backend all kernel calls currently dispatch to.
@@ -58,6 +60,15 @@ double SquaredEuclidean(const float* a, const float* b, size_t n);
 // bit-identical to SquaredEuclidean under the same backend.
 double SquaredEuclideanEarlyAbandon(const float* a, const float* b, size_t n,
                                     double bound_sq);
+
+// Batched form over `count` candidate series laid out contiguously `stride`
+// floats apart (a PartitionArena values plane):
+//   out[i] = SquaredEuclideanEarlyAbandon(query, base + i*stride, n, bound_sq)
+// bit-identical to the per-pair calls under the same backend. While row i is
+// being ranked the head of row i+1 is software-prefetched, so an early
+// abandon on row i never stalls the scan on a cold cache line.
+void EuclideanBatch(const float* query, const float* base, size_t stride,
+                    size_t count, size_t n, double bound_sq, double* out);
 
 // --- Interval lower bound (region summaries) ---
 

@@ -16,9 +16,13 @@ Result<std::vector<double>> Paa(const TimeSeries& ts, uint32_t word_length) {
 }
 
 void PaaInto(const TimeSeries& ts, uint32_t word_length, double* out) {
-  const size_t seg = ts.size() / word_length;
+  PaaInto(ts.data(), ts.size(), word_length, out);
+}
+
+void PaaInto(const float* values, size_t n, uint32_t word_length, double* out) {
+  const size_t seg = n / word_length;
   const double inv = 1.0 / static_cast<double>(seg);
-  const float* p = ts.data();
+  const float* p = values;
   for (uint32_t s = 0; s < word_length; ++s) {
     double acc = 0.0;
     for (size_t j = 0; j < seg; ++j) acc += p[j];

@@ -20,6 +20,9 @@ Result<std::vector<double>> Paa(const TimeSeries& ts, uint32_t word_length);
 // Unchecked fast path used on hot loops after parameters were validated once.
 void PaaInto(const TimeSeries& ts, uint32_t word_length, double* out);
 
+// Raw-pointer form for columnar layouts (arena rows): `n` values at `values`.
+void PaaInto(const float* values, size_t n, uint32_t word_length, double* out);
+
 }  // namespace tardis
 
 #endif  // TARDIS_TS_PAA_H_

@@ -63,6 +63,9 @@ class QueryEngineTest : public ::testing::Test {
     if (SetKernelBackend(KernelBackend::kAvx2) == KernelBackend::kAvx2) {
       backends.push_back(KernelBackend::kAvx2);
     }
+    if (SetKernelBackend(KernelBackend::kAvx512) == KernelBackend::kAvx512) {
+      backends.push_back(KernelBackend::kAvx512);
+    }
     SetKernelBackend(saved_backend_);
     return backends;
   }

@@ -1,0 +1,209 @@
+// Parity pins for the cache-blocked (tiled) ranking path in query_scan.h.
+//
+// RankRange fills an L2-sized tile of squared distances with the batch
+// kernel — early-abandon bound frozen at tile start — then merges survivors
+// via TopK::OfferTile. The house invariant is that this is *bit-identical*
+// (results and candidate counts) to the legacy per-candidate loop, which
+// refreshed the bound before every record. These tests enumerate every
+// available kernel backend and geometries that split the range into partial
+// and full tiles.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/query_scan.h"
+#include "core/topk.h"
+#include "storage/partition_arena.h"
+#include "storage/record.h"
+#include "ts/kernels.h"
+
+namespace tardis {
+namespace {
+
+// Deterministic value stream (no RNG-header dependency; seeds differ per use).
+float Mix(uint64_t* state) {
+  *state = *state * 6364136223846793005ull + 1442695040888963407ull;
+  const uint32_t bits = static_cast<uint32_t>(*state >> 33);
+  return static_cast<float>(bits) / 4.0e9f - 0.5f;
+}
+
+PartitionArena MakeArena(uint32_t count, uint32_t length, uint64_t seed) {
+  std::vector<Record> records(count);
+  uint64_t state = seed;
+  for (uint32_t i = 0; i < count; ++i) {
+    records[i].rid = 1000 + i;
+    records[i].values.resize(length);
+    for (uint32_t j = 0; j < length; ++j) {
+      records[i].values[j] = Mix(&state);
+    }
+  }
+  return PartitionArena::FromRecords(records, length);
+}
+
+TimeSeries MakeQuery(uint32_t length, uint64_t seed) {
+  TimeSeries query(length);
+  uint64_t state = seed;
+  for (float& v : query) v = Mix(&state);
+  return query;
+}
+
+// The pre-tiling semantics: bound refreshed before every record.
+std::vector<Neighbor> ReferenceRank(const PartitionArena& arena,
+                                    uint32_t start, uint32_t len,
+                                    const TimeSeries& query, uint32_t k,
+                                    uint64_t* candidates) {
+  TopK topk(k);
+  const uint32_t end = std::min<uint32_t>(start + len, arena.num_records());
+  for (uint32_t i = start; i < end; ++i) {
+    const double bound = topk.Threshold();
+    const double bound_sq = std::isinf(bound) ? bound : bound * bound;
+    const double d_sq = SquaredEuclideanEarlyAbandon(
+        query.data(), arena.values(i), query.size(), bound_sq);
+    ++*candidates;
+    if (!std::isinf(d_sq)) topk.Offer(std::sqrt(d_sq), arena.rid(i));
+  }
+  return topk.Take();
+}
+
+std::vector<KernelBackend> AvailableBackends() {
+  std::vector<KernelBackend> backends;
+  for (KernelBackend backend :
+       {KernelBackend::kScalar, KernelBackend::kAvx2, KernelBackend::kAvx512}) {
+    if (SetKernelBackend(backend) == backend) backends.push_back(backend);
+  }
+  SetKernelBackend(KernelBackend::kScalar);
+  return backends;
+}
+
+struct Geometry {
+  uint32_t count;
+  uint32_t length;
+  uint32_t k;
+};
+
+TEST(ScanParityTest, TiledRankRangeMatchesPerCandidateLoop) {
+  // length 1024 → 32-record tiles (many tiles); 256 → 128; 8 → single tile.
+  const Geometry geometries[] = {
+      {100, 1024, 5}, {300, 256, 3}, {50, 8, 1}, {33, 1024, 7}, {16, 64, 200},
+  };
+  for (KernelBackend backend : AvailableBackends()) {
+    ASSERT_EQ(SetKernelBackend(backend), backend);
+    for (const Geometry& g : geometries) {
+      const PartitionArena arena = MakeArena(g.count, g.length, 42 + g.count);
+      const TimeSeries query = MakeQuery(g.length, 7);
+
+      uint64_t ref_candidates = 0;
+      const std::vector<Neighbor> expected =
+          ReferenceRank(arena, 0, g.count, query, g.k, &ref_candidates);
+
+      TopK topk(g.k);
+      uint64_t candidates = 0;
+      qscan::RankRange(arena, 0, g.count, query, &topk, &candidates);
+      const std::vector<Neighbor> actual = topk.Take();
+
+      EXPECT_EQ(candidates, ref_candidates)
+          << KernelBackendName(backend) << " count=" << g.count;
+      ASSERT_EQ(actual.size(), expected.size())
+          << KernelBackendName(backend) << " count=" << g.count;
+      for (size_t i = 0; i < actual.size(); ++i) {
+        EXPECT_EQ(actual[i].rid, expected[i].rid) << i;
+        EXPECT_EQ(actual[i].distance, expected[i].distance) << i;  // bitwise
+      }
+    }
+  }
+  SetKernelBackend(KernelBackend::kScalar);
+}
+
+TEST(ScanParityTest, SubrangesAndClampingMatch) {
+  const PartitionArena arena = MakeArena(200, 1024, 9);
+  const TimeSeries query = MakeQuery(1024, 11);
+  struct Range {
+    uint32_t start;
+    uint32_t len;
+  };
+  // Mid-arena slices, tile-straddling offsets, past-the-end clamps, empties.
+  const Range ranges[] = {{10, 50}, {31, 33}, {150, 100}, {200, 5}, {250, 4},
+                          {0, 0}};
+  for (const Range& r : ranges) {
+    uint64_t ref_candidates = 0;
+    const std::vector<Neighbor> expected =
+        ReferenceRank(arena, r.start, r.len, query, 4, &ref_candidates);
+    TopK topk(4);
+    uint64_t candidates = 0;
+    qscan::RankRange(arena, r.start, r.len, query, &topk, &candidates);
+    const std::vector<Neighbor> actual = topk.Take();
+    EXPECT_EQ(candidates, ref_candidates) << r.start << "+" << r.len;
+    ASSERT_EQ(actual.size(), expected.size()) << r.start << "+" << r.len;
+    for (size_t i = 0; i < actual.size(); ++i) {
+      EXPECT_EQ(actual[i].rid, expected[i].rid);
+      EXPECT_EQ(actual[i].distance, expected[i].distance);
+    }
+  }
+}
+
+TEST(ScanParityTest, ThresholdSeededScanStillMatches) {
+  // A pre-seeded (finite) threshold exercises the frozen-bound abandons from
+  // the very first tile.
+  const PartitionArena arena = MakeArena(120, 256, 21);
+  const TimeSeries query = MakeQuery(256, 23);
+  for (KernelBackend backend : AvailableBackends()) {
+    ASSERT_EQ(SetKernelBackend(backend), backend);
+    uint64_t ref_candidates = 0;
+    TopK ref_topk(3);
+    ref_topk.Offer(2.0, 1);  // tight seed: most candidates abandon
+    {
+      const uint32_t end = arena.num_records();
+      for (uint32_t i = 0; i < end; ++i) {
+        const double bound = ref_topk.Threshold();
+        const double bound_sq = std::isinf(bound) ? bound : bound * bound;
+        const double d_sq = SquaredEuclideanEarlyAbandon(
+            query.data(), arena.values(i), query.size(), bound_sq);
+        ++ref_candidates;
+        if (!std::isinf(d_sq)) ref_topk.Offer(std::sqrt(d_sq), arena.rid(i));
+      }
+    }
+    TopK topk(3);
+    topk.Offer(2.0, 1);
+    uint64_t candidates = 0;
+    qscan::RankRange(arena, 0, arena.num_records(), query, &topk, &candidates);
+    EXPECT_EQ(candidates, ref_candidates) << KernelBackendName(backend);
+    const std::vector<Neighbor> expected = ref_topk.Take();
+    const std::vector<Neighbor> actual = topk.Take();
+    ASSERT_EQ(actual.size(), expected.size()) << KernelBackendName(backend);
+    for (size_t i = 0; i < actual.size(); ++i) {
+      EXPECT_EQ(actual[i].rid, expected[i].rid);
+      EXPECT_EQ(actual[i].distance, expected[i].distance);
+    }
+  }
+  SetKernelBackend(KernelBackend::kScalar);
+}
+
+TEST(ScanParityTest, RankTileRecordsIsClampedAndSized) {
+  EXPECT_EQ(RankTileRecords(1), kRankTileMaxRecords);   // clamp high
+  EXPECT_EQ(RankTileRecords(64), 512u);                 // 128 KiB / 256 B
+  EXPECT_EQ(RankTileRecords(256), 128u);
+  EXPECT_EQ(RankTileRecords(1024), 32u);
+  EXPECT_EQ(RankTileRecords(1 << 20), 16u);             // clamp low
+  EXPECT_LE(RankTileRecords(0), kRankTileMaxRecords);   // no div-by-zero
+}
+
+TEST(ScanParityTest, OfferTileSkipsAbandonedEntries) {
+  TopK topk(2);
+  const double d_sq[4] = {4.0, std::numeric_limits<double>::infinity(), 1.0,
+                          9.0};
+  const RecordId rids[4] = {10, 11, 12, 13};
+  topk.OfferTile(d_sq, rids, 4);
+  const std::vector<Neighbor> got = topk.Take();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].rid, 12u);
+  EXPECT_EQ(got[0].distance, 1.0);
+  EXPECT_EQ(got[1].rid, 10u);
+  EXPECT_EQ(got[1].distance, 2.0);
+}
+
+}  // namespace
+}  // namespace tardis

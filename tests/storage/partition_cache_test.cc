@@ -14,22 +14,21 @@
 namespace tardis {
 namespace {
 
-std::vector<Record> MakeRecords(uint64_t rid_base, size_t count,
-                                uint32_t length) {
+PartitionArena MakeArena(uint64_t rid_base, size_t count, uint32_t length) {
   std::vector<Record> records(count);
   for (size_t i = 0; i < count; ++i) {
     records[i].rid = rid_base + i;
     records[i].values.assign(length, static_cast<float>(rid_base + i));
   }
-  return records;
+  return PartitionArena::FromRecords(records, length);
 }
 
-// A loader returning `count` records and counting its invocations.
+// A loader returning a `count`-record arena and counting its invocations.
 PartitionCache::Loader CountingLoader(std::atomic<uint32_t>* calls,
                                       uint64_t rid_base, size_t count = 4) {
-  return [calls, rid_base, count]() -> Result<std::vector<Record>> {
+  return [calls, rid_base, count]() -> Result<PartitionArena> {
     calls->fetch_add(1);
-    return MakeRecords(rid_base, count, 8);
+    return MakeArena(rid_base, count, 8);
   };
 }
 
@@ -42,8 +41,8 @@ TEST(PartitionCacheTest, HitAfterMissReturnsSameObject) {
                        cache.GetOrLoad(3, CountingLoader(&calls, 30)));
   EXPECT_EQ(calls.load(), 1u);
   EXPECT_EQ(first.get(), second.get());
-  ASSERT_EQ(first->size(), 4u);
-  EXPECT_EQ((*first)[0].rid, 30u);
+  ASSERT_EQ(first->num_records(), 4u);
+  EXPECT_EQ(first->rid(0), 30u);
 
   const PartitionCacheStats stats = cache.Snapshot();
   EXPECT_EQ(stats.hits, 1u);
@@ -59,7 +58,7 @@ TEST(PartitionCacheTest, HitAfterMissReturnsSameObject) {
 TEST(PartitionCacheTest, BudgetEvictsLeastRecentlyUsed) {
   // Budget fits exactly two partitions; a single shard makes LRU order
   // deterministic.
-  const uint64_t one = PartitionCache::ChargedBytes(MakeRecords(0, 4, 8));
+  const uint64_t one = PartitionCache::ChargedBytes(MakeArena(0, 4, 8));
   PartitionCache cache(2 * one, /*num_shards=*/1);
   std::atomic<uint32_t> calls{0};
 
@@ -100,10 +99,10 @@ TEST(PartitionCacheTest, ZeroBudgetStillDeduplicatesButCachesNothing) {
 TEST(PartitionCacheTest, SingleFlightCoalescesConcurrentMisses) {
   PartitionCache cache(/*budget_bytes=*/1 << 20);
   std::atomic<uint32_t> calls{0};
-  auto slow_loader = [&calls]() -> Result<std::vector<Record>> {
+  auto slow_loader = [&calls]() -> Result<PartitionArena> {
     calls.fetch_add(1);
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
-    return MakeRecords(50, 16, 8);
+    return MakeArena(50, 16, 8);
   };
 
   constexpr size_t kThreads = 8;
@@ -120,7 +119,7 @@ TEST(PartitionCacheTest, SingleFlightCoalescesConcurrentMisses) {
   }
   pool.Wait();
 
-  // Exactly one disk read; everyone shares the same decoded vector.
+  // Exactly one disk read; everyone shares the same decoded arena.
   EXPECT_EQ(calls.load(), 1u);
   ASSERT_EQ(values.size(), kThreads);
   for (const auto& value : values) {
@@ -136,13 +135,13 @@ TEST(PartitionCacheTest, SingleFlightCoalescesConcurrentMisses) {
 TEST(PartitionCacheTest, LoaderErrorsAreNotCached) {
   PartitionCache cache(/*budget_bytes=*/1 << 20);
   std::atomic<uint32_t> calls{0};
-  auto flaky = [&calls]() -> Result<std::vector<Record>> {
+  auto flaky = [&calls]() -> Result<PartitionArena> {
     if (calls.fetch_add(1) == 0) return Status::IOError("transient");
-    return MakeRecords(90, 2, 8);
+    return MakeArena(90, 2, 8);
   };
   EXPECT_TRUE(cache.GetOrLoad(9, flaky).status().IsIOError());
   ASSERT_OK_AND_ASSIGN(PartitionCache::Value value, cache.GetOrLoad(9, flaky));
-  EXPECT_EQ(value->size(), 2u);
+  EXPECT_EQ(value->num_records(), 2u);
   EXPECT_EQ(calls.load(), 2u);
   EXPECT_EQ(cache.Snapshot().misses, 2u);
 }
@@ -176,7 +175,7 @@ TEST(PartitionCacheTest, ClearDropsAllShards) {
 TEST(PartitionCacheTest, PinnedEntrySurvivesBudgetPressure) {
   // Budget fits exactly two partitions; pinning 1 makes 2 the only legal
   // victim even though 1 is the colder entry.
-  const uint64_t one = PartitionCache::ChargedBytes(MakeRecords(0, 4, 8));
+  const uint64_t one = PartitionCache::ChargedBytes(MakeArena(0, 4, 8));
   PartitionCache cache(2 * one, /*num_shards=*/1);
   std::atomic<uint32_t> calls{0};
 
@@ -203,7 +202,7 @@ TEST(PartitionCacheTest, PinnedEntrySurvivesBudgetPressure) {
 }
 
 TEST(PartitionCacheTest, PinIsRefCountedAndSurvivesWhenAllPinned) {
-  const uint64_t one = PartitionCache::ChargedBytes(MakeRecords(0, 4, 8));
+  const uint64_t one = PartitionCache::ChargedBytes(MakeArena(0, 4, 8));
   PartitionCache cache(one, /*num_shards=*/1);  // budget fits a single entry
   std::atomic<uint32_t> calls{0};
 
@@ -302,7 +301,7 @@ TEST(PartitionCacheTest, TinyBudgetStillRetainsMostRecentEntryPerShard) {
 TEST(PartitionCacheTest, OversizedEntryIsServedNotThrashed) {
   // One entry larger than the whole (positive) budget stays resident until
   // something displaces it, instead of being insert-then-evicted.
-  const uint64_t one = PartitionCache::ChargedBytes(MakeRecords(0, 4, 8));
+  const uint64_t one = PartitionCache::ChargedBytes(MakeArena(0, 4, 8));
   PartitionCache cache(one / 2, /*num_shards=*/1);
   std::atomic<uint32_t> calls{0};
   ASSERT_OK(cache.GetOrLoad(1, CountingLoader(&calls, 10)).status());
@@ -335,11 +334,32 @@ TEST(PartitionCacheTest, ScopedPinUnpinsOnDestruction) {
 }
 
 TEST(PartitionCacheTest, ChargedBytesScalesWithPayload) {
-  const uint64_t small = PartitionCache::ChargedBytes(MakeRecords(0, 2, 8));
-  const uint64_t large = PartitionCache::ChargedBytes(MakeRecords(0, 20, 8));
+  const uint64_t small = PartitionCache::ChargedBytes(MakeArena(0, 2, 8));
+  const uint64_t large = PartitionCache::ChargedBytes(MakeArena(0, 20, 8));
   EXPECT_GT(large, small);
-  const uint64_t longer = PartitionCache::ChargedBytes(MakeRecords(0, 2, 256));
+  const uint64_t longer = PartitionCache::ChargedBytes(MakeArena(0, 2, 256));
   EXPECT_GT(longer, small);
+}
+
+TEST(PartitionCacheTest, ChargedBytesEqualsArenaFootprint) {
+  // Regression: the AoS predecessor charged only the encoded payload size,
+  // ignoring per-record heap-block overhead. The arena charge must equal the
+  // exact allocation (plane + rids + struct) so the budget is honest.
+  for (const auto& [count, length] : std::initializer_list<
+           std::pair<size_t, uint32_t>>{{0, 8}, {4, 8}, {3, 7}, {100, 256}}) {
+    const PartitionArena arena = MakeArena(0, count, length);
+    EXPECT_EQ(PartitionCache::ChargedBytes(arena),
+              sizeof(PartitionArena) + arena.AllocatedBytes());
+    EXPECT_EQ(arena.FootprintBytes(),
+              sizeof(PartitionArena) + arena.AllocatedBytes());
+    if (count > 0) {
+      // The allocation covers at least the values plane and the rid array.
+      EXPECT_GE(arena.AllocatedBytes(),
+                count * length * sizeof(float) + count * sizeof(RecordId));
+    } else {
+      EXPECT_EQ(arena.AllocatedBytes(), 0u);
+    }
+  }
 }
 
 }  // namespace

@@ -63,6 +63,11 @@ bool HaveAvx2() {
   return SetKernelBackend(KernelBackend::kAvx2) == KernelBackend::kAvx2;
 }
 
+bool HaveAvx512() {
+  BackendGuard guard;
+  return SetKernelBackend(KernelBackend::kAvx512) == KernelBackend::kAvx512;
+}
+
 TEST(KernelsTest, SetKernelBackendReportsInstalledBackend) {
   BackendGuard guard;
   EXPECT_EQ(SetKernelBackend(KernelBackend::kScalar), KernelBackend::kScalar);
@@ -73,6 +78,11 @@ TEST(KernelsTest, SetKernelBackendReportsInstalledBackend) {
   EXPECT_EQ(ActiveKernelBackend(), got);
   EXPECT_STREQ(KernelBackendName(KernelBackend::kScalar), "scalar");
   EXPECT_STREQ(KernelBackendName(KernelBackend::kAvx2), "avx2");
+  EXPECT_STREQ(KernelBackendName(KernelBackend::kAvx512), "avx512");
+  // Requesting AVX-512 installs it only with CPU support; either way the
+  // returned value names what actually runs.
+  const KernelBackend wide = SetKernelBackend(KernelBackend::kAvx512);
+  EXPECT_EQ(ActiveKernelBackend(), wide);
 }
 
 TEST(KernelsTest, BackendsMatchReferenceAcrossLengths) {
@@ -93,14 +103,20 @@ TEST(KernelsTest, BackendsMatchReferenceAcrossLengths) {
       // Different association order, so near-equality only.
       EXPECT_NEAR(simd, scalar, 1e-9 * (1.0 + scalar)) << "n=" << n;
     }
+
+    if (SetKernelBackend(KernelBackend::kAvx512) == KernelBackend::kAvx512) {
+      const double wide = SquaredEuclidean(a.data(), b.data(), n);
+      EXPECT_NEAR(wide, ref, 1e-9 * (1.0 + ref)) << "avx512 n=" << n;
+      EXPECT_NEAR(wide, scalar, 1e-9 * (1.0 + scalar)) << "n=" << n;
+    }
   }
 }
 
 TEST(KernelsTest, EarlyAbandonBitIdenticalWhenNotAbandoning) {
   BackendGuard guard;
   std::mt19937 rng(977);
-  for (KernelBackend backend :
-       {KernelBackend::kScalar, KernelBackend::kAvx2}) {
+  for (KernelBackend backend : {KernelBackend::kScalar, KernelBackend::kAvx2,
+                                KernelBackend::kAvx512}) {
     if (SetKernelBackend(backend) != backend) continue;
     for (size_t n : kLengths) {
       const std::vector<float> a = RandomSeries(&rng, n);
@@ -122,8 +138,8 @@ TEST(KernelsTest, EarlyAbandonBitIdenticalWhenNotAbandoning) {
 TEST(KernelsTest, EarlyAbandonReturnsInfinityBeyondBound) {
   BackendGuard guard;
   std::mt19937 rng(31);
-  for (KernelBackend backend :
-       {KernelBackend::kScalar, KernelBackend::kAvx2}) {
+  for (KernelBackend backend : {KernelBackend::kScalar, KernelBackend::kAvx2,
+                                KernelBackend::kAvx512}) {
     if (SetKernelBackend(backend) != backend) continue;
     for (size_t n : kLengths) {
       if (n == 0) continue;
@@ -155,8 +171,8 @@ TEST(KernelsTest, EarlyAbandonNeverChangesTopK) {
   std::vector<std::vector<float>> pool(kCandidates);
   for (auto& c : pool) c = RandomSeries(&rng, kN);
 
-  for (KernelBackend backend :
-       {KernelBackend::kScalar, KernelBackend::kAvx2}) {
+  for (KernelBackend backend : {KernelBackend::kScalar, KernelBackend::kAvx2,
+                                KernelBackend::kAvx512}) {
     if (SetKernelBackend(backend) != backend) continue;
 
     std::vector<double> full(kCandidates);
@@ -189,8 +205,8 @@ TEST(KernelsTest, EarlyAbandonNeverChangesTopK) {
 
 TEST(KernelsTest, NanPropagatesThroughBothKernels) {
   BackendGuard guard;
-  for (KernelBackend backend :
-       {KernelBackend::kScalar, KernelBackend::kAvx2}) {
+  for (KernelBackend backend : {KernelBackend::kScalar, KernelBackend::kAvx2,
+                                KernelBackend::kAvx512}) {
     if (SetKernelBackend(backend) != backend) continue;
     for (size_t n : {size_t{5}, size_t{40}, size_t{130}}) {
       std::vector<float> a(n, 1.0f);
@@ -209,8 +225,8 @@ TEST(KernelsTest, NanPropagatesThroughBothKernels) {
 
 TEST(KernelsTest, InfiniteInputYieldsInfiniteDistance) {
   BackendGuard guard;
-  for (KernelBackend backend :
-       {KernelBackend::kScalar, KernelBackend::kAvx2}) {
+  for (KernelBackend backend : {KernelBackend::kScalar, KernelBackend::kAvx2,
+                                KernelBackend::kAvx512}) {
     if (SetKernelBackend(backend) != backend) continue;
     for (size_t n : {size_t{5}, size_t{40}, size_t{130}}) {
       std::vector<float> a(n, 0.0f);
@@ -309,6 +325,71 @@ TEST(KernelsTest, MindistPaaToBoxMatchesBranchingReference) {
 TEST(KernelsTest, AvxBackendAvailabilityIsStable) {
   // Two probes must agree: dispatch is a pure function of the CPU.
   EXPECT_EQ(HaveAvx2(), HaveAvx2());
+  EXPECT_EQ(HaveAvx512(), HaveAvx512());
+  // AVX-512 implies AVX2+FMA on every CPU we dispatch for.
+  if (HaveAvx512()) {
+    EXPECT_TRUE(HaveAvx2());
+  }
+}
+
+TEST(KernelsTest, EuclideanBatchBitIdenticalToSinglePairKernel) {
+  // The batch kernel is the per-pair early-abandon kernel plus prefetch:
+  // out[i] must equal the single-pair call exactly, per backend, for both
+  // abandoning and non-abandoning rows.
+  BackendGuard guard;
+  std::mt19937 rng(8675);
+  for (KernelBackend backend : {KernelBackend::kScalar, KernelBackend::kAvx2,
+                                KernelBackend::kAvx512}) {
+    if (SetKernelBackend(backend) != backend) continue;
+    for (size_t n : kLengths) {
+      constexpr size_t kCount = 37;
+      const std::vector<float> query = RandomSeries(&rng, n);
+      // Contiguous rows with stride == n, like an arena plane.
+      std::vector<float> base = RandomSeries(&rng, kCount * n);
+
+      for (double bound_sq : {kInf, 0.5 * n + 1e-6, 0.0}) {
+        double batch[kCount];
+        EuclideanBatch(query.data(), base.data(), n, kCount, n, bound_sq,
+                       batch);
+        for (size_t i = 0; i < kCount; ++i) {
+          const double single = SquaredEuclideanEarlyAbandon(
+              query.data(), base.data() + i * n, n, bound_sq);
+          if (std::isnan(single)) {
+            EXPECT_TRUE(std::isnan(batch[i]))
+                << KernelBackendName(backend) << " n=" << n << " i=" << i;
+          } else {
+            EXPECT_EQ(batch[i], single)
+                << KernelBackendName(backend) << " n=" << n << " i=" << i
+                << " bound=" << bound_sq;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, EuclideanBatchHandlesWideStrides) {
+  // Stride larger than the series length (padded layouts): the kernel must
+  // only read the first n floats of each row.
+  BackendGuard guard;
+  std::mt19937 rng(991);
+  constexpr size_t kN = 33;
+  constexpr size_t kStride = 48;
+  constexpr size_t kCount = 9;
+  const std::vector<float> query = RandomSeries(&rng, kN);
+  std::vector<float> base(kCount * kStride,
+                          std::numeric_limits<float>::quiet_NaN());
+  for (size_t i = 0; i < kCount; ++i) {
+    const std::vector<float> row = RandomSeries(&rng, kN);
+    std::copy(row.begin(), row.end(), base.begin() + i * kStride);
+  }
+  double batch[kCount];
+  EuclideanBatch(query.data(), base.data(), kStride, kCount, kN, kInf, batch);
+  for (size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(batch[i], SquaredEuclidean(query.data(),
+                                         base.data() + i * kStride, kN))
+        << "i=" << i;
+  }
 }
 
 }  // namespace

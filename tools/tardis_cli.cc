@@ -17,6 +17,11 @@
 // overrides the persisted budget for that invocation. --spill-mb sets the
 // streaming shuffle's per-worker spill threshold.
 //
+// Query commands (exact/knn/range) also accept --arena-stats: after the
+// query ran, print the partition cache's resident columnar arenas (count and
+// exact charged bytes) plus the scan-path geometry (SoA stride, ranking tile
+// size, active kernel backend). See docs/TUNING.md.
+//
 // Every subcommand also accepts the observability flags:
 //   --metrics-json PATH   enable telemetry and write a JSON snapshot of all
 //                         counters, gauges, histograms, and spans on exit
@@ -64,6 +69,7 @@
 #include "core/index_stats.h"
 #include "core/query_engine.h"
 #include "core/tardis_index.h"
+#include "core/topk.h"
 #include "ts/kernels.h"
 #include "workload/datasets.h"
 
@@ -83,7 +89,7 @@ class Flags {
         return;
       }
       key = key.substr(2);
-      if (key == "no-bloom") {
+      if (key == "no-bloom" || key == "arena-stats") {
         values_[key] = "1";
         continue;
       }
@@ -323,6 +329,28 @@ void PrintBatchStats(const QueryEngineStats& stats, double wall_ms) {
   }
 }
 
+// --arena-stats: partition-cache residency (decoded columnar arenas) and the
+// scan-path geometry the queries just ran with.
+void MaybePrintArenaStats(const Flags& flags, const TardisIndex& index) {
+  if (!flags.Has("arena-stats")) return;
+  const PartitionCacheStats cs = index.CacheStats();
+  const uint32_t len = index.series_length();
+  std::printf("arena stats: %llu resident arena(s), %.2f MiB charged, "
+              "%llu pinned — %llu hits / %llu misses / %llu coalesced / "
+              "%llu evictions\n",
+              static_cast<unsigned long long>(cs.resident_partitions),
+              static_cast<double>(cs.resident_bytes) / (1 << 20),
+              static_cast<unsigned long long>(cs.pinned_partitions),
+              static_cast<unsigned long long>(cs.hits),
+              static_cast<unsigned long long>(cs.misses),
+              static_cast<unsigned long long>(cs.coalesced),
+              static_cast<unsigned long long>(cs.evictions));
+  std::printf("  layout: SoA values plane (64B-aligned, stride %u floats), "
+              "%zu-record ranking tiles, kernels=%s\n",
+              len, RankTileRecords(len),
+              KernelBackendName(ActiveKernelBackend()));
+}
+
 // Single-query counterpart: warns when kNN/range skipped failed partitions.
 void PrintQueryCoverage(const KnnStats& stats) {
   if (!stats.results_complete) {
@@ -364,6 +392,7 @@ int CmdExact(const Flags& flags) {
                 results->size(), hits, with_hits, with_hits == 1 ? "y" : "ies",
                 static_cast<unsigned long long>(qstats.bloom_negatives));
     PrintBatchStats(qstats, sw.ElapsedMillis());
+    MaybePrintArenaStats(flags, *index);
     return 0;
   }
 
@@ -381,6 +410,7 @@ int CmdExact(const Flags& flags) {
   for (RecordId rid : *rids) {
     std::printf("  rid %llu\n", static_cast<unsigned long long>(rid));
   }
+  MaybePrintArenaStats(flags, *index);
   return 0;
 }
 
@@ -427,6 +457,7 @@ int CmdKnn(const Flags& flags) {
                 k, strategy.c_str(), KernelBackendName(ActiveKernelBackend()),
                 results->size(), neighbors);
     PrintBatchStats(qstats, sw.ElapsedMillis());
+    MaybePrintArenaStats(flags, *index);
     return 0;
   }
 
@@ -456,6 +487,7 @@ int CmdKnn(const Flags& flags) {
     std::printf("  rid %-10llu dist %.6f\n",
                 static_cast<unsigned long long>(nb.rid), nb.distance);
   }
+  MaybePrintArenaStats(flags, *index);
   return 0;
 }
 
@@ -486,6 +518,7 @@ int CmdRange(const Flags& flags) {
     std::printf("batched range(r=%.3f): %zu queries, %zu record(s)\n", radius,
                 results->size(), matches);
     PrintBatchStats(qstats, sw.ElapsedMillis());
+    MaybePrintArenaStats(flags, *index);
     return 0;
   }
 
@@ -506,6 +539,7 @@ int CmdRange(const Flags& flags) {
     std::printf("  rid %-10llu dist %.6f\n",
                 static_cast<unsigned long long>(nb.rid), nb.distance);
   }
+  MaybePrintArenaStats(flags, *index);
   return 0;
 }
 
