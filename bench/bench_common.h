@@ -21,16 +21,21 @@
 #ifndef TARDIS_BENCH_BENCH_COMMON_H_
 #define TARDIS_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
+#include <numeric>
 #include <string>
 #include <vector>
 
 #include "baseline/dpisax.h"
+#include "common/rng.h"
 #include "core/tardis_index.h"
 #include "storage/block_store.h"
+#include "ts/znorm.h"
 #include "workload/datasets.h"
 
 namespace tardis {
@@ -181,6 +186,68 @@ inline DPiSaxConfig DefaultBaselineConfig() {
   config.l_max_size = kLMaxSize;
   config.sampling_percent = 10.0;
   return config;
+}
+
+// Skewed kNN workload: query source records are drawn Zipfian by rank
+// (P(r) proportional to 1/(r+1)^s) and ranks are mapped to record ids
+// through a seed-derived permutation, so the hot set is a stable but
+// arbitrary subset of the data — the partitions holding it become the
+// benchmark's hot partitions. Noise + re-normalisation mirror
+// MakeKnnQueries so the queries live in the indexed space. Deterministic
+// for a given (dataset, count, s, seed).
+inline std::vector<TimeSeries> MakeSkewedKnnQueries(const Dataset& dataset,
+                                                    uint32_t count, double s,
+                                                    double noise,
+                                                    uint64_t seed) {
+  const size_t n = dataset.size();
+  // Cumulative Zipf weights over ranks (inverse-CDF sampling). Capping the
+  // rank universe keeps setup O(min(n, 64k)) without changing the head of
+  // the distribution that drives the skew.
+  const size_t ranks = std::min<size_t>(n, 1 << 16);
+  std::vector<double> cum(ranks);
+  double total = 0.0;
+  for (size_t r = 0; r < ranks; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cum[r] = total;
+  }
+  // Seed-derived permutation: rank -> record id (Fisher-Yates over the
+  // first `ranks` slots of the identity).
+  std::vector<RecordId> perm(n);
+  std::iota(perm.begin(), perm.end(), RecordId{0});
+  Rng perm_rng(seed ^ 0x5eedULL);
+  for (size_t i = 0; i < ranks; ++i) {
+    const size_t j = i + perm_rng.NextBounded(n - i);
+    std::swap(perm[i], perm[j]);
+  }
+  std::vector<TimeSeries> queries;
+  queries.reserve(count);
+  Rng rng(seed);
+  for (uint32_t i = 0; i < count; ++i) {
+    const double u = rng.NextDouble() * total;
+    const size_t rank = static_cast<size_t>(
+        std::lower_bound(cum.begin(), cum.end(), u) - cum.begin());
+    TimeSeries query = dataset[perm[std::min(rank, ranks - 1)]];
+    if (noise > 0.0) {
+      for (float& v : query) {
+        v += static_cast<float>(rng.NextGaussian() * noise);
+      }
+      ZNormalize(&query);
+    }
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+// Nearest-rank-with-interpolation percentile of an unsorted sample;
+// q in [0, 1]. Sorts a copy.
+inline double Percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
 }
 
 inline void PrintHeader(const char* figure, const char* description) {

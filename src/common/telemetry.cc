@@ -36,11 +36,25 @@ std::chrono::steady_clock::time_point TraceEpoch() {
 
 thread_local uint32_t t_depth = 0;
 
+// Renders a quantile estimate as a compact JSON number (no trailing zeros,
+// so the exporter output stays stable and human-readable).
+void AppendCompactDouble(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out->append(buf);
+}
+
 void AppendHistogramJson(std::string* out, const Histogram& h) {
   out->append("{\"count\": ");
   out->append(std::to_string(h.Count()));
   out->append(", \"sum\": ");
   out->append(std::to_string(h.Sum()));
+  out->append(", \"p50\": ");
+  AppendCompactDouble(out, h.ValueAtQuantile(0.5));
+  out->append(", \"p99\": ");
+  AppendCompactDouble(out, h.ValueAtQuantile(0.99));
+  out->append(", \"p999\": ");
+  AppendCompactDouble(out, h.ValueAtQuantile(0.999));
   out->append(", \"buckets\": [");
   bool first = true;
   for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
@@ -83,6 +97,41 @@ Status WriteStringToFile(const std::string& path, const std::string& body) {
 }
 
 }  // namespace
+
+double Histogram::ValueAtQuantile(double q) const {
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t counts[kNumBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = BucketCount(i);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  // 1-based rank of the requested quantile within the observed samples.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
+  if (static_cast<double>(rank) < q * static_cast<double>(total)) ++rank;
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    if (seen + counts[i] >= rank) {
+      const double lo = static_cast<double>(BucketLowerBound(i));
+      // Bucket 0 holds exactly the value 0; the last bucket is unbounded, so
+      // cap the interpolation at twice its lower edge.
+      const double hi = i == 0 ? 0.0
+                       : i == kNumBuckets - 1
+                           ? lo * 2.0
+                           : static_cast<double>(BucketLowerBound(i + 1));
+      const double frac =
+          static_cast<double>(rank - seen) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * frac;
+    }
+    seen += counts[i];
+  }
+  return static_cast<double>(BucketLowerBound(kNumBuckets - 1)) * 2.0;
+}
 
 bool Enabled() {
   return GlobalSwitches().metrics.load(std::memory_order_relaxed);

@@ -146,6 +146,12 @@ class Histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
 
+  // Estimated value at quantile `q` in [0, 1] (0.5 = median, 0.99 = p99),
+  // linearly interpolated within the containing pow2 bucket. Returns 0 for an
+  // empty histogram. The snapshot is not atomic against concurrent Observe
+  // calls — like Count(), the result is approximate under writes.
+  double ValueAtQuantile(double q) const;
+
  private:
   std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
   std::atomic<uint64_t> sum_{0};

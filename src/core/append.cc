@@ -10,6 +10,7 @@
 
 #include <unordered_map>
 
+#include "common/serde.h"
 #include "core/tardis_index.h"
 #include "ts/paa.h"
 
@@ -63,6 +64,19 @@ Result<std::vector<RecordId>> TardisIndex::Append(const Dataset& batch) {
         LocalIndex local,
         LocalIndex::Build(std::move(records), codec(), config_, &clustered));
     TARDIS_RETURN_NOT_OK(partitions_->WritePartition(pid, clustered));
+    if (pivots_ != nullptr) {
+      // The pivot set is fixed at build time; only the per-record distance
+      // sidecar is refreshed, in the new clustered (tree) order.
+      std::string pivot_bytes;
+      PutFixed<uint32_t>(&pivot_bytes, pivots_->num_pivots());
+      PutFixed<uint32_t>(&pivot_bytes, static_cast<uint32_t>(clustered.size()));
+      std::vector<float> row(pivots_->num_pivots());
+      for (const Record& rec : clustered) {
+        pivots_->ComputeDistancesF32(rec.values.data(), row.data());
+        for (float v : row) PutFixed<float>(&pivot_bytes, v);
+      }
+      TARDIS_RETURN_NOT_OK(partitions_->WriteSidecar(pid, "pivotd", pivot_bytes));
+    }
     std::string tree_bytes;
     local.EncodeTreeTo(&tree_bytes);
     TARDIS_RETURN_NOT_OK(partitions_->WriteSidecar(pid, "ltree", tree_bytes));

@@ -69,6 +69,8 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
   std::vector<double> paa;
   std::string sig;
   TARDIS_RETURN_NOT_OK(PrepareQuery(query, &normalized, &paa, &sig));
+  const PivotQuery pq = MakePivotQuery(normalized);
+  uint64_t pivot_pruned = 0;
   timer.Lap("prepare");
 
   // (2) Tardis-G identifies the home partition; (3) load it. A home that
@@ -124,6 +126,7 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
     }
     if (stats == nullptr) return;
     stats->candidates = candidates;
+    stats->pivot_pruned = pivot_pruned;
     stats->target_node_level = target_level;
     stats->partitions_loaded = loaded;
     stats->partitions_requested = requested;
@@ -141,7 +144,7 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
     target_start = target->range_start;
     target_len = target->range_len;
     qscan::RankRange(*home_loaded, target_start, target_len, normalized,
-                     &topk, &candidates);
+                     &topk, &candidates, &pq, &pivot_pruned);
   }
 
   if (strategy == KnnStrategy::kTargetNode) {
@@ -165,7 +168,7 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
       // exclusion range keeps each record's candidate count at one.
       qscan::PrunedScan(home_local->tree(), *home_loaded, mind, normalized,
                         threshold, &wide, &candidates, target_start,
-                        target_len);
+                        target_len, &pq, &pivot_pruned);
     }
     timer.Lap("scan");
     fill_stats(candidates);
@@ -183,12 +186,14 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
   std::mutex mu;
   TopK merged(k);
   uint64_t total_candidates = candidates;
+  uint64_t total_pivot_pruned = pivot_pruned;
   Status first_error;
   timer.Skip();  // sibling load + scan time is recorded inside the tasks
   cluster_->pool().ParallelFor(pids.size(), [&](size_t i) {
     const PartitionId pid = pids[i];
     TopK part_topk(k);
     uint64_t part_candidates = 0;
+    uint64_t part_pruned = 0;
     qtel::PhaseTimer part_timer("knn");
     if (pid == home) {
       if (!home_local.has_value()) return;  // already counted as failed
@@ -197,7 +202,7 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
       // The target slice was counted by the seed pass; see kOnePartition.
       qscan::PrunedScan(home_local->tree(), *home_loaded, mind, normalized,
                         threshold, &part_topk, &part_candidates, target_start,
-                        target_len);
+                        target_len, &pq, &part_pruned);
       part_timer.Lap("scan");
     } else {
       auto handle_load_error = [&](const Status& st) {
@@ -221,17 +226,19 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
       part_timer.Lap("load");
       local->tree().EnsureWords();
       qscan::PrunedScan(local->tree(), **records, mind, normalized, threshold,
-                        &part_topk, &part_candidates);
+                        &part_topk, &part_candidates, 0, 0, &pq, &part_pruned);
       part_timer.Lap("scan");
     }
     auto part = part_topk.Take();
     std::lock_guard<std::mutex> lock(mu);
     for (const Neighbor& nb : part) merged.Offer(nb.distance, nb.rid);
     total_candidates += part_candidates;
+    total_pivot_pruned += part_pruned;
     if (pid != home) ++loaded;
   });
   TARDIS_RETURN_NOT_OK(first_error);
   timer.Lap("merge");
+  pivot_pruned = total_pivot_pruned;
   fill_stats(total_candidates);
   return merged.Take();
 }

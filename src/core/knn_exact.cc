@@ -36,6 +36,8 @@ Result<std::vector<Neighbor>> TardisIndex::KnnExact(const TimeSeries& query,
   std::vector<double> paa;
   std::string sig;
   TARDIS_RETURN_NOT_OK(PrepareQuery(query, &normalized, &paa, &sig));
+  const PivotQuery pq = MakePivotQuery(normalized);
+  uint64_t pivot_pruned = 0;
 
   // Order partitions by their region lower bound.
   std::vector<double> bounds(num_partitions());
@@ -62,7 +64,7 @@ Result<std::vector<Neighbor>> TardisIndex::KnnExact(const TimeSeries& query,
     timer.Lap("load");
     local.tree().EnsureWords();
     qscan::ExactScan(local.tree(), *records, mind, normalized, &topk,
-                     &candidates);
+                     &candidates, &pq, &pivot_pruned);
     timer.Lap("scan");
     ++loaded;
   }
@@ -77,6 +79,7 @@ Result<std::vector<Neighbor>> TardisIndex::KnnExact(const TimeSeries& query,
   if (stats) {
     stats->partitions_loaded = loaded;
     stats->candidates = candidates;
+    stats->pivot_pruned = pivot_pruned;
     stats->target_node_level = 0;
   }
   return topk.Take();

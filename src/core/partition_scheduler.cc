@@ -1,0 +1,136 @@
+#include "core/partition_scheduler.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+
+#include "common/stopwatch.h"
+
+namespace tardis {
+
+namespace {
+double AlphaFromEnv() {
+  const char* env = std::getenv("TARDIS_SCHED_EWMA");
+  if (env == nullptr) return PartitionScheduler::kDefaultAlpha;
+  char* end = nullptr;
+  const double alpha = std::strtod(env, &end);
+  if (end == env || !(alpha > 0.0) || alpha > 1.0) {
+    return PartitionScheduler::kDefaultAlpha;
+  }
+  return alpha;
+}
+}  // namespace
+
+PartitionScheduler::PartitionScheduler() : alpha_(AlphaFromEnv()) {}
+
+double PartitionScheduler::EstimateCostUs(const PartitionTaskInfo& info) const {
+  double us_per_unit = kDefaultUsPerUnit;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = per_pid_.find(info.pid);
+    if (it != per_pid_.end() && it->second.seeded) {
+      us_per_unit = it->second.us_per_unit;
+    } else if (global_.seeded) {
+      us_per_unit = global_.us_per_unit;
+    }
+  }
+  double cost = us_per_unit * static_cast<double>(Units(info));
+  if (!info.resident) {
+    cost += kColdLoadUsPerByte * static_cast<double>(info.bytes);
+  }
+  return cost;
+}
+
+void PartitionScheduler::ObserveScan(PartitionId pid, uint64_t units,
+                                     double elapsed_us) {
+  if (units == 0) units = 1;
+  const double observed = elapsed_us / static_cast<double>(units);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto update = [this, observed](Ewma* e) {
+    if (!e->seeded) {
+      e->us_per_unit = observed;
+      e->seeded = true;
+    } else {
+      e->us_per_unit += alpha_ * (observed - e->us_per_unit);
+    }
+  };
+  update(&per_pid_[pid]);
+  update(&global_);
+}
+
+std::vector<size_t> PartitionScheduler::Plan(
+    const std::vector<PartitionTaskInfo>& tasks) const {
+  std::vector<size_t> order(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) order[i] = i;
+  std::vector<double> cost(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) cost[i] = EstimateCostUs(tasks[i]);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    // Resident tier strictly first: those tasks are pure compute, and
+    // dispatching them first both shrinks their cache-pin window and lets
+    // the cold loads overlap with the compute instead of preceding it.
+    if (tasks[a].resident != tasks[b].resident) return tasks[a].resident;
+    if (cost[a] != cost[b]) return cost[a] > cost[b];  // LPT within the tier
+    if (tasks[a].pid != tasks[b].pid) return tasks[a].pid < tasks[b].pid;
+    return a < b;
+  });
+  return order;
+}
+
+void PartitionScheduler::Run(const std::vector<PartitionTaskInfo>& tasks,
+                             ThreadPool* pool, size_t num_workers,
+                             const std::function<void(size_t)>& fn) {
+  if (tasks.empty()) return;
+  const std::vector<size_t> plan = Plan(tasks);
+  const size_t workers =
+      std::max<size_t>(1, std::min(num_workers, plan.size()));
+
+  // The planned order is dealt round-robin across per-worker deques, so
+  // every worker starts on a high-priority task and the plan's priority
+  // decays front-to-back within each queue.
+  std::deque<std::deque<size_t>> queues(workers);
+  for (size_t i = 0; i < plan.size(); ++i) {
+    queues[i % workers].push_back(plan[i]);
+  }
+  std::mutex qmu;
+  auto next_task = [&](size_t self, size_t* out) {
+    std::lock_guard<std::mutex> lock(qmu);
+    if (!queues[self].empty()) {
+      *out = queues[self].front();
+      queues[self].pop_front();
+      return true;
+    }
+    // Steal from the back of another queue — the victim's lowest-priority
+    // pending task, so the owner keeps its high-priority front.
+    for (size_t off = 1; off < workers; ++off) {
+      std::deque<size_t>& victim = queues[(self + off) % workers];
+      if (!victim.empty()) {
+        *out = victim.back();
+        victim.pop_back();
+        return true;
+      }
+    }
+    return false;  // all queues drained; tasks never spawn tasks
+  };
+
+  auto worker_loop = [&](size_t self) {
+    size_t idx = 0;
+    while (next_task(self, &idx)) {
+      Stopwatch sw;
+      fn(idx);
+      ObserveScan(tasks[idx].pid, Units(tasks[idx]),
+                  sw.ElapsedSeconds() * 1e6);
+    }
+  };
+
+  if (workers == 1 || pool == nullptr) {
+    worker_loop(0);
+    return;
+  }
+  TaskGroup group(pool);
+  for (size_t w = 0; w < workers; ++w) {
+    group.Submit([&worker_loop, w] { worker_loop(w); });
+  }
+  group.Wait();
+}
+
+}  // namespace tardis

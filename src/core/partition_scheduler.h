@@ -1,0 +1,101 @@
+// PartitionScheduler: cost-model-driven dispatch of per-partition work
+// (DESIGN.md §10).
+//
+// The batched QueryEngine fans a phase's partition scans out over the
+// cluster pool. A plain ParallelFor visits partitions in manifest order and
+// splits them evenly across workers — so one oversized or cold partition
+// landing late in the order sets the phase's tail latency, and resident
+// partitions can sit behind cold loads. The scheduler replaces that with:
+//
+//   1. A cost model: per-partition scan cost is estimated from an EWMA of
+//      observed microseconds-per-unit (unit = record x work item), learned
+//      across queries and falling back to a global average, plus a constant
+//      per-byte charge for partitions that must be loaded from disk.
+//   2. A two-tier plan: cache-resident partitions are scheduled before cold
+//      ones — they are pure compute, so their pin window shrinks and the
+//      cold loads overlap with useful work instead of delaying it — and
+//      within each tier longest-estimated-first (LPT), ties broken by
+//      ascending partition id so the plan is fully deterministic.
+//   3. Work stealing: the planned order is dealt round-robin onto
+//      per-worker deques; a worker pops its own front and steals from the
+//      back of the busiest-ordered other queue when empty, so a mispredicted
+//      long task cannot strand work behind it.
+//
+// Scheduling only chooses *when* each task runs. Tasks write to disjoint
+// result slots and accumulate commutative sums, so results and stats are
+// bit-identical across worker counts and to the unscheduled path.
+
+#ifndef TARDIS_CORE_PARTITION_SCHEDULER_H_
+#define TARDIS_CORE_PARTITION_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "storage/record.h"
+
+namespace tardis {
+
+// One schedulable unit: a partition plus everything the cost model needs.
+struct PartitionTaskInfo {
+  PartitionId pid = 0;
+  uint64_t bytes = 0;       // on-disk/decoded size (cold-load cost driver)
+  uint64_t records = 0;     // records the scan will consider
+  uint32_t work_items = 1;  // queries scanning this partition this phase
+  bool resident = false;    // currently in the partition cache
+};
+
+class PartitionScheduler {
+ public:
+  // EWMA decay for ObserveScan. TARDIS_SCHED_EWMA overrides (in (0, 1]).
+  static constexpr double kDefaultAlpha = 0.3;
+  // Scan-cost prior before any observation, in us per record-work-item.
+  static constexpr double kDefaultUsPerUnit = 0.05;
+  // Extra cost charged to non-resident partitions: decode + page-in at
+  // roughly 0.5 GB/s.
+  static constexpr double kColdLoadUsPerByte = 0.002;
+
+  PartitionScheduler();
+
+  // The cost-model unit count of one task.
+  static uint64_t Units(const PartitionTaskInfo& info) {
+    const uint64_t units = info.records * info.work_items;
+    return units > 0 ? units : 1;
+  }
+
+  // Estimated cost of one task in microseconds under the current model.
+  double EstimateCostUs(const PartitionTaskInfo& info) const;
+
+  // Feeds one observed scan (`units` work in `elapsed_us`) into the
+  // per-partition and global EWMAs. Thread-safe.
+  void ObserveScan(PartitionId pid, uint64_t units, double elapsed_us);
+
+  // Deterministic execution plan: indices into `tasks`, resident tier first,
+  // each tier in descending EstimateCostUs (ties: ascending pid, then index).
+  std::vector<size_t> Plan(const std::vector<PartitionTaskInfo>& tasks) const;
+
+  // Executes fn(i) exactly once for every task, on up to `num_workers`
+  // workers of `pool`, in plan-priority order with work stealing. Each
+  // task's wall time is observed back into the cost model. `fn` must be
+  // safe to run concurrently for distinct tasks.
+  void Run(const std::vector<PartitionTaskInfo>& tasks, ThreadPool* pool,
+           size_t num_workers, const std::function<void(size_t)>& fn);
+
+ private:
+  struct Ewma {
+    double us_per_unit = 0.0;
+    bool seeded = false;
+  };
+
+  double alpha_;
+  mutable std::mutex mu_;
+  std::unordered_map<PartitionId, Ewma> per_pid_;
+  Ewma global_;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_CORE_PARTITION_SCHEDULER_H_

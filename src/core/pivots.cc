@@ -1,0 +1,94 @@
+#include "core/pivots.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/serde.h"
+
+namespace tardis {
+
+double PivotDistance(const float* a, const float* b, size_t n) {
+  // Plain left-to-right double accumulation: the order is part of the
+  // contract (see header) — do not "optimise" this into the dispatched
+  // kernels, which use backend-specific accumulator chains.
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+PivotSet PivotSet::Select(const std::vector<TimeSeries>& sample, uint32_t k,
+                          uint64_t seed) {
+  PivotSet set;
+  if (sample.empty() || k == 0) return set;
+  const uint32_t n = static_cast<uint32_t>(sample.size());
+  const uint32_t want = std::min(k, n);
+  set.series_length_ = static_cast<uint32_t>(sample[0].size());
+  set.data_.reserve(static_cast<size_t>(want) * set.series_length_);
+
+  // min_dist[i] = distance from sample[i] to its nearest chosen pivot.
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+  uint32_t next = static_cast<uint32_t>(seed % n);
+  for (uint32_t chosen = 0; chosen < want; ++chosen) {
+    const TimeSeries& pivot = sample[next];
+    set.data_.insert(set.data_.end(), pivot.begin(), pivot.end());
+    ++set.num_pivots_;
+    if (set.num_pivots_ == want) break;
+    uint32_t best = 0;
+    double best_dist = -1.0;
+    for (uint32_t i = 0; i < n; ++i) {
+      const double d =
+          PivotDistance(sample[i].data(), pivot.data(), set.series_length_);
+      if (d < min_dist[i]) min_dist[i] = d;
+      if (min_dist[i] > best_dist) {  // strict: ties keep the lowest index
+        best_dist = min_dist[i];
+        best = i;
+      }
+    }
+    next = best;
+  }
+  return set;
+}
+
+void PivotSet::ComputeDistances(const float* series, double* out) const {
+  for (uint32_t p = 0; p < num_pivots_; ++p) {
+    out[p] = PivotDistance(series, pivot(p), series_length_);
+  }
+}
+
+void PivotSet::ComputeDistancesF32(const float* series, float* out) const {
+  for (uint32_t p = 0; p < num_pivots_; ++p) {
+    out[p] = static_cast<float>(PivotDistance(series, pivot(p), series_length_));
+  }
+}
+
+void PivotSet::EncodeTo(std::string* out) const {
+  PutFixed<uint32_t>(out, num_pivots_);
+  PutFixed<uint32_t>(out, series_length_);
+  for (float v : data_) PutFixed<float>(out, v);
+}
+
+Result<PivotSet> PivotSet::Decode(std::string_view bytes) {
+  SliceReader reader(bytes);
+  PivotSet set;
+  if (!reader.GetFixed(&set.num_pivots_) ||
+      !reader.GetFixed(&set.series_length_)) {
+    return Status::Corruption("truncated pivot set header");
+  }
+  const uint64_t total =
+      static_cast<uint64_t>(set.num_pivots_) * set.series_length_;
+  if (total > (1ull << 28)) {
+    return Status::Corruption("pivot set implausibly large");
+  }
+  set.data_.resize(total);
+  for (float& v : set.data_) {
+    if (!reader.GetFixed(&v)) {
+      return Status::Corruption("truncated pivot set data");
+    }
+  }
+  return set;
+}
+
+}  // namespace tardis

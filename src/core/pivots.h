@@ -1,0 +1,143 @@
+// Pivot-based lower bounds for the distance scan (CLIMBER++-style, layered
+// on top of the iSAX-T mindist pruning; DESIGN.md §10).
+//
+// At build time k pivot series are chosen by max-min (farthest-first)
+// selection over a deterministic sample of the dataset, and every indexed
+// record stores its Euclidean distance to each pivot in a CRC-framed
+// "pivotd" sidecar next to the partition file. At query time the engine
+// computes the query's distance to the same pivots once, and each candidate
+// record x can then be lower-bounded without touching its values:
+//
+//   ED(q, x) >= | ED(q, p) - ED(x, p) |       (triangle inequality)
+//
+// A candidate whose best pivot bound already exceeds the current pruning
+// threshold is skipped before the distance kernel runs. The bound is only
+// applied after subtracting a numerical slack covering the float storage of
+// the per-record distances and the accumulation error of the distance sums,
+// so a skip implies ED(q, x) > threshold *mathematically* — exactly the
+// candidates the early-abandoning kernel would have discarded anyway. That
+// makes pivot pruning loosening-only: results are bit-identical with pruning
+// on or off (see query_scan.h).
+//
+// All pivot distances (build side and query side) go through the plain
+// scalar PivotDistance below rather than the dispatched SIMD kernels, so the
+// stored sidecar values and the query-side values are backend-independent:
+// scalar and SIMD runs make identical skip decisions and report identical
+// candidate counts.
+
+#ifndef TARDIS_CORE_PIVOTS_H_
+#define TARDIS_CORE_PIVOTS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "ts/time_series.h"
+
+namespace tardis {
+
+// Euclidean distance with a fixed scalar double accumulation order. Used for
+// every pivot distance so build- and query-side values agree bit-for-bit
+// regardless of the active kernel backend.
+double PivotDistance(const float* a, const float* b, size_t n);
+
+// An immutable set of k pivot series of a common length.
+class PivotSet {
+ public:
+  // Relative / absolute slack subtracted from every pivot lower bound before
+  // it is compared against a pruning threshold. The float storage of the
+  // per-record distances contributes at most ~6e-8 relative error and the
+  // scalar double accumulation ~n*2^-53; 1e-5 relative + 1e-6 absolute
+  // over-covers both by orders of magnitude while costing a vanishing amount
+  // of pruning power (distances are O(sqrt(2n))).
+  static constexpr double kSlackRel = 1e-5;
+  static constexpr double kSlackAbs = 1e-6;
+
+  PivotSet() = default;
+
+  // Max-min (farthest-first) selection of `k` pivots over `sample`: the
+  // first pivot is the sample point indexed by `seed`, each further pivot is
+  // the point maximising its distance to the already-chosen set (ties break
+  // to the lowest sample index, so selection is fully deterministic).
+  // Returns fewer than k pivots when the sample is smaller than k.
+  static PivotSet Select(const std::vector<TimeSeries>& sample, uint32_t k,
+                         uint64_t seed);
+
+  uint32_t num_pivots() const { return num_pivots_; }
+  uint32_t series_length() const { return series_length_; }
+  bool empty() const { return num_pivots_ == 0; }
+
+  const float* pivot(uint32_t i) const {
+    return data_.data() + static_cast<size_t>(i) * series_length_;
+  }
+
+  // Distances from `series` (of series_length() values) to every pivot, in
+  // pivot order, via PivotDistance.
+  void ComputeDistances(const float* series, double* out) const;
+  // Same, but narrowed to the float32 form stored in the "pivotd" sidecar.
+  void ComputeDistancesF32(const float* series, float* out) const;
+
+  // Serialization (index metadata): [u32 num_pivots][u32 series_length]
+  // [f32 data ...].
+  void EncodeTo(std::string* out) const;
+  static Result<PivotSet> Decode(std::string_view bytes);
+
+ private:
+  uint32_t num_pivots_ = 0;
+  uint32_t series_length_ = 0;
+  std::vector<float> data_;  // num_pivots_ rows of series_length_ floats
+};
+
+// Per-query pivot state: the query's distance to every pivot, precomputed
+// once. A default-constructed PivotQuery is inactive (prunes nothing), so
+// callers can pass one unconditionally.
+class PivotQuery {
+ public:
+  PivotQuery() = default;
+  PivotQuery(const PivotSet& pivots, const TimeSeries& normalized_query) {
+    dists_.resize(pivots.num_pivots());
+    pivots.ComputeDistances(normalized_query.data(), dists_.data());
+  }
+
+  bool active() const { return !dists_.empty(); }
+  uint32_t num_pivots() const { return static_cast<uint32_t>(dists_.size()); }
+  double dist(uint32_t p) const { return dists_[p]; }
+
+  // True when record `row` (its stored per-pivot distances, num_pivots()
+  // floats) is provably farther than `bound` from the query: some pivot p
+  // has |d(q,p) - d(x,p)| - slack > bound. A true verdict implies
+  // ED(q, x) > bound, so skipping the record cannot change results.
+  bool Prunes(const float* row, double bound) const {
+    for (size_t p = 0; p < dists_.size(); ++p) {
+      const double dq = dists_[p];
+      const double dx = static_cast<double>(row[p]);
+      const double slack = PivotSet::kSlackRel * (dq + dx) + PivotSet::kSlackAbs;
+      if (std::abs(dq - dx) - slack > bound) return true;
+    }
+    return false;
+  }
+
+  // The admissible lower bound itself (for tests): max over pivots of
+  // |d(q,p) - d(x,p)| - slack, floored at 0.
+  double LowerBound(const float* row) const {
+    double lb = 0.0;
+    for (size_t p = 0; p < dists_.size(); ++p) {
+      const double dq = dists_[p];
+      const double dx = static_cast<double>(row[p]);
+      const double slack = PivotSet::kSlackRel * (dq + dx) + PivotSet::kSlackAbs;
+      const double b = std::abs(dq - dx) - slack;
+      if (b > lb) lb = b;
+    }
+    return lb;
+  }
+
+ private:
+  std::vector<double> dists_;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_CORE_PIVOTS_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <map>
 #include <memory>
@@ -41,12 +43,51 @@ void PublishBatchStats(const char* path, const QueryEngineStats& acc) {
   const std::string prefix = std::string("tardis.query.") + path;
   reg.GetCounter(prefix + ".queries").Add(acc.queries);
   reg.GetCounter(prefix + ".candidates").Add(acc.candidates);
+  reg.GetCounter(prefix + ".pivot_pruned").Add(acc.pivot_pruned);
   reg.GetCounter(prefix + ".partitions_loaded").Add(acc.partitions_loaded);
   reg.GetCounter(prefix + ".partitions_failed").Add(acc.partitions_failed);
   reg.GetHistogram(prefix + ".wall_us").ObserveSeconds(acc.wall_seconds);
 }
 
+// TARDIS_SCHED=off turns adaptive partition scheduling off by default for
+// every engine in the process; SetSchedulingEnabled overrides per instance.
+bool SchedulingDefault() {
+  static const bool on = [] {
+    const char* env = std::getenv("TARDIS_SCHED");
+    return env == nullptr || std::strcmp(env, "off") != 0;
+  }();
+  return on;
+}
+
 }  // namespace
+
+QueryEngine::QueryEngine(const TardisIndex& index)
+    : index_(&index), sched_enabled_(SchedulingDefault()) {}
+
+void QueryEngine::RunPartitionPhase(
+    const std::vector<std::pair<PartitionId, uint32_t>>& parts,
+    const std::function<void(size_t)>& fn) const {
+  if (parts.empty()) return;
+  ThreadPool& pool = index_->cluster_->pool();
+  if (!sched_enabled_) {
+    pool.ParallelFor(parts.size(), fn);
+    return;
+  }
+  const PartitionCache* cache = index_->cache_.get();
+  const uint64_t rec_bytes = RecordEncodedSize(index_->series_length());
+  std::vector<PartitionTaskInfo> tasks(parts.size());
+  for (size_t i = 0; i < parts.size(); ++i) {
+    PartitionTaskInfo& t = tasks[i];
+    t.pid = parts[i].first;
+    t.records = t.pid < index_->partition_counts_.size()
+                    ? index_->partition_counts_[t.pid]
+                    : 0;
+    t.bytes = t.records * rec_bytes;
+    t.work_items = parts[i].second;
+    t.resident = cache != nullptr && cache->IsResident(t.pid);
+  }
+  sched_.Run(tasks, &pool, pool.num_threads(), fn);
+}
 
 Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
     const std::vector<TimeSeries>& queries, uint32_t k, KnnStrategy strategy,
@@ -69,6 +110,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
   // precompute its Mindist table when the strategy prunes. ---
   std::vector<Prepared> prep(nq);
   std::vector<std::unique_ptr<MindistTable>> tables(nq);
+  std::vector<PivotQuery> pqs(nq);
   const uint8_t table_bits = static_cast<uint8_t>(index_->codec().max_bits());
   // kMultiPartitions bookkeeping: per-query threshold, deterministic
   // partition list (shared with the single-query path), the home's position
@@ -91,6 +133,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
       tables[q] = std::make_unique<MindistTable>(prep[q].paa, table_bits,
                                                  prep[q].normalized.size());
     }
+    pqs[q] = index_->MakePivotQuery(prep[q].normalized);
     if (strategy == KnnStrategy::kMultiPartitions) {
       multi_pids[q] =
           index_->SelectMultiPartitions(prep[q].sig, prep[q].home);
@@ -116,6 +159,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
   std::mutex mu;
   Status first_error;
   std::atomic<uint64_t> candidates{0};
+  std::atomic<uint64_t> pivot_pruned{0};
   std::atomic<uint64_t> failed{0};
   // A partition task whose load fails after retries is skipped: the queries
   // assigned to it lose that partition's records (degraded coverage) but the
@@ -132,7 +176,12 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
   // --- Phase B: one task per distinct home partition; every query homed
   // there runs its target-node ranking (and, except for kMultiPartitions,
   // finishes) against the single load. ---
-  index_->cluster_->pool().ParallelFor(home_groups.size(), [&](size_t gi) {
+  std::vector<std::pair<PartitionId, uint32_t>> home_parts;
+  home_parts.reserve(home_groups.size());
+  for (const auto& [pid, qs] : home_groups) {
+    home_parts.emplace_back(pid, static_cast<uint32_t>(qs->size()));
+  }
+  RunPartitionPhase(home_parts, [&](size_t gi) {
     const PartitionId pid = home_groups[gi].first;
     const std::vector<size_t>& qs = *home_groups[gi].second;
     qtel::PhaseTimer task_timer("batch.knn");
@@ -153,6 +202,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
     }
     if (strategy != KnnStrategy::kTargetNode) local->tree().EnsureWords();
     uint64_t cand = 0;
+    uint64_t pruned = 0;
     task_timer.Skip();
     for (size_t q : qs) {
       const Prepared& p = prep[q];
@@ -160,7 +210,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
           qscan::FindTargetNode(local->tree(), p.sig, k);
       TopK topk(k);
       qscan::RankRange(**records, target->range_start, target->range_len,
-                       p.normalized, &topk, &cand);
+                       p.normalized, &topk, &cand, &pqs[q], &pruned);
       if (strategy == KnnStrategy::kTargetNode) {
         results[q] = topk.Take();
         continue;
@@ -173,7 +223,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
         // mirroring the single-query path bit for bit.
         qscan::PrunedScan(local->tree(), **records, *tables[q], p.normalized,
                           threshold, &wide, &cand, target->range_start,
-                          target->range_len);
+                          target->range_len, &pqs[q], &pruned);
         results[q] = wide.Take();
         continue;
       }
@@ -183,11 +233,12 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
       TopK part(k);
       qscan::PrunedScan(local->tree(), **records, *tables[q], p.normalized,
                         threshold, &part, &cand, target->range_start,
-                        target->range_len);
+                        target->range_len, &pqs[q], &pruned);
       partials[q][home_slot[q]] = part.Take();
     }
     task_timer.Lap("scan");
     candidates.fetch_add(cand, std::memory_order_relaxed);
+    pivot_pruned.fetch_add(pruned, std::memory_order_relaxed);
   });
   acc.partitions_requested += home_groups.size();
   acc.partitions_loaded +=
@@ -210,7 +261,12 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
     for (const auto& [pid, tasks] : by_pid) groups.emplace_back(pid, &tasks);
 
     const uint64_t failed_before = failed.load(std::memory_order_relaxed);
-    index_->cluster_->pool().ParallelFor(groups.size(), [&](size_t gi) {
+    std::vector<std::pair<PartitionId, uint32_t>> sib_parts;
+    sib_parts.reserve(groups.size());
+    for (const auto& [pid, tasks] : groups) {
+      sib_parts.emplace_back(pid, static_cast<uint32_t>(tasks->size()));
+    }
+    RunPartitionPhase(sib_parts, [&](size_t gi) {
       const PartitionId pid = groups[gi].first;
       const std::vector<SlotTask>& tasks = *groups[gi].second;
       qtel::PhaseTimer task_timer("batch.knn");
@@ -231,15 +287,18 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
       }
       local->tree().EnsureWords();
       uint64_t cand = 0;
+      uint64_t pruned = 0;
       task_timer.Skip();
       for (const auto& [q, slot] : tasks) {
         TopK part(k);
         qscan::PrunedScan(local->tree(), **records, *tables[q],
-                          prep[q].normalized, thresholds[q], &part, &cand);
+                          prep[q].normalized, thresholds[q], &part, &cand, 0,
+                          0, &pqs[q], &pruned);
         partials[q][slot] = part.Take();
       }
       task_timer.Lap("scan");
       candidates.fetch_add(cand, std::memory_order_relaxed);
+      pivot_pruned.fetch_add(pruned, std::memory_order_relaxed);
     });
     acc.partitions_requested += groups.size();
     acc.partitions_loaded +=
@@ -261,6 +320,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
   }
 
   acc.candidates = candidates.load(std::memory_order_relaxed);
+  acc.pivot_pruned = pivot_pruned.load(std::memory_order_relaxed);
   acc.partitions_failed = failed.load(std::memory_order_relaxed);
   acc.results_complete = acc.partitions_failed == 0;
   acc.wall_seconds = sw.ElapsedSeconds();
@@ -311,7 +371,12 @@ Result<std::vector<std::vector<RecordId>>> QueryEngine::ExactMatchBatch(
   Status first_error;
   std::atomic<uint64_t> candidates{0};
 
-  index_->cluster_->pool().ParallelFor(groups.size(), [&](size_t gi) {
+  std::vector<std::pair<PartitionId, uint32_t>> parts;
+  parts.reserve(groups.size());
+  for (const auto& [pid, qs] : groups) {
+    parts.emplace_back(pid, static_cast<uint32_t>(qs->size()));
+  }
+  RunPartitionPhase(parts, [&](size_t gi) {
     const PartitionId pid = groups[gi].first;
     const std::vector<size_t>& qs = *groups[gi].second;
     qtel::PhaseTimer task_timer("batch.exact");
@@ -394,6 +459,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::RangeSearchBatch(
 
   std::vector<Prepared> prep(nq);
   std::vector<std::unique_ptr<MindistTable>> tables(nq);
+  std::vector<PivotQuery> pqs(nq);
   const uint8_t table_bits = static_cast<uint8_t>(index_->codec().max_bits());
   // Per query: the (ascending) partitions surviving the region filter, with
   // one partial result slot each.
@@ -404,6 +470,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::RangeSearchBatch(
         queries[q], &prep[q].normalized, &prep[q].paa, &prep[q].sig));
     tables[q] = std::make_unique<MindistTable>(prep[q].paa, table_bits,
                                                prep[q].normalized.size());
+    pqs[q] = index_->MakePivotQuery(prep[q].normalized);
     size_t slots = 0;
     for (PartitionId pid = 0; pid < index_->num_partitions(); ++pid) {
       if (index_->regions_[pid].Mindist(prep[q].paa,
@@ -425,6 +492,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::RangeSearchBatch(
   std::mutex mu;
   Status first_error;
   std::atomic<uint64_t> candidates{0};
+  std::atomic<uint64_t> pivot_pruned{0};
   std::atomic<uint64_t> failed{0};
   // Degraded mode: a partition that cannot be loaded after retries is
   // skipped (its partial-result slots stay empty) and reported via the
@@ -438,7 +506,12 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::RangeSearchBatch(
     if (first_error.ok()) first_error = st;
   };
 
-  index_->cluster_->pool().ParallelFor(groups.size(), [&](size_t gi) {
+  std::vector<std::pair<PartitionId, uint32_t>> parts;
+  parts.reserve(groups.size());
+  for (const auto& [pid, tasks] : groups) {
+    parts.emplace_back(pid, static_cast<uint32_t>(tasks->size()));
+  }
+  RunPartitionPhase(parts, [&](size_t gi) {
     const PartitionId pid = groups[gi].first;
     const std::vector<SlotTask>& tasks = *groups[gi].second;
     qtel::PhaseTimer task_timer("batch.range");
@@ -459,13 +532,16 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::RangeSearchBatch(
     }
     local->tree().EnsureWords();
     uint64_t cand = 0;
+    uint64_t pruned = 0;
     task_timer.Skip();
     for (const auto& [q, slot] : tasks) {
       qscan::RangeScan(local->tree(), **records, *tables[q],
-                       prep[q].normalized, radius, &partials[q][slot], &cand);
+                       prep[q].normalized, radius, &partials[q][slot], &cand,
+                       &pqs[q], &pruned);
     }
     task_timer.Lap("scan");
     candidates.fetch_add(cand, std::memory_order_relaxed);
+    pivot_pruned.fetch_add(pruned, std::memory_order_relaxed);
   });
   acc.partitions_requested = groups.size();
   acc.partitions_failed = failed.load(std::memory_order_relaxed);
@@ -486,6 +562,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::RangeSearchBatch(
   timer.Lap("merge");
 
   acc.candidates = candidates.load(std::memory_order_relaxed);
+  acc.pivot_pruned = pivot_pruned.load(std::memory_order_relaxed);
   acc.wall_seconds = sw.ElapsedSeconds();
   PublishBatchStats("batch.range", acc);
   if (stats) *stats = acc;

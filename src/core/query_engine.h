@@ -23,8 +23,11 @@
 #define TARDIS_CORE_QUERY_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
+#include "core/partition_scheduler.h"
 #include "core/tardis_index.h"
 
 namespace tardis {
@@ -40,6 +43,9 @@ struct QueryEngineStats {
   // batch saved.
   uint64_t logical_partition_loads = 0;
   uint64_t candidates = 0;        // raw series ranked / verified
+  // Records skipped by the pivot triangle-inequality bound before the
+  // distance kernel (see KnnStats::pivot_pruned).
+  uint64_t pivot_pruned = 0;
   uint64_t bloom_negatives = 0;   // exact match only
   double wall_seconds = 0.0;
   // Degraded-mode coverage, at partition-task granularity: the batch
@@ -57,7 +63,16 @@ class QueryEngine {
  public:
   // The index must outlive the engine. The engine only reads the index and
   // may be used from one thread at a time (it parallelises internally).
-  explicit QueryEngine(const TardisIndex& index) : index_(&index) {}
+  explicit QueryEngine(const TardisIndex& index);
+
+  // Adaptive partition scheduling (core/partition_scheduler.h): when on,
+  // each partition phase dispatches resident partitions first and the rest
+  // longest-estimated-first onto a work-stealing pool, instead of
+  // manifest-order ParallelFor. Results and stats are bit-identical either
+  // way; only tail latency moves. Defaults to on; TARDIS_SCHED=off flips the
+  // process default.
+  void SetSchedulingEnabled(bool enabled) { sched_enabled_ = enabled; }
+  bool scheduling_enabled() const { return sched_enabled_; }
 
   // Batched kNN-approximate (paper §V-B, Alg. 1): per query, up to k
   // neighbours sorted by true distance — element i answers queries[i].
@@ -78,7 +93,18 @@ class QueryEngine {
       QueryEngineStats* stats) const;
 
  private:
+  // Dispatches one partition phase: fn(i) runs once per entry of `parts`
+  // (pid, work items assigned to it this phase). Scheduled via the cost
+  // model when enabled, plain ParallelFor otherwise.
+  void RunPartitionPhase(
+      const std::vector<std::pair<PartitionId, uint32_t>>& parts,
+      const std::function<void(size_t)>& fn) const;
+
   const TardisIndex* index_;
+  // The cost model learns across batches on the same engine (EWMA), so the
+  // engine stays single-caller-at-a-time but methods remain const.
+  mutable PartitionScheduler sched_;
+  bool sched_enabled_;
 };
 
 }  // namespace tardis

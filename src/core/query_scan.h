@@ -22,6 +22,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/pivots.h"
 #include "core/topk.h"
 #include "sigtree/sigtree.h"
 #include "storage/partition_arena.h"
@@ -58,24 +59,65 @@ inline const SigTree::Node* FindTargetNode(const SigTree& tree,
 // per-candidate one, and loosening an early-abandon bound cannot change what
 // the heap accepts (see topk.h), so results and candidate counts are
 // bit-identical to the per-candidate loop this replaced.
+//
+// When `pq` is active and the arena carries a pivot plane, each row is first
+// tested against the pivot triangle-inequality bound (core/pivots.h) using
+// the threshold frozen at tile start: a pruned row is provably farther than
+// the bound, i.e. exactly a row the early-abandoning kernel would have
+// returned +inf for, so its slot is set to +inf directly and only the
+// surviving contiguous runs are fed to the kernel (per-row kernel output is
+// independent of the run split). Results are bit-identical with pruning on
+// or off; `candidates` counts only kernel-ranked rows and `pivot_pruned`
+// the skipped ones.
 inline void RankRange(const PartitionArena& arena, uint32_t start,
                       uint32_t len, const TimeSeries& query, TopK* topk,
-                      uint64_t* candidates) {
+                      uint64_t* candidates, const PivotQuery* pq = nullptr,
+                      uint64_t* pivot_pruned = nullptr) {
   const uint32_t end =
       std::min<uint32_t>(start + len, arena.num_records());
   if (start >= end) return;
   double d_sq[kRankTileMaxRecords];
   const uint32_t tile =
       static_cast<uint32_t>(RankTileRecords(query.size()));
+  const bool prune = pq != nullptr && pq->active() && arena.has_pivots();
   for (uint32_t t = start; t < end; t += tile) {
     const uint32_t count = std::min<uint32_t>(tile, end - t);
     const double bound = topk->Threshold();
     const double bound_sq = std::isinf(bound)
                                 ? std::numeric_limits<double>::infinity()
                                 : bound * bound;
-    EuclideanBatch(query.data(), arena.values(t), arena.stride(), count,
-                   query.size(), bound_sq, d_sq);
-    *candidates += count;
+    if (!prune || std::isinf(bound)) {
+      EuclideanBatch(query.data(), arena.values(t), arena.stride(), count,
+                     query.size(), bound_sq, d_sq);
+      *candidates += count;
+    } else {
+      uint32_t kept = 0, run_start = 0;
+      bool in_run = false;
+      for (uint32_t j = 0; j < count; ++j) {
+        if (pq->Prunes(arena.pivot_row(t + j), bound)) {
+          d_sq[j] = std::numeric_limits<double>::infinity();
+          if (in_run) {
+            EuclideanBatch(query.data(), arena.values(t + run_start),
+                           arena.stride(), j - run_start, query.size(),
+                           bound_sq, d_sq + run_start);
+            in_run = false;
+          }
+        } else {
+          if (!in_run) {
+            run_start = j;
+            in_run = true;
+          }
+          ++kept;
+        }
+      }
+      if (in_run) {
+        EuclideanBatch(query.data(), arena.values(t + run_start),
+                       arena.stride(), count - run_start, query.size(),
+                       bound_sq, d_sq + run_start);
+      }
+      *candidates += kept;
+      if (pivot_pruned != nullptr) *pivot_pruned += count - kept;
+    }
     topk->OfferTile(d_sq, arena.rids() + t, count);
   }
 }
@@ -97,11 +139,17 @@ inline void RankRange(const PartitionArena& arena, uint32_t start,
 inline void PrunedScan(const SigTree& tree, const PartitionArena& arena,
                        const MindistTable& mind, const TimeSeries& query,
                        double threshold, TopK* topk, uint64_t* candidates,
-                       uint32_t counted_start = 0, uint32_t counted_len = 0) {
+                       uint32_t counted_start = 0, uint32_t counted_len = 0,
+                       const PivotQuery* pq = nullptr,
+                       uint64_t* pivot_pruned = nullptr) {
   std::vector<const SigTree::Node*> stack;
   std::vector<const SaxWord*> words;
   std::vector<double> lbs;
+  // Seeded leaves route *both* counters to dummies: their rows were already
+  // accounted by the seed pass, so counting their pruned rows would break
+  // the invariant candidates(off) == candidates(on) + pivot_pruned.
   uint64_t already_counted = 0;
+  uint64_t already_pruned = 0;
   stack.push_back(tree.root());
   while (!stack.empty()) {
     const SigTree::Node* node = stack.back();
@@ -111,7 +159,8 @@ inline void PrunedScan(const SigTree& tree, const PartitionArena& arena,
           counted_len > 0 && node->range_start >= counted_start &&
           node->range_start + node->range_len <= counted_start + counted_len;
       RankRange(arena, node->range_start, node->range_len, query, topk,
-                seeded ? &already_counted : candidates);
+                seeded ? &already_counted : candidates, pq,
+                seeded ? &already_pruned : pivot_pruned);
       continue;
     }
     const size_t nc = node->children.size();
@@ -135,7 +184,9 @@ inline void PrunedScan(const SigTree& tree, const PartitionArena& arena,
 // it replaced visited the node — so pruning stays as tight as before.
 inline void ExactScan(const SigTree& tree, const PartitionArena& arena,
                       const MindistTable& mind, const TimeSeries& query,
-                      TopK* topk, uint64_t* candidates) {
+                      TopK* topk, uint64_t* candidates,
+                      const PivotQuery* pq = nullptr,
+                      uint64_t* pivot_pruned = nullptr) {
   std::vector<const SigTree::Node*> stack;
   stack.push_back(tree.root());
   while (!stack.empty()) {
@@ -146,7 +197,7 @@ inline void ExactScan(const SigTree& tree, const PartitionArena& arena,
     }
     if (node->is_leaf()) {
       RankRange(arena, node->range_start, node->range_len, query, topk,
-                candidates);
+                candidates, pq, pivot_pruned);
       continue;
     }
     const auto first = node->children.begin();
@@ -157,11 +208,14 @@ inline void ExactScan(const SigTree& tree, const PartitionArena& arena,
 }
 
 // Range scan: like PrunedScan (static threshold = radius) but collects every
-// record within `radius` instead of a top-k.
+// record within `radius` instead of a top-k. Pivot pruning tests each row
+// against the radius itself: a pruned row has ED > radius mathematically, so
+// it can neither enter the result nor survive the kernel's abandon bound.
 inline void RangeScan(const SigTree& tree, const PartitionArena& arena,
                       const MindistTable& mind, const TimeSeries& query,
                       double radius, std::vector<Neighbor>* out,
-                      uint64_t* candidates) {
+                      uint64_t* candidates, const PivotQuery* pq = nullptr,
+                      uint64_t* pivot_pruned = nullptr) {
   // The abandon bound is slightly inflated so the authoritative comparison
   // below (sqrt(d^2) <= radius, matching the ED <= radius contract exactly)
   // never loses a boundary record to squaring round-off. The bound is static,
@@ -169,6 +223,7 @@ inline void RangeScan(const SigTree& tree, const PartitionArena& arena,
   const double radius_sq = radius * radius * (1.0 + 1e-12) + 1e-12;
   double d_sq[kRankTileMaxRecords];
   const uint32_t tile = static_cast<uint32_t>(RankTileRecords(query.size()));
+  const bool prune = pq != nullptr && pq->active() && arena.has_pivots();
   std::vector<const SigTree::Node*> stack;
   std::vector<const SaxWord*> words;
   std::vector<double> lbs;
@@ -181,9 +236,38 @@ inline void RangeScan(const SigTree& tree, const PartitionArena& arena,
           node->range_start + node->range_len, arena.num_records());
       for (uint32_t t = node->range_start; t < end; t += tile) {
         const uint32_t count = std::min<uint32_t>(tile, end - t);
-        EuclideanBatch(query.data(), arena.values(t), arena.stride(), count,
-                       query.size(), radius_sq, d_sq);
-        *candidates += count;
+        if (!prune) {
+          EuclideanBatch(query.data(), arena.values(t), arena.stride(), count,
+                         query.size(), radius_sq, d_sq);
+          *candidates += count;
+        } else {
+          uint32_t kept = 0, run_start = 0;
+          bool in_run = false;
+          for (uint32_t j = 0; j < count; ++j) {
+            if (pq->Prunes(arena.pivot_row(t + j), radius)) {
+              d_sq[j] = std::numeric_limits<double>::infinity();
+              if (in_run) {
+                EuclideanBatch(query.data(), arena.values(t + run_start),
+                               arena.stride(), j - run_start, query.size(),
+                               radius_sq, d_sq + run_start);
+                in_run = false;
+              }
+            } else {
+              if (!in_run) {
+                run_start = j;
+                in_run = true;
+              }
+              ++kept;
+            }
+          }
+          if (in_run) {
+            EuclideanBatch(query.data(), arena.values(t + run_start),
+                           arena.stride(), count - run_start, query.size(),
+                           radius_sq, d_sq + run_start);
+          }
+          *candidates += kept;
+          if (pivot_pruned != nullptr) *pivot_pruned += count - kept;
+        }
         for (uint32_t j = 0; j < count; ++j) {
           if (std::isinf(d_sq[j])) continue;
           const double d = std::sqrt(d_sq[j]);

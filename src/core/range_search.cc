@@ -30,6 +30,8 @@ Result<std::vector<Neighbor>> TardisIndex::RangeSearch(const TimeSeries& query,
   std::vector<double> paa;
   std::string sig;
   TARDIS_RETURN_NOT_OK(PrepareQuery(query, &normalized, &paa, &sig));
+  const PivotQuery pq = MakePivotQuery(normalized);
+  uint64_t pivot_pruned = 0;
 
   const MindistTable mind(paa, static_cast<uint8_t>(codec().max_bits()),
                           normalized.size());
@@ -63,7 +65,7 @@ Result<std::vector<Neighbor>> TardisIndex::RangeSearch(const TimeSeries& query,
     timer.Lap("load");
     local->tree().EnsureWords();
     qscan::RangeScan(local->tree(), **records, mind, normalized, radius,
-                     &results, &candidates);
+                     &results, &candidates, &pq, &pivot_pruned);
     timer.Lap("scan");
     ++loaded;
   }
@@ -79,6 +81,7 @@ Result<std::vector<Neighbor>> TardisIndex::RangeSearch(const TimeSeries& query,
   if (stats) {
     stats->partitions_loaded = loaded;
     stats->candidates = candidates;
+    stats->pivot_pruned = pivot_pruned;
     stats->target_node_level = 0;
     stats->partitions_requested = requested;
     stats->partitions_failed = failed;

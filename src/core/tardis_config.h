@@ -48,6 +48,13 @@ struct TardisConfig {
   bool build_bloom = true;
   double bloom_fpr = 0.01;
 
+  // Number of pivot series selected at build time for triangle-inequality
+  // pruning (core/pivots.h). 0 disables pivots entirely: no "pivotd"
+  // sidecars are written and queries fall back to mindist-only pruning.
+  // Pruning stays exact at any value; more pivots tighten the lower bound
+  // at the cost of k floats per record of sidecar + cache footprint.
+  uint32_t num_pivots = 0;
+
   // Clustered (default): partitions store the actual series in Tardis-L
   // leaf order, so a query reads one sequential file. Un-clustered (the
   // variant §VI-A also implements): partitions store only rid lists and the
@@ -98,6 +105,9 @@ struct TardisConfig {
     }
     if (bloom_fpr <= 0.0 || bloom_fpr >= 1.0) {
       return Status::InvalidArgument("bloom_fpr must be in (0, 1)");
+    }
+    if (num_pivots > 256) {
+      return Status::InvalidArgument("num_pivots must be <= 256");
     }
     if (shuffle_spill_bytes == 0) {
       return Status::InvalidArgument("shuffle_spill_bytes must be positive");

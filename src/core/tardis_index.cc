@@ -19,6 +19,7 @@ constexpr char kTreeSidecar[] = "ltree";
 constexpr char kBloomSidecar[] = "bloom";
 constexpr char kRegionSidecar[] = "region";
 constexpr char kRidsSidecar[] = "rids";
+constexpr char kPivotSidecar[] = "pivotd";
 constexpr char kMetaFile[] = "tardis_meta.bin";
 constexpr uint64_t kMetaMagic = 0x5441524449534958ULL;  // "TARDISIX"
 
@@ -37,6 +38,7 @@ void EncodeConfig(const TardisConfig& config, std::string* out) {
   PutFixed<uint8_t>(out, config.persist_intermediate ? 1 : 0);
   PutFixed<uint64_t>(out, config.cache_budget_bytes);
   PutFixed<uint64_t>(out, config.shuffle_spill_bytes);
+  PutFixed<uint32_t>(out, config.num_pivots);
 }
 
 bool DecodeConfig(SliceReader* reader, TardisConfig* config) {
@@ -52,10 +54,66 @@ bool DecodeConfig(SliceReader* reader, TardisConfig* config) {
       reader->GetFixed(&bloom) && reader->GetFixed(&config->bloom_fpr) &&
       reader->GetFixed(&persist) &&
       reader->GetFixed(&config->cache_budget_bytes) &&
-      reader->GetFixed(&config->shuffle_spill_bytes);
+      reader->GetFixed(&config->shuffle_spill_bytes) &&
+      reader->GetFixed(&config->num_pivots);
   config->build_bloom = bloom != 0;
   config->persist_intermediate = persist != 0;
   return ok;
+}
+
+// TARDIS_PIVOTS=off turns pivot pruning off by default for every index in
+// the process (results are identical; useful for the pruning-parity arms in
+// benches and CI). SetPivotPruning overrides per instance.
+bool PivotPruningDefault() {
+  static const bool on = [] {
+    const char* env = std::getenv("TARDIS_PIVOTS");
+    return env == nullptr || std::strcmp(env, "off") != 0;
+  }();
+  return on;
+}
+
+// Deterministic pivot-selection sample: up to `want` series spread evenly
+// across the input blocks (and evenly within each visited block). Seeded
+// randomness is deliberately avoided — the sample, and therefore the pivot
+// set, depends only on the data and `want`.
+Result<std::vector<TimeSeries>> SamplePivotSeries(const BlockStore& input,
+                                                  uint32_t want) {
+  std::vector<TimeSeries> sample;
+  if (want == 0 || input.num_records() == 0) return sample;
+  const uint32_t take_blocks = std::min<uint32_t>(input.num_blocks(), 16);
+  const uint32_t per_block = (want + take_blocks - 1) / take_blocks;
+  sample.reserve(static_cast<size_t>(take_blocks) * per_block);
+  for (uint32_t b = 0; b < take_blocks; ++b) {
+    const uint32_t block =
+        static_cast<uint32_t>(static_cast<uint64_t>(b) * input.num_blocks() /
+                              take_blocks);
+    TARDIS_ASSIGN_OR_RETURN(std::vector<Record> records,
+                            input.ReadBlock(block));
+    if (records.empty()) continue;
+    const uint32_t n = static_cast<uint32_t>(records.size());
+    const uint32_t step = std::max<uint32_t>(1, n / per_block);
+    for (uint32_t i = 0; i < n && sample.size() < want; i += step) {
+      sample.push_back(records[i].values);
+    }
+    if (sample.size() >= want) break;
+  }
+  return sample;
+}
+
+// Encodes the "pivotd" sidecar for one partition: the per-record pivot
+// distances, row i matching record i of the (tree-ordered) partition.
+std::string EncodePivotSidecar(const PivotSet& pivots,
+                               const PartitionArena& arena,
+                               const std::vector<uint32_t>& order) {
+  std::string bytes;
+  PutFixed<uint32_t>(&bytes, pivots.num_pivots());
+  PutFixed<uint32_t>(&bytes, static_cast<uint32_t>(order.size()));
+  std::vector<float> row(pivots.num_pivots());
+  for (uint32_t idx : order) {
+    pivots.ComputeDistancesF32(arena.values(idx), row.data());
+    for (float v : row) PutFixed<float>(&bytes, v);
+  }
+  return bytes;
 }
 }  // namespace
 
@@ -119,6 +177,20 @@ Result<TardisIndex> TardisIndex::Build(std::shared_ptr<Cluster> cluster,
   }
   sw.Restart();
 
+  // --- Pivot selection (core/pivots.h): k pivots by farthest-first over a
+  // deterministic sample, before the per-partition pass so the same pass can
+  // write each partition's "pivotd" sidecar.
+  if (config.num_pivots > 0) {
+    const uint32_t want = std::max<uint32_t>(config.num_pivots * 8, 256);
+    TARDIS_ASSIGN_OR_RETURN(std::vector<TimeSeries> sample,
+                            SamplePivotSeries(input, want));
+    PivotSet pivots = PivotSet::Select(sample, config.num_pivots, config.seed);
+    if (!pivots.empty()) {
+      index.pivots_ = std::make_unique<PivotSet>(std::move(pivots));
+    }
+  }
+  index.pivot_pruning_ = PivotPruningDefault();
+
   // --- Local Structure Construction (mapPartitions): build Tardis-L,
   // rewrite the partition clustered, persist the tree skeleton. The Bloom
   // filter is built in the same pass when intermediate data stays cached.
@@ -162,6 +234,14 @@ Result<TardisIndex> TardisIndex::Build(std::shared_ptr<Cluster> cluster,
           TARDIS_RETURN_NOT_OK(
               index.partitions_->WriteSidecar(pid, kRidsSidecar, rid_bytes));
           TARDIS_RETURN_NOT_OK(index.partitions_->RemovePartition(pid));
+        }
+        if (index.pivots_ != nullptr) {
+          // Per-record pivot distances, rows in the same tree order as the
+          // clustered bytes / rid sidecar, so row i matches record i on
+          // every load path.
+          TARDIS_RETURN_NOT_OK(index.partitions_->WriteSidecar(
+              pid, kPivotSidecar,
+              EncodePivotSidecar(*index.pivots_, arena, order)));
         }
         std::string tree_bytes;
         local.EncodeTreeTo(&tree_bytes);
@@ -245,6 +325,10 @@ Status TardisIndex::SaveMeta() const {
   PutLengthPrefixed(&bytes, tree_bytes);
   PutFixed<uint32_t>(&bytes, static_cast<uint32_t>(partition_counts_.size()));
   for (uint64_t count : partition_counts_) PutFixed<uint64_t>(&bytes, count);
+  // Pivot section (length-prefixed, empty when the index has no pivots).
+  std::string pivot_bytes;
+  if (pivots_ != nullptr) pivots_->EncodeTo(&pivot_bytes);
+  PutLengthPrefixed(&bytes, pivot_bytes);
   std::ofstream out(partitions_->dir() + "/" + kMetaFile,
                     std::ios::binary | std::ios::trunc);
   if (!out) return Status::IOError("cannot write index metadata");
@@ -307,6 +391,20 @@ Result<TardisIndex> TardisIndex::Open(std::shared_ptr<Cluster> cluster,
       return Status::Corruption("truncated partition counts");
     }
   }
+  std::string pivot_bytes;
+  if (!reader.GetLengthPrefixed(&pivot_bytes)) {
+    return Status::Corruption("truncated pivot section");
+  }
+  if (!pivot_bytes.empty()) {
+    TARDIS_ASSIGN_OR_RETURN(PivotSet pivots, PivotSet::Decode(pivot_bytes));
+    if (!pivots.empty()) {
+      if (pivots.series_length() != series_length) {
+        return Status::Corruption("pivot series length mismatch");
+      }
+      index.pivots_ = std::make_unique<PivotSet>(std::move(pivots));
+    }
+  }
+  index.pivot_pruning_ = PivotPruningDefault();
 
   // Restore the memory-resident sidecars (Bloom filters, region summaries).
   index.blooms_.resize(index.num_partitions());
@@ -431,13 +529,25 @@ bool UseAosDecode() {
 
 Result<PartitionArena> TardisIndex::LoadPartitionArenaOnce(
     PartitionId pid) const {
+  PartitionArena arena;
   if (config_.clustered && !UseAosDecode()) {
-    return partitions_->ReadPartitionArena(pid);
+    TARDIS_ASSIGN_OR_RETURN(arena, partitions_->ReadPartitionArena(pid));
+  } else {
+    // Un-clustered reconstruction (and the transitional AoS decode) goes
+    // through the record loader and converts once at the end.
+    TARDIS_ASSIGN_OR_RETURN(std::vector<Record> records,
+                            LoadPartitionOnce(pid));
+    arena = PartitionArena::FromRecords(records, series_length_);
   }
-  // Un-clustered reconstruction (and the transitional AoS decode) goes
-  // through the record loader and converts once at the end.
-  TARDIS_ASSIGN_OR_RETURN(std::vector<Record> records, LoadPartitionOnce(pid));
-  return PartitionArena::FromRecords(records, series_length_);
+  // Every load path produces records in tree order, so the pivot sidecar's
+  // row i always matches record i.
+  if (pivots_ != nullptr) {
+    TARDIS_ASSIGN_OR_RETURN(std::string pivot_bytes,
+                            partitions_->ReadSidecar(pid, kPivotSidecar));
+    TARDIS_RETURN_NOT_OK(arena.AttachPivotSidecar(
+        pivot_bytes, partitions_->dir() + "/p" + std::to_string(pid)));
+  }
+  return arena;
 }
 
 Result<PartitionCache::Value> TardisIndex::LoadPartitionShared(

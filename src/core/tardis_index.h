@@ -17,6 +17,7 @@
 #include "common/bloom_filter.h"
 #include "core/global_index.h"
 #include "core/local_index.h"
+#include "core/pivots.h"
 #include "core/tardis_config.h"
 #include "storage/block_store.h"
 #include "storage/partition_cache.h"
@@ -56,6 +57,11 @@ struct KnnStats {
   uint32_t partitions_loaded = 0;
   uint32_t target_node_level = 0;
   uint64_t candidates = 0;  // raw series ranked by true distance
+  // Records skipped by the pivot triangle-inequality bound before the
+  // distance kernel (core/pivots.h). Always 0 when the index has no pivots
+  // or pruning is disabled; pruning never changes results, only this split
+  // between `candidates` and `pivot_pruned`.
+  uint64_t pivot_pruned = 0;
   // Degraded-mode coverage (kNN-approximate and range search only): the
   // query keeps answering when a partition cannot be loaded after retries,
   // skipping it. partitions_failed > 0 implies results_complete == false and
@@ -189,6 +195,22 @@ class TardisIndex {
   void SetRetryPolicy(const RetryPolicy& retry) { config_.retry = retry; }
   const RetryPolicy& retry_policy() const { return config_.retry; }
 
+  // The pivot set selected at build time; null when the index was built with
+  // num_pivots == 0.
+  const PivotSet* pivots() const { return pivots_.get(); }
+  // Query-time switch for pivot pruning (results are identical either way;
+  // only the candidates/pivot_pruned split moves). Defaults to on when the
+  // index has pivots; the TARDIS_PIVOTS=off environment variable flips the
+  // default. Not safe to call concurrently with queries.
+  void SetPivotPruning(bool enabled) { pivot_pruning_ = enabled; }
+  bool pivot_pruning() const { return pivot_pruning_; }
+  // The per-query pivot state for `normalized` — inactive (prunes nothing)
+  // when the index has no pivots or pruning is disabled.
+  PivotQuery MakePivotQuery(const TimeSeries& normalized) const {
+    if (pivots_ == nullptr || !pivot_pruning_) return PivotQuery();
+    return PivotQuery(*pivots_, normalized);
+  }
+
  private:
   friend class QueryEngine;
 
@@ -240,6 +262,10 @@ class TardisIndex {
   std::vector<std::unique_ptr<BloomFilter>> blooms_;
   // Memory-resident per-partition region summaries (exact-kNN pruning).
   std::vector<RegionSummary> regions_;
+  // Build-time pivot set (null when num_pivots == 0) and the query-time
+  // pruning switch.
+  std::unique_ptr<PivotSet> pivots_;
+  bool pivot_pruning_ = true;
 };
 
 }  // namespace tardis

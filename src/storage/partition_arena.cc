@@ -19,7 +19,10 @@ size_t PlaneBytes(uint32_t num_records, uint32_t series_length) {
 
 }  // namespace
 
-PartitionArena::~PartitionArena() { std::free(arena_); }
+PartitionArena::~PartitionArena() {
+  std::free(arena_);
+  std::free(pivot_plane_);
+}
 
 PartitionArena::PartitionArena(PartitionArena&& other) noexcept
     : values_(std::exchange(other.values_, nullptr)),
@@ -27,17 +30,24 @@ PartitionArena::PartitionArena(PartitionArena&& other) noexcept
       arena_(std::exchange(other.arena_, nullptr)),
       allocated_bytes_(std::exchange(other.allocated_bytes_, 0)),
       num_records_(std::exchange(other.num_records_, 0)),
-      series_length_(std::exchange(other.series_length_, 0)) {}
+      series_length_(std::exchange(other.series_length_, 0)),
+      pivot_plane_(std::exchange(other.pivot_plane_, nullptr)),
+      pivot_bytes_(std::exchange(other.pivot_bytes_, 0)),
+      num_pivots_(std::exchange(other.num_pivots_, 0)) {}
 
 PartitionArena& PartitionArena::operator=(PartitionArena&& other) noexcept {
   if (this != &other) {
     std::free(arena_);
+    std::free(pivot_plane_);
     values_ = std::exchange(other.values_, nullptr);
     rids_ = std::exchange(other.rids_, nullptr);
     arena_ = std::exchange(other.arena_, nullptr);
     allocated_bytes_ = std::exchange(other.allocated_bytes_, 0);
     num_records_ = std::exchange(other.num_records_, 0);
     series_length_ = std::exchange(other.series_length_, 0);
+    pivot_plane_ = std::exchange(other.pivot_plane_, nullptr);
+    pivot_bytes_ = std::exchange(other.pivot_bytes_, 0);
+    num_pivots_ = std::exchange(other.num_pivots_, 0);
   }
   return *this;
 }
@@ -93,6 +103,50 @@ PartitionArena PartitionArena::FromRecords(const std::vector<Record>& records,
     std::memcpy(arena.mutable_values(i), records[i].values.data(), value_bytes);
   }
   return arena;
+}
+
+void PartitionArena::AttachPivots(uint32_t num_pivots, const float* dists) {
+  std::free(std::exchange(pivot_plane_, nullptr));
+  pivot_bytes_ = 0;
+  num_pivots_ = 0;
+  if (num_pivots == 0 || num_records_ == 0) return;
+  const size_t raw = static_cast<size_t>(num_records_) * num_pivots *
+                     sizeof(float);
+  const size_t total = (raw + kAlignment - 1) & ~(kAlignment - 1);
+  pivot_plane_ = static_cast<float*>(std::aligned_alloc(kAlignment, total));
+  pivot_bytes_ = total;
+  num_pivots_ = num_pivots;
+  std::memcpy(pivot_plane_, dists, raw);
+}
+
+Status PartitionArena::AttachPivotSidecar(std::string_view payload,
+                                          const std::string& path) {
+  SliceReader reader(payload);
+  uint32_t num_pivots = 0, num_records = 0;
+  if (!reader.GetFixed(&num_pivots) || !reader.GetFixed(&num_records)) {
+    return Status::Corruption("truncated pivot sidecar header: " + path);
+  }
+  if (num_records != num_records_) {
+    return Status::Corruption("pivot sidecar record count mismatch: " + path);
+  }
+  const size_t raw =
+      static_cast<size_t>(num_records) * num_pivots * sizeof(float);
+  if (reader.remaining() != raw) {
+    return Status::Corruption("pivot sidecar size mismatch: " + path);
+  }
+  if (num_pivots == 0 || num_records == 0) {
+    std::free(std::exchange(pivot_plane_, nullptr));
+    pivot_bytes_ = 0;
+    num_pivots_ = num_pivots;
+    return Status::OK();
+  }
+  std::free(std::exchange(pivot_plane_, nullptr));
+  const size_t total = (raw + kAlignment - 1) & ~(kAlignment - 1);
+  pivot_plane_ = static_cast<float*>(std::aligned_alloc(kAlignment, total));
+  pivot_bytes_ = total;
+  num_pivots_ = num_pivots;
+  reader.GetBytes(pivot_plane_, raw);
+  return Status::OK();
 }
 
 std::vector<Record> PartitionArena::ToRecords() const {

@@ -82,12 +82,34 @@ class PartitionArena {
   }
   void set_rid(uint32_t i, RecordId rid) { rids_[i] = rid; }
 
+  // --- Pivot-distance plane (core/pivots.h; DESIGN.md §10) ---
+  // An optional columnar plane of per-record pivot distances: row i holds
+  // num_pivots() floats, the distances from record i to each pivot in pivot
+  // order. Loaded from the "pivotd" sidecar next to the partition file and
+  // kept as a separate aligned allocation so the values plane layout (and
+  // its decode path) is untouched.
+  //
+  // Attaches the decoded payload of a "pivotd" sidecar:
+  //   [u32 num_pivots][u32 num_records][f32 row-major distances].
+  // Fails if the record count disagrees with this arena.
+  Status AttachPivotSidecar(std::string_view payload, const std::string& path);
+  // Attaches `num_records() * num_pivots` raw distances (build/tests).
+  void AttachPivots(uint32_t num_pivots, const float* dists);
+
+  bool has_pivots() const { return num_pivots_ > 0; }
+  uint32_t num_pivots() const { return num_pivots_; }
+  const float* pivot_row(uint32_t i) const {
+    return pivot_plane_ + static_cast<size_t>(i) * num_pivots_;
+  }
+  const float* pivot_plane() const { return pivot_plane_; }
+
   // Bytes of the single backing allocation (values plane + pad + rids).
   uint64_t AllocatedBytes() const { return allocated_bytes_; }
-  // Exact in-memory footprint: object header plus the backing allocation.
-  // This is what the PartitionCache charges against its byte budget.
+  // Exact in-memory footprint: object header plus the backing allocation
+  // plus the optional pivot plane. This is what the PartitionCache charges
+  // against its byte budget.
   uint64_t FootprintBytes() const {
-    return sizeof(PartitionArena) + allocated_bytes_;
+    return sizeof(PartitionArena) + allocated_bytes_ + pivot_bytes_;
   }
 
   // Materializes the legacy AoS form (tooling / compatibility paths).
@@ -100,6 +122,9 @@ class PartitionArena {
   uint64_t allocated_bytes_ = 0;
   uint32_t num_records_ = 0;
   uint32_t series_length_ = 0;
+  float* pivot_plane_ = nullptr;  // separate aligned allocation (optional)
+  uint64_t pivot_bytes_ = 0;
+  uint32_t num_pivots_ = 0;
 };
 
 }  // namespace tardis

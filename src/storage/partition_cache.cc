@@ -159,6 +159,12 @@ void PartitionCache::Invalidate(PartitionId pid) {
   shard.entries.erase(it);
 }
 
+bool PartitionCache::IsResident(PartitionId pid) const {
+  Shard& shard = *shards_[pid % shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.entries.find(pid) != shard.entries.end();
+}
+
 void PartitionCache::Clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);

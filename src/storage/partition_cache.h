@@ -86,6 +86,11 @@ class PartitionCache {
   // Only loads started after Invalidate returns are guaranteed fresh.
   void Invalidate(PartitionId pid);
 
+  // True when `pid` is currently resident. A point-in-time answer (the entry
+  // can be evicted the instant the lock drops) — callers use it as a
+  // scheduling hint, never as a correctness guarantee.
+  bool IsResident(PartitionId pid) const;
+
   // Drops every *unpinned* resident entry (counted as evictions). Pinned
   // entries stay resident and charged, mirroring the exemption that budget
   // eviction honors.

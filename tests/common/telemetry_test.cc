@@ -100,6 +100,29 @@ TEST_F(TelemetryTest, HistogramObserveAccumulatesCountAndSum) {
   EXPECT_EQ(hist.BucketCount(2), 2u);
 }
 
+TEST_F(TelemetryTest, HistogramValueAtQuantile) {
+  Registry registry;
+  Histogram& hist = registry.GetHistogram("q.hist");
+  EXPECT_EQ(hist.ValueAtQuantile(0.5), 0.0);  // empty histogram
+  // 100 samples of value 1 (bucket [1,2)) and 1 sample of 1000.
+  for (int i = 0; i < 100; ++i) hist.Observe(1);
+  hist.Observe(1000);
+  // p50 lands inside the [1,2) bucket; p999 must reach the outlier's bucket
+  // ([512, 1024)).
+  const double p50 = hist.ValueAtQuantile(0.5);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+  const double p999 = hist.ValueAtQuantile(0.999);
+  EXPECT_GE(p999, 512.0);
+  EXPECT_LE(p999, 1024.0);
+  // Quantiles are monotone in q.
+  EXPECT_LE(hist.ValueAtQuantile(0.1), hist.ValueAtQuantile(0.9));
+  EXPECT_LE(hist.ValueAtQuantile(0.9), hist.ValueAtQuantile(0.999));
+  // q outside [0, 1] clamps instead of misbehaving.
+  EXPECT_EQ(hist.ValueAtQuantile(-1.0), hist.ValueAtQuantile(0.0));
+  EXPECT_EQ(hist.ValueAtQuantile(2.0), hist.ValueAtQuantile(1.0));
+}
+
 TEST_F(TelemetryTest, SpansAreInertWhenTracingDisabled) {
   {
     ScopedSpan span("never.recorded");
@@ -152,6 +175,7 @@ TEST_F(TelemetryTest, DumpJsonGolden) {
       "  },\n"
       "  \"histograms\": {\n"
       "    \"c.hist\": {\"count\": 2, \"sum\": 5, "
+      "\"p50\": 0, \"p99\": 8, \"p999\": 8, "
       "\"buckets\": [[0, 1], [4, 1]]}\n"
       "  },\n"
       "  \"spans\": {\"dropped\": 0, \"events\": []}\n"

@@ -1,0 +1,278 @@
+// PartitionScheduler (DESIGN.md §10): the plan must be deterministic —
+// resident tier first, longest-estimated-first within a tier — the runner
+// must execute every task exactly once on any worker count, and the batched
+// engine must return bit-identical results and stats with scheduling on or
+// off, across worker counts, and under injected partition-load faults.
+
+#include "core/partition_scheduler.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "common/thread_pool.h"
+#include "core/query_engine.h"
+#include "core/tardis_index.h"
+#include "test_util.h"
+#include "workload/datasets.h"
+#include "workload/query_gen.h"
+
+namespace tardis {
+namespace {
+
+PartitionTaskInfo Task(PartitionId pid, uint64_t records, bool resident,
+                       uint64_t bytes = 0, uint32_t work_items = 1) {
+  PartitionTaskInfo info;
+  info.pid = pid;
+  info.records = records;
+  info.work_items = work_items;
+  info.resident = resident;
+  info.bytes = bytes;
+  return info;
+}
+
+TEST(PartitionSchedulerPlanTest, ResidentTierComesFirst) {
+  PartitionScheduler sched;
+  // A huge cold task and a tiny resident one: residency trumps size.
+  const std::vector<PartitionTaskInfo> tasks = {
+      Task(/*pid=*/0, /*records=*/100000, /*resident=*/false,
+           /*bytes=*/1 << 20),
+      Task(/*pid=*/1, /*records=*/10, /*resident=*/true),
+  };
+  const std::vector<size_t> plan = sched.Plan(tasks);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0], 1u);
+  EXPECT_EQ(plan[1], 0u);
+}
+
+TEST(PartitionSchedulerPlanTest, LongestFirstWithinTierAndDeterministicTies) {
+  PartitionScheduler sched;
+  const std::vector<PartitionTaskInfo> tasks = {
+      Task(/*pid=*/3, /*records=*/100, /*resident=*/true),
+      Task(/*pid=*/1, /*records=*/500, /*resident=*/true),
+      Task(/*pid=*/7, /*records=*/100, /*resident=*/true),  // tie with pid 3
+      Task(/*pid=*/2, /*records=*/900, /*resident=*/false),
+      Task(/*pid=*/5, /*records=*/50, /*resident=*/false),
+  };
+  const std::vector<size_t> plan = sched.Plan(tasks);
+  // Resident: 500 first, then the 100/100 tie broken by ascending pid.
+  // Cold: 900 before 50.
+  const std::vector<size_t> expected = {1, 0, 2, 3, 4};
+  EXPECT_EQ(plan, expected);
+  // Planning is pure: same input, same plan.
+  EXPECT_EQ(sched.Plan(tasks), expected);
+}
+
+TEST(PartitionSchedulerTest, ColdLoadChargeRaisesEstimate) {
+  PartitionScheduler sched;
+  const PartitionTaskInfo resident = Task(0, 1000, /*resident=*/true);
+  PartitionTaskInfo cold = Task(0, 1000, /*resident=*/false);
+  cold.bytes = 10 << 20;
+  EXPECT_GT(sched.EstimateCostUs(cold), sched.EstimateCostUs(resident));
+}
+
+TEST(PartitionSchedulerTest, ObserveScanShiftsEstimates) {
+  PartitionScheduler sched;
+  const PartitionTaskInfo info = Task(/*pid=*/4, /*records=*/1000,
+                                      /*resident=*/true);
+  const double prior = sched.EstimateCostUs(info);
+  // Partition 4 is observed to be 100x slower per unit than the prior.
+  sched.ObserveScan(/*pid=*/4, /*units=*/1000,
+                    /*elapsed_us=*/prior * 100.0);
+  EXPECT_GT(sched.EstimateCostUs(info), prior);
+  // An unseen partition now inherits the global EWMA, not the static prior.
+  const PartitionTaskInfo other = Task(/*pid=*/9, /*records=*/1000,
+                                       /*resident=*/true);
+  EXPECT_GT(sched.EstimateCostUs(other), prior);
+}
+
+TEST(PartitionSchedulerRunTest, ExecutesEveryTaskExactlyOnce) {
+  for (size_t workers : {1u, 2u, 8u}) {
+    PartitionScheduler sched;
+    std::vector<PartitionTaskInfo> tasks;
+    for (uint32_t i = 0; i < 37; ++i) {
+      tasks.push_back(Task(i, 100 + i * 13, /*resident=*/i % 3 == 0));
+    }
+    ThreadPool pool(workers);
+    std::vector<std::atomic<int>> runs(tasks.size());
+    sched.Run(tasks, &pool, workers,
+              [&](size_t idx) { runs[idx].fetch_add(1); });
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      EXPECT_EQ(runs[i].load(), 1) << "task " << i << " workers " << workers;
+    }
+  }
+}
+
+// The issued-order regression for the manifest-order bug: a single-worker
+// run must follow the plan exactly — resident partitions dispatched before
+// any cold one regardless of their manifest position.
+TEST(PartitionSchedulerRunTest, SingleWorkerFollowsPlanOrder) {
+  PartitionScheduler sched;
+  std::vector<PartitionTaskInfo> tasks;
+  for (uint32_t i = 0; i < 12; ++i) {
+    // Manifest order interleaves cold and resident.
+    tasks.push_back(Task(i, 100 + i, /*resident=*/i % 2 == 1));
+  }
+  const std::vector<size_t> plan = sched.Plan(tasks);
+  std::vector<size_t> executed;
+  sched.Run(tasks, /*pool=*/nullptr, /*num_workers=*/1,
+            [&](size_t idx) { executed.push_back(idx); });
+  EXPECT_EQ(executed, plan);
+  // And the plan front-loads every resident task.
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_TRUE(tasks[plan[i]].resident) << "plan slot " << i;
+  }
+  for (size_t i = 6; i < 12; ++i) {
+    EXPECT_FALSE(tasks[plan[i]].resident) << "plan slot " << i;
+  }
+}
+
+TEST(PartitionSchedulerRunTest, EmptyTaskListIsANoOp) {
+  PartitionScheduler sched;
+  sched.Run({}, nullptr, 4, [](size_t) { FAIL(); });
+}
+
+// --------------------------------------------------------------------------
+// Engine-level determinism.
+// --------------------------------------------------------------------------
+
+constexpr uint32_t kCount = 400;
+constexpr uint32_t kLength = 32;
+constexpr uint32_t kK = 7;
+
+class SchedulerEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = MakeDataset(DatasetKind::kRandomWalk, kCount, kLength,
+                               /*seed=*/123);
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).value();
+    auto store = BlockStore::Create(dir_.Sub("bs"), dataset_, 50);
+    ASSERT_TRUE(store.ok());
+    store_ = std::make_unique<BlockStore>(std::move(store).value());
+
+    TardisConfig config;
+    config.word_length = 8;
+    config.initial_bits = 4;
+    config.g_max_size = 60;
+    config.l_max_size = 20;
+    config.sampling_percent = 30.0;
+    config.pth = 4;
+    config.cache_budget_bytes = 4 << 20;
+    config.num_pivots = 4;
+    auto build_cluster = std::make_shared<Cluster>(2);
+    auto index = TardisIndex::Build(build_cluster, *store_, dir_.Sub("parts"),
+                                    config, nullptr);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    index_ = std::make_unique<TardisIndex>(std::move(index).value());
+    queries_ = MakeKnnQueries(dataset_, /*count=*/40, /*noise=*/0.05,
+                              /*seed=*/5150);
+  }
+
+  struct Observed {
+    std::vector<std::vector<Neighbor>> results;
+    uint64_t candidates = 0;
+    uint64_t pivot_pruned = 0;
+    uint64_t logical_loads = 0;
+    uint64_t failed = 0;
+    bool complete = true;
+  };
+
+  Observed RunBatch(const TardisIndex& index, bool sched_on) {
+    Observed obs;
+    QueryEngine engine(index);
+    engine.SetSchedulingEnabled(sched_on);
+    QueryEngineStats stats;
+    auto batch = engine.KnnApproximateBatch(
+        queries_, kK, KnnStrategy::kMultiPartitions, &stats);
+    EXPECT_TRUE(batch.ok()) << batch.status().ToString();
+    if (batch.ok()) obs.results = std::move(batch).value();
+    obs.candidates = stats.candidates;
+    obs.pivot_pruned = stats.pivot_pruned;
+    obs.logical_loads = stats.logical_partition_loads;
+    obs.failed = stats.partitions_failed;
+    obs.complete = stats.results_complete;
+    return obs;
+  }
+
+  ScopedTempDir dir_;
+  Dataset dataset_;
+  std::unique_ptr<BlockStore> store_;
+  std::unique_ptr<TardisIndex> index_;
+  std::vector<TimeSeries> queries_;
+};
+
+// Results and stats must be bit-identical: scheduling on vs off, and across
+// cluster worker counts. Scheduling only reorders task dispatch.
+TEST_F(SchedulerEngineTest, ResultsIdenticalAcrossSchedulingAndWorkerCounts) {
+  const Observed baseline = RunBatch(*index_, /*sched_on=*/false);
+  ASSERT_EQ(baseline.results.size(), queries_.size());
+  EXPECT_GT(baseline.candidates, 0u);
+
+  for (uint32_t workers : {1u, 2u, 8u}) {
+    auto cluster = std::make_shared<Cluster>(workers);
+    auto reopened = TardisIndex::Open(cluster, dir_.Sub("parts"));
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    for (bool sched_on : {false, true}) {
+      const Observed obs = RunBatch(*reopened, sched_on);
+      EXPECT_EQ(obs.results, baseline.results)
+          << "workers=" << workers << " sched=" << sched_on;
+      EXPECT_EQ(obs.candidates, baseline.candidates)
+          << "workers=" << workers << " sched=" << sched_on;
+      EXPECT_EQ(obs.pivot_pruned, baseline.pivot_pruned)
+          << "workers=" << workers << " sched=" << sched_on;
+      EXPECT_EQ(obs.logical_loads, baseline.logical_loads)
+          << "workers=" << workers << " sched=" << sched_on;
+    }
+  }
+}
+
+// Repeated scheduled batches keep returning the same answer while the cost
+// model's EWMAs evolve underneath.
+TEST_F(SchedulerEngineTest, RepeatedBatchesStayIdenticalAsModelLearns) {
+  QueryEngine engine(*index_);
+  engine.SetSchedulingEnabled(true);
+  std::vector<std::vector<Neighbor>> first;
+  for (int round = 0; round < 3; ++round) {
+    QueryEngineStats stats;
+    ASSERT_OK_AND_ASSIGN(
+        std::vector<std::vector<Neighbor>> batch,
+        engine.KnnApproximateBatch(queries_, kK,
+                                   KnnStrategy::kMultiPartitions, &stats));
+    if (round == 0) {
+      first = std::move(batch);
+    } else {
+      EXPECT_EQ(batch, first) << "round " << round;
+    }
+  }
+}
+
+// Degraded coverage under injected faults is deterministic and identical
+// with scheduling on or off: every partition load fails, so both paths must
+// report the same (empty) coverage.
+TEST_F(SchedulerEngineTest, FaultDegradedCoverageIdenticalAcrossScheduling) {
+  ASSERT_OK(FaultInjector::Global().Configure("partition_load:1;seed=3"));
+  // Drop the cache so loads actually hit the injection site.
+  index_->SetCacheBudget(0);
+  RetryPolicy retry = index_->retry_policy();
+  retry.max_attempts = 1;
+  index_->SetRetryPolicy(retry);
+
+  const Observed off = RunBatch(*index_, /*sched_on=*/false);
+  const Observed on = RunBatch(*index_, /*sched_on=*/true);
+  FaultInjector::Global().DisableAll();
+
+  EXPECT_FALSE(off.complete);
+  EXPECT_FALSE(on.complete);
+  EXPECT_GT(off.failed, 0u);
+  EXPECT_EQ(on.failed, off.failed);
+  EXPECT_EQ(on.results, off.results);
+  EXPECT_EQ(on.candidates, off.candidates);
+}
+
+}  // namespace
+}  // namespace tardis

@@ -1,0 +1,444 @@
+// Pivot-assisted pruning (core/pivots.h, DESIGN.md §10): the triangle-
+// inequality lower bound must be admissible (never exceeds the true
+// Euclidean distance), selection and persistence must be deterministic, and
+// — the house invariant — pruning must be loosening-only: identical results
+// with pruning on or off, with only the candidates/pivot_pruned split
+// moving.
+
+#include "core/pivots.h"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/query_engine.h"
+#include "core/tardis_index.h"
+#include "test_util.h"
+#include "ts/kernels.h"
+#include "ts/znorm.h"
+#include "workload/datasets.h"
+#include "workload/query_gen.h"
+
+namespace tardis {
+namespace {
+
+constexpr uint32_t kCount = 400;
+constexpr uint32_t kLength = 32;
+constexpr uint32_t kK = 5;
+
+// --------------------------------------------------------------------------
+// PivotSet / PivotQuery unit behaviour.
+// --------------------------------------------------------------------------
+
+std::vector<TimeSeries> RandomSample(uint32_t n, uint32_t length,
+                                     uint64_t seed) {
+  auto dataset = MakeDataset(DatasetKind::kRandomWalk, n, length, seed);
+  EXPECT_TRUE(dataset.ok());
+  return std::move(dataset).value();
+}
+
+TEST(PivotSetTest, SelectIsDeterministic) {
+  const std::vector<TimeSeries> sample = RandomSample(64, kLength, 7);
+  const PivotSet a = PivotSet::Select(sample, 6, /*seed=*/11);
+  const PivotSet b = PivotSet::Select(sample, 6, /*seed=*/11);
+  ASSERT_EQ(a.num_pivots(), 6u);
+  ASSERT_EQ(b.num_pivots(), 6u);
+  EXPECT_EQ(a.series_length(), kLength);
+  for (uint32_t p = 0; p < a.num_pivots(); ++p) {
+    for (uint32_t i = 0; i < kLength; ++i) {
+      EXPECT_EQ(a.pivot(p)[i], b.pivot(p)[i]) << "pivot " << p << " @" << i;
+    }
+  }
+  // A different seed starts farthest-first elsewhere.
+  const PivotSet c = PivotSet::Select(sample, 6, /*seed=*/12);
+  bool any_diff = false;
+  for (uint32_t i = 0; i < kLength && !any_diff; ++i) {
+    any_diff = a.pivot(0)[i] != c.pivot(0)[i];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(PivotSetTest, SelectClampsToSampleSize) {
+  const std::vector<TimeSeries> sample = RandomSample(3, kLength, 7);
+  const PivotSet p = PivotSet::Select(sample, 10, /*seed=*/0);
+  EXPECT_EQ(p.num_pivots(), 3u);
+  EXPECT_TRUE(PivotSet::Select({}, 4, 0).empty());
+}
+
+TEST(PivotSetTest, EncodeDecodeRoundtrip) {
+  const std::vector<TimeSeries> sample = RandomSample(32, kLength, 9);
+  const PivotSet p = PivotSet::Select(sample, 4, /*seed=*/3);
+  std::string bytes;
+  p.EncodeTo(&bytes);
+  auto decoded = PivotSet::Decode(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->num_pivots(), p.num_pivots());
+  ASSERT_EQ(decoded->series_length(), p.series_length());
+  for (uint32_t i = 0; i < p.num_pivots(); ++i) {
+    for (uint32_t j = 0; j < kLength; ++j) {
+      EXPECT_EQ(decoded->pivot(i)[j], p.pivot(i)[j]);
+    }
+  }
+  EXPECT_FALSE(PivotSet::Decode("garbage").ok());
+}
+
+// The heart of the correctness argument: for any record, the pivot lower
+// bound (computed from float32 sidecar rows, as stored) never exceeds the
+// true Euclidean distance — so a Prunes() verdict implies the kernel would
+// have rejected the record anyway.
+TEST(PivotQueryTest, LowerBoundIsAdmissible) {
+  const std::vector<TimeSeries> sample = RandomSample(64, kLength, 21);
+  const PivotSet pivots = PivotSet::Select(sample, 8, /*seed=*/5);
+
+  std::vector<TimeSeries> records = RandomSample(200, kLength, 22);
+  // Adversarial rows: a pivot itself (distance 0 to it), a duplicated
+  // record, an all-zero series, and a large-magnitude series.
+  records.emplace_back(pivots.pivot(0), pivots.pivot(0) + kLength);
+  records.push_back(records[0]);
+  records.emplace_back(kLength, 0.0f);
+  TimeSeries big(kLength);
+  for (uint32_t i = 0; i < kLength; ++i) big[i] = (i % 2 ? 1e4f : -1e4f);
+  records.push_back(big);
+
+  const std::vector<TimeSeries> queries = RandomSample(20, kLength, 23);
+  std::vector<float> row(pivots.num_pivots());
+  for (const TimeSeries& query : queries) {
+    const PivotQuery pq(pivots, query);
+    ASSERT_TRUE(pq.active());
+    for (const TimeSeries& rec : records) {
+      pivots.ComputeDistancesF32(rec.data(), row.data());
+      const double true_ed =
+          PivotDistance(query.data(), rec.data(), kLength);
+      EXPECT_LE(pq.LowerBound(row.data()), true_ed + 1e-12);
+      // Prunes(bound) must only fire above the true distance.
+      EXPECT_FALSE(pq.Prunes(row.data(), true_ed));
+      if (true_ed > 1.0) {
+        // And it must fire for thresholds clearly below the lower bound.
+        const double lb = pq.LowerBound(row.data());
+        if (lb > 0.5) {
+          EXPECT_TRUE(pq.Prunes(row.data(), lb * 0.5));
+        }
+      }
+    }
+  }
+}
+
+TEST(PivotQueryTest, InactiveQueryPrunesNothing) {
+  const PivotQuery pq;
+  EXPECT_FALSE(pq.active());
+  const float row[4] = {100.0f, 100.0f, 100.0f, 100.0f};
+  EXPECT_FALSE(pq.Prunes(row, 0.0));
+  EXPECT_EQ(pq.LowerBound(row), 0.0);
+}
+
+// --------------------------------------------------------------------------
+// End-to-end pruning behaviour on a built index.
+// --------------------------------------------------------------------------
+
+class PivotPruningTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_backend_ = ActiveKernelBackend();
+    auto dataset = MakeDataset(DatasetKind::kRandomWalk, kCount, kLength,
+                               /*seed=*/123);
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).value();
+    auto store = BlockStore::Create(dir_.Sub("bs"), dataset_, 50);
+    ASSERT_TRUE(store.ok());
+    store_ = std::make_unique<BlockStore>(std::move(store).value());
+    cluster_ = std::make_shared<Cluster>(2);
+
+    TardisConfig config;
+    config.word_length = 8;
+    config.initial_bits = 4;
+    config.g_max_size = 60;
+    config.l_max_size = 20;
+    config.sampling_percent = 30.0;
+    config.pth = 4;
+    config.cache_budget_bytes = 4 << 20;
+    config.num_pivots = 8;
+    auto index = TardisIndex::Build(cluster_, *store_, dir_.Sub("parts"),
+                                    config, nullptr);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    index_ = std::make_unique<TardisIndex>(std::move(index).value());
+    // Low-noise queries sit close to their source record, so the kNN bound
+    // goes tight fast and far records become prunable.
+    queries_ = MakeKnnQueries(dataset_, /*count=*/30, /*noise=*/0.01,
+                              /*seed=*/5150);
+  }
+
+  void TearDown() override { SetKernelBackend(saved_backend_); }
+
+  ScopedTempDir dir_;
+  std::shared_ptr<Cluster> cluster_;
+  Dataset dataset_;
+  std::unique_ptr<BlockStore> store_;
+  std::unique_ptr<TardisIndex> index_;
+  std::vector<TimeSeries> queries_;
+  KernelBackend saved_backend_ = KernelBackend::kScalar;
+};
+
+TEST_F(PivotPruningTest, BuildSelectsPivots) {
+  ASSERT_NE(index_->pivots(), nullptr);
+  EXPECT_EQ(index_->pivots()->num_pivots(), 8u);
+  EXPECT_EQ(index_->pivots()->series_length(), kLength);
+  EXPECT_TRUE(index_->pivot_pruning());
+}
+
+// The parity oracle: pruning on vs off returns bit-identical neighbours for
+// every strategy; candidates can only shrink, with the difference accounted
+// in pivot_pruned.
+TEST_F(PivotPruningTest, PruningIsLooseningOnlyAcrossStrategies) {
+  uint64_t total_pruned = 0;
+  for (KnnStrategy strategy :
+       {KnnStrategy::kTargetNode, KnnStrategy::kOnePartition,
+        KnnStrategy::kMultiPartitions}) {
+    for (size_t q = 0; q < queries_.size(); ++q) {
+      index_->SetPivotPruning(false);
+      KnnStats off;
+      ASSERT_OK_AND_ASSIGN(
+          std::vector<Neighbor> expected,
+          index_->KnnApproximate(queries_[q], kK, strategy, &off));
+      EXPECT_EQ(off.pivot_pruned, 0u);
+
+      index_->SetPivotPruning(true);
+      KnnStats on;
+      ASSERT_OK_AND_ASSIGN(
+          std::vector<Neighbor> pruned,
+          index_->KnnApproximate(queries_[q], kK, strategy, &on));
+      EXPECT_EQ(pruned, expected)
+          << KnnStrategyName(strategy) << " query " << q;
+      EXPECT_EQ(on.candidates + on.pivot_pruned, off.candidates)
+          << KnnStrategyName(strategy) << " query " << q;
+      EXPECT_EQ(on.partitions_loaded, off.partitions_loaded);
+      total_pruned += on.pivot_pruned;
+    }
+  }
+  // The feature must actually fire somewhere on this workload.
+  EXPECT_GT(total_pruned, 0u);
+}
+
+TEST_F(PivotPruningTest, KnnExactAndRangeSearchParity) {
+  for (size_t q = 0; q < 10; ++q) {
+    index_->SetPivotPruning(false);
+    KnnStats exact_off, range_off;
+    ASSERT_OK_AND_ASSIGN(std::vector<Neighbor> exact_expected,
+                         index_->KnnExact(queries_[q], kK, &exact_off));
+    ASSERT_OK_AND_ASSIGN(std::vector<Neighbor> range_expected,
+                         index_->RangeSearch(queries_[q], 4.0, &range_off));
+
+    index_->SetPivotPruning(true);
+    KnnStats exact_on, range_on;
+    ASSERT_OK_AND_ASSIGN(std::vector<Neighbor> exact_pruned,
+                         index_->KnnExact(queries_[q], kK, &exact_on));
+    ASSERT_OK_AND_ASSIGN(std::vector<Neighbor> range_pruned,
+                         index_->RangeSearch(queries_[q], 4.0, &range_on));
+    EXPECT_EQ(exact_pruned, exact_expected) << "q=" << q;
+    EXPECT_EQ(range_pruned, range_expected) << "q=" << q;
+    EXPECT_EQ(exact_on.candidates + exact_on.pivot_pruned,
+              exact_off.candidates);
+    EXPECT_EQ(range_on.candidates + range_on.pivot_pruned,
+              range_off.candidates);
+  }
+}
+
+// Scalar and SIMD backends must make identical *skip decisions*: pivot
+// distances go through the fixed scalar path on both sides, so the pruned
+// counts and the neighbour sets agree across backends. (Reported distances
+// may differ in the last ULP — the kernels reassociate the sum — which is
+// the pre-existing scalar-vs-SIMD contract, not a pruning property.)
+TEST_F(PivotPruningTest, PruningDecisionsAreBackendIndependent) {
+  std::vector<KernelBackend> backends = {KernelBackend::kScalar};
+  if (SetKernelBackend(KernelBackend::kAvx2) == KernelBackend::kAvx2) {
+    backends.push_back(KernelBackend::kAvx2);
+  }
+  index_->SetPivotPruning(true);
+  std::vector<std::vector<RecordId>> rids[2];
+  std::vector<uint64_t> pruned[2], candidates[2];
+  for (size_t b = 0; b < backends.size(); ++b) {
+    ASSERT_EQ(SetKernelBackend(backends[b]), backends[b]);
+    for (size_t q = 0; q < 10; ++q) {
+      KnnStats stats;
+      ASSERT_OK_AND_ASSIGN(std::vector<Neighbor> r,
+                           index_->KnnApproximate(
+                               queries_[q], kK,
+                               KnnStrategy::kMultiPartitions, &stats));
+      std::vector<RecordId> ids;
+      for (const Neighbor& nb : r) ids.push_back(nb.rid);
+      rids[b].push_back(std::move(ids));
+      pruned[b].push_back(stats.pivot_pruned);
+      candidates[b].push_back(stats.candidates);
+    }
+  }
+  if (backends.size() == 2) {
+    EXPECT_EQ(rids[0], rids[1]);
+    EXPECT_EQ(pruned[0], pruned[1]);
+    EXPECT_EQ(candidates[0], candidates[1]);
+  }
+}
+
+// Batched engine parity: the batch path reports the same pivot_pruned total
+// as the sum of sequential per-query stats, with identical results.
+TEST_F(PivotPruningTest, BatchEngineMatchesSequentialWithPruning) {
+  index_->SetPivotPruning(true);
+  uint64_t seq_pruned = 0, seq_candidates = 0;
+  std::vector<std::vector<Neighbor>> expected;
+  for (const TimeSeries& query : queries_) {
+    KnnStats stats;
+    ASSERT_OK_AND_ASSIGN(
+        std::vector<Neighbor> r,
+        index_->KnnApproximate(query, kK, KnnStrategy::kMultiPartitions,
+                               &stats));
+    seq_pruned += stats.pivot_pruned;
+    seq_candidates += stats.candidates;
+    expected.push_back(std::move(r));
+  }
+  QueryEngine engine(*index_);
+  QueryEngineStats stats;
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<std::vector<Neighbor>> batch,
+      engine.KnnApproximateBatch(queries_, kK, KnnStrategy::kMultiPartitions,
+                                 &stats));
+  EXPECT_EQ(batch, expected);
+  EXPECT_EQ(stats.pivot_pruned, seq_pruned);
+  EXPECT_EQ(stats.candidates, seq_candidates);
+  EXPECT_GT(stats.pivot_pruned, 0u);
+}
+
+// Pivots survive Save/Open: the reopened index prunes identically.
+TEST_F(PivotPruningTest, PersistReopenRoundtrip) {
+  index_->SetPivotPruning(true);
+  std::vector<std::vector<Neighbor>> expected;
+  std::vector<uint64_t> expected_pruned;
+  for (size_t q = 0; q < 10; ++q) {
+    KnnStats stats;
+    ASSERT_OK_AND_ASSIGN(
+        std::vector<Neighbor> r,
+        index_->KnnApproximate(queries_[q], kK,
+                               KnnStrategy::kMultiPartitions, &stats));
+    expected.push_back(std::move(r));
+    expected_pruned.push_back(stats.pivot_pruned);
+  }
+
+  auto reopened = TardisIndex::Open(cluster_, dir_.Sub("parts"));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ASSERT_NE(reopened->pivots(), nullptr);
+  EXPECT_EQ(reopened->pivots()->num_pivots(), 8u);
+  reopened->SetPivotPruning(true);
+  for (size_t q = 0; q < 10; ++q) {
+    KnnStats stats;
+    ASSERT_OK_AND_ASSIGN(
+        std::vector<Neighbor> r,
+        reopened->KnnApproximate(queries_[q], kK,
+                                 KnnStrategy::kMultiPartitions, &stats));
+    EXPECT_EQ(r, expected[q]) << "q=" << q;
+    EXPECT_EQ(stats.pivot_pruned, expected_pruned[q]) << "q=" << q;
+  }
+}
+
+// Appended records get pivot rows too: pruning stays loosening-only over
+// the grown index.
+TEST_F(PivotPruningTest, AppendKeepsSidecarsConsistent) {
+  ASSERT_OK_AND_ASSIGN(
+      Dataset extra,
+      MakeDataset(DatasetKind::kRandomWalk, 100, kLength, /*seed=*/777));
+  ASSERT_OK(index_->Append(extra).status());
+  for (size_t q = 0; q < 10; ++q) {
+    index_->SetPivotPruning(false);
+    KnnStats off;
+    ASSERT_OK_AND_ASSIGN(
+        std::vector<Neighbor> expected,
+        index_->KnnApproximate(queries_[q], kK,
+                               KnnStrategy::kMultiPartitions, &off));
+    index_->SetPivotPruning(true);
+    KnnStats on;
+    ASSERT_OK_AND_ASSIGN(
+        std::vector<Neighbor> pruned,
+        index_->KnnApproximate(queries_[q], kK,
+                               KnnStrategy::kMultiPartitions, &on));
+    EXPECT_EQ(pruned, expected) << "q=" << q;
+    EXPECT_EQ(on.candidates + on.pivot_pruned, off.candidates) << "q=" << q;
+  }
+}
+
+// A torn pivot sidecar must fail the partition load (CRC framing), not feed
+// garbage bounds into the scan.
+TEST_F(PivotPruningTest, CorruptSidecarFailsTheLoad) {
+  // Corrupt every pivotd sidecar in place.
+  size_t corrupted = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir_.Sub("parts"))) {
+    const std::string path = entry.path().string();
+    if (path.size() < 7 || path.substr(path.size() - 7) != ".pivotd") {
+      continue;
+    }
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good()) << path;
+    f.seekp(12);
+    char byte = 0;
+    f.seekg(12);
+    f.get(byte);
+    byte = static_cast<char>(byte ^ 0x5a);
+    f.seekp(12);
+    f.put(byte);
+    ++corrupted;
+  }
+  ASSERT_GT(corrupted, 0u);
+
+  auto reopened = TardisIndex::Open(cluster_, dir_.Sub("parts"));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  RetryPolicy retry = reopened->retry_policy();
+  retry.max_attempts = 1;
+  reopened->SetRetryPolicy(retry);
+  KnnStats stats;
+  auto result = reopened->KnnApproximate(queries_[0], kK,
+                                         KnnStrategy::kMultiPartitions,
+                                         &stats);
+  // kNN degrades on load failure; either way the scan must not have used
+  // the corrupt plane.
+  if (result.ok()) {
+    EXPECT_FALSE(stats.results_complete);
+    EXPECT_GT(stats.partitions_failed, 0u);
+  }
+}
+
+// The decoded pivot plane is charged to the cache budget.
+TEST_F(PivotPruningTest, PivotPlaneIsChargedToCache) {
+  TardisConfig config;
+  config.word_length = 8;
+  config.initial_bits = 4;
+  config.g_max_size = 60;
+  config.l_max_size = 20;
+  config.sampling_percent = 30.0;
+  config.pth = 4;
+  config.cache_budget_bytes = 4 << 20;
+  config.num_pivots = 0;  // same index, no pivots
+  auto plain = TardisIndex::Build(cluster_, *store_, dir_.Sub("plain"),
+                                  config, nullptr);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+
+  // Touch every partition in both indexes, then compare charged bytes.
+  index_->SetPivotPruning(true);
+  for (size_t q = 0; q < 5; ++q) {
+    ASSERT_OK(index_
+                  ->KnnApproximate(queries_[q], kK,
+                                   KnnStrategy::kMultiPartitions, nullptr)
+                  .status());
+    ASSERT_OK(plain
+                  ->KnnApproximate(queries_[q], kK,
+                                   KnnStrategy::kMultiPartitions, nullptr)
+                  .status());
+  }
+  const PartitionCacheStats with_pivots = index_->CacheStats();
+  const PartitionCacheStats without = plain->CacheStats();
+  ASSERT_GT(with_pivots.resident_partitions, 0u);
+  EXPECT_GT(with_pivots.resident_bytes, without.resident_bytes);
+}
+
+}  // namespace
+}  // namespace tardis

@@ -4,7 +4,7 @@
 //   gen    --kind rw|tx|dn|na --count N --out DIR [--length N] [--seed S]
 //   build  --data DIR --index DIR [--gmax N] [--lmax N] [--sample P]
 //          [--bits B] [--w W] [--workers N] [--no-bloom]
-//          [--cache-mb MB] [--spill-mb MB]
+//          [--cache-mb MB] [--spill-mb MB] [--pivots K]
 //   stats  --index DIR
 //   exact  --index DIR --data DIR --rid N [--no-bloom] [--cache-mb MB]
 //   knn    --index DIR --data DIR --rid N [--k K]
@@ -16,6 +16,15 @@
 // build time it is persisted as the index default, on query commands it
 // overrides the persisted budget for that invocation. --spill-mb sets the
 // streaming shuffle's per-worker spill threshold.
+//
+// --pivots K at build time selects K reference pivots and materialises the
+// per-record pivot-distance sidecars that power triangle-inequality pruning
+// (0, the default, disables the feature; see docs/TUNING.md). On the query
+// commands --pivots on|off toggles the pruning per invocation and
+// --sched on|off toggles the batch engine's adaptive partition scheduler;
+// both default to on (override process-wide with TARDIS_PIVOTS=off /
+// TARDIS_SCHED=off). Neither changes results — only work skipped and
+// dispatch order.
 //
 // Query commands (exact/knn/range) also accept --arena-stats: after the
 // query ran, print the partition cache's resident columnar arenas (count and
@@ -181,6 +190,7 @@ int CmdBuild(const Flags& flags) {
       flags.GetU64("spill-mb", config.shuffle_spill_bytes >> 20) << 20;
   config.retry.max_attempts = static_cast<uint32_t>(
       flags.GetU64("max-task-retries", config.retry.max_attempts - 1) + 1);
+  config.num_pivots = static_cast<uint32_t>(flags.GetU64("pivots", 0));
 
   auto cluster = std::make_shared<Cluster>(config.num_workers);
   TardisIndex::BuildTimings timings;
@@ -209,8 +219,8 @@ int CmdBuild(const Flags& flags) {
   return 0;
 }
 
-// Applies per-invocation --cache-mb / --max-task-retries overrides to an
-// opened index.
+// Applies per-invocation --cache-mb / --max-task-retries / --pivots
+// overrides to an opened index.
 void ApplyCacheOverride(const Flags& flags, TardisIndex* index) {
   if (flags.Has("cache-mb")) {
     index->SetCacheBudget(flags.GetU64("cache-mb", 0) << 20);
@@ -220,6 +230,16 @@ void ApplyCacheOverride(const Flags& flags, TardisIndex* index) {
     retry.max_attempts =
         static_cast<uint32_t>(flags.GetU64("max-task-retries", 2) + 1);
     index->SetRetryPolicy(retry);
+  }
+  if (flags.Has("pivots")) {
+    index->SetPivotPruning(flags.Get("pivots") != "off");
+  }
+}
+
+// Applies the per-invocation --sched on|off override to a batch engine.
+void ApplySchedOverride(const Flags& flags, QueryEngine* engine) {
+  if (flags.Has("sched")) {
+    engine->SetSchedulingEnabled(flags.Get("sched") != "off");
   }
 }
 
@@ -377,6 +397,7 @@ int CmdExact(const Flags& flags) {
     auto queries = LoadQueries(data, *batch_rids);
     if (!queries.ok()) return Fail(queries.status());
     QueryEngine engine(*index);
+    ApplySchedOverride(flags, &engine);
     Stopwatch sw;
     QueryEngineStats qstats;
     auto results =
@@ -446,6 +467,7 @@ int CmdKnn(const Flags& flags) {
     auto queries = LoadQueries(data, *batch_rids);
     if (!queries.ok()) return Fail(queries.status());
     QueryEngine engine(*index);
+    ApplySchedOverride(flags, &engine);
     Stopwatch sw;
     QueryEngineStats qstats;
     auto results = engine.KnnApproximateBatch(*queries, k, strat, &qstats);
@@ -509,6 +531,7 @@ int CmdRange(const Flags& flags) {
     auto queries = LoadQueries(data, *batch_rids);
     if (!queries.ok()) return Fail(queries.status());
     QueryEngine engine(*index);
+    ApplySchedOverride(flags, &engine);
     Stopwatch sw;
     QueryEngineStats qstats;
     auto results = engine.RangeSearchBatch(*queries, radius, &qstats);
