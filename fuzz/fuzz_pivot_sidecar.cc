@@ -1,0 +1,55 @@
+// Fuzz target: the pivot machinery's two untrusted-decode surfaces —
+// PivotSet::Decode (index metadata block) and
+// PartitionArena::AttachPivotSidecar (the ".pivotd" sidecar payload:
+// [u32 num_pivots][u32 num_records][f32 row-major distances]).
+//
+// Input layout: [arena_records_selector u8][payload...]. The selector sizes
+// the arena the sidecar is attached to, so record-count mismatches between
+// sidecar and partition (a real failure mode after a partial rewrite) are
+// explored alongside torn payloads.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/pivots.h"
+#include "fuzz_util.h"
+#include "storage/partition_arena.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace tardis;
+  if (size < 1) return 0;
+  const uint32_t num_records = 1 + data[0] % 16;
+  const std::string_view payload(reinterpret_cast<const char*>(data + 1),
+                                 size - 1);
+
+  Result<PivotSet> pivots = PivotSet::Decode(payload);
+  if (!pivots.ok()) {
+    fuzz::CheckRejection(pivots.status());
+  } else if (pivots->num_pivots() > 0) {
+    // Exercise the decoded set: distances from a flat query to every pivot.
+    std::vector<float> query(pivots->series_length(), 0.0f);
+    std::vector<float> dists(pivots->num_pivots());
+    pivots->ComputeDistancesF32(query.data(), dists.data());
+    fuzz::Consume(dists.data(), dists.size());
+  }
+
+  constexpr uint32_t kSeriesLength = 8;
+  PartitionArena arena = PartitionArena::Allocate(num_records, kSeriesLength);
+  for (uint32_t i = 0; i < num_records; ++i) {
+    arena.set_rid(i, i);
+    float* row = arena.mutable_values(i);
+    for (uint32_t j = 0; j < kSeriesLength; ++j) row[j] = 0.0f;
+  }
+  const Status attached = arena.AttachPivotSidecar(payload, "fuzz-input");
+  if (!attached.ok()) {
+    fuzz::CheckRejection(attached);
+    return 0;
+  }
+  if (arena.has_pivots()) {
+    fuzz::Consume(arena.pivot_plane(),
+                  static_cast<size_t>(arena.num_records()) *
+                      arena.num_pivots());
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Shared assertions for the deserializer fuzz targets (docs/STATIC_ANALYSIS.md).
+//
+// Each target's contract: for ANY input bytes the decoder must either
+// succeed or return a clean structured rejection (kCorruption for torn or
+// tampered bytes, kInvalidArgument for well-formed bytes that contradict the
+// caller-supplied configuration). Crashes, sanitizer reports, hangs, and any
+// other status class are fuzzing failures.
+
+#ifndef TARDIS_FUZZ_FUZZ_UTIL_H_
+#define TARDIS_FUZZ_FUZZ_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+
+namespace tardis {
+namespace fuzz {
+
+// Aborts (so the fuzzer records a crash) when a rejection is not one of the
+// two clean classifications.
+inline void CheckRejection(const Status& st) {
+  if (st.code() == StatusCode::kCorruption ||
+      st.code() == StatusCode::kInvalidArgument) {
+    return;
+  }
+  std::fprintf(stderr, "fuzz: unexpected rejection class: %s\n",
+               st.ToString().c_str());
+  std::abort();
+}
+
+// Forces a read of every byte-derived value so ASan sees any overread the
+// decoder's bookkeeping missed (the optimizer must not drop the loop).
+inline void Consume(const volatile float* p, size_t n) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) acc += p[i];
+  volatile float sink = acc;
+  (void)sink;  // value intentionally unused; the loop exists for ASan
+}
+
+}  // namespace fuzz
+}  // namespace tardis
+
+#endif  // TARDIS_FUZZ_FUZZ_UTIL_H_

@@ -1,0 +1,193 @@
+// Seed-corpus generator: builds small *real* structures through the same
+// encoders the index build uses, and writes their serialized bytes (plus
+// each fuzz target's selector-byte prefix) into fuzz/corpus/<target>/.
+//
+// Run once after changing a serialization format, then check the outputs
+// in:  ./make_corpus <repo>/fuzz/corpus
+//
+// Seeds are deterministic (fixed Rng seeds), so regenerating produces
+// byte-identical files and corpus diffs stay reviewable.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "baseline/ibt.h"
+#include "common/rng.h"
+#include "common/serde.h"
+#include "core/pivots.h"
+#include "core/region_summary.h"
+#include "sigtree/sigtree.h"
+#include "ts/isaxt.h"
+#include "ts/sax.h"
+#include "ts/time_series.h"
+
+namespace tardis {
+namespace {
+
+bool WriteSeed(const std::filesystem::path& dir, const std::string& name,
+               const std::string& bytes) {
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path path = dir / name;
+  // tardis-lint: allow(direct-write) corpus seeds are dev-tool outputs
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "make_corpus: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), bytes.size());
+  return true;
+}
+
+std::string RandomSig(const ISaxTCodec& codec, Rng* rng) {
+  std::vector<double> paa(codec.word_length());
+  for (auto& v : paa) v = rng->NextGaussian();
+  return codec.Encode(paa);
+}
+
+// Selector prefix used by fuzz_sigtree: w = 4*(1+b0%4), bits = 1+b1%16.
+std::string SigTreeSeed(uint32_t w, uint8_t bits, uint64_t rng_seed,
+                        uint32_t entries, uint64_t split_threshold) {
+  auto codec = *ISaxTCodec::Make(w, bits);
+  SigTree tree(codec);
+  Rng rng(rng_seed);
+  for (uint32_t i = 0; i < entries; ++i) {
+    tree.InsertEntry(RandomSig(codec, &rng), i, split_threshold);
+  }
+  std::vector<uint32_t> order;
+  tree.AssignClusteredRanges(&order);
+  std::string bytes;
+  bytes.push_back(static_cast<char>(w / 4 - 1));
+  bytes.push_back(static_cast<char>(bits - 1));
+  tree.EncodeTo(&bytes);
+  return bytes;
+}
+
+ISaxSignature RandomISax(uint32_t w, uint8_t bits, Rng* rng) {
+  std::vector<double> paa(w);
+  for (auto& v : paa) v = rng->NextGaussian();
+  return ISaxFromPaa(paa, bits);
+}
+
+std::string IbtSeed(uint32_t w, uint8_t bits, uint64_t rng_seed,
+                    uint32_t entries, uint64_t split_threshold) {
+  IBTree tree(w, bits, IBTree::SplitPolicy::kStatistics, split_threshold);
+  Rng rng(rng_seed);
+  for (uint32_t i = 0; i < entries; ++i) {
+    tree.Insert(RandomISax(w, bits, &rng), i);
+  }
+  std::vector<uint32_t> order;
+  tree.AssignClusteredRanges(&order);
+  std::string bytes;
+  tree.EncodeTo(&bytes);
+  return bytes;
+}
+
+std::string RegionSeed(uint32_t w, uint8_t bits, uint64_t rng_seed,
+                       uint32_t words) {
+  RegionSummary summary;
+  Rng rng(rng_seed);
+  for (uint32_t i = 0; i < words; ++i) {
+    std::vector<double> paa(w);
+    for (auto& v : paa) v = rng.NextGaussian();
+    summary.Extend(SaxFromPaa(paa, bits));
+  }
+  std::string bytes;
+  summary.EncodeTo(&bytes);
+  return bytes;
+}
+
+// Partition payload: repeated [rid u64 LE][f32 x series_length], prefixed
+// with fuzz_partition_arena's two selector bytes encoding series_length.
+std::string ArenaSeed(uint32_t series_length, uint32_t records,
+                      uint64_t rng_seed) {
+  const uint32_t selector = series_length - 1;  // 1 + (sel % 1024)
+  std::string bytes;
+  bytes.push_back(static_cast<char>(selector & 0xFF));
+  bytes.push_back(static_cast<char>((selector >> 8) & 0xFF));
+  Rng rng(rng_seed);
+  for (uint32_t r = 0; r < records; ++r) {
+    PutFixed<uint64_t>(&bytes, 1000 + r);
+    for (uint32_t j = 0; j < series_length; ++j) {
+      PutFixed<float>(&bytes, static_cast<float>(rng.NextGaussian()));
+    }
+  }
+  return bytes;
+}
+
+// ".pivotd" sidecar payload for an arena of `records` records, prefixed
+// with fuzz_pivot_sidecar's selector byte (records = 1 + b0 % 16).
+std::string PivotSidecarSeed(uint32_t num_pivots, uint32_t records,
+                             uint64_t rng_seed) {
+  std::string bytes;
+  bytes.push_back(static_cast<char>(records - 1));
+  PutFixed<uint32_t>(&bytes, num_pivots);
+  PutFixed<uint32_t>(&bytes, records);
+  Rng rng(rng_seed);
+  for (uint32_t i = 0; i < records * num_pivots; ++i) {
+    PutFixed<float>(&bytes, static_cast<float>(std::abs(rng.NextGaussian())));
+  }
+  return bytes;
+}
+
+// Serialized PivotSet (also consumed by fuzz_pivot_sidecar, which feeds the
+// same payload to both PivotSet::Decode and AttachPivotSidecar).
+std::string PivotSetSeed(uint32_t k, uint32_t series_length,
+                         uint64_t rng_seed) {
+  Rng rng(rng_seed);
+  std::vector<TimeSeries> sample;
+  for (uint32_t i = 0; i < 4 * k; ++i) {
+    TimeSeries ts(series_length);
+    for (auto& v : ts) v = static_cast<float>(rng.NextGaussian());
+    sample.push_back(std::move(ts));
+  }
+  const PivotSet pivots = PivotSet::Select(sample, k, /*seed=*/1);
+  std::string bytes;
+  bytes.push_back(static_cast<char>(3));  // arena records selector: 4
+  pivots.EncodeTo(&bytes);
+  return bytes;
+}
+
+int Run(const std::filesystem::path& root) {
+  bool ok = true;
+  ok &= WriteSeed(root / "sigtree", "small_w8b5.bin",
+                  SigTreeSeed(8, 5, 1, 200, 20));
+  ok &= WriteSeed(root / "sigtree", "deep_w4b16.bin",
+                  SigTreeSeed(4, 16, 2, 400, 4));
+  ok &= WriteSeed(root / "sigtree", "wide_w16b3.bin",
+                  SigTreeSeed(16, 3, 3, 300, 10));
+  ok &= WriteSeed(root / "ibt", "small_w4b6.bin", IbtSeed(4, 6, 4, 200, 16));
+  ok &= WriteSeed(root / "ibt", "deep_w8b9.bin", IbtSeed(8, 9, 5, 600, 8));
+  ok &= WriteSeed(root / "region_summary", "w8b4.bin", RegionSeed(8, 4, 6, 64));
+  ok &= WriteSeed(root / "region_summary", "w16b8.bin",
+                  RegionSeed(16, 8, 7, 128));
+  ok &= WriteSeed(root / "region_summary", "empty.bin", RegionSeed(8, 4, 8, 0));
+  ok &= WriteSeed(root / "partition_arena", "len16x8.bin", ArenaSeed(16, 8, 9));
+  ok &= WriteSeed(root / "partition_arena", "len256x3.bin",
+                  ArenaSeed(256, 3, 10));
+  ok &= WriteSeed(root / "partition_arena", "len1x1.bin", ArenaSeed(1, 1, 11));
+  ok &= WriteSeed(root / "pivot_sidecar", "p4r4.bin",
+                  PivotSidecarSeed(4, 4, 12));
+  ok &= WriteSeed(root / "pivot_sidecar", "p1r16.bin",
+                  PivotSidecarSeed(1, 16, 13));
+  ok &= WriteSeed(root / "pivot_sidecar", "pivotset_k4.bin",
+                  PivotSetSeed(4, 8, 14));
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace tardis
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-root-dir>\n", argv[0]);
+    return 2;
+  }
+  return tardis::Run(argv[1]);
+}

@@ -1,0 +1,62 @@
+// Standalone driver for the fuzz targets when libFuzzer is unavailable
+// (GCC builds, and the ctest corpus-replay targets). Each argument is a
+// corpus file or a directory of corpus files; every input is fed through
+// LLVMFuzzerTestOneInput exactly as the fuzzer would. Exit 0 means every
+// input was classified cleanly (the harness aborts otherwise).
+//
+// Under libFuzzer builds (TARDIS_FUZZ_LIBFUZZER=ON) this file is not
+// linked; libFuzzer provides main().
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+bool RunFile(const std::filesystem::path& path, size_t* count) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "replay: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  ++*count;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t count = 0;
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      // Deterministic order, so a failing input reproduces by position.
+      std::sort(files.begin(), files.end());
+      for (const auto& f : files) ok = RunFile(f, &count) && ok;
+    } else {
+      ok = RunFile(arg, &count) && ok;
+    }
+  }
+  if (count == 0) {
+    std::fprintf(stderr, "replay: no inputs given\n");
+    return 2;
+  }
+  std::printf("replay: %zu input(s) classified cleanly\n", count);
+  return ok ? 0 : 1;
+}

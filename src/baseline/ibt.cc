@@ -220,8 +220,16 @@ void EncodeNode(const IBTree::Node& node, uint32_t w, std::string* out) {
   for (const auto& child : node.children) EncodeNode(*child, w, out);
 }
 
+// Hard cap on decode recursion: a hostile file can encode a single-child
+// chain at ~(24 + 3w) bytes per level, overflowing the stack well before
+// the per-node byte-budget checks reject it.
+constexpr uint32_t kMaxDecodeDepth = 512;
+
 Status DecodeNode(SliceReader* reader, IBTree::Node* node, uint32_t w,
                   uint8_t max_bits, uint32_t depth) {
+  if (depth > kMaxDecodeDepth) {
+    return Status::Corruption("ibt: node nesting too deep");
+  }
   int32_t split_char = -1;
   uint32_t num_children = 0;
   if (!reader->GetFixed(&split_char) || !reader->GetFixed(&node->count) ||
@@ -274,6 +282,12 @@ Result<IBTree> IBTree::Decode(std::string_view in) {
       !reader.GetFixed(&policy) || !reader.GetFixed(&threshold) || w == 0 ||
       max_bits == 0) {
     return Status::Corruption("ibt: truncated header");
+  }
+  // Even the root node must carry 3 bytes of signature per word character,
+  // so a `w` larger than the remaining payload can only come from a corrupt
+  // header; reject it before DecodeNode's resize(w) allocates gigabytes.
+  if (max_bits > 16 || w > reader.remaining() / 3) {
+    return Status::Corruption("ibt: implausible header");
   }
   IBTree tree(w, max_bits,
               policy == 0 ? SplitPolicy::kRoundRobin : SplitPolicy::kStatistics,

@@ -31,19 +31,19 @@ Result<std::vector<uint64_t>> ShuffleToPartitions(
     return Status::InvalidArgument("spill threshold must be positive");
   }
 
-  std::mutex err_mu;
+  Mutex err_mu;
   Status first_error;
   std::atomic<bool> cancelled{false};
   auto record_error = [&](const Status& st) {
-    std::lock_guard<std::mutex> lock(err_mu);
+    MutexLock lock(err_mu);
     if (first_error.ok()) first_error = st;
     cancelled.store(true, std::memory_order_relaxed);
   };
 
-  std::mutex job_mu;
+  Mutex job_mu;
   JobMetrics job_acc;
   auto merge_job = [&](const JobMetrics& m) {
-    std::lock_guard<std::mutex> lock(job_mu);
+    MutexLock lock(job_mu);
     job_acc += m;
   };
   // Task counters are exported on every exit path, success or abort, so a
@@ -92,10 +92,10 @@ Result<std::vector<uint64_t>> ShuffleToPartitions(
   // Appends to one partition file must be serialized; striped locks keep the
   // critical section to just the file write.
   constexpr size_t kStripes = 64;
-  std::array<std::mutex, kStripes> stripes;
+  std::array<Mutex, kStripes> stripes;
 
   std::vector<uint64_t> counts(num_partitions, 0);
-  std::mutex counts_mu;
+  Mutex counts_mu;
 
   std::atomic<uint64_t> spill_flushes{0}, final_flushes{0};
   std::atomic<uint64_t> buffered_now{0}, peak_buffered{0};
@@ -117,7 +117,7 @@ Result<std::vector<uint64_t>> ShuffleToPartitions(
       for (auto& [pid, bytes] : buffers) {
         if (bytes.empty()) continue;
         {
-          std::lock_guard<std::mutex> lock(stripes[pid % kStripes]);
+          MutexLock lock(stripes[pid % kStripes]);
           // The append fault hook fires before any bytes reach the file, so
           // a retried flush never lands twice; a real torn append is caught
           // by the frame checksum at read time instead.
@@ -180,7 +180,7 @@ Result<std::vector<uint64_t>> ShuffleToPartitions(
         }
       }
       TARDIS_RETURN_NOT_OK(flush_all(/*final_flush=*/true));
-      std::lock_guard<std::mutex> lock(counts_mu);
+      MutexLock lock(counts_mu);
       for (uint32_t pid = 0; pid < num_partitions; ++pid) {
         counts[pid] += local_counts[pid];
       }
@@ -194,6 +194,7 @@ Result<std::vector<uint64_t>> ShuffleToPartitions(
     // build starts over from empty files instead of appending onto a
     // partial run (which would double-count records).
     cluster.pool().ParallelFor(num_partitions, [&](size_t pid) {
+      // Best-effort cleanup: the shuffle error below is what callers see.
       (void)output.RemovePartition(static_cast<PartitionId>(pid));
     });
     export_job();
@@ -230,7 +231,7 @@ Result<std::vector<uint64_t>> ShuffleToPartitions(
 Status MapPartitions(Cluster& cluster, uint32_t num_partitions,
                      const std::function<Status(PartitionId)>& fn,
                      const RetryPolicy& retry, JobMetrics* job) {
-  std::mutex err_mu;
+  Mutex err_mu;
   Status first_error;
   JobMetrics job_acc;
   std::atomic<bool> cancelled{false};
@@ -249,7 +250,7 @@ Status MapPartitions(Cluster& cluster, uint32_t num_partitions,
           return fn(static_cast<PartitionId>(pid));
         },
         &task_metrics);
-    std::lock_guard<std::mutex> lock(err_mu);
+    MutexLock lock(err_mu);
     job_acc += task_metrics;
     if (!st.ok()) {
       if (first_error.ok()) first_error = st;

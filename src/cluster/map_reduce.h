@@ -17,7 +17,6 @@
 
 #include <atomic>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -27,6 +26,7 @@
 #include "common/retry.h"
 #include "common/status.h"
 #include "common/telemetry.h"
+#include "common/thread_annotations.h"
 #include "storage/block_store.h"
 #include "storage/partition_store.h"
 
@@ -83,7 +83,8 @@ Result<std::vector<T>> MapBlocks(
     const std::function<Result<T>(uint32_t, const std::vector<Record>&)>& fn,
     const RetryPolicy& retry = RetryPolicy{}, JobMetrics* job = nullptr) {
   std::vector<T> results(blocks.size());
-  std::mutex err_mu;
+  // tardis-lint: allow(unguarded-mutex-member) locals cannot carry GUARDED_BY
+  Mutex err_mu;
   Status first_error;
   JobMetrics job_acc;
   // Cancellation is a lock-free flag so unaffected tasks pay one relaxed
@@ -108,7 +109,7 @@ Result<std::vector<T>> MapBlocks(
         },
         &task_metrics);
     {
-      std::lock_guard<std::mutex> lock(err_mu);
+      MutexLock lock(err_mu);
       job_acc += task_metrics;
       if (!result.ok()) {
         if (first_error.ok()) first_error = result.status();

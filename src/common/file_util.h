@@ -1,0 +1,27 @@
+// Shared file primitives implementing the repo's write discipline
+// (DESIGN.md §7/§11): every durable file is produced by writing a temp file
+// and renaming it into place, so readers never observe a torn write and a
+// crash leaves at worst an orphaned ".tmp". tools/lint/tardis_lint.py bans
+// direct file-writing primitives outside the storage layer — everything
+// else funnels through WriteFileAtomic.
+
+#ifndef TARDIS_COMMON_FILE_UTIL_H_
+#define TARDIS_COMMON_FILE_UTIL_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace tardis {
+
+// Writes `bytes` to `path` atomically: the content lands in `path + ".tmp"`
+// first and is renamed over `path` only after a successful full write, so
+// concurrent readers see either the old file or the complete new one.
+Status WriteFileAtomic(const std::string& path, const std::string& bytes);
+
+// Reads the entire file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace tardis
+
+#endif  // TARDIS_COMMON_FILE_UTIL_H_

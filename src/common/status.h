@@ -29,7 +29,14 @@ enum class StatusCode {
 
 // A Status carries an error code and a human-readable message. The OK status
 // carries neither and is cheap to copy.
-class Status {
+//
+// [[nodiscard]]: silently dropping a Status is how partial writes and
+// swallowed corruption reports happen, so an unused return value is a
+// compiler warning (and -Werror=unused-result in this repo's build makes it
+// an error). To drop one deliberately, cast with a justification:
+//     (void)store.Remove(pid);  // best-effort cleanup; failure re-handled
+// (tools/lint/tardis_lint.py requires the comment.)
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
@@ -94,9 +101,10 @@ class Status {
   std::string msg_;
 };
 
-// Result<T> holds either a value or an error Status.
+// Result<T> holds either a value or an error Status. [[nodiscard]] for the
+// same reason as Status: an ignored Result is an ignored error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit construction from a value or an error Status keeps call sites
   // terse: `return value;` or `return Status::NotFound(...)`.

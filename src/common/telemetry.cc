@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/file_util.h"
+
 namespace tardis {
 namespace telemetry {
 
@@ -81,19 +83,6 @@ void AppendSpanAttrsJson(std::string* out, const SpanRecord& rec) {
     out->append(rec.attrs[i].second);
   }
   out->append("}");
-}
-
-Status WriteStringToFile(const std::string& path, const std::string& body) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    return Status::IOError("cannot open " + path + " for writing");
-  }
-  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
-  const int close_rc = std::fclose(f);
-  if (written != body.size() || close_rc != 0) {
-    return Status::IOError("short write to " + path);
-  }
-  return Status::OK();
 }
 
 }  // namespace
@@ -248,21 +237,21 @@ Registry& Registry::Global() {
 }
 
 Counter& Registry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_shared<Counter>();
   return *slot;
 }
 
 Gauge& Registry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_shared<Gauge>();
   return *slot;
 }
 
 Histogram& Registry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_shared<Histogram>();
   return *slot;
@@ -270,18 +259,18 @@ Histogram& Registry::GetHistogram(const std::string& name) {
 
 void Registry::RegisterCounter(const std::string& name,
                                std::shared_ptr<Counter> c) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counters_[name] = std::move(c);
 }
 
 void Registry::RegisterGauge(const std::string& name,
                              std::shared_ptr<Gauge> g) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   gauges_[name] = std::move(g);
 }
 
 void Registry::RecordSpan(SpanRecord rec) {
-  std::lock_guard<std::mutex> lock(span_mu_);
+  MutexLock lock(span_mu_);
   if (spans_.size() >= kMaxSpans) {
     dropped_spans_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -290,12 +279,12 @@ void Registry::RecordSpan(SpanRecord rec) {
 }
 
 std::vector<SpanRecord> Registry::SnapshotSpans() const {
-  std::lock_guard<std::mutex> lock(span_mu_);
+  MutexLock lock(span_mu_);
   return spans_;
 }
 
 void Registry::ClearSpans() {
-  std::lock_guard<std::mutex> lock(span_mu_);
+  MutexLock lock(span_mu_);
   spans_.clear();
   dropped_spans_.store(0, std::memory_order_relaxed);
 }
@@ -307,7 +296,7 @@ std::string Registry::DumpJson() const {
   std::map<std::string, std::shared_ptr<Gauge>> gauges;
   std::map<std::string, std::shared_ptr<Histogram>> histograms;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     counters = counters_;
     gauges = gauges_;
     histograms = histograms_;
@@ -376,7 +365,7 @@ std::string Registry::DumpJson() const {
 }
 
 Status Registry::DumpJsonToFile(const std::string& path) const {
-  return WriteStringToFile(path, DumpJson());
+  return WriteFileAtomic(path, DumpJson());
 }
 
 std::string Registry::DumpTraceJson() const {
@@ -403,7 +392,7 @@ std::string Registry::DumpTraceJson() const {
 }
 
 Status Registry::DumpTraceJsonToFile(const std::string& path) const {
-  return WriteStringToFile(path, DumpTraceJson());
+  return WriteFileAtomic(path, DumpTraceJson());
 }
 
 }  // namespace telemetry

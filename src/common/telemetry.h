@@ -30,13 +30,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace tardis {
 namespace telemetry {
@@ -244,13 +244,18 @@ class Registry {
   Status DumpTraceJsonToFile(const std::string& path) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<Counter>> counters_;
-  std::map<std::string, std::shared_ptr<Gauge>> gauges_;
-  std::map<std::string, std::shared_ptr<Histogram>> histograms_;
+  // mu_ guards the name->metric maps only; the metric objects themselves are
+  // sharded/relaxed atomics and are read and written without it.
+  mutable Mutex mu_;
+  std::map<std::string, std::shared_ptr<Counter>> counters_
+      TARDIS_GUARDED_BY(mu_);
+  std::map<std::string, std::shared_ptr<Gauge>> gauges_
+      TARDIS_GUARDED_BY(mu_);
+  std::map<std::string, std::shared_ptr<Histogram>> histograms_
+      TARDIS_GUARDED_BY(mu_);
 
-  mutable std::mutex span_mu_;
-  std::vector<SpanRecord> spans_;
+  mutable Mutex span_mu_;
+  std::vector<SpanRecord> spans_ TARDIS_GUARDED_BY(span_mu_);
   std::atomic<uint64_t> dropped_spans_{0};
 };
 

@@ -1,0 +1,142 @@
+// Clang Thread Safety Analysis support (DESIGN.md §11, docs/STATIC_ANALYSIS.md).
+//
+// Every lock-protected member in the runtime is annotated with
+// TARDIS_GUARDED_BY, every lock-requiring function with TARDIS_REQUIRES, and
+// the whole tree compiles under `-Wthread-safety -Werror=thread-safety`
+// (CMake option TARDIS_THREAD_SAFETY, Clang only), so a lock-discipline
+// violation — touching a guarded member without its mutex, releasing a lock
+// twice, calling a REQUIRES function unlocked — is a *build failure*, not a
+// TSan roll of the dice. Under GCC the attributes expand to nothing and the
+// wrappers cost exactly what std::mutex / std::lock_guard cost.
+//
+// The analysis only sees annotated capabilities, so the raw standard types
+// are banned outside this header (enforced by tools/lint/tardis_lint.py):
+// use tardis::Mutex, tardis::MutexLock, and tardis::CondVar instead of
+// std::mutex, std::lock_guard/std::unique_lock, and std::condition_variable.
+//
+// Condition-variable predicates: prefer the explicit loop form
+//     while (!ready_) cv_.Wait(lock);
+// over Wait(lock, pred) when the predicate reads guarded members — Clang
+// analyzes lambda bodies as separate functions that do not inherit the
+// caller's capability set, so a guarded read inside a predicate lambda
+// would (falsely) warn. The loop body runs in the scope that holds the lock.
+
+#ifndef TARDIS_COMMON_THREAD_ANNOTATIONS_H_
+#define TARDIS_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+// Attribute spelling: active under Clang (and any compiler advertising the
+// capability via __has_attribute), a no-op elsewhere. GCC compiles the
+// annotated tree unchanged; only Clang checks it.
+#if defined(__clang__) && defined(__has_attribute)
+#define TARDIS_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define TARDIS_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+// On a data member: may only be read or written while holding `x`.
+#define TARDIS_GUARDED_BY(x) TARDIS_THREAD_ANNOTATION_(guarded_by(x))
+// On a pointer member: the *pointee* is protected by `x` (the pointer
+// itself is not).
+#define TARDIS_PT_GUARDED_BY(x) TARDIS_THREAD_ANNOTATION_(pt_guarded_by(x))
+// On a function: caller must hold the listed capabilities (exclusively /
+// shared) for the duration of the call.
+#define TARDIS_REQUIRES(...) \
+  TARDIS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define TARDIS_REQUIRES_SHARED(...) \
+  TARDIS_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+// On a function: acquires / releases the listed capabilities. With no
+// argument on a member of a capability class, refers to `this`.
+#define TARDIS_ACQUIRE(...) \
+  TARDIS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define TARDIS_RELEASE(...) \
+  TARDIS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define TARDIS_TRY_ACQUIRE(...) \
+  TARDIS_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+// On a function: caller must NOT hold the listed capabilities (deadlock
+// guard for functions that acquire them internally).
+#define TARDIS_EXCLUDES(...) \
+  TARDIS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+// Lock-ordering declarations between mutex members.
+#define TARDIS_ACQUIRED_BEFORE(...) \
+  TARDIS_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define TARDIS_ACQUIRED_AFTER(...) \
+  TARDIS_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+// On a function returning a reference to a capability.
+#define TARDIS_RETURN_CAPABILITY(x) \
+  TARDIS_THREAD_ANNOTATION_(lock_returned(x))
+// Escape hatch: disables the analysis for one function. Every use must carry
+// a comment explaining why the discipline holds anyway.
+#define TARDIS_NO_THREAD_SAFETY_ANALYSIS \
+  TARDIS_THREAD_ANNOTATION_(no_thread_safety_analysis)
+// Class-level markers for capability types and scoped (RAII) capabilities.
+#define TARDIS_CAPABILITY(x) TARDIS_THREAD_ANNOTATION_(capability(x))
+#define TARDIS_SCOPED_CAPABILITY TARDIS_THREAD_ANNOTATION_(scoped_lockable)
+
+namespace tardis {
+
+class CondVar;
+
+// std::mutex with a declared capability, so members can be TARDIS_GUARDED_BY
+// it and functions TARDIS_REQUIRES it. Same layout cost as std::mutex.
+class TARDIS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() TARDIS_ACQUIRE() { mu_.lock(); }
+  void Unlock() TARDIS_RELEASE() { mu_.unlock(); }
+  bool TryLock() TARDIS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII lock over a tardis::Mutex — the annotated stand-in for both
+// std::lock_guard (construct and forget) and std::unique_lock (the manual
+// Unlock/Lock pair brackets a slow operation, e.g. running a cache loader
+// outside the shard lock; CondVar waits take the whole MutexLock).
+class TARDIS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) TARDIS_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() TARDIS_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // Manual bracket for "unlock around slow work, re-lock after". The scoped
+  // capability must be re-held when the MutexLock goes out of scope.
+  void Unlock() TARDIS_RELEASE() { lock_.unlock(); }
+  void Lock() TARDIS_ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+// Condition variable taking MutexLock directly. Wait atomically releases and
+// re-acquires the lock; from the analysis' point of view the capability is
+// held across the call (the temporary release is invisible, which is sound:
+// the caller re-holds it whenever Wait returns).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace tardis
+
+#endif  // TARDIS_COMMON_THREAD_ANNOTATIONS_H_

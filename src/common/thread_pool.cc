@@ -7,15 +7,15 @@ namespace tardis {
 
 void TaskGroup::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++pending_;
   }
   pool_->Enqueue({std::move(task), this});
 }
 
 void TaskGroup::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(mu_);
+  while (pending_ != 0) done_cv_.Wait(lock);
 }
 
 void TaskGroup::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -42,35 +42,35 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  task_cv_.notify_all();
+  task_cv_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
 void ThreadPool::Enqueue(Task task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     tasks_.push(std::move(task));
   }
-  task_cv_.notify_one();
+  task_cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && tasks_.empty()) task_cv_.Wait(lock);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
     }
     task.fn();
     {
-      std::lock_guard<std::mutex> lock(task.group->mu_);
-      if (--task.group->pending_ == 0) task.group->done_cv_.notify_all();
+      MutexLock lock(task.group->mu_);
+      if (--task.group->pending_ == 0) task.group->done_cv_.NotifyAll();
     }
   }
 }

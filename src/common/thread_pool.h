@@ -9,13 +9,13 @@
 #ifndef TARDIS_COMMON_THREAD_POOL_H_
 #define TARDIS_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace tardis {
 
@@ -46,9 +46,9 @@ class TaskGroup {
   friend class ThreadPool;
 
   ThreadPool* pool_;
-  std::mutex mu_;
-  std::condition_variable done_cv_;
-  size_t pending_ = 0;  // queued + running tasks of this group
+  Mutex mu_;
+  CondVar done_cv_;
+  size_t pending_ TARDIS_GUARDED_BY(mu_) = 0;  // queued + running group tasks
 };
 
 class ThreadPool {
@@ -82,10 +82,10 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> threads_;
-  std::queue<Task> tasks_;
-  std::mutex mu_;
-  std::condition_variable task_cv_;  // signals workers: work available / stop
-  bool stop_ = false;
+  Mutex mu_;
+  std::queue<Task> tasks_ TARDIS_GUARDED_BY(mu_);
+  CondVar task_cv_;  // signals workers: work available / stop
+  bool stop_ TARDIS_GUARDED_BY(mu_) = false;
   TaskGroup default_group_{this};
 };
 

@@ -111,6 +111,7 @@ Result<GlobalIndex> GlobalIndex::Build(Cluster& cluster,
     for (const auto& [sig, freq] : layer_nodes[layer]) {
       TARDIS_ASSIGN_OR_RETURN(SigTree::Node * node,
                               tree.InsertStatNode(sig, freq));
+      // Only the insertion (and its error) matter; the node is not used.
       (void)node;
     }
   }

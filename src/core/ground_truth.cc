@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "cluster/map_reduce.h"
+#include "common/file_util.h"
 #include "common/serde.h"
 #include "ts/distance.h"
 
@@ -162,8 +163,10 @@ Result<std::vector<std::vector<Neighbor>>> CachedExactKnn(
       PutFixed<uint64_t>(&bytes, nb.rid);
     }
   }
-  std::ofstream out(cache_path, std::ios::binary | std::ios::trunc);
-  if (out) out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  // Best-effort cache: a failed write only costs a recompute next run, but
+  // it must still be atomic — a torn cache file would be *read back* as
+  // ground truth by the next invocation.
+  (void)WriteFileAtomic(cache_path, bytes);
   return result;
 }
 

@@ -11,11 +11,11 @@
 // the partition-batched QueryEngine so both paths return identical results.
 
 #include <algorithm>
-#include <mutex>
 #include <optional>
 
 #include "common/rng.h"
 #include "common/telemetry.h"
+#include "common/thread_annotations.h"
 #include "core/query_scan.h"
 #include "core/query_telemetry.h"
 #include "core/tardis_index.h"
@@ -183,7 +183,7 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
   // Scan all selected partitions in parallel; each produces a local top-k.
   // A sibling that cannot be loaded after retries is skipped (degraded
   // coverage); non-transient errors still abort the query.
-  std::mutex mu;
+  Mutex mu;
   TopK merged(k);
   uint64_t total_candidates = candidates;
   uint64_t total_pivot_pruned = pivot_pruned;
@@ -206,7 +206,7 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
       part_timer.Lap("scan");
     } else {
       auto handle_load_error = [&](const Status& st) {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         if (IsDegradableLoadError(st)) {
           ++failed;
         } else if (first_error.ok()) {
@@ -230,7 +230,7 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
       part_timer.Lap("scan");
     }
     auto part = part_topk.Take();
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     for (const Neighbor& nb : part) merged.Offer(nb.distance, nb.rid);
     total_candidates += part_candidates;
     total_pivot_pruned += part_pruned;

@@ -26,7 +26,7 @@ PartitionScheduler::PartitionScheduler() : alpha_(AlphaFromEnv()) {}
 double PartitionScheduler::EstimateCostUs(const PartitionTaskInfo& info) const {
   double us_per_unit = kDefaultUsPerUnit;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = per_pid_.find(info.pid);
     if (it != per_pid_.end() && it->second.seeded) {
       us_per_unit = it->second.us_per_unit;
@@ -45,7 +45,7 @@ void PartitionScheduler::ObserveScan(PartitionId pid, uint64_t units,
                                      double elapsed_us) {
   if (units == 0) units = 1;
   const double observed = elapsed_us / static_cast<double>(units);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto update = [this, observed](Ewma* e) {
     if (!e->seeded) {
       e->us_per_unit = observed;
@@ -91,9 +91,9 @@ void PartitionScheduler::Run(const std::vector<PartitionTaskInfo>& tasks,
   for (size_t i = 0; i < plan.size(); ++i) {
     queues[i % workers].push_back(plan[i]);
   }
-  std::mutex qmu;
+  Mutex qmu;
   auto next_task = [&](size_t self, size_t* out) {
-    std::lock_guard<std::mutex> lock(qmu);
+    MutexLock lock(qmu);
     if (!queues[self].empty()) {
       *out = queues[self].front();
       queues[self].pop_front();

@@ -30,10 +30,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "storage/record.h"
 
@@ -91,9 +91,9 @@ class PartitionScheduler {
   };
 
   double alpha_;
-  mutable std::mutex mu_;
-  std::unordered_map<PartitionId, Ewma> per_pid_;
-  Ewma global_;
+  mutable Mutex mu_;
+  std::unordered_map<PartitionId, Ewma> per_pid_ TARDIS_GUARDED_BY(mu_);
+  Ewma global_ TARDIS_GUARDED_BY(mu_);
 };
 
 }  // namespace tardis

@@ -7,11 +7,11 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <utility>
 
 #include "common/stopwatch.h"
 #include "common/telemetry.h"
+#include "common/thread_annotations.h"
 #include "core/query_scan.h"
 #include "core/query_telemetry.h"
 #include "core/topk.h"
@@ -156,7 +156,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
 
   PartitionCache* cache = index_->cache_.get();
   std::vector<ScopedPin> pins;  // released when the batch returns
-  std::mutex mu;
+  Mutex mu;
   Status first_error;
   std::atomic<uint64_t> candidates{0};
   std::atomic<uint64_t> pivot_pruned{0};
@@ -169,7 +169,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
       failed.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     if (first_error.ok()) first_error = st;
   };
 
@@ -197,7 +197,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
     }
     task_timer.Lap("load");
     if (cache != nullptr) {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       pins.emplace_back(cache, pid);
     }
     if (strategy != KnnStrategy::kTargetNode) local->tree().EnsureWords();
@@ -282,7 +282,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
       }
       task_timer.Lap("load");
       if (cache != nullptr) {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         pins.emplace_back(cache, pid);
       }
       local->tree().EnsureWords();
@@ -367,7 +367,7 @@ Result<std::vector<std::vector<RecordId>>> QueryEngine::ExactMatchBatch(
 
   PartitionCache* cache = index_->cache_.get();
   std::vector<ScopedPin> pins;
-  std::mutex mu;
+  Mutex mu;
   Status first_error;
   std::atomic<uint64_t> candidates{0};
 
@@ -382,7 +382,7 @@ Result<std::vector<std::vector<RecordId>>> QueryEngine::ExactMatchBatch(
     qtel::PhaseTimer task_timer("batch.exact");
     auto local = index_->LoadLocalIndex(pid);
     if (!local.ok()) {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       if (first_error.ok()) first_error = local.status();
       return;
     }
@@ -399,7 +399,7 @@ Result<std::vector<std::vector<RecordId>>> QueryEngine::ExactMatchBatch(
         qtel::PhaseTimer load_timer("batch.exact");
         auto loaded = index_->LoadPartitionShared(pid);
         if (!loaded.ok()) {
-          std::lock_guard<std::mutex> lock(mu);
+          MutexLock lock(mu);
           if (first_error.ok()) first_error = loaded.status();
           return;
         }
@@ -407,7 +407,7 @@ Result<std::vector<std::vector<RecordId>>> QueryEngine::ExactMatchBatch(
         task_timer.Skip();  // keep the lazy load out of the scan lap
         records = *loaded;
         if (cache != nullptr) {
-          std::lock_guard<std::mutex> lock(mu);
+          MutexLock lock(mu);
           pins.emplace_back(cache, pid);
         }
       }
@@ -489,7 +489,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::RangeSearchBatch(
 
   PartitionCache* cache = index_->cache_.get();
   std::vector<ScopedPin> pins;
-  std::mutex mu;
+  Mutex mu;
   Status first_error;
   std::atomic<uint64_t> candidates{0};
   std::atomic<uint64_t> pivot_pruned{0};
@@ -502,7 +502,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::RangeSearchBatch(
       failed.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     if (first_error.ok()) first_error = st;
   };
 
@@ -527,7 +527,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::RangeSearchBatch(
     }
     task_timer.Lap("load");
     if (cache != nullptr) {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       pins.emplace_back(cache, pid);
     }
     local->tree().EnsureWords();

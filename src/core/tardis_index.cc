@@ -4,11 +4,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <mutex>
 
 #include "cluster/map_reduce.h"
+#include "common/file_util.h"
 #include "common/stopwatch.h"
 #include "common/telemetry.h"
+#include "common/thread_annotations.h"
 #include "ts/paa.h"
 #include "ts/znorm.h"
 
@@ -197,7 +198,7 @@ Result<TardisIndex> TardisIndex::Build(std::shared_ptr<Cluster> cluster,
   const bool bloom_inline = config.build_bloom && config.persist_intermediate;
   index.blooms_.resize(index.num_partitions());
   index.regions_.resize(index.num_partitions());
-  std::mutex bloom_mu;
+  Mutex bloom_mu;
   TardisConfig local_cfg = config;
   local_cfg.build_bloom = bloom_inline;
   TARDIS_RETURN_NOT_OK(MapPartitions(
@@ -252,7 +253,7 @@ Result<TardisIndex> TardisIndex::Build(std::shared_ptr<Cluster> cluster,
         TARDIS_RETURN_NOT_OK(
             index.partitions_->WriteSidecar(pid, kRegionSidecar, region_bytes));
         {
-          std::lock_guard<std::mutex> lock(bloom_mu);
+          MutexLock lock(bloom_mu);
           index.regions_[pid] = local.region();
         }
         if (bloom_inline) {
@@ -261,7 +262,7 @@ Result<TardisIndex> TardisIndex::Build(std::shared_ptr<Cluster> cluster,
           bloom->EncodeTo(&bloom_bytes);
           TARDIS_RETURN_NOT_OK(
               index.partitions_->WriteSidecar(pid, kBloomSidecar, bloom_bytes));
-          std::lock_guard<std::mutex> lock(bloom_mu);
+          MutexLock lock(bloom_mu);
           index.blooms_[pid] = std::move(bloom);
         }
         return Status::OK();
@@ -293,7 +294,7 @@ Result<TardisIndex> TardisIndex::Build(std::shared_ptr<Cluster> cluster,
           bloom->EncodeTo(&bloom_bytes);
           TARDIS_RETURN_NOT_OK(
               index.partitions_->WriteSidecar(pid, kBloomSidecar, bloom_bytes));
-          std::lock_guard<std::mutex> lock(bloom_mu);
+          MutexLock lock(bloom_mu);
           index.blooms_[pid] = std::move(bloom);
           return Status::OK();
         },
@@ -329,12 +330,9 @@ Status TardisIndex::SaveMeta() const {
   std::string pivot_bytes;
   if (pivots_ != nullptr) pivots_->EncodeTo(&pivot_bytes);
   PutLengthPrefixed(&bytes, pivot_bytes);
-  std::ofstream out(partitions_->dir() + "/" + kMetaFile,
-                    std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot write index metadata");
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!out) return Status::IOError("short write of index metadata");
-  return Status::OK();
+  // Atomic replace: a crash mid-save must leave the previous metadata
+  // readable (Open would otherwise see a torn header and refuse the index).
+  return WriteFileAtomic(partitions_->dir() + "/" + kMetaFile, bytes);
 }
 
 Result<TardisIndex> TardisIndex::Open(std::shared_ptr<Cluster> cluster,
@@ -409,7 +407,7 @@ Result<TardisIndex> TardisIndex::Open(std::shared_ptr<Cluster> cluster,
   // Restore the memory-resident sidecars (Bloom filters, region summaries).
   index.blooms_.resize(index.num_partitions());
   index.regions_.resize(index.num_partitions());
-  std::mutex mu;
+  Mutex mu;
   TARDIS_RETURN_NOT_OK(MapPartitions(
       *cluster, index.num_partitions(), [&](PartitionId pid) -> Status {
         TARDIS_ASSIGN_OR_RETURN(
@@ -426,7 +424,7 @@ Result<TardisIndex> TardisIndex::Open(std::shared_ptr<Cluster> cluster,
                                   BloomFilter::Decode(bloom_bytes));
           bloom = std::make_unique<BloomFilter>(std::move(decoded));
         }
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         index.regions_[pid] = std::move(region);
         index.blooms_[pid] = std::move(bloom);
         return Status::OK();

@@ -232,8 +232,17 @@ void EncodeNode(const SigTree::Node& node, uint32_t cpl, std::string* out) {
   for (const auto& [chunk, child] : node.children) EncodeNode(*child, cpl, out);
 }
 
+// Hard cap on decode recursion. Levels are bounded by max_bits (<= 16) for
+// trees we build ourselves, but a corrupt or hostile file can encode an
+// arbitrarily deep single-child chain for ~28 bytes per level, which would
+// otherwise overflow the stack long before the byte-budget checks trip.
+constexpr uint32_t kMaxDecodeDepth = 512;
+
 Status DecodeNode(SliceReader* reader, SigTree* tree, SigTree::Node* node,
-                  uint32_t cpl) {
+                  uint32_t cpl, uint32_t depth) {
+  if (depth > kMaxDecodeDepth) {
+    return Status::Corruption("sigtree: node nesting too deep");
+  }
   uint32_t num_pids = 0;
   if (!reader->GetFixed(&node->count) || !reader->GetFixed(&num_pids)) {
     return Status::Corruption("sigtree: truncated node header");
@@ -266,7 +275,14 @@ Status DecodeNode(SliceReader* reader, SigTree* tree, SigTree::Node* node,
       return Status::Corruption("sigtree: truncated chunk");
     }
     SigTree::Node* child = tree->GetOrCreateChild(node, chunk);
-    TARDIS_RETURN_NOT_OK(DecodeNode(reader, tree, child, cpl));
+    // The accumulated signature must decode under this codec (hex chars,
+    // level <= max_bits): EnsureWord and the region-distance paths assume
+    // every stored node signature is valid, so reject bad ones here rather
+    // than crash there.
+    if (!tree->codec().Decode(child->sig).ok()) {
+      return Status::Corruption("sigtree: invalid node signature");
+    }
+    TARDIS_RETURN_NOT_OK(DecodeNode(reader, tree, child, cpl, depth + 1));
   }
   return Status::OK();
 }
@@ -289,7 +305,7 @@ Result<SigTree> SigTree::Decode(std::string_view in, const ISaxTCodec& codec) {
   }
   SigTree tree(codec);
   TARDIS_RETURN_NOT_OK(
-      DecodeNode(&reader, &tree, tree.root(), codec.chars_per_level()));
+      DecodeNode(&reader, &tree, tree.root(), codec.chars_per_level(), 0));
   return tree;
 }
 

@@ -6,6 +6,8 @@
 #include <fstream>
 
 #include "common/fault_injection.h"
+#include "common/file_util.h"
+#include "common/serde.h"
 #include "common/telemetry.h"
 
 namespace fs = std::filesystem;
@@ -14,31 +16,6 @@ namespace tardis {
 
 namespace {
 constexpr uint64_t kMetaMagic = 0x5441524449534253ULL;  // "TARDISBS"
-
-Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IOError("cannot open for write: " + tmp);
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    if (!out) return Status::IOError("short write: " + tmp);
-  }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) return Status::IOError("rename failed: " + path + ": " + ec.message());
-  return Status::OK();
-}
-
-Result<std::string> ReadFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) return Status::IOError("cannot open for read: " + path);
-  const std::streamsize size = in.tellg();
-  in.seekg(0);
-  std::string bytes(static_cast<size_t>(size), '\0');
-  in.read(bytes.data(), size);
-  if (!in) return Status::IOError("short read: " + path);
-  return bytes;
-}
 }  // namespace
 
 std::string BlockStore::BlockPath(uint32_t index) const {
@@ -99,7 +76,7 @@ Result<BlockStore> BlockStore::Create(const std::string& dir,
 }
 
 Result<BlockStore> BlockStore::Open(const std::string& dir) {
-  TARDIS_ASSIGN_OR_RETURN(std::string meta, ReadFile(dir + "/meta.bin"));
+  TARDIS_ASSIGN_OR_RETURN(std::string meta, ReadFileToString(dir + "/meta.bin"));
   SliceReader reader(meta);
   uint64_t magic = 0;
   BlockStore store;
@@ -123,7 +100,7 @@ Result<std::vector<Record>> BlockStore::ReadBlock(uint32_t index) const {
           "tardis.storage.read_block_us");
   telemetry::ScopedLatency timer(read_us);
   TARDIS_RETURN_NOT_OK(MaybeInjectFault(FaultSite::kReadBlock, BlockPath(index)));
-  TARDIS_ASSIGN_OR_RETURN(std::string bytes, ReadFile(BlockPath(index)));
+  TARDIS_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(BlockPath(index)));
   if (telemetry::Enabled()) {
     static telemetry::Counter& bytes_read =
         telemetry::Registry::Global().GetCounter(

@@ -44,7 +44,7 @@ uint64_t PartitionCache::ChargedBytes(const PartitionArena& arena) {
 Result<PartitionCache::Value> PartitionCache::GetOrLoad(PartitionId pid,
                                                         const Loader& loader) {
   Shard& shard = ShardFor(pid);
-  std::unique_lock<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
 
   auto hit = shard.entries.find(pid);
   if (hit != shard.entries.end()) {
@@ -58,7 +58,7 @@ Result<PartitionCache::Value> PartitionCache::GetOrLoad(PartitionId pid,
     // Another thread is already reading this partition: piggyback on it.
     std::shared_ptr<InFlight> fl = flight->second;
     coalesced_->Add(1);
-    fl->cv.wait(lock, [&fl] { return fl->done; });
+    while (!fl->done) fl->cv.Wait(lock);
     if (!fl->error.ok()) return fl->error;
     return fl->value;
   }
@@ -66,7 +66,7 @@ Result<PartitionCache::Value> PartitionCache::GetOrLoad(PartitionId pid,
   auto fl = std::make_shared<InFlight>();
   shard.inflight.emplace(pid, fl);
   misses_->Add(1);
-  lock.unlock();
+  lock.Unlock();
 
   Result<PartitionArena> loaded = [&loader] {
     static telemetry::Histogram& load_us =
@@ -75,12 +75,12 @@ Result<PartitionCache::Value> PartitionCache::GetOrLoad(PartitionId pid,
     return loader();
   }();
 
-  lock.lock();
+  lock.Lock();
   shard.inflight.erase(pid);
   if (!loaded.ok()) {
     fl->error = loaded.status();
     fl->done = true;
-    fl->cv.notify_all();
+    fl->cv.NotifyAll();
     return fl->error;
   }
   Value value = std::make_shared<const PartitionArena>(std::move(*loaded));
@@ -88,7 +88,7 @@ Result<PartitionCache::Value> PartitionCache::GetOrLoad(PartitionId pid,
   loaded_bytes_->Add(bytes);
   fl->value = value;
   fl->done = true;
-  fl->cv.notify_all();
+  fl->cv.NotifyAll();
   InsertAndEvict(shard, pid, value, bytes);
   return value;
 }
@@ -132,13 +132,13 @@ void PartitionCache::InsertAndEvict(Shard& shard, PartitionId pid, Value value,
 
 void PartitionCache::Pin(PartitionId pid) {
   Shard& shard = ShardFor(pid);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   if (++shard.pins[pid] == 1) pinned_partitions_->Add(1);
 }
 
 void PartitionCache::Unpin(PartitionId pid) {
   Shard& shard = ShardFor(pid);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.pins.find(pid);
   if (it == shard.pins.end()) return;
   if (--it->second == 0) {
@@ -149,7 +149,7 @@ void PartitionCache::Unpin(PartitionId pid) {
 
 void PartitionCache::Invalidate(PartitionId pid) {
   Shard& shard = ShardFor(pid);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.entries.find(pid);
   if (it == shard.entries.end()) return;
   shard.bytes -= it->second.bytes;
@@ -161,13 +161,13 @@ void PartitionCache::Invalidate(PartitionId pid) {
 
 bool PartitionCache::IsResident(PartitionId pid) const {
   Shard& shard = *shards_[pid % shards_.size()];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   return shard.entries.find(pid) != shard.entries.end();
 }
 
 void PartitionCache::Clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     // Pinned entries are exempt, exactly as in budget eviction: they stay
     // resident and charged, and are not counted as evictions.
     for (auto it = shard->lru.begin(); it != shard->lru.end();) {
@@ -194,7 +194,7 @@ PartitionCacheStats PartitionCache::Snapshot() const {
   stats.evictions = evictions_->Value();
   stats.loaded_bytes = loaded_bytes_->Value();
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     stats.resident_bytes += shard->bytes;
     stats.resident_partitions += shard->entries.size();
     stats.pinned_partitions += shard->pins.size();

@@ -22,17 +22,16 @@
 #define TARDIS_STORAGE_PARTITION_CACHE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
 #include "common/telemetry.h"
+#include "common/thread_annotations.h"
 #include "storage/partition_arena.h"
 #include "storage/record.h"
 
@@ -113,31 +112,36 @@ class PartitionCache {
     std::list<PartitionId>::iterator lru_it;
   };
 
-  // Single-flight rendezvous for one in-progress load.
+  // Single-flight rendezvous for one in-progress load. done/error/value are
+  // protected by the *owning shard's* mu — a per-instance relationship the
+  // analysis cannot name from here, so the fields stay unannotated; every
+  // access in partition_cache.cc happens with that shard lock held.
   struct InFlight {
-    std::condition_variable cv;
+    CondVar cv;
     bool done = false;
     Status error;
     Value value;
   };
 
   struct Shard {
-    std::mutex mu;
-    std::unordered_map<PartitionId, Entry> entries;
-    std::list<PartitionId> lru;  // front = most recently used
-    std::unordered_map<PartitionId, std::shared_ptr<InFlight>> inflight;
+    Mutex mu;
+    std::unordered_map<PartitionId, Entry> entries TARDIS_GUARDED_BY(mu);
+    std::list<PartitionId> lru
+        TARDIS_GUARDED_BY(mu);  // front = most recently used
+    std::unordered_map<PartitionId, std::shared_ptr<InFlight>> inflight
+        TARDIS_GUARDED_BY(mu);
     // Pin counts (present => positive). Kept separate from `entries` so a
     // pid can be pinned before it becomes resident.
-    std::unordered_map<PartitionId, uint32_t> pins;
-    uint64_t bytes = 0;
+    std::unordered_map<PartitionId, uint32_t> pins TARDIS_GUARDED_BY(mu);
+    uint64_t bytes TARDIS_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(PartitionId pid) { return *shards_[pid % shards_.size()]; }
 
   // Inserts a freshly loaded value and evicts LRU entries until the shard is
-  // back under its budget slice. Caller holds `shard.mu`.
+  // back under its budget slice.
   void InsertAndEvict(Shard& shard, PartitionId pid, Value value,
-                      uint64_t bytes);
+                      uint64_t bytes) TARDIS_REQUIRES(shard.mu);
 
   uint64_t budget_bytes_;
   uint64_t shard_budget_;

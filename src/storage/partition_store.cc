@@ -6,6 +6,7 @@
 
 #include "common/crc32c.h"
 #include "common/fault_injection.h"
+#include "common/file_util.h"
 #include "common/serde.h"
 #include "common/telemetry.h"
 
@@ -23,31 +24,6 @@ namespace {
 // bit, torn append, or truncation never decodes into garbage records.
 constexpr uint32_t kFrameMagic = 0x314D4654u;  // "TFM1" little-endian
 constexpr size_t kFrameHeaderBytes = 12;
-
-Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IOError("cannot open for write: " + tmp);
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    if (!out) return Status::IOError("short write: " + tmp);
-  }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) return Status::IOError("rename failed: " + path + ": " + ec.message());
-  return Status::OK();
-}
-
-Result<std::string> ReadFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) return Status::IOError("cannot open for read: " + path);
-  const std::streamsize size = in.tellg();
-  in.seekg(0);
-  std::string bytes(static_cast<size_t>(size), '\0');
-  in.read(bytes.data(), size);
-  if (!in) return Status::IOError("short read: " + path);
-  return bytes;
-}
 
 Result<uint64_t> FileBytes(const std::string& path) {
   std::error_code ec;
@@ -191,7 +167,7 @@ Result<std::vector<Record>> PartitionStore::ReadPartition(PartitionId pid) const
           "tardis.storage.read_partition_us");
   telemetry::ScopedLatency timer(read_us);
   TARDIS_RETURN_NOT_OK(MaybeInjectFault(FaultSite::kPartitionLoad, path));
-  TARDIS_ASSIGN_OR_RETURN(std::string file_bytes, ReadFile(path));
+  TARDIS_ASSIGN_OR_RETURN(std::string file_bytes, ReadFileToString(path));
   if (telemetry::Enabled()) {
     static telemetry::Counter& bytes_read =
         telemetry::Registry::Global().GetCounter(
@@ -224,7 +200,7 @@ Result<PartitionArena> PartitionStore::ReadPartitionArena(
           "tardis.storage.read_partition_us");
   telemetry::ScopedLatency timer(read_us);
   TARDIS_RETURN_NOT_OK(MaybeInjectFault(FaultSite::kPartitionLoad, path));
-  TARDIS_ASSIGN_OR_RETURN(std::string file_bytes, ReadFile(path));
+  TARDIS_ASSIGN_OR_RETURN(std::string file_bytes, ReadFileToString(path));
   if (telemetry::Enabled()) {
     static telemetry::Counter& bytes_read =
         telemetry::Registry::Global().GetCounter(
@@ -262,7 +238,7 @@ Result<std::string> PartitionStore::ReadSidecar(PartitionId pid,
           "tardis.storage.read_sidecar_us");
   telemetry::ScopedLatency timer(read_us);
   TARDIS_RETURN_NOT_OK(MaybeInjectFault(FaultSite::kSidecarRead, path));
-  TARDIS_ASSIGN_OR_RETURN(std::string file_bytes, ReadFile(path));
+  TARDIS_ASSIGN_OR_RETURN(std::string file_bytes, ReadFileToString(path));
   if (telemetry::Enabled()) {
     static telemetry::Counter& bytes_read =
         telemetry::Registry::Global().GetCounter(

@@ -337,7 +337,7 @@ const KernelVtable* VtableFor(KernelBackend backend) {
     return &kAvx2Vtable;
   }
 #else
-  (void)backend;
+  (void)backend;  // unused when the AVX2 tier is compiled out
 #endif
   return &kScalarVtable;
 }

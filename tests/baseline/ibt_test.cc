@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/serde.h"
 #include "test_util.h"
 #include "ts/paa.h"
 #include "ts/znorm.h"
@@ -175,6 +176,58 @@ TEST(IBTreeTest, EncodeDecodeRoundTrip) {
 TEST(IBTreeTest, DecodeRejectsCorruptInput) {
   EXPECT_FALSE(IBTree::Decode("").ok());
   EXPECT_FALSE(IBTree::Decode("garbage").ok());
+}
+
+// Regression: the header's `w` was only checked against zero, so a corrupt
+// value like 2^30 drove a multi-gigabyte resize before the first signature
+// read could fail. Decode now bounds w by the bytes actually present.
+TEST(IBTreeTest, DecodeRejectsImplausibleHeader) {
+  std::string bytes;
+  PutFixed<uint32_t>(&bytes, 1u << 30);  // w far beyond the payload
+  PutFixed<uint8_t>(&bytes, 8);          // max_bits
+  PutFixed<uint8_t>(&bytes, 0);          // policy
+  PutFixed<uint64_t>(&bytes, 100);       // threshold
+  bytes.append(100, '\0');
+  auto huge_w = IBTree::Decode(bytes);
+  ASSERT_FALSE(huge_w.ok());
+  EXPECT_EQ(huge_w.status().code(), StatusCode::kCorruption);
+
+  bytes.clear();
+  PutFixed<uint32_t>(&bytes, 4);
+  PutFixed<uint8_t>(&bytes, 200);  // max_bits beyond the 16-bit SAX ceiling
+  PutFixed<uint8_t>(&bytes, 0);
+  PutFixed<uint64_t>(&bytes, 100);
+  bytes.append(100, '\0');
+  EXPECT_FALSE(IBTree::Decode(bytes).ok());
+}
+
+// Regression: a single-child chain recursed once per level with no depth
+// cap; DecodeNode now rejects nesting past its hard cap (512).
+TEST(IBTreeTest, DecodeRejectsDepthBomb) {
+  constexpr uint32_t kW = 4;
+  auto chain = [&](uint32_t levels) {
+    std::string bytes;
+    PutFixed<uint32_t>(&bytes, kW);
+    PutFixed<uint8_t>(&bytes, 8);   // max_bits
+    PutFixed<uint8_t>(&bytes, 0);   // policy
+    PutFixed<uint64_t>(&bytes, 100);
+    for (uint32_t i = 0; i <= levels; ++i) {
+      PutFixed<int32_t>(&bytes, -1);  // split_char
+      PutFixed<uint64_t>(&bytes, 1);  // count
+      PutFixed<uint32_t>(&bytes, 0);  // range_start
+      PutFixed<uint32_t>(&bytes, 0);  // range_len
+      for (uint32_t c = 0; c < kW; ++c) {
+        PutFixed<uint8_t>(&bytes, 1);   // char_bits
+        PutFixed<uint16_t>(&bytes, 0);  // full_symbols
+      }
+      PutFixed<uint32_t>(&bytes, i == levels ? 0 : 1);  // num_children
+    }
+    return bytes;
+  };
+  EXPECT_TRUE(IBTree::Decode(chain(300)).ok());
+  const auto deep = IBTree::Decode(chain(4000));
+  ASSERT_FALSE(deep.ok());
+  EXPECT_EQ(deep.status().code(), StatusCode::kCorruption);
 }
 
 // The structural comparison that motivates TARDIS (paper §II-C vs §III-B):

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/serde.h"
 #include "ts/paa.h"
 #include "test_util.h"
 
@@ -238,6 +239,45 @@ TEST(SigTreeTest, EncodeDecodeRoundTrip) {
   });
   EXPECT_EQ(a, b);
   EXPECT_EQ(decoded.root()->pids, (std::vector<PartitionId>{1, 2, 3}));
+}
+
+// Regression: a hostile payload encoding a single-child chain used to
+// recurse once per level with no depth cap, overflowing the stack long
+// before any byte-budget check fired. DecodeNode now rejects nesting
+// deeper than its hard cap (512) as corruption.
+TEST(SigTreeTest, DecodeRejectsDepthBomb) {
+  const ISaxTCodec codec = MakeCodec(8, 4);
+  const uint32_t cpl = codec.chars_per_level();
+  auto chain = [&](uint32_t levels) {
+    std::string bytes;
+    PutFixed<uint32_t>(&bytes, codec.word_length());
+    PutFixed<uint32_t>(&bytes, codec.max_bits());
+    for (uint32_t i = 0; i < levels; ++i) {
+      PutFixed<uint64_t>(&bytes, 1);  // count
+      PutFixed<uint32_t>(&bytes, 0);  // num_pids
+      PutFixed<uint32_t>(&bytes, 0);  // range_start
+      PutFixed<uint32_t>(&bytes, 0);  // range_len
+      PutFixed<uint32_t>(&bytes, 1);  // num_children
+      bytes.append(cpl, static_cast<char>('a' + i % 4));  // child chunk
+    }
+    PutFixed<uint64_t>(&bytes, 1);
+    PutFixed<uint32_t>(&bytes, 0);
+    PutFixed<uint32_t>(&bytes, 0);
+    PutFixed<uint32_t>(&bytes, 0);
+    PutFixed<uint32_t>(&bytes, 0);  // leaf: no children
+    return bytes;
+  };
+  // Within the codec's level budget the same shape decodes fine...
+  EXPECT_TRUE(SigTree::Decode(chain(3), codec).ok());
+  // ...past max_bits levels every node signature is invalid for the codec,
+  // and far past it the recursion cap guards the stack; either way the
+  // payload is rejected as corruption instead of crashing.
+  const auto too_deep = SigTree::Decode(chain(5), codec);
+  ASSERT_FALSE(too_deep.ok());
+  EXPECT_EQ(too_deep.status().code(), StatusCode::kCorruption);
+  const auto bomb = SigTree::Decode(chain(4000), codec);
+  ASSERT_FALSE(bomb.ok());
+  EXPECT_EQ(bomb.status().code(), StatusCode::kCorruption);
 }
 
 TEST(SigTreeTest, DecodeRejectsCodecMismatch) {

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Diff-scoped clang-format check: only lines touched relative to the merge
+# base must be formatted, so the gate never forces whole-file churn.
+#
+# Usage: tools/lint/check_format.sh [<base-ref>]   (default: origin/main,
+# falling back to HEAD~1 when the ref does not exist, e.g. shallow CI
+# checkouts of the first commit).
+set -euo pipefail
+
+BASE="${1:-origin/main}"
+if ! git rev-parse --verify --quiet "$BASE" >/dev/null; then
+  BASE="HEAD~1"
+fi
+if ! git rev-parse --verify --quiet "$BASE" >/dev/null; then
+  echo "check_format: no base ref; skipping" >&2
+  exit 0
+fi
+
+CFD="$(command -v clang-format-diff || command -v clang-format-diff-18 || \
+       command -v clang-format-diff-17 || command -v clang-format-diff.py || true)"
+if [[ -z "$CFD" ]]; then
+  echo "check_format: clang-format-diff not found; skipping" >&2
+  exit 0
+fi
+
+OUT="$(git diff -U0 --no-color "$BASE" -- '*.cc' '*.h' | "$CFD" -p1 -iregex '.*\.(cc|h)')" || true
+if [[ -n "$OUT" ]]; then
+  echo "check_format: the following changed lines are not clang-formatted:" >&2
+  echo "$OUT"
+  echo "Run: git diff -U0 $BASE -- '*.cc' '*.h' | $CFD -p1 -i" >&2
+  exit 1
+fi
+echo "check_format: OK"
