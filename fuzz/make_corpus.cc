@@ -22,6 +22,7 @@
 #include "core/pivots.h"
 #include "core/region_summary.h"
 #include "sigtree/sigtree.h"
+#include "storage/manifest.h"
 #include "ts/isaxt.h"
 #include "ts/sax.h"
 #include "ts/time_series.h"
@@ -154,6 +155,28 @@ std::string PivotSetSeed(uint32_t k, uint32_t series_length,
   return bytes;
 }
 
+// Encoded (unframed) epoch manifest, as fuzz_manifest consumes it.
+std::string ManifestSeed(uint32_t partitions, uint64_t generation,
+                         uint32_t deltas_per_partition) {
+  Manifest m;
+  m.generation = generation;
+  m.series_length = 64;
+  m.meta_gen = generation;
+  m.partitions.resize(partitions);
+  for (uint32_t pid = 0; pid < partitions; ++pid) {
+    m.partitions[pid].base_records = 100 + 37 * pid;
+    m.partitions[pid].sidecar_gen =
+        deltas_per_partition > 0 ? generation : 0;
+    for (uint32_t d = 0; d < deltas_per_partition; ++d) {
+      m.partitions[pid].delta_gens.push_back(generation - deltas_per_partition +
+                                             1 + d);
+    }
+  }
+  std::string bytes;
+  m.EncodeTo(&bytes);
+  return bytes;
+}
+
 int Run(const std::filesystem::path& root) {
   bool ok = true;
   ok &= WriteSeed(root / "sigtree", "small_w8b5.bin",
@@ -178,6 +201,9 @@ int Run(const std::filesystem::path& root) {
                   PivotSidecarSeed(1, 16, 13));
   ok &= WriteSeed(root / "pivot_sidecar", "pivotset_k4.bin",
                   PivotSetSeed(4, 8, 14));
+  ok &= WriteSeed(root / "manifest", "fresh_build.bin", ManifestSeed(7, 1, 0));
+  ok &= WriteSeed(root / "manifest", "appended_g5.bin", ManifestSeed(7, 5, 3));
+  ok &= WriteSeed(root / "manifest", "empty.bin", ManifestSeed(0, 1, 0));
   return ok ? 0 : 1;
 }
 

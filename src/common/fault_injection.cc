@@ -48,6 +48,17 @@ FaultInjector::FaultInjector() {
                    st.ToString().c_str());
     }
   }
+  const char* crash_env = std::getenv("TARDIS_CRASH_POINT");
+  if (crash_env != nullptr && crash_env[0] != '\0') {
+    char* end = nullptr;
+    const long long step = std::strtoll(crash_env, &end, 10);
+    if (end != nullptr && *end == '\0') {
+      crash_point_.store(step, std::memory_order_relaxed);
+    } else {
+      std::fprintf(stderr, "TARDIS_CRASH_POINT ignored: not an integer: %s\n",
+                   crash_env);
+    }
+  }
 }
 
 FaultInjector& FaultInjector::Global() {
@@ -171,6 +182,30 @@ FaultInjector::SiteCounters FaultInjector::counters(FaultSite site) const {
   const int i = static_cast<int>(site);
   return {draws_[i].load(std::memory_order_relaxed),
           injected_[i].load(std::memory_order_relaxed)};
+}
+
+void FaultInjector::SetCrashPoint(int64_t step) {
+  crash_point_.store(step, std::memory_order_relaxed);
+}
+
+void FaultInjector::ResetDurableSteps() {
+  durable_steps_.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::NoteDurableStep(const char* stage,
+                                    const std::string& path) {
+  const int64_t target = crash_point_.load(std::memory_order_relaxed);
+  if (target < 0) return;
+  const uint64_t step =
+      durable_steps_.fetch_add(1, std::memory_order_relaxed);
+  if (static_cast<int64_t>(step) != target) return;
+  // A simulated power cut: no destructors, no stream flushes, no atexit
+  // handlers — whatever bytes already reached the filesystem are all a
+  // recovering process gets to see.
+  std::fprintf(stderr, "TARDIS_CRASH_POINT %lld fired (%s %s)\n",
+               static_cast<long long>(target), stage, path.c_str());
+  std::fflush(stderr);
+  std::_Exit(kCrashPointExitCode);
 }
 
 bool IsInjectedFault(const Status& status) {

@@ -40,6 +40,11 @@ enum class FaultSite : int {
 };
 inline constexpr size_t kNumFaultSites = 5;
 
+// Process exit code used by the crash-point mode below. Distinct from every
+// status-derived exit code the CLI/harness use, so a driver can tell "the
+// injected crash fired" apart from an ordinary failure.
+inline constexpr int kCrashPointExitCode = 86;
+
 const char* FaultSiteName(FaultSite site);
 
 class FaultInjector {
@@ -74,6 +79,30 @@ class FaultInjector {
 
   SiteCounters counters(FaultSite site) const;
 
+  // --- Crash-point mode (torn-write recovery harness) ---
+  // Every durable-write step (WriteFileAtomic calls NoteDurableStep twice:
+  // once with the temp file written but not yet renamed, once after the
+  // rename) increments a process-wide step counter. When the counter reaches
+  // the configured crash point the process terminates immediately via
+  // _exit(kCrashPointExitCode) — no destructors, no buffered-stream flushes —
+  // simulating a power-cut at exactly that durable step. A negative crash
+  // point (the default) disables the mode; $TARDIS_CRASH_POINT seeds it at
+  // startup. A driver enumerates the durable steps of an operation by
+  // re-running it with crash point 0, 1, 2, ... until a run survives.
+  void SetCrashPoint(int64_t step);
+  int64_t crash_point() const {
+    return crash_point_.load(std::memory_order_relaxed);
+  }
+  // Durable steps observed since construction / ResetDurableSteps.
+  uint64_t durable_steps() const {
+    return durable_steps_.load(std::memory_order_relaxed);
+  }
+  void ResetDurableSteps();
+
+  // The hook WriteFileAtomic calls around its rename. `stage` names the
+  // half-step ("pre-rename" / "post-rename") for the crash banner.
+  void NoteDurableStep(const char* stage, const std::string& path);
+
  private:
   FaultInjector();
 
@@ -82,6 +111,8 @@ class FaultInjector {
   std::array<std::atomic<double>, kNumFaultSites> probability_{};
   std::array<std::atomic<uint64_t>, kNumFaultSites> draws_{};
   std::array<std::atomic<uint64_t>, kNumFaultSites> injected_{};
+  std::atomic<int64_t> crash_point_{-1};
+  std::atomic<uint64_t> durable_steps_{0};
 };
 
 // Hook used at injection points. No-op unless a fault rate is configured.
@@ -94,6 +125,15 @@ inline Status MaybeInjectFault(FaultSite site, std::string_view detail) {
 // True when `status` is an injected fault (used by tests and logging; the
 // retry layer treats injected faults like any other transient I/O error).
 bool IsInjectedFault(const Status& status);
+
+// Durable-step hook for WriteFileAtomic. One relaxed load when the crash
+// mode is off (crash point < 0), like MaybeInjectFault.
+inline void MaybeCrashAtDurableStep(const char* stage,
+                                    const std::string& path) {
+  FaultInjector& injector = FaultInjector::Global();
+  if (injector.crash_point() < 0) return;
+  injector.NoteDurableStep(stage, path);
+}
 
 }  // namespace tardis
 

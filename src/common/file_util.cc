@@ -3,6 +3,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/fault_injection.h"
+
 namespace tardis {
 
 Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
@@ -12,12 +14,20 @@ Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
     if (!out) return Status::IOError("cannot open for write: " + tmp);
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
     if (!out) return Status::IOError("short write: " + tmp);
+    out.flush();
+    if (!out) return Status::IOError("flush failed: " + tmp);
   }
+  // Crash-point hooks bracket the commit instant: the first half-step leaves
+  // the temp file orphaned next to the unchanged target, the second leaves
+  // the new content visible — the only two states a real torn write can
+  // expose under the temp+rename discipline.
+  MaybeCrashAtDurableStep("pre-rename", path);
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
     return Status::IOError("rename failed: " + path + ": " + ec.message());
   }
+  MaybeCrashAtDurableStep("post-rename", path);
   return Status::OK();
 }
 

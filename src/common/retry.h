@@ -30,6 +30,18 @@ struct RetryPolicy {
   // backoff_max_us) microseconds.
   uint32_t backoff_init_us = 200;
   uint32_t backoff_max_us = 20000;
+  // Decorrelated jitter (on by default): retry r instead sleeps a uniform
+  // draw from [backoff_init_us, min(backoff_max_us, 3 * previous_delay)], so
+  // a wave of tasks that failed together (one slow device, one injected
+  // fault burst) spreads its retries out instead of re-colliding every
+  // backoff period. Delays only ever affect timing, never results.
+  bool decorrelated_jitter = true;
+  // Seed for the jitter RNG. 0 (default) derives a distinct nonce per
+  // RunWithRetry call — what production wants, since identical sequences
+  // across tasks are exactly the synchronization jitter exists to break. A
+  // non-zero seed makes the delay sequence of a single retry loop exactly
+  // reproducible (tests).
+  uint64_t jitter_seed = 0;
 
   bool enabled() const { return max_attempts > 1; }
 
@@ -79,6 +91,53 @@ inline uint32_t BackoffDelayUs(const RetryPolicy& policy, uint32_t retry) {
       std::min<uint64_t>(delay, policy.backoff_max_us));
 }
 
+// Per-retry-loop jitter state: a SplitMix64 stream plus the previous delay
+// the decorrelated formula feeds forward.
+struct BackoffState {
+  uint64_t rng = 0;
+  uint64_t prev_us = 0;
+
+  uint64_t Next() {
+    rng += 0x9E3779B97F4A7C15ull;
+    uint64_t x = rng;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+};
+
+// Initializes the jitter stream for one retry loop: the policy's seed when
+// set, otherwise a process-wide nonce so concurrent loops draw independent
+// sequences.
+inline BackoffState MakeBackoffState(const RetryPolicy& policy) {
+  BackoffState state;
+  if (policy.jitter_seed != 0) {
+    state.rng = policy.jitter_seed;
+  } else {
+    static std::atomic<uint64_t> nonce{0x243F6A8885A308D3ull};
+    state.rng = nonce.fetch_add(0x9E3779B97F4A7C15ull,
+                                std::memory_order_relaxed);
+  }
+  return state;
+}
+
+// Delay before retry `retry` (1-based): the deterministic exponential when
+// jitter is off, otherwise the AWS-style decorrelated draw
+// uniform[init, min(cap, 3 * prev)]. Always 0 for retry 0 or a zero init,
+// and never above backoff_max_us.
+inline uint32_t NextBackoffDelayUs(const RetryPolicy& policy,
+                                   BackoffState* state, uint32_t retry) {
+  if (retry == 0 || policy.backoff_init_us == 0) return 0;
+  if (!policy.decorrelated_jitter) return BackoffDelayUs(policy, retry);
+  const uint64_t lo = policy.backoff_init_us;
+  const uint64_t cap = std::max<uint64_t>(lo, policy.backoff_max_us);
+  const uint64_t prev = state->prev_us > 0 ? state->prev_us : lo;
+  const uint64_t hi = std::max<uint64_t>(lo, std::min<uint64_t>(cap, prev * 3));
+  const uint64_t delay = lo + state->Next() % (hi - lo + 1);
+  state->prev_us = delay;
+  return static_cast<uint32_t>(delay);
+}
+
 // Runs `fn` (returning Status) up to policy.max_attempts times, sleeping the
 // bounded backoff between attempts. Returns the first success or the last
 // failure. `metrics`, when non-null, is updated with the task/attempt/retry
@@ -90,10 +149,11 @@ Status RunWithRetry(const RetryPolicy& policy, Fn&& fn,
                     JobMetrics* metrics = nullptr) {
   const uint32_t max_attempts = std::max(1u, policy.max_attempts);
   if (metrics != nullptr) ++metrics->tasks;
+  BackoffState backoff = MakeBackoffState(policy);
   Status st;
   for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
     if (attempt > 0) {
-      const uint32_t delay = BackoffDelayUs(policy, attempt);
+      const uint32_t delay = NextBackoffDelayUs(policy, &backoff, attempt);
       if (delay > 0) {
         std::this_thread::sleep_for(std::chrono::microseconds(delay));
       }
@@ -114,10 +174,11 @@ Result<T> RunWithRetryResult(const RetryPolicy& policy, Fn&& fn,
                              JobMetrics* metrics = nullptr) {
   const uint32_t max_attempts = std::max(1u, policy.max_attempts);
   if (metrics != nullptr) ++metrics->tasks;
+  BackoffState backoff = MakeBackoffState(policy);
   Status last;
   for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
     if (attempt > 0) {
-      const uint32_t delay = BackoffDelayUs(policy, attempt);
+      const uint32_t delay = NextBackoffDelayUs(policy, &backoff, attempt);
       if (delay > 0) {
         std::this_thread::sleep_for(std::chrono::microseconds(delay));
       }

@@ -1,18 +1,29 @@
-// Incremental ingest (extension beyond the paper; DESIGN.md §5).
+// Incremental ingest (extension beyond the paper; DESIGN.md §5/§11).
 //
 // The paper's pipeline is batch-oriented; real deployments also need to
 // absorb new series between full rebuilds. Append() routes each new record
-// through the existing Tardis-G (so the partitioning scheme is unchanged),
-// rebuilds the local index / Bloom filter / region summary of every touched
-// partition, and refreshes the persisted metadata. Partitions can drift
-// above G-MaxSize under sustained appends; a periodic full rebuild
-// rebalances them (the same trade-off LSM-style systems make).
+// through the existing Tardis-G (so the partitioning scheme is unchanged)
+// and materialises the batch LSM-style: per touched partition one immutable
+// CRC-framed delta file plus freshly written (generation-suffixed) Bloom,
+// region, and pivot sidecars — the base partition file and the persisted
+// Tardis-L tree are never rewritten. The batch becomes durable in one step
+// when MANIFEST-<gen+1> lands; a crash anywhere earlier leaves the previous
+// generation's files untouched, and the next Open garbage-collects the
+// uncommitted leftovers.
+//
+// Queries scan a partition's delta records as an always-checked tail after
+// the tree-pruned base scan. Tails grow with every append; a periodic full
+// rebuild folds them back into the tree (the same compaction trade-off
+// LSM-style systems make).
 
-#include <unordered_map>
+#include <algorithm>
+#include <map>
 
 #include "common/serde.h"
 #include "core/tardis_index.h"
+#include "storage/manifest.h"
 #include "ts/paa.h"
+#include "ts/sax.h"
 
 namespace tardis {
 
@@ -28,75 +39,176 @@ Result<std::vector<RecordId>> TardisIndex::Append(const Dataset& batch) {
       return Status::InvalidArgument("appended series length mismatch");
     }
   }
-  uint64_t next_rid = 0;
-  for (uint64_t count : partition_counts_) next_rid += count;
 
-  // Route every new record through the existing global index.
+  // Writers serialize; readers are never blocked — they keep answering from
+  // whatever epoch snapshot they pinned before this commit lands.
+  MutexLock append_lock(*append_mu_);
+  const EpochPtr old_epoch = CurrentEpoch();
+  const IndexEpoch& old = *old_epoch;
+  const uint64_t gen = old.generation + 1;
+  uint64_t next_rid = 0;
+  for (uint64_t count : old.partition_counts) next_rid += count;
+
+  // The next epoch gets its own Tardis-G clone (NoteInserted mutates node
+  // statistics) — decoded from the serialized tree exactly as Open does, so
+  // the routing behaviour is identical.
+  std::string gtree_bytes;
+  old.global->tree().EncodeTo(&gtree_bytes);
+  TARDIS_ASSIGN_OR_RETURN(GlobalIndex global,
+                          GlobalIndex::FromSerialized(codec_, gtree_bytes));
+
+  // Route every new record through the (cloned) global index. The order of
+  // `incoming` is the partition id order (std::map), so the durable write
+  // sequence — and with it every crash point — is deterministic.
+  struct Routed {
+    Record rec;
+    SaxWord word;
+    std::string sig;
+  };
   const uint32_t w = config_.word_length;
   std::vector<double> paa(w);
-  std::unordered_map<PartitionId, std::vector<Record>> incoming;
+  std::map<PartitionId, std::vector<Routed>> incoming;
   std::vector<RecordId> assigned;
   assigned.reserve(batch.size());
   for (const auto& ts : batch) {
     PaaInto(ts, w, paa.data());
-    const std::string sig = codec().Encode(paa);
-    const PartitionId pid = global_->LookupPartition(sig);
+    Routed routed;
+    routed.word = SaxFromPaa(paa, codec_.max_bits());
+    routed.sig = codec_.EncodeWord(routed.word);
+    const PartitionId pid = global.LookupPartition(routed.sig);
     if (pid == kInvalidPartition || pid >= num_partitions()) {
       return Status::Internal("append routed to invalid partition");
     }
-    global_->NoteInserted(sig);
-    Record rec;
-    rec.rid = next_rid++;
-    rec.values = ts;
-    assigned.push_back(rec.rid);
-    incoming[pid].push_back(std::move(rec));
+    global.NoteInserted(routed.sig);
+    routed.rec.rid = next_rid++;
+    routed.rec.values = ts;
+    assigned.push_back(routed.rec.rid);
+    incoming[pid].push_back(std::move(routed));
   }
 
-  // Rebuild each touched partition: combined records -> fresh Tardis-L,
-  // Bloom filter and region summary, all rewritten atomically per partition.
-  for (auto& [pid, new_records] : incoming) {
-    TARDIS_ASSIGN_OR_RETURN(std::vector<Record> records, LoadPartition(pid));
-    records.insert(records.end(),
-                   std::make_move_iterator(new_records.begin()),
-                   std::make_move_iterator(new_records.end()));
-    std::vector<Record> clustered;
-    TARDIS_ASSIGN_OR_RETURN(
-        LocalIndex local,
-        LocalIndex::Build(std::move(records), codec(), config_, &clustered));
-    TARDIS_RETURN_NOT_OK(partitions_->WritePartition(pid, clustered));
-    if (pivots_ != nullptr) {
-      // The pivot set is fixed at build time; only the per-record distance
-      // sidecar is refreshed, in the new clustered (tree) order.
-      std::string pivot_bytes;
-      PutFixed<uint32_t>(&pivot_bytes, pivots_->num_pivots());
-      PutFixed<uint32_t>(&pivot_bytes, static_cast<uint32_t>(clustered.size()));
-      std::vector<float> row(pivots_->num_pivots());
-      for (const Record& rec : clustered) {
-        pivots_->ComputeDistancesF32(rec.values.data(), row.data());
-        for (float v : row) PutFixed<float>(&pivot_bytes, v);
-      }
-      TARDIS_RETURN_NOT_OK(partitions_->WriteSidecar(pid, "pivotd", pivot_bytes));
+  // Start the next epoch's state from the current one; untouched partitions
+  // share their Bloom filters structurally and copy only manifest/region
+  // bookkeeping.
+  Manifest manifest = old.manifest;
+  manifest.generation = gen;
+  manifest.meta_gen = gen;
+  std::vector<uint64_t> counts = old.partition_counts;
+  std::vector<std::shared_ptr<const BloomFilter>> blooms = old.blooms;
+  std::vector<RegionSummary> regions = old.regions;
+  if (manifest.partitions.size() < num_partitions()) {
+    manifest.partitions.resize(num_partitions());
+  }
+  blooms.resize(num_partitions());
+  regions.resize(num_partitions());
+
+  // Per touched partition: delta file, then extended sidecars — every write
+  // lands under the new generation's names, so nothing the old manifest
+  // references is modified.
+  std::vector<PartitionCache::Key> superseded;
+  superseded.reserve(incoming.size());
+  const size_t value_bytes =
+      static_cast<size_t>(series_length_) * sizeof(float);
+  for (const auto& [pid, routed] : incoming) {
+    ManifestPartition& mp = manifest.partitions[pid];
+
+    // (1) The delta file: record-encoded bytes, identical framing to the
+    // base partition file, decoded by ReadPartition*WithDeltas.
+    std::string delta;
+    delta.reserve(routed.size() * (sizeof(uint64_t) + value_bytes));
+    for (const Routed& r : routed) {
+      PutFixed<uint64_t>(&delta, r.rec.rid);
+      delta.append(reinterpret_cast<const char*>(r.rec.values.data()),
+                   value_bytes);
     }
-    std::string tree_bytes;
-    local.EncodeTreeTo(&tree_bytes);
-    TARDIS_RETURN_NOT_OK(partitions_->WriteSidecar(pid, "ltree", tree_bytes));
-    std::string region_bytes;
-    local.region().EncodeTo(&region_bytes);
-    TARDIS_RETURN_NOT_OK(partitions_->WriteSidecar(pid, "region", region_bytes));
-    regions_[pid] = local.region();
+    TARDIS_RETURN_NOT_OK(
+        partitions_->WriteSidecar(pid, DeltaSidecarName(gen), delta));
+
+    // (2) Bloom filter: clone-and-add, written under the new generation. The
+    // old epoch keeps its filter object and its on-disk file.
     if (config_.build_bloom) {
-      auto bloom = local.TakeBloom();
+      std::shared_ptr<BloomFilter> bloom;
+      if (pid < old.blooms.size() && old.blooms[pid] != nullptr) {
+        bloom = std::make_shared<BloomFilter>(*old.blooms[pid]);
+      } else {
+        bloom = std::make_shared<BloomFilter>(
+            std::max<size_t>(routed.size(), 16), config_.bloom_fpr);
+      }
+      for (const Routed& r : routed) bloom->Add(r.sig);
       std::string bloom_bytes;
       bloom->EncodeTo(&bloom_bytes);
-      TARDIS_RETURN_NOT_OK(partitions_->WriteSidecar(pid, "bloom", bloom_bytes));
-      blooms_[pid] = std::move(bloom);
+      TARDIS_RETURN_NOT_OK(partitions_->WriteSidecar(
+          pid, GenSidecarName("bloom", gen), bloom_bytes));
+      blooms[pid] = std::move(bloom);
     }
-    partition_counts_[pid] = clustered.size();
-    // The partition file changed on disk; drop any cached snapshot so the
-    // next query reloads the rewritten records.
-    if (cache_ != nullptr) cache_->Invalidate(pid);
+
+    // (3) Region summary: extend over the new words so exact-kNN and range
+    // lower bounds stay valid for the delta tail.
+    RegionSummary region = regions[pid];
+    for (const Routed& r : routed) region.Extend(r.word);
+    std::string region_bytes;
+    region.EncodeTo(&region_bytes);
+    TARDIS_RETURN_NOT_OK(partitions_->WriteSidecar(
+        pid, GenSidecarName("region", gen), region_bytes));
+    regions[pid] = std::move(region);
+
+    // (4) Pivot-distance sidecar: the pivot set is fixed at build time; the
+    // new rows are appended after the old ones, matching the arena's
+    // base-then-tail record order.
+    if (pivots_ != nullptr) {
+      TARDIS_ASSIGN_OR_RETURN(
+          std::string old_pivot,
+          partitions_->ReadSidecar(
+              pid, GenSidecarName("pivotd", mp.sidecar_gen)));
+      SliceReader reader(old_pivot);
+      uint32_t num_pivots = 0, num_rows = 0;
+      if (!reader.GetFixed(&num_pivots) || !reader.GetFixed(&num_rows) ||
+          num_pivots != pivots_->num_pivots()) {
+        return Status::Corruption("pivot sidecar header mismatch on append");
+      }
+      std::string pivot_bytes;
+      PutFixed<uint32_t>(&pivot_bytes, num_pivots);
+      PutFixed<uint32_t>(&pivot_bytes,
+                         num_rows + static_cast<uint32_t>(routed.size()));
+      pivot_bytes.append(old_pivot, 2 * sizeof(uint32_t),
+                         old_pivot.size() - 2 * sizeof(uint32_t));
+      std::vector<float> row(num_pivots);
+      for (const Routed& r : routed) {
+        pivots_->ComputeDistancesF32(r.rec.values.data(), row.data());
+        for (float v : row) PutFixed<float>(&pivot_bytes, v);
+      }
+      TARDIS_RETURN_NOT_OK(partitions_->WriteSidecar(
+          pid, GenSidecarName("pivotd", gen), pivot_bytes));
+    }
+
+    superseded.push_back(EpochKey(old, pid));
+    mp.delta_gens.push_back(gen);
+    mp.sidecar_gen = gen;
+    counts[pid] += routed.size();
   }
-  TARDIS_RETURN_NOT_OK(SaveMeta());
+
+  // (5) New metadata generation, then the manifest — the commit point. A
+  // crash before WriteManifest returns leaves generation `gen` invisible:
+  // recovery loads the old manifest and deletes everything written above.
+  TARDIS_RETURN_NOT_OK(SaveMeta(global, counts, gen));
+  TARDIS_RETURN_NOT_OK(WriteManifest(partitions_->dir(), manifest));
+
+  // Committed: publish the new epoch to subsequent queries. Old-epoch cache
+  // entries stay valid for in-flight readers but move to the cold end of the
+  // LRU — first out under budget pressure, never force-dropped.
+  auto epoch = std::make_shared<IndexEpoch>();
+  epoch->generation = gen;
+  epoch->manifest = std::move(manifest);
+  epoch->global =
+      std::make_shared<const GlobalIndex>(std::move(global));
+  epoch->partition_counts = std::move(counts);
+  epoch->blooms = std::move(blooms);
+  epoch->regions = std::move(regions);
+  InstallEpoch(std::move(epoch));
+  if (cache_ != nullptr) {
+    for (const PartitionCache::Key key : superseded) {
+      cache_->Deprioritize(key);
+    }
+  }
   return assigned;
 }
 

@@ -7,6 +7,13 @@
 // extends the scope to the sibling partitions listed in the Tardis-G parent
 // node, scanning them in parallel with the same threshold.
 //
+// Every partition's delta tail — records appended after the build, which the
+// persisted tree's leaf ranges do not cover — is ranked alongside whatever
+// slice the strategy scans, so appended records are first-class query
+// results. The query runs entirely against one epoch snapshot pinned at
+// entry: a concurrent Append neither changes the records scanned nor the
+// counters reported.
+//
 // The traversal/ranking primitives live in core/query_scan.h, shared with
 // the partition-batched QueryEngine so both paths return identical results.
 
@@ -29,8 +36,8 @@ namespace tardis {
 // assume is loaded). Deterministic for a given (signature, seed) so the
 // batched engine selects exactly the partitions the single-query path does.
 std::vector<PartitionId> TardisIndex::SelectMultiPartitions(
-    std::string_view sig, PartitionId home) const {
-  std::vector<PartitionId> pids = global_->SiblingPartitions(sig);
+    const GlobalIndex& global, std::string_view sig, PartitionId home) const {
+  std::vector<PartitionId> pids = global.SiblingPartitions(sig);
   if (pids.size() > config_.pth) {
     std::vector<PartitionId> others;
     others.reserve(pids.size());
@@ -65,6 +72,8 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
     span.AddAttr("k", static_cast<uint64_t>(k));
   }
   qtel::PhaseTimer timer("knn");
+  const EpochPtr epoch_sp = CurrentEpoch();
+  const IndexEpoch& epoch = *epoch_sp;
   TimeSeries normalized;
   std::vector<double> paa;
   std::string sig;
@@ -77,7 +86,7 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
   // cannot be loaded after retries degrades the query instead of failing it:
   // the scan continues over whatever partitions remain (for MultiPartitions,
   // the siblings; otherwise nothing) and the stats report the lost coverage.
-  const PartitionId home = global_->LookupPartition(sig);
+  const PartitionId home = epoch.global->LookupPartition(sig);
   if (home == kInvalidPartition) return Status::Internal("no home partition");
   std::optional<LocalIndex> home_local;
   PartitionCache::Value home_loaded;
@@ -85,7 +94,7 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
   {
     auto local = LoadLocalIndex(home);
     if (local.ok()) {
-      auto records = LoadPartitionShared(home);
+      auto records = LoadPartitionShared(epoch, home);
       if (records.ok()) {
         home_local = std::move(local).value();
         home_loaded = std::move(records).value();
@@ -132,9 +141,12 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
     stats->partitions_requested = requested;
     stats->partitions_failed = failed;
     stats->results_complete = failed == 0;
+    stats->epoch_generation = epoch.generation;
   };
 
-  // (4) Target Node Access: rank the target node's clustered slice.
+  // (4) Target Node Access: rank the target node's clustered slice, then the
+  // home partition's delta tail (tree-uncovered appended records). Both feed
+  // the real counters — this is each record's single accounting.
   uint64_t candidates = 0;
   TopK topk(k);
   if (home_local.has_value()) {
@@ -145,6 +157,9 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
     target_len = target->range_len;
     qscan::RankRange(*home_loaded, target_start, target_len, normalized,
                      &topk, &candidates, &pq, &pivot_pruned);
+    qscan::RankRange(*home_loaded, home_loaded->num_base_records(),
+                     home_loaded->num_records() - home_loaded->num_base_records(),
+                     normalized, &topk, &candidates, &pq, &pivot_pruned);
   }
 
   if (strategy == KnnStrategy::kTargetNode) {
@@ -160,15 +175,28 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
   const MindistTable mind(paa, static_cast<uint8_t>(codec().max_bits()),
                           normalized.size());
 
+  // Re-ranking the home tail into a wider TopK routes both counters to
+  // dummies, exactly like PrunedScan's seeded leaves: the seed pass above
+  // already accounted those rows once.
+  auto rerank_home_tail = [&](TopK* out, uint64_t* dummy_cand,
+                              uint64_t* dummy_pruned) {
+    qscan::RankRange(*home_loaded, home_loaded->num_base_records(),
+                     home_loaded->num_records() - home_loaded->num_base_records(),
+                     normalized, out, dummy_cand, &pq, dummy_pruned);
+  };
+
   if (strategy == KnnStrategy::kOnePartition) {
     TopK wide(k);
     if (home_local.has_value()) {
       home_local->tree().EnsureWords();
-      // The target slice was already counted by the seed pass above; the
-      // exclusion range keeps each record's candidate count at one.
+      // The target slice (and the tail) was already counted by the seed pass
+      // above; the exclusion range keeps each record's candidate count at
+      // one, and the tail re-rank uses dummy counters for the same reason.
       qscan::PrunedScan(home_local->tree(), *home_loaded, mind, normalized,
                         threshold, &wide, &candidates, target_start,
                         target_len, &pq, &pivot_pruned);
+      uint64_t dummy_cand = 0, dummy_pruned = 0;
+      rerank_home_tail(&wide, &dummy_cand, &dummy_pruned);
     }
     timer.Lap("scan");
     fill_stats(candidates);
@@ -177,7 +205,8 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
 
   // Multi-Partitions Access (Alg. 1): extend to the sibling partitions from
   // the Tardis-G parent node.
-  const std::vector<PartitionId> pids = SelectMultiPartitions(sig, home);
+  const std::vector<PartitionId> pids =
+      SelectMultiPartitions(*epoch.global, sig, home);
   requested = static_cast<uint32_t>(pids.size());
 
   // Scan all selected partitions in parallel; each produces a local top-k.
@@ -199,10 +228,13 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
       if (!home_local.has_value()) return;  // already counted as failed
       home_local->tree().EnsureWords();
       part_timer.Skip();
-      // The target slice was counted by the seed pass; see kOnePartition.
+      // The target slice and tail were counted by the seed pass; see
+      // kOnePartition.
       qscan::PrunedScan(home_local->tree(), *home_loaded, mind, normalized,
                         threshold, &part_topk, &part_candidates, target_start,
                         target_len, &pq, &part_pruned);
+      uint64_t dummy_cand = 0, dummy_pruned = 0;
+      rerank_home_tail(&part_topk, &dummy_cand, &dummy_pruned);
       part_timer.Lap("scan");
     } else {
       auto handle_load_error = [&](const Status& st) {
@@ -218,7 +250,7 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
         handle_load_error(local.status());
         return;
       }
-      auto records = LoadPartitionShared(pid);
+      auto records = LoadPartitionShared(epoch, pid);
       if (!records.ok()) {
         handle_load_error(records.status());
         return;
@@ -227,6 +259,12 @@ Result<std::vector<Neighbor>> TardisIndex::KnnApproximate(
       local->tree().EnsureWords();
       qscan::PrunedScan(local->tree(), **records, mind, normalized, threshold,
                         &part_topk, &part_candidates, 0, 0, &pq, &part_pruned);
+      // A sibling's tail is counted here for the first time: real counters.
+      qscan::RankRange(**records, (*records)->num_base_records(),
+                       (*records)->num_records() -
+                           (*records)->num_base_records(),
+                       normalized, &part_topk, &part_candidates, &pq,
+                       &part_pruned);
       part_timer.Lap("scan");
     }
     auto part = part_topk.Take();

@@ -26,7 +26,9 @@ Result<std::vector<Neighbor>> TardisIndex::KnnExact(const TimeSeries& query,
                                                     uint32_t k,
                                                     KnnStats* stats) const {
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
-  if (regions_.size() != num_partitions()) {
+  const EpochPtr epoch_sp = CurrentEpoch();
+  const IndexEpoch& epoch = *epoch_sp;
+  if (epoch.regions.size() != num_partitions()) {
     return Status::Internal("region summaries unavailable");
   }
   telemetry::ScopedSpan span("query.knn_exact");
@@ -39,10 +41,12 @@ Result<std::vector<Neighbor>> TardisIndex::KnnExact(const TimeSeries& query,
   const PivotQuery pq = MakePivotQuery(normalized);
   uint64_t pivot_pruned = 0;
 
-  // Order partitions by their region lower bound.
+  // Order partitions by their region lower bound. Appends extend each
+  // touched partition's region summary over the new words, so the bound
+  // stays a valid lower bound for the delta tail too — exactness holds.
   std::vector<double> bounds(num_partitions());
   for (uint32_t pid = 0; pid < num_partitions(); ++pid) {
-    bounds[pid] = regions_[pid].Mindist(paa, normalized.size());
+    bounds[pid] = epoch.regions[pid].Mindist(paa, normalized.size());
   }
   std::vector<uint32_t> order(num_partitions());
   std::iota(order.begin(), order.end(), 0);
@@ -60,9 +64,14 @@ Result<std::vector<Neighbor>> TardisIndex::KnnExact(const TimeSeries& query,
     timer.Skip();
     TARDIS_ASSIGN_OR_RETURN(LocalIndex local, LoadLocalIndex(pid));
     TARDIS_ASSIGN_OR_RETURN(PartitionCache::Value records,
-                            LoadPartitionShared(pid));
+                            LoadPartitionShared(epoch, pid));
     timer.Lap("load");
     local.tree().EnsureWords();
+    // The delta tail first: its records tighten the k-th distance before the
+    // tree scan, and unlike the tree it has no lower bound to prune by.
+    qscan::RankRange(*records, records->num_base_records(),
+                     records->num_records() - records->num_base_records(),
+                     normalized, &topk, &candidates, &pq, &pivot_pruned);
     qscan::ExactScan(local.tree(), *records, mind, normalized, &topk,
                      &candidates, &pq, &pivot_pruned);
     timer.Lap("scan");
@@ -81,6 +90,7 @@ Result<std::vector<Neighbor>> TardisIndex::KnnExact(const TimeSeries& query,
     stats->candidates = candidates;
     stats->pivot_pruned = pivot_pruned;
     stats->target_node_level = 0;
+    stats->epoch_generation = epoch.generation;
   }
   return topk.Take();
 }

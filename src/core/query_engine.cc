@@ -65,6 +65,7 @@ QueryEngine::QueryEngine(const TardisIndex& index)
     : index_(&index), sched_enabled_(SchedulingDefault()) {}
 
 void QueryEngine::RunPartitionPhase(
+    const IndexEpoch& epoch,
     const std::vector<std::pair<PartitionId, uint32_t>>& parts,
     const std::function<void(size_t)>& fn) const {
   if (parts.empty()) return;
@@ -79,12 +80,13 @@ void QueryEngine::RunPartitionPhase(
   for (size_t i = 0; i < parts.size(); ++i) {
     PartitionTaskInfo& t = tasks[i];
     t.pid = parts[i].first;
-    t.records = t.pid < index_->partition_counts_.size()
-                    ? index_->partition_counts_[t.pid]
+    t.records = t.pid < epoch.partition_counts.size()
+                    ? epoch.partition_counts[t.pid]
                     : 0;
     t.bytes = t.records * rec_bytes;
     t.work_items = parts[i].second;
-    t.resident = cache != nullptr && cache->IsResident(t.pid);
+    t.resident = cache != nullptr &&
+                 cache->IsResident(TardisIndex::EpochKey(epoch, t.pid));
   }
   sched_.Run(tasks, &pool, pool.num_threads(), fn);
 }
@@ -101,10 +103,15 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
     span.AddAttr("queries", static_cast<uint64_t>(queries.size()));
   }
   qtel::PhaseTimer timer("batch.knn");
+  // One epoch snapshot for the whole batch: every phase loads, pins, and
+  // scans the same committed generation even if an Append lands mid-batch.
+  const EpochPtr epoch_sp = index_->CurrentEpoch();
+  const IndexEpoch& epoch = *epoch_sp;
   const size_t nq = queries.size();
   std::vector<std::vector<Neighbor>> results(nq);
   QueryEngineStats acc;
   acc.queries = nq;
+  acc.epoch_generation = epoch.generation;
 
   // --- Phase A: prepare every query (znorm, PAA, signature, home pid) and
   // precompute its Mindist table when the strategy prunes. ---
@@ -125,7 +132,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
   for (size_t q = 0; q < nq; ++q) {
     TARDIS_RETURN_NOT_OK(index_->PrepareQuery(
         queries[q], &prep[q].normalized, &prep[q].paa, &prep[q].sig));
-    prep[q].home = index_->global_->LookupPartition(prep[q].sig);
+    prep[q].home = epoch.global->LookupPartition(prep[q].sig);
     if (prep[q].home == kInvalidPartition) {
       return Status::Internal("no home partition");
     }
@@ -135,8 +142,8 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
     }
     pqs[q] = index_->MakePivotQuery(prep[q].normalized);
     if (strategy == KnnStrategy::kMultiPartitions) {
-      multi_pids[q] =
-          index_->SelectMultiPartitions(prep[q].sig, prep[q].home);
+      multi_pids[q] = index_->SelectMultiPartitions(*epoch.global, prep[q].sig,
+                                                    prep[q].home);
       partials[q].resize(multi_pids[q].size());
       for (size_t s = 0; s < multi_pids[q].size(); ++s) {
         if (multi_pids[q][s] == prep[q].home) home_slot[q] = s;
@@ -181,7 +188,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
   for (const auto& [pid, qs] : home_groups) {
     home_parts.emplace_back(pid, static_cast<uint32_t>(qs->size()));
   }
-  RunPartitionPhase(home_parts, [&](size_t gi) {
+  RunPartitionPhase(epoch, home_parts, [&](size_t gi) {
     const PartitionId pid = home_groups[gi].first;
     const std::vector<size_t>& qs = *home_groups[gi].second;
     qtel::PhaseTimer task_timer("batch.knn");
@@ -190,7 +197,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
       handle_load_error(local.status());
       return;
     }
-    auto records = index_->LoadPartitionShared(pid);
+    auto records = index_->LoadPartitionShared(epoch, pid);
     if (!records.ok()) {
       handle_load_error(records.status());
       return;
@@ -198,9 +205,11 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
     task_timer.Lap("load");
     if (cache != nullptr) {
       MutexLock lock(mu);
-      pins.emplace_back(cache, pid);
+      pins.emplace_back(cache, TardisIndex::EpochKey(epoch, pid));
     }
     if (strategy != KnnStrategy::kTargetNode) local->tree().EnsureWords();
+    const uint32_t tail_start = (*records)->num_base_records();
+    const uint32_t tail_len = (*records)->num_records() - tail_start;
     uint64_t cand = 0;
     uint64_t pruned = 0;
     task_timer.Skip();
@@ -209,21 +218,30 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
       const SigTree::Node* target =
           qscan::FindTargetNode(local->tree(), p.sig, k);
       TopK topk(k);
+      // Seed pass: the target slice, then the delta tail (appended records
+      // the persisted tree does not cover) — same order and counter
+      // discipline as the single-query path, so counts stay bit-identical.
       qscan::RankRange(**records, target->range_start, target->range_len,
                        p.normalized, &topk, &cand, &pqs[q], &pruned);
+      qscan::RankRange(**records, tail_start, tail_len, p.normalized, &topk,
+                       &cand, &pqs[q], &pruned);
       if (strategy == KnnStrategy::kTargetNode) {
         results[q] = topk.Take();
         continue;
       }
       const double threshold = topk.Threshold();
+      uint64_t dummy_cand = 0, dummy_pruned = 0;
       if (strategy == KnnStrategy::kOnePartition) {
         TopK wide(k);
-        // The target slice was counted by the seed RankRange above; the
-        // exclusion range keeps each record's candidate count at one,
-        // mirroring the single-query path bit for bit.
+        // The target slice and tail were counted by the seed pass above; the
+        // exclusion range (and the dummy-counter tail re-rank) keeps each
+        // record's candidate count at one, mirroring the single-query path
+        // bit for bit.
         qscan::PrunedScan(local->tree(), **records, *tables[q], p.normalized,
                           threshold, &wide, &cand, target->range_start,
                           target->range_len, &pqs[q], &pruned);
+        qscan::RankRange(**records, tail_start, tail_len, p.normalized, &wide,
+                         &dummy_cand, &pqs[q], &dummy_pruned);
         results[q] = wide.Take();
         continue;
       }
@@ -234,6 +252,8 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
       qscan::PrunedScan(local->tree(), **records, *tables[q], p.normalized,
                         threshold, &part, &cand, target->range_start,
                         target->range_len, &pqs[q], &pruned);
+      qscan::RankRange(**records, tail_start, tail_len, p.normalized, &part,
+                       &dummy_cand, &pqs[q], &dummy_pruned);
       partials[q][home_slot[q]] = part.Take();
     }
     task_timer.Lap("scan");
@@ -266,7 +286,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
     for (const auto& [pid, tasks] : groups) {
       sib_parts.emplace_back(pid, static_cast<uint32_t>(tasks->size()));
     }
-    RunPartitionPhase(sib_parts, [&](size_t gi) {
+    RunPartitionPhase(epoch, sib_parts, [&](size_t gi) {
       const PartitionId pid = groups[gi].first;
       const std::vector<SlotTask>& tasks = *groups[gi].second;
       qtel::PhaseTimer task_timer("batch.knn");
@@ -275,7 +295,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
         handle_load_error(local.status());
         return;
       }
-      auto records = index_->LoadPartitionShared(pid);
+      auto records = index_->LoadPartitionShared(epoch, pid);
       if (!records.ok()) {
         handle_load_error(records.status());
         return;
@@ -283,9 +303,11 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
       task_timer.Lap("load");
       if (cache != nullptr) {
         MutexLock lock(mu);
-        pins.emplace_back(cache, pid);
+        pins.emplace_back(cache, TardisIndex::EpochKey(epoch, pid));
       }
       local->tree().EnsureWords();
+      const uint32_t tail_start = (*records)->num_base_records();
+      const uint32_t tail_len = (*records)->num_records() - tail_start;
       uint64_t cand = 0;
       uint64_t pruned = 0;
       task_timer.Skip();
@@ -294,6 +316,10 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::KnnApproximateBatch(
         qscan::PrunedScan(local->tree(), **records, *tables[q],
                           prep[q].normalized, thresholds[q], &part, &cand, 0,
                           0, &pqs[q], &pruned);
+        // A sibling's delta tail is counted here for the first time: real
+        // counters, matching the single-query sibling branch.
+        qscan::RankRange(**records, tail_start, tail_len, prep[q].normalized,
+                         &part, &cand, &pqs[q], &pruned);
         partials[q][slot] = part.Take();
       }
       task_timer.Lap("scan");
@@ -338,21 +364,24 @@ Result<std::vector<std::vector<RecordId>>> QueryEngine::ExactMatchBatch(
     span.AddAttr("queries", static_cast<uint64_t>(queries.size()));
   }
   qtel::PhaseTimer timer("batch.exact");
+  const EpochPtr epoch_sp = index_->CurrentEpoch();
+  const IndexEpoch& epoch = *epoch_sp;
   const size_t nq = queries.size();
   std::vector<std::vector<RecordId>> results(nq);
   QueryEngineStats acc;
   acc.queries = nq;
+  acc.epoch_generation = epoch.generation;
 
   std::vector<Prepared> prep(nq);
   std::map<PartitionId, std::vector<size_t>> by_pid;
   for (size_t q = 0; q < nq; ++q) {
     TARDIS_RETURN_NOT_OK(index_->PrepareQuery(
         queries[q], &prep[q].normalized, &prep[q].paa, &prep[q].sig));
-    const PartitionId pid = index_->global_->LookupPartition(prep[q].sig);
+    const PartitionId pid = epoch.global->LookupPartition(prep[q].sig);
     if (pid == kInvalidPartition) continue;  // proven absent, empty result
-    if (use_bloom && pid < index_->blooms_.size() &&
-        index_->blooms_[pid] != nullptr &&
-        !index_->blooms_[pid]->MayContain(prep[q].sig)) {
+    if (use_bloom && pid < epoch.blooms.size() &&
+        epoch.blooms[pid] != nullptr &&
+        !epoch.blooms[pid]->MayContain(prep[q].sig)) {
       ++acc.bloom_negatives;  // proven absent without a partition load
       continue;
     }
@@ -376,7 +405,7 @@ Result<std::vector<std::vector<RecordId>>> QueryEngine::ExactMatchBatch(
   for (const auto& [pid, qs] : groups) {
     parts.emplace_back(pid, static_cast<uint32_t>(qs->size()));
   }
-  RunPartitionPhase(parts, [&](size_t gi) {
+  RunPartitionPhase(epoch, parts, [&](size_t gi) {
     const PartitionId pid = groups[gi].first;
     const std::vector<size_t>& qs = *groups[gi].second;
     qtel::PhaseTimer task_timer("batch.exact");
@@ -389,15 +418,20 @@ Result<std::vector<std::vector<RecordId>>> QueryEngine::ExactMatchBatch(
     task_timer.Lap("load");
     // Records are loaded lazily: if every query in the group fails its
     // Tardis-L descent (proven absent), the partition file is never read.
+    // With a delta tail the descent no longer proves absence — appended
+    // records live outside the persisted tree — so tailed partitions load
+    // whenever any query reaches them, exactly like the sequential path.
+    const bool has_tail = !TardisIndex::DeltaGens(epoch, pid).empty();
     PartitionCache::Value records;
     uint64_t cand = 0;
     task_timer.Skip();
     for (size_t q : qs) {
       const SigTree::Node* leaf = local->tree().Descend(prep[q].sig);
-      if (!leaf->is_leaf()) continue;
+      const bool leaf_ok = leaf->is_leaf();
+      if (!leaf_ok && !has_tail) continue;
       if (records == nullptr) {
         qtel::PhaseTimer load_timer("batch.exact");
-        auto loaded = index_->LoadPartitionShared(pid);
+        auto loaded = index_->LoadPartitionShared(epoch, pid);
         if (!loaded.ok()) {
           MutexLock lock(mu);
           if (first_error.ok()) first_error = loaded.status();
@@ -408,14 +442,26 @@ Result<std::vector<std::vector<RecordId>>> QueryEngine::ExactMatchBatch(
         records = *loaded;
         if (cache != nullptr) {
           MutexLock lock(mu);
-          pins.emplace_back(cache, pid);
+          pins.emplace_back(cache, TardisIndex::EpochKey(epoch, pid));
         }
       }
-      const uint32_t end = leaf->range_start + leaf->range_len;
-      for (uint32_t i = leaf->range_start;
-           i < end && i < records->num_records(); ++i) {
+      if (leaf_ok) {
+        const uint32_t end = leaf->range_start + leaf->range_len;
+        for (uint32_t i = leaf->range_start;
+             i < end && i < records->num_records(); ++i) {
+          ++cand;
+          // Element-wise float equality, matching the sequential ExactMatch.
+          if (std::equal(prep[q].normalized.begin(), prep[q].normalized.end(),
+                         records->values(i))) {
+            results[q].push_back(records->rid(i));
+          }
+        }
+      }
+      // The delta tail, scanned after the leaf slice (same order as the
+      // sequential path, so rid order and candidate counts match).
+      for (uint32_t i = records->num_base_records();
+           i < records->num_records(); ++i) {
         ++cand;
-        // Element-wise float equality, matching the sequential ExactMatch.
         if (std::equal(prep[q].normalized.begin(), prep[q].normalized.end(),
                        records->values(i))) {
           results[q].push_back(records->rid(i));
@@ -443,7 +489,9 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::RangeSearchBatch(
     const std::vector<TimeSeries>& queries, double radius,
     QueryEngineStats* stats) const {
   if (radius < 0.0) return Status::InvalidArgument("radius must be >= 0");
-  if (index_->regions_.size() != index_->num_partitions()) {
+  const EpochPtr epoch_sp = index_->CurrentEpoch();
+  const IndexEpoch& epoch = *epoch_sp;
+  if (epoch.regions.size() != index_->num_partitions()) {
     return Status::Internal("region summaries unavailable");
   }
   Stopwatch sw;
@@ -456,6 +504,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::RangeSearchBatch(
   std::vector<std::vector<Neighbor>> results(nq);
   QueryEngineStats acc;
   acc.queries = nq;
+  acc.epoch_generation = epoch.generation;
 
   std::vector<Prepared> prep(nq);
   std::vector<std::unique_ptr<MindistTable>> tables(nq);
@@ -473,8 +522,10 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::RangeSearchBatch(
     pqs[q] = index_->MakePivotQuery(prep[q].normalized);
     size_t slots = 0;
     for (PartitionId pid = 0; pid < index_->num_partitions(); ++pid) {
-      if (index_->regions_[pid].Mindist(prep[q].paa,
-                                        prep[q].normalized.size()) > radius) {
+      // Region summaries are Extend()ed over appended words, so the bound
+      // covers each partition's delta tail too.
+      if (epoch.regions[pid].Mindist(prep[q].paa,
+                                     prep[q].normalized.size()) > radius) {
         continue;
       }
       by_pid[pid].push_back({q, slots++});
@@ -511,7 +562,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::RangeSearchBatch(
   for (const auto& [pid, tasks] : groups) {
     parts.emplace_back(pid, static_cast<uint32_t>(tasks->size()));
   }
-  RunPartitionPhase(parts, [&](size_t gi) {
+  RunPartitionPhase(epoch, parts, [&](size_t gi) {
     const PartitionId pid = groups[gi].first;
     const std::vector<SlotTask>& tasks = *groups[gi].second;
     qtel::PhaseTimer task_timer("batch.range");
@@ -520,7 +571,7 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::RangeSearchBatch(
       handle_load_error(local.status());
       return;
     }
-    auto records = index_->LoadPartitionShared(pid);
+    auto records = index_->LoadPartitionShared(epoch, pid);
     if (!records.ok()) {
       handle_load_error(records.status());
       return;
@@ -528,9 +579,11 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::RangeSearchBatch(
     task_timer.Lap("load");
     if (cache != nullptr) {
       MutexLock lock(mu);
-      pins.emplace_back(cache, pid);
+      pins.emplace_back(cache, TardisIndex::EpochKey(epoch, pid));
     }
     local->tree().EnsureWords();
+    const uint32_t tail_start = (*records)->num_base_records();
+    const uint32_t tail_len = (*records)->num_records() - tail_start;
     uint64_t cand = 0;
     uint64_t pruned = 0;
     task_timer.Skip();
@@ -538,6 +591,11 @@ Result<std::vector<std::vector<Neighbor>>> QueryEngine::RangeSearchBatch(
       qscan::RangeScan(local->tree(), **records, *tables[q],
                        prep[q].normalized, radius, &partials[q][slot], &cand,
                        &pqs[q], &pruned);
+      // Delta tail after the tree scan, as in the sequential path (results
+      // are sorted at merge, so collection order is immaterial).
+      qscan::RangeScanRange(**records, tail_start, tail_len,
+                            prep[q].normalized, radius, &partials[q][slot],
+                            &cand, &pqs[q], &pruned);
     }
     task_timer.Lap("scan");
     candidates.fetch_add(cand, std::memory_order_relaxed);

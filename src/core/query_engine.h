@@ -57,6 +57,9 @@ struct QueryEngineStats {
   uint64_t partitions_requested = 0;
   uint64_t partitions_failed = 0;
   bool results_complete = true;
+  // The epoch snapshot the whole batch ran against (pinned once at entry, so
+  // a concurrent Append cannot split a batch across generations).
+  uint64_t epoch_generation = 0;
 };
 
 class QueryEngine {
@@ -95,8 +98,11 @@ class QueryEngine {
  private:
   // Dispatches one partition phase: fn(i) runs once per entry of `parts`
   // (pid, work items assigned to it this phase). Scheduled via the cost
-  // model when enabled, plain ParallelFor otherwise.
+  // model when enabled, plain ParallelFor otherwise. `epoch` is the batch's
+  // pinned snapshot: record counts and cache-residency probes come from it,
+  // so scheduling estimates match the content the tasks will load.
   void RunPartitionPhase(
+      const IndexEpoch& epoch,
       const std::vector<std::pair<PartitionId, uint32_t>>& parts,
       const std::function<void(size_t)>& fn) const;
 

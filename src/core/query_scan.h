@@ -207,6 +207,68 @@ inline void ExactScan(const SigTree& tree, const PartitionArena& arena,
   }
 }
 
+// Range-collects the records in [start, start+len): every record with
+// ED <= radius is appended to `out`. The flat-range body of RangeScan's leaf
+// case, exposed separately so delta tails — records appended after the
+// persisted tree was built, which no leaf range covers — run through the
+// identical tiling, pruning, and boundary arithmetic.
+inline void RangeScanRange(const PartitionArena& arena, uint32_t start,
+                           uint32_t len, const TimeSeries& query,
+                           double radius, std::vector<Neighbor>* out,
+                           uint64_t* candidates,
+                           const PivotQuery* pq = nullptr,
+                           uint64_t* pivot_pruned = nullptr) {
+  // The abandon bound is slightly inflated so the authoritative comparison
+  // below (sqrt(d^2) <= radius, matching the ED <= radius contract exactly)
+  // never loses a boundary record to squaring round-off. The bound is static,
+  // so tiling the scan is trivially result-identical.
+  const double radius_sq = radius * radius * (1.0 + 1e-12) + 1e-12;
+  double d_sq[kRankTileMaxRecords];
+  const uint32_t tile = static_cast<uint32_t>(RankTileRecords(query.size()));
+  const bool prune = pq != nullptr && pq->active() && arena.has_pivots();
+  const uint32_t end = std::min<uint32_t>(start + len, arena.num_records());
+  for (uint32_t t = start; t < end; t += tile) {
+    const uint32_t count = std::min<uint32_t>(tile, end - t);
+    if (!prune) {
+      EuclideanBatch(query.data(), arena.values(t), arena.stride(), count,
+                     query.size(), radius_sq, d_sq);
+      *candidates += count;
+    } else {
+      uint32_t kept = 0, run_start = 0;
+      bool in_run = false;
+      for (uint32_t j = 0; j < count; ++j) {
+        if (pq->Prunes(arena.pivot_row(t + j), radius)) {
+          d_sq[j] = std::numeric_limits<double>::infinity();
+          if (in_run) {
+            EuclideanBatch(query.data(), arena.values(t + run_start),
+                           arena.stride(), j - run_start, query.size(),
+                           radius_sq, d_sq + run_start);
+            in_run = false;
+          }
+        } else {
+          if (!in_run) {
+            run_start = j;
+            in_run = true;
+          }
+          ++kept;
+        }
+      }
+      if (in_run) {
+        EuclideanBatch(query.data(), arena.values(t + run_start),
+                       arena.stride(), count - run_start, query.size(),
+                       radius_sq, d_sq + run_start);
+      }
+      *candidates += kept;
+      if (pivot_pruned != nullptr) *pivot_pruned += count - kept;
+    }
+    for (uint32_t j = 0; j < count; ++j) {
+      if (std::isinf(d_sq[j])) continue;
+      const double d = std::sqrt(d_sq[j]);
+      if (d <= radius) out->push_back({d, arena.rid(t + j)});
+    }
+  }
+}
+
 // Range scan: like PrunedScan (static threshold = radius) but collects every
 // record within `radius` instead of a top-k. Pivot pruning tests each row
 // against the radius itself: a pruned row has ED > radius mathematically, so
@@ -216,14 +278,6 @@ inline void RangeScan(const SigTree& tree, const PartitionArena& arena,
                       double radius, std::vector<Neighbor>* out,
                       uint64_t* candidates, const PivotQuery* pq = nullptr,
                       uint64_t* pivot_pruned = nullptr) {
-  // The abandon bound is slightly inflated so the authoritative comparison
-  // below (sqrt(d^2) <= radius, matching the ED <= radius contract exactly)
-  // never loses a boundary record to squaring round-off. The bound is static,
-  // so tiling the leaf scan is trivially result-identical.
-  const double radius_sq = radius * radius * (1.0 + 1e-12) + 1e-12;
-  double d_sq[kRankTileMaxRecords];
-  const uint32_t tile = static_cast<uint32_t>(RankTileRecords(query.size()));
-  const bool prune = pq != nullptr && pq->active() && arena.has_pivots();
   std::vector<const SigTree::Node*> stack;
   std::vector<const SaxWord*> words;
   std::vector<double> lbs;
@@ -232,48 +286,8 @@ inline void RangeScan(const SigTree& tree, const PartitionArena& arena,
     const SigTree::Node* node = stack.back();
     stack.pop_back();
     if (node->is_leaf()) {
-      const uint32_t end = std::min<uint32_t>(
-          node->range_start + node->range_len, arena.num_records());
-      for (uint32_t t = node->range_start; t < end; t += tile) {
-        const uint32_t count = std::min<uint32_t>(tile, end - t);
-        if (!prune) {
-          EuclideanBatch(query.data(), arena.values(t), arena.stride(), count,
-                         query.size(), radius_sq, d_sq);
-          *candidates += count;
-        } else {
-          uint32_t kept = 0, run_start = 0;
-          bool in_run = false;
-          for (uint32_t j = 0; j < count; ++j) {
-            if (pq->Prunes(arena.pivot_row(t + j), radius)) {
-              d_sq[j] = std::numeric_limits<double>::infinity();
-              if (in_run) {
-                EuclideanBatch(query.data(), arena.values(t + run_start),
-                               arena.stride(), j - run_start, query.size(),
-                               radius_sq, d_sq + run_start);
-                in_run = false;
-              }
-            } else {
-              if (!in_run) {
-                run_start = j;
-                in_run = true;
-              }
-              ++kept;
-            }
-          }
-          if (in_run) {
-            EuclideanBatch(query.data(), arena.values(t + run_start),
-                           arena.stride(), count - run_start, query.size(),
-                           radius_sq, d_sq + run_start);
-          }
-          *candidates += kept;
-          if (pivot_pruned != nullptr) *pivot_pruned += count - kept;
-        }
-        for (uint32_t j = 0; j < count; ++j) {
-          if (std::isinf(d_sq[j])) continue;
-          const double d = std::sqrt(d_sq[j]);
-          if (d <= radius) out->push_back({d, arena.rid(t + j)});
-        }
-      }
+      RangeScanRange(arena, node->range_start, node->range_len, query, radius,
+                     out, candidates, pq, pivot_pruned);
       continue;
     }
     const size_t nc = node->children.size();

@@ -21,7 +21,9 @@ Result<std::vector<Neighbor>> TardisIndex::RangeSearch(const TimeSeries& query,
                                                        double radius,
                                                        KnnStats* stats) const {
   if (radius < 0.0) return Status::InvalidArgument("radius must be >= 0");
-  if (regions_.size() != num_partitions()) {
+  const EpochPtr epoch_sp = CurrentEpoch();
+  const IndexEpoch& epoch = *epoch_sp;
+  if (epoch.regions.size() != num_partitions()) {
     return Status::Internal("region summaries unavailable");
   }
   telemetry::ScopedSpan span("query.range");
@@ -40,7 +42,9 @@ Result<std::vector<Neighbor>> TardisIndex::RangeSearch(const TimeSeries& query,
   uint64_t candidates = 0;
   uint32_t loaded = 0, requested = 0, failed = 0;
   for (PartitionId pid = 0; pid < num_partitions(); ++pid) {
-    if (regions_[pid].Mindist(paa, normalized.size()) > radius) continue;
+    // The region summary is Extend()ed over appended words, so it lower
+    // bounds the delta tail as well — skipping here loses nothing.
+    if (epoch.regions[pid].Mindist(paa, normalized.size()) > radius) continue;
     ++requested;
     timer.Skip();
     // A partition that cannot be loaded after retries is skipped: the query
@@ -54,7 +58,7 @@ Result<std::vector<Neighbor>> TardisIndex::RangeSearch(const TimeSeries& query,
       }
       return local.status();
     }
-    auto records = LoadPartitionShared(pid);
+    auto records = LoadPartitionShared(epoch, pid);
     if (!records.ok()) {
       if (IsDegradableLoadError(records.status())) {
         ++failed;
@@ -66,6 +70,13 @@ Result<std::vector<Neighbor>> TardisIndex::RangeSearch(const TimeSeries& query,
     local->tree().EnsureWords();
     qscan::RangeScan(local->tree(), **records, mind, normalized, radius,
                      &results, &candidates, &pq, &pivot_pruned);
+    // The delta tail is outside every leaf range; range-collection order
+    // cannot matter (results are sorted below), so the tail runs last.
+    qscan::RangeScanRange(**records, (*records)->num_base_records(),
+                          (*records)->num_records() -
+                              (*records)->num_base_records(),
+                          normalized, radius, &results, &candidates, &pq,
+                          &pivot_pruned);
     timer.Lap("scan");
     ++loaded;
   }
@@ -86,6 +97,7 @@ Result<std::vector<Neighbor>> TardisIndex::RangeSearch(const TimeSeries& query,
     stats->partitions_requested = requested;
     stats->partitions_failed = failed;
     stats->results_complete = failed == 0;
+    stats->epoch_generation = epoch.generation;
   }
   return results;
 }

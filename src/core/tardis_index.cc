@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 
 #include "cluster/map_reduce.h"
@@ -21,7 +22,6 @@ constexpr char kBloomSidecar[] = "bloom";
 constexpr char kRegionSidecar[] = "region";
 constexpr char kRidsSidecar[] = "rids";
 constexpr char kPivotSidecar[] = "pivotd";
-constexpr char kMetaFile[] = "tardis_meta.bin";
 constexpr uint64_t kMetaMagic = 0x5441524449534958ULL;  // "TARDISIX"
 
 void EncodeConfig(const TardisConfig& config, std::string* out) {
@@ -116,6 +116,20 @@ std::string EncodePivotSidecar(const PivotSet& pivots,
   }
   return bytes;
 }
+
+// Publishes recovery accounting under tardis.recovery.* (satellite of the
+// crash-consistency work: visible in --metrics-json).
+void PublishRecoveryStats(const RecoveryStats& stats) {
+  if (!telemetry::Enabled()) return;
+  auto& reg = telemetry::Registry::Global();
+  reg.GetCounter("tardis.recovery.manifests_scanned")
+      .Add(stats.manifests_scanned);
+  reg.GetCounter("tardis.recovery.manifests_invalid")
+      .Add(stats.manifests_invalid);
+  reg.GetCounter("tardis.recovery.orphans_removed").Add(stats.orphans_removed);
+  reg.GetCounter("tardis.recovery.deltas_replayed")
+      .Add(stats.deltas_referenced);
+}
 }  // namespace
 
 const char* KnnStrategyName(KnnStrategy strategy) {
@@ -125,6 +139,49 @@ const char* KnnStrategyName(KnnStrategy strategy) {
     case KnnStrategy::kMultiPartitions: return "MultiPartitions";
   }
   return "Unknown";
+}
+
+TardisIndex::TardisIndex(std::shared_ptr<Cluster> cluster, TardisConfig config,
+                         std::shared_ptr<const GlobalIndex> global,
+                         PartitionStore partitions, uint32_t series_length)
+    : cluster_(std::move(cluster)),
+      config_(config),
+      codec_(global->codec()),
+      partitions_(std::make_unique<PartitionStore>(std::move(partitions))),
+      series_length_(series_length),
+      num_partitions_(global->num_partitions()),
+      epoch_mu_(std::make_unique<Mutex>()),
+      append_mu_(std::make_unique<Mutex>()) {
+  // Bootstrap epoch: generation 0 with an empty manifest, so the loaders
+  // (which Build itself uses before the first commit) see no delta tails.
+  auto epoch = std::make_shared<IndexEpoch>();
+  epoch->global = std::move(global);
+  epoch_ = std::move(epoch);
+  if (config_.cache_budget_bytes > 0) {
+    cache_ = std::make_unique<PartitionCache>(config_.cache_budget_bytes);
+  }
+}
+
+EpochPtr TardisIndex::CurrentEpoch() const {
+  MutexLock lock(*epoch_mu_);
+  return epoch_;
+}
+
+void TardisIndex::InstallEpoch(EpochPtr epoch) {
+  MutexLock lock(*epoch_mu_);
+  epoch_ = std::move(epoch);
+}
+
+const std::vector<uint64_t>& TardisIndex::DeltaGens(const IndexEpoch& epoch,
+                                                    PartitionId pid) {
+  static const std::vector<uint64_t> kEmpty;
+  if (pid >= epoch.manifest.partitions.size()) return kEmpty;
+  return epoch.manifest.partitions[pid].delta_gens;
+}
+
+uint64_t TardisIndex::SidecarGen(const IndexEpoch& epoch, PartitionId pid) {
+  if (pid >= epoch.manifest.partitions.size()) return 0;
+  return epoch.manifest.partitions[pid].sidecar_gen;
 }
 
 Result<TardisIndex> TardisIndex::Build(std::shared_ptr<Cluster> cluster,
@@ -138,19 +195,35 @@ Result<TardisIndex> TardisIndex::Build(std::shared_ptr<Cluster> cluster,
 
   // --- Tardis-G over the sampled statistics ---
   GlobalIndex::BuildBreakdown breakdown;
-  TARDIS_ASSIGN_OR_RETURN(GlobalIndex global,
+  TARDIS_ASSIGN_OR_RETURN(GlobalIndex built,
                           GlobalIndex::Build(*cluster, input, config, &breakdown));
   if (timings) timings->global = breakdown;
+  auto global = std::make_shared<const GlobalIndex>(std::move(built));
 
   TARDIS_ASSIGN_OR_RETURN(
       PartitionStore pstore,
       PartitionStore::Open(partition_dir, input.series_length()));
 
-  TardisIndex index(cluster, config, std::move(global), std::move(pstore),
+  // A rebuild into a previously used directory must not leave stale
+  // manifests around: a leftover MANIFEST-N (N > 1) would outrank the fresh
+  // build's MANIFEST-1 at the next Open.
+  {
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(partition_dir, ec)) {
+      uint64_t stale_gen = 0;
+      if (ParseManifestFileName(entry.path().filename().string(), &stale_gen)) {
+        std::filesystem::remove(entry.path(), ec);
+      }
+    }
+  }
+
+  TardisIndex index(cluster, config, global, std::move(pstore),
                     input.series_length());
   index.input_ = std::make_unique<BlockStore>(input);
   const ISaxTCodec& codec = index.codec();
-  const GlobalIndex& gidx = *index.global_;
+  const GlobalIndex& gidx = *global;
+  const uint32_t num_partitions = index.num_partitions();
 
   // --- Data Shuffle: the broadcast Tardis-G is the partitioner (Fig. 8).
   // Each record is converted to its iSAX-T signature and routed by tree
@@ -165,8 +238,8 @@ Result<TardisIndex> TardisIndex::Build(std::shared_ptr<Cluster> cluster,
   };
   JobMetrics job;
   TARDIS_ASSIGN_OR_RETURN(
-      index.partition_counts_,
-      ShuffleToPartitions(*cluster, input, index.num_partitions(), partitioner,
+      std::vector<uint64_t> counts,
+      ShuffleToPartitions(*cluster, input, num_partitions, partitioner,
                           *index.partitions_,
                           timings != nullptr ? &timings->shuffle : nullptr,
                           config.shuffle_spill_bytes, config.retry, &job));
@@ -196,13 +269,13 @@ Result<TardisIndex> TardisIndex::Build(std::shared_ptr<Cluster> cluster,
   // rewrite the partition clustered, persist the tree skeleton. The Bloom
   // filter is built in the same pass when intermediate data stays cached.
   const bool bloom_inline = config.build_bloom && config.persist_intermediate;
-  index.blooms_.resize(index.num_partitions());
-  index.regions_.resize(index.num_partitions());
+  std::vector<std::shared_ptr<const BloomFilter>> blooms(num_partitions);
+  std::vector<RegionSummary> regions(num_partitions);
   Mutex bloom_mu;
   TardisConfig local_cfg = config;
   local_cfg.build_bloom = bloom_inline;
   TARDIS_RETURN_NOT_OK(MapPartitions(
-      *cluster, index.num_partitions(), [&](PartitionId pid) -> Status {
+      *cluster, num_partitions, [&](PartitionId pid) -> Status {
         TARDIS_ASSIGN_OR_RETURN(PartitionArena arena,
                                 index.partitions_->ReadPartitionArena(pid));
         std::vector<uint32_t> order;
@@ -254,7 +327,7 @@ Result<TardisIndex> TardisIndex::Build(std::shared_ptr<Cluster> cluster,
             index.partitions_->WriteSidecar(pid, kRegionSidecar, region_bytes));
         {
           MutexLock lock(bloom_mu);
-          index.regions_[pid] = local.region();
+          regions[pid] = local.region();
         }
         if (bloom_inline) {
           auto bloom = local.TakeBloom();
@@ -263,7 +336,7 @@ Result<TardisIndex> TardisIndex::Build(std::shared_ptr<Cluster> cluster,
           TARDIS_RETURN_NOT_OK(
               index.partitions_->WriteSidecar(pid, kBloomSidecar, bloom_bytes));
           MutexLock lock(bloom_mu);
-          index.blooms_[pid] = std::move(bloom);
+          blooms[pid] = std::move(bloom);
         }
         return Status::OK();
       },
@@ -280,7 +353,7 @@ Result<TardisIndex> TardisIndex::Build(std::shared_ptr<Cluster> cluster,
   // Bloom pass re-reads every partition from disk and re-converts.
   if (config.build_bloom && !config.persist_intermediate) {
     TARDIS_RETURN_NOT_OK(MapPartitions(
-        *cluster, index.num_partitions(), [&](PartitionId pid) -> Status {
+        *cluster, num_partitions, [&](PartitionId pid) -> Status {
           TARDIS_ASSIGN_OR_RETURN(std::vector<Record> records,
                                   index.LoadPartition(pid));
           auto bloom = std::make_unique<BloomFilter>(
@@ -295,7 +368,7 @@ Result<TardisIndex> TardisIndex::Build(std::shared_ptr<Cluster> cluster,
           TARDIS_RETURN_NOT_OK(
               index.partitions_->WriteSidecar(pid, kBloomSidecar, bloom_bytes));
           MutexLock lock(bloom_mu);
-          index.blooms_[pid] = std::move(bloom);
+          blooms[pid] = std::move(bloom);
           return Status::OK();
         },
         config.retry, &job));
@@ -310,11 +383,37 @@ Result<TardisIndex> TardisIndex::Build(std::shared_ptr<Cluster> cluster,
     timings->job = job;
     timings->job += breakdown.job;
   }
-  TARDIS_RETURN_NOT_OK(index.SaveMeta());
+
+  // --- Commit generation 1: metadata first, then the manifest — the single
+  // durable commit point. A crash before the manifest rename leaves an
+  // unopenable directory (nothing was ever committed); after it, the build
+  // is fully recoverable.
+  TARDIS_RETURN_NOT_OK(index.SaveMeta(*global, counts, /*meta_gen=*/0));
+  Manifest manifest;
+  manifest.generation = 1;
+  manifest.series_length = input.series_length();
+  manifest.meta_gen = 0;
+  manifest.partitions.resize(num_partitions);
+  for (PartitionId pid = 0; pid < num_partitions; ++pid) {
+    manifest.partitions[pid].base_records =
+        static_cast<uint32_t>(counts[pid]);
+  }
+  TARDIS_RETURN_NOT_OK(WriteManifest(partition_dir, manifest));
+
+  auto epoch = std::make_shared<IndexEpoch>();
+  epoch->generation = 1;
+  epoch->manifest = std::move(manifest);
+  epoch->global = std::move(global);
+  epoch->partition_counts = std::move(counts);
+  epoch->blooms = std::move(blooms);
+  epoch->regions = std::move(regions);
+  index.InstallEpoch(std::move(epoch));
   return index;
 }
 
-Status TardisIndex::SaveMeta() const {
+Status TardisIndex::SaveMeta(const GlobalIndex& global,
+                             const std::vector<uint64_t>& counts,
+                             uint64_t meta_gen) const {
   std::string bytes;
   PutFixed<uint64_t>(&bytes, kMetaMagic);
   PutFixed<uint32_t>(&bytes, series_length_);
@@ -322,24 +421,44 @@ Status TardisIndex::SaveMeta() const {
   PutFixed<uint8_t>(&bytes, config_.clustered ? 1 : 0);
   PutLengthPrefixed(&bytes, input_ != nullptr ? input_->dir() : "");
   std::string tree_bytes;
-  global_->tree().EncodeTo(&tree_bytes);
+  global.tree().EncodeTo(&tree_bytes);
   PutLengthPrefixed(&bytes, tree_bytes);
-  PutFixed<uint32_t>(&bytes, static_cast<uint32_t>(partition_counts_.size()));
-  for (uint64_t count : partition_counts_) PutFixed<uint64_t>(&bytes, count);
+  PutFixed<uint32_t>(&bytes, static_cast<uint32_t>(counts.size()));
+  for (uint64_t count : counts) PutFixed<uint64_t>(&bytes, count);
   // Pivot section (length-prefixed, empty when the index has no pivots).
   std::string pivot_bytes;
   if (pivots_ != nullptr) pivots_->EncodeTo(&pivot_bytes);
   PutLengthPrefixed(&bytes, pivot_bytes);
   // Atomic replace: a crash mid-save must leave the previous metadata
   // readable (Open would otherwise see a torn header and refuse the index).
-  return WriteFileAtomic(partitions_->dir() + "/" + kMetaFile, bytes);
+  return WriteFileAtomic(partitions_->dir() + "/" + MetaFileName(meta_gen),
+                         bytes);
 }
 
 Result<TardisIndex> TardisIndex::Open(std::shared_ptr<Cluster> cluster,
                                       const std::string& partition_dir) {
   if (cluster == nullptr) return Status::InvalidArgument("null cluster");
-  std::ifstream in(partition_dir + "/" + kMetaFile,
-                   std::ios::binary | std::ios::ate);
+
+  // Recovery step 1: pick the newest manifest that decodes cleanly. A
+  // pre-manifest directory (NotFound) opens as a synthesized generation-1
+  // epoch and is never garbage-collected.
+  RecoveryStats rstats;
+  Manifest manifest;
+  bool legacy = false;
+  {
+    auto loaded = LoadNewestManifest(partition_dir, &rstats);
+    if (loaded.ok()) {
+      manifest = std::move(loaded).value();
+    } else if (loaded.status().code() == StatusCode::kNotFound) {
+      legacy = true;
+    } else {
+      return loaded.status();
+    }
+  }
+
+  const std::string meta_path =
+      partition_dir + "/" + MetaFileName(legacy ? 0 : manifest.meta_gen);
+  std::ifstream in(meta_path, std::ios::binary | std::ios::ate);
   if (!in) return Status::NotFound("no index metadata in " + partition_dir);
   std::string bytes(static_cast<size_t>(in.tellg()), '\0');
   in.seekg(0);
@@ -363,14 +482,23 @@ Result<TardisIndex> TardisIndex::Open(std::shared_ptr<Cluster> cluster,
   TARDIS_RETURN_NOT_OK(config.Validate());
   TARDIS_ASSIGN_OR_RETURN(
       ISaxTCodec codec, ISaxTCodec::Make(config.word_length, config.initial_bits));
-  TARDIS_ASSIGN_OR_RETURN(GlobalIndex global,
+  TARDIS_ASSIGN_OR_RETURN(GlobalIndex decoded,
                           GlobalIndex::FromSerialized(codec, tree_bytes));
-  if (num_counts != global.num_partitions()) {
+  if (num_counts != decoded.num_partitions()) {
     return Status::Corruption("index metadata partition count mismatch");
+  }
+  auto global = std::make_shared<const GlobalIndex>(std::move(decoded));
+  if (!legacy) {
+    if (manifest.num_partitions() != num_counts) {
+      return Status::Corruption("manifest partition count mismatch");
+    }
+    if (manifest.series_length != series_length) {
+      return Status::Corruption("manifest series length mismatch");
+    }
   }
   TARDIS_ASSIGN_OR_RETURN(PartitionStore pstore,
                           PartitionStore::Open(partition_dir, series_length));
-  TardisIndex index(cluster, config, std::move(global), std::move(pstore),
+  TardisIndex index(cluster, config, global, std::move(pstore),
                     series_length);
   if (!input_dir.empty()) {
     auto input = BlockStore::Open(input_dir);
@@ -383,8 +511,8 @@ Result<TardisIndex> TardisIndex::Open(std::shared_ptr<Cluster> cluster,
   } else if (!config.clustered) {
     return Status::Corruption("un-clustered index metadata lacks base data dir");
   }
-  index.partition_counts_.resize(num_counts);
-  for (auto& count : index.partition_counts_) {
+  std::vector<uint64_t> counts(num_counts);
+  for (auto& count : counts) {
     if (!reader.GetFixed(&count)) {
       return Status::Corruption("truncated partition counts");
     }
@@ -404,44 +532,79 @@ Result<TardisIndex> TardisIndex::Open(std::shared_ptr<Cluster> cluster,
   }
   index.pivot_pruning_ = PivotPruningDefault();
 
-  // Restore the memory-resident sidecars (Bloom filters, region summaries).
-  index.blooms_.resize(index.num_partitions());
-  index.regions_.resize(index.num_partitions());
+  if (legacy) {
+    // Synthesize the epoch a manifest-committing build would have produced;
+    // nothing is written and nothing is deleted.
+    manifest.generation = 1;
+    manifest.series_length = series_length;
+    manifest.meta_gen = 0;
+    manifest.partitions.resize(num_counts);
+    for (uint32_t pid = 0; pid < num_counts; ++pid) {
+      manifest.partitions[pid].base_records =
+          static_cast<uint32_t>(counts[pid]);
+    }
+  } else {
+    // Recovery step 2: delete whatever a crashed writer left behind that the
+    // chosen manifest does not reference (stale manifests, tmp files,
+    // uncommitted deltas/sidecars/metadata).
+    rstats.deltas_referenced = manifest.num_delta_files();
+    TARDIS_RETURN_NOT_OK(
+        GarbageCollectUnreferenced(partition_dir, manifest, &rstats));
+  }
+  PublishRecoveryStats(rstats);
+
+  // Restore the memory-resident sidecars (Bloom filters, region summaries)
+  // at the generations the manifest names.
+  std::vector<std::shared_ptr<const BloomFilter>> blooms(num_counts);
+  std::vector<RegionSummary> regions(num_counts);
   Mutex mu;
   TARDIS_RETURN_NOT_OK(MapPartitions(
-      *cluster, index.num_partitions(), [&](PartitionId pid) -> Status {
+      *cluster, num_counts, [&](PartitionId pid) -> Status {
+        const uint64_t sgen = manifest.partitions[pid].sidecar_gen;
         TARDIS_ASSIGN_OR_RETURN(
             std::string region_bytes,
-            index.partitions_->ReadSidecar(pid, kRegionSidecar));
+            index.partitions_->ReadSidecar(
+                pid, GenSidecarName(kRegionSidecar, sgen)));
         TARDIS_ASSIGN_OR_RETURN(RegionSummary region,
                                 RegionSummary::Decode(region_bytes));
-        std::unique_ptr<BloomFilter> bloom;
+        std::shared_ptr<const BloomFilter> bloom;
         if (config.build_bloom) {
           TARDIS_ASSIGN_OR_RETURN(
               std::string bloom_bytes,
-              index.partitions_->ReadSidecar(pid, kBloomSidecar));
-          TARDIS_ASSIGN_OR_RETURN(BloomFilter decoded,
+              index.partitions_->ReadSidecar(
+                  pid, GenSidecarName(kBloomSidecar, sgen)));
+          TARDIS_ASSIGN_OR_RETURN(BloomFilter bloom_decoded,
                                   BloomFilter::Decode(bloom_bytes));
-          bloom = std::make_unique<BloomFilter>(std::move(decoded));
+          bloom = std::make_shared<const BloomFilter>(std::move(bloom_decoded));
         }
         MutexLock lock(mu);
-        index.regions_[pid] = std::move(region);
-        index.blooms_[pid] = std::move(bloom);
+        regions[pid] = std::move(region);
+        blooms[pid] = std::move(bloom);
         return Status::OK();
       },
       config.retry));
+
+  auto epoch = std::make_shared<IndexEpoch>();
+  epoch->generation = manifest.generation;
+  epoch->manifest = std::move(manifest);
+  epoch->global = std::move(global);
+  epoch->partition_counts = std::move(counts);
+  epoch->blooms = std::move(blooms);
+  epoch->regions = std::move(regions);
+  index.InstallEpoch(std::move(epoch));
   return index;
 }
 
 Result<TardisIndex::SizeInfo> TardisIndex::ComputeSizeInfo() const {
+  const EpochPtr epoch = CurrentEpoch();
   SizeInfo info;
-  info.global_bytes = global_->SerializedSize();
+  info.global_bytes = epoch->global->SerializedSize();
   for (uint32_t pid = 0; pid < num_partitions(); ++pid) {
     TARDIS_ASSIGN_OR_RETURN(uint64_t tree_bytes,
                             partitions_->SidecarBytes(pid, kTreeSidecar));
     info.local_tree_bytes += tree_bytes;
-    if (blooms_.size() > pid && blooms_[pid] != nullptr) {
-      info.bloom_bytes += blooms_[pid]->SizeBytes();
+    if (epoch->blooms.size() > pid && epoch->blooms[pid] != nullptr) {
+      info.bloom_bytes += epoch->blooms[pid]->SizeBytes();
     }
   }
   return info;
@@ -460,24 +623,35 @@ Status TardisIndex::PrepareQuery(const TimeSeries& query,
   *normalized = query;
   paa->resize(config_.word_length);
   PaaInto(*normalized, config_.word_length, paa->data());
-  *sig = codec().Encode(*paa);
+  *sig = codec_.Encode(*paa);
   return Status::OK();
 }
 
 Result<std::vector<Record>> TardisIndex::LoadPartition(PartitionId pid) const {
+  return LoadPartition(*CurrentEpoch(), pid);
+}
+
+Result<std::vector<Record>> TardisIndex::LoadPartition(const IndexEpoch& epoch,
+                                                       PartitionId pid) const {
   // A whole load is one retry unit: un-clustered reconstruction touches many
   // files, and restarting it from scratch keeps the unit idempotent.
   return RunWithRetryResult<std::vector<Record>>(
-      config_.retry, [this, pid] { return LoadPartitionOnce(pid); });
+      config_.retry,
+      [this, &epoch, pid] { return LoadPartitionOnce(epoch, pid); });
 }
 
 Result<std::vector<Record>> TardisIndex::LoadPartitionOnce(
-    PartitionId pid) const {
-  if (config_.clustered) return partitions_->ReadPartition(pid);
+    const IndexEpoch& epoch, PartitionId pid) const {
+  if (config_.clustered) {
+    const std::vector<uint64_t>& delta_gens = DeltaGens(epoch, pid);
+    if (delta_gens.empty()) return partitions_->ReadPartition(pid);
+    return partitions_->ReadPartitionWithDeltas(pid, delta_gens, nullptr);
+  }
   // Un-clustered: reconstruct the partition's records by fetching each rid
   // from the base blocks — the refine phase's "expensive random I/O
   // operations" (§II-D). Blocks are cached within one load so a partition
   // never reads the same block twice, but distinct partitions repeat reads.
+  // (Un-clustered indexes reject Append, so they never carry delta tails.)
   if (input_ == nullptr) return Status::Internal("base block store unavailable");
   TARDIS_ASSIGN_OR_RETURN(std::string rid_bytes,
                           partitions_->ReadSidecar(pid, kRidsSidecar));
@@ -507,8 +681,14 @@ Result<std::vector<Record>> TardisIndex::LoadPartitionOnce(
 }
 
 Result<PartitionArena> TardisIndex::LoadPartitionArena(PartitionId pid) const {
+  return LoadPartitionArena(*CurrentEpoch(), pid);
+}
+
+Result<PartitionArena> TardisIndex::LoadPartitionArena(const IndexEpoch& epoch,
+                                                       PartitionId pid) const {
   return RunWithRetryResult<PartitionArena>(
-      config_.retry, [this, pid] { return LoadPartitionArenaOnce(pid); });
+      config_.retry,
+      [this, &epoch, pid] { return LoadPartitionArenaOnce(epoch, pid); });
 }
 
 namespace {
@@ -526,22 +706,33 @@ bool UseAosDecode() {
 }  // namespace
 
 Result<PartitionArena> TardisIndex::LoadPartitionArenaOnce(
-    PartitionId pid) const {
+    const IndexEpoch& epoch, PartitionId pid) const {
   PartitionArena arena;
   if (config_.clustered && !UseAosDecode()) {
-    TARDIS_ASSIGN_OR_RETURN(arena, partitions_->ReadPartitionArena(pid));
+    TARDIS_ASSIGN_OR_RETURN(arena, partitions_->ReadPartitionArenaWithDeltas(
+                                       pid, DeltaGens(epoch, pid)));
+  } else if (config_.clustered) {
+    // Transitional AoS decode: record loader first, then one conversion.
+    size_t num_base = 0;
+    TARDIS_ASSIGN_OR_RETURN(
+        std::vector<Record> records,
+        partitions_->ReadPartitionWithDeltas(pid, DeltaGens(epoch, pid),
+                                             &num_base));
+    arena = PartitionArena::FromRecords(records, series_length_);
+    arena.set_num_base_records(static_cast<uint32_t>(num_base));
   } else {
-    // Un-clustered reconstruction (and the transitional AoS decode) goes
-    // through the record loader and converts once at the end.
+    // Un-clustered reconstruction (never carries deltas).
     TARDIS_ASSIGN_OR_RETURN(std::vector<Record> records,
-                            LoadPartitionOnce(pid));
+                            LoadPartitionOnce(epoch, pid));
     arena = PartitionArena::FromRecords(records, series_length_);
   }
-  // Every load path produces records in tree order, so the pivot sidecar's
-  // row i always matches record i.
+  // Every load path produces records in tree order (plus the delta tail in
+  // append order), so the pivot sidecar's row i always matches record i.
   if (pivots_ != nullptr) {
-    TARDIS_ASSIGN_OR_RETURN(std::string pivot_bytes,
-                            partitions_->ReadSidecar(pid, kPivotSidecar));
+    TARDIS_ASSIGN_OR_RETURN(
+        std::string pivot_bytes,
+        partitions_->ReadSidecar(
+            pid, GenSidecarName(kPivotSidecar, SidecarGen(epoch, pid))));
     TARDIS_RETURN_NOT_OK(arena.AttachPivotSidecar(
         pivot_bytes, partitions_->dir() + "/p" + std::to_string(pid)));
   }
@@ -550,12 +741,19 @@ Result<PartitionArena> TardisIndex::LoadPartitionArenaOnce(
 
 Result<PartitionCache::Value> TardisIndex::LoadPartitionShared(
     PartitionId pid) const {
+  return LoadPartitionShared(*CurrentEpoch(), pid);
+}
+
+Result<PartitionCache::Value> TardisIndex::LoadPartitionShared(
+    const IndexEpoch& epoch, PartitionId pid) const {
   if (cache_ == nullptr) {
-    TARDIS_ASSIGN_OR_RETURN(PartitionArena arena, LoadPartitionArena(pid));
+    TARDIS_ASSIGN_OR_RETURN(PartitionArena arena,
+                            LoadPartitionArena(epoch, pid));
     return std::make_shared<const PartitionArena>(std::move(arena));
   }
-  return cache_->GetOrLoad(pid,
-                           [this, pid] { return LoadPartitionArena(pid); });
+  return cache_->GetOrLoad(EpochKey(epoch, pid), [this, &epoch, pid] {
+    return LoadPartitionArena(epoch, pid);
+  });
 }
 
 void TardisIndex::SetCacheBudget(uint64_t budget_bytes) {
@@ -564,6 +762,9 @@ void TardisIndex::SetCacheBudget(uint64_t budget_bytes) {
 }
 
 Result<LocalIndex> TardisIndex::LoadLocalIndex(PartitionId pid) const {
+  // The tree sidecar is written once at build time and never superseded:
+  // appended records live in the delta tail the tree does not cover, so the
+  // load needs no epoch qualification.
   return RunWithRetryResult<LocalIndex>(config_.retry, [&]() -> Result<LocalIndex> {
     TARDIS_ASSIGN_OR_RETURN(std::string bytes,
                             partitions_->ReadSidecar(pid, kTreeSidecar));
@@ -579,22 +780,26 @@ Result<std::vector<RecordId>> TardisIndex::ExactMatch(
         telemetry::Registry::Global().GetCounter("tardis.query.exact.count");
     queries.Add(1);
   }
+  const EpochPtr epoch_sp = CurrentEpoch();
+  const IndexEpoch& epoch = *epoch_sp;
+  if (stats) stats->epoch_generation = epoch.generation;
   TimeSeries normalized;
   std::vector<double> paa;
   std::string sig;
   TARDIS_RETURN_NOT_OK(PrepareQuery(query, &normalized, &paa, &sig));
 
   // (2) traverse Tardis-G to identify the partition.
-  const PartitionId pid = global_->LookupPartition(sig);
+  const PartitionId pid = epoch.global->LookupPartition(sig);
   if (pid == kInvalidPartition) {
     if (stats) stats->descent_failed = true;
     return std::vector<RecordId>{};
   }
 
   // (3) Bloom filter test: a negative verdict proves absence without the
-  // high-latency partition load.
-  if (use_bloom && pid < blooms_.size() && blooms_[pid] != nullptr &&
-      !blooms_[pid]->MayContain(sig)) {
+  // high-latency partition load. Appends add their signatures to the (new
+  // epoch's) filter, so the verdict covers the delta tail too.
+  if (use_bloom && pid < epoch.blooms.size() && epoch.blooms[pid] != nullptr &&
+      !epoch.blooms[pid]->MayContain(sig)) {
     if (stats) stats->bloom_negative = true;
     return std::vector<RecordId>{};
   }
@@ -606,23 +811,35 @@ Result<std::vector<RecordId>> TardisIndex::ExactMatch(
   // (candidates live in its clustered slice) or at an internal node with no
   // matching child — which proves the series is absent (§V-A: "the failure
   // of traversal in either Tardis-G or Tardis-L means a non-existent
-  // result").
+  // result") *among the base records*. Records appended after the build live
+  // in the delta tail the persisted tree does not cover, so a failed descent
+  // only proves absence when the tail is empty.
   const SigTree::Node* leaf = local.tree().Descend(sig);
-  if (!leaf->is_leaf()) {
+  const bool leaf_ok = leaf->is_leaf();
+  if (!leaf_ok) {
     if (stats) stats->descent_failed = true;
-    return std::vector<RecordId>{};
+    if (DeltaGens(epoch, pid).empty()) return std::vector<RecordId>{};
   }
-  // Verify the leaf's slice against the raw query values.
+  // Verify the leaf's slice (and the delta tail) against the raw query
+  // values.
   TARDIS_ASSIGN_OR_RETURN(PartitionCache::Value loaded,
-                          LoadPartitionShared(pid));
+                          LoadPartitionShared(epoch, pid));
   const PartitionArena& arena = *loaded;
   std::vector<RecordId> result;
-  const uint32_t end = leaf->range_start + leaf->range_len;
-  for (uint32_t i = leaf->range_start; i < end && i < arena.num_records();
-       ++i) {
+  if (leaf_ok) {
+    const uint32_t end = leaf->range_start + leaf->range_len;
+    for (uint32_t i = leaf->range_start; i < end && i < arena.num_records();
+         ++i) {
+      if (stats) ++stats->candidates;
+      // Element-wise float equality, matching the vector<float> == the AoS
+      // layout used (so -0.0/NaN semantics are unchanged).
+      if (std::equal(normalized.begin(), normalized.end(), arena.values(i))) {
+        result.push_back(arena.rid(i));
+      }
+    }
+  }
+  for (uint32_t i = arena.num_base_records(); i < arena.num_records(); ++i) {
     if (stats) ++stats->candidates;
-    // Element-wise float equality, matching the vector<float> == the AoS
-    // layout used (so -0.0/NaN semantics are unchanged).
     if (std::equal(normalized.begin(), normalized.end(), arena.values(i))) {
       result.push_back(arena.rid(i));
     }

@@ -4,6 +4,13 @@
 // per-partition Tardis-L + Bloom construction — and exposes the paper's
 // query algorithms (§V): exact match (with/without the Bloom filter) and the
 // three kNN-approximate strategies.
+//
+// Durable state is epoch-versioned (DESIGN.md §11, storage/manifest.h):
+// every Build/Append writes immutable artifacts and commits them by writing
+// a new MANIFEST-<generation>. In memory the index mirrors that with an
+// immutable IndexEpoch snapshot swapped atomically on commit: queries pin
+// one epoch for their lifetime, so an Append overlapping a query can neither
+// change the records the query scans nor invalidate its cache entries.
 
 #ifndef TARDIS_CORE_TARDIS_INDEX_H_
 #define TARDIS_CORE_TARDIS_INDEX_H_
@@ -15,11 +22,13 @@
 #include "cluster/cluster.h"
 #include "cluster/map_reduce.h"
 #include "common/bloom_filter.h"
+#include "common/thread_annotations.h"
 #include "core/global_index.h"
 #include "core/local_index.h"
 #include "core/pivots.h"
 #include "core/tardis_config.h"
 #include "storage/block_store.h"
+#include "storage/manifest.h"
 #include "storage/partition_cache.h"
 #include "storage/partition_store.h"
 
@@ -51,6 +60,7 @@ struct ExactMatchStats {
   bool descent_failed = false;   // Tardis-L traversal failed
   uint32_t candidates = 0;       // raw series compared
   uint32_t partitions_loaded = 0;
+  uint64_t epoch_generation = 0;  // the epoch snapshot the query ran against
 };
 
 struct KnnStats {
@@ -70,7 +80,32 @@ struct KnnStats {
   uint32_t partitions_requested = 0;
   uint32_t partitions_failed = 0;
   bool results_complete = true;
+  uint64_t epoch_generation = 0;  // the epoch snapshot the query ran against
 };
+
+// One immutable epoch snapshot: everything a query needs to answer against a
+// single committed generation. Queries grab the current snapshot once
+// (TardisIndex::CurrentEpoch) and use only it afterwards; Append builds the
+// next snapshot off to the side and swaps it in after its manifest commits,
+// so in-flight readers keep a consistent view (RCU-style). Per-partition
+// state the Append did not touch is structurally shared between consecutive
+// epochs (shared_ptr Bloom filters, copied manifests/regions).
+struct IndexEpoch {
+  uint64_t generation = 0;
+  // The committed durable-state manifest this epoch mirrors; names the delta
+  // files and sidecar generations every loader must read.
+  Manifest manifest;
+  std::shared_ptr<const GlobalIndex> global;
+  // Total records per partition (base + delta tails).
+  std::vector<uint64_t> partition_counts;
+  // Memory-resident per-partition Bloom filters (paper: "due to the small
+  // size, it resides in memory"). Null slots when build_bloom is off.
+  std::vector<std::shared_ptr<const BloomFilter>> blooms;
+  // Memory-resident per-partition region summaries (exact-kNN pruning);
+  // extended to cover delta records on Append.
+  std::vector<RegionSummary> regions;
+};
+using EpochPtr = std::shared_ptr<const IndexEpoch>;
 
 class TardisIndex {
  public:
@@ -99,27 +134,43 @@ class TardisIndex {
 
   // Builds the full index over `input`, materialising partitions under
   // `partition_dir`. `timings` may be null. The index metadata (config,
-  // Tardis-G, partition counts) is persisted alongside the partitions so the
-  // index can later be re-opened without rebuilding.
+  // Tardis-G, partition counts) is persisted alongside the partitions and
+  // committed under MANIFEST-1, so the index can later be re-opened without
+  // rebuilding.
   static Result<TardisIndex> Build(std::shared_ptr<Cluster> cluster,
                                    const BlockStore& input,
                                    const std::string& partition_dir,
                                    const TardisConfig& config,
                                    BuildTimings* timings);
 
-  // Re-opens an index previously built into `partition_dir`: restores the
-  // configuration, Tardis-G, partition counts, and the memory-resident
-  // Bloom filters and region summaries from their sidecars.
+  // Re-opens an index previously built into `partition_dir`. Recovery
+  // protocol: load the newest manifest that decodes and checksums cleanly,
+  // read the metadata generation it names, garbage-collect every file a
+  // crashed writer may have left that the manifest does not reference, then
+  // restore the memory-resident Bloom filters and region summaries from
+  // their (generation-suffixed) sidecars. Directories from before the
+  // manifest scheme open as a synthesized generation-1 epoch, untouched.
   static Result<TardisIndex> Open(std::shared_ptr<Cluster> cluster,
                                   const std::string& partition_dir);
 
   const TardisConfig& config() const { return config_; }
-  const GlobalIndex& global() const { return *global_; }
-  const ISaxTCodec& codec() const { return global_->codec(); }
-  uint32_t num_partitions() const { return global_->num_partitions(); }
+  const ISaxTCodec& codec() const { return codec_; }
+  uint32_t num_partitions() const { return num_partitions_; }
   uint32_t series_length() const { return series_length_; }
-  const std::vector<uint64_t>& partition_counts() const {
-    return partition_counts_;
+
+  // The current epoch snapshot. The snapshot is immutable and stays fully
+  // usable (queryable, cache-consistent) for as long as the caller holds the
+  // pointer, even across concurrent Appends.
+  EpochPtr CurrentEpoch() const;
+  // The current committed generation (1 after a fresh build).
+  uint64_t generation() const { return CurrentEpoch()->generation; }
+
+  // Convenience views over the *current* epoch. The reference returned by
+  // global() is valid until the next Append; callers that overlap queries
+  // with appends should hold a CurrentEpoch() snapshot instead.
+  const GlobalIndex& global() const { return *CurrentEpoch()->global; }
+  std::vector<uint64_t> partition_counts() const {
+    return CurrentEpoch()->partition_counts;
   }
 
   Result<SizeInfo> ComputeSizeInfo() const;
@@ -157,22 +208,26 @@ class TardisIndex {
   Result<std::vector<Neighbor>> KnnExact(const TimeSeries& query, uint32_t k,
                                          KnnStats* stats) const;
 
-  // --- Incremental ingest (extension beyond the paper; DESIGN.md §5) ---
-  // Routes each new series through the existing Tardis-G, rebuilds the local
-  // index / Bloom filter / region summary of every touched partition, and
-  // persists refreshed metadata. Returns the record ids assigned to the
-  // batch (continuing the existing rid sequence). Not safe to call
-  // concurrently with queries on the same instance.
+  // --- Incremental ingest (extension beyond the paper; DESIGN.md §5/§11) ---
+  // Routes each new series through the existing Tardis-G and appends it to
+  // its partition as an immutable CRC-framed delta file; the partition's
+  // Bloom filter, region summary, and pivot sidecar are extended (never
+  // rewritten in place) under the next generation, and the batch commits by
+  // writing MANIFEST-<gen+1>. A crash at any step leaves the previous
+  // generation fully readable. Returns the record ids assigned to the batch
+  // (continuing the existing rid sequence). Appends serialize against each
+  // other but are safe to run concurrently with queries: in-flight queries
+  // keep answering from their pinned epoch snapshot.
   Result<std::vector<RecordId>> Append(const Dataset& batch);
 
   // Loads a partition and its Tardis-L (per-query disk reads, as in the
-  // paper's query path). Exposed for tests and tooling. LoadPartition
-  // (legacy AoS records, kept for Append/tooling) and LoadPartitionArena
-  // (columnar, single decode pass from the frame payload) always go to
-  // disk; the query algorithms go through LoadPartitionShared, which serves
-  // repeated arena loads from the byte-budgeted partition cache when one is
-  // configured. All loaders retry transient failures under the configured
-  // RetryPolicy before reporting an error.
+  // paper's query path), against the *current* epoch. Exposed for tests and
+  // tooling. LoadPartition (legacy AoS records, kept for tooling) and
+  // LoadPartitionArena (columnar, single decode pass) always go to disk; the
+  // query algorithms go through LoadPartitionShared, which serves repeated
+  // arena loads from the byte-budgeted partition cache when one is
+  // configured, keyed by (partition, content generation). All loaders retry
+  // transient failures under the configured RetryPolicy.
   Result<std::vector<Record>> LoadPartition(PartitionId pid) const;
   Result<PartitionArena> LoadPartitionArena(PartitionId pid) const;
   Result<PartitionCache::Value> LoadPartitionShared(PartitionId pid) const;
@@ -215,16 +270,26 @@ class TardisIndex {
   friend class QueryEngine;
 
   TardisIndex(std::shared_ptr<Cluster> cluster, TardisConfig config,
-              GlobalIndex global, PartitionStore partitions,
-              uint32_t series_length)
-      : cluster_(std::move(cluster)),
-        config_(config),
-        global_(std::make_unique<GlobalIndex>(std::move(global))),
-        partitions_(std::make_unique<PartitionStore>(std::move(partitions))),
-        series_length_(series_length) {
-    if (config_.cache_budget_bytes > 0) {
-      cache_ = std::make_unique<PartitionCache>(config_.cache_budget_bytes);
-    }
+              std::shared_ptr<const GlobalIndex> global,
+              PartitionStore partitions, uint32_t series_length);
+
+  // Swaps in a freshly committed epoch snapshot.
+  void InstallEpoch(EpochPtr epoch);
+
+  // The delta-file generations of `pid` in `epoch` (empty for pristine
+  // partitions or out-of-range pids).
+  static const std::vector<uint64_t>& DeltaGens(const IndexEpoch& epoch,
+                                                PartitionId pid);
+  // Generation suffix of pid's bloom/region/pivotd sidecars in `epoch`.
+  static uint64_t SidecarGen(const IndexEpoch& epoch, PartitionId pid);
+  // The partition-cache key naming pid's content in `epoch`: qualified by
+  // the newest delta generation (0 for pristine build output), so appended
+  // content publishes under a fresh key while old-epoch readers keep
+  // hitting theirs.
+  static PartitionCache::Key EpochKey(const IndexEpoch& epoch,
+                                      PartitionId pid) {
+    const auto& dg = DeltaGens(epoch, pid);
+    return PartitionCache::MakeKey(pid, dg.empty() ? 0 : dg.back());
   }
 
   // Prepares (z-normalises) the query and computes PAA + full signature.
@@ -234,34 +299,60 @@ class TardisIndex {
   // Sibling partitions for the Multi-Partitions kNN strategy, capped at
   // config_.pth with a deterministic (signature, seed) selection that always
   // keeps `home` first. Shared by KnnApproximate and the batched engine.
-  std::vector<PartitionId> SelectMultiPartitions(std::string_view sig,
+  std::vector<PartitionId> SelectMultiPartitions(const GlobalIndex& global,
+                                                 std::string_view sig,
                                                  PartitionId home) const;
 
+  // Epoch-pinned loaders: read the base partition file plus the epoch's
+  // delta tail, and the epoch's sidecar generation of the pivot plane. The
+  // public single-argument loaders wrap these with CurrentEpoch().
+  Result<std::vector<Record>> LoadPartition(const IndexEpoch& epoch,
+                                            PartitionId pid) const;
+  Result<PartitionArena> LoadPartitionArena(const IndexEpoch& epoch,
+                                            PartitionId pid) const;
+  Result<PartitionCache::Value> LoadPartitionShared(const IndexEpoch& epoch,
+                                                    PartitionId pid) const;
+
   // One un-retried partition load; LoadPartition wraps it in the policy.
-  Result<std::vector<Record>> LoadPartitionOnce(PartitionId pid) const;
+  Result<std::vector<Record>> LoadPartitionOnce(const IndexEpoch& epoch,
+                                                PartitionId pid) const;
 
   // One un-retried arena load; LoadPartitionArena wraps it in the policy.
-  Result<PartitionArena> LoadPartitionArenaOnce(PartitionId pid) const;
+  Result<PartitionArena> LoadPartitionArenaOnce(const IndexEpoch& epoch,
+                                                PartitionId pid) const;
 
-  // Persists config/global-tree/counts metadata next to the partitions.
-  Status SaveMeta() const;
+  // Persists config/global-tree/counts metadata next to the partitions,
+  // under the generation-suffixed metadata file name.
+  Status SaveMeta(const GlobalIndex& global,
+                  const std::vector<uint64_t>& counts, uint64_t meta_gen) const;
 
   std::shared_ptr<Cluster> cluster_;
   TardisConfig config_;
-  std::unique_ptr<GlobalIndex> global_;
+  // The signature codec, fixed at build time and identical across epochs
+  // (copied out of Tardis-G so accessors never depend on epoch lifetime).
+  ISaxTCodec codec_;
   std::unique_ptr<PartitionStore> partitions_;
-  // Byte-budgeted LRU over decoded partitions (null when disabled).
+  // Byte-budgeted LRU over decoded partitions (null when disabled). Keyed by
+  // (partition, content generation) — see EpochKey — so epochs never need to
+  // invalidate each other's entries.
   std::unique_ptr<PartitionCache> cache_;
   // The base-data blocks; queried directly by un-clustered indexes (refine
   // phase random I/O).
   std::unique_ptr<BlockStore> input_;
   uint32_t series_length_ = 0;
-  std::vector<uint64_t> partition_counts_;
-  // Memory-resident per-partition Bloom filters (paper: "due to the small
-  // size, it resides in memory"). Null slots when build_bloom is off.
-  std::vector<std::unique_ptr<BloomFilter>> blooms_;
-  // Memory-resident per-partition region summaries (exact-kNN pruning).
-  std::vector<RegionSummary> regions_;
+  // Partition count, fixed at build time (appends route into existing
+  // partitions, never create them).
+  uint32_t num_partitions_ = 0;
+  // The current epoch snapshot, guarded by *epoch_mu_. Held through
+  // unique_ptr so TardisIndex stays movable (Result<TardisIndex> moves it);
+  // thread-safety analysis cannot name a pointee capability for a member
+  // annotation here — the same limitation PartitionCache::InFlight documents
+  // — so the invariant is by convention: every access goes through
+  // CurrentEpoch()/InstallEpoch(), which lock *epoch_mu_.
+  std::unique_ptr<Mutex> epoch_mu_;
+  EpochPtr epoch_;
+  // Serializes Append calls (writers); queries never take it.
+  std::unique_ptr<Mutex> append_mu_;
   // Build-time pivot set (null when num_pivots == 0) and the query-time
   // pruning switch.
   std::unique_ptr<PivotSet> pivots_;

@@ -1,0 +1,333 @@
+#include "storage/manifest.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/crc32c.h"
+#include "common/file_util.h"
+#include "common/serde.h"
+
+namespace fs = std::filesystem;
+
+namespace tardis {
+
+namespace {
+
+// A manifest file is exactly one frame:
+//   [magic u32 | payload_len u32 | crc32c(payload) u32 | payload]
+// The magic ("TMN1") differs from the partition-file frame magic ("TFM1") so
+// a manifest fed to the sidecar reader — or vice versa — fails at the magic
+// check instead of decoding as plausible garbage.
+constexpr uint32_t kManifestMagic = 0x314E4D54u;  // "TMN1" little-endian
+constexpr size_t kFrameHeaderBytes = 12;
+
+// Decode-time cap on the partition count; matches the part_%06u namespace
+// (and keeps a fuzzed 32-bit count from driving a multi-GiB reserve).
+constexpr uint32_t kMaxManifestPartitions = 1u << 22;
+
+constexpr char kManifestPrefix[] = "MANIFEST-";
+constexpr size_t kManifestPrefixLen = sizeof(kManifestPrefix) - 1;
+
+// Smallest encoded ManifestPartition: base_records u32 + sidecar_gen u64 +
+// delta count u32.
+constexpr size_t kMinPartitionBytes = 4 + 8 + 4;
+
+Status RemoveOrphan(const fs::path& path, RecoveryStats* stats) {
+  std::error_code ec;
+  fs::remove(path, ec);
+  if (ec) {
+    return Status::IOError("gc remove failed: " + path.string() + ": " +
+                           ec.message());
+  }
+  if (stats != nullptr) ++stats->orphans_removed;
+  return Status::OK();
+}
+
+// Splits a "part_NNNNNN.<rest>" file name; false for other names.
+bool ParsePartitionFileName(std::string_view name, uint32_t* pid,
+                            std::string_view* rest) {
+  constexpr std::string_view kPrefix = "part_";
+  constexpr size_t kDigits = 6;
+  if (name.size() < kPrefix.size() + kDigits + 1) return false;
+  if (name.substr(0, kPrefix.size()) != kPrefix) return false;
+  uint32_t value = 0;
+  for (size_t i = 0; i < kDigits; ++i) {
+    const char c = name[kPrefix.size() + i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint32_t>(c - '0');
+  }
+  if (name[kPrefix.size() + kDigits] != '.') return false;
+  *pid = value;
+  *rest = name.substr(kPrefix.size() + kDigits + 1);
+  return true;
+}
+
+// Parses the "g<gen>.<base>" sidecar-name scheme: "bloom" → (0, "bloom"),
+// "g7.bloom" → (7, "bloom"). Bare names are generation 0.
+bool ParseGenSidecar(std::string_view rest, uint64_t* gen,
+                     std::string_view* base) {
+  if (rest.size() < 2 || rest[0] != 'g' || rest[1] < '0' || rest[1] > '9') {
+    *gen = 0;
+    *base = rest;
+    return true;
+  }
+  uint64_t value = 0;
+  size_t i = 1;
+  for (; i < rest.size(); ++i) {
+    const char c = rest[i];
+    if (c == '.') break;
+    if (c < '0' || c > '9') return false;
+    if (value > (UINT64_MAX - 9) / 10) return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  if (i == 1 || i >= rest.size()) return false;  // no digits or no ".base"
+  *gen = value;
+  *base = rest.substr(i + 1);
+  return true;
+}
+
+}  // namespace
+
+uint64_t Manifest::num_delta_files() const {
+  uint64_t total = 0;
+  for (const ManifestPartition& p : partitions) total += p.delta_gens.size();
+  return total;
+}
+
+void Manifest::EncodeTo(std::string* out) const {
+  PutFixed<uint64_t>(out, generation);
+  PutFixed<uint32_t>(out, series_length);
+  PutFixed<uint64_t>(out, meta_gen);
+  PutFixed<uint32_t>(out, static_cast<uint32_t>(partitions.size()));
+  for (const ManifestPartition& p : partitions) {
+    PutFixed<uint32_t>(out, p.base_records);
+    PutFixed<uint64_t>(out, p.sidecar_gen);
+    PutFixed<uint32_t>(out, static_cast<uint32_t>(p.delta_gens.size()));
+    for (const uint64_t g : p.delta_gens) PutFixed<uint64_t>(out, g);
+  }
+}
+
+Result<Manifest> Manifest::Decode(std::string_view payload) {
+  SliceReader reader(payload);
+  Manifest m;
+  uint32_t num_partitions = 0;
+  if (!reader.GetFixed(&m.generation) || !reader.GetFixed(&m.series_length) ||
+      !reader.GetFixed(&m.meta_gen) || !reader.GetFixed(&num_partitions)) {
+    return Status::Corruption("manifest: truncated header");
+  }
+  if (m.generation == 0) {
+    return Status::Corruption("manifest: generation 0 is reserved");
+  }
+  if (num_partitions > kMaxManifestPartitions ||
+      static_cast<uint64_t>(num_partitions) * kMinPartitionBytes >
+          reader.remaining()) {
+    return Status::Corruption("manifest: implausible partition count");
+  }
+  m.partitions.resize(num_partitions);
+  for (ManifestPartition& p : m.partitions) {
+    uint32_t num_deltas = 0;
+    if (!reader.GetFixed(&p.base_records) || !reader.GetFixed(&p.sidecar_gen) ||
+        !reader.GetFixed(&num_deltas)) {
+      return Status::Corruption("manifest: truncated partition entry");
+    }
+    if (static_cast<uint64_t>(num_deltas) * sizeof(uint64_t) >
+        reader.remaining()) {
+      return Status::Corruption("manifest: implausible delta count");
+    }
+    p.delta_gens.resize(num_deltas);
+    for (uint64_t& g : p.delta_gens) {
+      if (!reader.GetFixed(&g)) {
+        return Status::Corruption("manifest: truncated delta list");
+      }
+      if (g == 0 || g > m.generation) {
+        return Status::Corruption("manifest: delta generation out of range");
+      }
+    }
+    if (p.sidecar_gen > m.generation) {
+      return Status::Corruption("manifest: sidecar generation out of range");
+    }
+  }
+  if (!reader.empty()) {
+    return Status::Corruption("manifest: trailing bytes");
+  }
+  return m;
+}
+
+std::string ManifestFileName(uint64_t generation) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "MANIFEST-%010llu",
+                static_cast<unsigned long long>(generation));
+  return name;
+}
+
+std::string MetaFileName(uint64_t meta_gen) {
+  if (meta_gen == 0) return "tardis_meta.bin";
+  char name[48];
+  std::snprintf(name, sizeof(name), "tardis_meta.g%llu.bin",
+                static_cast<unsigned long long>(meta_gen));
+  return name;
+}
+
+std::string GenSidecarName(const std::string& name, uint64_t gen) {
+  if (gen == 0) return name;
+  char prefix[32];
+  std::snprintf(prefix, sizeof(prefix), "g%llu.",
+                static_cast<unsigned long long>(gen));
+  return prefix + name;
+}
+
+std::string DeltaSidecarName(uint64_t gen) {
+  return GenSidecarName("delta", gen);
+}
+
+bool ParseManifestFileName(std::string_view name, uint64_t* generation) {
+  if (name.size() <= kManifestPrefixLen) return false;
+  if (name.substr(0, kManifestPrefixLen) != kManifestPrefix) return false;
+  uint64_t value = 0;
+  for (const char c : name.substr(kManifestPrefixLen)) {
+    if (c < '0' || c > '9') return false;
+    if (value > (UINT64_MAX - 9) / 10) return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *generation = value;
+  return true;
+}
+
+Status WriteManifest(const std::string& dir, const Manifest& m) {
+  if (m.generation == 0) {
+    return Status::InvalidArgument("manifest generation 0 is reserved");
+  }
+  std::string payload;
+  m.EncodeTo(&payload);
+  std::string framed;
+  framed.reserve(kFrameHeaderBytes + payload.size());
+  PutFixed<uint32_t>(&framed, kManifestMagic);
+  PutFixed<uint32_t>(&framed, static_cast<uint32_t>(payload.size()));
+  PutFixed<uint32_t>(&framed, Crc32c(payload));
+  framed.append(payload);
+  return WriteFileAtomic(dir + "/" + ManifestFileName(m.generation), framed);
+}
+
+Result<Manifest> LoadNewestManifest(const std::string& dir,
+                                    RecoveryStats* stats) {
+  std::vector<uint64_t> generations;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    uint64_t gen = 0;
+    if (ParseManifestFileName(entry.path().filename().string(), &gen)) {
+      generations.push_back(gen);
+    }
+  }
+  if (ec) {
+    // A directory that does not exist has no manifest — callers (Open)
+    // distinguish "no manifest" from a real scan failure.
+    std::error_code exists_ec;
+    if (!fs::exists(dir, exists_ec)) {
+      return Status::NotFound("no such index directory: " + dir);
+    }
+    return Status::IOError("manifest scan failed: " + dir + ": " +
+                           ec.message());
+  }
+  std::sort(generations.rbegin(), generations.rend());
+  for (const uint64_t gen : generations) {
+    if (stats != nullptr) ++stats->manifests_scanned;
+    const std::string path = dir + "/" + ManifestFileName(gen);
+    Result<std::string> bytes = ReadFileToString(path);
+    if (!bytes.ok()) {
+      if (stats != nullptr) ++stats->manifests_invalid;
+      continue;
+    }
+    // Verify the single frame, then decode the payload.
+    const std::string_view file(bytes.value());
+    bool frame_ok = file.size() >= kFrameHeaderBytes;
+    uint32_t magic = 0, len = 0, crc = 0;
+    if (frame_ok) {
+      SliceReader header(file.substr(0, kFrameHeaderBytes));
+      header.GetFixed(&magic);
+      header.GetFixed(&len);
+      header.GetFixed(&crc);
+      frame_ok = magic == kManifestMagic &&
+                 len == file.size() - kFrameHeaderBytes &&
+                 Crc32c(file.substr(kFrameHeaderBytes)) == crc;
+    }
+    if (!frame_ok) {
+      if (stats != nullptr) ++stats->manifests_invalid;
+      continue;
+    }
+    Result<Manifest> m = Manifest::Decode(file.substr(kFrameHeaderBytes));
+    if (!m.ok() || m.value().generation != gen) {
+      if (stats != nullptr) ++stats->manifests_invalid;
+      continue;
+    }
+    if (stats != nullptr) {
+      stats->deltas_referenced += m.value().num_delta_files();
+    }
+    return m;
+  }
+  return Status::NotFound("no valid manifest in " + dir);
+}
+
+Status GarbageCollectUnreferenced(const std::string& dir, const Manifest& m,
+                                  RecoveryStats* stats) {
+  std::error_code ec;
+  std::vector<fs::path> entries;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) entries.push_back(entry.path());
+  }
+  if (ec) {
+    return Status::IOError("gc scan failed: " + dir + ": " + ec.message());
+  }
+  for (const fs::path& path : entries) {
+    const std::string name = path.filename().string();
+
+    // A ".tmp" left by a crashed WriteFileAtomic is always an orphan.
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      TARDIS_RETURN_NOT_OK(RemoveOrphan(path, stats));
+      continue;
+    }
+
+    uint64_t gen = 0;
+    if (ParseManifestFileName(name, &gen)) {
+      if (gen != m.generation) TARDIS_RETURN_NOT_OK(RemoveOrphan(path, stats));
+      continue;
+    }
+
+    if (name == MetaFileName(m.meta_gen)) continue;
+    if (name.rfind("tardis_meta.", 0) == 0) {
+      TARDIS_RETURN_NOT_OK(RemoveOrphan(path, stats));
+      continue;
+    }
+
+    uint32_t pid = 0;
+    std::string_view rest;
+    if (!ParsePartitionFileName(name, &pid, &rest)) continue;  // not ours
+    if (pid >= m.partitions.size()) {
+      TARDIS_RETURN_NOT_OK(RemoveOrphan(path, stats));
+      continue;
+    }
+    if (rest == "bin") continue;  // base partition file, always referenced
+    uint64_t sidecar_gen = 0;
+    std::string_view base;
+    if (!ParseGenSidecar(rest, &sidecar_gen, &base)) continue;
+    const ManifestPartition& p = m.partitions[pid];
+    bool referenced;
+    if (base == "delta") {
+      referenced = std::find(p.delta_gens.begin(), p.delta_gens.end(),
+                             sidecar_gen) != p.delta_gens.end();
+    } else if (base == "bloom" || base == "region" || base == "pivotd") {
+      referenced = sidecar_gen == p.sidecar_gen;
+    } else if (base == "ltree" || base == "rids") {
+      // The tree and row-id map are written once at build time and only ever
+      // replaced wholesale by a rebuild.
+      referenced = sidecar_gen == 0;
+    } else {
+      continue;  // unknown sidecar kind: leave it alone
+    }
+    if (!referenced) TARDIS_RETURN_NOT_OK(RemoveOrphan(path, stats));
+  }
+  return Status::OK();
+}
+
+}  // namespace tardis

@@ -1,0 +1,115 @@
+// Epoch-versioned index manifests: the single commit point for all durable
+// TARDIS index state (DESIGN.md §11).
+//
+// Every build/append produces immutable artifacts — base partition files,
+// generation-suffixed sidecars, per-partition delta files, a
+// generation-suffixed metadata file — and then commits by writing
+// MANIFEST-<generation> through WriteFileAtomic. A crash at any earlier
+// durable step leaves the previous generation's manifest (and every file it
+// references) untouched and fully readable; recovery is
+//
+//   1. load the newest manifest that decodes and checksums cleanly
+//      (LoadNewestManifest), and
+//   2. delete every file a crashed writer may have left behind that the
+//      chosen manifest does not reference (GarbageCollectUnreferenced).
+//
+// The manifest is self-contained for both jobs: it names its generation, the
+// metadata file's generation, and per partition the base-record count (rows
+// covered by the persisted Tardis-L tree), the sidecar generation of the
+// bloom/region/pivotd files, and the ordered delta-file generations whose
+// records form the partition's scan tail.
+//
+// On disk a manifest is one CRC32C frame ([magic|len|crc|payload], the PR 3
+// framing), so torn manifests are detected, and the decoder bounds every
+// count against the remaining payload so fuzzed inputs cannot drive
+// allocations (fuzz/fuzz_manifest.cc).
+
+#ifndef TARDIS_STORAGE_MANIFEST_H_
+#define TARDIS_STORAGE_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tardis {
+
+// Per-partition durable-state entry.
+struct ManifestPartition {
+  // Rows of the base partition file, i.e. the rows the persisted Tardis-L
+  // tree's leaf ranges cover. Rows beyond this (from delta files) form the
+  // always-scanned tail.
+  uint32_t base_records = 0;
+  // Generation suffix of the bloom/region/pivotd sidecars (0 = the
+  // unsuffixed build-time files).
+  uint64_t sidecar_gen = 0;
+  // Generations of this partition's delta files, in append order; the
+  // partition's records are base file bytes + each delta's bytes in turn.
+  std::vector<uint64_t> delta_gens;
+
+  bool operator==(const ManifestPartition&) const = default;
+};
+
+struct Manifest {
+  uint64_t generation = 0;
+  uint32_t series_length = 0;
+  // Generation suffix of the index metadata file (0 = "tardis_meta.bin").
+  uint64_t meta_gen = 0;
+  std::vector<ManifestPartition> partitions;
+
+  bool operator==(const Manifest&) const = default;
+
+  uint32_t num_partitions() const {
+    return static_cast<uint32_t>(partitions.size());
+  }
+  // Total delta files referenced across all partitions.
+  uint64_t num_delta_files() const;
+
+  void EncodeTo(std::string* out) const;
+  // Bounded decode of an (unframed) manifest payload.
+  static Result<Manifest> Decode(std::string_view payload);
+};
+
+// Durable-state file names inside an index directory.
+std::string ManifestFileName(uint64_t generation);   // "MANIFEST-0000000007"
+std::string MetaFileName(uint64_t meta_gen);         // "tardis_meta[.g7].bin"
+// "g<gen>.<name>" sidecar name, or `name` unchanged for generation 0 — the
+// string PartitionStore::WriteSidecar/ReadSidecar take.
+std::string GenSidecarName(const std::string& name, uint64_t gen);
+// The delta sidecar name for one generation ("g<gen>.delta").
+std::string DeltaSidecarName(uint64_t gen);
+
+// Parses "MANIFEST-<digits>"; false for anything else.
+bool ParseManifestFileName(std::string_view name, uint64_t* generation);
+
+// Recovery accounting, surfaced as tardis.recovery.* telemetry.
+struct RecoveryStats {
+  uint64_t manifests_scanned = 0;  // manifest files considered, newest first
+  uint64_t manifests_invalid = 0;  // skipped: torn, corrupt, or undecodable
+  uint64_t orphans_removed = 0;    // unreferenced files deleted by GC
+  uint64_t deltas_referenced = 0;  // delta files the loaded manifest replays
+};
+
+// Writes MANIFEST-<m.generation> atomically (one CRC frame, temp+rename).
+// This is the commit point: once it returns OK, recovery selects `m`.
+Status WriteManifest(const std::string& dir, const Manifest& m);
+
+// Scans `dir` for MANIFEST-* files and returns the newest one that decodes
+// cleanly, skipping (and counting) invalid ones. NotFound when no valid
+// manifest exists (a pre-manifest index directory).
+Result<Manifest> LoadNewestManifest(const std::string& dir,
+                                    RecoveryStats* stats);
+
+// Deletes files under `dir` that `m` does not reference: stale manifests,
+// orphaned ".tmp" files, sidecars/deltas/metadata of generations a crashed
+// writer never committed. File names the manifest scheme does not produce
+// are left alone. Runs at recovery time only — committed epochs never delete
+// files an older in-process epoch snapshot may still read.
+Status GarbageCollectUnreferenced(const std::string& dir, const Manifest& m,
+                                  RecoveryStats* stats);
+
+}  // namespace tardis
+
+#endif  // TARDIS_STORAGE_MANIFEST_H_

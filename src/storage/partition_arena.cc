@@ -30,6 +30,7 @@ PartitionArena::PartitionArena(PartitionArena&& other) noexcept
       arena_(std::exchange(other.arena_, nullptr)),
       allocated_bytes_(std::exchange(other.allocated_bytes_, 0)),
       num_records_(std::exchange(other.num_records_, 0)),
+      num_base_records_(std::exchange(other.num_base_records_, 0)),
       series_length_(std::exchange(other.series_length_, 0)),
       pivot_plane_(std::exchange(other.pivot_plane_, nullptr)),
       pivot_bytes_(std::exchange(other.pivot_bytes_, 0)),
@@ -44,6 +45,7 @@ PartitionArena& PartitionArena::operator=(PartitionArena&& other) noexcept {
     arena_ = std::exchange(other.arena_, nullptr);
     allocated_bytes_ = std::exchange(other.allocated_bytes_, 0);
     num_records_ = std::exchange(other.num_records_, 0);
+    num_base_records_ = std::exchange(other.num_base_records_, 0);
     series_length_ = std::exchange(other.series_length_, 0);
     pivot_plane_ = std::exchange(other.pivot_plane_, nullptr);
     pivot_bytes_ = std::exchange(other.pivot_bytes_, 0);
@@ -56,6 +58,7 @@ PartitionArena PartitionArena::Allocate(uint32_t num_records,
                                         uint32_t series_length) {
   PartitionArena arena;
   arena.num_records_ = num_records;
+  arena.num_base_records_ = num_records;
   arena.series_length_ = series_length;
   if (num_records == 0) return arena;
 

@@ -66,6 +66,12 @@ class PartitionArena {
                                     uint32_t series_length);
 
   uint32_t num_records() const { return num_records_; }
+  // Rows covered by the partition's persisted Tardis-L tree. Rows
+  // [num_base_records, num_records) were loaded from epoch delta files and
+  // form the always-scanned tail — no tree leaf or region range points at
+  // them. Equal to num_records() unless a delta-aware loader says otherwise.
+  uint32_t num_base_records() const { return num_base_records_; }
+  void set_num_base_records(uint32_t n) { num_base_records_ = n; }
   uint32_t series_length() const { return series_length_; }
   // Distance in floats between consecutive rows of the values plane.
   size_t stride() const { return series_length_; }
@@ -121,6 +127,7 @@ class PartitionArena {
   void* arena_ = nullptr;      // single aligned allocation
   uint64_t allocated_bytes_ = 0;
   uint32_t num_records_ = 0;
+  uint32_t num_base_records_ = 0;  // kept == num_records_ unless deltas loaded
   uint32_t series_length_ = 0;
   float* pivot_plane_ = nullptr;  // separate aligned allocation (optional)
   uint64_t pivot_bytes_ = 0;

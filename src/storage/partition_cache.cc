@@ -41,19 +41,19 @@ uint64_t PartitionCache::ChargedBytes(const PartitionArena& arena) {
   return arena.FootprintBytes();
 }
 
-Result<PartitionCache::Value> PartitionCache::GetOrLoad(PartitionId pid,
+Result<PartitionCache::Value> PartitionCache::GetOrLoad(Key key,
                                                         const Loader& loader) {
-  Shard& shard = ShardFor(pid);
+  Shard& shard = ShardFor(key);
   MutexLock lock(shard.mu);
 
-  auto hit = shard.entries.find(pid);
+  auto hit = shard.entries.find(key);
   if (hit != shard.entries.end()) {
     shard.lru.splice(shard.lru.begin(), shard.lru, hit->second.lru_it);
     hits_->Add(1);
     return hit->second.value;
   }
 
-  auto flight = shard.inflight.find(pid);
+  auto flight = shard.inflight.find(key);
   if (flight != shard.inflight.end()) {
     // Another thread is already reading this partition: piggyback on it.
     std::shared_ptr<InFlight> fl = flight->second;
@@ -64,7 +64,7 @@ Result<PartitionCache::Value> PartitionCache::GetOrLoad(PartitionId pid,
   }
 
   auto fl = std::make_shared<InFlight>();
-  shard.inflight.emplace(pid, fl);
+  shard.inflight.emplace(key, fl);
   misses_->Add(1);
   lock.Unlock();
 
@@ -76,7 +76,7 @@ Result<PartitionCache::Value> PartitionCache::GetOrLoad(PartitionId pid,
   }();
 
   lock.Lock();
-  shard.inflight.erase(pid);
+  shard.inflight.erase(key);
   if (!loaded.ok()) {
     fl->error = loaded.status();
     fl->done = true;
@@ -89,18 +89,18 @@ Result<PartitionCache::Value> PartitionCache::GetOrLoad(PartitionId pid,
   fl->value = value;
   fl->done = true;
   fl->cv.NotifyAll();
-  InsertAndEvict(shard, pid, value, bytes);
+  InsertAndEvict(shard, key, value, bytes);
   return value;
 }
 
-void PartitionCache::InsertAndEvict(Shard& shard, PartitionId pid, Value value,
+void PartitionCache::InsertAndEvict(Shard& shard, Key key, Value value,
                                     uint64_t bytes) {
-  shard.lru.push_front(pid);
+  shard.lru.push_front(key);
   Entry entry;
   entry.value = std::move(value);
   entry.bytes = bytes;
   entry.lru_it = shard.lru.begin();
-  shard.entries[pid] = std::move(entry);
+  shard.entries[key] = std::move(entry);
   shard.bytes += bytes;
   resident_bytes_->Add(static_cast<int64_t>(bytes));
   resident_partitions_->Add(1);
@@ -112,14 +112,14 @@ void PartitionCache::InsertAndEvict(Shard& shard, PartitionId pid, Value value,
     // keeps the documented insert-then-evict degenerate semantics).
     auto victim_it = shard.lru.end();
     for (auto rit = shard.lru.rbegin(); rit != shard.lru.rend(); ++rit) {
-      if (shard_budget_ > 0 && *rit == pid) continue;
+      if (shard_budget_ > 0 && *rit == key) continue;
       if (shard.pins.find(*rit) == shard.pins.end()) {
         victim_it = std::prev(rit.base());
         break;
       }
     }
     if (victim_it == shard.lru.end()) break;
-    const PartitionId victim = *victim_it;
+    const Key victim = *victim_it;
     shard.lru.erase(victim_it);
     auto it = shard.entries.find(victim);
     shard.bytes -= it->second.bytes;
@@ -130,16 +130,16 @@ void PartitionCache::InsertAndEvict(Shard& shard, PartitionId pid, Value value,
   }
 }
 
-void PartitionCache::Pin(PartitionId pid) {
-  Shard& shard = ShardFor(pid);
+void PartitionCache::Pin(Key key) {
+  Shard& shard = ShardFor(key);
   MutexLock lock(shard.mu);
-  if (++shard.pins[pid] == 1) pinned_partitions_->Add(1);
+  if (++shard.pins[key] == 1) pinned_partitions_->Add(1);
 }
 
-void PartitionCache::Unpin(PartitionId pid) {
-  Shard& shard = ShardFor(pid);
+void PartitionCache::Unpin(Key key) {
+  Shard& shard = ShardFor(key);
   MutexLock lock(shard.mu);
-  auto it = shard.pins.find(pid);
+  auto it = shard.pins.find(key);
   if (it == shard.pins.end()) return;
   if (--it->second == 0) {
     shard.pins.erase(it);
@@ -147,10 +147,19 @@ void PartitionCache::Unpin(PartitionId pid) {
   }
 }
 
-void PartitionCache::Invalidate(PartitionId pid) {
-  Shard& shard = ShardFor(pid);
+void PartitionCache::Deprioritize(Key key) {
+  Shard& shard = ShardFor(key);
   MutexLock lock(shard.mu);
-  auto it = shard.entries.find(pid);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return;
+  if (shard.pins.find(key) != shard.pins.end()) return;
+  shard.lru.splice(shard.lru.end(), shard.lru, it->second.lru_it);
+}
+
+void PartitionCache::Invalidate(Key key) {
+  Shard& shard = ShardFor(key);
+  MutexLock lock(shard.mu);
+  auto it = shard.entries.find(key);
   if (it == shard.entries.end()) return;
   shard.bytes -= it->second.bytes;
   resident_bytes_->Add(-static_cast<int64_t>(it->second.bytes));
@@ -159,10 +168,10 @@ void PartitionCache::Invalidate(PartitionId pid) {
   shard.entries.erase(it);
 }
 
-bool PartitionCache::IsResident(PartitionId pid) const {
-  Shard& shard = *shards_[pid % shards_.size()];
+bool PartitionCache::IsResident(Key key) const {
+  Shard& shard = *shards_[key % shards_.size()];
   MutexLock lock(shard.mu);
-  return shard.entries.find(pid) != shard.entries.end();
+  return shard.entries.find(key) != shard.entries.end();
 }
 
 void PartitionCache::Clear() {

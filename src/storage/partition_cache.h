@@ -55,6 +55,21 @@ class PartitionCache {
  public:
   using Value = std::shared_ptr<const PartitionArena>;
   using Loader = std::function<Result<PartitionArena>()>;
+  // Cache key: a partition id qualified by its content generation (the epoch
+  // generation of its newest delta, or 0 for pristine build output — see
+  // storage/manifest.h). Appending to a partition publishes new content under
+  // a new key instead of invalidating the old one, so queries pinned to an
+  // older epoch keep hitting their snapshot's entries while new-epoch queries
+  // load fresh ones. Plain PartitionId arguments widen implicitly to the
+  // generation-0 key, which keeps single-epoch callers (DPiSAX, tests)
+  // unchanged.
+  using Key = uint64_t;
+
+  // Packs (content generation, pid). part_%06u keeps pids < 1e6 < 2^24, so
+  // 40 generation bits remain — far past any append count.
+  static Key MakeKey(PartitionId pid, uint64_t content_gen) {
+    return (content_gen << 24) | static_cast<Key>(pid);
+  }
 
   // `budget_bytes` caps the resident decoded bytes (see ChargedBytes); with a
   // budget of 0 every load is evicted as soon as it is inserted, so the cache
@@ -64,31 +79,39 @@ class PartitionCache {
   PartitionCache(const PartitionCache&) = delete;
   PartitionCache& operator=(const PartitionCache&) = delete;
 
-  // Returns the cached snapshot of `pid`, running `loader` on a miss. When
-  // several threads miss on the same pid concurrently, exactly one runs the
+  // Returns the cached snapshot of `key`, running `loader` on a miss. When
+  // several threads miss on the same key concurrently, exactly one runs the
   // loader; the rest block until it publishes (or propagate its error).
   // A failed load caches nothing — the next lookup retries.
-  Result<Value> GetOrLoad(PartitionId pid, const Loader& loader);
+  Result<Value> GetOrLoad(Key key, const Loader& loader);
 
-  // Pins `pid`: while its pin count is positive the entry is exempt from
+  // Pins `key`: while its pin count is positive the entry is exempt from
   // budget eviction and from Clear() (resident bytes may transiently exceed
   // the budget by the pinned working set). Invalidate still drops pinned
   // entries — it signals staleness, which pins do not protect against.
-  // Pinning a pid that is not resident is allowed and takes effect when the
+  // Pinning a key that is not resident is allowed and takes effect when the
   // entry is next inserted. Used by the batched QueryEngine to keep a
   // batch's partitions resident across its scheduling phases.
-  void Pin(PartitionId pid);
-  // Decrements the pin count; a no-op when the pid is not pinned.
-  void Unpin(PartitionId pid);
+  void Pin(Key key);
+  // Decrements the pin count; a no-op when the key is not pinned.
+  void Unpin(Key key);
 
-  // Drops `pid` from the cache (after a partition rewrite, e.g. Append).
-  // Only loads started after Invalidate returns are guaranteed fresh.
-  void Invalidate(PartitionId pid);
+  // Drops `key` from the cache (after a partition rewrite destroys the
+  // content the key names — a rebuild, not an epoch append, which publishes
+  // under a fresh key and leaves the old one valid). Only loads started
+  // after Invalidate returns are guaranteed fresh.
+  void Invalidate(Key key);
 
-  // True when `pid` is currently resident. A point-in-time answer (the entry
+  // Moves `key` to the cold (next-victim) end of its shard's LRU — an
+  // eviction-priority hint for entries of a superseded generation: still
+  // valid for in-flight old-epoch readers, first to go under budget
+  // pressure. A no-op for absent or pinned entries.
+  void Deprioritize(Key key);
+
+  // True when `key` is currently resident. A point-in-time answer (the entry
   // can be evicted the instant the lock drops) — callers use it as a
   // scheduling hint, never as a correctness guarantee.
-  bool IsResident(PartitionId pid) const;
+  bool IsResident(Key key) const;
 
   // Drops every *unpinned* resident entry (counted as evictions). Pinned
   // entries stay resident and charged, mirroring the exemption that budget
@@ -109,7 +132,7 @@ class PartitionCache {
   struct Entry {
     Value value;
     uint64_t bytes = 0;
-    std::list<PartitionId>::iterator lru_it;
+    std::list<Key>::iterator lru_it;
   };
 
   // Single-flight rendezvous for one in-progress load. done/error/value are
@@ -125,22 +148,22 @@ class PartitionCache {
 
   struct Shard {
     Mutex mu;
-    std::unordered_map<PartitionId, Entry> entries TARDIS_GUARDED_BY(mu);
-    std::list<PartitionId> lru
+    std::unordered_map<Key, Entry> entries TARDIS_GUARDED_BY(mu);
+    std::list<Key> lru
         TARDIS_GUARDED_BY(mu);  // front = most recently used
-    std::unordered_map<PartitionId, std::shared_ptr<InFlight>> inflight
+    std::unordered_map<Key, std::shared_ptr<InFlight>> inflight
         TARDIS_GUARDED_BY(mu);
     // Pin counts (present => positive). Kept separate from `entries` so a
-    // pid can be pinned before it becomes resident.
-    std::unordered_map<PartitionId, uint32_t> pins TARDIS_GUARDED_BY(mu);
+    // key can be pinned before it becomes resident.
+    std::unordered_map<Key, uint32_t> pins TARDIS_GUARDED_BY(mu);
     uint64_t bytes TARDIS_GUARDED_BY(mu) = 0;
   };
 
-  Shard& ShardFor(PartitionId pid) { return *shards_[pid % shards_.size()]; }
+  Shard& ShardFor(Key key) { return *shards_[key % shards_.size()]; }
 
   // Inserts a freshly loaded value and evicts LRU entries until the shard is
   // back under its budget slice.
-  void InsertAndEvict(Shard& shard, PartitionId pid, Value value,
+  void InsertAndEvict(Shard& shard, Key key, Value value,
                       uint64_t bytes) TARDIS_REQUIRES(shard.mu);
 
   uint64_t budget_bytes_;
@@ -165,18 +188,19 @@ class PartitionCache {
 class ScopedPin {
  public:
   ScopedPin() = default;
-  ScopedPin(PartitionCache* cache, PartitionId pid) : cache_(cache), pid_(pid) {
-    if (cache_ != nullptr) cache_->Pin(pid_);
+  ScopedPin(PartitionCache* cache, PartitionCache::Key key)
+      : cache_(cache), key_(key) {
+    if (cache_ != nullptr) cache_->Pin(key_);
   }
   ScopedPin(ScopedPin&& other) noexcept
-      : cache_(other.cache_), pid_(other.pid_) {
+      : cache_(other.cache_), key_(other.key_) {
     other.cache_ = nullptr;
   }
   ScopedPin& operator=(ScopedPin&& other) noexcept {
     if (this != &other) {
       Reset();
       cache_ = other.cache_;
-      pid_ = other.pid_;
+      key_ = other.key_;
       other.cache_ = nullptr;
     }
     return *this;
@@ -187,12 +211,12 @@ class ScopedPin {
 
  private:
   void Reset() {
-    if (cache_ != nullptr) cache_->Unpin(pid_);
+    if (cache_ != nullptr) cache_->Unpin(key_);
     cache_ = nullptr;
   }
 
   PartitionCache* cache_ = nullptr;
-  PartitionId pid_ = 0;
+  PartitionCache::Key key_ = 0;
 };
 
 }  // namespace tardis

@@ -9,6 +9,7 @@
 #include "common/file_util.h"
 #include "common/serde.h"
 #include "common/telemetry.h"
+#include "storage/manifest.h"
 
 namespace fs = std::filesystem;
 
@@ -209,6 +210,73 @@ Result<PartitionArena> PartitionStore::ReadPartitionArena(
   }
   TARDIS_ASSIGN_OR_RETURN(std::string bytes, UnframeFile(path, file_bytes));
   return PartitionArena::FromPayload(bytes, series_length_, path);
+}
+
+Result<PartitionArena> PartitionStore::ReadPartitionArenaWithDeltas(
+    PartitionId pid, const std::vector<uint64_t>& delta_gens) const {
+  if (delta_gens.empty()) return ReadPartitionArena(pid);
+  const std::string path = PartitionPath(pid);
+  static telemetry::Histogram& read_us =
+      telemetry::Registry::Global().GetHistogram(
+          "tardis.storage.read_partition_us");
+  telemetry::ScopedLatency timer(read_us);
+  TARDIS_RETURN_NOT_OK(MaybeInjectFault(FaultSite::kPartitionLoad, path));
+  TARDIS_ASSIGN_OR_RETURN(std::string file_bytes, ReadFileToString(path));
+  if (telemetry::Enabled()) {
+    static telemetry::Counter& bytes_read =
+        telemetry::Registry::Global().GetCounter(
+            "tardis.storage.partition_bytes_read");
+    bytes_read.Add(file_bytes.size());
+  }
+  TARDIS_ASSIGN_OR_RETURN(std::string bytes, UnframeFile(path, file_bytes));
+  const size_t rec_size = RecordEncodedSize(series_length_);
+  if (bytes.size() % rec_size != 0) {
+    return Status::Corruption("partition payload size not a record multiple: " +
+                              path);
+  }
+  const uint32_t base_records =
+      static_cast<uint32_t>(bytes.size() / rec_size);
+  for (const uint64_t gen : delta_gens) {
+    TARDIS_ASSIGN_OR_RETURN(std::string delta,
+                            ReadSidecar(pid, DeltaSidecarName(gen)));
+    if (delta.size() % rec_size != 0) {
+      return Status::Corruption("delta payload size not a record multiple: " +
+                                SidecarPath(pid, DeltaSidecarName(gen)));
+    }
+    bytes.append(delta);
+  }
+  TARDIS_ASSIGN_OR_RETURN(
+      PartitionArena arena,
+      PartitionArena::FromPayload(bytes, series_length_, path));
+  arena.set_num_base_records(base_records);
+  return arena;
+}
+
+Result<std::vector<Record>> PartitionStore::ReadPartitionWithDeltas(
+    PartitionId pid, const std::vector<uint64_t>& delta_gens,
+    size_t* num_base_records) const {
+  TARDIS_ASSIGN_OR_RETURN(std::vector<Record> records, ReadPartition(pid));
+  if (num_base_records != nullptr) *num_base_records = records.size();
+  const size_t rec_size = RecordEncodedSize(series_length_);
+  for (const uint64_t gen : delta_gens) {
+    TARDIS_ASSIGN_OR_RETURN(std::string delta,
+                            ReadSidecar(pid, DeltaSidecarName(gen)));
+    if (delta.size() % rec_size != 0) {
+      return Status::Corruption("delta payload size not a record multiple: " +
+                                SidecarPath(pid, DeltaSidecarName(gen)));
+    }
+    SliceReader reader(delta);
+    const size_t count = delta.size() / rec_size;
+    for (size_t i = 0; i < count; ++i) {
+      Record rec;
+      if (!DecodeRecord(&reader, series_length_, &rec)) {
+        return Status::Corruption("truncated record in delta: " +
+                                  SidecarPath(pid, DeltaSidecarName(gen)));
+      }
+      records.push_back(std::move(rec));
+    }
+  }
+  return records;
 }
 
 Result<uint64_t> PartitionStore::PartitionBytes(PartitionId pid) const {

@@ -57,6 +57,20 @@ class PartitionStore {
   // that want AoS records.
   Result<PartitionArena> ReadPartitionArena(PartitionId pid) const;
 
+  // Reads partition `pid`'s base record file plus the listed delta sidecars
+  // (epoch append tails; storage/manifest.h) concatenated in order into one
+  // arena. The arena's num_base_records() is set to the base file's row
+  // count, so rows past it are the delta tail the persisted tree does not
+  // cover. Equivalent to ReadPartitionArena when `delta_gens` is empty.
+  Result<PartitionArena> ReadPartitionArenaWithDeltas(
+      PartitionId pid, const std::vector<uint64_t>& delta_gens) const;
+
+  // AoS counterpart for build/append/tooling paths. When `num_base_records`
+  // is non-null it receives the base file's row count.
+  Result<std::vector<Record>> ReadPartitionWithDeltas(
+      PartitionId pid, const std::vector<uint64_t>& delta_gens,
+      size_t* num_base_records) const;
+
   // Deletes partition `pid`'s record file (used by un-clustered indexes,
   // which keep only sidecars). Missing files are not an error.
   Status RemovePartition(PartitionId pid) const;

@@ -1,0 +1,105 @@
+#!/bin/sh
+# Crash-consistency driver (docs/RELIABILITY.md "Durability & recovery").
+#
+# Builds a deterministic index, captures two oracle digests — the state
+# before an Append (PRE) and after it committed (POST) — then re-runs the
+# Append under every TARDIS_CRASH_POINT value until one survives. After each
+# induced crash the index is recovered and its content digest must equal PRE
+# or POST exactly: the manifest commit point admits no hybrid state. The
+# sweep repeats at 1, 2, and 8 cluster workers (append's durable-write
+# sequence is worker-independent, so each sweep sees the same crash points;
+# the worker counts vary the recovery-time parallel load paths).
+#
+# Each recovery also asserts:
+#   - the crashed process exited with the crash-point code (86), nothing else
+#   - a second GC sweep removes nothing (orphans_after_gc=0: recovery
+#     converges in one pass)
+set -u
+
+HARNESS="$1"
+TARDIS="${2:-}"
+if [ -z "$HARNESS" ] || [ ! -x "$HARNESS" ]; then
+  echo "usage: crash_recovery_test.sh <path-to-crash_harness> [path-to-tardis]" >&2
+  exit 2
+fi
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+digest_of() {
+  # Last line of `recover` is "generation=G records=N digest=HEX".
+  sed -n 's/.*digest=\([0-9a-f]*\)$/\1/p' "$1" | tail -1
+}
+
+# --- Oracles -----------------------------------------------------------------
+"$HARNESS" build "$WORK/pre" 2 > /dev/null || fail "oracle build"
+cp -r "$WORK/pre" "$WORK/post"
+"$HARNESS" append "$WORK/post" 2 > /dev/null || fail "oracle append"
+
+"$HARNESS" recover "$WORK/pre" 2 > "$WORK/pre.out" || fail "oracle pre recover"
+"$HARNESS" recover "$WORK/post" 2 > "$WORK/post.out" || fail "oracle post recover"
+PRE=$(digest_of "$WORK/pre.out")
+POST=$(digest_of "$WORK/post.out")
+[ -n "$PRE" ] && [ -n "$POST" ] || fail "could not capture oracle digests"
+[ "$PRE" != "$POST" ] || fail "PRE and POST oracles collide"
+
+# Digests are worker-count independent (content only, no timings).
+"$HARNESS" recover "$WORK/pre" 8 > "$WORK/pre8.out" || fail "pre recover w8"
+[ "$(digest_of "$WORK/pre8.out")" = "$PRE" ] || fail "digest depends on workers"
+
+# --- Crash sweep -------------------------------------------------------------
+for WORKERS in 1 2 8; do
+  cp=0
+  while :; do
+    rm -rf "$WORK/run"
+    cp -r "$WORK/pre" "$WORK/run"
+    TARDIS_CRASH_POINT=$cp "$HARNESS" append "$WORK/run" "$WORKERS" \
+      > /dev/null 2>&1
+    rc=$?
+    if [ "$rc" -eq 0 ]; then
+      break  # ran past the last durable step: sweep complete
+    fi
+    [ "$rc" -eq 86 ] || fail "workers=$WORKERS cp=$cp: exit $rc, want 86"
+
+    "$HARNESS" recover "$WORK/run" "$WORKERS" > "$WORK/rec.out" \
+      || fail "workers=$WORKERS cp=$cp: recover failed"
+    DIG=$(digest_of "$WORK/rec.out")
+    if [ "$DIG" != "$PRE" ] && [ "$DIG" != "$POST" ]; then
+      fail "workers=$WORKERS cp=$cp: hybrid state (digest $DIG)"
+    fi
+    grep -q "orphans_after_gc=0" "$WORK/rec.out" \
+      || fail "workers=$WORKERS cp=$cp: GC did not converge in one pass"
+    cp=$((cp + 1))
+  done
+  # The sweep must actually have crashed somewhere: the append writes
+  # 2 durable steps per file at minimum (delta + meta + manifest).
+  [ "$cp" -ge 6 ] || fail "workers=$WORKERS: only $cp crash points found"
+  # The last crash point (manifest rename) must recover to POST — the
+  # commit happened even though the process died immediately after.
+  [ "$DIG" = "$POST" ] || fail "workers=$WORKERS: post-commit crash lost the append"
+  echo "workers=$WORKERS: $cp crash points, all recovered to PRE or POST"
+done
+
+# --- tardis recover subcommand ----------------------------------------------
+if [ -n "$TARDIS" ] && [ -x "$TARDIS" ]; then
+  rm -rf "$WORK/run"
+  cp -r "$WORK/pre" "$WORK/run"
+  TARDIS_CRASH_POINT=3 "$HARNESS" append "$WORK/run" 2 > /dev/null 2>&1
+  [ $? -eq 86 ] || fail "cli: crash setup"
+  "$TARDIS" recover --index "$WORK/run/parts" > "$WORK/cli.out" \
+    || fail "cli: recover exited non-zero"
+  grep -q "recovered generation 1" "$WORK/cli.out" || fail "cli: generation"
+  grep -q "orphans removed" "$WORK/cli.out" || fail "cli: orphan count"
+  grep -q "open ok" "$WORK/cli.out" || fail "cli: reopen"
+  # Idempotent: a second recover finds nothing to remove.
+  "$TARDIS" recover --index "$WORK/run/parts" > "$WORK/cli2.out" \
+    || fail "cli: second recover"
+  grep -q "orphans removed     0" "$WORK/cli2.out" || fail "cli: not idempotent"
+fi
+
+echo "PASS"

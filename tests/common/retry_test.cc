@@ -1,5 +1,7 @@
 #include "common/retry.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 namespace tardis {
@@ -137,6 +139,77 @@ TEST(JobMetricsTest, Accumulates) {
   EXPECT_EQ(a.attempts, 6u);
   EXPECT_EQ(a.retries, 3u);
   EXPECT_EQ(a.failed_tasks, 1u);
+}
+
+TEST(DecorrelatedJitterTest, DrawsStayInsideTheDecorrelatedEnvelope) {
+  RetryPolicy policy;
+  policy.backoff_init_us = 100;
+  policy.backoff_max_us = 10000;
+  policy.decorrelated_jitter = true;
+  policy.jitter_seed = 42;
+  BackoffState state = MakeBackoffState(policy);
+  uint64_t prev = policy.backoff_init_us;
+  for (uint32_t retry = 1; retry <= 200; ++retry) {
+    const uint32_t d = NextBackoffDelayUs(policy, &state, retry);
+    EXPECT_GE(d, policy.backoff_init_us);
+    EXPECT_LE(d, policy.backoff_max_us);
+    // Decorrelated bound: each draw is at most 3x the previous delay.
+    EXPECT_LE(d, std::max<uint64_t>(policy.backoff_init_us, prev * 3));
+    prev = d;
+  }
+}
+
+TEST(DecorrelatedJitterTest, SeededStreamIsDeterministic) {
+  RetryPolicy policy;
+  policy.backoff_init_us = 100;
+  policy.backoff_max_us = 10000;
+  policy.jitter_seed = 7;
+  BackoffState a = MakeBackoffState(policy);
+  BackoffState b = MakeBackoffState(policy);
+  for (uint32_t retry = 1; retry <= 32; ++retry) {
+    EXPECT_EQ(NextBackoffDelayUs(policy, &a, retry),
+              NextBackoffDelayUs(policy, &b, retry));
+  }
+}
+
+TEST(DecorrelatedJitterTest, UnseededLoopsDrawIndependentSequences) {
+  // Two concurrent retry loops with the default seed must not sleep in
+  // lockstep — synchronized retries are the thundering herd jitter breaks.
+  RetryPolicy policy;
+  policy.backoff_init_us = 100;
+  policy.backoff_max_us = 1u << 30;
+  BackoffState a = MakeBackoffState(policy);
+  BackoffState b = MakeBackoffState(policy);
+  uint32_t identical = 0;
+  for (uint32_t retry = 1; retry <= 32; ++retry) {
+    if (NextBackoffDelayUs(policy, &a, retry) ==
+        NextBackoffDelayUs(policy, &b, retry)) {
+      ++identical;
+    }
+  }
+  EXPECT_LT(identical, 32u);
+}
+
+TEST(DecorrelatedJitterTest, JitterOffFallsBackToDeterministicExponential) {
+  RetryPolicy policy;
+  policy.backoff_init_us = 100;
+  policy.backoff_max_us = 10000;
+  policy.decorrelated_jitter = false;
+  BackoffState state = MakeBackoffState(policy);
+  for (uint32_t retry = 0; retry <= 10; ++retry) {
+    EXPECT_EQ(NextBackoffDelayUs(policy, &state, retry),
+              BackoffDelayUs(policy, retry));
+  }
+}
+
+TEST(DecorrelatedJitterTest, RetryZeroAndZeroInitNeverSleep) {
+  RetryPolicy policy;
+  policy.backoff_init_us = 0;
+  BackoffState state = MakeBackoffState(policy);
+  EXPECT_EQ(NextBackoffDelayUs(policy, &state, 0), 0u);
+  EXPECT_EQ(NextBackoffDelayUs(policy, &state, 5), 0u);
+  policy.backoff_init_us = 100;
+  EXPECT_EQ(NextBackoffDelayUs(policy, &state, 0), 0u);
 }
 
 TEST(RetryClassificationTest, StatusClasses) {

@@ -1,0 +1,245 @@
+// Snapshot-isolation tests: queries racing a concurrent Append must each
+// observe exactly one committed epoch — the results a query returns are the
+// results a quiescent index at that generation returns, never a mix.
+//
+// The test builds the index twice from the same seeds. The first (oracle)
+// pass applies the appends sequentially and records, per generation, the
+// answers to a fixed probe workload. The second (live) pass replays the
+// same appends from a writer thread while reader threads issue the probes
+// concurrently; every result is checked against the oracle for the
+// generation the query reports having run at (KnnStats::epoch_generation).
+// Run under TSan this also proves the epoch swap itself is race-free.
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/query_engine.h"
+#include "core/tardis_index.h"
+#include "test_util.h"
+#include "workload/datasets.h"
+
+namespace tardis {
+namespace {
+
+constexpr uint64_t kBaseCount = 2000;
+constexpr uint32_t kSeriesLength = 64;
+constexpr uint32_t kNumBatches = 4;
+constexpr uint64_t kBatchCount = 150;
+
+class EpochConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(
+        base_, MakeDataset(DatasetKind::kRandomWalk, kBaseCount, kSeriesLength,
+                           /*seed=*/11));
+    for (uint32_t j = 0; j < kNumBatches; ++j) {
+      ASSERT_OK_AND_ASSIGN(Dataset batch,
+                           MakeDataset(DatasetKind::kRandomWalk, kBatchCount,
+                                       kSeriesLength, /*seed=*/20 + j));
+      batches_.push_back(std::move(batch));
+    }
+    config_.g_max_size = 400;
+    config_.l_max_size = 100;
+    cluster_ = std::make_shared<Cluster>(4);
+  }
+
+  Result<TardisIndex> BuildAt(const std::string& sub) {
+    TARDIS_ASSIGN_OR_RETURN(BlockStore store,
+                            BlockStore::Create(dir_.Sub(sub + "_bs"), base_,
+                                               /*block_capacity=*/250));
+    return TardisIndex::Build(cluster_, store, dir_.Sub(sub), config_,
+                              nullptr);
+  }
+
+  // Fixed probes: a base series, a series from each append batch, and a
+  // synthetic near-miss. kNN-exact answers are generation-dependent (the
+  // appended records join the candidate set), so they pin the snapshot.
+  std::vector<TimeSeries> Probes() const {
+    std::vector<TimeSeries> probes;
+    probes.push_back(base_[17]);
+    probes.push_back(base_[kBaseCount / 2]);
+    for (const Dataset& batch : batches_) probes.push_back(batch[3]);
+    return probes;
+  }
+
+  struct ProbeAnswer {
+    std::vector<std::vector<Neighbor>> knn;       // per probe, exact 5-NN
+    std::vector<std::vector<RecordId>> matches;   // per probe, exact match
+  };
+
+  // Runs every probe against a quiescent index and records the answers.
+  ProbeAnswer Snapshot(const TardisIndex& index) {
+    ProbeAnswer ans;
+    for (const TimeSeries& q : Probes()) {
+      auto knn = index.KnnExact(q, /*k=*/5, nullptr);
+      EXPECT_TRUE(knn.ok()) << knn.status().ToString();
+      ans.knn.push_back(std::move(knn).value());
+      auto match = index.ExactMatch(q, /*use_bloom=*/true, nullptr);
+      EXPECT_TRUE(match.ok()) << match.status().ToString();
+      ans.matches.push_back(std::move(match).value());
+    }
+    return ans;
+  }
+
+  Dataset base_;
+  std::vector<Dataset> batches_;
+  TardisConfig config_;
+  std::shared_ptr<Cluster> cluster_;
+  ScopedTempDir dir_;
+};
+
+TEST_F(EpochConcurrencyTest, SequentialQueriesSeeOneEpoch) {
+  // Oracle pass: quiescent answers per generation.
+  ASSERT_OK_AND_ASSIGN(TardisIndex oracle_index, BuildAt("oracle"));
+  std::map<uint64_t, ProbeAnswer> oracle;
+  oracle[oracle_index.generation()] = Snapshot(oracle_index);
+  for (const Dataset& batch : batches_) {
+    ASSERT_OK(oracle_index.Append(batch).status());
+    oracle[oracle_index.generation()] = Snapshot(oracle_index);
+  }
+  ASSERT_EQ(oracle.size(), kNumBatches + 1);
+
+  // Live pass: one writer replays the appends, readers probe concurrently.
+  ASSERT_OK_AND_ASSIGN(TardisIndex live, BuildAt("live"));
+  std::atomic<bool> done{false};
+  std::atomic<uint32_t> mixed{0};
+  const std::vector<TimeSeries> probes = Probes();
+
+  std::thread writer([&] {
+    for (const Dataset& batch : batches_) {
+      auto rids = live.Append(batch);
+      EXPECT_TRUE(rids.ok()) << rids.status().ToString();
+    }
+    done.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      uint32_t rounds = 0;
+      while (!done.load() || rounds < 2) {
+        for (size_t i = 0; i < probes.size(); ++i) {
+          KnnStats stats;
+          auto knn = live.KnnExact(probes[i], /*k=*/5, &stats);
+          ASSERT_TRUE(knn.ok()) << knn.status().ToString();
+          const auto it = oracle.find(stats.epoch_generation);
+          ASSERT_NE(it, oracle.end())
+              << "query ran at unknown generation " << stats.epoch_generation;
+          if (*knn != it->second.knn[i]) mixed.fetch_add(1);
+
+          ExactMatchStats estats;
+          auto match = live.ExactMatch(probes[i], (r + i) % 2 == 0, &estats);
+          ASSERT_TRUE(match.ok()) << match.status().ToString();
+          const auto eit = oracle.find(estats.epoch_generation);
+          ASSERT_NE(eit, oracle.end());
+          if (*match != eit->second.matches[i]) mixed.fetch_add(1);
+        }
+        ++rounds;
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(mixed.load(), 0u)
+      << mixed.load() << " queries returned results matching no single epoch";
+  EXPECT_EQ(live.generation(), kNumBatches + 1);
+
+  // After the race the live index answers identically to the oracle's final
+  // generation.
+  const ProbeAnswer final_live = Snapshot(live);
+  const ProbeAnswer& final_oracle = oracle.at(live.generation());
+  EXPECT_EQ(final_live.knn, final_oracle.knn);
+  EXPECT_EQ(final_live.matches, final_oracle.matches);
+}
+
+TEST_F(EpochConcurrencyTest, BatchedQueriesPinOneEpoch) {
+  // Oracle pass, through the batch engine this time.
+  ASSERT_OK_AND_ASSIGN(TardisIndex oracle_index, BuildAt("oracle"));
+  const std::vector<TimeSeries> probes = Probes();
+  std::map<uint64_t, std::vector<std::vector<Neighbor>>> oracle;
+  {
+    QueryEngine engine(oracle_index);
+    ASSERT_OK_AND_ASSIGN(
+        auto res, engine.KnnApproximateBatch(probes, /*k=*/5,
+                                             KnnStrategy::kMultiPartitions,
+                                             nullptr));
+    oracle[oracle_index.generation()] = std::move(res);
+    for (const Dataset& batch : batches_) {
+      ASSERT_OK(oracle_index.Append(batch).status());
+      ASSERT_OK_AND_ASSIGN(
+          auto next, engine.KnnApproximateBatch(probes, /*k=*/5,
+                                                KnnStrategy::kMultiPartitions,
+                                                nullptr));
+      oracle[oracle_index.generation()] = std::move(next);
+    }
+  }
+
+  ASSERT_OK_AND_ASSIGN(TardisIndex live, BuildAt("live"));
+  std::atomic<bool> done{false};
+  std::atomic<uint32_t> mixed{0};
+
+  std::thread writer([&] {
+    for (const Dataset& batch : batches_) {
+      auto rids = live.Append(batch);
+      EXPECT_TRUE(rids.ok()) << rids.status().ToString();
+    }
+    done.store(true);
+  });
+
+  // The engine is single-caller-at-a-time, so each reader owns one. The
+  // point under test: a batch pins its epoch once — even when the writer
+  // commits mid-batch, every query in the batch answers from the pinned
+  // generation, and stats report which one.
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      QueryEngine engine(live);
+      uint32_t rounds = 0;
+      while (!done.load() || rounds < 2) {
+        QueryEngineStats stats;
+        auto res = engine.KnnApproximateBatch(
+            probes, /*k=*/5, KnnStrategy::kMultiPartitions, &stats);
+        ASSERT_TRUE(res.ok()) << res.status().ToString();
+        const auto it = oracle.find(stats.epoch_generation);
+        ASSERT_NE(it, oracle.end())
+            << "batch ran at unknown generation " << stats.epoch_generation;
+        if (*res != it->second) mixed.fetch_add(1);
+        ++rounds;
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(mixed.load(), 0u)
+      << mixed.load() << " batches returned results matching no single epoch";
+}
+
+TEST_F(EpochConcurrencyTest, EpochSnapshotOutlivesLaterCommits) {
+  // A held EpochPtr stays fully queryable across later Appends: this is the
+  // RCU contract the query paths rely on (pin once, read forever).
+  ASSERT_OK_AND_ASSIGN(TardisIndex index, BuildAt("live"));
+  const EpochPtr before = index.CurrentEpoch();
+  const uint64_t gen_before = before->generation;
+  const std::vector<uint64_t> counts_before = before->partition_counts;
+  for (const Dataset& batch : batches_) {
+    ASSERT_OK(index.Append(batch).status());
+  }
+  EXPECT_EQ(index.generation(), gen_before + kNumBatches);
+  // The old snapshot is untouched by the commits.
+  EXPECT_EQ(before->generation, gen_before);
+  EXPECT_EQ(before->partition_counts, counts_before);
+  uint64_t before_total = 0;
+  for (uint64_t c : before->partition_counts) before_total += c;
+  EXPECT_EQ(before_total, kBaseCount);
+  uint64_t after_total = 0;
+  for (uint64_t c : index.partition_counts()) after_total += c;
+  EXPECT_EQ(after_total, kBaseCount + kNumBatches * kBatchCount);
+}
+
+}  // namespace
+}  // namespace tardis

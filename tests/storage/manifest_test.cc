@@ -1,0 +1,253 @@
+// Unit tests for the epoch-manifest layer (storage/manifest.h): name
+// helpers, encode/decode round trips, newest-valid manifest selection under
+// torn and corrupt files, and the garbage-collection rules that recovery
+// relies on after a crashed writer.
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "storage/manifest.h"
+#include "test_util.h"
+
+namespace fs = std::filesystem;
+
+namespace tardis {
+namespace {
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(in.good()) << path;
+  std::string bytes(static_cast<size_t>(in.tellg()), '\0');
+  in.seekg(0);
+  in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return bytes;
+}
+
+std::set<std::string> ListDir(const std::string& dir) {
+  std::set<std::string> names;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    names.insert(entry.path().filename().string());
+  }
+  return names;
+}
+
+Manifest SampleManifest() {
+  Manifest m;
+  m.generation = 7;
+  m.series_length = 64;
+  m.meta_gen = 7;
+  m.partitions.resize(3);
+  m.partitions[0].base_records = 100;
+  m.partitions[0].sidecar_gen = 0;
+  m.partitions[1].base_records = 250;
+  m.partitions[1].sidecar_gen = 7;
+  m.partitions[1].delta_gens = {5, 7};
+  m.partitions[2].base_records = 0;
+  m.partitions[2].sidecar_gen = 5;
+  m.partitions[2].delta_gens = {5};
+  return m;
+}
+
+TEST(ManifestNamesTest, FileNameRoundTrip) {
+  EXPECT_EQ(ManifestFileName(7), "MANIFEST-0000000007");
+  uint64_t gen = 0;
+  EXPECT_TRUE(ParseManifestFileName("MANIFEST-0000000007", &gen));
+  EXPECT_EQ(gen, 7u);
+  EXPECT_TRUE(ParseManifestFileName(ManifestFileName(123456789), &gen));
+  EXPECT_EQ(gen, 123456789u);
+
+  EXPECT_FALSE(ParseManifestFileName("MANIFEST-", &gen));
+  EXPECT_FALSE(ParseManifestFileName("MANIFEST-12x4", &gen));
+  EXPECT_FALSE(ParseManifestFileName("manifest-0000000001", &gen));
+  EXPECT_FALSE(ParseManifestFileName("part_000001.bin", &gen));
+}
+
+TEST(ManifestNamesTest, MetaAndSidecarNames) {
+  EXPECT_EQ(MetaFileName(0), "tardis_meta.bin");
+  EXPECT_EQ(MetaFileName(7), "tardis_meta.g7.bin");
+  EXPECT_EQ(GenSidecarName("bloom", 0), "bloom");
+  EXPECT_EQ(GenSidecarName("bloom", 3), "g3.bloom");
+  EXPECT_EQ(DeltaSidecarName(2), "g2.delta");
+}
+
+TEST(ManifestCodecTest, EncodeDecodeRoundTrip) {
+  const Manifest m = SampleManifest();
+  std::string bytes;
+  m.EncodeTo(&bytes);
+  ASSERT_OK_AND_ASSIGN(Manifest back, Manifest::Decode(bytes));
+  EXPECT_EQ(back, m);
+  EXPECT_EQ(back.num_delta_files(), 3u);
+}
+
+TEST(ManifestCodecTest, DecodeRejectsTruncation) {
+  const Manifest m = SampleManifest();
+  std::string bytes;
+  m.EncodeTo(&bytes);
+  for (size_t cut = 0; cut < bytes.size(); cut += 3) {
+    EXPECT_FALSE(Manifest::Decode(bytes.substr(0, cut)).ok())
+        << "decoded a prefix of " << cut << " bytes";
+  }
+}
+
+TEST(ManifestIoTest, WriteThenLoad) {
+  ScopedTempDir dir;
+  const Manifest m = SampleManifest();
+  ASSERT_OK(WriteManifest(dir.path(), m));
+  RecoveryStats rs;
+  ASSERT_OK_AND_ASSIGN(Manifest back, LoadNewestManifest(dir.path(), &rs));
+  EXPECT_EQ(back, m);
+  EXPECT_EQ(rs.manifests_scanned, 1u);
+  EXPECT_EQ(rs.manifests_invalid, 0u);
+  EXPECT_EQ(rs.deltas_referenced, 3u);
+}
+
+TEST(ManifestIoTest, NewestGenerationWins) {
+  ScopedTempDir dir;
+  Manifest m = SampleManifest();
+  for (uint64_t gen : {3u, 9u, 5u}) {
+    m.generation = gen;
+    ASSERT_OK(WriteManifest(dir.path(), m));
+  }
+  RecoveryStats rs;
+  ASSERT_OK_AND_ASSIGN(Manifest back, LoadNewestManifest(dir.path(), &rs));
+  EXPECT_EQ(back.generation, 9u);
+}
+
+TEST(ManifestIoTest, TornNewestManifestFallsBack) {
+  ScopedTempDir dir;
+  Manifest m = SampleManifest();
+  m.generation = 7;
+  ASSERT_OK(WriteManifest(dir.path(), m));
+  // A "newer" manifest a crashed writer tore mid-write: valid name, torn
+  // frame. Recovery must skip it and serve generation 7.
+  const std::string newest = dir.Sub(ManifestFileName(8));
+  const std::string full = ReadAll(dir.Sub(ManifestFileName(7)));
+  WriteAll(newest, full.substr(0, full.size() / 2));
+
+  RecoveryStats rs;
+  ASSERT_OK_AND_ASSIGN(Manifest back, LoadNewestManifest(dir.path(), &rs));
+  EXPECT_EQ(back.generation, 7u);
+  EXPECT_EQ(rs.manifests_invalid, 1u);
+  EXPECT_EQ(rs.manifests_scanned, 2u);
+}
+
+TEST(ManifestIoTest, CorruptNewestManifestFallsBack) {
+  ScopedTempDir dir;
+  Manifest m = SampleManifest();
+  m.generation = 7;
+  ASSERT_OK(WriteManifest(dir.path(), m));
+  m.generation = 8;
+  ASSERT_OK(WriteManifest(dir.path(), m));
+  std::string bytes = ReadAll(dir.Sub(ManifestFileName(8)));
+  bytes[bytes.size() - 1] ^= 0x40;  // aligned bit flip in the payload
+  WriteAll(dir.Sub(ManifestFileName(8)), bytes);
+
+  RecoveryStats rs;
+  ASSERT_OK_AND_ASSIGN(Manifest back, LoadNewestManifest(dir.path(), &rs));
+  EXPECT_EQ(back.generation, 7u);
+  EXPECT_EQ(rs.manifests_invalid, 1u);
+}
+
+TEST(ManifestIoTest, NoManifestIsNotFound) {
+  ScopedTempDir dir;
+  RecoveryStats rs;
+  EXPECT_EQ(LoadNewestManifest(dir.path(), &rs).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(LoadNewestManifest(dir.Sub("nope"), &rs).status().code(),
+            StatusCode::kNotFound);
+}
+
+class ManifestGcTest : public ::testing::Test {
+ protected:
+  // Populates the directory with every file the sample manifest references,
+  // all of which GC must keep.
+  void WriteReferencedFiles() {
+    const Manifest m = SampleManifest();
+    ASSERT_OK(WriteManifest(dir_.path(), m));
+    Touch(MetaFileName(7));
+    Touch("part_000000.bin");
+    Touch("part_000000.bloom");
+    Touch("part_000000.region");
+    Touch("part_000000.ltree");
+    Touch("part_000001.bin");
+    Touch("part_000001.g5.delta");
+    Touch("part_000001.g7.delta");
+    Touch("part_000001.g7.bloom");
+    Touch("part_000001.g7.region");
+    Touch("part_000002.bin");
+    Touch("part_000002.g5.delta");
+    Touch("part_000002.g5.bloom");
+    Touch("part_000002.g5.region");
+  }
+
+  void Touch(const std::string& name) { WriteAll(dir_.Sub(name), "x"); }
+
+  uint64_t RunGc() {
+    RecoveryStats rs;
+    EXPECT_OK(GarbageCollectUnreferenced(dir_.path(), SampleManifest(), &rs));
+    return rs.orphans_removed;
+  }
+
+  ScopedTempDir dir_;
+};
+
+TEST_F(ManifestGcTest, KeepsEverythingReferenced) {
+  WriteReferencedFiles();
+  const std::set<std::string> before = ListDir(dir_.path());
+  EXPECT_EQ(RunGc(), 0u);
+  EXPECT_EQ(ListDir(dir_.path()), before);
+}
+
+TEST_F(ManifestGcTest, RemovesCrashLeftovers) {
+  WriteReferencedFiles();
+  // Everything a crashed writer (or a superseded generation) can leave:
+  Touch("part_000001.bin.12345.tmp");   // torn atomic write
+  Touch("MANIFEST-0000000006");          // superseded manifest
+  Touch("tardis_meta.g6.bin");           // superseded metadata
+  Touch("part_000001.g8.delta");         // delta of an uncommitted gen
+  Touch("part_000001.g8.bloom");         // sidecars of an uncommitted gen
+  Touch("part_000001.g8.region");
+  Touch("part_000001.g8.pivotd");
+  Touch("part_000099.bin");              // partition beyond the manifest
+  EXPECT_EQ(RunGc(), 8u);
+  const std::set<std::string> after = ListDir(dir_.path());
+  EXPECT_EQ(after.count("part_000001.bin.12345.tmp"), 0u);
+  EXPECT_EQ(after.count("MANIFEST-0000000006"), 0u);
+  EXPECT_EQ(after.count("part_000001.g8.delta"), 0u);
+  EXPECT_EQ(after.count("part_000099.bin"), 0u);
+  // Referenced files survived.
+  EXPECT_EQ(after.count("part_000001.g7.delta"), 1u);
+  EXPECT_EQ(after.count(MetaFileName(7)), 1u);
+  EXPECT_EQ(after.count(ManifestFileName(7)), 1u);
+}
+
+TEST_F(ManifestGcTest, IsIdempotent) {
+  WriteReferencedFiles();
+  Touch("part_000000.g9.delta");
+  EXPECT_EQ(RunGc(), 1u);
+  EXPECT_EQ(RunGc(), 0u);
+}
+
+TEST_F(ManifestGcTest, LeavesForeignFilesAlone) {
+  WriteReferencedFiles();
+  // Names the manifest scheme does not produce are not GC's to delete.
+  Touch("README.txt");
+  Touch("part_000001.custom");
+  EXPECT_EQ(RunGc(), 0u);
+  const std::set<std::string> after = ListDir(dir_.path());
+  EXPECT_EQ(after.count("README.txt"), 1u);
+  EXPECT_EQ(after.count("part_000001.custom"), 1u);
+}
+
+}  // namespace
+}  // namespace tardis

@@ -362,5 +362,64 @@ TEST(PartitionCacheTest, ChargedBytesEqualsArenaFootprint) {
   }
 }
 
+TEST(PartitionCacheTest, MakeKeySeparatesGenerations) {
+  // (partition, content generation) keys: the same partition under two
+  // epochs must occupy distinct slots, so an old-epoch reader keeps hitting
+  // its snapshot's content after an Append publishes a newer generation.
+  EXPECT_NE(PartitionCache::MakeKey(3, 0), PartitionCache::MakeKey(3, 1));
+  EXPECT_NE(PartitionCache::MakeKey(3, 1), PartitionCache::MakeKey(4, 1));
+  EXPECT_EQ(PartitionCache::MakeKey(3, 7), PartitionCache::MakeKey(3, 7));
+
+  PartitionCache cache(/*budget_bytes=*/1 << 20);
+  std::atomic<uint32_t> old_calls{0}, new_calls{0};
+  const PartitionCache::Key old_key = PartitionCache::MakeKey(3, 1);
+  const PartitionCache::Key new_key = PartitionCache::MakeKey(3, 2);
+  ASSERT_OK_AND_ASSIGN(PartitionCache::Value old_val,
+                       cache.GetOrLoad(old_key, CountingLoader(&old_calls, 30)));
+  ASSERT_OK_AND_ASSIGN(PartitionCache::Value new_val,
+                       cache.GetOrLoad(new_key, CountingLoader(&new_calls, 60)));
+  EXPECT_NE(old_val.get(), new_val.get());
+  // Both stay independently resident; re-reads hit.
+  ASSERT_OK_AND_ASSIGN(PartitionCache::Value again,
+                       cache.GetOrLoad(old_key, CountingLoader(&old_calls, 30)));
+  EXPECT_EQ(again.get(), old_val.get());
+  EXPECT_EQ(old_calls.load(), 1u);
+  EXPECT_EQ(new_calls.load(), 1u);
+}
+
+TEST(PartitionCacheTest, DeprioritizeMakesEntryNextVictim) {
+  // One shard so LRU order is observable; budget fits exactly two entries.
+  const PartitionArena probe = MakeArena(0, 4, 8);
+  const uint64_t entry_bytes = PartitionCache::ChargedBytes(probe);
+  PartitionCache cache(2 * entry_bytes, /*num_shards=*/1);
+  std::atomic<uint32_t> calls_a{0}, calls_b{0}, calls_c{0};
+  ASSERT_OK(cache.GetOrLoad(1, CountingLoader(&calls_a, 10)).status());
+  ASSERT_OK(cache.GetOrLoad(2, CountingLoader(&calls_b, 20)).status());
+  // LRU order is [2, 1]; without the hint, inserting 3 would evict 1.
+  // Deprioritize(2) moves 2 to the cold end, so 2 goes instead.
+  cache.Deprioritize(2);
+  ASSERT_OK(cache.GetOrLoad(3, CountingLoader(&calls_c, 30)).status());
+  EXPECT_TRUE(cache.IsResident(1));
+  EXPECT_FALSE(cache.IsResident(2));
+  EXPECT_TRUE(cache.IsResident(3));
+}
+
+TEST(PartitionCacheTest, DeprioritizeIsANoOpForAbsentAndPinnedKeys) {
+  const PartitionArena probe = MakeArena(0, 4, 8);
+  const uint64_t entry_bytes = PartitionCache::ChargedBytes(probe);
+  PartitionCache cache(2 * entry_bytes, /*num_shards=*/1);
+  cache.Deprioritize(99);  // absent: nothing to do, nothing to crash on
+  std::atomic<uint32_t> calls{0};
+  ASSERT_OK(cache.GetOrLoad(1, CountingLoader(&calls, 10)).status());
+  ASSERT_OK(cache.GetOrLoad(2, CountingLoader(&calls, 20)).status());
+  // A pinned entry never becomes the hinted victim: a superseded epoch that
+  // an in-flight batch still holds pinned must stay resident.
+  cache.Pin(1);
+  cache.Deprioritize(1);
+  ASSERT_OK(cache.GetOrLoad(3, CountingLoader(&calls, 30)).status());
+  EXPECT_TRUE(cache.IsResident(1));
+  cache.Unpin(1);
+}
+
 }  // namespace
 }  // namespace tardis

@@ -1,0 +1,240 @@
+// crash_harness — deterministic build/append/recover driver for the
+// crash-consistency suite (docs/RELIABILITY.md "Durability & recovery").
+//
+// Subcommands (all take the harness directory as the first operand):
+//   crash_harness build <dir> [workers]    create the block store and index
+//   crash_harness append <dir> [workers]   open the index, append one batch
+//   crash_harness recover <dir> [workers]  recover, GC, print a content digest
+//
+// Every input is pinned (dataset kind, sizes, seeds, index knobs), so two
+// directories that went through the same sequence of surviving operations
+// are bit-identical and `recover` prints the same digest for both. The
+// driver script (tests/cli/crash_recovery_test.sh) uses that to assert the
+// crash-consistency contract: it computes oracle digests for the pre-append
+// and post-append states, then re-runs `append` under every
+// TARDIS_CRASH_POINT value until one survives, recovering after each crash
+// and requiring the digest to equal one oracle or the other — never a
+// hybrid.
+//
+// The digest covers everything a query can observe: the committed
+// generation, per-partition record counts, every record's rid and raw value
+// bytes (base file + replayed deltas, in scan order), and the results of a
+// fixed probe workload (exact match with Bloom, exact kNN, range search) so
+// the generation-suffixed sidecars participate too.
+//
+// `recover` also performs the recovery sweep explicitly before opening the
+// index (LoadNewestManifest + GarbageCollectUnreferenced) to report what it
+// found, then runs a second sweep after Open and prints orphans_after_gc —
+// which the driver requires to be 0 (GC is idempotent; recovery converges
+// in one pass).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/tardis_index.h"
+#include "storage/block_store.h"
+#include "storage/manifest.h"
+#include "workload/datasets.h"
+
+namespace tardis {
+namespace {
+
+// Pinned workload parameters. Changing any of these invalidates recorded
+// digests, which is fine — the driver recomputes its oracles every run.
+constexpr uint64_t kBaseCount = 3000;
+constexpr uint64_t kAppendCount = 200;
+constexpr uint32_t kSeriesLength = 64;
+constexpr uint64_t kBaseSeed = 101;
+constexpr uint64_t kAppendSeed = 103;
+constexpr uint64_t kBlockCapacity = 250;
+
+std::string PartsDir(const std::string& dir) { return dir + "/parts"; }
+
+TardisConfig HarnessConfig() {
+  TardisConfig config;
+  config.g_max_size = 500;
+  config.l_max_size = 100;
+  return config;
+}
+
+// FNV-1a 64-bit, the repo's stock content fingerprint for test oracles.
+class Digest {
+ public:
+  void Bytes(const void* data, size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      state_ ^= p[i];
+      state_ *= 0x100000001b3ull;
+    }
+  }
+  void U64(uint64_t v) { Bytes(&v, sizeof(v)); }
+  void F32(float v) { Bytes(&v, sizeof(v)); }
+  uint64_t value() const { return state_; }
+
+ private:
+  uint64_t state_ = 0xcbf29ce484222325ull;
+};
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "crash_harness: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+int CmdBuild(const std::string& dir, uint32_t workers) {
+  auto dataset =
+      MakeDataset(DatasetKind::kRandomWalk, kBaseCount, kSeriesLength,
+                  kBaseSeed);
+  if (!dataset.ok()) return Fail(dataset.status());
+  auto store = BlockStore::Create(dir + "/bs", *dataset, kBlockCapacity);
+  if (!store.ok()) return Fail(store.status());
+  auto cluster = std::make_shared<Cluster>(workers);
+  auto index = TardisIndex::Build(cluster, *store, PartsDir(dir),
+                                  HarnessConfig(), nullptr);
+  if (!index.ok()) return Fail(index.status());
+  std::printf("built generation=%llu partitions=%u\n",
+              static_cast<unsigned long long>(index->generation()),
+              index->num_partitions());
+  return 0;
+}
+
+int CmdAppend(const std::string& dir, uint32_t workers) {
+  auto cluster = std::make_shared<Cluster>(workers);
+  auto index = TardisIndex::Open(cluster, PartsDir(dir));
+  if (!index.ok()) return Fail(index.status());
+  auto batch = MakeDataset(DatasetKind::kRandomWalk, kAppendCount,
+                           kSeriesLength, kAppendSeed);
+  if (!batch.ok()) return Fail(batch.status());
+  auto rids = index->Append(*batch);
+  if (!rids.ok()) return Fail(rids.status());
+  std::printf("appended %zu generation=%llu\n", rids->size(),
+              static_cast<unsigned long long>(index->generation()));
+  return 0;
+}
+
+// Fixed probe queries: one series from the base dataset, one from the
+// append batch, plus kNN/range probes around the base series. Exercises the
+// Bloom filters, region summaries, and delta-tail scan paths, so sidecar
+// corruption that leaves raw records intact still moves the digest.
+Status DigestProbes(const TardisIndex& index, Digest* d) {
+  auto base = MakeDataset(DatasetKind::kRandomWalk, kBaseCount, kSeriesLength,
+                          kBaseSeed);
+  TARDIS_RETURN_NOT_OK(base.status());
+  auto extra = MakeDataset(DatasetKind::kRandomWalk, kAppendCount,
+                           kSeriesLength, kAppendSeed);
+  TARDIS_RETURN_NOT_OK(extra.status());
+  const std::vector<TimeSeries> probes = {(*base)[7], (*base)[kBaseCount / 2],
+                                          (*extra)[3]};
+  for (const TimeSeries& q : probes) {
+    auto exact = index.ExactMatch(q, /*use_bloom=*/true, nullptr);
+    TARDIS_RETURN_NOT_OK(exact.status());
+    d->U64(exact->size());
+    for (RecordId rid : *exact) d->U64(rid);
+    auto knn = index.KnnExact(q, /*k=*/5, nullptr);
+    TARDIS_RETURN_NOT_OK(knn.status());
+    d->U64(knn->size());
+    for (const Neighbor& n : *knn) {
+      d->U64(n.rid);
+      d->Bytes(&n.distance, sizeof(n.distance));
+    }
+    auto range = index.RangeSearch(q, /*radius=*/2.5, nullptr);
+    TARDIS_RETURN_NOT_OK(range.status());
+    d->U64(range->size());
+    for (const Neighbor& n : *range) d->U64(n.rid);
+  }
+  return Status::OK();
+}
+
+int CmdRecover(const std::string& dir, uint32_t workers) {
+  const std::string parts = PartsDir(dir);
+
+  // Explicit recovery sweep first, so the crash's leftovers are visible in
+  // the output (TardisIndex::Open repeats this internally and would find a
+  // directory that is already clean).
+  RecoveryStats rs;
+  auto manifest = LoadNewestManifest(parts, &rs);
+  if (manifest.ok()) {
+    Status st = GarbageCollectUnreferenced(parts, *manifest, &rs);
+    if (!st.ok()) return Fail(st);
+  } else if (manifest.status().code() != StatusCode::kNotFound) {
+    return Fail(manifest.status());
+  }
+  std::printf("manifests_scanned=%llu manifests_invalid=%llu "
+              "orphans_removed=%llu deltas_referenced=%llu\n",
+              static_cast<unsigned long long>(rs.manifests_scanned),
+              static_cast<unsigned long long>(rs.manifests_invalid),
+              static_cast<unsigned long long>(rs.orphans_removed),
+              static_cast<unsigned long long>(rs.deltas_referenced));
+
+  auto cluster = std::make_shared<Cluster>(workers);
+  auto index = TardisIndex::Open(cluster, parts);
+  if (!index.ok()) return Fail(index.status());
+
+  // Recovery must converge in one pass: a second sweep finds nothing.
+  RecoveryStats rs2;
+  auto manifest2 = LoadNewestManifest(parts, &rs2);
+  if (manifest2.ok()) {
+    Status st = GarbageCollectUnreferenced(parts, *manifest2, &rs2);
+    if (!st.ok()) return Fail(st);
+  }
+  std::printf("orphans_after_gc=%llu\n",
+              static_cast<unsigned long long>(rs2.orphans_removed));
+
+  Digest d;
+  d.U64(index->generation());
+  d.U64(index->num_partitions());
+  const std::vector<uint64_t> counts = index->partition_counts();
+  for (uint64_t c : counts) d.U64(c);
+  for (PartitionId pid = 0; pid < index->num_partitions(); ++pid) {
+    auto records = index->LoadPartition(pid);
+    if (!records.ok()) return Fail(records.status());
+    for (const Record& rec : *records) {
+      d.U64(rec.rid);
+      d.Bytes(rec.values.data(), rec.values.size() * sizeof(float));
+    }
+  }
+  if (Status st = DigestProbes(*index, &d); !st.ok()) return Fail(st);
+
+  std::printf("generation=%llu records=%llu digest=%016llx\n",
+              static_cast<unsigned long long>(index->generation()),
+              static_cast<unsigned long long>(
+                  [&] {
+                    uint64_t total = 0;
+                    for (uint64_t c : counts) total += c;
+                    return total;
+                  }()),
+              static_cast<unsigned long long>(d.value()));
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: crash_harness <build|append|recover> <dir> [workers]\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string cmd = argv[1];
+  const std::string dir = argv[2];
+  uint32_t workers = 2;
+  if (argc > 3) {
+    const long v = std::strtol(argv[3], nullptr, 10);
+    if (v < 1 || v > 64) return Usage();
+    workers = static_cast<uint32_t>(v);
+  }
+  if (cmd == "build") return CmdBuild(dir, workers);
+  if (cmd == "append") return CmdAppend(dir, workers);
+  if (cmd == "recover") return CmdRecover(dir, workers);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace tardis
+
+int main(int argc, char** argv) { return tardis::Main(argc, argv); }
