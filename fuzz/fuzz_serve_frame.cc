@@ -1,0 +1,85 @@
+// Fuzz target: the tardis_serve wire path — WireFrameReader over an
+// arbitrary byte stream, plus ServeRequest/ServeResponse::Decode on every
+// extracted payload and on the raw input (docs/STATIC_ANALYSIS.md).
+//
+// These decoders face raw network bytes from any peer that can reach the
+// port, so the contract is the standard one: success or a clean
+// kCorruption/kInvalidArgument rejection, with every allocation bounded
+// before it happens (a hostile frame length or element count must never
+// drive a resize beyond the bytes actually present).
+//
+// The first input byte selects the chunk size the stream is fed in,
+// exercising the reader's partial-header and partial-body resume paths the
+// way short recv() returns do.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "fuzz_util.h"
+#include "net/serve_protocol.h"
+#include "net/wire_format.h"
+
+namespace {
+
+// Round-trips any successfully decoded message back through its encoder and
+// requires byte-identity with the input payload: the codecs are canonical
+// (fixed-width fields, validated flags, no trailing bytes), so re-encoding
+// must be lossless. Byte comparison side-steps NaN != NaN in the payloads.
+template <typename Msg>
+void CheckDecode(std::string_view payload) {
+  using tardis::Result;
+  const Result<Msg> msg = Msg::Decode(payload);
+  if (!msg.ok()) {
+    tardis::fuzz::CheckRejection(msg.status());
+    return;
+  }
+  std::string back;
+  msg->EncodeTo(&back);
+  if (back != payload) {
+    std::fprintf(stderr, "fuzz: serve message re-encode mismatch\n");
+    std::abort();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace tardis;
+  if (size == 0) return 0;
+  const size_t chunk = 1 + data[0] % 64;
+  const char* stream = reinterpret_cast<const char*>(data) + 1;
+  const size_t stream_len = size - 1;
+
+  net::WireFrameReader reader;
+  std::string payload;
+  bool dead = false;
+  for (size_t off = 0; off < stream_len && !dead; off += chunk) {
+    reader.Feed(stream + off, std::min(chunk, stream_len - off));
+    while (!dead) {
+      const Result<bool> next = reader.Next(&payload);
+      if (!next.ok()) {
+        // Lost framing tears the connection down; like the server, stop
+        // consuming the stream.
+        fuzz::CheckRejection(next.status());
+        dead = true;
+        break;
+      }
+      if (!next.value()) break;  // incomplete frame: wait for more bytes
+      // Each extracted payload faces both decoders, as on the two ends of a
+      // real connection.
+      CheckDecode<net::ServeRequest>(payload);
+      CheckDecode<net::ServeResponse>(payload);
+    }
+  }
+
+  // The raw input also goes straight at the message decoders (unframed), so
+  // the corpus exercises them without needing a valid CRC wrapper.
+  const std::string_view raw(reinterpret_cast<const char*>(data), size);
+  CheckDecode<net::ServeRequest>(raw);
+  CheckDecode<net::ServeResponse>(raw);
+  return 0;
+}

@@ -21,6 +21,8 @@
 #include "common/serde.h"
 #include "core/pivots.h"
 #include "core/region_summary.h"
+#include "net/serve_protocol.h"
+#include "net/wire_format.h"
 #include "sigtree/sigtree.h"
 #include "storage/manifest.h"
 #include "ts/isaxt.h"
@@ -177,6 +179,62 @@ std::string ManifestSeed(uint32_t partitions, uint64_t generation,
   return bytes;
 }
 
+// Framed serve-protocol streams for fuzz_serve_frame (selector byte = recv
+// chunk size, then one or more wire frames).
+std::string ServeRequestSeed(net::ServeOp op, uint32_t series_length,
+                             uint64_t rng_seed, uint8_t chunk_selector) {
+  net::ServeRequest req;
+  req.request_id = 42 + rng_seed;
+  req.op = op;
+  req.k = 10;
+  req.strategy = KnnStrategy::kMultiPartitions;
+  req.use_bloom = true;
+  req.radius = 2.5;
+  if (op != net::ServeOp::kPing) {
+    Rng rng(rng_seed);
+    req.query.resize(series_length);
+    for (auto& v : req.query) v = static_cast<float>(rng.NextGaussian());
+  }
+  std::string payload;
+  req.EncodeTo(&payload);
+  std::string bytes;
+  bytes.push_back(static_cast<char>(chunk_selector));
+  net::AppendWireFrame(payload, &bytes);
+  return bytes;
+}
+
+std::string ServeResponseSeed(uint32_t neighbors, uint32_t matches,
+                              uint64_t rng_seed, uint8_t chunk_selector) {
+  net::ServeResponse resp;
+  resp.request_id = 7 + rng_seed;
+  resp.op = matches > 0 ? net::ServeOp::kExact : net::ServeOp::kKnn;
+  resp.status = net::ServeStatus::kOk;
+  resp.epoch_generation = 3;
+  Rng rng(rng_seed);
+  for (uint32_t i = 0; i < neighbors; ++i) {
+    resp.neighbors.push_back(
+        Neighbor{std::abs(rng.NextGaussian()), 100 + i});
+  }
+  for (uint32_t i = 0; i < matches; ++i) resp.matches.push_back(500 + i);
+  std::string payload;
+  resp.EncodeTo(&payload);
+  std::string bytes;
+  bytes.push_back(static_cast<char>(chunk_selector));
+  net::AppendWireFrame(payload, &bytes);
+  return bytes;
+}
+
+// Two back-to-back framed requests in one stream (frame-boundary resume).
+std::string ServePipelinedSeed(uint8_t chunk_selector) {
+  std::string a = ServeRequestSeed(net::ServeOp::kKnn, 16, 21, 0);
+  std::string b = ServeRequestSeed(net::ServeOp::kPing, 0, 22, 0);
+  std::string bytes;
+  bytes.push_back(static_cast<char>(chunk_selector));
+  bytes += a.substr(1);
+  bytes += b.substr(1);
+  return bytes;
+}
+
 int Run(const std::filesystem::path& root) {
   bool ok = true;
   ok &= WriteSeed(root / "sigtree", "small_w8b5.bin",
@@ -204,6 +262,20 @@ int Run(const std::filesystem::path& root) {
   ok &= WriteSeed(root / "manifest", "fresh_build.bin", ManifestSeed(7, 1, 0));
   ok &= WriteSeed(root / "manifest", "appended_g5.bin", ManifestSeed(7, 5, 3));
   ok &= WriteSeed(root / "manifest", "empty.bin", ManifestSeed(0, 1, 0));
+  ok &= WriteSeed(root / "serve_frame", "ping.bin",
+                  ServeRequestSeed(net::ServeOp::kPing, 0, 15, 63));
+  ok &= WriteSeed(root / "serve_frame", "knn_len16.bin",
+                  ServeRequestSeed(net::ServeOp::kKnn, 16, 16, 0));
+  ok &= WriteSeed(root / "serve_frame", "exact_len64.bin",
+                  ServeRequestSeed(net::ServeOp::kExact, 64, 17, 7));
+  ok &= WriteSeed(root / "serve_frame", "range_len32.bin",
+                  ServeRequestSeed(net::ServeOp::kRange, 32, 18, 2));
+  ok &= WriteSeed(root / "serve_frame", "resp_knn10.bin",
+                  ServeResponseSeed(10, 0, 19, 11));
+  ok &= WriteSeed(root / "serve_frame", "resp_exact3.bin",
+                  ServeResponseSeed(0, 3, 20, 1));
+  ok &= WriteSeed(root / "serve_frame", "pipelined.bin",
+                  ServePipelinedSeed(4));
   return ok ? 0 : 1;
 }
 

@@ -80,9 +80,11 @@ class FaultInjector {
   SiteCounters counters(FaultSite site) const;
 
   // --- Crash-point mode (torn-write recovery harness) ---
-  // Every durable-write step (WriteFileAtomic calls NoteDurableStep twice:
-  // once with the temp file written but not yet renamed, once after the
-  // rename) increments a process-wide step counter. When the counter reaches
+  // Every durable-write step (WriteFileAtomic calls NoteDurableStep four
+  // times: with the temp file written but not yet fsynced, with it fsynced
+  // but not yet renamed, after the rename, and after the parent-directory
+  // fsync that makes the rename durable) increments a process-wide step
+  // counter. When the counter reaches
   // the configured crash point the process terminates immediately via
   // _exit(kCrashPointExitCode) — no destructors, no buffered-stream flushes —
   // simulating a power-cut at exactly that durable step. A negative crash
@@ -99,8 +101,9 @@ class FaultInjector {
   }
   void ResetDurableSteps();
 
-  // The hook WriteFileAtomic calls around its rename. `stage` names the
-  // half-step ("pre-rename" / "post-rename") for the crash banner.
+  // The hook WriteFileAtomic calls around its fsync/rename/dirsync sequence.
+  // `stage` names the step ("pre-fsync" / "pre-rename" / "post-rename" /
+  // "post-dirsync") for the crash banner.
   void NoteDurableStep(const char* stage, const std::string& path);
 
  private:

@@ -1,5 +1,10 @@
 #include "common/file_util.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
@@ -7,20 +12,76 @@
 
 namespace tardis {
 
+namespace {
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + ": " + path + ": " + std::strerror(errno);
+}
+
+// Full-buffer write with EINTR / short-write handling.
+Status WriteAll(int fd, const char* data, size_t n, const std::string& path) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t wrote = ::write(fd, data + off, n - off);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoMessage("write failed", path));
+    }
+    off += static_cast<size_t>(wrote);
+  }
+  return Status::OK();
+}
+
+// fsyncs the directory containing `path`, making a rename inside it durable.
+// A rename is only crash-proof once the directory entry itself has reached
+// the disk; fsyncing the renamed file alone does not cover that.
+Status SyncParentDir(const std::string& path) {
+  std::string dir = std::filesystem::path(path).parent_path().string();
+  if (dir.empty()) dir = ".";
+  const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dirfd < 0) {
+    return Status::IOError(ErrnoMessage("cannot open dir for fsync", dir));
+  }
+  if (::fsync(dirfd) != 0) {
+    const Status st = Status::IOError(ErrnoMessage("dir fsync failed", dir));
+    ::close(dirfd);
+    return st;
+  }
+  if (::close(dirfd) != 0) {
+    return Status::IOError(ErrnoMessage("dir close failed", dir));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IOError("cannot open for write: " + tmp);
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    if (!out) return Status::IOError("short write: " + tmp);
-    out.flush();
-    if (!out) return Status::IOError("flush failed: " + tmp);
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Status::IOError(ErrnoMessage("cannot open for write", tmp));
+  Status st = WriteAll(fd, bytes.data(), bytes.size(), tmp);
+  if (!st.ok()) {
+    ::close(fd);
+    return st;
   }
-  // Crash-point hooks bracket the commit instant: the first half-step leaves
-  // the temp file orphaned next to the unchanged target, the second leaves
-  // the new content visible — the only two states a real torn write can
-  // expose under the temp+rename discipline.
+  // Crash-point hooks bracket every durable transition, in order:
+  //   pre-fsync    temp bytes issued but not yet forced to disk — a real
+  //                power cut here may leave the temp empty or torn
+  //   pre-rename   temp contents durable, target still the old file
+  //   post-rename  new content visible, rename record not yet durable
+  //   post-dirsync fully committed
+  // Recovery must map each of the four states to exactly the old or the new
+  // content, never a hybrid (tests/cli/crash_recovery_test.sh).
+  MaybeCrashAtDurableStep("pre-fsync", path);
+  if (::fsync(fd) != 0) {
+    const Status sync_st = Status::IOError(ErrnoMessage("fsync failed", tmp));
+    ::close(fd);
+    return sync_st;
+  }
+  if (::close(fd) != 0) {
+    return Status::IOError(ErrnoMessage("close failed", tmp));
+  }
   MaybeCrashAtDurableStep("pre-rename", path);
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
@@ -28,6 +89,8 @@ Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
     return Status::IOError("rename failed: " + path + ": " + ec.message());
   }
   MaybeCrashAtDurableStep("post-rename", path);
+  TARDIS_RETURN_NOT_OK(SyncParentDir(path));
+  MaybeCrashAtDurableStep("post-dirsync", path);
   return Status::OK();
 }
 

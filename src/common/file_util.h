@@ -1,9 +1,12 @@
 // Shared file primitives implementing the repo's write discipline
-// (DESIGN.md §7/§11): every durable file is produced by writing a temp file
-// and renaming it into place, so readers never observe a torn write and a
-// crash leaves at worst an orphaned ".tmp". tools/lint/tardis_lint.py bans
-// direct file-writing primitives outside the storage layer — everything
-// else funnels through WriteFileAtomic.
+// (DESIGN.md §7/§11): every durable file is produced by writing a temp file,
+// fsyncing it, renaming it into place, and fsyncing the parent directory, so
+// readers never observe a torn write, a crash leaves at worst an orphaned
+// ".tmp", and a power cut cannot surface a "committed" file as empty or
+// truncated (the rename is only durable once the directory entry itself has
+// been forced to disk). tools/lint/tardis_lint.py bans direct file-writing
+// primitives outside the storage layer — everything else funnels through
+// WriteFileAtomic.
 
 #ifndef TARDIS_COMMON_FILE_UTIL_H_
 #define TARDIS_COMMON_FILE_UTIL_H_
@@ -14,9 +17,11 @@
 
 namespace tardis {
 
-// Writes `bytes` to `path` atomically: the content lands in `path + ".tmp"`
-// first and is renamed over `path` only after a successful full write, so
-// concurrent readers see either the old file or the complete new one.
+// Writes `bytes` to `path` atomically and durably: the content lands in
+// `path + ".tmp"` first, is fsynced, and is renamed over `path` only after
+// the fsync succeeded; the parent directory is fsynced after the rename.
+// Concurrent readers see either the old file or the complete new one, and
+// once this returns OK the new content survives power loss.
 Status WriteFileAtomic(const std::string& path, const std::string& bytes);
 
 // Reads the entire file into a string.

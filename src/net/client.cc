@@ -1,0 +1,84 @@
+#include "net/client.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace tardis {
+namespace net {
+
+namespace {
+
+Status SocketError(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<ServeClient> ServeClient::Connect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return SocketError("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status s = SocketError("connect");
+    ::close(fd);
+    return s;
+  }
+  return ServeClient(fd);
+}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status ServeClient::Send(const ServeRequest& req) {
+  if (fd_ < 0) return Status::IOError("client is closed");
+  std::string payload;
+  req.EncodeTo(&payload);
+  std::string frame;
+  frame.reserve(kWireHeaderBytes + payload.size());
+  AppendWireFrame(payload, &frame);
+  size_t off = 0;
+  while (off < frame.size()) {
+    // MSG_NOSIGNAL: a dead server is an IOError to handle, not a SIGPIPE.
+    const ssize_t n = ::send(fd_, frame.data() + off, frame.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return SocketError("send");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<ServeResponse> ServeClient::Receive() {
+  if (fd_ < 0) return Status::IOError("client is closed");
+  std::string payload;
+  char buf[64 << 10];
+  while (true) {
+    TARDIS_ASSIGN_OR_RETURN(const bool have, frames_.Next(&payload));
+    if (have) return ServeResponse::Decode(payload);
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) return SocketError("recv");
+    if (n == 0) return Status::IOError("server closed the connection");
+    frames_.Feed(buf, static_cast<size_t>(n));
+  }
+}
+
+Result<ServeResponse> ServeClient::Call(const ServeRequest& req) {
+  TARDIS_RETURN_NOT_OK(Send(req));
+  return Receive();
+}
+
+}  // namespace net
+}  // namespace tardis

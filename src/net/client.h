@@ -1,0 +1,58 @@
+// ServeClient: a blocking client for the tardis_serve protocol.
+//
+// One client is one TCP connection to a TardisServer on localhost. Requests
+// may be pipelined: issue several Send() calls, then drain responses with
+// Receive() — the server answers in whatever order its batch coalescing
+// completes them, so match on ServeResponse::request_id, not on send order.
+// Call() is the unpipelined convenience wrapper (one Send, one Receive).
+//
+// Not thread-safe: one thread per client. Callers that fan out open one
+// client per worker (tools/serve_loadgen.cc does).
+
+#ifndef TARDIS_NET_CLIENT_H_
+#define TARDIS_NET_CLIENT_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "common/status.h"
+#include "net/serve_protocol.h"
+#include "net/wire_format.h"
+
+namespace tardis {
+namespace net {
+
+class ServeClient {
+ public:
+  // Connects to 127.0.0.1:<port>.
+  static Result<ServeClient> Connect(uint16_t port);
+
+  ~ServeClient();
+  ServeClient(ServeClient&& other) noexcept
+      : fd_(std::exchange(other.fd_, -1)),
+        frames_(std::move(other.frames_)) {}
+  ServeClient& operator=(ServeClient&&) = delete;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  // Writes one framed request. EPIPE/ECONNRESET surface as IOError.
+  Status Send(const ServeRequest& req);
+
+  // Blocks for the next response frame. EOF from the server (shutdown or
+  // connection teardown) surfaces as IOError.
+  Result<ServeResponse> Receive();
+
+  // Send + Receive. Only valid when no pipelined responses are outstanding.
+  Result<ServeResponse> Call(const ServeRequest& req);
+
+ private:
+  explicit ServeClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  WireFrameReader frames_;
+};
+
+}  // namespace net
+}  // namespace tardis
+
+#endif  // TARDIS_NET_CLIENT_H_

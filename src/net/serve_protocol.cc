@@ -1,0 +1,156 @@
+#include "net/serve_protocol.h"
+
+#include "common/serde.h"
+
+namespace tardis {
+namespace net {
+
+namespace {
+
+Status Malformed(const char* what) {
+  return Status::Corruption(std::string("serve protocol: ") + what);
+}
+
+// Reads a u32 element count that precedes `elem_bytes`-wide elements and
+// bounds it against the bytes actually remaining, so a hostile count can
+// never drive the resize below it.
+Result<uint32_t> GetBoundedCount(SliceReader* in, size_t elem_bytes,
+                                 const char* what) {
+  uint32_t n = 0;
+  if (!in->GetFixed(&n)) return Malformed(what);
+  if (static_cast<uint64_t>(n) * elem_bytes > in->remaining()) {
+    return Malformed(what);
+  }
+  return n;
+}
+
+void PutSeries(std::string* dst, const TimeSeries& series) {
+  PutFixed<uint32_t>(dst, static_cast<uint32_t>(series.size()));
+  for (float v : series) PutFixed<float>(dst, v);
+}
+
+Status GetSeries(SliceReader* in, TimeSeries* series) {
+  TARDIS_ASSIGN_OR_RETURN(
+      const uint32_t n, GetBoundedCount(in, sizeof(float), "series length"));
+  series->resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!in->GetFixed(&(*series)[i])) return Malformed("series values");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* ServeOpName(ServeOp op) {
+  switch (op) {
+    case ServeOp::kPing: return "ping";
+    case ServeOp::kKnn: return "knn";
+    case ServeOp::kExact: return "exact";
+    case ServeOp::kRange: return "range";
+  }
+  return "unknown";
+}
+
+const char* ServeStatusName(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk: return "ok";
+    case ServeStatus::kOverloaded: return "overloaded";
+    case ServeStatus::kInvalidRequest: return "invalid_request";
+    case ServeStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+void ServeRequest::EncodeTo(std::string* dst) const {
+  PutFixed<uint64_t>(dst, request_id);
+  PutFixed<uint8_t>(dst, static_cast<uint8_t>(op));
+  PutFixed<uint32_t>(dst, k);
+  PutFixed<uint8_t>(dst, static_cast<uint8_t>(strategy));
+  PutFixed<uint8_t>(dst, use_bloom ? 1 : 0);
+  PutFixed<double>(dst, radius);
+  PutSeries(dst, query);
+}
+
+Result<ServeRequest> ServeRequest::Decode(std::string_view bytes) {
+  SliceReader in(bytes);
+  ServeRequest req;
+  uint8_t op = 0, strategy = 0, use_bloom = 0;
+  if (!in.GetFixed(&req.request_id) || !in.GetFixed(&op) ||
+      !in.GetFixed(&req.k) || !in.GetFixed(&strategy) ||
+      !in.GetFixed(&use_bloom) || !in.GetFixed(&req.radius)) {
+    return Malformed("truncated request header");
+  }
+  if (op > static_cast<uint8_t>(ServeOp::kRange)) {
+    return Malformed("unknown op");
+  }
+  req.op = static_cast<ServeOp>(op);
+  if (strategy > static_cast<uint8_t>(KnnStrategy::kMultiPartitions)) {
+    return Malformed("unknown knn strategy");
+  }
+  req.strategy = static_cast<KnnStrategy>(strategy);
+  if (use_bloom > 1) return Malformed("bad use_bloom flag");
+  req.use_bloom = use_bloom == 1;
+  TARDIS_RETURN_NOT_OK(GetSeries(&in, &req.query));
+  if (!in.empty()) return Malformed("trailing bytes after request");
+  return req;
+}
+
+void ServeResponse::EncodeTo(std::string* dst) const {
+  PutFixed<uint64_t>(dst, request_id);
+  PutFixed<uint8_t>(dst, static_cast<uint8_t>(op));
+  PutFixed<uint8_t>(dst, static_cast<uint8_t>(status));
+  PutFixed<uint64_t>(dst, epoch_generation);
+  PutFixed<uint8_t>(dst, results_complete ? 1 : 0);
+  PutLengthPrefixed(dst, message);
+  PutFixed<uint32_t>(dst, static_cast<uint32_t>(neighbors.size()));
+  for (const Neighbor& nb : neighbors) {
+    PutFixed<double>(dst, nb.distance);
+    PutFixed<uint64_t>(dst, nb.rid);
+  }
+  PutFixed<uint32_t>(dst, static_cast<uint32_t>(matches.size()));
+  for (RecordId rid : matches) PutFixed<uint64_t>(dst, rid);
+}
+
+Result<ServeResponse> ServeResponse::Decode(std::string_view bytes) {
+  SliceReader in(bytes);
+  ServeResponse resp;
+  uint8_t op = 0, status = 0, complete = 0;
+  if (!in.GetFixed(&resp.request_id) || !in.GetFixed(&op) ||
+      !in.GetFixed(&status) || !in.GetFixed(&resp.epoch_generation) ||
+      !in.GetFixed(&complete)) {
+    return Malformed("truncated response header");
+  }
+  if (op > static_cast<uint8_t>(ServeOp::kRange)) {
+    return Malformed("unknown op");
+  }
+  resp.op = static_cast<ServeOp>(op);
+  if (status > static_cast<uint8_t>(ServeStatus::kError)) {
+    return Malformed("unknown status");
+  }
+  resp.status = static_cast<ServeStatus>(status);
+  if (complete > 1) return Malformed("bad results_complete flag");
+  resp.results_complete = complete == 1;
+  if (!in.GetLengthPrefixed(&resp.message)) return Malformed("message");
+  TARDIS_ASSIGN_OR_RETURN(
+      const uint32_t n_neighbors,
+      GetBoundedCount(&in, sizeof(double) + sizeof(uint64_t), "neighbors"));
+  resp.neighbors.resize(n_neighbors);
+  for (uint32_t i = 0; i < n_neighbors; ++i) {
+    if (!in.GetFixed(&resp.neighbors[i].distance) ||
+        !in.GetFixed(&resp.neighbors[i].rid)) {
+      return Malformed("neighbor entries");
+    }
+  }
+  TARDIS_ASSIGN_OR_RETURN(
+      const uint32_t n_matches,
+      GetBoundedCount(&in, sizeof(uint64_t), "matches"));
+  resp.matches.resize(n_matches);
+  for (uint32_t i = 0; i < n_matches; ++i) {
+    if (!in.GetFixed(&resp.matches[i])) return Malformed("match entries");
+  }
+  if (!in.empty()) return Malformed("trailing bytes after response");
+  return resp;
+}
+
+}  // namespace net
+}  // namespace tardis

@@ -1,0 +1,83 @@
+// Request/response messages for tardis_serve (DESIGN.md §13).
+//
+// One request or response travels as the payload of one wire frame
+// (net/wire_format.h). Requests are client-numbered: the server echoes
+// `request_id` back, so a client may pipeline many requests on one
+// connection and match responses in whatever order the server's batch
+// coalescing completes them.
+//
+// The decoders follow the repo's deserializer discipline: every count read
+// from the bytes is bounded against SliceReader::remaining() before any
+// allocation, and malformed input is a clean Status::Corruption — these
+// codecs face raw network bytes and are fuzzed (fuzz/fuzz_serve_frame.cc).
+
+#ifndef TARDIS_NET_SERVE_PROTOCOL_H_
+#define TARDIS_NET_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/tardis_index.h"
+#include "ts/time_series.h"
+
+namespace tardis {
+namespace net {
+
+enum class ServeOp : uint8_t {
+  kPing = 0,   // round-trip + current epoch generation; no query payload
+  kKnn = 1,    // kNN-approximate (k, strategy, query)
+  kExact = 2,  // exact match (use_bloom, query)
+  kRange = 3,  // exact range search (radius, query)
+};
+const char* ServeOpName(ServeOp op);
+
+struct ServeRequest {
+  uint64_t request_id = 0;
+  ServeOp op = ServeOp::kPing;
+  uint32_t k = 0;                                        // kKnn
+  KnnStrategy strategy = KnnStrategy::kMultiPartitions;  // kKnn
+  bool use_bloom = true;                                 // kExact
+  double radius = 0.0;                                   // kRange
+  TimeSeries query;  // empty for kPing, required otherwise
+
+  void EncodeTo(std::string* dst) const;
+  static Result<ServeRequest> Decode(std::string_view bytes);
+  bool operator==(const ServeRequest&) const = default;
+};
+
+enum class ServeStatus : uint8_t {
+  kOk = 0,
+  // Admission control rejected the request (queue full / too many in
+  // flight). Retryable: nothing was executed; resend after a backoff.
+  kOverloaded = 1,
+  kInvalidRequest = 2,  // malformed or unanswerable; do not retry
+  kError = 3,           // engine failure; message carries the status text
+};
+const char* ServeStatusName(ServeStatus status);
+
+struct ServeResponse {
+  uint64_t request_id = 0;
+  ServeOp op = ServeOp::kPing;
+  ServeStatus status = ServeStatus::kOk;
+  // The epoch snapshot the whole answer was computed against. Every record
+  // in `neighbors`/`matches` reflects exactly this committed generation —
+  // a concurrent Append can never split one response across epochs.
+  uint64_t epoch_generation = 0;
+  // Degraded-mode coverage (kNN/range only; see docs/RELIABILITY.md).
+  bool results_complete = true;
+  std::string message;              // error detail; empty on kOk
+  std::vector<Neighbor> neighbors;  // kKnn / kRange answers
+  std::vector<RecordId> matches;    // kExact answers
+
+  void EncodeTo(std::string* dst) const;
+  static Result<ServeResponse> Decode(std::string_view bytes);
+  bool operator==(const ServeResponse&) const = default;
+};
+
+}  // namespace net
+}  // namespace tardis
+
+#endif  // TARDIS_NET_SERVE_PROTOCOL_H_

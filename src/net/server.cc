@@ -1,0 +1,385 @@
+#include "net/server.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/telemetry.h"
+#include "net/wire_format.h"
+
+namespace tardis {
+namespace net {
+
+namespace {
+
+Status SocketError(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+void CountServe(const std::string& name, uint64_t delta = 1) {
+  if (!telemetry::Enabled()) return;
+  telemetry::Registry::Global().GetCounter(name).Add(delta);
+}
+
+}  // namespace
+
+// One live client connection. The fd is closed only by the destructor (when
+// the last shared_ptr drops), so a dispatcher thread still writing after the
+// reader exited can never race a close/reuse of the descriptor — its sends
+// just fail cleanly against the shut-down socket.
+struct TardisServer::Connection {
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+  int fd = -1;
+  std::thread reader;
+  std::atomic<bool> done{false};
+  Mutex write_mu;
+  // Set on the first failed send; later responses for this connection are
+  // dropped instead of retried (the peer is gone).
+  bool write_failed TARDIS_GUARDED_BY(write_mu) = false;
+};
+
+TardisServer::TardisServer(const TardisIndex& index, const ServeOptions& opts)
+    : index_(&index), engine_(index), opts_(opts) {}
+
+TardisServer::~TardisServer() { Shutdown(); }
+
+Status TardisServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return SocketError("socket");
+  const int one = 1;
+  if (::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+      0) {
+    return SocketError("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(opts_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    return SocketError("bind");
+  }
+  if (::listen(listen_fd_, 128) < 0) return SocketError("listen");
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) < 0) {
+    return SocketError("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+  accept_thread_ = std::thread(&TardisServer::AcceptLoop, this);
+  dispatch_thread_ = std::thread(&TardisServer::DispatchLoop, this);
+  return Status::OK();
+}
+
+void TardisServer::Shutdown() {
+  if (stop_.exchange(true)) return;
+  if (listen_fd_ >= 0) {
+    // Wakes the accept thread; the fd itself is closed after joins.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  queue_cv_.NotifyAll();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    MutexLock lock(conns_mu_);
+    for (auto& conn : conns_) ::shutdown(conn->fd, SHUT_RDWR);
+    for (auto& conn : conns_) {
+      if (conn->reader.joinable()) conn->reader.join();
+    }
+    conns_.clear();
+  }
+  // The dispatcher drains whatever was admitted before returning (its writes
+  // against shut-down sockets fail cleanly).
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void TardisServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    // Poll before accepting: shutdown() does not wake a blocked accept() on
+    // a listening socket, so the stop flag is re-checked every tick.
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check stop_
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (stop_.load(std::memory_order_relaxed)) return;
+      continue;  // transient accept failure (e.g. peer reset in the backlog)
+    }
+    MutexLock lock(conns_mu_);
+    ReapFinishedLocked();
+    if (conns_.size() >= opts_.max_connections ||
+        stop_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      CountServe("tardis.serve.connections_refused");
+      continue;
+    }
+    CountServe("tardis.serve.connections_accepted");
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conns_.push_back(conn);
+    conn->reader = std::thread(&TardisServer::ReaderLoop, this, conn);
+  }
+}
+
+void TardisServer::ReapFinishedLocked() {
+  for (size_t i = 0; i < conns_.size();) {
+    if (conns_[i]->done.load(std::memory_order_acquire)) {
+      if (conns_[i]->reader.joinable()) conns_[i]->reader.join();
+      conns_.erase(conns_.begin() + static_cast<ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+void TardisServer::ReaderLoop(std::shared_ptr<Connection> conn) {
+  telemetry::ScopedSpan span("tardis.serve.connection");
+  WireFrameReader frames;
+  char buf[64 << 10];
+  std::string payload;
+  bool teardown = false;
+  while (!teardown && !stop_.load(std::memory_order_relaxed)) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    // 0 = orderly close; <0 (ECONNRESET and friends) = peer vanished.
+    // Either way: clean per-connection teardown, not a server error.
+    if (n <= 0) break;
+    CountServe("tardis.serve.bytes_read", static_cast<uint64_t>(n));
+    frames.Feed(buf, static_cast<size_t>(n));
+    while (!teardown) {
+      const Result<bool> next = frames.Next(&payload);
+      if (!next.ok()) {
+        // Framing lost (bad magic / oversized length / CRC mismatch): the
+        // stream can never resynchronise, so drop the connection.
+        CountServe("tardis.serve.corrupt_frames");
+        teardown = true;
+        break;
+      }
+      if (!next.value()) break;  // need more bytes
+      HandleFrame(conn, payload, &teardown);
+    }
+  }
+  ::shutdown(conn->fd, SHUT_RDWR);
+  conn->done.store(true, std::memory_order_release);
+}
+
+void TardisServer::HandleFrame(const std::shared_ptr<Connection>& conn,
+                               std::string_view payload, bool* teardown) {
+  const Result<ServeRequest> decoded = ServeRequest::Decode(payload);
+  if (!decoded.ok()) {
+    // The frame CRC passed but the payload is not a ServeRequest: the peer
+    // speaks a different dialect, and with no request_id to echo there is
+    // no way to answer it. Tear the connection down.
+    CountServe("tardis.serve.corrupt_frames");
+    *teardown = true;
+    return;
+  }
+  const ServeRequest& req = decoded.value();
+  CountServe("tardis.serve.requests");
+
+  ServeResponse resp;
+  resp.request_id = req.request_id;
+  resp.op = req.op;
+
+  if (req.op == ServeOp::kPing) {
+    resp.status = ServeStatus::kOk;
+    resp.epoch_generation = index_->generation();
+    WriteResponse(*conn, resp);
+    return;
+  }
+  if (req.query.size() != index_->series_length() ||
+      (req.op == ServeOp::kKnn && req.k == 0)) {
+    resp.status = ServeStatus::kInvalidRequest;
+    resp.message = req.query.size() != index_->series_length()
+                       ? "query length does not match the index"
+                       : "k must be >= 1";
+    CountServe("tardis.serve.invalid_requests");
+    WriteResponse(*conn, resp);
+    return;
+  }
+
+  bool admitted = false;
+  {
+    MutexLock lock(queue_mu_);
+    if (inflight_ < opts_.max_inflight &&
+        queue_.size() < opts_.queue_depth) {
+      ++inflight_;
+      queue_.push_back(Pending{conn, req});
+      admitted = true;
+    }
+  }
+  if (!admitted) {
+    resp.status = ServeStatus::kOverloaded;
+    resp.message = "admission control: queue full";
+    CountServe("tardis.serve.overloaded");
+    WriteResponse(*conn, resp);
+    return;
+  }
+  queue_cv_.NotifyOne();
+}
+
+void TardisServer::DispatchLoop() {
+  while (true) {
+    std::vector<Pending> batch;
+    {
+      MutexLock lock(queue_mu_);
+      while (queue_.empty() && !stop_.load(std::memory_order_relaxed)) {
+        queue_cv_.Wait(lock);
+      }
+      if (queue_.empty()) return;  // stop requested and fully drained
+      while (!queue_.empty() && batch.size() < opts_.max_batch) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    const uint32_t n = static_cast<uint32_t>(batch.size());
+    RunBatch(batch);
+    {
+      MutexLock lock(queue_mu_);
+      inflight_ -= n;
+    }
+  }
+}
+
+void TardisServer::RunBatch(std::vector<Pending>& batch) {
+  telemetry::ScopedSpan span("tardis.serve.dispatch");
+  span.AddAttr("requests", batch.size());
+  if (telemetry::Enabled()) {
+    telemetry::Registry::Global()
+        .GetHistogram("tardis.serve.batch_size")
+        .Observe(batch.size());
+    CountServe("tardis.serve.batches");
+  }
+
+  // Group requests that can share one engine batch call. Keys carry every
+  // parameter the batch APIs take, so coalescing never changes semantics.
+  std::map<std::pair<uint32_t, uint8_t>, std::vector<size_t>> knn_groups;
+  std::map<bool, std::vector<size_t>> exact_groups;
+  std::map<double, std::vector<size_t>> range_groups;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const ServeRequest& req = batch[i].req;
+    switch (req.op) {
+      case ServeOp::kKnn:
+        knn_groups[{req.k, static_cast<uint8_t>(req.strategy)}].push_back(i);
+        break;
+      case ServeOp::kExact:
+        exact_groups[req.use_bloom].push_back(i);
+        break;
+      case ServeOp::kRange:
+        range_groups[req.radius].push_back(i);
+        break;
+      case ServeOp::kPing:
+        break;  // answered inline by HandleFrame; never enqueued
+    }
+  }
+
+  // Prepares the response shells for one group, runs `run`, then stamps the
+  // batch-wide epoch/coverage and per-request results.
+  const auto finish_group = [&](const std::vector<size_t>& members,
+                                const Status& status,
+                                const QueryEngineStats& stats,
+                                const std::function<void(size_t member_pos,
+                                                         ServeResponse*)>&
+                                    fill) {
+    for (size_t pos = 0; pos < members.size(); ++pos) {
+      const Pending& p = batch[members[pos]];
+      ServeResponse resp;
+      resp.request_id = p.req.request_id;
+      resp.op = p.req.op;
+      if (!status.ok()) {
+        resp.status = ServeStatus::kError;
+        resp.message = status.ToString();
+        CountServe("tardis.serve.engine_errors");
+      } else {
+        resp.status = ServeStatus::kOk;
+        resp.epoch_generation = stats.epoch_generation;
+        resp.results_complete = stats.results_complete;
+        fill(pos, &resp);
+      }
+      WriteResponse(*p.conn, resp);
+    }
+  };
+
+  const auto collect = [&](const std::vector<size_t>& members) {
+    std::vector<TimeSeries> queries;
+    queries.reserve(members.size());
+    for (const size_t i : members) queries.push_back(batch[i].req.query);
+    return queries;
+  };
+
+  for (const auto& [key, members] : knn_groups) {
+    QueryEngineStats stats;
+    auto r = engine_.KnnApproximateBatch(collect(members), key.first,
+                                         static_cast<KnnStrategy>(key.second),
+                                         &stats);
+    finish_group(members, r.status(), stats,
+                 [&](size_t pos, ServeResponse* resp) {
+                   resp->neighbors = std::move(r.value()[pos]);
+                 });
+  }
+  for (const auto& [use_bloom, members] : exact_groups) {
+    QueryEngineStats stats;
+    auto r = engine_.ExactMatchBatch(collect(members), use_bloom, &stats);
+    finish_group(members, r.status(), stats,
+                 [&](size_t pos, ServeResponse* resp) {
+                   resp->matches = std::move(r.value()[pos]);
+                 });
+  }
+  for (const auto& [radius, members] : range_groups) {
+    QueryEngineStats stats;
+    auto r = engine_.RangeSearchBatch(collect(members), radius, &stats);
+    finish_group(members, r.status(), stats,
+                 [&](size_t pos, ServeResponse* resp) {
+                   resp->neighbors = std::move(r.value()[pos]);
+                 });
+  }
+}
+
+void TardisServer::WriteResponse(Connection& conn, const ServeResponse& resp) {
+  telemetry::ScopedSpan span("tardis.serve.write");
+  std::string payload;
+  resp.EncodeTo(&payload);
+  std::string frame;
+  frame.reserve(kWireHeaderBytes + payload.size());
+  AppendWireFrame(payload, &frame);
+
+  MutexLock lock(conn.write_mu);
+  if (conn.write_failed) return;
+  size_t off = 0;
+  while (off < frame.size()) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, never SIGPIPE, even
+    // if the embedding process did not install the SIG_IGN handler.
+    const ssize_t n = ::send(conn.fd, frame.data() + off, frame.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // EPIPE / ECONNRESET / shutdown-raced sends: the peer is gone. Clean
+      // per-connection teardown — poison the write side and wake the reader.
+      conn.write_failed = true;
+      ::shutdown(conn.fd, SHUT_RDWR);
+      CountServe("tardis.serve.write_failures");
+      return;
+    }
+    off += static_cast<size_t>(n);
+  }
+  CountServe("tardis.serve.responses");
+  CountServe("tardis.serve.bytes_written", frame.size());
+}
+
+}  // namespace net
+}  // namespace tardis

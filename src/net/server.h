@@ -1,0 +1,127 @@
+// TardisServer: the sockets-over-localhost query frontend (DESIGN.md §13).
+//
+// Architecture: one accept thread hands each connection to a dedicated
+// reader thread; readers decode framed requests and push them onto a single
+// bounded dispatch queue; ONE dispatcher thread drains the queue in batches
+// of up to max_batch requests, groups them by compatible parameters, and
+// runs each group through the batched QueryEngine — so pipelined requests
+// from many connections coalesce into batch calls that pay one partition
+// load per distinct partition, and the engine's single-caller-at-a-time
+// contract is satisfied by construction.
+//
+// Admission control is bounded and fail-fast: a request that would exceed
+// queue_depth queued or max_inflight admitted-but-unanswered requests is
+// answered immediately with ServeStatus::kOverloaded (retryable; nothing
+// executed). Slow clients therefore shed load at the edge instead of
+// growing unbounded queues in front of the engine.
+//
+// Epoch pinning: each dispatch batch runs against the one epoch snapshot
+// the QueryEngine pins at batch entry, and every response carries that
+// batch's epoch_generation — a concurrent TardisIndex::Append can never
+// split a single response (or a single batch) across generations.
+//
+// Peer-failure discipline: EPIPE/ECONNRESET on the write path and EOF/reset
+// on the read path are clean per-connection teardown, never a server fault.
+// Callers must ignore SIGPIPE process-wide (tools/tardis_serve.cc does);
+// the server additionally sends with MSG_NOSIGNAL.
+
+#ifndef TARDIS_NET_SERVER_H_
+#define TARDIS_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "core/query_engine.h"
+#include "net/serve_protocol.h"
+
+namespace tardis {
+namespace net {
+
+struct ServeOptions {
+  // TCP port on 127.0.0.1. 0 binds an ephemeral port; read it back via
+  // port() after Start() (tools/tardis_serve prints it for scripts).
+  uint16_t port = 0;
+  // Admission bounds (TUNING.md): max requests admitted but not yet
+  // answered, and max requests sitting in the dispatch queue. Exceeding
+  // either rejects with kOverloaded.
+  uint32_t max_inflight = 256;
+  uint32_t queue_depth = 1024;
+  // Upper bound on one dispatch batch (the coalescing window).
+  uint32_t max_batch = 64;
+  // Connections beyond this are accepted and immediately closed.
+  uint32_t max_connections = 64;
+};
+
+class TardisServer {
+ public:
+  // The index must outlive the server.
+  TardisServer(const TardisIndex& index, const ServeOptions& opts);
+  ~TardisServer();
+
+  TardisServer(const TardisServer&) = delete;
+  TardisServer& operator=(const TardisServer&) = delete;
+
+  // Binds 127.0.0.1:<port>, then starts the accept and dispatcher threads.
+  Status Start();
+  // Stops accepting, tears down connections, drains the queue, joins all
+  // threads. Idempotent; also run by the destructor.
+  void Shutdown();
+
+  // The bound port (resolves ephemeral port 0). Valid after Start().
+  uint16_t port() const { return port_; }
+
+ private:
+  struct Connection;
+  struct Pending {
+    std::shared_ptr<Connection> conn;
+    ServeRequest req;
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Connection> conn);
+  // Handles one decoded frame from `conn`: answers pings and invalid
+  // requests inline, applies admission control, enqueues the rest. Sets
+  // *teardown when the payload does not decode (framing is intact but the
+  // peer speaks a different protocol — the connection is unrecoverable).
+  void HandleFrame(const std::shared_ptr<Connection>& conn,
+                   std::string_view payload, bool* teardown);
+  void DispatchLoop();
+  // Runs one coalesced batch: groups by (op, parameters), calls the
+  // QueryEngine batch APIs, stamps each response with the batch's pinned
+  // epoch_generation, writes responses.
+  void RunBatch(std::vector<Pending>& batch);
+  void WriteResponse(Connection& conn, const ServeResponse& resp);
+  // Joins and erases connections whose reader threads have finished.
+  void ReapFinishedLocked() TARDIS_REQUIRES(conns_mu_);
+
+  const TardisIndex* index_;
+  QueryEngine engine_;  // only the dispatcher thread touches it
+  ServeOptions opts_;
+
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+
+  std::thread accept_thread_;
+  std::thread dispatch_thread_;
+
+  Mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_ TARDIS_GUARDED_BY(conns_mu_);
+
+  Mutex queue_mu_;
+  CondVar queue_cv_;
+  std::deque<Pending> queue_ TARDIS_GUARDED_BY(queue_mu_);
+  // Admitted (queued or dispatching) and not yet answered.
+  uint32_t inflight_ TARDIS_GUARDED_BY(queue_mu_) = 0;
+};
+
+}  // namespace net
+}  // namespace tardis
+
+#endif  // TARDIS_NET_SERVER_H_

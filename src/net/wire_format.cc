@@ -1,0 +1,49 @@
+#include "net/wire_format.h"
+
+#include "common/crc32c.h"
+#include "common/serde.h"
+
+namespace tardis {
+namespace net {
+
+void AppendWireFrame(std::string_view payload, std::string* out) {
+  PutFixed<uint32_t>(out, kWireMagic);
+  PutFixed<uint32_t>(out, static_cast<uint32_t>(payload.size()));
+  PutFixed<uint32_t>(out, Crc32c(payload));
+  out->append(payload.data(), payload.size());
+}
+
+void WireFrameReader::Feed(const char* data, size_t n) {
+  buf_.append(data, n);
+}
+
+Result<bool> WireFrameReader::Next(std::string* payload) {
+  if (buf_.size() < kWireHeaderBytes) return false;
+  SliceReader header(std::string_view(buf_).substr(0, kWireHeaderBytes));
+  uint32_t magic = 0, len = 0, crc = 0;
+  header.GetFixed(&magic);
+  header.GetFixed(&len);
+  header.GetFixed(&crc);
+  if (magic != kWireMagic) {
+    return Status::Corruption("wire frame: bad magic");
+  }
+  // The peer-supplied length gates every allocation below; reject before
+  // touching it. (Satellite: never trust the header.)
+  if (len > kMaxWirePayload) {
+    return Status::Corruption("wire frame: length " + std::to_string(len) +
+                              " exceeds cap " +
+                              std::to_string(kMaxWirePayload));
+  }
+  if (buf_.size() - kWireHeaderBytes < len) return false;
+  const std::string_view body =
+      std::string_view(buf_).substr(kWireHeaderBytes, len);
+  if (Crc32c(body) != crc) {
+    return Status::Corruption("wire frame: crc32c mismatch");
+  }
+  payload->assign(body.data(), body.size());
+  buf_.erase(0, kWireHeaderBytes + len);
+  return true;
+}
+
+}  // namespace net
+}  // namespace tardis

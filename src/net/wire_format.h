@@ -1,0 +1,63 @@
+// Wire framing for the tardis_serve protocol (DESIGN.md §13).
+//
+// The socket carries the same CRC32C frame discipline the storage layer uses
+// on disk (storage/partition_store.cc):
+//
+//   [magic u32 | payload_len u32 | crc32c(payload) u32 | payload]
+//
+// all little-endian. A flipped bit, a torn send, or a non-TARDIS peer
+// surfaces as Status::Corruption at the frame boundary, never as garbage
+// decoded into a request. The length field is peer-controlled, so it is
+// checked against kMaxWirePayload *before* any allocation sized by it — a
+// malformed header can never drive a multi-gigabyte resize.
+//
+// WireFrameReader is the receive half: feed it raw socket bytes in whatever
+// chunks recv() produces and pull complete frame payloads out. One reader
+// per connection; it is not thread-safe.
+
+#ifndef TARDIS_NET_WIRE_FORMAT_H_
+#define TARDIS_NET_WIRE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace tardis {
+namespace net {
+
+inline constexpr uint32_t kWireMagic = 0x31575354u;  // "TSW1" little-endian
+inline constexpr size_t kWireHeaderBytes = 12;
+// Upper bound on a single frame payload. Large enough for any batched
+// response over the repo-scale datasets; small enough that a hostile length
+// header cannot balloon allocation. Checked before resize, always.
+inline constexpr uint32_t kMaxWirePayload = 16u << 20;
+
+// Appends one framed payload to `out` (header + payload bytes).
+void AppendWireFrame(std::string_view payload, std::string* out);
+
+// Incremental frame extractor over a byte stream.
+class WireFrameReader {
+ public:
+  // Buffers `n` raw bytes from the stream.
+  void Feed(const char* data, size_t n);
+
+  // Extracts the next complete frame's payload. Returns true and fills
+  // `payload` when a full, CRC-verified frame was available; false when more
+  // bytes are needed. Returns Corruption on a bad magic, an oversized
+  // length, or a CRC mismatch — the connection is beyond recovery then
+  // (framing is lost) and must be torn down.
+  Result<bool> Next(std::string* payload);
+
+  // Bytes buffered but not yet returned as payloads.
+  size_t buffered_bytes() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+}  // namespace net
+}  // namespace tardis
+
+#endif  // TARDIS_NET_WIRE_FORMAT_H_

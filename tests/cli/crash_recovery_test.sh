@@ -5,7 +5,10 @@
 # before an Append (PRE) and after it committed (POST) — then re-runs the
 # Append under every TARDIS_CRASH_POINT value until one survives. After each
 # induced crash the index is recovered and its content digest must equal PRE
-# or POST exactly: the manifest commit point admits no hybrid state. The
+# or POST exactly: the manifest commit point admits no hybrid state. Each
+# WriteFileAtomic contributes four crash points (pre-fsync, pre-rename,
+# post-rename, post-dirsync), so the sweep covers the torn-temp-file, the
+# durable-but-unrenamed, and the renamed-but-undirsynced shapes. The
 # sweep repeats at 1, 2, and 8 cluster workers (append's durable-write
 # sequence is worker-independent, so each sweep sees the same crash points;
 # the worker counts vary the recovery-time parallel load paths).
@@ -76,9 +79,10 @@ for WORKERS in 1 2 8; do
       || fail "workers=$WORKERS cp=$cp: GC did not converge in one pass"
     cp=$((cp + 1))
   done
-  # The sweep must actually have crashed somewhere: the append writes
-  # 2 durable steps per file at minimum (delta + meta + manifest).
-  [ "$cp" -ge 6 ] || fail "workers=$WORKERS: only $cp crash points found"
+  # The sweep must actually have crashed somewhere: every WriteFileAtomic
+  # contributes 4 durable steps (pre-fsync, pre-rename, post-rename,
+  # post-dirsync) and the append writes at least delta + meta + manifest.
+  [ "$cp" -ge 12 ] || fail "workers=$WORKERS: only $cp crash points found"
   # The last crash point (manifest rename) must recover to POST — the
   # commit happened even though the process died immediately after.
   [ "$DIG" = "$POST" ] || fail "workers=$WORKERS: post-commit crash lost the append"

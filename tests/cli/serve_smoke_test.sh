@@ -1,0 +1,79 @@
+#!/bin/sh
+# Smoke test for the tardis_serve network frontend: build a small index,
+# start the server on an ephemeral port, drive it with serve_loadgen at a
+# fixed QPS with bit-identical verification against the in-process engine,
+# require zero failed requests, then take the server down gracefully with
+# SIGTERM and require a clean exit. The same sequence runs in CI's
+# release-bench job (which uploads BENCH_serve.json).
+set -e
+
+TARDIS="$1"
+SERVE="$2"
+LOADGEN="$3"
+if [ -z "$TARDIS" ] || [ ! -x "$TARDIS" ] || [ ! -x "$SERVE" ] \
+  || [ ! -x "$LOADGEN" ]; then
+  echo "usage: serve_smoke_test.sh <tardis> <tardis_serve> <serve_loadgen>" >&2
+  exit 2
+fi
+
+WORK=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -KILL "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  if [ -f "$WORK/serve.out" ]; then
+    echo "--- server output ---" >&2
+    cat "$WORK/serve.out" >&2
+  fi
+  exit 1
+}
+
+# Small but multi-partition index.
+"$TARDIS" gen --kind rw --count 2000 --out "$WORK/data" --seed 9 \
+  > /dev/null || fail "gen"
+"$TARDIS" build --data "$WORK/data" --index "$WORK/idx" \
+  --gmax 500 --lmax 50 > /dev/null || fail "build"
+
+# Ephemeral port: parse it from the startup banner.
+"$SERVE" --index "$WORK/idx" --port 0 > "$WORK/serve.out" 2>&1 &
+SERVER_PID=$!
+PORT=""
+i=0
+while [ $i -lt 100 ]; do
+  PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' \
+    "$WORK/serve.out" 2>/dev/null | head -1)
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "server died during startup"
+  sleep 0.1
+  i=$((i + 1))
+done
+[ -n "$PORT" ] || fail "server never printed its port"
+
+# Fixed-QPS run with bit-identical verification; serve_loadgen exits
+# non-zero unless every request succeeded and every answer matched the
+# in-process engine.
+"$LOADGEN" --port "$PORT" --data "$WORK/data" --count 64 \
+  --qps 200 --duration-s 3 --connections 2 --op knn --k 5 \
+  --out "$WORK/BENCH_serve.json" --verify 1 --index "$WORK/idx" \
+  > "$WORK/loadgen.out" || fail "loadgen run not clean"
+
+grep -q '"failed": 0' "$WORK/BENCH_serve.json" || fail "failed requests"
+grep -q '"pass": true' "$WORK/BENCH_serve.json" || fail "bench did not pass"
+grep -q 'bit-identical' "$WORK/loadgen.out" || fail "verification did not run"
+
+# Graceful drain: SIGTERM must produce exit 0.
+kill -TERM "$SERVER_PID"
+SERVER_RC=0
+wait "$SERVER_PID" || SERVER_RC=$?
+SERVER_PID=""
+[ "$SERVER_RC" -eq 0 ] || fail "server exit code $SERVER_RC after SIGTERM"
+grep -q "draining" "$WORK/serve.out" || fail "server did not report draining"
+
+echo "PASS"

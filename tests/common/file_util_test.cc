@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault_injection.h"
 #include "test_util.h"
 
 namespace tardis {
@@ -59,6 +60,19 @@ TEST_F(FileUtilTest, ReadMissingFileFails) {
   const auto r = ReadFileToString((dir_ / "absent.bin").string());
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(FileUtilTest, FourDurableStepsPerWrite) {
+  // The crash-recovery sweep (tests/cli/crash_recovery_test.sh) enumerates
+  // durable steps by index, so the per-write step count is part of the
+  // durability contract: pre-fsync, pre-rename, post-rename, post-dirsync.
+  FaultInjector& injector = FaultInjector::Global();
+  injector.SetCrashPoint(1 << 20);  // counting enabled, far from firing
+  injector.ResetDurableSteps();
+  ASSERT_OK(WriteFileAtomic((dir_ / "steps.bin").string(), "payload"));
+  EXPECT_EQ(injector.durable_steps(), 4u);
+  injector.SetCrashPoint(-1);
+  injector.ResetDurableSteps();
 }
 
 TEST_F(FileUtilTest, EmptyPayload) {

@@ -1,0 +1,215 @@
+// Snapshot isolation over the wire: concurrent connections racing a live
+// TardisIndex::Append must each get responses computed against exactly one
+// committed epoch — the epoch_generation the response reports — never a mix.
+//
+// Mirrors tests/core/epoch_concurrency_test.cc, but through tardis_serve's
+// full network path (framing, pipelining, batch coalescing): an oracle pass
+// records per-generation answers through the same QueryEngine batch APIs
+// the server dispatches into; the live pass replays the appends from a
+// writer thread while client threads pipeline framed queries and check
+// every response against the oracle for the generation it reports. Run
+// under TSan this also races the reader/dispatcher threads against Append.
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/query_engine.h"
+#include "core/tardis_index.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "test_util.h"
+#include "workload/datasets.h"
+
+namespace tardis {
+namespace net {
+namespace {
+
+constexpr uint64_t kBaseCount = 1200;
+constexpr uint32_t kSeriesLength = 48;
+constexpr uint32_t kNumBatches = 3;
+constexpr uint64_t kBatchCount = 100;
+constexpr uint32_t kK = 5;
+
+class ServeConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(
+        base_, MakeDataset(DatasetKind::kRandomWalk, kBaseCount, kSeriesLength,
+                           /*seed=*/41));
+    for (uint32_t j = 0; j < kNumBatches; ++j) {
+      ASSERT_OK_AND_ASSIGN(Dataset batch,
+                           MakeDataset(DatasetKind::kRandomWalk, kBatchCount,
+                                       kSeriesLength, /*seed=*/50 + j));
+      batches_.push_back(std::move(batch));
+    }
+    config_.g_max_size = 300;
+    config_.l_max_size = 75;
+    cluster_ = std::make_shared<Cluster>(2);
+  }
+
+  Result<TardisIndex> BuildAt(const std::string& sub) {
+    TARDIS_ASSIGN_OR_RETURN(BlockStore store,
+                            BlockStore::Create(dir_.Sub(sub + "_bs"), base_,
+                                               /*block_capacity=*/300));
+    return TardisIndex::Build(cluster_, store, dir_.Sub(sub), config_,
+                              nullptr);
+  }
+
+  // Fixed probes: two base series plus one from each append batch, so the
+  // answers change at every generation.
+  std::vector<TimeSeries> Probes() const {
+    std::vector<TimeSeries> probes;
+    probes.push_back(base_[17]);
+    probes.push_back(base_[kBaseCount / 2]);
+    for (const Dataset& batch : batches_) probes.push_back(batch[3]);
+    return probes;
+  }
+
+  struct ProbeAnswer {
+    std::vector<std::vector<Neighbor>> knn;      // per probe
+    std::vector<std::vector<RecordId>> matches;  // per probe
+  };
+
+  // Quiescent answers at the engine's current generation, through the same
+  // batch APIs the server dispatches into.
+  ProbeAnswer Snapshot(QueryEngine& engine) {
+    ProbeAnswer ans;
+    auto knn = engine.KnnApproximateBatch(Probes(), kK,
+                                          KnnStrategy::kMultiPartitions,
+                                          nullptr);
+    EXPECT_TRUE(knn.ok()) << knn.status().ToString();
+    ans.knn = std::move(knn).value();
+    auto matches = engine.ExactMatchBatch(Probes(), /*use_bloom=*/true,
+                                          nullptr);
+    EXPECT_TRUE(matches.ok()) << matches.status().ToString();
+    ans.matches = std::move(matches).value();
+    return ans;
+  }
+
+  Dataset base_;
+  std::vector<Dataset> batches_;
+  TardisConfig config_;
+  std::shared_ptr<Cluster> cluster_;
+  ScopedTempDir dir_;
+};
+
+TEST_F(ServeConcurrencyTest, EveryResponsePinsOneCommittedEpoch) {
+  // Oracle pass: per-generation answers on a quiescent twin index.
+  ASSERT_OK_AND_ASSIGN(TardisIndex oracle_index, BuildAt("oracle"));
+  std::map<uint64_t, ProbeAnswer> oracle;
+  {
+    QueryEngine engine(oracle_index);
+    oracle[oracle_index.generation()] = Snapshot(engine);
+    for (const Dataset& batch : batches_) {
+      ASSERT_OK(oracle_index.Append(batch).status());
+      oracle[oracle_index.generation()] = Snapshot(engine);
+    }
+  }
+  ASSERT_EQ(oracle.size(), kNumBatches + 1);
+
+  // Live pass: the server fronts an index a writer thread is appending to.
+  ASSERT_OK_AND_ASSIGN(TardisIndex live, BuildAt("live"));
+  TardisServer server(live, ServeOptions{});
+  ASSERT_OK(server.Start());
+
+  const std::vector<TimeSeries> probes = Probes();
+  std::atomic<bool> done{false};
+  std::atomic<uint32_t> mixed{0};
+  std::atomic<uint32_t> unknown_epoch{0};
+  std::atomic<uint32_t> transport_errors{0};
+
+  std::thread writer([&] {
+    for (const Dataset& batch : batches_) {
+      auto rids = live.Append(batch);
+      EXPECT_TRUE(rids.ok()) << rids.status().ToString();
+    }
+    done.store(true);
+  });
+
+  // Each client pipelines a kNN and an exact-match request per probe on its
+  // own connection; responses are matched by request_id and checked against
+  // the oracle for the generation they report.
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&] {
+      auto client = ServeClient::Connect(server.port());
+      ASSERT_TRUE(client.ok()) << client.status().ToString();
+      uint32_t rounds = 0;
+      while (!done.load() || rounds < 2) {
+        for (size_t i = 0; i < probes.size(); ++i) {
+          ServeRequest knn;
+          knn.request_id = i * 2;
+          knn.op = ServeOp::kKnn;
+          knn.k = kK;
+          knn.query = probes[i];
+          ServeRequest exact;
+          exact.request_id = i * 2 + 1;
+          exact.op = ServeOp::kExact;
+          exact.query = probes[i];
+          if (!client->Send(knn).ok() || !client->Send(exact).ok()) {
+            transport_errors.fetch_add(1);
+            return;
+          }
+          for (int r = 0; r < 2; ++r) {
+            auto got = client->Receive();
+            if (!got.ok()) {
+              transport_errors.fetch_add(1);
+              return;
+            }
+            const ServeResponse& resp = got.value();
+            EXPECT_EQ(resp.status, ServeStatus::kOk) << resp.message;
+            EXPECT_EQ(resp.request_id / 2, i);
+            const auto it = oracle.find(resp.epoch_generation);
+            if (it == oracle.end()) {
+              unknown_epoch.fetch_add(1);
+              continue;
+            }
+            if (resp.op == ServeOp::kKnn) {
+              if (resp.neighbors != it->second.knn[i]) mixed.fetch_add(1);
+            } else {
+              if (resp.matches != it->second.matches[i]) mixed.fetch_add(1);
+            }
+          }
+        }
+        ++rounds;
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(transport_errors.load(), 0u);
+  EXPECT_EQ(unknown_epoch.load(), 0u)
+      << unknown_epoch.load() << " responses reported uncommitted epochs";
+  EXPECT_EQ(mixed.load(), 0u)
+      << mixed.load()
+      << " responses did not match the oracle for the epoch they reported";
+  EXPECT_EQ(live.generation(), kNumBatches + 1);
+
+  // After the race, the served answers equal the oracle's final generation.
+  auto client = ServeClient::Connect(server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  const ProbeAnswer& final_oracle = oracle.at(live.generation());
+  for (size_t i = 0; i < probes.size(); ++i) {
+    ServeRequest knn;
+    knn.request_id = i;
+    knn.op = ServeOp::kKnn;
+    knn.k = kK;
+    knn.query = probes[i];
+    ServeResponse resp;
+    ASSERT_OK_AND_ASSIGN(resp, client->Call(knn));
+    ASSERT_EQ(resp.status, ServeStatus::kOk) << resp.message;
+    EXPECT_EQ(resp.epoch_generation, live.generation());
+    EXPECT_EQ(resp.neighbors, final_oracle.knn[i]) << "probe " << i;
+  }
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace tardis

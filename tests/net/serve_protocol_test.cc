@@ -1,0 +1,180 @@
+#include "net/serve_protocol.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "common/serde.h"
+#include "test_util.h"
+
+namespace tardis {
+namespace net {
+namespace {
+
+ServeRequest SampleRequest() {
+  ServeRequest req;
+  req.request_id = 0x1122334455667788ull;
+  req.op = ServeOp::kKnn;
+  req.k = 10;
+  req.strategy = KnnStrategy::kOnePartition;
+  req.use_bloom = false;
+  req.radius = 2.5;
+  req.query = {1.0f, -2.0f, 0.5f, 3.25f};
+  return req;
+}
+
+ServeResponse SampleResponse() {
+  ServeResponse resp;
+  resp.request_id = 42;
+  resp.op = ServeOp::kKnn;
+  resp.status = ServeStatus::kOk;
+  resp.epoch_generation = 7;
+  resp.results_complete = false;
+  resp.message = "partial";
+  resp.neighbors = {{0.25, 11}, {0.5, 3}, {1.75, 999}};
+  resp.matches = {5, 6, 7};
+  return resp;
+}
+
+TEST(ServeProtocolTest, RequestRoundTripAllOps) {
+  for (const ServeOp op :
+       {ServeOp::kPing, ServeOp::kKnn, ServeOp::kExact, ServeOp::kRange}) {
+    ServeRequest req = SampleRequest();
+    req.op = op;
+    if (op == ServeOp::kPing) req.query.clear();
+    std::string bytes;
+    req.EncodeTo(&bytes);
+    ServeRequest back;
+    ASSERT_OK_AND_ASSIGN(back, ServeRequest::Decode(bytes));
+    EXPECT_EQ(back, req) << ServeOpName(op);
+  }
+}
+
+TEST(ServeProtocolTest, ResponseRoundTripAllStatuses) {
+  for (const ServeStatus status :
+       {ServeStatus::kOk, ServeStatus::kOverloaded, ServeStatus::kInvalidRequest,
+        ServeStatus::kError}) {
+    ServeResponse resp = SampleResponse();
+    resp.status = status;
+    std::string bytes;
+    resp.EncodeTo(&bytes);
+    ServeResponse back;
+    ASSERT_OK_AND_ASSIGN(back, ServeResponse::Decode(bytes));
+    EXPECT_EQ(back, resp) << ServeStatusName(status);
+  }
+}
+
+TEST(ServeProtocolTest, EveryTruncationRejectsCleanly) {
+  // A request or response cut anywhere must be a clean Corruption, never a
+  // partial decode or a crash.
+  std::string req_bytes;
+  SampleRequest().EncodeTo(&req_bytes);
+  for (size_t len = 0; len < req_bytes.size(); ++len) {
+    const Result<ServeRequest> r =
+        ServeRequest::Decode(std::string_view(req_bytes.data(), len));
+    ASSERT_FALSE(r.ok()) << "request prefix " << len << " decoded";
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  }
+  std::string resp_bytes;
+  SampleResponse().EncodeTo(&resp_bytes);
+  for (size_t len = 0; len < resp_bytes.size(); ++len) {
+    const Result<ServeResponse> r =
+        ServeResponse::Decode(std::string_view(resp_bytes.data(), len));
+    ASSERT_FALSE(r.ok()) << "response prefix " << len << " decoded";
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(ServeProtocolTest, TrailingBytesRejected) {
+  std::string bytes;
+  SampleRequest().EncodeTo(&bytes);
+  bytes.push_back('\0');
+  EXPECT_FALSE(ServeRequest::Decode(bytes).ok());
+
+  bytes.clear();
+  SampleResponse().EncodeTo(&bytes);
+  bytes.push_back('\0');
+  EXPECT_FALSE(ServeResponse::Decode(bytes).ok());
+}
+
+TEST(ServeProtocolTest, HostileQueryCountIsBoundedBeforeAllocation) {
+  // Encode a valid request, then overwrite the query count (the last u32
+  // before the float data) with a huge value. The decoder must reject it by
+  // comparing against remaining() — not attempt a multi-GB resize.
+  ServeRequest req = SampleRequest();
+  std::string bytes;
+  req.EncodeTo(&bytes);
+  const size_t count_off = bytes.size() - req.query.size() * sizeof(float) - 4;
+  std::string patched = bytes.substr(0, count_off);
+  PutFixed<uint32_t>(&patched, std::numeric_limits<uint32_t>::max());
+  patched += bytes.substr(count_off + 4);
+  const Result<ServeRequest> r = ServeRequest::Decode(patched);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ServeProtocolTest, HostileNeighborCountIsBoundedBeforeAllocation) {
+  ServeResponse resp = SampleResponse();
+  resp.matches.clear();  // neighbors section is last before matches
+  std::string bytes;
+  resp.EncodeTo(&bytes);
+  // Layout tail: [u32 neighbor count][16B each...][u32 match count (=0)].
+  const size_t count_off = bytes.size() - 4 - resp.neighbors.size() * 16 - 4;
+  std::string patched = bytes.substr(0, count_off);
+  PutFixed<uint32_t>(&patched, std::numeric_limits<uint32_t>::max());
+  patched += bytes.substr(count_off + 4);
+  const Result<ServeResponse> r = ServeResponse::Decode(patched);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ServeProtocolTest, BadEnumAndFlagBytesRejected) {
+  // Byte offsets in the request encoding: op at 8, strategy at 13,
+  // use_bloom at 14.
+  std::string bytes;
+  SampleRequest().EncodeTo(&bytes);
+  auto reject_with = [&](size_t off, char value) {
+    std::string bad = bytes;
+    bad[off] = value;
+    EXPECT_FALSE(ServeRequest::Decode(bad).ok())
+        << "offset " << off << " value " << int(value) << " accepted";
+  };
+  reject_with(8, 4);     // op beyond kRange
+  reject_with(8, '\xff');
+  reject_with(13, 3);    // strategy beyond kMultiPartitions
+  reject_with(14, 2);    // bool must be 0/1
+
+  // Response: op at 8, status at 9, results_complete at 18.
+  std::string resp_bytes;
+  SampleResponse().EncodeTo(&resp_bytes);
+  auto reject_resp = [&](size_t off, char value) {
+    std::string bad = resp_bytes;
+    bad[off] = value;
+    EXPECT_FALSE(ServeResponse::Decode(bad).ok())
+        << "offset " << off << " value " << int(value) << " accepted";
+  };
+  reject_resp(8, 4);     // op
+  reject_resp(9, 4);     // status beyond kError
+  reject_resp(18, 2);    // results_complete flag
+}
+
+TEST(ServeProtocolTest, NonFiniteFloatsSurviveRoundTrip) {
+  ServeRequest req = SampleRequest();
+  req.query = {std::numeric_limits<float>::infinity(),
+               -std::numeric_limits<float>::infinity(), 0.0f};
+  std::string bytes;
+  req.EncodeTo(&bytes);
+  ServeRequest back;
+  ASSERT_OK_AND_ASSIGN(back, ServeRequest::Decode(bytes));
+  // Re-encode and compare bytes (NaN-safe identity check, as the fuzzer does).
+  std::string again;
+  back.EncodeTo(&again);
+  EXPECT_EQ(again, bytes);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace tardis

@@ -1,0 +1,319 @@
+// End-to-end tests for TardisServer + ServeClient over real localhost
+// sockets: answers must be bit-identical to the in-process QueryEngine,
+// pipelined responses match by request_id, admission control rejects with
+// the retryable status, and protocol violations tear down only the
+// offending connection.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/query_engine.h"
+#include "core/tardis_index.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire_format.h"
+#include "test_util.h"
+#include "workload/datasets.h"
+
+namespace tardis {
+namespace net {
+namespace {
+
+constexpr uint64_t kCount = 600;
+constexpr uint32_t kSeriesLength = 32;
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(
+        data_, MakeDataset(DatasetKind::kRandomWalk, kCount, kSeriesLength,
+                           /*seed=*/31));
+    TardisConfig config;
+    config.g_max_size = 200;
+    config.l_max_size = 50;
+    auto cluster = std::make_shared<Cluster>(2);
+    ASSERT_OK_AND_ASSIGN(
+        BlockStore store,
+        BlockStore::Create(dir_.Sub("bs"), data_, /*block_capacity=*/200));
+    ASSERT_OK_AND_ASSIGN(auto index, TardisIndex::Build(cluster, store,
+                                                        dir_.Sub("index"),
+                                                        config, nullptr));
+    index_ = std::make_unique<TardisIndex>(std::move(index));
+  }
+
+  // Starts a server on an ephemeral port and returns a connected client.
+  ServeClient StartAndConnect(const ServeOptions& opts = {}) {
+    server_ = std::make_unique<TardisServer>(*index_, opts);
+    EXPECT_OK(server_->Start());
+    auto client = ServeClient::Connect(server_->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).value();
+  }
+
+  ServeRequest KnnRequest(uint64_t id, const TimeSeries& query,
+                          uint32_t k = 5) {
+    ServeRequest req;
+    req.request_id = id;
+    req.op = ServeOp::kKnn;
+    req.k = k;
+    req.query = query;
+    return req;
+  }
+
+  // Declaration order matters: members destroy in reverse, so the server
+  // must go down before the index it serves and the directory under both.
+  ScopedTempDir dir_;
+  Dataset data_;
+  std::unique_ptr<TardisIndex> index_;
+  std::unique_ptr<TardisServer> server_;
+};
+
+TEST_F(ServerTest, PingReportsGeneration) {
+  ServeClient client = StartAndConnect();
+  ServeRequest req;
+  req.request_id = 99;
+  req.op = ServeOp::kPing;
+  ServeResponse resp;
+  ASSERT_OK_AND_ASSIGN(resp, client.Call(req));
+  EXPECT_EQ(resp.request_id, 99u);
+  EXPECT_EQ(resp.op, ServeOp::kPing);
+  EXPECT_EQ(resp.status, ServeStatus::kOk);
+  EXPECT_EQ(resp.epoch_generation, index_->generation());
+}
+
+TEST_F(ServerTest, AnswersAreBitIdenticalToInProcessEngine) {
+  ServeClient client = StartAndConnect();
+  const std::vector<TimeSeries> queries = {data_[3], data_[250], data_[599]};
+
+  QueryEngine engine(*index_);
+  ASSERT_OK_AND_ASSIGN(
+      const auto knn_oracle,
+      engine.KnnApproximateBatch(queries, /*k=*/5,
+                                 KnnStrategy::kMultiPartitions, nullptr));
+  ASSERT_OK_AND_ASSIGN(const auto exact_oracle,
+                       engine.ExactMatchBatch(queries, /*use_bloom=*/true,
+                                              nullptr));
+  const double radius = 0.5;
+  ASSERT_OK_AND_ASSIGN(const auto range_oracle,
+                       engine.RangeSearchBatch(queries, radius, nullptr));
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ServeResponse resp;
+    ASSERT_OK_AND_ASSIGN(resp, client.Call(KnnRequest(i, queries[i])));
+    ASSERT_EQ(resp.status, ServeStatus::kOk) << resp.message;
+    EXPECT_EQ(resp.neighbors, knn_oracle[i]) << "knn query " << i;
+    EXPECT_EQ(resp.epoch_generation, index_->generation());
+
+    ServeRequest exact;
+    exact.request_id = 100 + i;
+    exact.op = ServeOp::kExact;
+    exact.query = queries[i];
+    ASSERT_OK_AND_ASSIGN(resp, client.Call(exact));
+    ASSERT_EQ(resp.status, ServeStatus::kOk) << resp.message;
+    EXPECT_EQ(resp.matches, exact_oracle[i]) << "exact query " << i;
+
+    ServeRequest range;
+    range.request_id = 200 + i;
+    range.op = ServeOp::kRange;
+    range.radius = radius;
+    range.query = queries[i];
+    ASSERT_OK_AND_ASSIGN(resp, client.Call(range));
+    ASSERT_EQ(resp.status, ServeStatus::kOk) << resp.message;
+    EXPECT_EQ(resp.neighbors, range_oracle[i]) << "range query " << i;
+  }
+}
+
+TEST_F(ServerTest, PipelinedResponsesMatchByRequestId) {
+  ServeClient client = StartAndConnect();
+  constexpr size_t kPipelined = 24;
+  std::vector<TimeSeries> queries;
+  for (size_t i = 0; i < kPipelined; ++i) {
+    queries.push_back(data_[(i * 37) % kCount]);
+  }
+  QueryEngine engine(*index_);
+  ASSERT_OK_AND_ASSIGN(
+      const auto oracle,
+      engine.KnnApproximateBatch(queries, /*k=*/3,
+                                 KnnStrategy::kMultiPartitions, nullptr));
+
+  for (size_t i = 0; i < kPipelined; ++i) {
+    ASSERT_OK(client.Send(KnnRequest(i, queries[i], /*k=*/3)));
+  }
+  std::map<uint64_t, ServeResponse> by_id;
+  for (size_t i = 0; i < kPipelined; ++i) {
+    ServeResponse resp;
+    ASSERT_OK_AND_ASSIGN(resp, client.Receive());
+    EXPECT_TRUE(by_id.emplace(resp.request_id, resp).second)
+        << "duplicate response id " << resp.request_id;
+  }
+  ASSERT_EQ(by_id.size(), kPipelined);
+  for (size_t i = 0; i < kPipelined; ++i) {
+    const auto it = by_id.find(i);
+    ASSERT_NE(it, by_id.end()) << "no response for request " << i;
+    ASSERT_EQ(it->second.status, ServeStatus::kOk) << it->second.message;
+    EXPECT_EQ(it->second.neighbors, oracle[i]) << "pipelined query " << i;
+  }
+}
+
+TEST_F(ServerTest, InvalidRequestsAnsweredInline) {
+  ServeClient client = StartAndConnect();
+
+  // Wrong query length.
+  ServeRequest bad_len = KnnRequest(1, TimeSeries(kSeriesLength + 1, 0.0f));
+  ServeResponse resp;
+  ASSERT_OK_AND_ASSIGN(resp, client.Call(bad_len));
+  EXPECT_EQ(resp.status, ServeStatus::kInvalidRequest);
+  EXPECT_EQ(resp.request_id, 1u);
+  EXPECT_FALSE(resp.message.empty());
+
+  // k = 0.
+  ServeRequest zero_k = KnnRequest(2, data_[0], /*k=*/0);
+  ASSERT_OK_AND_ASSIGN(resp, client.Call(zero_k));
+  EXPECT_EQ(resp.status, ServeStatus::kInvalidRequest);
+
+  // The connection survives invalid requests: a real query still works.
+  ASSERT_OK_AND_ASSIGN(resp, client.Call(KnnRequest(3, data_[0])));
+  EXPECT_EQ(resp.status, ServeStatus::kOk);
+}
+
+TEST_F(ServerTest, TinyAdmissionBoundsShedLoadWithRetryableStatus) {
+  ServeOptions opts;
+  opts.max_inflight = 1;
+  opts.queue_depth = 1;
+  opts.max_batch = 1;
+  ServeClient client = StartAndConnect(opts);
+
+  constexpr size_t kBurst = 64;
+  for (size_t i = 0; i < kBurst; ++i) {
+    ASSERT_OK(client.Send(KnnRequest(i, data_[i % kCount])));
+  }
+  QueryEngine engine(*index_);
+  ASSERT_OK_AND_ASSIGN(
+      const auto oracle,
+      engine.KnnApproximateBatch({data_[0]}, /*k=*/5,
+                                 KnnStrategy::kMultiPartitions, nullptr));
+  size_t ok = 0, overloaded = 0;
+  for (size_t i = 0; i < kBurst; ++i) {
+    ServeResponse resp;
+    ASSERT_OK_AND_ASSIGN(resp, client.Receive());
+    if (resp.status == ServeStatus::kOk) {
+      ++ok;
+      // Admitted requests still answer correctly under pressure.
+      if (resp.request_id % kCount == 0) {
+        EXPECT_EQ(resp.neighbors, oracle[0]);
+      }
+    } else {
+      ASSERT_EQ(resp.status, ServeStatus::kOverloaded) << resp.message;
+      ++overloaded;
+    }
+  }
+  EXPECT_EQ(ok + overloaded, kBurst);
+  // With one slot in flight and one queued, a 64-deep burst from a single
+  // reader thread must shed some load, and the first request always lands.
+  EXPECT_GE(ok, 1u);
+  EXPECT_GE(overloaded, 1u);
+}
+
+// Writes raw bytes to the server over a plain socket and returns true if the
+// server closed the connection (recv() == 0) afterwards.
+bool RawBytesGetConnectionClosed(uint16_t port, const std::string& bytes) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const ssize_t sent =
+      ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+  if (sent != static_cast<ssize_t>(bytes.size())) {
+    ::close(fd);
+    return false;
+  }
+  char buf[64];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+  }
+  ::close(fd);
+  return n == 0;
+}
+
+TEST_F(ServerTest, ProtocolViolationsTearDownOnlyThatConnection) {
+  ServeClient client = StartAndConnect();
+
+  // Corrupt framing (bad magic).
+  EXPECT_TRUE(RawBytesGetConnectionClosed(server_->port(),
+                                          std::string(64, '\x5a')));
+
+  // Intact frame, undecodable payload.
+  std::string framed;
+  AppendWireFrame("definitely not a ServeRequest", &framed);
+  EXPECT_TRUE(RawBytesGetConnectionClosed(server_->port(), framed));
+
+  // The well-behaved connection is unaffected.
+  ServeResponse resp;
+  ASSERT_OK_AND_ASSIGN(resp, client.Call(KnnRequest(7, data_[7])));
+  EXPECT_EQ(resp.status, ServeStatus::kOk);
+}
+
+TEST_F(ServerTest, ShutdownDrainsAndIsIdempotent) {
+  ServeClient client = StartAndConnect();
+  ServeResponse resp;
+  ASSERT_OK_AND_ASSIGN(resp, client.Call(KnnRequest(1, data_[1])));
+  EXPECT_EQ(resp.status, ServeStatus::kOk);
+
+  server_->Shutdown();
+  server_->Shutdown();  // idempotent
+
+  // The torn-down connection reports EOF, not a hang.
+  EXPECT_FALSE(client.Receive().ok());
+  // New connections are refused or immediately closed.
+  auto late = ServeClient::Connect(server_->port());
+  if (late.ok()) {
+    ServeRequest ping;
+    ping.op = ServeOp::kPing;
+    const Status sent = late->Send(ping);
+    EXPECT_TRUE(!sent.ok() || !late->Receive().ok());
+  }
+}
+
+TEST_F(ServerTest, ConnectionCapRefusesExtraClients) {
+  ServeOptions opts;
+  opts.max_connections = 1;
+  ServeClient first = StartAndConnect(opts);
+  // Pin the slot with a real round trip so the reader is live.
+  ServeResponse resp;
+  ASSERT_OK_AND_ASSIGN(resp, first.Call(KnnRequest(1, data_[1])));
+  ASSERT_EQ(resp.status, ServeStatus::kOk);
+
+  ASSERT_OK_AND_ASSIGN(ServeClient second,
+                       ServeClient::Connect(server_->port()));
+  ServeRequest ping;
+  ping.request_id = 2;
+  ping.op = ServeOp::kPing;
+  // The server accepts and immediately closes over-cap connections; the
+  // send may succeed (buffered) but the response read must hit EOF.
+  const Status sent = second.Send(ping);
+  EXPECT_TRUE(!sent.ok() || !second.Receive().ok());
+
+  // The first connection keeps working.
+  ASSERT_OK_AND_ASSIGN(resp, first.Call(KnnRequest(3, data_[3])));
+  EXPECT_EQ(resp.status, ServeStatus::kOk);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace tardis

@@ -1,0 +1,142 @@
+#include "net/wire_format.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/serde.h"
+#include "test_util.h"
+
+namespace tardis {
+namespace net {
+namespace {
+
+TEST(WireFormatTest, RoundTripSingleFrame) {
+  const std::string payload("\x00\x01\xffhello", 8);
+  std::string stream;
+  AppendWireFrame(payload, &stream);
+  ASSERT_EQ(stream.size(), kWireHeaderBytes + payload.size());
+
+  WireFrameReader reader;
+  reader.Feed(stream.data(), stream.size());
+  std::string out;
+  ASSERT_OK_AND_ASSIGN(bool have, reader.Next(&out));
+  EXPECT_TRUE(have);
+  EXPECT_EQ(out, payload);
+  EXPECT_EQ(reader.buffered_bytes(), 0u);
+  ASSERT_OK_AND_ASSIGN(have, reader.Next(&out));
+  EXPECT_FALSE(have);
+}
+
+TEST(WireFormatTest, EmptyPayloadFrame) {
+  std::string stream;
+  AppendWireFrame("", &stream);
+  WireFrameReader reader;
+  reader.Feed(stream.data(), stream.size());
+  std::string out = "sentinel";
+  ASSERT_OK_AND_ASSIGN(bool have, reader.Next(&out));
+  EXPECT_TRUE(have);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(WireFormatTest, MultipleFramesInOneFeed) {
+  std::string stream;
+  AppendWireFrame("first", &stream);
+  AppendWireFrame("second, longer", &stream);
+  AppendWireFrame("", &stream);
+
+  WireFrameReader reader;
+  reader.Feed(stream.data(), stream.size());
+  std::string out;
+  ASSERT_OK_AND_ASSIGN(bool have, reader.Next(&out));
+  ASSERT_TRUE(have);
+  EXPECT_EQ(out, "first");
+  ASSERT_OK_AND_ASSIGN(have, reader.Next(&out));
+  ASSERT_TRUE(have);
+  EXPECT_EQ(out, "second, longer");
+  ASSERT_OK_AND_ASSIGN(have, reader.Next(&out));
+  ASSERT_TRUE(have);
+  EXPECT_TRUE(out.empty());
+  ASSERT_OK_AND_ASSIGN(have, reader.Next(&out));
+  EXPECT_FALSE(have);
+}
+
+TEST(WireFormatTest, ByteAtATimeFeedResumes) {
+  // recv() can return any prefix; the reader must resume mid-header and
+  // mid-body without ever mis-framing.
+  const std::string payload = "resume across partial reads";
+  std::string stream;
+  AppendWireFrame(payload, &stream);
+
+  WireFrameReader reader;
+  std::string out;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    reader.Feed(stream.data() + i, 1);
+    ASSERT_OK_AND_ASSIGN(const bool have, reader.Next(&out));
+    if (i + 1 < stream.size()) {
+      EXPECT_FALSE(have) << "frame completed early at byte " << i;
+    } else {
+      EXPECT_TRUE(have);
+      EXPECT_EQ(out, payload);
+    }
+  }
+}
+
+TEST(WireFormatTest, BadMagicIsCorruption) {
+  std::string stream;
+  AppendWireFrame("payload", &stream);
+  stream[0] ^= 0x5a;
+  WireFrameReader reader;
+  reader.Feed(stream.data(), stream.size());
+  std::string out;
+  const Result<bool> r = reader.Next(&out);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(WireFormatTest, CrcMismatchIsCorruption) {
+  std::string stream;
+  AppendWireFrame("payload", &stream);
+  stream[stream.size() - 1] ^= 0x01;  // flip a payload bit
+  WireFrameReader reader;
+  reader.Feed(stream.data(), stream.size());
+  std::string out;
+  const Result<bool> r = reader.Next(&out);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(WireFormatTest, OversizedLengthRejectedFromHeaderAlone) {
+  // The satellite contract: a hostile length field is rejected before any
+  // allocation sized by it — a 12-byte header alone must produce the
+  // Corruption, with no body bytes ever arriving.
+  std::string header;
+  PutFixed<uint32_t>(&header, kWireMagic);
+  PutFixed<uint32_t>(&header, kMaxWirePayload + 1);
+  PutFixed<uint32_t>(&header, 0);  // crc irrelevant; length checked first
+  WireFrameReader reader;
+  reader.Feed(header.data(), header.size());
+  std::string out;
+  const Result<bool> r = reader.Next(&out);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  // The reader never buffered more than the header it was fed.
+  EXPECT_LE(reader.buffered_bytes(), kWireHeaderBytes);
+}
+
+TEST(WireFormatTest, MaxPayloadBoundaryAccepted) {
+  // Exactly kMaxWirePayload is legal; the reader just waits for the body.
+  std::string header;
+  PutFixed<uint32_t>(&header, kWireMagic);
+  PutFixed<uint32_t>(&header, kMaxWirePayload);
+  PutFixed<uint32_t>(&header, 0);
+  WireFrameReader reader;
+  reader.Feed(header.data(), header.size());
+  std::string out;
+  ASSERT_OK_AND_ASSIGN(const bool have, reader.Next(&out));
+  EXPECT_FALSE(have);  // incomplete, not corrupt
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace tardis

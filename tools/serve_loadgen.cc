@@ -1,0 +1,492 @@
+// serve_loadgen — open-loop load generator for tardis_serve.
+//
+//   serve_loadgen --port P --data DIR [--count N | --query-file F]
+//                 [--qps Q] [--duration-s S] [--connections C]
+//                 [--op knn|exact|range] [--k K] [--strategy target|one|multi]
+//                 [--radius R] [--no-bloom 1] [--out BENCH_serve.json]
+//                 [--verify 1 --index DIR]
+//
+// Traffic is open-loop at the target QPS: request i is *scheduled* at
+// start + i/qps and its latency is measured from that scheduled instant to
+// response receipt, so server-side queueing delay is charged to the server
+// (no coordinated omission). Requests round-robin across C connections and
+// pipeline freely on each; responses are matched by request_id.
+//
+// Queries are records from the data directory (--count N uses rids
+// [0, N), --query-file takes one rid per line), cycled for the run's
+// duration. The p50/p99/p999 summary goes to stdout and, with --out, to a
+// BENCH_serve.json ({"pass": true, "failed": 0, ...}) consumed by the CI
+// serve-smoke job.
+//
+// --verify 1 --index DIR additionally replays the same queries through an
+// in-process QueryEngine with identical parameters and requires every
+// response to match bit-for-bit ("verify_match"); any mismatch fails the
+// run. This is the end-to-end proof that the network path answers exactly
+// what the engine answers.
+
+#include <csignal>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/file_util.h"
+#include "core/query_engine.h"
+#include "core/tardis_index.h"
+#include "net/client.h"
+#include "storage/block_store.h"
+
+namespace tardis {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+        ok_ = false;
+        return;
+      }
+      key = key.substr(2);
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s needs a value\n", key.c_str());
+        ok_ = false;
+        return;
+      }
+      values_[key] = argv[++i];
+    }
+  }
+
+  bool ok() const { return ok_; }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& def = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+  uint64_t GetU64(const std::string& key, uint64_t def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def
+                               : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  double GetDouble(const std::string& key, double def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+// Loads the series for `rids`, reading each data block once (the same
+// routine tardis_cli batch mode uses).
+Result<std::vector<TimeSeries>> LoadQueries(const std::string& data,
+                                            const std::vector<RecordId>& rids) {
+  TARDIS_ASSIGN_OR_RETURN(BlockStore store, BlockStore::Open(data));
+  std::vector<TimeSeries> queries(rids.size());
+  std::map<uint32_t, std::vector<size_t>> by_block;
+  for (size_t i = 0; i < rids.size(); ++i) {
+    if (rids[i] >= store.num_records()) {
+      return Status::OutOfRange("rid beyond dataset");
+    }
+    by_block[static_cast<uint32_t>(rids[i] / store.block_capacity())]
+        .push_back(i);
+  }
+  for (const auto& [block, idxs] : by_block) {
+    TARDIS_ASSIGN_OR_RETURN(std::vector<Record> records,
+                            store.ReadBlock(block));
+    for (size_t i : idxs) {
+      bool found = false;
+      for (auto& rec : records) {
+        if (rec.rid == rids[i]) {
+          queries[i] = rec.values;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::NotFound("record not in its block (corrupt store?)");
+      }
+    }
+  }
+  return queries;
+}
+
+double Percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  return samples[lo] + (samples[hi] - samples[lo]) * (pos - lo);
+}
+
+struct WorkerTally {
+  std::vector<double> lat_ms;
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t overloaded = 0;
+  uint64_t invalid = 0;
+  uint64_t errors = 0;
+  uint64_t io_errors = 0;
+};
+
+struct RunPlan {
+  net::ServeRequest prototype;  // op + parameters; per-id query filled in
+  const std::vector<TimeSeries>* queries = nullptr;
+  uint64_t total = 0;
+  Clock::time_point start;
+  double interval_s = 0.0;  // 1/qps
+};
+
+// Sentinel ids flush the receiver after the sender finished: a ping response
+// re-checks the exit condition without counting toward the tally.
+constexpr uint64_t kFlushId = ~0ull;
+
+// One connection: a paced sender thread and a blocking receiver (the worker
+// thread itself) sharing the full-duplex socket. `responses` (when non-null)
+// is a per-id slot array; each worker only writes the slots of its own ids,
+// so no synchronisation is needed there. The sent counter is atomic because
+// the receiver reads it while the sender still increments it.
+void RunWorker(uint16_t port, const RunPlan& plan, uint32_t worker,
+               uint32_t stride, WorkerTally* tally,
+               std::vector<net::ServeResponse>* responses) {
+  auto client_r = net::ServeClient::Connect(port);
+  if (!client_r.ok()) {
+    ++tally->io_errors;
+    return;
+  }
+  net::ServeClient client = std::move(client_r).value();
+
+  std::atomic<uint64_t> sent{0};
+  std::atomic<bool> send_failed{false};
+  std::thread sender([&] {
+    for (uint64_t id = worker; id < plan.total; id += stride) {
+      const auto due = plan.start + std::chrono::duration_cast<Clock::duration>(
+                                        std::chrono::duration<double>(
+                                            plan.interval_s *
+                                            static_cast<double>(id)));
+      std::this_thread::sleep_until(due);
+      net::ServeRequest req = plan.prototype;
+      req.request_id = id;
+      req.query = (*plan.queries)[id % plan.queries->size()];
+      if (!client.Send(req).ok()) {
+        send_failed.store(true);
+        return;  // server gone; the receiver unblocks through EOF
+      }
+      sent.fetch_add(1);
+    }
+    // Flush: a trailing ping whose response tells the receiver that sending
+    // is complete, so it can stop once every real response has arrived. A
+    // failed flush means the connection is dead and the receiver unblocks
+    // through EOF instead, so this send is best-effort.
+    net::ServeRequest flush;
+    flush.request_id = kFlushId;
+    flush.op = net::ServeOp::kPing;
+    (void)client.Send(flush);  // tardis-lint: allow(void-discard) see above
+  });
+
+  // The flush ping is answered inline by the server's reader thread while
+  // query responses come from the dispatcher, so the flush response can
+  // overtake real responses — keep draining until the count catches up.
+  uint64_t received = 0;
+  bool flush_seen = false;
+  while (!(flush_seen && received >= sent.load())) {
+    Result<net::ServeResponse> resp = client.Receive();
+    if (!resp.ok()) {
+      ++tally->io_errors;
+      break;
+    }
+    if (resp->request_id == kFlushId) {
+      flush_seen = true;
+      continue;
+    }
+    ++received;
+    switch (resp->status) {
+      case net::ServeStatus::kOk: {
+        ++tally->ok;
+        const auto now = Clock::now();
+        const auto due =
+            plan.start + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(
+                                 plan.interval_s *
+                                 static_cast<double>(resp->request_id)));
+        tally->lat_ms.push_back(
+            std::chrono::duration<double, std::milli>(now - due).count());
+        break;
+      }
+      case net::ServeStatus::kOverloaded:
+        ++tally->overloaded;
+        break;
+      case net::ServeStatus::kInvalidRequest:
+        ++tally->invalid;
+        break;
+      case net::ServeStatus::kError:
+        ++tally->errors;
+        break;
+    }
+    if (responses != nullptr && resp->request_id < responses->size()) {
+      (*responses)[resp->request_id] = std::move(resp).value();
+    }
+  }
+  sender.join();
+  tally->sent = sent.load();
+  if (send_failed.load()) ++tally->io_errors;
+}
+
+// Replays the run's queries through an in-process QueryEngine and demands
+// bit-identical answers from every kOk response.
+Result<bool> VerifyAgainstEngine(const Flags& flags, const RunPlan& plan,
+                                 const std::vector<net::ServeResponse>& got) {
+  const std::string index_dir = flags.Get("index");
+  if (index_dir.empty()) {
+    return Status::InvalidArgument("--verify needs --index");
+  }
+  auto cluster = std::make_shared<Cluster>();
+  TARDIS_ASSIGN_OR_RETURN(TardisIndex index,
+                          TardisIndex::Open(cluster, index_dir));
+  QueryEngine engine(index);
+  QueryEngineStats stats;
+  const std::vector<TimeSeries>& queries = *plan.queries;
+
+  std::vector<std::vector<Neighbor>> neighbors;
+  std::vector<std::vector<RecordId>> matches;
+  switch (plan.prototype.op) {
+    case net::ServeOp::kKnn: {
+      TARDIS_ASSIGN_OR_RETURN(
+          neighbors,
+          engine.KnnApproximateBatch(queries, plan.prototype.k,
+                                     plan.prototype.strategy, &stats));
+      break;
+    }
+    case net::ServeOp::kExact: {
+      TARDIS_ASSIGN_OR_RETURN(
+          matches,
+          engine.ExactMatchBatch(queries, plan.prototype.use_bloom, &stats));
+      break;
+    }
+    case net::ServeOp::kRange: {
+      TARDIS_ASSIGN_OR_RETURN(
+          neighbors,
+          engine.RangeSearchBatch(queries, plan.prototype.radius, &stats));
+      break;
+    }
+    case net::ServeOp::kPing:
+      return Status::InvalidArgument("--verify needs a query op");
+  }
+
+  uint64_t compared = 0;
+  for (uint64_t id = 0; id < got.size(); ++id) {
+    const net::ServeResponse& resp = got[id];
+    if (resp.status != net::ServeStatus::kOk) continue;
+    const size_t q = id % queries.size();
+    const bool match = plan.prototype.op == net::ServeOp::kExact
+                           ? resp.matches == matches[q]
+                           : resp.neighbors == neighbors[q];
+    if (!match) {
+      std::fprintf(stderr,
+                   "verify MISMATCH: request %" PRIu64 " (query %zu) differs "
+                   "from the in-process engine\n",
+                   id, q);
+      return false;
+    }
+    ++compared;
+  }
+  std::printf("verify: %" PRIu64 " response(s) bit-identical to the "
+              "in-process engine (epoch %" PRIu64 ")\n",
+              compared, stats.epoch_generation);
+  return compared > 0;
+}
+
+int Main(int argc, char** argv) {
+  std::signal(SIGPIPE, SIG_IGN);
+  const Flags flags(argc, argv, 1);
+  if (!flags.ok()) return 2;
+  const uint16_t port = static_cast<uint16_t>(flags.GetU64("port", 0));
+  const std::string data = flags.Get("data");
+  if (port == 0 || data.empty()) {
+    std::fprintf(stderr,
+                 "usage: serve_loadgen --port P --data DIR [--count N] "
+                 "[--qps Q] [--duration-s S] [--connections C] "
+                 "[--op knn|exact|range] [--out FILE] "
+                 "[--verify 1 --index DIR]\n");
+    return 2;
+  }
+
+  std::vector<RecordId> rids;
+  const std::string query_file = flags.Get("query-file");
+  if (!query_file.empty()) {
+    std::ifstream in(query_file);
+    if (!in) {
+      return Fail(Status::NotFound("cannot open query file: " + query_file));
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) rids.push_back(std::strtoull(line.c_str(), nullptr, 10));
+    }
+  } else {
+    const uint64_t n = flags.GetU64("count", 100);
+    for (uint64_t i = 0; i < n; ++i) rids.push_back(i);
+  }
+  if (rids.empty()) return Fail(Status::InvalidArgument("no query rids"));
+  auto queries = LoadQueries(data, rids);
+  if (!queries.ok()) return Fail(queries.status());
+
+  RunPlan plan;
+  plan.queries = &*queries;
+  const std::string op = flags.Get("op", "knn");
+  if (op == "knn") {
+    plan.prototype.op = net::ServeOp::kKnn;
+    plan.prototype.k = static_cast<uint32_t>(flags.GetU64("k", 10));
+    const std::string strategy = flags.Get("strategy", "multi");
+    if (strategy == "target") {
+      plan.prototype.strategy = KnnStrategy::kTargetNode;
+    } else if (strategy == "one") {
+      plan.prototype.strategy = KnnStrategy::kOnePartition;
+    } else if (strategy == "multi") {
+      plan.prototype.strategy = KnnStrategy::kMultiPartitions;
+    } else {
+      return Fail(Status::InvalidArgument("unknown strategy: " + strategy));
+    }
+  } else if (op == "exact") {
+    plan.prototype.op = net::ServeOp::kExact;
+    plan.prototype.use_bloom = !flags.Has("no-bloom");
+  } else if (op == "range") {
+    plan.prototype.op = net::ServeOp::kRange;
+    plan.prototype.radius = flags.GetDouble("radius", 1.0);
+  } else {
+    return Fail(Status::InvalidArgument("unknown op: " + op));
+  }
+
+  const double qps = flags.GetDouble("qps", 100.0);
+  const double duration_s = flags.GetDouble("duration-s", 5.0);
+  const uint32_t connections =
+      static_cast<uint32_t>(flags.GetU64("connections", 4));
+  if (qps <= 0 || duration_s <= 0 || connections == 0) {
+    return Fail(Status::InvalidArgument("qps, duration-s, connections must "
+                                        "be positive"));
+  }
+  plan.total = static_cast<uint64_t>(qps * duration_s);
+  if (plan.total == 0) plan.total = 1;
+  plan.interval_s = 1.0 / qps;
+
+  const bool verify = flags.GetU64("verify", 0) != 0;
+  std::vector<net::ServeResponse> responses;
+  if (verify) {
+    responses.resize(plan.total);
+    // Unanswered slots must not read as default-constructed kOk responses —
+    // the verifier only compares slots a real kOk response landed in.
+    for (auto& r : responses) r.status = net::ServeStatus::kError;
+  }
+
+  // Connectivity check before the clock starts: one ping per run.
+  {
+    auto probe = net::ServeClient::Connect(port);
+    if (!probe.ok()) return Fail(probe.status());
+    net::ServeRequest ping;
+    ping.op = net::ServeOp::kPing;
+    auto pong = probe->Call(ping);
+    if (!pong.ok()) return Fail(pong.status());
+    std::printf("connected: server at epoch %" PRIu64 "\n",
+                pong->epoch_generation);
+  }
+
+  std::vector<WorkerTally> tallies(connections);
+  std::vector<std::thread> workers;
+  plan.start = Clock::now();
+  for (uint32_t w = 0; w < connections; ++w) {
+    workers.emplace_back(RunWorker, port, std::cref(plan), w, connections,
+                         &tallies[w], verify ? &responses : nullptr);
+  }
+  for (auto& t : workers) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - plan.start).count();
+
+  WorkerTally sum;
+  std::vector<double> lat_ms;
+  for (const WorkerTally& t : tallies) {
+    sum.sent += t.sent;
+    sum.ok += t.ok;
+    sum.overloaded += t.overloaded;
+    sum.invalid += t.invalid;
+    sum.errors += t.errors;
+    sum.io_errors += t.io_errors;
+    lat_ms.insert(lat_ms.end(), t.lat_ms.begin(), t.lat_ms.end());
+  }
+  const double p50 = Percentile(lat_ms, 0.50);
+  const double p99 = Percentile(lat_ms, 0.99);
+  const double p999 = Percentile(lat_ms, 0.999);
+  const uint64_t failed =
+      sum.invalid + sum.errors + sum.io_errors + (plan.total - sum.sent);
+  const double qps_achieved = elapsed_s > 0 ? sum.ok / elapsed_s : 0.0;
+
+  std::printf("sent %" PRIu64 "/%" PRIu64 " (%s @ %.1f qps target, %u conns, "
+              "%.2fs): ok %" PRIu64 ", overloaded %" PRIu64 ", failed %" PRIu64
+              "\n",
+              sum.sent, plan.total, op.c_str(), qps, connections, elapsed_s,
+              sum.ok, sum.overloaded, failed);
+  std::printf("latency ms (open-loop, from scheduled send): p50 %.3f  "
+              "p99 %.3f  p999 %.3f\n",
+              p50, p99, p999);
+
+  bool verify_match = true;
+  if (verify) {
+    auto m = VerifyAgainstEngine(flags, plan, responses);
+    if (!m.ok()) return Fail(m.status());
+    verify_match = m.value();
+  }
+
+  const bool pass = failed == 0 && (!verify || verify_match);
+  const std::string out = flags.Get("out");
+  if (!out.empty()) {
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\n"
+        "  \"bench\": \"serve\",\n"
+        "  \"op\": \"%s\",\n"
+        "  \"qps_target\": %.1f,\n"
+        "  \"qps_achieved\": %.1f,\n"
+        "  \"duration_s\": %.2f,\n"
+        "  \"connections\": %u,\n"
+        "  \"requests\": %" PRIu64 ",\n"
+        "  \"ok\": %" PRIu64 ",\n"
+        "  \"overloaded\": %" PRIu64 ",\n"
+        "  \"failed\": %" PRIu64 ",\n"
+        "  \"p50_ms\": %.3f,\n"
+        "  \"p99_ms\": %.3f,\n"
+        "  \"p999_ms\": %.3f,\n"
+        "  \"verify\": %s,\n"
+        "  \"verify_match\": %s,\n"
+        "  \"pass\": %s\n"
+        "}\n",
+        op.c_str(), qps, qps_achieved, elapsed_s, connections, plan.total,
+        sum.ok, sum.overloaded, failed, p50, p99, p999,
+        verify ? "true" : "false", verify_match ? "true" : "false",
+        pass ? "true" : "false");
+    Status st = WriteFileAtomic(out, buf);
+    if (!st.ok()) return Fail(st);
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace tardis
+
+int main(int argc, char** argv) { return tardis::Main(argc, argv); }

@@ -65,6 +65,7 @@
 //   tardis knn   --index /tmp/rw_idx --data /tmp/rw --rid 42 --k 10
 //                (add --strategy target|one|multi|exact to pick a strategy)
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -658,6 +659,9 @@ int Dispatch(const std::string& cmd, const Flags& flags) {
 }
 
 int Main(int argc, char** argv) {
+  // `tardis ... | head` must surface as EPIPE on stdout writes, not kill the
+  // process mid-command with SIGPIPE (same discipline as tardis_serve).
+  std::signal(SIGPIPE, SIG_IGN);
   if (argc < 2) return Usage();
   const Flags flags(argc, argv, 2);
   if (!flags.ok()) return 2;

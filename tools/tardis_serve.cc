@@ -1,0 +1,153 @@
+// tardis_serve — the network query frontend (DESIGN.md §13).
+//
+// Serves an existing index over a localhost TCP socket speaking the framed
+// binary protocol in src/net/wire_format.h + serve_protocol.h. Pipelined
+// requests from all connections coalesce into batched QueryEngine calls
+// (one partition load per distinct partition per batch), admission control
+// sheds overload with a retryable status, and every response reports the
+// epoch snapshot it was answered from.
+//
+//   tardis_serve --index DIR [--port P] [--max-inflight N] [--queue-depth N]
+//                [--max-batch N] [--max-connections N] [--cache-mb MB]
+//                [--metrics-json PATH] [--trace-json PATH]
+//
+// --port 0 (the default) binds an ephemeral port; the server prints
+//   tardis_serve listening on 127.0.0.1:<port>
+// on stdout so scripts (tests/cli/serve_smoke_test.sh) can parse it. The
+// process runs until SIGINT/SIGTERM, then drains admitted requests and
+// exits 0. See docs/TUNING.md for the knobs.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/telemetry.h"
+#include "core/tardis_index.h"
+#include "net/server.h"
+
+namespace tardis {
+namespace {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+        ok_ = false;
+        return;
+      }
+      key = key.substr(2);
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s needs a value\n", key.c_str());
+        ok_ = false;
+        return;
+      }
+      values_[key] = argv[++i];
+    }
+  }
+
+  bool ok() const { return ok_; }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& def = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+  uint64_t GetU64(const std::string& key, uint64_t def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def
+                               : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Main(int argc, char** argv) {
+  // A client that disconnects mid-response must surface as EPIPE on the
+  // write path (handled as clean teardown), never kill the server.
+  std::signal(SIGPIPE, SIG_IGN);
+  // Routed to sigwait below; block before spawning server threads so they
+  // inherit the mask and termination is always handled here.
+  sigset_t term_set;
+  sigemptyset(&term_set);
+  sigaddset(&term_set, SIGINT);
+  sigaddset(&term_set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &term_set, nullptr);
+
+  const Flags flags(argc, argv, 1);
+  if (!flags.ok()) return 2;
+  const std::string index_dir = flags.Get("index");
+  if (index_dir.empty()) {
+    std::fprintf(stderr,
+                 "usage: tardis_serve --index DIR [--port P] "
+                 "[--max-inflight N] [--queue-depth N] [--max-batch N] "
+                 "[--max-connections N] [--cache-mb MB]\n");
+    return 2;
+  }
+  const std::string metrics_path = flags.Get("metrics-json");
+  const std::string trace_path = flags.Get("trace-json");
+  if (!metrics_path.empty()) telemetry::SetEnabled(true);
+  if (!trace_path.empty()) telemetry::SetTraceEnabled(true);
+
+  auto cluster = std::make_shared<Cluster>();
+  auto index = TardisIndex::Open(cluster, index_dir);
+  if (!index.ok()) return Fail(index.status());
+  if (flags.Has("cache-mb")) {
+    index->SetCacheBudget(flags.GetU64("cache-mb", 0) << 20);
+  }
+
+  net::ServeOptions opts;
+  opts.port = static_cast<uint16_t>(flags.GetU64("port", 0));
+  opts.max_inflight =
+      static_cast<uint32_t>(flags.GetU64("max-inflight", opts.max_inflight));
+  opts.queue_depth =
+      static_cast<uint32_t>(flags.GetU64("queue-depth", opts.queue_depth));
+  opts.max_batch =
+      static_cast<uint32_t>(flags.GetU64("max-batch", opts.max_batch));
+  opts.max_connections = static_cast<uint32_t>(
+      flags.GetU64("max-connections", opts.max_connections));
+
+  net::TardisServer server(*index, opts);
+  Status st = server.Start();
+  if (!st.ok()) return Fail(st);
+  std::printf("tardis_serve listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server.port()));
+  std::printf("  index %s: generation %llu, %u partitions\n",
+              index_dir.c_str(),
+              static_cast<unsigned long long>(index->generation()),
+              index->num_partitions());
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&term_set, &sig);
+  std::printf("tardis_serve: received %s, draining\n", strsignal(sig));
+  std::fflush(stdout);
+  server.Shutdown();
+
+  if (!metrics_path.empty()) {
+    st = telemetry::Registry::Global().DumpJsonToFile(metrics_path);
+    if (!st.ok()) std::fprintf(stderr, "warning: %s\n", st.ToString().c_str());
+  }
+  if (!trace_path.empty()) {
+    st = telemetry::Registry::Global().DumpTraceJsonToFile(trace_path);
+    if (!st.ok()) std::fprintf(stderr, "warning: %s\n", st.ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tardis
+
+int main(int argc, char** argv) { return tardis::Main(argc, argv); }
